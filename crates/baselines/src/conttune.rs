@@ -1,0 +1,201 @@
+//! ContTune (Lian et al., VLDB 2023) — conservative Bayesian optimisation
+//! with the Big-small algorithm.
+//!
+//! Per operator, ContTune maintains a Gaussian-process surrogate mapping
+//! parallelism → observed processing capacity (derived from useful-time
+//! metrics, so noisy). When an operator cannot sustain its input it takes a
+//! **Big** step (a decisive jump up, scaled by the observed deficit); when
+//! it can, it takes a **small** step: the smallest parallelism whose
+//! conservative lower confidence bound `μ − α·σ` still covers the demand.
+//! The paper sets `α = 3`; so do we.
+//!
+//! ContTune only uses the *target job's own* tuning history — the paper's
+//! challenge C1 — so on structurally complex jobs it needs more
+//! reconfigurations than StreamTune (Fig. 7a).
+
+use crate::gp::GaussianProcess;
+use serde::{Deserialize, Serialize};
+use streamtune_dataflow::ParallelismAssignment;
+use streamtune_sim::{TuneOutcome, Tuner, TuningSession};
+
+/// ContTune configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContTuneConfig {
+    /// Confidence multiplier `α` in the conservative bound (paper: 3).
+    pub alpha: f64,
+    /// Iteration cap.
+    pub max_iterations: u32,
+    /// Multiplicative safety factor on Big steps.
+    pub big_step_factor: f64,
+}
+
+impl Default for ContTuneConfig {
+    fn default() -> Self {
+        ContTuneConfig {
+            alpha: 3.0,
+            max_iterations: 10,
+            big_step_factor: 1.2,
+        }
+    }
+}
+
+/// The ContTune tuner. Keep one instance alive per streaming job: the
+/// per-operator Gaussian processes persist across `tune` calls, which is
+/// ContTune's "continuous tuning" advantage — each source-rate change
+/// starts from the surrogates accumulated over the job's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct ContTune {
+    config: ContTuneConfig,
+    gps: Vec<GaussianProcess>,
+    scale: Vec<f64>,
+}
+
+impl ContTune {
+    /// New ContTune tuner.
+    pub fn new(config: ContTuneConfig) -> Self {
+        ContTune {
+            config,
+            gps: Vec::new(),
+            scale: Vec::new(),
+        }
+    }
+
+    /// Accumulated observations across all tune calls (for tests).
+    pub fn total_observations(&self) -> usize {
+        self.gps.iter().map(GaussianProcess::len).sum()
+    }
+}
+
+impl Tuner for ContTune {
+    fn name(&self) -> &str {
+        "ContTune"
+    }
+
+    fn tune(&mut self, session: &mut TuningSession<'_>) -> TuneOutcome {
+        let flow = session.flow().clone();
+        let p_max = session.max_parallelism();
+        let n = flow.num_ops();
+        // One GP per operator over (parallelism → capacity), normalized by
+        // the first observed capacity; persists across tune calls for the
+        // same job, reset if the job shape changed.
+        if self.gps.len() != n {
+            self.gps = (0..n)
+                .map(|_| GaussianProcess::default_for_scaling())
+                .collect();
+            self.scale = vec![0.0; n];
+        }
+        let gps = &mut self.gps;
+        let scale = &mut self.scale;
+
+        let mut assignment = session
+            .current_assignment()
+            .cloned()
+            .unwrap_or_else(|| ParallelismAssignment::uniform(&flow, 1));
+        let mut iterations = 0u32;
+        let mut converged = false;
+
+        while iterations < self.config.max_iterations {
+            iterations += 1;
+            let obs = session.deploy(&assignment);
+            // Update surrogates with this deployment's observations.
+            for o in &obs.per_op {
+                let i = o.op.index();
+                let capacity = o.observed_per_instance_rate * f64::from(o.parallelism);
+                if scale[i] == 0.0 {
+                    scale[i] = capacity.max(1.0);
+                }
+                gps[i].observe(f64::from(o.parallelism), capacity / scale[i]);
+            }
+
+            let mut next = assignment.clone();
+            for o in &obs.per_op {
+                let i = o.op.index();
+                let demand = o.input_rate;
+                let p_cur = o.parallelism;
+                let capacity = o.observed_per_instance_rate * f64::from(p_cur);
+                let distressed = o.flink_backpressured
+                    || o.timely_bottleneck
+                    || o.saturated
+                    || capacity < demand;
+                let p_new = if distressed {
+                    // Big step: jump by the observed deficit with headroom.
+                    let ratio = (demand / capacity.max(1.0)) * self.config.big_step_factor;
+                    let jump = (f64::from(p_cur) * ratio).ceil() as u32;
+                    jump.max(p_cur + 1).min(p_max)
+                } else {
+                    // Small step: smallest p whose conservative bound still
+                    // covers the demand; never grows past the current p.
+                    let target = demand / scale[i].max(1.0);
+                    let mut best = p_cur;
+                    for p in 1..=p_cur {
+                        if gps[i].lcb(f64::from(p), self.config.alpha) >= target {
+                            best = p;
+                            break;
+                        }
+                    }
+                    best
+                };
+                next.set_degree(o.op, p_new);
+            }
+
+            if next == assignment {
+                converged = true;
+                break;
+            }
+            assignment = next;
+        }
+        if !converged {
+            session.deploy(&assignment);
+        }
+        session.outcome(assignment, iterations, converged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamtune_sim::SimCluster;
+    use streamtune_workloads::{nexmark, pqp, rates::Engine};
+
+    #[test]
+    fn conttune_reaches_backpressure_free_on_q2() {
+        let cluster = SimCluster::flink_defaults(61);
+        let mut w = nexmark::q2(Engine::Flink);
+        w.set_multiplier(10.0);
+        let mut session = TuningSession::new(&cluster, &w.flow);
+        let outcome = ContTune::default().tune(&mut session);
+        let rep = cluster.simulate(&w.flow, &outcome.final_assignment);
+        assert!(
+            rep.backpressure_free(),
+            "ContTune final {:?}",
+            outcome.final_assignment
+        );
+    }
+
+    #[test]
+    fn conttune_handles_join_queries() {
+        let cluster = SimCluster::flink_defaults(67);
+        let mut w = pqp::two_way_join_query(2);
+        w.set_multiplier(10.0);
+        let mut session = TuningSession::new(&cluster, &w.flow);
+        let outcome = ContTune::default().tune(&mut session);
+        let rep = cluster.simulate(&w.flow, &outcome.final_assignment);
+        assert!(rep.backpressure_free());
+        assert!(outcome.iterations <= 10);
+    }
+
+    #[test]
+    fn conservative_bound_prevents_reckless_shrinking() {
+        // Once sustaining, ContTune must not shrink an operator below what
+        // its own observations support — final must stay backpressure-free
+        // across a rate drop-then-rise.
+        let cluster = SimCluster::flink_defaults(71);
+        let mut w = nexmark::q1(Engine::Flink);
+        w.set_multiplier(8.0);
+        let mut session = TuningSession::new(&cluster, &w.flow);
+        let mut tuner = ContTune::default();
+        let outcome = tuner.tune(&mut session);
+        let rep = cluster.simulate(&w.flow, &outcome.final_assignment);
+        assert!(rep.backpressure_free());
+    }
+}

@@ -1,0 +1,212 @@
+//! One-dimensional Gaussian-process regression (RBF kernel) — the
+//! surrogate model inside ContTune's conservative Bayesian optimisation.
+
+use serde::{Deserialize, Serialize};
+
+/// A 1-D GP with RBF kernel `σ_f² · exp(−(a−b)²/2ℓ²)` and noise `σ_n²`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianProcess {
+    /// Signal variance `σ_f²`.
+    pub signal_variance: f64,
+    /// Length scale `ℓ`.
+    pub length_scale: f64,
+    /// Observation noise variance `σ_n²`.
+    pub noise_variance: f64,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Cholesky factor of `K + σ_n² I` (lower triangular, row-major).
+    chol: Vec<Vec<f64>>,
+    /// `(K + σ_n² I)^{-1} y`.
+    alpha: Vec<f64>,
+    mean_y: f64,
+}
+
+impl GaussianProcess {
+    /// New GP with the given hyperparameters and no data.
+    pub fn new(signal_variance: f64, length_scale: f64, noise_variance: f64) -> Self {
+        assert!(signal_variance > 0.0 && length_scale > 0.0 && noise_variance >= 0.0);
+        GaussianProcess {
+            signal_variance,
+            length_scale,
+            noise_variance,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            chol: Vec::new(),
+            alpha: Vec::new(),
+            mean_y: 0.0,
+        }
+    }
+
+    /// Default hyperparameters for parallelism→rate curves.
+    pub fn default_for_scaling() -> Self {
+        // Length scale ~8 parallelism units; noise covers measurement error.
+        GaussianProcess::new(1.0, 8.0, 1e-3)
+    }
+
+    fn kernel(&self, a: f64, b: f64) -> f64 {
+        let d = a - b;
+        self.signal_variance * (-d * d / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when no observations have been added.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Condition on `(x, y)` pairs (refits from scratch; N is tiny).
+    pub fn fit(&mut self, xs: &[f64], ys: &[f64]) {
+        assert_eq!(xs.len(), ys.len());
+        self.xs = xs.to_vec();
+        self.ys = ys.to_vec();
+        let n = xs.len();
+        if n == 0 {
+            self.chol.clear();
+            self.alpha.clear();
+            self.mean_y = 0.0;
+            return;
+        }
+        self.mean_y = ys.iter().sum::<f64>() / n as f64;
+        // K + σ_n² I
+        let mut k = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                k[i][j] = self.kernel(xs[i], xs[j]);
+            }
+            k[i][i] += self.noise_variance + 1e-10;
+        }
+        // Cholesky decomposition.
+        let mut l = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = k[i][j];
+                for m in 0..j {
+                    sum -= l[i][m] * l[j][m];
+                }
+                if i == j {
+                    l[i][j] = sum.max(1e-12).sqrt();
+                } else {
+                    l[i][j] = sum / l[j][j];
+                }
+            }
+        }
+        // α = L⁻ᵀ L⁻¹ (y - mean)
+        let centered: Vec<f64> = ys.iter().map(|y| y - self.mean_y).collect();
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = centered[i];
+            for m in 0..i {
+                sum -= l[i][m] * z[m];
+            }
+            z[i] = sum / l[i][i];
+        }
+        let mut alpha = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = z[i];
+            for m in i + 1..n {
+                sum -= l[m][i] * alpha[m];
+            }
+            alpha[i] = sum / l[i][i];
+        }
+        self.chol = l;
+        self.alpha = alpha;
+    }
+
+    /// Add one observation and refit.
+    pub fn observe(&mut self, x: f64, y: f64) {
+        let mut xs = self.xs.clone();
+        let mut ys = self.ys.clone();
+        xs.push(x);
+        ys.push(y);
+        self.fit(&xs, &ys);
+    }
+
+    /// Posterior `(mean, std)` at `x`.
+    pub fn predict(&self, x: f64) -> (f64, f64) {
+        let n = self.xs.len();
+        if n == 0 {
+            return (self.mean_y, self.signal_variance.sqrt());
+        }
+        let kstar: Vec<f64> = self.xs.iter().map(|&xi| self.kernel(x, xi)).collect();
+        let mean = self.mean_y
+            + kstar
+                .iter()
+                .zip(&self.alpha)
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
+        // v = L⁻¹ k*
+        let mut v = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = kstar[i];
+            for m in 0..i {
+                sum -= self.chol[i][m] * v[m];
+            }
+            v[i] = sum / self.chol[i][i];
+        }
+        let var = (self.kernel(x, x) - v.iter().map(|vi| vi * vi).sum::<f64>()).max(0.0);
+        (mean, var.sqrt())
+    }
+
+    /// Conservative lower confidence bound `μ(x) − β·σ(x)`.
+    pub fn lcb(&self, x: f64, beta: f64) -> f64 {
+        let (m, s) = self.predict(x);
+        m - beta * s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_observations() {
+        let mut gp = GaussianProcess::new(1.0, 2.0, 1e-6);
+        gp.fit(&[1.0, 3.0, 5.0], &[2.0, 6.0, 10.0]);
+        for (x, y) in [(1.0, 2.0), (3.0, 6.0), (5.0, 10.0)] {
+            let (m, s) = gp.predict(x);
+            assert!((m - y).abs() < 0.05, "mean {m} at {x}");
+            assert!(s < 0.1, "tight posterior at observed {x}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let mut gp = GaussianProcess::new(1.0, 1.0, 1e-6);
+        gp.fit(&[0.0], &[0.0]);
+        let (_, s_near) = gp.predict(0.1);
+        let (_, s_far) = gp.predict(5.0);
+        assert!(s_far > s_near);
+        assert!(s_far > 0.9, "far from data, σ → prior σ_f");
+    }
+
+    #[test]
+    fn lcb_below_mean() {
+        let mut gp = GaussianProcess::new(1.0, 1.0, 1e-4);
+        gp.fit(&[0.0, 1.0], &[1.0, 2.0]);
+        let (m, _) = gp.predict(2.0);
+        assert!(gp.lcb(2.0, 2.0) < m);
+    }
+
+    #[test]
+    fn observe_accumulates() {
+        let mut gp = GaussianProcess::default_for_scaling();
+        assert!(gp.is_empty());
+        gp.observe(1.0, 10.0);
+        gp.observe(2.0, 19.0);
+        assert_eq!(gp.len(), 2);
+        let (m, _) = gp.predict(1.0);
+        assert!((m - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_gp_returns_prior() {
+        let gp = GaussianProcess::new(4.0, 1.0, 1e-6);
+        let (m, s) = gp.predict(3.0);
+        assert_eq!(m, 0.0);
+        assert_eq!(s, 2.0);
+    }
+}

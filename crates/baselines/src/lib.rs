@@ -1,0 +1,26 @@
+//! Baseline parallelism tuners (paper §V-A "Competitors").
+//!
+//! * [`Ds2`] — Kalavri et al., OSDI'18: assumes processing ability is
+//!   linear in parallelism; computes, from observed useful-time rates, the
+//!   smallest degree sustaining the input rate, and iterates.
+//! * [`ContTune`] — Lian et al., VLDB'23: conservative Bayesian
+//!   optimisation per operator with the Big-small algorithm, using a
+//!   Gaussian-process surrogate over the job's own tuning history.
+//! * [`ZeroTune`] — Agnihotri et al., ICDE'24: a GNN cost model trained on
+//!   global histories to predict *job-level* performance; samples candidate
+//!   configurations and picks the best-predicted one, with a single
+//!   reconfiguration.
+//!
+//! All three implement [`streamtune_sim::Tuner`], so experiments drive
+//! them interchangeably with StreamTune.
+
+pub mod conttune;
+pub mod ds2;
+pub mod gp;
+pub mod zerotune;
+
+pub use conttune::{ContTune, ContTuneConfig};
+pub use ds2::{Ds2, Ds2Config};
+pub use gp::GaussianProcess;
+pub use streamtune_sim::{TuneOutcome, Tuner};
+pub use zerotune::{ZeroTune, ZeroTuneConfig, ZeroTuneModel};

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for the GED machinery — the kernel behind
+//! the Fig. 11b ablation (direct GED vs A\*+-LSa-style bounded search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use streamtune_dataflow::GraphSignature;
+use streamtune_ged::{ged_with, similarity_center, Bound, GraphView};
+use streamtune_sim::SimCluster;
+use streamtune_workloads::history::HistoryGenerator;
+
+fn corpus(n: usize) -> Vec<(GraphView, GraphSignature)> {
+    let cluster = SimCluster::flink_defaults(29);
+    HistoryGenerator::new(29)
+        .with_jobs(n)
+        .with_runs_per_job(1)
+        .generate(&cluster)
+        .into_iter()
+        .map(|r| (GraphView::of(&r.flow), GraphSignature::of(&r.flow)))
+        .collect()
+}
+
+fn bench_pairwise(c: &mut Criterion) {
+    let graphs = corpus(12);
+    let mut group = c.benchmark_group("ged_pairwise");
+    for bound in [Bound::Trivial, Bound::LabelSet] {
+        let name = match bound {
+            Bound::Trivial => "direct",
+            Bound::LabelSet => "lsa",
+        };
+        group.bench_function(BenchmarkId::new("all_pairs", name), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for i in 0..graphs.len() {
+                    for j in i + 1..graphs.len() {
+                        total += ged_with(&graphs[i].0, &graphs[j].0, bound, 12).capped();
+                    }
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_similarity_center(c: &mut Criterion) {
+    // The Fig. 11b kernel at reduced scale: both strategies must agree.
+    let graphs = corpus(16);
+    let mut group = c.benchmark_group("similarity_center");
+    group.sample_size(10);
+    for bound in [Bound::Trivial, Bound::LabelSet] {
+        let name = match bound {
+            Bound::Trivial => "direct",
+            Bound::LabelSet => "lsa",
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(similarity_center(&graphs, 5, bound)))
+        });
+    }
+    group.finish();
+    let a = similarity_center(&graphs, 5, Bound::Trivial);
+    let b = similarity_center(&graphs, 5, Bound::LabelSet);
+    assert_eq!(
+        a.map(|x| x.center),
+        b.map(|x| x.center),
+        "Fig. 11b invariant: identical centers from both strategies"
+    );
+}
+
+criterion_group!(benches, bench_pairwise, bench_similarity_center);
+criterion_main!(benches);

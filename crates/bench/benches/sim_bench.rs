@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the simulator substrate: steady-state
+//! computation, full observations, epoch-latency simulation (the kernels
+//! under every experiment, and the Fig. 4 / Fig. 8 data generators).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use streamtune_dataflow::ParallelismAssignment;
+use streamtune_sim::{ProcessingAbility, SimCluster};
+use streamtune_workloads::{nexmark, pqp, rates::Engine};
+
+fn bench_observation(c: &mut Criterion) {
+    let cluster = SimCluster::flink_defaults(1);
+    let w = pqp::three_way_join_query(0);
+    let flow = w.at(10.0);
+    let asg = ParallelismAssignment::uniform(&flow, 8);
+    c.bench_function("sim_observe_3way_join", |b| {
+        let mut epoch = 0u64;
+        b.iter(|| {
+            epoch += 1;
+            black_box(cluster.simulate_at(&flow, &asg, epoch))
+        })
+    });
+}
+
+fn bench_pa_sweep(c: &mut Criterion) {
+    // Fig. 4 kernel: the parallelism → PA sweep.
+    let cluster = SimCluster::flink_defaults(1);
+    let mut w = nexmark::q2(Engine::Flink);
+    w.set_multiplier(10.0);
+    let op = w.flow.op_ids().next().expect("has ops");
+    c.bench_function("fig4_pa_sweep_p25", |b| {
+        b.iter(|| {
+            black_box(ProcessingAbility::sweep(
+                &cluster.profile,
+                &w.flow,
+                op,
+                25,
+                5.0e6,
+            ))
+        })
+    });
+}
+
+fn bench_epoch_latency(c: &mut Criterion) {
+    // Fig. 8 kernel: per-epoch latency simulation.
+    let cluster = SimCluster::timely_defaults(1);
+    let mut w = nexmark::q8(Engine::Timely);
+    w.set_multiplier(10.0);
+    let asg = ParallelismAssignment::uniform(&w.flow, 6);
+    c.bench_function("fig8_epoch_latencies_200", |b| {
+        b.iter(|| black_box(cluster.epoch_latencies(&w.flow, &asg, 200)))
+    });
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let cluster = SimCluster::flink_defaults(1);
+    let w = pqp::two_way_join_query(3);
+    let flow = w.at(10.0);
+    c.bench_function("oracle_assignment_2way", |b| {
+        b.iter(|| black_box(cluster.oracle_assignment(&flow)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_observation,
+    bench_pa_sweep,
+    bench_epoch_latency,
+    bench_oracle
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion macro-benchmark: one full tuning process per tuner on a PQP
+//! 2-way-join at 10×Wu — the end-to-end kernel behind Fig. 6 / Fig. 7a /
+//! Table III, at reduced corpus scale. Also prints a miniature Fig. 6 row
+//! so `cargo bench` exercises the complete comparison path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use streamtune_bench::harness::{ExperimentEnv, Method};
+use streamtune_core::ModelKind;
+use streamtune_sim::TuningSession;
+use streamtune_workloads::pqp;
+
+fn bench_tuning(c: &mut Criterion) {
+    let env = ExperimentEnv::flink(11, 24, true);
+    let w = pqp::two_way_join_query(0);
+    let flow = w.at(10.0);
+
+    // Print the miniature comparison once (visible in bench output).
+    println!("\nminiature Fig. 6 row (pqp-2way-0 @ 10×Wu):");
+    for m in [
+        Method::Ds2,
+        Method::ContTune,
+        Method::StreamTune(ModelKind::Xgboost),
+        Method::ZeroTune,
+    ] {
+        let out = env.tune_once(m, &w, 10.0);
+        println!(
+            "  {:<12} total {} reconfigs {}",
+            m.name(),
+            out.final_assignment.total(),
+            out.reconfigurations
+        );
+    }
+
+    let mut group = c.benchmark_group("tune_2way_join_10wu");
+    group.sample_size(10);
+    for m in [
+        Method::Ds2,
+        Method::ContTune,
+        Method::StreamTune(ModelKind::Xgboost),
+    ] {
+        group.bench_function(m.name(), |b| {
+            b.iter(|| {
+                let mut tuner = env.make_tuner(m);
+                let mut session = TuningSession::new(&env.cluster, &flow);
+                black_box(tuner.tune(&mut session))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tuning);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Temporary diagnostic: bp distribution across the schedule for 2way.
+use streamtune_bench::harness::{run_schedule, schedule, ExperimentEnv, Method};
+use streamtune_core::ModelKind;
+use streamtune_workloads::pqp;
+
+fn main() {
+    let env = ExperimentEnv::flink(11, 48, true);
+    let w = pqp::two_way_join_query(0);
+    let sched = schedule(false, 1);
+    let stats = run_schedule(&env, Method::StreamTune(ModelKind::Xgboost), &w, &sched);
+    for (wstart, chunk) in stats.changes.chunks(20).enumerate() {
+        let bp: u32 = chunk.iter().map(|c| c.backpressure_events).sum();
+        let rc: u32 = chunk.iter().map(|c| c.reconfigurations).sum();
+        println!(
+            "changes {:3}-{:3}: bp {:3} reconf {:3}",
+            wstart * 20,
+            wstart * 20 + chunk.len() - 1,
+            bp,
+            rc
+        );
+    }
+    // Trace the last few changes in detail.
+    unsafe { std::env::set_var("STREAMTUNE_DEBUG", "1") };
+    let mut tuner = env.make_tuner(Method::StreamTune(ModelKind::Xgboost));
+    let mut cur = None;
+    for (k, &m) in sched.iter().enumerate() {
+        let flow = w.at(m);
+        let mut session = match cur.take() {
+            Some(a) => streamtune_sim::TuningSession::with_initial(
+                &env.cluster,
+                &flow,
+                a,
+                (k * 1000) as u64,
+            ),
+            None => streamtune_sim::TuningSession::new(&env.cluster, &flow),
+        };
+        if k < 110 {
+            unsafe { std::env::remove_var("STREAMTUNE_DEBUG") };
+        } else {
+            unsafe { std::env::set_var("STREAMTUNE_DEBUG", "1") };
+        }
+        if k >= 110 {
+            eprintln!(
+                "change {k} m={m} oracle={:?}",
+                env.cluster.oracle_assignment(&flow).unwrap().as_slice()
+            );
+        }
+        let out = tuner.tune(&mut session);
+        cur = Some(out.final_assignment);
+    }
+}

@@ -1,0 +1,69 @@
+//! E-F10 — Reproduces paper Fig. 10: cluster CPU-utilization dynamics
+//! across StreamTune's reconfiguration iterations for Nexmark Q2, PQP
+//! Linear and PQP 2-way-join, under several consecutive source-rate
+//! changes (the dotted lines in the paper's plots).
+
+use serde::Serialize;
+use streamtune_bench::harness::{
+    is_fast, print_table, run_schedule, write_json, ExperimentEnv, Method,
+};
+use streamtune_core::ModelKind;
+use streamtune_workloads::rates::Engine;
+use streamtune_workloads::{nexmark, pqp, Workload};
+
+#[derive(Serialize)]
+struct Fig10Trace {
+    workload: String,
+    /// `(deployment index, cpu utilization %)`; rate-change boundaries in
+    /// `boundaries`.
+    trace: Vec<f64>,
+    boundaries: Vec<usize>,
+}
+
+fn main() {
+    let fast = is_fast();
+    let env = ExperimentEnv::flink(11, if fast { 48 } else { 80 }, fast);
+    let jobs: Vec<Workload> = vec![
+        nexmark::q2(Engine::Flink),
+        pqp::linear_query(0),
+        pqp::two_way_join_query(0),
+    ];
+    // A short burst of rate changes, as in the paper's x-axis.
+    let sched = [3.0, 10.0, 2.0, 8.0];
+
+    let mut json = Vec::new();
+    for w in &jobs {
+        let stats = run_schedule(&env, Method::StreamTune(ModelKind::Xgboost), w, &sched);
+        let mut trace = Vec::new();
+        let mut boundaries = Vec::new();
+        for c in &stats.changes {
+            boundaries.push(trace.len());
+            trace.extend(c.cpu_trace.iter().map(|u| u * 100.0));
+        }
+        let rows: Vec<Vec<String>> = trace
+            .iter()
+            .enumerate()
+            .map(|(i, u)| {
+                let marker = if boundaries.contains(&i) { "| " } else { "  " };
+                vec![
+                    format!("{i}"),
+                    format!("{u:.1}%"),
+                    format!("{marker}{}", "#".repeat((u / 4.0).round() as usize)),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 10 — CPU utilization during tuning: {}", w.name),
+            &["iter", "cpu", "('|' = source-rate change)"],
+            &rows,
+        );
+        json.push(Fig10Trace {
+            workload: w.name.clone(),
+            trace,
+            boundaries,
+        });
+    }
+    println!("\nPaper shape to verify: utilization swings as StreamTune explores degrees,");
+    println!("with more iterations on the complex 2-way-join query.");
+    write_json("fig10_cpu_utilization", &json);
+}

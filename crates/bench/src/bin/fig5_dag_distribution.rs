@@ -1,0 +1,43 @@
+//! E-F5 — Reproduces paper Fig. 5: the node-count distribution of the
+//! pre-training dataflow DAG corpus.
+
+use streamtune_bench::harness::{is_fast, print_table, write_json};
+use streamtune_sim::SimCluster;
+use streamtune_workloads::history::{node_count_histogram, HistoryGenerator, FIG5_DISTRIBUTION};
+
+fn main() {
+    let fast = is_fast();
+    let jobs = if fast { 60 } else { 240 };
+    let cluster = SimCluster::flink_defaults(7);
+    let records = HistoryGenerator::new(7)
+        .with_jobs(jobs)
+        .with_runs_per_job(1)
+        .generate(&cluster);
+    let hist = node_count_histogram(&records);
+    let total: usize = hist.iter().map(|&(_, c)| c).sum();
+
+    let rows: Vec<Vec<String>> = hist
+        .iter()
+        .map(|&(n, c)| {
+            let pct = 100.0 * c as f64 / total as f64;
+            let paper = FIG5_DISTRIBUTION
+                .iter()
+                .find(|&&(pn, _)| pn == n)
+                .map(|&(_, f)| format!("{:.2}%", f * 100.0))
+                .unwrap_or_else(|| "-".into());
+            vec![
+                format!("{n}"),
+                format!("{c}"),
+                format!("{pct:.2}%"),
+                paper,
+                "#".repeat((pct / 2.0).round() as usize),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 5 — Distribution of Pre-trained Dataflow DAGs by node count",
+        &["# ops", "jobs", "measured", "paper", "bar"],
+        &rows,
+    );
+    write_json("fig5_dag_distribution", &hist);
+}

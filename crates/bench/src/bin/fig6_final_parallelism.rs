@@ -1,0 +1,83 @@
+//! E-F6 — Reproduces paper Fig. 6: final parallelism recommended by each
+//! method for each streaming job when the source rate changes to 10 × Wu,
+//! measured within the periodic source-rate schedule on the Flink-mode
+//! substrate (the paper evaluates "after several reconfigurations" of the
+//! running schedule). Lower is better; all methods must sustain the rate.
+
+use serde::Serialize;
+use streamtune_bench::harness::{
+    is_fast, paper_workloads, print_table, run_schedule, schedule, write_json, ExperimentEnv,
+    Method,
+};
+use streamtune_workloads::rates::Engine;
+
+#[derive(Serialize)]
+struct Fig6Row {
+    workload: String,
+    method: String,
+    total_parallelism: u64,
+    oracle: Option<u64>,
+    backpressure_free: bool,
+}
+
+fn main() {
+    let fast = is_fast();
+    let env = ExperimentEnv::flink(11, if fast { 48 } else { 80 }, fast);
+    let workloads = paper_workloads(Engine::Flink);
+    let methods = Method::paper_set();
+    let sched = schedule(fast, 1);
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for w in &workloads {
+        let flow10 = w.at(10.0);
+        let oracle = env.cluster.oracle_assignment(&flow10).map(|a| a.total());
+        let mut cells = vec![w.name.clone()];
+        for &m in &methods {
+            // ZeroTune is PQP-specific in the paper; mark Nexmark entries.
+            if m == Method::ZeroTune && w.name.starts_with("nexmark") {
+                cells.push("/".into());
+                continue;
+            }
+            let stats = run_schedule(&env, m, w, &sched);
+            let total = stats
+                .parallelism_at_multiplier(10.0)
+                .unwrap_or_else(|| stats.changes.last().expect("non-empty").total_parallelism);
+            // Verify the reported configuration sustains 10×Wu.
+            let asg_check = {
+                let change = stats
+                    .changes
+                    .iter()
+                    .rev()
+                    .find(|c| (c.multiplier - 10.0).abs() < 1e-9);
+                change.map(|c| c.backpressure_events == 0).unwrap_or(true)
+            };
+            cells.push(format!("{total}"));
+            json.push(Fig6Row {
+                workload: w.name.clone(),
+                method: m.name(),
+                total_parallelism: total,
+                oracle,
+                backpressure_free: asg_check,
+            });
+        }
+        cells.push(oracle.map(|o| o.to_string()).unwrap_or_else(|| "-".into()));
+        rows.push(cells);
+    }
+
+    print_table(
+        "Fig. 6 — Final total parallelism at 10×Wu (Flink mode); lower = better",
+        &[
+            "workload",
+            "DS2",
+            "ContTune",
+            "StreamTune",
+            "ZeroTune",
+            "oracle",
+        ],
+        &rows,
+    );
+    println!("\nPaper shape to verify: StreamTune ≤ ContTune ≤ DS2 on complex jobs;");
+    println!("ZeroTune highest on PQP queries; near-parity on simple Nexmark Q1–Q3.");
+    write_json("fig6_final_parallelism", &json);
+}

@@ -1,0 +1,56 @@
+//! E-F7a — Reproduces paper Fig. 7a: average number of reconfigurations
+//! per tuning process across the periodic source-rate schedule, per method
+//! and workload (Flink mode). ZeroTune always uses a single
+//! reconfiguration, so (as in the paper) it is excluded.
+
+use serde::Serialize;
+use streamtune_bench::harness::{
+    is_fast, paper_workloads, print_table, run_schedule, schedule, write_json, ExperimentEnv,
+    Method,
+};
+use streamtune_core::ModelKind;
+use streamtune_workloads::rates::Engine;
+
+#[derive(Serialize)]
+struct Fig7aRow {
+    workload: String,
+    ds2: f64,
+    conttune: f64,
+    streamtune: f64,
+}
+
+fn main() {
+    let fast = is_fast();
+    let env = ExperimentEnv::flink(11, if fast { 48 } else { 80 }, fast);
+    let workloads = paper_workloads(Engine::Flink);
+    let sched = schedule(fast, 1);
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for w in &workloads {
+        let ds2 = run_schedule(&env, Method::Ds2, w, &sched).avg_reconfigurations();
+        let ct = run_schedule(&env, Method::ContTune, w, &sched).avg_reconfigurations();
+        let st = run_schedule(&env, Method::StreamTune(ModelKind::Xgboost), w, &sched)
+            .avg_reconfigurations();
+        rows.push(vec![
+            w.name.clone(),
+            format!("{ds2:.2}"),
+            format!("{ct:.2}"),
+            format!("{st:.2}"),
+        ]);
+        json.push(Fig7aRow {
+            workload: w.name.clone(),
+            ds2,
+            conttune: ct,
+            streamtune: st,
+        });
+    }
+    print_table(
+        "Fig. 7a — Average reconfigurations per tuning process (Flink mode)",
+        &["workload", "DS2", "ContTune", "StreamTune"],
+        &rows,
+    );
+    println!("\nPaper shape to verify: DS2 highest (no history), StreamTune ≤ ContTune on");
+    println!("the structurally complex PQP join queries (paper: up to 29.6% fewer).");
+    write_json("fig7a_reconfigurations", &json);
+}

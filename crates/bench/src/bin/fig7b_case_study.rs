@@ -1,0 +1,68 @@
+//! E-F7b — Reproduces paper Fig. 7b: tuning time of StreamTune on an
+//! *unseen* 2-way-join PQP query (held out from pre-training) under the
+//! periodic source-rate pattern. Reported in simulated minutes per change
+//! (the paper observes ~10–40 min, averaging ≈ 27 min, dominated by
+//! reconfiguration + stabilization waits).
+
+use serde::Serialize;
+use streamtune_bench::harness::{
+    is_fast, print_table, run_schedule, write_json, ExperimentEnv, Method,
+};
+use streamtune_core::ModelKind;
+use streamtune_workloads::pqp;
+use streamtune_workloads::rates::BASE_CYCLE;
+
+#[derive(Serialize)]
+struct Fig7bPoint {
+    multiplier: f64,
+    minutes: f64,
+    reconfigurations: u32,
+}
+
+fn main() {
+    let fast = is_fast();
+    let holdout = "pqp-2way-7";
+    let env = ExperimentEnv::flink_excluding(13, if fast { 48 } else { 80 }, fast, holdout);
+    let target = pqp::two_way_join_query(7);
+    assert_eq!(target.name, holdout);
+
+    // One pass of the 10-step base cycle (the paper's case-study x-axis).
+    let sched: Vec<f64> = BASE_CYCLE.to_vec();
+    let stats = run_schedule(
+        &env,
+        Method::StreamTune(ModelKind::Xgboost),
+        &target,
+        &sched,
+    );
+
+    let rows: Vec<Vec<String>> = stats
+        .changes
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{}", c.multiplier),
+                format!("{:.1}", c.minutes),
+                format!("{}", c.reconfigurations),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 7b — Tuning time for an unseen 2-way-join query (StreamTune)",
+        &["source rate (×Wu)", "tuning time (min)", "reconfigs"],
+        &rows,
+    );
+    println!(
+        "\nAverage tuning time: {:.1} min (paper: ≈27 min, range 10–40)",
+        stats.avg_minutes()
+    );
+    let json: Vec<Fig7bPoint> = stats
+        .changes
+        .iter()
+        .map(|c| Fig7bPoint {
+            multiplier: c.multiplier,
+            minutes: c.minutes,
+            reconfigurations: c.reconfigurations,
+        })
+        .collect();
+    write_json("fig7b_case_study", &json);
+}

@@ -1,0 +1,319 @@
+//! Shared experiment harness: environment setup, method dispatch, the
+//! periodic-schedule driver, and table/JSON reporting.
+
+use serde::Serialize;
+use streamtune_baselines::{ContTune, Ds2, Tuner, ZeroTune, ZeroTuneConfig};
+use streamtune_core::{ModelKind, PretrainConfig, Pretrained, Pretrainer, StreamTune, TuneConfig};
+use streamtune_sim::{SimCluster, TuneOutcome, TuningSession};
+use streamtune_workloads::history::{ExecutionRecord, HistoryGenerator};
+use streamtune_workloads::{rates, Workload};
+
+/// The tuning methods compared throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// DS2 (linear scaling).
+    Ds2,
+    /// ContTune (conservative BO).
+    ContTune,
+    /// StreamTune with a given fine-tuning model.
+    StreamTune(ModelKind),
+    /// ZeroTune (one-shot GNN cost model).
+    ZeroTune,
+}
+
+impl Method {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> String {
+        match self {
+            Method::Ds2 => "DS2".into(),
+            Method::ContTune => "ContTune".into(),
+            Method::StreamTune(ModelKind::Xgboost) => "StreamTune".into(),
+            Method::StreamTune(k) => format!("StreamTune-{}", k.name()),
+            Method::ZeroTune => "ZeroTune".into(),
+        }
+    }
+
+    /// The paper's default comparison set.
+    pub fn paper_set() -> Vec<Method> {
+        vec![
+            Method::Ds2,
+            Method::ContTune,
+            Method::StreamTune(ModelKind::Xgboost),
+            Method::ZeroTune,
+        ]
+    }
+}
+
+/// A fully prepared experiment environment: one simulated cluster, one
+/// history corpus generated on it, StreamTune pre-trained, ZeroTune's
+/// training corpus shared.
+pub struct ExperimentEnv {
+    /// The cluster every deployment runs on.
+    pub cluster: SimCluster,
+    /// The execution-history corpus.
+    pub corpus: Vec<ExecutionRecord>,
+    /// StreamTune's pre-trained bundle.
+    pub pretrained: Pretrained,
+    /// ZeroTune's model configuration (trained per tuner instance).
+    pub zerotune_config: ZeroTuneConfig,
+}
+
+impl ExperimentEnv {
+    /// Build the standard Flink-mode environment.
+    pub fn flink(seed: u64, jobs: usize, fast: bool) -> Self {
+        Self::with_cluster(SimCluster::flink_defaults(seed), seed, jobs, fast, None)
+    }
+
+    /// Build the Timely-mode environment.
+    pub fn timely(seed: u64, jobs: usize, fast: bool) -> Self {
+        Self::with_cluster(SimCluster::timely_defaults(seed), seed, jobs, fast, None)
+    }
+
+    /// Build with a hold-out workload excluded from the corpus (Fig. 7b).
+    pub fn flink_excluding(seed: u64, jobs: usize, fast: bool, exclude: &str) -> Self {
+        Self::with_cluster(
+            SimCluster::flink_defaults(seed),
+            seed,
+            jobs,
+            fast,
+            Some(exclude.to_string()),
+        )
+    }
+
+    fn with_cluster(
+        cluster: SimCluster,
+        seed: u64,
+        jobs: usize,
+        fast: bool,
+        exclude: Option<String>,
+    ) -> Self {
+        let engine = match cluster.mode {
+            streamtune_sim::EngineMode::Flink => rates::Engine::Flink,
+            streamtune_sim::EngineMode::Timely => rates::Engine::Timely,
+        };
+        let mut gen = HistoryGenerator::new(seed)
+            .with_jobs(jobs)
+            .with_runs_per_job(2);
+        gen.engine = engine;
+        if let Some(x) = exclude {
+            gen = gen.excluding(x);
+        }
+        let corpus = gen.generate(&cluster);
+        let cfg = if fast {
+            PretrainConfig::fast()
+        } else {
+            PretrainConfig::default()
+        };
+        let pretrained = Pretrainer::new(cfg).run(&corpus);
+        ExperimentEnv {
+            cluster,
+            corpus,
+            pretrained,
+            zerotune_config: ZeroTuneConfig::default(),
+        }
+    }
+
+    /// Instantiate a fresh tuner for `method` (ZeroTune trains its model
+    /// from the environment's corpus).
+    pub fn make_tuner(&self, method: Method) -> Box<dyn Tuner + '_> {
+        match method {
+            Method::Ds2 => Box::new(Ds2::default()),
+            Method::ContTune => Box::new(ContTune::default()),
+            Method::StreamTune(kind) => Box::new(StreamTune::new(
+                &self.pretrained,
+                TuneConfig {
+                    model: kind,
+                    ..Default::default()
+                },
+            )),
+            Method::ZeroTune => {
+                Box::new(ZeroTune::train(&self.corpus, self.zerotune_config.clone()))
+            }
+        }
+    }
+
+    /// One-shot tuning of `workload` at `multiplier × Wu` with a fresh
+    /// tuner and session.
+    pub fn tune_once(&self, method: Method, workload: &Workload, multiplier: f64) -> TuneOutcome {
+        let flow = workload.at(multiplier);
+        let mut tuner = self.make_tuner(method);
+        let mut session = TuningSession::new(&self.cluster, &flow);
+        tuner.tune(&mut session)
+    }
+}
+
+/// Per-rate-change statistics from a schedule run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChangeStats {
+    /// Rate multiplier of this change.
+    pub multiplier: f64,
+    /// Reconfigurations used by this tuning process.
+    pub reconfigurations: u32,
+    /// Backpressure occurrences during this tuning process.
+    pub backpressure_events: u32,
+    /// Minutes of simulated tuning time.
+    pub minutes: f64,
+    /// Total parallelism after this tuning process.
+    pub total_parallelism: u64,
+    /// CPU utilization after each deployment of this process.
+    pub cpu_trace: Vec<f64>,
+}
+
+/// Aggregate statistics over a full periodic schedule (§V-A: 120 changes).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScheduleStats {
+    /// Method name.
+    pub method: String,
+    /// Workload name.
+    pub workload: String,
+    /// Per-change records.
+    pub changes: Vec<ChangeStats>,
+}
+
+impl ScheduleStats {
+    /// Average reconfigurations per tuning process (Fig. 7a).
+    pub fn avg_reconfigurations(&self) -> f64 {
+        self.changes
+            .iter()
+            .map(|c| f64::from(c.reconfigurations))
+            .sum::<f64>()
+            / self.changes.len().max(1) as f64
+    }
+
+    /// Total backpressure occurrences (Table III).
+    pub fn total_backpressure(&self) -> u32 {
+        self.changes.iter().map(|c| c.backpressure_events).sum()
+    }
+
+    /// Total parallelism after the last change at multiplier `m` (Fig. 6).
+    pub fn parallelism_at_multiplier(&self, m: f64) -> Option<u64> {
+        self.changes
+            .iter()
+            .rev()
+            .find(|c| (c.multiplier - m).abs() < 1e-9)
+            .map(|c| c.total_parallelism)
+    }
+
+    /// Mean simulated tuning minutes per change (Fig. 7b metric).
+    pub fn avg_minutes(&self) -> f64 {
+        self.changes.iter().map(|c| c.minutes).sum::<f64>() / self.changes.len().max(1) as f64
+    }
+}
+
+/// Drive one tuner through a schedule of source-rate multipliers on one
+/// workload, keeping the deployment warm between changes (a long-running
+/// job whose sources fluctuate, §V-A).
+pub fn run_schedule(
+    env: &ExperimentEnv,
+    method: Method,
+    workload: &Workload,
+    schedule: &[f64],
+) -> ScheduleStats {
+    let mut tuner = env.make_tuner(method);
+    let mut current: Option<streamtune_dataflow::ParallelismAssignment> = None;
+    let mut changes = Vec::with_capacity(schedule.len());
+    for (k, &m) in schedule.iter().enumerate() {
+        let flow = workload.at(m);
+        let mut session = match current.take() {
+            Some(asg) => TuningSession::with_initial(&env.cluster, &flow, asg, (k * 1000) as u64),
+            None => TuningSession::new(&env.cluster, &flow),
+        };
+        let outcome = tuner.tune(&mut session);
+        changes.push(ChangeStats {
+            multiplier: m,
+            reconfigurations: outcome.reconfigurations,
+            backpressure_events: outcome.backpressure_events,
+            minutes: outcome.elapsed_minutes,
+            total_parallelism: outcome.final_assignment.total(),
+            cpu_trace: session.cpu_trace().to_vec(),
+        });
+        current = Some(outcome.final_assignment);
+    }
+    ScheduleStats {
+        method: method.name(),
+        workload: workload.name.clone(),
+        changes,
+    }
+}
+
+/// Print a fixed-width table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Write a JSON result file under `results/` (best effort).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results dir: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// The eight evaluation workloads of Fig. 6/7a/Table III: five Nexmark
+/// queries plus one representative per PQP template family.
+pub fn paper_workloads(engine: rates::Engine) -> Vec<Workload> {
+    use streamtune_workloads::{nexmark, pqp};
+    vec![
+        nexmark::q1(engine),
+        nexmark::q2(engine),
+        nexmark::q3(engine),
+        nexmark::q5(engine),
+        nexmark::q8(engine),
+        pqp::linear_query(0),
+        pqp::two_way_join_query(0),
+        pqp::three_way_join_query(0),
+    ]
+}
+
+/// `--fast` flag helper for experiment binaries: reduced schedules and
+/// corpus sizes so every binary also runs quickly in CI.
+pub fn is_fast() -> bool {
+    std::env::args().any(|a| a == "--fast")
+}
+
+/// Schedule used by binaries: the paper's 120 changes, or 12 with `--fast`.
+pub fn schedule(fast: bool, seed: u64) -> Vec<f64> {
+    let full = rates::full_schedule(seed);
+    if fast {
+        full.into_iter().take(20).collect()
+    } else {
+        full
+    }
+}

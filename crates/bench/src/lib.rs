@@ -1,0 +1,2 @@
+//! Experiment harness for the StreamTune reproduction; see `src/bin/` for one binary per paper table/figure and `benches/` for Criterion micro-benchmarks.
+pub mod harness;

@@ -1,0 +1,113 @@
+//! Tiny `--key value` / `--flag` argument parser (no external deps).
+
+use std::collections::HashMap;
+use streamtune_workloads::rates::Engine;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse `--key value` pairs and bare `--flag`s.
+    pub fn parse(argv: &[String]) -> Self {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            if let Some(key) = token.strip_prefix("--") {
+                let next_is_value = argv
+                    .get(i + 1)
+                    .map(|n| !n.starts_with("--"))
+                    .unwrap_or(false);
+                if next_is_value {
+                    args.values.insert(key.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    args.flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1; // ignore stray positionals
+            }
+        }
+        args
+    }
+
+    /// A required `--key value`.
+    pub fn required(&self, key: &str) -> Result<String, String> {
+        self.values
+            .get(key)
+            .cloned()
+            .ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    /// Parse `--key` as `T`, defaulting when absent.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key} {v}: {e}")),
+        }
+    }
+
+    /// Whether a bare `--flag` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The `--engine` selection (default Flink).
+    pub fn engine(&self) -> Result<Engine, String> {
+        match self.values.get("engine").map(String::as_str) {
+            None | Some("flink") => Ok(Engine::Flink),
+            Some("timely") => Ok(Engine::Timely),
+            Some(other) => Err(format!("--engine must be flink or timely, got {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = Args::parse(&argv(&["--out", "x.json", "--fast", "--jobs", "12"]));
+        assert_eq!(a.required("out").unwrap(), "x.json");
+        assert!(a.flag("fast"));
+        assert_eq!(a.parse_or("jobs", 0usize).unwrap(), 12);
+        assert_eq!(a.parse_or("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_required_errors() {
+        let a = Args::parse(&argv(&["--fast"]));
+        assert!(a.required("out").is_err());
+    }
+
+    #[test]
+    fn engine_selection() {
+        assert_eq!(
+            Args::parse(&argv(&["--engine", "timely"]))
+                .engine()
+                .unwrap(),
+            Engine::Timely
+        );
+        assert_eq!(Args::parse(&argv(&[])).engine().unwrap(), Engine::Flink);
+        assert!(Args::parse(&argv(&["--engine", "spark"])).engine().is_err());
+    }
+
+    #[test]
+    fn bad_number_errors() {
+        let a = Args::parse(&argv(&["--jobs", "abc"]));
+        assert!(a.parse_or("jobs", 0usize).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! `streamtune` — command-line interface for the StreamTune reproduction.
+//!
+//! Subcommands:
+//!
+//! * `pretrain --out bundle.json [--jobs N] [--seed S] [--engine flink|timely]`
+//!   — generate a history corpus on the simulated cluster and pre-train the
+//!   clustered GNN encoders; writes the serialized [`Pretrained`] bundle.
+//! * `tune --bundle bundle.json --query <name> [--multiplier M]`
+//!   — load a bundle and tune a named workload online, printing the
+//!   per-operator recommendation.
+//! * `inspect --bundle bundle.json` — summarize a bundle (clusters, warm-up
+//!   sizes, encoder losses).
+//! * `workloads` — list the named workloads usable with `tune`.
+//!
+//! The cluster is simulated (see DESIGN.md §1); the CLI demonstrates the
+//! full persistence story a production deployment would use.
+
+use std::process::ExitCode;
+use streamtune_baselines::Tuner;
+use streamtune_core::{PretrainConfig, Pretrained, Pretrainer, StreamTune, TuneConfig};
+use streamtune_sim::{SimCluster, TuningSession};
+use streamtune_workloads::history::HistoryGenerator;
+use streamtune_workloads::rates::Engine;
+use streamtune_workloads::{nexmark, pqp, Workload};
+
+mod args;
+use args::Args;
+
+fn named_workloads(engine: Engine) -> Vec<Workload> {
+    let mut v = nexmark::all(engine);
+    v.extend(pqp::linear_queries());
+    v.extend(pqp::two_way_join_queries());
+    v.extend(pqp::three_way_join_queries());
+    v
+}
+
+fn cmd_workloads() -> ExitCode {
+    println!("available workloads (use with `tune --query <name>`):");
+    for w in named_workloads(Engine::Flink) {
+        println!(
+            "  {:<16} {} operator(s), {} source(s), Wu {:?}",
+            w.name,
+            w.flow.num_ops(),
+            w.flow.num_sources(),
+            w.wu
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_pretrain(args: &Args) -> Result<(), String> {
+    let out = args.required("out")?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let jobs: usize = args.parse_or("jobs", 60)?;
+    let engine = args.engine()?;
+    let cluster = match engine {
+        Engine::Flink => SimCluster::flink_defaults(seed),
+        Engine::Timely => SimCluster::timely_defaults(seed),
+    };
+    eprintln!("generating {jobs}-job corpus (seed {seed})…");
+    let mut gen = HistoryGenerator::new(seed).with_jobs(jobs);
+    gen.engine = engine;
+    let corpus = gen.generate(&cluster);
+    eprintln!("pre-training on {} runs…", corpus.len());
+    let config = if args.flag("fast") {
+        PretrainConfig::fast()
+    } else {
+        PretrainConfig::default()
+    };
+    let pre = Pretrainer::new(config).run(&corpus);
+    let json = serde_json::to_string(&pre).map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(&out, json).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!(
+        "wrote {} cluster(s), {} warm-up points → {out}",
+        pre.clusters.len(),
+        pre.total_warmup_points()
+    );
+    Ok(())
+}
+
+fn load_bundle(args: &Args) -> Result<Pretrained, String> {
+    let path = args.required("bundle")?;
+    let data = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&data).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    let pre = load_bundle(args)?;
+    let query = args.required("query")?;
+    let multiplier: f64 = args.parse_or("multiplier", 10.0)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let engine = args.engine()?;
+    let cluster = match engine {
+        Engine::Flink => SimCluster::flink_defaults(seed),
+        Engine::Timely => SimCluster::timely_defaults(seed),
+    };
+    let workload = named_workloads(engine)
+        .into_iter()
+        .find(|w| w.name == query)
+        .ok_or_else(|| format!("unknown workload '{query}' (try `streamtune workloads`)"))?;
+    let flow = workload.at(multiplier);
+    let mut tuner = StreamTune::new(&pre, TuneConfig::default());
+    let mut session = TuningSession::new(&cluster, &flow);
+    let outcome = tuner.tune(&mut session);
+    println!("{query} @ {multiplier}×Wu:");
+    for (op, d) in outcome.final_assignment.iter() {
+        println!("  {:<20} parallelism {d}", flow.op_name(op));
+    }
+    println!(
+        "total {} | reconfigurations {} | simulated tuning time {:.0} min",
+        outcome.final_assignment.total(),
+        outcome.reconfigurations,
+        outcome.elapsed_minutes
+    );
+    let rep = cluster.simulate(&flow, &outcome.final_assignment);
+    println!(
+        "sustains sources: {:.1}%",
+        rep.observation.throughput_scale * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    let pre = load_bundle(args)?;
+    println!(
+        "bundle: {} cluster(s){}",
+        pre.clusters.len(),
+        if pre.global_fallback {
+            " (global fallback)"
+        } else {
+            ""
+        }
+    );
+    for (i, c) in pre.clusters.iter().enumerate() {
+        println!(
+            "  cluster {i}: center {} node(s) / {} edge(s), {} warm-up point(s), final loss {:.4}, {} parameters",
+            c.center.num_nodes(),
+            c.center.num_edges(),
+            c.warmup.len(),
+            c.final_loss,
+            c.encoder.num_parameters()
+        );
+    }
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage: streamtune <command> [--key value]...\n\
+     commands:\n\
+       pretrain  --out FILE [--jobs N] [--seed S] [--engine flink|timely] [--fast]\n\
+       tune      --bundle FILE --query NAME [--multiplier M] [--seed S] [--engine flink|timely]\n\
+       inspect   --bundle FILE\n\
+       workloads"
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(&argv[1..]);
+    let result = match cmd.as_str() {
+        "workloads" => return cmd_workloads(),
+        "pretrain" => cmd_pretrain(&args),
+        "tune" => cmd_tune(&args),
+        "inspect" => cmd_inspect(&args),
+        "-h" | "--help" | "help" => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! K-means over graphs with GED distance and similarity-center centroids.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use streamtune_dataflow::GraphSignature;
+use streamtune_ged::{ged_with, similarity_center, Bound, GraphView};
+
+/// Configuration of the DAG clustering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Fixed number of clusters, or `None` to choose k via the elbow method.
+    pub k: Option<usize>,
+    /// Maximum k considered by the elbow sweep.
+    pub k_max: usize,
+    /// GED threshold τ for similarity search in the centroid update
+    /// (paper §V-A sets τ = 5).
+    pub tau: usize,
+    /// Distances larger than this are capped (keeps A\* bounded on very
+    /// dissimilar graphs; the cap only matters for far-away assignments).
+    pub ged_cap: usize,
+    /// Maximum k-means iterations.
+    pub max_iters: usize,
+    /// Elbow sensitivity: stop increasing k once the relative inertia
+    /// improvement falls below this fraction.
+    pub elbow_epsilon: f64,
+    /// Seed for the farthest-first initialization.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            k: None,
+            k_max: 8,
+            tau: 5,
+            ged_cap: 24,
+            max_iters: 12,
+            elbow_epsilon: 0.15,
+            seed: 17,
+        }
+    }
+}
+
+/// Result of clustering a DAG corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagClustering {
+    /// Chosen number of clusters.
+    pub k: usize,
+    /// Cluster index per input graph.
+    pub assignments: Vec<usize>,
+    /// Center graph index (into the input corpus) per cluster.
+    pub centers: Vec<usize>,
+    /// Sum of member→center distances (inertia).
+    pub inertia: f64,
+}
+
+impl DagClustering {
+    /// Members of cluster `c` as corpus indices.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Lazily cached capped-GED oracle over a corpus.
+struct DistCache<'a> {
+    graphs: &'a [(GraphView, GraphSignature)],
+    cap: usize,
+    cache: HashMap<(usize, usize), usize>,
+}
+
+impl DistCache<'_> {
+    fn dist(&mut self, a: usize, b: usize) -> usize {
+        if a == b {
+            return 0;
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&d) = self.cache.get(&key) {
+            return d;
+        }
+        let d = ged_with(
+            &self.graphs[a].0,
+            &self.graphs[b].0,
+            Bound::LabelSet,
+            self.cap,
+        )
+        .capped();
+        self.cache.insert(key, d);
+        d
+    }
+}
+
+/// Farthest-first initialization: pick a deterministic seed point, then
+/// repeatedly pick the graph farthest from its nearest chosen center.
+fn farthest_first(cache: &mut DistCache<'_>, n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let mut centers = vec![(seed as usize) % n];
+    while centers.len() < k {
+        let mut best = (0usize, 0usize); // (distance, index)
+        for i in 0..n {
+            if centers.contains(&i) {
+                continue;
+            }
+            let d = centers.iter().map(|&c| cache.dist(i, c)).min().unwrap();
+            // Tie-break on lower index for determinism.
+            if d > best.0 {
+                best = (d, i);
+            }
+        }
+        if best.0 == 0 {
+            // All remaining graphs coincide with some center; duplicate any.
+            let extra = (0..n).find(|i| !centers.contains(i));
+            match extra {
+                Some(i) => centers.push(i),
+                None => break,
+            }
+        } else {
+            centers.push(best.1);
+        }
+    }
+    centers
+}
+
+fn run_kmeans(
+    graphs: &[(GraphView, GraphSignature)],
+    cache: &mut DistCache<'_>,
+    k: usize,
+    cfg: &ClusterConfig,
+) -> DagClustering {
+    let n = graphs.len();
+    let mut centers = farthest_first(cache, n, k.min(n), cfg.seed);
+    let k = centers.len();
+    let mut assignments = vec![0usize; n];
+
+    for _ in 0..cfg.max_iters {
+        // Assignment step.
+        for i in 0..n {
+            let (best_c, _) = centers
+                .iter()
+                .enumerate()
+                .map(|(c, &g)| (c, cache.dist(i, g)))
+                .min_by_key(|&(c, d)| (d, c))
+                .expect("k >= 1");
+            assignments[i] = best_c;
+        }
+        // Update step: similarity centers.
+        let mut new_centers = centers.clone();
+        for (c, nc) in new_centers.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&i| assignments[i] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let cluster_graphs: Vec<(GraphView, GraphSignature)> =
+                members.iter().map(|&i| graphs[i].clone()).collect();
+            if let Some(sc) = similarity_center(&cluster_graphs, cfg.tau, Bound::LabelSet) {
+                *nc = members[sc.center];
+            }
+        }
+        if new_centers == centers {
+            break;
+        }
+        centers = new_centers;
+    }
+
+    // Final assignment against the converged centers + inertia.
+    let mut inertia = 0.0;
+    for i in 0..n {
+        let (best_c, d) = centers
+            .iter()
+            .enumerate()
+            .map(|(c, &g)| (c, cache.dist(i, g)))
+            .min_by_key(|&(c, d)| (d, c))
+            .expect("k >= 1");
+        assignments[i] = best_c;
+        inertia += d as f64;
+    }
+
+    DagClustering {
+        k,
+        assignments,
+        centers,
+        inertia,
+    }
+}
+
+/// Pick k with the elbow method: the smallest k whose marginal relative
+/// inertia improvement over k−1 falls below `epsilon` (paper §V-A cites
+/// Ketchen & Shook).
+pub fn choose_k_elbow(inertias: &[f64], epsilon: f64) -> usize {
+    assert!(!inertias.is_empty());
+    for k in 1..inertias.len() {
+        let prev = inertias[k - 1];
+        if prev <= f64::EPSILON {
+            return k; // already perfect with k clusters
+        }
+        let improvement = (prev - inertias[k]) / prev;
+        if improvement < epsilon {
+            return k; // k (1-based count = index) clusters suffice
+        }
+    }
+    inertias.len()
+}
+
+/// Cluster a corpus of dataflow DAG views.
+pub fn cluster_dags(graphs: &[(GraphView, GraphSignature)], cfg: &ClusterConfig) -> DagClustering {
+    assert!(!graphs.is_empty(), "cannot cluster an empty corpus");
+    let mut cache = DistCache {
+        graphs,
+        cap: cfg.ged_cap,
+        cache: HashMap::new(),
+    };
+    match cfg.k {
+        Some(k) => run_kmeans(graphs, &mut cache, k.max(1), cfg),
+        None => {
+            let k_max = cfg.k_max.min(graphs.len()).max(1);
+            let runs: Vec<DagClustering> = (1..=k_max)
+                .map(|k| run_kmeans(graphs, &mut cache, k, cfg))
+                .collect();
+            let inertias: Vec<f64> = runs.iter().map(|r| r.inertia).collect();
+            let k = choose_k_elbow(&inertias, cfg.elbow_epsilon);
+            runs.into_iter().nth(k - 1).expect("k within range")
+        }
+    }
+}
+
+/// Assign a query DAG to its nearest center (Algorithm 2, line 1). Returns
+/// `(cluster index, distance)`.
+pub fn nearest_center(query: &GraphView, centers: &[GraphView], ged_cap: usize) -> (usize, usize) {
+    assert!(!centers.is_empty());
+    centers
+        .iter()
+        .enumerate()
+        .map(|(c, g)| (c, ged_with(query, g, Bound::LabelSet, ged_cap).capped()))
+        .min_by_key(|&(c, d)| (d, c))
+        .expect("non-empty centers")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamtune_dataflow::OperatorKind::{self, *};
+
+    fn chain(labels: &[OperatorKind]) -> (GraphView, GraphSignature) {
+        let edges: Vec<(usize, usize)> = (0..labels.len().saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
+        let view = GraphView::new(labels.to_vec(), edges.clone());
+        let mut kinds = labels.to_vec();
+        kinds.sort();
+        let mut degrees: Vec<(u8, u8)> = (0..labels.len())
+            .map(|i| (u8::from(i > 0), u8::from(i + 1 < labels.len())))
+            .collect();
+        degrees.sort();
+        let mut edge_kinds: Vec<_> = edges.iter().map(|&(a, b)| (labels[a], labels[b])).collect();
+        edge_kinds.sort();
+        let sig = GraphSignature {
+            num_ops: labels.len(),
+            num_edges: edges.len(),
+            kinds,
+            degrees,
+            edge_kinds,
+        };
+        (view, sig)
+    }
+
+    /// Two obvious families: short filter chains and long join pipelines.
+    fn corpus() -> Vec<(GraphView, GraphSignature)> {
+        vec![
+            chain(&[Filter, Map, Sink]),
+            chain(&[Filter, FlatMap, Sink]),
+            chain(&[Filter, Map, Map, Sink]),
+            chain(&[WindowJoin, Aggregate, KeyBy, FlatMap, Map, Sink]),
+            chain(&[WindowJoin, Aggregate, KeyBy, Map, Map, Sink]),
+            chain(&[WindowJoin, WindowAggregate, KeyBy, FlatMap, Map, Sink]),
+        ]
+    }
+
+    #[test]
+    fn two_families_separate_at_k2() {
+        let graphs = corpus();
+        let cfg = ClusterConfig {
+            k: Some(2),
+            ..Default::default()
+        };
+        let result = cluster_dags(&graphs, &cfg);
+        assert_eq!(result.k, 2);
+        // All short chains together, all join pipelines together.
+        assert_eq!(result.assignments[0], result.assignments[1]);
+        assert_eq!(result.assignments[0], result.assignments[2]);
+        assert_eq!(result.assignments[3], result.assignments[4]);
+        assert_eq!(result.assignments[3], result.assignments[5]);
+        assert_ne!(result.assignments[0], result.assignments[3]);
+    }
+
+    #[test]
+    fn elbow_prefers_small_k_for_homogeneous_corpus() {
+        let graphs = vec![
+            chain(&[Filter, Map, Sink]),
+            chain(&[Filter, Map, Sink]),
+            chain(&[Filter, FlatMap, Sink]),
+            chain(&[Filter, Map, Sink]),
+        ];
+        let result = cluster_dags(&graphs, &ClusterConfig::default());
+        assert!(
+            result.k <= 2,
+            "homogeneous corpus needs few clusters, got {}",
+            result.k
+        );
+    }
+
+    #[test]
+    fn inertia_non_increasing_in_k() {
+        let graphs = corpus();
+        let mut prev = f64::INFINITY;
+        for k in 1..=4 {
+            let cfg = ClusterConfig {
+                k: Some(k),
+                ..Default::default()
+            };
+            let r = cluster_dags(&graphs, &cfg);
+            assert!(
+                r.inertia <= prev + 1e-9,
+                "inertia rose at k={k}: {} > {prev}",
+                r.inertia
+            );
+            prev = r.inertia;
+        }
+    }
+
+    #[test]
+    fn choose_k_elbow_basics() {
+        // Sharp elbow at 2: improvements 0.8 then 0.05.
+        assert_eq!(choose_k_elbow(&[100.0, 20.0, 19.0, 18.5], 0.15), 2);
+        // No elbow → max k.
+        assert_eq!(choose_k_elbow(&[100.0, 50.0, 25.0], 0.15), 3);
+        // Perfect at k=1 (inertia 0) → 1.
+        assert_eq!(choose_k_elbow(&[0.0, 0.0], 0.15), 1);
+    }
+
+    #[test]
+    fn nearest_center_picks_closest() {
+        let (q, _) = chain(&[Filter, Map, Sink]);
+        let centers = vec![
+            chain(&[WindowJoin, Aggregate, KeyBy, FlatMap, Map, Sink]).0,
+            chain(&[Filter, FlatMap, Sink]).0,
+        ];
+        let (c, d) = nearest_center(&q, &centers, 24);
+        assert_eq!(c, 1);
+        assert_eq!(d, 1);
+    }
+
+    #[test]
+    fn members_listing() {
+        let graphs = corpus();
+        let cfg = ClusterConfig {
+            k: Some(2),
+            ..Default::default()
+        };
+        let r = cluster_dags(&graphs, &cfg);
+        let total: usize = (0..r.k).map(|c| r.members(c).len()).sum();
+        assert_eq!(total, graphs.len());
+    }
+
+    #[test]
+    fn centers_are_members_of_their_cluster() {
+        let graphs = corpus();
+        let cfg = ClusterConfig {
+            k: Some(2),
+            ..Default::default()
+        };
+        let r = cluster_dags(&graphs, &cfg);
+        for (c, &g) in r.centers.iter().enumerate() {
+            assert_eq!(
+                r.assignments[g], c,
+                "center graph {g} must belong to its own cluster {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_capped_at_corpus_size() {
+        let graphs = vec![chain(&[Map, Sink]), chain(&[Filter, Sink])];
+        let cfg = ClusterConfig {
+            k: Some(10),
+            ..Default::default()
+        };
+        let r = cluster_dags(&graphs, &cfg);
+        assert!(r.k <= 2);
+    }
+}

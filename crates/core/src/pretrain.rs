@@ -1,0 +1,372 @@
+//! Offline pre-training (paper §IV-A, §IV-C).
+//!
+//! Pipeline: execution histories → Algorithm 1 labels → GED k-means over
+//! the distinct DAG structures → one GNN encoder per cluster, trained on
+//! operator-level bottleneck classification with parallelism-aware FUSE
+//! updates → per-cluster warm-up datasets of `(agnostic embedding,
+//! parallelism, label)` triples for the online phase.
+//!
+//! When the corpus is too small for meaningful clustering, the §VII
+//! fallback applies: one *global* encoder trained on everything.
+
+use crate::label::{bottleneck_labels, LabelConfig};
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use streamtune_cluster::{cluster_dags, nearest_center, ClusterConfig};
+use streamtune_dataflow::{Dataflow, FeatureEncoder, GraphSignature};
+use streamtune_ged::GraphView;
+use streamtune_model::TrainPoint;
+use streamtune_nn::{GnnConfig, GnnEncoder, GraphSample};
+use streamtune_workloads::history::ExecutionRecord;
+
+/// Log-normalization constant for the per-operator input-rate feature that
+/// is appended to every `M_f` embedding: `ln(1 + rate) / ln(1 + 1e8)`.
+///
+/// The paper relies on message passing to propagate source rates into the
+/// operator embeddings; a compact encoder does this imperfectly, so we
+/// additionally expose the operator's *observed input rate* (the same
+/// signal every Flink/Timely dashboard reports) as an explicit feature.
+/// Documented as an implementation deviation in DESIGN.md §4.
+pub const RATE_FEATURE_NORM: f64 = 18.420_680_743_952_367; // ln(1e8)
+
+/// Normalized input-rate feature.
+pub fn rate_feature(rate: f64) -> f64 {
+    (1.0 + rate.max(0.0)).ln() / RATE_FEATURE_NORM
+}
+
+/// Pre-training configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PretrainConfig {
+    /// GNN hyperparameters.
+    pub gnn: GnnConfig,
+    /// Clustering settings (k chosen by elbow by default).
+    pub cluster: ClusterConfig,
+    /// Training epochs over each cluster's sample set.
+    pub epochs: usize,
+    /// Algorithm 1 thresholds.
+    pub label: LabelConfig,
+    /// Minimum number of *distinct DAG structures* required to cluster at
+    /// all; below this the §VII global-encoder fallback is used.
+    pub min_structures_for_clustering: usize,
+    /// Minimum warm-up points per cluster: sparse clusters are topped up
+    /// with samples from the rest of the corpus (embedded by the cluster's
+    /// own encoder) so the online model never starts blind.
+    pub min_warmup_points: usize,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> Self {
+        PretrainConfig {
+            gnn: GnnConfig::default(),
+            cluster: ClusterConfig::default(),
+            epochs: 40,
+            label: LabelConfig::default(),
+            min_structures_for_clustering: 6,
+            min_warmup_points: 150,
+            seed: 1234,
+        }
+    }
+}
+
+impl PretrainConfig {
+    /// A reduced-cost configuration for tests and examples.
+    pub fn fast() -> Self {
+        PretrainConfig {
+            gnn: GnnConfig {
+                hidden_dim: 16,
+                message_passing_steps: 2,
+                ..Default::default()
+            },
+            cluster: ClusterConfig {
+                k_max: 4,
+                max_iters: 5,
+                ..Default::default()
+            },
+            epochs: 15,
+            ..Default::default()
+        }
+    }
+}
+
+/// One pre-trained cluster: its encoder and warm-up data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterModel {
+    /// The cluster's similarity-center DAG structure.
+    pub center: GraphView,
+    /// The pre-trained GNN encoder.
+    pub encoder: GnnEncoder,
+    /// Warm-up dataset: `(agnostic embedding, parallelism, label)` for every
+    /// labeled operator of every member record (Algorithm 2, line 3).
+    pub warmup: Vec<TrainPoint>,
+    /// Final training loss of the encoder on its cluster.
+    pub final_loss: f64,
+}
+
+/// The output of the offline phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pretrained {
+    /// One model per cluster (a single entry = the §VII global fallback).
+    pub clusters: Vec<ClusterModel>,
+    /// Whether the global fallback was used instead of clustering.
+    pub global_fallback: bool,
+    /// Feature encoder bounds shared by offline and online phases.
+    pub features: FeatureEncoder,
+    /// GED cap used for nearest-center assignment.
+    pub ged_cap: usize,
+}
+
+impl Pretrained {
+    /// Algorithm 2 line 1–2: assign a target DAG to its nearest cluster and
+    /// return that cluster's model. Returns `(cluster index, model)`.
+    pub fn assign(&self, flow: &Dataflow) -> (usize, &ClusterModel) {
+        if self.clusters.len() == 1 {
+            return (0, &self.clusters[0]);
+        }
+        let view = GraphView::of(flow);
+        let centers: Vec<GraphView> = self.clusters.iter().map(|c| c.center.clone()).collect();
+        let (idx, _) = nearest_center(&view, &centers, self.ged_cap);
+        (idx, &self.clusters[idx])
+    }
+
+    /// Total warm-up points across clusters.
+    pub fn total_warmup_points(&self) -> usize {
+        self.clusters.iter().map(|c| c.warmup.len()).sum()
+    }
+}
+
+/// The offline pre-trainer.
+#[derive(Debug, Clone)]
+pub struct Pretrainer {
+    config: PretrainConfig,
+}
+
+impl Pretrainer {
+    /// New pre-trainer with `config`.
+    pub fn new(config: PretrainConfig) -> Self {
+        Pretrainer { config }
+    }
+
+    /// Label a corpus with Algorithm 1 and lower it to GNN samples.
+    fn samples(&self, records: &[ExecutionRecord], features: &FeatureEncoder) -> Vec<GraphSample> {
+        records
+            .iter()
+            .map(|r| {
+                let labels = bottleneck_labels(&r.flow, &r.observation, &self.config.label);
+                GraphSample::from_dataflow(&r.flow, features, r.assignment.as_slice(), &labels)
+            })
+            .collect()
+    }
+
+    /// Run the full offline phase on an execution-history corpus.
+    pub fn run(&self, records: &[ExecutionRecord]) -> Pretrained {
+        assert!(!records.is_empty(), "empty execution history");
+        let features = FeatureEncoder::default();
+        let samples = self.samples(records, &features);
+
+        // Distinct DAG structures (many records share a structure).
+        let mut structures: Vec<(GraphView, GraphSignature)> = Vec::new();
+        let mut record_structure = Vec::with_capacity(records.len());
+        for r in records {
+            let view = GraphView::of(&r.flow);
+            let sig = GraphSignature::of(&r.flow);
+            let idx = structures
+                .iter()
+                .position(|(v, s)| *s == sig && *v == view)
+                .unwrap_or_else(|| {
+                    structures.push((view.clone(), sig.clone()));
+                    structures.len() - 1
+                });
+            record_structure.push(idx);
+        }
+
+        let use_clustering = structures.len() >= self.config.min_structures_for_clustering;
+        let (memberships, centers): (Vec<usize>, Vec<GraphView>) = if use_clustering {
+            let clustering = cluster_dags(&structures, &self.config.cluster);
+            let centers = clustering
+                .centers
+                .iter()
+                .map(|&g| structures[g].0.clone())
+                .collect();
+            (
+                record_structure
+                    .iter()
+                    .map(|&s| clustering.assignments[s])
+                    .collect(),
+                centers,
+            )
+        } else {
+            // §VII fallback: one global cluster centered on the first DAG.
+            (vec![0; records.len()], vec![structures[0].0.clone()])
+        };
+
+        let k = centers.len();
+        let mut clusters = Vec::with_capacity(k);
+        for (c, center) in centers.into_iter().enumerate() {
+            let member_samples: Vec<GraphSample> = samples
+                .iter()
+                .zip(&memberships)
+                .filter(|&(_, &m)| m == c)
+                .map(|(s, _)| s.clone())
+                .collect();
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(self.config.seed.wrapping_add(c as u64));
+            let mut encoder = GnnEncoder::new(self.config.gnn.clone(), &mut rng);
+            let mut final_loss = 0.0;
+            if !member_samples.is_empty() {
+                for _ in 0..self.config.epochs {
+                    final_loss = encoder.train_step(&member_samples);
+                }
+            }
+            // Warm-up dataset: agnostic embeddings + input-rate feature +
+            // recorded (p, label). Sparse clusters are topped up with
+            // non-member samples embedded by this cluster's encoder.
+            let mut warmup = Vec::new();
+            let harvest = |s: &GraphSample, rates: &[f64], warmup: &mut Vec<TrainPoint>| {
+                let emb = encoder.embed_agnostic(s);
+                for (i, &l) in s.labels.iter().enumerate() {
+                    if l < 0.0 {
+                        continue;
+                    }
+                    let mut e = emb.row(i).to_vec();
+                    e.push(rate_feature(rates[i]));
+                    warmup.push(TrainPoint {
+                        embedding: e,
+                        parallelism: s.parallelism[i],
+                        bottleneck: l == 1.0,
+                    });
+                }
+            };
+            // Truthful rate per labeled operator: a 0-label taken during a
+            // backpressured run only certifies the operator at the
+            // *throttled* rate it actually received; a 1-label (and any
+            // label from a backpressure-free run) refers to the full
+            // demand rate.
+            let record_rates = |r: &ExecutionRecord| -> Vec<f64> {
+                r.observation
+                    .per_op
+                    .iter()
+                    .map(|o| {
+                        if r.observation.job_backpressure && !o.saturated {
+                            o.processed_rate
+                        } else {
+                            o.input_rate
+                        }
+                    })
+                    .collect()
+            };
+            for ((s, &m), r) in samples.iter().zip(&memberships).zip(records) {
+                if m == c {
+                    harvest(s, &record_rates(r), &mut warmup);
+                }
+            }
+            if warmup.len() < self.config.min_warmup_points {
+                for ((s, &m), r) in samples.iter().zip(&memberships).zip(records) {
+                    if m != c {
+                        harvest(s, &record_rates(r), &mut warmup);
+                    }
+                    if warmup.len() >= self.config.min_warmup_points {
+                        break;
+                    }
+                }
+            }
+            clusters.push(ClusterModel {
+                center,
+                encoder,
+                warmup,
+                final_loss,
+            });
+        }
+
+        Pretrained {
+            clusters,
+            global_fallback: !use_clustering,
+            features,
+            ged_cap: self.config.cluster.ged_cap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamtune_sim::SimCluster;
+    use streamtune_workloads::history::HistoryGenerator;
+
+    fn small_corpus(seed: u64, jobs: usize) -> Vec<ExecutionRecord> {
+        let cluster = SimCluster::flink_defaults(seed);
+        HistoryGenerator::new(seed)
+            .with_jobs(jobs)
+            .with_runs_per_job(2)
+            .generate(&cluster)
+    }
+
+    #[test]
+    fn pretraining_produces_clusters_and_warmup() {
+        let corpus = small_corpus(3, 18);
+        let pre = Pretrainer::new(PretrainConfig::fast()).run(&corpus);
+        assert!(!pre.clusters.is_empty());
+        assert!(
+            pre.total_warmup_points() > 0,
+            "histories must yield labeled warm-up points"
+        );
+        for c in &pre.clusters {
+            assert!(c.final_loss.is_finite());
+        }
+    }
+
+    #[test]
+    fn global_fallback_on_tiny_corpus() {
+        let cluster = SimCluster::flink_defaults(5);
+        let corpus = HistoryGenerator::new(5)
+            .with_jobs(3)
+            .with_runs_per_job(4)
+            .generate(&cluster);
+        let mut cfg = PretrainConfig::fast();
+        cfg.min_structures_for_clustering = 10;
+        let pre = Pretrainer::new(cfg).run(&corpus);
+        assert!(pre.global_fallback);
+        assert_eq!(pre.clusters.len(), 1);
+    }
+
+    #[test]
+    fn assign_returns_valid_cluster() {
+        let corpus = small_corpus(7, 16);
+        let pre = Pretrainer::new(PretrainConfig::fast()).run(&corpus);
+        let target = streamtune_workloads::nexmark::q5(streamtune_workloads::rates::Engine::Flink);
+        let (idx, model) = pre.assign(&target.flow);
+        assert!(idx < pre.clusters.len());
+        assert_eq!(model.encoder.hidden_dim(), 16);
+    }
+
+    #[test]
+    fn warmup_embedding_dims_match_encoder() {
+        let corpus = small_corpus(9, 12);
+        let pre = Pretrainer::new(PretrainConfig::fast()).run(&corpus);
+        for c in &pre.clusters {
+            for pt in &c.warmup {
+                // hidden embedding + the appended input-rate feature
+                assert_eq!(pt.embedding.len(), c.encoder.hidden_dim() + 1);
+                assert!(pt.parallelism >= 1);
+                let rate_feat = pt.embedding.last().unwrap();
+                assert!((0.0..=1.2).contains(rate_feat));
+            }
+        }
+    }
+
+    #[test]
+    fn training_beats_chance_on_own_clusters() {
+        // An untrained encoder sits near the chance BCE of ln 2 ≈ 0.693 on
+        // its own members; after pre-training each cluster's final epoch
+        // loss must be clearly below that on average.
+        let corpus = small_corpus(11, 14);
+        let trained = Pretrainer::new(PretrainConfig::fast()).run(&corpus);
+        let mean_final: f64 = trained.clusters.iter().map(|c| c.final_loss).sum::<f64>()
+            / trained.clusters.len() as f64;
+        assert!(
+            mean_final < 0.60,
+            "mean per-cluster training loss {mean_final} should beat chance (0.693)"
+        );
+    }
+}

@@ -1,0 +1,540 @@
+//! Algorithm 2 — online parallelism tuning.
+//!
+//! Given a pre-trained [`Pretrained`] bundle and a tuning session, the
+//! tuner (1) assigns the target DAG to its nearest cluster, (2) seeds a
+//! fine-tuning dataset from the cluster's warm-up points, then (3)
+//! iterates: fit the monotonic model `M_f`, recommend for every operator
+//! (in topological order) the smallest parallelism predicted
+//! non-bottleneck, redeploy, collect Algorithm 1 feedback into the
+//! dataset, and stop when the recommendation stabilizes without
+//! backpressure.
+
+use crate::label::bottleneck_labels;
+use crate::pretrain::Pretrained;
+use serde::{Deserialize, Serialize};
+use streamtune_model::{
+    recommend_min_parallelism_at, BottleneckClassifier, GbdtConfig, MonotonicGbdt, MonotonicSvm,
+    NnClassifier, NnConfig, SvmConfig, TrainPoint,
+};
+use streamtune_nn::GraphSample;
+use streamtune_sim::{TuneOutcome, Tuner, TuningSession};
+
+/// Which fine-tuning model family to use (paper §IV-B, Fig. 11a ablation).
+///
+/// The paper's headline experiments use the SVM head; its ablation finds
+/// SVM ≈ XGBoost. Our from-scratch SVM approximation calibrates worse than
+/// our monotone GBDT on this substrate, so this reproduction defaults to
+/// `Xgboost` (recorded in EXPERIMENTS.md); `Svm` remains available and is
+/// exercised by the Fig. 11a ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Monotonic SVM (the paper's default in §V-C).
+    Svm,
+    /// Monotonic gradient-boosted trees (the paper's XGBoost).
+    Xgboost,
+    /// Unconstrained neural network (ablation baseline).
+    Nn,
+}
+
+impl ModelKind {
+    /// Instantiate the classifier.
+    pub fn build(self) -> Box<dyn BottleneckClassifier> {
+        match self {
+            ModelKind::Svm => Box::new(MonotonicSvm::new(SvmConfig::default())),
+            ModelKind::Xgboost => Box::new(MonotonicGbdt::new(GbdtConfig::default())),
+            ModelKind::Nn => Box::new(NnClassifier::new(NnConfig::default())),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Svm => "SVM",
+            ModelKind::Xgboost => "XGBoost",
+            ModelKind::Nn => "NN",
+        }
+    }
+}
+
+/// Online tuning configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneConfig {
+    /// Fine-tuning model family.
+    pub model: ModelKind,
+    /// Iteration cap (safety net; the loop normally stops on stability).
+    pub max_iterations: u32,
+    /// Algorithm 1 labeling thresholds for the feedback loop.
+    pub label: crate::label::LabelConfig,
+    /// Cap on warm-up points taken from the cluster (keeps refits cheap).
+    pub max_warmup_points: usize,
+    /// Replication factor for online feedback points: the target job's own
+    /// observations must outweigh the coarse warm-up prior, so each ΔT
+    /// point enters the dataset this many times.
+    pub feedback_weight: usize,
+    /// Decision threshold of the min-parallelism search: accept `p` once
+    /// `P(bottleneck) < safety_threshold`. Below 0.5 = conservative margin
+    /// against under-provisioning (paper Table III: zero occurrences).
+    pub safety_threshold: f64,
+    /// Cap on remembered per-job feedback points across tune calls.
+    pub max_job_memory: usize,
+    /// Enable the sound bound/probe/pad guard rails around the model's
+    /// recommendation. Disabled by the Fig. 11a ablation to isolate the
+    /// prediction layer itself.
+    pub guards: bool,
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        TuneConfig {
+            model: ModelKind::Xgboost,
+            max_iterations: 15,
+            label: crate::label::LabelConfig::default(),
+            max_warmup_points: 600,
+            feedback_weight: 10,
+            safety_threshold: 0.35,
+            max_job_memory: 1500,
+            guards: true,
+        }
+    }
+}
+
+/// The StreamTune online tuner.
+///
+/// Keep one instance alive per long-running job: the fine-tuned prediction
+/// layer's feedback dataset persists across `tune` calls (keyed by job
+/// name), so repeated source-rate changes are answered from accumulated
+/// knowledge with few reconfigurations (paper §III: "runtime feedback is
+/// collected to refine the prediction layer").
+pub struct StreamTune<'a> {
+    pretrained: &'a Pretrained,
+    config: TuneConfig,
+    /// Cluster the last tuned job was assigned to.
+    pub last_cluster: Option<usize>,
+    jobs: std::collections::HashMap<String, JobState>,
+}
+
+/// Persistent per-job knowledge across tuning processes.
+#[derive(Debug, Clone, Default)]
+struct JobState {
+    /// Remembered `M_f` feedback points.
+    memory: Vec<TrainPoint>,
+    /// Per-operator certified threshold intervals, indexed by the
+    /// operator's demand rate: `(rate, lower, upper)`. Thresholds are
+    /// monotone in the demand rate, so bounds transfer across rates:
+    /// a lower bound observed at a smaller rate and an upper bound observed
+    /// at a larger rate both remain sound.
+    bounds: Vec<Vec<(f64, u32, u32)>>,
+}
+
+impl JobState {
+    /// Sound initial `(lower, upper, certified)` for operator `i` at
+    /// demand `rate`, given all recorded intervals.
+    fn initial_bounds(&self, i: usize, rate: f64, p_max: u32) -> (u32, u32, bool) {
+        let mut lb = 1u32;
+        let mut ub = p_max;
+        let mut certified = false;
+        if let Some(entries) = self.bounds.get(i) {
+            for &(r, l, u) in entries {
+                if r <= rate * (1.0 + 1e-9) {
+                    lb = lb.max(l);
+                }
+                if r >= rate * (1.0 - 1e-9) {
+                    ub = ub.min(u);
+                    if u < p_max {
+                        certified = true;
+                    }
+                }
+            }
+        }
+        (lb, ub.max(lb), certified)
+    }
+
+    /// Record the interval learned for operator `i` at `rate`.
+    fn record(&mut self, i: usize, rate: f64, lb: u32, ub: u32) {
+        if self.bounds.len() <= i {
+            self.bounds.resize(i + 1, Vec::new());
+        }
+        let entries = &mut self.bounds[i];
+        for e in entries.iter_mut() {
+            if (e.0 - rate).abs() <= rate.abs() * 1e-9 {
+                e.1 = e.1.max(lb);
+                e.2 = e.2.min(ub).max(e.1);
+                return;
+            }
+        }
+        entries.push((rate, lb, ub));
+    }
+}
+
+impl<'a> StreamTune<'a> {
+    /// New tuner over a pre-trained bundle.
+    pub fn new(pretrained: &'a Pretrained, config: TuneConfig) -> Self {
+        StreamTune {
+            pretrained,
+            config,
+            last_cluster: None,
+            jobs: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Accumulated feedback points for a job (for tests/inspection).
+    pub fn job_memory_len(&self, job: &str) -> usize {
+        self.jobs.get(job).map_or(0, |j| j.memory.len())
+    }
+
+    /// Parallelism-agnostic per-operator embeddings of the session's flow
+    /// at its *current* source rates, with the input-rate feature appended
+    /// (see [`crate::pretrain::rate_feature`]). The per-operator demand is
+    /// derived from the logical query's source rates and selectivities —
+    /// the same number the engine's dashboard reports as the input rate.
+    fn embeddings_inner(
+        &self,
+        flow: &streamtune_dataflow::Dataflow,
+        cluster: usize,
+    ) -> Vec<Vec<f64>> {
+        let dummy_p = vec![1u32; flow.num_ops()];
+        let labels = vec![-1.0; flow.num_ops()];
+        let sample = GraphSample::from_dataflow(flow, &self.pretrained.features, &dummy_p, &labels);
+        let emb = self.pretrained.clusters[cluster]
+            .encoder
+            .embed_agnostic(&sample);
+        let demand = streamtune_sim::rates::demand_rates(flow);
+        (0..flow.num_ops())
+            .map(|i| {
+                let mut e = emb.row(i).to_vec();
+                e.push(crate::pretrain::rate_feature(demand.input[i]));
+                e
+            })
+            .collect()
+    }
+}
+
+impl Tuner for StreamTune<'_> {
+    fn name(&self) -> &str {
+        "StreamTune"
+    }
+
+    fn tune(&mut self, session: &mut TuningSession<'_>) -> TuneOutcome {
+        let flow = session.flow().clone();
+        let flow = &flow;
+        let p_max = session.max_parallelism();
+        // Lines 1–2: nearest cluster + its encoder.
+        let (cluster_idx, model) = self.pretrained.assign(flow);
+        self.last_cluster = Some(cluster_idx);
+        // Line 3: warm-up dataset, plus the job's remembered feedback from
+        // earlier tuning processes (the persistent fine-tuned layer).
+        let mut dataset: Vec<TrainPoint> = model
+            .warmup
+            .iter()
+            .take(self.config.max_warmup_points)
+            .cloned()
+            .collect();
+        let embeddings = self.embeddings_inner(session.flow(), cluster_idx);
+        let demand = streamtune_sim::rates::demand_rates(flow);
+        let job_state = self.jobs.entry(flow.name().to_string()).or_default();
+        dataset.extend(job_state.memory.iter().cloned());
+        let mut session_feedback: Vec<TrainPoint> = Vec::new();
+
+        let mut mf = self.config.model.build();
+        let mut current: Option<streamtune_dataflow::ParallelismAssignment> = None;
+        let mut last_backpressure = true;
+        let mut iterations = 0u32;
+        let mut converged = false;
+        let mut best_good: Option<streamtune_dataflow::ParallelismAssignment> = None;
+        // Sound per-operator bounds on the bottleneck threshold, implied by
+        // the monotonic system behaviour the model is constrained to: a
+        // bottleneck observed at p ⇒ the threshold exceeds p (lower bound);
+        // a non-bottleneck label in a backpressure-free deployment at p ⇒
+        // p suffices (upper bound). The model interpolates *within* these
+        // bounds, which guarantees progress even when the pre-trained prior
+        // is off for an out-of-distribution job.
+        // Bounds are seeded from the job's recorded intervals at other
+        // rates (sound by rate-monotonicity of the thresholds).
+        let n_ops = flow.num_ops();
+        let mut lower = vec![1u32; n_ops];
+        let mut upper = vec![p_max; n_ops];
+        let mut certified = vec![false; n_ops];
+        for i in 0..n_ops {
+            let (lb, ub, cert) = job_state.initial_bounds(i, demand.input[i], p_max);
+            lower[i] = lb;
+            upper[i] = ub;
+            certified[i] = cert;
+        }
+        // Geometric probe floor applied after a fresh bottleneck label when
+        // the model still under-predicts (the fine-tuning analogue of
+        // ContTune's Big step); cleared once the operator stops hurting.
+        let mut probe = vec![0u32; n_ops];
+
+        while iterations < self.config.max_iterations {
+            iterations += 1;
+            // Line 5: fit the monotonic model.
+            let mut degrees = Vec::with_capacity(n_ops);
+            if dataset.is_empty() {
+                // No knowledge at all: be conservative, start at 1.
+                degrees = vec![1; n_ops];
+            } else {
+                mf.fit(&dataset);
+                // Lines 6–9: recommend per operator in topological order.
+                let mut by_op = vec![1u32; n_ops];
+                for &op in flow.topo_order() {
+                    let i = op.index();
+                    let h = &embeddings[i];
+                    let mut rec = recommend_min_parallelism_at(
+                        mf.as_ref(),
+                        h,
+                        p_max,
+                        self.config.safety_threshold,
+                    )
+                    .unwrap_or(p_max);
+                    // First visit to this operating point: add a safety pad
+                    // so exploration starts from the safe side (the paper's
+                    // StreamTune records zero backpressure occurrences).
+                    if self.config.guards {
+                        if !certified[i] {
+                            rec = rec.saturating_add(2 + rec / 5).min(p_max);
+                        }
+                        let hi = upper[i].max(lower[i]);
+                        by_op[i] = rec.max(probe[i]).clamp(lower[i], hi);
+                    } else {
+                        by_op[i] = rec;
+                    }
+                }
+                degrees.extend_from_slice(&by_op);
+            }
+            let assignment = streamtune_dataflow::ParallelismAssignment::from_vec(degrees);
+
+            // The paper's do-while stops when the recommendation no longer
+            // differs from the current deployment.
+            if current.as_ref() == Some(&assignment) {
+                if !last_backpressure {
+                    converged = true;
+                }
+                // Identical recommendation under persistent backpressure is
+                // a stuck state (conflicting labels); stop rather than
+                // burning monitoring intervals — the fallback below and the
+                // next rate change recover.
+                if !last_backpressure || iterations >= 3 {
+                    break;
+                }
+            }
+
+            if std::env::var_os("STREAMTUNE_DEBUG").is_some() {
+                eprintln!(
+                    "  iter {iterations}: deploy {:?} lb {:?} ub {:?} cert {:?}",
+                    assignment.as_slice(),
+                    lower,
+                    upper,
+                    certified
+                );
+            }
+            // Line 10: redeploy and monitor.
+            let obs = session.deploy(&assignment);
+            if std::env::var_os("STREAMTUNE_DEBUG").is_some() {
+                eprintln!("    -> bp={}", obs.job_backpressure);
+            }
+            last_backpressure = obs.job_backpressure;
+            // Line 11: ΔT feedback.
+            let labels = bottleneck_labels(flow, &obs, &self.config.label);
+            if std::env::var_os("STREAMTUNE_DEBUG").is_some() {
+                let cpu: Vec<f64> = obs
+                    .per_op
+                    .iter()
+                    .map(|o| (o.cpu_load * 100.0).round() / 100.0)
+                    .collect();
+                let bp: Vec<bool> = obs.per_op.iter().map(|o| o.flink_backpressured).collect();
+                let sat: Vec<bool> = obs.per_op.iter().map(|o| o.saturated).collect();
+                eprintln!("    labels {labels:?} cpu {cpu:?} opbp {bp:?} sat {sat:?}");
+            }
+            probe = vec![0u32; n_ops];
+            for (i, &l) in labels.iter().enumerate() {
+                if l < 0.0 {
+                    continue;
+                }
+                let deployed = assignment.degree(streamtune_dataflow::OpId::new(i));
+                if l == 1.0 {
+                    lower[i] = lower[i].max(deployed.saturating_add(1)).min(p_max);
+                    // Jump toward the known-safe side: midpoint of the
+                    // certified interval if one exists, else double.
+                    // Conflicting noisy labels can momentarily leave
+                    // lower > upper; resolve toward the safe (higher) side.
+                    let hi = upper[i].max(lower[i]);
+                    probe[i] = if upper[i] < p_max {
+                        deployed.saturating_add(hi).div_ceil(2).clamp(lower[i], hi)
+                    } else {
+                        (deployed.saturating_mul(2)).min(p_max)
+                    };
+                } else if !obs.job_backpressure {
+                    // Only backpressure-free observations certify an upper
+                    // bound: under backpressure the operator saw throttled
+                    // rates, so its 0-label says nothing about full load.
+                    upper[i] = upper[i].min(deployed).max(lower[i]);
+                }
+                // Truthful feedback: a 0-label during backpressure only
+                // certifies the throttled rate the operator actually saw,
+                // so pair it with that rate's embedding, not full demand.
+                let point = if l == 0.0 && obs.job_backpressure {
+                    let mut e = embeddings[i].clone();
+                    let throttled = obs.per_op[i].processed_rate;
+                    *e.last_mut().expect("rate feature present") =
+                        crate::pretrain::rate_feature(throttled);
+                    TrainPoint {
+                        embedding: e,
+                        parallelism: deployed,
+                        bottleneck: false,
+                    }
+                } else {
+                    TrainPoint {
+                        embedding: embeddings[i].clone(),
+                        parallelism: deployed,
+                        bottleneck: l == 1.0,
+                    }
+                };
+                session_feedback.push(point.clone());
+                for _ in 0..self.config.feedback_weight.max(1) {
+                    dataset.push(point.clone());
+                }
+            }
+            if !obs.job_backpressure {
+                best_good = Some(assignment.clone());
+                // Paper: the iterative process ends once no job-level
+                // backpressure is observed for the streaming job.
+                current = Some(assignment);
+                converged = true;
+                break;
+            }
+            current = Some(assignment);
+        }
+
+        // Safety net: never leave the job backpressured. If the loop ended
+        // on a backpressured deployment, fall back to the last certified
+        // backpressure-free assignment (re-deploying it).
+        let mut final_assignment = current
+            .or_else(|| session.current_assignment().cloned())
+            .unwrap_or_else(|| streamtune_dataflow::ParallelismAssignment::uniform(flow, 1));
+        if last_backpressure {
+            if let Some(good) = best_good {
+                session.deploy(&good);
+                final_assignment = good;
+            }
+        }
+        // Persist this session's feedback and certified intervals for the
+        // job's next rate change.
+        let job_state = self.jobs.entry(flow.name().to_string()).or_default();
+        job_state.memory.extend(session_feedback);
+        let cap = self.config.max_job_memory;
+        if job_state.memory.len() > cap {
+            let excess = job_state.memory.len() - cap;
+            job_state.memory.drain(..excess);
+        }
+        for i in 0..n_ops {
+            // Upper bounds are only certified by a backpressure-free final
+            // deployment; record what this session actually established.
+            let ub = if last_backpressure { p_max } else { upper[i] };
+            job_state.record(i, demand.input[i], lower[i], ub);
+        }
+        session.outcome(final_assignment, iterations, converged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretrain::{PretrainConfig, Pretrainer};
+    use streamtune_sim::SimCluster;
+    use streamtune_workloads::history::HistoryGenerator;
+    use streamtune_workloads::{nexmark, rates::Engine};
+
+    fn pretrained_on(cluster: &SimCluster, seed: u64, jobs: usize) -> Pretrained {
+        let corpus = HistoryGenerator::new(seed)
+            .with_jobs(jobs)
+            .with_runs_per_job(3)
+            .generate(cluster);
+        Pretrainer::new(PretrainConfig::fast()).run(&corpus)
+    }
+
+    #[test]
+    fn tunes_q1_to_backpressure_free() {
+        let cluster = SimCluster::flink_defaults(21);
+        let pre = pretrained_on(&cluster, 21, 14);
+        let mut w = nexmark::q1(Engine::Flink);
+        w.set_multiplier(10.0);
+        let mut session = TuningSession::new(&cluster, &w.flow);
+        let mut tuner = StreamTune::new(&pre, TuneConfig::default());
+        let outcome = tuner.tune(&mut session);
+        // The final deployment must sustain the sources.
+        let rep = cluster.simulate(&w.flow, &outcome.final_assignment);
+        assert!(
+            rep.backpressure_free(),
+            "final assignment still backpressured: {:?}",
+            outcome.final_assignment
+        );
+        assert!(outcome.iterations >= 1);
+        assert!(tuner.last_cluster.is_some());
+    }
+
+    #[test]
+    fn final_parallelism_not_wildly_overprovisioned() {
+        let cluster = SimCluster::flink_defaults(23);
+        let pre = pretrained_on(&cluster, 23, 14);
+        let mut w = nexmark::q2(Engine::Flink);
+        w.set_multiplier(10.0);
+        let oracle = cluster.oracle_assignment(&w.flow).expect("sustainable");
+        let mut session = TuningSession::new(&cluster, &w.flow);
+        let mut tuner = StreamTune::new(&pre, TuneConfig::default());
+        let outcome = tuner.tune(&mut session);
+        let rep = cluster.simulate(&w.flow, &outcome.final_assignment);
+        assert!(rep.backpressure_free());
+        assert!(
+            outcome.final_assignment.total() <= oracle.total() * 4,
+            "StreamTune {} vs oracle {}",
+            outcome.final_assignment.total(),
+            oracle.total()
+        );
+    }
+
+    #[test]
+    fn gbdt_variant_also_converges() {
+        let cluster = SimCluster::flink_defaults(29);
+        let pre = pretrained_on(&cluster, 29, 12);
+        let mut w = nexmark::q1(Engine::Flink);
+        w.set_multiplier(5.0);
+        let mut session = TuningSession::new(&cluster, &w.flow);
+        let mut tuner = StreamTune::new(
+            &pre,
+            TuneConfig {
+                model: ModelKind::Xgboost,
+                ..Default::default()
+            },
+        );
+        let outcome = tuner.tune(&mut session);
+        let rep = cluster.simulate(&w.flow, &outcome.final_assignment);
+        assert!(rep.backpressure_free());
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let cluster = SimCluster::flink_defaults(31);
+        let pre = pretrained_on(&cluster, 31, 10);
+        let mut w = nexmark::q5(Engine::Flink);
+        w.set_multiplier(10.0);
+        let mut session = TuningSession::new(&cluster, &w.flow);
+        let mut tuner = StreamTune::new(
+            &pre,
+            TuneConfig {
+                max_iterations: 2,
+                ..Default::default()
+            },
+        );
+        let outcome = tuner.tune(&mut session);
+        assert!(outcome.iterations <= 2);
+        // +1 allows the best-known-good fallback redeploy at loop exit.
+        assert!(outcome.reconfigurations <= 3);
+    }
+
+    #[test]
+    fn model_kind_names() {
+        assert_eq!(ModelKind::Svm.name(), "SVM");
+        assert_eq!(ModelKind::Xgboost.name(), "XGBoost");
+        assert_eq!(ModelKind::Nn.name(), "NN");
+    }
+}

@@ -1,0 +1,146 @@
+//! Fluent construction of [`Dataflow`] graphs.
+
+use crate::graph::{Dataflow, DataflowError, Edge, OpId, SourceId};
+use crate::op::{DataSource, Operator};
+
+/// Incrementally assembles a [`Dataflow`]; `build` validates (acyclicity,
+/// reachability, no duplicate edges) and freezes the graph.
+///
+/// ```
+/// use streamtune_dataflow::{DataflowBuilder, Operator};
+///
+/// let mut b = DataflowBuilder::new("example");
+/// let src = b.add_source("bids", 1000.0);
+/// let filter = b.add_op("filter", Operator::filter(0.5, 32, 32));
+/// let sink = b.add_op("sink", Operator::sink(32));
+/// b.connect_source(src, filter);
+/// b.connect(filter, sink);
+/// let flow = b.build().unwrap();
+/// assert_eq!(flow.num_ops(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DataflowBuilder {
+    name: String,
+    ops: Vec<Operator>,
+    op_names: Vec<String>,
+    sources: Vec<DataSource>,
+    edges: Vec<Edge>,
+    source_edges: Vec<(SourceId, OpId)>,
+}
+
+impl DataflowBuilder {
+    /// Start a new builder for a job called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        DataflowBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Add an external source producing `rate` records/second.
+    pub fn add_source(&mut self, name: impl Into<String>, rate: f64) -> SourceId {
+        let id = SourceId::new(self.sources.len());
+        self.sources.push(DataSource::new(name, rate));
+        id
+    }
+
+    /// Add an operator; returns its id.
+    pub fn add_op(&mut self, name: impl Into<String>, op: Operator) -> OpId {
+        let id = OpId::new(self.ops.len());
+        self.ops.push(op);
+        self.op_names.push(name.into());
+        id
+    }
+
+    /// Connect two operators with a directed edge `from → to`.
+    pub fn connect(&mut self, from: OpId, to: OpId) -> &mut Self {
+        self.edges.push(Edge { from, to });
+        self
+    }
+
+    /// Connect a source to a first-level downstream operator.
+    pub fn connect_source(&mut self, source: SourceId, to: OpId) -> &mut Self {
+        self.source_edges.push((source, to));
+        self
+    }
+
+    /// Number of operators added so far.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Validate and freeze into a [`Dataflow`].
+    pub fn build(self) -> Result<Dataflow, DataflowError> {
+        Dataflow::validated(
+            self.name,
+            self.ops,
+            self.op_names,
+            self.sources,
+            self.edges,
+            self.source_edges,
+        )
+    }
+}
+
+/// Build a simple linear chain `source → op_1 → … → op_n`, a shape shared by
+/// many PQP "Linear" queries and useful in tests.
+pub fn linear_chain(
+    name: &str,
+    source_rate: f64,
+    ops: Vec<(String, Operator)>,
+) -> Result<Dataflow, DataflowError> {
+    let mut b = DataflowBuilder::new(name);
+    let s = b.add_source(format!("{name}-src"), source_rate);
+    let mut prev: Option<OpId> = None;
+    for (op_name, op) in ops {
+        let id = b.add_op(op_name, op);
+        match prev {
+            None => {
+                b.connect_source(s, id);
+            }
+            Some(p) => {
+                b.connect(p, id);
+            }
+        }
+        prev = Some(id);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OperatorKind;
+
+    #[test]
+    fn linear_chain_shape() {
+        let g = linear_chain(
+            "chain",
+            500.0,
+            vec![
+                ("f".into(), Operator::filter(0.5, 8, 8)),
+                ("m".into(), Operator::map(8, 8)),
+                ("s".into(), Operator::sink(8)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.num_ops(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.sinks().len(), 1);
+        assert_eq!(g.op(g.topo_order()[0]).kind(), OperatorKind::Filter);
+    }
+
+    #[test]
+    fn empty_build_fails() {
+        let b = DataflowBuilder::new("empty");
+        assert_eq!(b.build().unwrap_err(), DataflowError::Empty);
+    }
+
+    #[test]
+    fn builder_num_ops_tracks() {
+        let mut b = DataflowBuilder::new("x");
+        assert_eq!(b.num_ops(), 0);
+        b.add_op("a", Operator::map(8, 8));
+        assert_eq!(b.num_ops(), 1);
+    }
+}

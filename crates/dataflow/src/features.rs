@@ -1,0 +1,198 @@
+//! Initial node feature vectors `h_v^(0)` for the GNN encoder.
+//!
+//! Paper §IV-A, "Initial Feature Vector Construction": categorical features
+//! of Table I are one-hot encoded; numeric features are min-max scaled to
+//! `[0, 1]`; the single dynamic feature included is the (direct) source
+//! rate. Operator parallelism is *excluded* here — it enters later through
+//! the FUSE update (Eq. 3).
+
+use crate::graph::{Dataflow, OpId};
+use crate::op::{OperatorKind, StaticFeatures};
+use serde::{Deserialize, Serialize};
+
+/// One-hot slot counts per categorical feature.
+const KIND_SLOTS: usize = OperatorKind::ALL.len(); // 9
+const WINDOW_TYPE_SLOTS: usize = 3;
+const WINDOW_POLICY_SLOTS: usize = 3;
+const JOIN_KEY_SLOTS: usize = 4;
+const AGG_CLASS_SLOTS: usize = 4;
+const AGG_KEY_SLOTS: usize = 4;
+const AGG_FUNC_SLOTS: usize = 6;
+const TUPLE_TYPE_SLOTS: usize = 4;
+/// Numeric features: window length, sliding length, tuple width in,
+/// tuple width out, source rate.
+const NUMERIC_SLOTS: usize = 5;
+
+/// Total dimensionality of the encoded operator feature vector.
+pub const FEATURE_DIM: usize = KIND_SLOTS
+    + WINDOW_TYPE_SLOTS
+    + WINDOW_POLICY_SLOTS
+    + JOIN_KEY_SLOTS
+    + AGG_CLASS_SLOTS
+    + AGG_KEY_SLOTS
+    + AGG_FUNC_SLOTS
+    + TUPLE_TYPE_SLOTS
+    + NUMERIC_SLOTS;
+
+/// Min-max normalization bounds for the numeric features (paper uses
+/// min-max uniform scaling to `[0,1]`, citing LlamaTune's normalization).
+///
+/// Bounds are corpus-level constants so that encodings are comparable across
+/// jobs and clusters; values outside the bounds are clamped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureEncoder {
+    /// Upper bound for window length (seconds or records).
+    pub max_window_length: f64,
+    /// Upper bound for sliding length.
+    pub max_sliding_length: f64,
+    /// Upper bound for tuple widths (bytes).
+    pub max_tuple_width: f64,
+    /// Upper bound for source rate (records/second).
+    pub max_source_rate: f64,
+}
+
+impl Default for FeatureEncoder {
+    fn default() -> Self {
+        FeatureEncoder {
+            max_window_length: 600.0,
+            max_sliding_length: 600.0,
+            max_tuple_width: 512.0,
+            max_source_rate: 10_000_000.0,
+        }
+    }
+}
+
+impl FeatureEncoder {
+    /// Clamp-and-scale a numeric value to `[0,1]`.
+    fn scale(value: f64, max: f64) -> f64 {
+        if max <= 0.0 {
+            return 0.0;
+        }
+        (value / max).clamp(0.0, 1.0)
+    }
+
+    /// Encode one operator's static features plus its direct source rate.
+    pub fn encode(&self, f: &StaticFeatures, source_rate: f64) -> Vec<f64> {
+        let mut v = vec![0.0; FEATURE_DIM];
+        let mut base = 0;
+        v[base + f.kind.index()] = 1.0;
+        base += KIND_SLOTS;
+        v[base + f.window_type.index()] = 1.0;
+        base += WINDOW_TYPE_SLOTS;
+        v[base + f.window_policy.index()] = 1.0;
+        base += WINDOW_POLICY_SLOTS;
+        v[base + f.join_key_class.index()] = 1.0;
+        base += JOIN_KEY_SLOTS;
+        v[base + f.aggregate_class.index()] = 1.0;
+        base += AGG_CLASS_SLOTS;
+        v[base + f.aggregate_key_class.index()] = 1.0;
+        base += AGG_KEY_SLOTS;
+        v[base + f.aggregate_function.index()] = 1.0;
+        base += AGG_FUNC_SLOTS;
+        v[base + f.tuple_data_type.index()] = 1.0;
+        base += TUPLE_TYPE_SLOTS;
+        v[base] = Self::scale(f.window_length, self.max_window_length);
+        v[base + 1] = Self::scale(f.sliding_length, self.max_sliding_length);
+        v[base + 2] = Self::scale(f.tuple_width_in, self.max_tuple_width);
+        v[base + 3] = Self::scale(f.tuple_width_out, self.max_tuple_width);
+        v[base + 4] = Self::scale(source_rate, self.max_source_rate);
+        v
+    }
+
+    /// Encode every operator of `flow`, indexed by `OpId` position.
+    pub fn encode_dataflow(&self, flow: &Dataflow) -> Vec<Vec<f64>> {
+        flow.op_ids()
+            .map(|id| self.encode(&flow.op(id).features, flow.direct_source_rate(id)))
+            .collect()
+    }
+}
+
+/// Encode a single operator of `flow` with the default encoder bounds.
+pub fn encode_operator(flow: &Dataflow, id: OpId) -> Vec<f64> {
+    FeatureEncoder::default().encode(&flow.op(id).features, flow.direct_source_rate(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DataflowBuilder;
+    use crate::op::{
+        AggregateClass, AggregateFunction, JoinKeyClass, Operator, WindowPolicy, WindowType,
+    };
+
+    #[test]
+    fn dimension_is_consistent() {
+        let f = StaticFeatures::stateless(OperatorKind::Map, 1.0, 8, 8);
+        let v = FeatureEncoder::default().encode(&f, 0.0);
+        assert_eq!(v.len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn one_hot_sums() {
+        // Exactly 8 one-hot groups → exactly 8 ones among categorical slots.
+        let op = Operator::window_aggregate(
+            AggregateFunction::Avg,
+            AggregateClass::Float,
+            JoinKeyClass::Int,
+            WindowType::Sliding,
+            WindowPolicy::Time,
+            60.0,
+            10.0,
+            0.01,
+        );
+        let v = FeatureEncoder::default().encode(&op.features, 0.0);
+        let categorical = &v[..FEATURE_DIM - NUMERIC_SLOTS];
+        let ones = categorical.iter().filter(|&&x| x == 1.0).count();
+        assert_eq!(ones, 8);
+        assert!(categorical.iter().all(|&x| x == 0.0 || x == 1.0));
+    }
+
+    #[test]
+    fn numeric_features_in_unit_interval() {
+        let op = Operator::window_join(
+            JoinKeyClass::Composite,
+            WindowType::Tumbling,
+            WindowPolicy::Time,
+            1e9, // far above bound → clamped
+            50.0,
+            2.0,
+        );
+        let v = FeatureEncoder::default().encode(&op.features, 5e8);
+        for &x in &v[FEATURE_DIM - NUMERIC_SLOTS..] {
+            assert!((0.0..=1.0).contains(&x), "numeric feature {x} out of range");
+        }
+        // window length clamps to exactly 1.0
+        assert_eq!(v[FEATURE_DIM - NUMERIC_SLOTS], 1.0);
+    }
+
+    #[test]
+    fn source_rate_only_for_first_level() {
+        let mut b = DataflowBuilder::new("t");
+        let s = b.add_source("src", 1000.0);
+        let a = b.add_op("a", Operator::map(8, 8));
+        let c = b.add_op("b", Operator::sink(8));
+        b.connect_source(s, a);
+        b.connect(a, c);
+        let g = b.build().unwrap();
+        let enc = FeatureEncoder::default().encode_dataflow(&g);
+        let rate_slot = FEATURE_DIM - 1;
+        assert!(
+            enc[0][rate_slot] > 0.0,
+            "first-level op sees the source rate"
+        );
+        assert_eq!(enc[1][rate_slot], 0.0, "downstream op has zero source rate");
+    }
+
+    #[test]
+    fn different_kinds_differ() {
+        let a = FeatureEncoder::default().encode(
+            &StaticFeatures::stateless(OperatorKind::Map, 1.0, 8, 8),
+            0.0,
+        );
+        let b = FeatureEncoder::default().encode(
+            &StaticFeatures::stateless(OperatorKind::Filter, 1.0, 8, 8),
+            0.0,
+        );
+        assert_ne!(a, b);
+    }
+}

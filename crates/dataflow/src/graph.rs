@@ -1,0 +1,432 @@
+//! The logical dataflow DAG: operators, sources, edges, validation and
+//! topological traversal.
+
+use crate::op::{DataSource, Operator, OperatorKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an operator within one [`Dataflow`] (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpId(u32);
+
+impl OpId {
+    /// Construct from a dense index.
+    pub fn new(index: usize) -> Self {
+        OpId(u32::try_from(index).expect("operator index fits u32"))
+    }
+
+    /// Dense index of this operator.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
+/// Identifier of an external data source within one [`Dataflow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SourceId(u32);
+
+impl SourceId {
+    /// Construct from a dense index.
+    pub fn new(index: usize) -> Self {
+        SourceId(u32::try_from(index).expect("source index fits u32"))
+    }
+
+    /// Dense index of this source.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A directed operator→operator edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Upstream operator.
+    pub from: OpId,
+    /// Downstream operator.
+    pub to: OpId,
+}
+
+/// Errors produced while validating a dataflow graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataflowError {
+    /// The operator graph contains a directed cycle.
+    Cyclic,
+    /// An edge references an operator id that does not exist.
+    DanglingEdge,
+    /// A source edge references a missing source or operator.
+    DanglingSourceEdge,
+    /// The dataflow has no operators.
+    Empty,
+    /// An operator has no path from any source (disconnected input).
+    UnreachableOperator(OpId),
+    /// Duplicate edge between the same pair of operators.
+    DuplicateEdge(OpId, OpId),
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowError::Cyclic => write!(f, "operator graph contains a cycle"),
+            DataflowError::DanglingEdge => write!(f, "edge references unknown operator"),
+            DataflowError::DanglingSourceEdge => {
+                write!(f, "source edge references unknown endpoint")
+            }
+            DataflowError::Empty => write!(f, "dataflow has no operators"),
+            DataflowError::UnreachableOperator(o) => {
+                write!(f, "operator {o} is unreachable from any source")
+            }
+            DataflowError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}
+
+/// A validated logical dataflow DAG (paper §II-A, Fig. 1).
+///
+/// Operators are stored densely and addressed by [`OpId`]. External sources
+/// feed *first-level downstream operators* through `source_edges`; source
+/// rates are dynamic features, mutable via [`Dataflow::set_source_rate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataflow {
+    name: String,
+    ops: Vec<Operator>,
+    op_names: Vec<String>,
+    sources: Vec<DataSource>,
+    edges: Vec<Edge>,
+    source_edges: Vec<(SourceId, OpId)>,
+    // Cached adjacency (rebuilt on construction).
+    preds: Vec<Vec<OpId>>,
+    succs: Vec<Vec<OpId>>,
+    topo: Vec<OpId>,
+}
+
+impl Dataflow {
+    /// Validate and construct. Called by [`crate::DataflowBuilder::build`].
+    pub(crate) fn validated(
+        name: String,
+        ops: Vec<Operator>,
+        op_names: Vec<String>,
+        sources: Vec<DataSource>,
+        edges: Vec<Edge>,
+        source_edges: Vec<(SourceId, OpId)>,
+    ) -> Result<Self, DataflowError> {
+        if ops.is_empty() {
+            return Err(DataflowError::Empty);
+        }
+        let n = ops.len();
+        for e in &edges {
+            if e.from.index() >= n || e.to.index() >= n {
+                return Err(DataflowError::DanglingEdge);
+            }
+        }
+        {
+            let mut seen = std::collections::HashSet::new();
+            for e in &edges {
+                if !seen.insert((e.from, e.to)) {
+                    return Err(DataflowError::DuplicateEdge(e.from, e.to));
+                }
+            }
+        }
+        for &(s, o) in &source_edges {
+            if s.index() >= sources.len() || o.index() >= n {
+                return Err(DataflowError::DanglingSourceEdge);
+            }
+        }
+
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for e in &edges {
+            succs[e.from.index()].push(e.to);
+            preds[e.to.index()].push(e.from);
+        }
+
+        // Kahn's algorithm: topological order + cycle detection.
+        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut queue: Vec<OpId> = (0..n).filter(|&i| indeg[i] == 0).map(OpId::new).collect();
+        queue.sort();
+        let mut topo = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            topo.push(u);
+            for &v in &succs[u.index()] {
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(DataflowError::Cyclic);
+        }
+
+        // Reachability from sources: every operator must (transitively)
+        // receive data, otherwise its input rate is undefined.
+        let mut reachable = vec![false; n];
+        let mut stack: Vec<OpId> = source_edges.iter().map(|&(_, o)| o).collect();
+        while let Some(u) = stack.pop() {
+            if reachable[u.index()] {
+                continue;
+            }
+            reachable[u.index()] = true;
+            for &v in &succs[u.index()] {
+                stack.push(v);
+            }
+        }
+        if let Some(i) = reachable.iter().position(|&r| !r) {
+            return Err(DataflowError::UnreachableOperator(OpId::new(i)));
+        }
+
+        Ok(Dataflow {
+            name,
+            ops,
+            op_names,
+            sources,
+            edges,
+            source_edges,
+            preds,
+            succs,
+            topo,
+        })
+    }
+
+    /// Name of the streaming job.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of operators.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of operator→operator edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of external sources.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Operator by id.
+    pub fn op(&self, id: OpId) -> &Operator {
+        &self.ops[id.index()]
+    }
+
+    /// Operator name by id.
+    pub fn op_name(&self, id: OpId) -> &str {
+        &self.op_names[id.index()]
+    }
+
+    /// Iterate operator ids in dense order.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        (0..self.ops.len()).map(OpId::new)
+    }
+
+    /// All operators with ids.
+    pub fn ops(&self) -> impl Iterator<Item = (OpId, &Operator)> + '_ {
+        self.ops.iter().enumerate().map(|(i, o)| (OpId::new(i), o))
+    }
+
+    /// All operator→operator edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// All (source, first-level operator) edges.
+    pub fn source_edges(&self) -> &[(SourceId, OpId)] {
+        &self.source_edges
+    }
+
+    /// The external sources.
+    pub fn sources(&self) -> &[DataSource] {
+        &self.sources
+    }
+
+    /// Source by id.
+    pub fn source(&self, id: SourceId) -> &DataSource {
+        &self.sources[id.index()]
+    }
+
+    /// Update the rate of one source (records/second).
+    pub fn set_source_rate(&mut self, id: SourceId, rate: f64) {
+        assert!(rate >= 0.0, "source rate must be non-negative");
+        self.sources[id.index()].rate = rate;
+    }
+
+    /// Scale every source to `unit * multiplier` where `unit` is the
+    /// per-source base rate unit (paper Table II); convenience for the
+    /// periodic pattern of §V-A.
+    pub fn set_all_source_rates(&mut self, rates: &[f64]) {
+        assert_eq!(rates.len(), self.sources.len());
+        for (s, &r) in self.sources.iter_mut().zip(rates) {
+            assert!(r >= 0.0);
+            s.rate = r;
+        }
+    }
+
+    /// Upstream operators of `id`.
+    pub fn preds(&self, id: OpId) -> &[OpId] {
+        &self.preds[id.index()]
+    }
+
+    /// Downstream operators of `id`.
+    pub fn succs(&self, id: OpId) -> &[OpId] {
+        &self.succs[id.index()]
+    }
+
+    /// Operators in topological (upstream→downstream) order — the
+    /// recommendation order of paper Algorithm 2, line 6.
+    pub fn topo_order(&self) -> &[OpId] {
+        &self.topo
+    }
+
+    /// Total source rate feeding operator `id` directly (0 for operators
+    /// that are not first-level downstream of any source). This is the
+    /// dynamic "source rate" node feature of §IV-A.
+    pub fn direct_source_rate(&self, id: OpId) -> f64 {
+        self.source_edges
+            .iter()
+            .filter(|&&(_, o)| o == id)
+            .map(|&(s, _)| self.sources[s.index()].rate)
+            .sum()
+    }
+
+    /// Whether `id` is a first-level downstream operator (receives data
+    /// directly from a source; paper §II-A).
+    pub fn is_first_level(&self, id: OpId) -> bool {
+        self.source_edges.iter().any(|&(_, o)| o == id)
+    }
+
+    /// Sum of all source rates.
+    pub fn total_source_rate(&self) -> f64 {
+        self.sources.iter().map(|s| s.rate).sum()
+    }
+
+    /// Multiset of operator kinds, sorted — used by GED lower bounds.
+    pub fn kind_multiset(&self) -> Vec<OperatorKind> {
+        let mut v: Vec<OperatorKind> = self.ops.iter().map(|o| o.kind()).collect();
+        v.sort();
+        v
+    }
+
+    /// Sinks: operators with no downstream operators.
+    pub fn sinks(&self) -> Vec<OpId> {
+        self.op_ids()
+            .filter(|&o| self.succs(o).is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DataflowBuilder;
+    use crate::op::Operator;
+
+    fn diamond() -> Dataflow {
+        // src -> a -> {b, c} -> d
+        let mut b = DataflowBuilder::new("diamond");
+        let s = b.add_source("src", 100.0);
+        let a = b.add_op("a", Operator::map(8, 8));
+        let x = b.add_op("b", Operator::filter(0.5, 8, 8));
+        let y = b.add_op("c", Operator::filter(0.2, 8, 8));
+        let d = b.add_op("d", Operator::sink(8));
+        b.connect_source(s, a);
+        b.connect(a, x);
+        b.connect(a, y);
+        b.connect(x, d);
+        b.connect(y, d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; g.num_ops()];
+            for (i, &o) in g.topo_order().iter().enumerate() {
+                pos[o.index()] = i;
+            }
+            pos
+        };
+        for e in g.edges() {
+            assert!(pos[e.from.index()] < pos[e.to.index()]);
+        }
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut b = DataflowBuilder::new("cyc");
+        let s = b.add_source("s", 1.0);
+        let a = b.add_op("a", Operator::map(8, 8));
+        let c = b.add_op("b", Operator::map(8, 8));
+        b.connect_source(s, a);
+        b.connect(a, c);
+        b.connect(c, a);
+        assert_eq!(b.build().unwrap_err(), DataflowError::Cyclic);
+    }
+
+    #[test]
+    fn unreachable_operator_rejected() {
+        let mut b = DataflowBuilder::new("unreach");
+        let s = b.add_source("s", 1.0);
+        let a = b.add_op("a", Operator::map(8, 8));
+        let _orphan = b.add_op("orphan", Operator::map(8, 8));
+        b.connect_source(s, a);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            DataflowError::UnreachableOperator(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut b = DataflowBuilder::new("dup");
+        let s = b.add_source("s", 1.0);
+        let a = b.add_op("a", Operator::map(8, 8));
+        let c = b.add_op("b", Operator::map(8, 8));
+        b.connect_source(s, a);
+        b.connect(a, c);
+        b.connect(a, c);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            DataflowError::DuplicateEdge(_, _)
+        ));
+    }
+
+    #[test]
+    fn first_level_and_source_rates() {
+        let g = diamond();
+        let first: Vec<OpId> = g.op_ids().filter(|&o| g.is_first_level(o)).collect();
+        assert_eq!(first.len(), 1);
+        assert_eq!(g.direct_source_rate(first[0]), 100.0);
+        let non_first = g.op_ids().find(|&o| !g.is_first_level(o)).unwrap();
+        assert_eq!(g.direct_source_rate(non_first), 0.0);
+    }
+
+    #[test]
+    fn set_source_rate_updates_total() {
+        let mut g = diamond();
+        g.set_source_rate(SourceId::new(0), 500.0);
+        assert_eq!(g.total_source_rate(), 500.0);
+    }
+
+    #[test]
+    fn sinks_found() {
+        let g = diamond();
+        let sinks = g.sinks();
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(g.op_name(sinks[0]), "d");
+    }
+}

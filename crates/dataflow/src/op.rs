@@ -1,0 +1,518 @@
+//! Operator kinds and the static feature set of paper Table I.
+
+use serde::{Deserialize, Serialize};
+
+/// The computational kind of a dataflow operator.
+///
+/// Nodes of the logical DAG (paper Fig. 1). The set covers every operator
+/// used by the Nexmark queries (Q1/Q2/Q3/Q5/Q8) and the PQP templates of the
+/// evaluation (§V-A), plus `Sink` as a terminal no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OperatorKind {
+    /// Stateless 1:1 transformation (Nexmark Q1).
+    Map,
+    /// Stateless 1:N transformation.
+    FlatMap,
+    /// Stateless predicate (Nexmark Q2).
+    Filter,
+    /// Stateful record-at-a-time two-input incremental join (Nexmark Q3).
+    IncrementalJoin,
+    /// Windowed two-input join (Nexmark Q5/Q8, PQP joins).
+    WindowJoin,
+    /// Windowed aggregation.
+    WindowAggregate,
+    /// Unwindowed (running) aggregation.
+    Aggregate,
+    /// Key-based repartitioning.
+    KeyBy,
+    /// Terminal sink (writes results out).
+    Sink,
+}
+
+impl OperatorKind {
+    /// All kinds, in one-hot encoding order.
+    pub const ALL: [OperatorKind; 9] = [
+        OperatorKind::Map,
+        OperatorKind::FlatMap,
+        OperatorKind::Filter,
+        OperatorKind::IncrementalJoin,
+        OperatorKind::WindowJoin,
+        OperatorKind::WindowAggregate,
+        OperatorKind::Aggregate,
+        OperatorKind::KeyBy,
+        OperatorKind::Sink,
+    ];
+
+    /// Index of this kind within [`OperatorKind::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind in ALL")
+    }
+
+    /// Whether the operator keeps state across records.
+    pub fn is_stateful(self) -> bool {
+        matches!(
+            self,
+            OperatorKind::IncrementalJoin
+                | OperatorKind::WindowJoin
+                | OperatorKind::WindowAggregate
+                | OperatorKind::Aggregate
+        )
+    }
+
+    /// Whether the operator consumes two upstream inputs.
+    pub fn is_binary(self) -> bool {
+        matches!(
+            self,
+            OperatorKind::IncrementalJoin | OperatorKind::WindowJoin
+        )
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OperatorKind::Map => "map",
+            OperatorKind::FlatMap => "flatmap",
+            OperatorKind::Filter => "filter",
+            OperatorKind::IncrementalJoin => "inc-join",
+            OperatorKind::WindowJoin => "win-join",
+            OperatorKind::WindowAggregate => "win-agg",
+            OperatorKind::Aggregate => "agg",
+            OperatorKind::KeyBy => "keyby",
+            OperatorKind::Sink => "sink",
+        }
+    }
+}
+
+/// Window shifting strategy (Table I "Window Type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WindowType {
+    /// The operator is not windowed.
+    #[default]
+    None,
+    /// Non-overlapping fixed windows.
+    Tumbling,
+    /// Overlapping windows advancing by a slide interval.
+    Sliding,
+}
+
+impl WindowType {
+    /// One-hot index (3 slots).
+    pub fn index(self) -> usize {
+        match self {
+            WindowType::None => 0,
+            WindowType::Tumbling => 1,
+            WindowType::Sliding => 2,
+        }
+    }
+}
+
+/// Windowing strategy (Table I "Window Policy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WindowPolicy {
+    /// Not windowed.
+    #[default]
+    None,
+    /// Windows close after a fixed record count.
+    Count,
+    /// Windows close after a fixed time span.
+    Time,
+}
+
+impl WindowPolicy {
+    /// One-hot index (3 slots).
+    pub fn index(self) -> usize {
+        match self {
+            WindowPolicy::None => 0,
+            WindowPolicy::Count => 1,
+            WindowPolicy::Time => 2,
+        }
+    }
+}
+
+/// Join key data type (Table I "Join Key Class").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum JoinKeyClass {
+    /// Not a join.
+    #[default]
+    None,
+    /// Integer key.
+    Int,
+    /// String key.
+    String,
+    /// Composite (multi-column) key.
+    Composite,
+}
+
+impl JoinKeyClass {
+    /// One-hot index (4 slots).
+    pub fn index(self) -> usize {
+        match self {
+            JoinKeyClass::None => 0,
+            JoinKeyClass::Int => 1,
+            JoinKeyClass::String => 2,
+            JoinKeyClass::Composite => 3,
+        }
+    }
+}
+
+/// Aggregation value data type (Table I "Aggregate Class").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AggregateClass {
+    /// Not an aggregation.
+    #[default]
+    None,
+    /// Integer values.
+    Int,
+    /// Floating point values.
+    Float,
+    /// String values.
+    String,
+}
+
+impl AggregateClass {
+    /// One-hot index (4 slots).
+    pub fn index(self) -> usize {
+        match self {
+            AggregateClass::None => 0,
+            AggregateClass::Int => 1,
+            AggregateClass::Float => 2,
+            AggregateClass::String => 3,
+        }
+    }
+}
+
+/// Aggregation function (Table I "Aggregate Function").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AggregateFunction {
+    /// Not an aggregation.
+    #[default]
+    None,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Arithmetic mean.
+    Avg,
+    /// Sum.
+    Sum,
+    /// Count.
+    Count,
+}
+
+impl AggregateFunction {
+    /// One-hot index (6 slots).
+    pub fn index(self) -> usize {
+        match self {
+            AggregateFunction::None => 0,
+            AggregateFunction::Min => 1,
+            AggregateFunction::Max => 2,
+            AggregateFunction::Avg => 3,
+            AggregateFunction::Sum => 4,
+            AggregateFunction::Count => 5,
+        }
+    }
+}
+
+/// Tuple payload type (Table I "Tuple Data Type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TupleDataType {
+    /// Mixed/row tuples.
+    #[default]
+    Row,
+    /// Primitive numeric tuples.
+    Numeric,
+    /// Text tuples.
+    Text,
+    /// Nested/JSON-like tuples.
+    Nested,
+}
+
+impl TupleDataType {
+    /// One-hot index (4 slots).
+    pub fn index(self) -> usize {
+        match self {
+            TupleDataType::Row => 0,
+            TupleDataType::Numeric => 1,
+            TupleDataType::Text => 2,
+            TupleDataType::Nested => 3,
+        }
+    }
+}
+
+/// The static (transferable, execution-invariant) features of a dataflow
+/// operator — exactly the rows of paper Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticFeatures {
+    /// Type of operator (categorical).
+    pub kind: OperatorKind,
+    /// Shifting strategy (tumbling/sliding).
+    pub window_type: WindowType,
+    /// Windowing strategy (count/time).
+    pub window_policy: WindowPolicy,
+    /// Size of the window (records for count windows, seconds for time windows).
+    pub window_length: f64,
+    /// Size of the sliding interval (same unit as `window_length`).
+    pub sliding_length: f64,
+    /// Join key data type.
+    pub join_key_class: JoinKeyClass,
+    /// Aggregation value data type.
+    pub aggregate_class: AggregateClass,
+    /// Aggregation key data type.
+    pub aggregate_key_class: JoinKeyClass,
+    /// Aggregation function.
+    pub aggregate_function: AggregateFunction,
+    /// Input tuple width (bytes).
+    pub tuple_width_in: f64,
+    /// Output tuple width (bytes).
+    pub tuple_width_out: f64,
+    /// Type of tuple payload.
+    pub tuple_data_type: TupleDataType,
+    /// Expected output records per input record.
+    ///
+    /// Selectivity drives rate propagation in the simulator. It is *not*
+    /// encoded as a tuner-visible feature in the paper (tuners observe only
+    /// rates), but it is part of the logical query definition.
+    pub selectivity: f64,
+}
+
+impl StaticFeatures {
+    /// Features for a plain stateless operator of `kind`.
+    pub fn stateless(kind: OperatorKind, selectivity: f64, width_in: u32, width_out: u32) -> Self {
+        StaticFeatures {
+            kind,
+            window_type: WindowType::None,
+            window_policy: WindowPolicy::None,
+            window_length: 0.0,
+            sliding_length: 0.0,
+            join_key_class: JoinKeyClass::None,
+            aggregate_class: AggregateClass::None,
+            aggregate_key_class: JoinKeyClass::None,
+            aggregate_function: AggregateFunction::None,
+            tuple_width_in: f64::from(width_in),
+            tuple_width_out: f64::from(width_out),
+            tuple_data_type: TupleDataType::Row,
+            selectivity,
+        }
+    }
+}
+
+/// A dataflow operator: a named node of the logical DAG plus its Table I
+/// static features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operator {
+    /// Static, context-independent features (Table I).
+    pub features: StaticFeatures,
+}
+
+impl Operator {
+    /// Construct from explicit features.
+    pub fn new(features: StaticFeatures) -> Self {
+        Operator { features }
+    }
+
+    /// The operator kind.
+    pub fn kind(&self) -> OperatorKind {
+        self.features.kind
+    }
+
+    /// Selectivity (output records per input record).
+    pub fn selectivity(&self) -> f64 {
+        self.features.selectivity
+    }
+
+    /// Stateless map (1:1).
+    pub fn map(width_in: u32, width_out: u32) -> Self {
+        Operator::new(StaticFeatures::stateless(
+            OperatorKind::Map,
+            1.0,
+            width_in,
+            width_out,
+        ))
+    }
+
+    /// Stateless flatmap with output fan-out `selectivity`.
+    pub fn flatmap(selectivity: f64, width_in: u32, width_out: u32) -> Self {
+        Operator::new(StaticFeatures::stateless(
+            OperatorKind::FlatMap,
+            selectivity,
+            width_in,
+            width_out,
+        ))
+    }
+
+    /// Filter passing a `selectivity` fraction of records.
+    pub fn filter(selectivity: f64, width_in: u32, width_out: u32) -> Self {
+        Operator::new(StaticFeatures::stateless(
+            OperatorKind::Filter,
+            selectivity,
+            width_in,
+            width_out,
+        ))
+    }
+
+    /// Key-based repartitioning.
+    pub fn key_by(width: u32) -> Self {
+        Operator::new(StaticFeatures::stateless(
+            OperatorKind::KeyBy,
+            1.0,
+            width,
+            width,
+        ))
+    }
+
+    /// Terminal sink.
+    pub fn sink(width: u32) -> Self {
+        Operator::new(StaticFeatures::stateless(
+            OperatorKind::Sink,
+            1.0,
+            width,
+            width,
+        ))
+    }
+
+    /// Record-at-a-time incremental join (Nexmark Q3 style).
+    pub fn incremental_join(key: JoinKeyClass, selectivity: f64, width_out: u32) -> Self {
+        let mut f =
+            StaticFeatures::stateless(OperatorKind::IncrementalJoin, selectivity, 64, width_out);
+        f.join_key_class = key;
+        Operator::new(f)
+    }
+
+    /// Windowed join with explicit window configuration.
+    pub fn window_join(
+        key: JoinKeyClass,
+        window_type: WindowType,
+        policy: WindowPolicy,
+        window_length: f64,
+        sliding_length: f64,
+        selectivity: f64,
+    ) -> Self {
+        let mut f = StaticFeatures::stateless(OperatorKind::WindowJoin, selectivity, 64, 96);
+        f.join_key_class = key;
+        f.window_type = window_type;
+        f.window_policy = policy;
+        f.window_length = window_length;
+        f.sliding_length = sliding_length;
+        Operator::new(f)
+    }
+
+    /// Windowed aggregation.
+    #[allow(clippy::too_many_arguments)] // mirrors the Table I feature list
+    pub fn window_aggregate(
+        func: AggregateFunction,
+        class: AggregateClass,
+        key: JoinKeyClass,
+        window_type: WindowType,
+        policy: WindowPolicy,
+        window_length: f64,
+        sliding_length: f64,
+        selectivity: f64,
+    ) -> Self {
+        let mut f = StaticFeatures::stateless(OperatorKind::WindowAggregate, selectivity, 48, 32);
+        f.aggregate_function = func;
+        f.aggregate_class = class;
+        f.aggregate_key_class = key;
+        f.window_type = window_type;
+        f.window_policy = policy;
+        f.window_length = window_length;
+        f.sliding_length = sliding_length;
+        Operator::new(f)
+    }
+
+    /// Running (unwindowed) aggregation.
+    pub fn aggregate(
+        func: AggregateFunction,
+        class: AggregateClass,
+        key: JoinKeyClass,
+        selectivity: f64,
+    ) -> Self {
+        let mut f = StaticFeatures::stateless(OperatorKind::Aggregate, selectivity, 48, 32);
+        f.aggregate_function = func;
+        f.aggregate_class = class;
+        f.aggregate_key_class = key;
+        Operator::new(f)
+    }
+}
+
+/// An external data source feeding the dataflow (paper §II-A "Data Sources &
+/// Source Rates"). Sources are not tunable operators; their rate is a
+/// dynamic input controlled by the environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataSource {
+    /// Human-readable name (e.g. "bids").
+    pub name: String,
+    /// Records per second currently produced by this source.
+    pub rate: f64,
+}
+
+impl DataSource {
+    /// New source with the given name and rate.
+    pub fn new(name: impl Into<String>, rate: f64) -> Self {
+        DataSource {
+            name: name.into(),
+            rate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_are_unique_and_dense() {
+        let mut seen = vec![false; OperatorKind::ALL.len()];
+        for k in OperatorKind::ALL {
+            let i = k.index();
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn binary_kinds_are_stateful() {
+        for k in OperatorKind::ALL {
+            if k.is_binary() {
+                assert!(k.is_stateful(), "{k:?} binary implies stateful");
+            }
+        }
+    }
+
+    #[test]
+    fn stateless_helper_zeroes_window_fields() {
+        let f = StaticFeatures::stateless(OperatorKind::Filter, 0.3, 16, 16);
+        assert_eq!(f.window_type, WindowType::None);
+        assert_eq!(f.window_length, 0.0);
+        assert_eq!(f.selectivity, 0.3);
+    }
+
+    #[test]
+    fn window_join_carries_window_config() {
+        let op = Operator::window_join(
+            JoinKeyClass::Int,
+            WindowType::Sliding,
+            WindowPolicy::Time,
+            10.0,
+            2.0,
+            0.8,
+        );
+        assert_eq!(op.features.window_type, WindowType::Sliding);
+        assert_eq!(op.features.window_length, 10.0);
+        assert_eq!(op.features.sliding_length, 2.0);
+        assert!(op.kind().is_binary());
+    }
+
+    #[test]
+    fn one_hot_indices_within_bounds() {
+        assert!(WindowType::Sliding.index() < 3);
+        assert!(WindowPolicy::Time.index() < 3);
+        assert!(JoinKeyClass::Composite.index() < 4);
+        assert!(AggregateClass::String.index() < 4);
+        assert!(AggregateFunction::Count.index() < 6);
+        assert!(TupleDataType::Nested.index() < 4);
+    }
+}

@@ -1,0 +1,418 @@
+//! Exact A\* GED with pluggable lower bounds and threshold pruning.
+//!
+//! States are partial injective mappings from the nodes of the smaller
+//! graph `g1` (taken in descending-degree order so dense nodes — the
+//! expensive decisions — are fixed first) to nodes of `g2` or to ε
+//! (deletion). The cost accumulated by a partial mapping counts:
+//!
+//! * node substitution (label change, the paper's *operator-type
+//!   modification*): cost 1 if labels differ;
+//! * node deletion / insertion: cost 1 each;
+//! * edge deletion / insertion: cost 1 each;
+//! * *edge-direction modification* (the paper's second extension): cost 1
+//!   when the mapped pair has edges in opposite directions, instead of 2
+//!   for delete+insert.
+
+use crate::view::{GraphView, PairEdge};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Lower-bound strategy for the remaining (unmapped) part of the graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// `h = 0` — plain uniform-cost search ("directly computing GED",
+    /// the slow baseline of Fig. 11b).
+    Trivial,
+    /// Label-set + edge-count admissible bound (A\*+-LSa style).
+    LabelSet,
+}
+
+/// Result of a (possibly threshold-pruned) GED computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GedOutcome {
+    /// The exact distance.
+    Exact(usize),
+    /// The distance exceeds the given threshold (pruned); the payload is
+    /// the threshold that was exceeded.
+    ExceedsThreshold(usize),
+}
+
+impl GedOutcome {
+    /// The exact value if available.
+    pub fn exact(self) -> Option<usize> {
+        match self {
+            GedOutcome::Exact(d) => Some(d),
+            GedOutcome::ExceedsThreshold(_) => None,
+        }
+    }
+
+    /// The distance, or `threshold + 1` when pruned — a safe "at least"
+    /// value usable as a capped metric.
+    pub fn capped(self) -> usize {
+        match self {
+            GedOutcome::Exact(d) => d,
+            GedOutcome::ExceedsThreshold(t) => t.saturating_add(1),
+        }
+    }
+}
+
+const EPS: usize = usize::MAX;
+
+struct SearchCtx<'a> {
+    g1: &'a GraphView,
+    g2: &'a GraphView,
+    /// g1 node visit order (descending degree).
+    order: Vec<usize>,
+    bound: Bound,
+}
+
+impl SearchCtx<'_> {
+    /// Incremental cost of extending `state` by mapping `u = order[depth]`
+    /// to `v` (or EPS).
+    fn extension_cost(&self, mapping: &[usize], u: usize, v: usize) -> usize {
+        let mut cost = 0;
+        if v == EPS {
+            cost += 1; // node deletion
+        } else if self.g1.labels[u] != self.g2.labels[v] {
+            cost += 1; // operator-type modification
+        }
+        // Edge costs between u and every previously mapped node.
+        for (k, &img) in mapping.iter().enumerate() {
+            let w = self.order[k];
+            let e1 = self.g1.pair_edge(w, u);
+            if v == EPS || img == EPS {
+                // Any g1 edge on this pair is deleted; any g2 edge on this
+                // pair involves an ε-image and will be charged as an
+                // insertion in the completion step (endpoint unmapped? no —
+                // both endpoints are *used*; see below).
+                if e1 != PairEdge::None {
+                    cost += 1;
+                }
+                // If the g2 side has an edge between img and v but one of
+                // them is EPS there is no such pair — nothing to add here.
+                continue;
+            }
+            let e2 = self.g2.pair_edge(img, v);
+            cost += match (e1, e2) {
+                (PairEdge::None, PairEdge::None) => 0,
+                (PairEdge::Forward, PairEdge::Forward) => 0,
+                (PairEdge::Backward, PairEdge::Backward) => 0,
+                // direction modification
+                (PairEdge::Forward, PairEdge::Backward) => 1,
+                (PairEdge::Backward, PairEdge::Forward) => 1,
+                // deletion or insertion
+                _ => 1,
+            };
+        }
+        cost
+    }
+
+    /// Cost to complete a full mapping: insert every unused g2 node and
+    /// every g2 edge not already matched (i.e. with at least one endpoint
+    /// outside the used image set).
+    fn completion_cost(&self, mapping: &[usize]) -> usize {
+        let used: Vec<bool> = {
+            let mut used = vec![false; self.g2.num_nodes()];
+            for &img in mapping {
+                if img != EPS {
+                    used[img] = true;
+                }
+            }
+            used
+        };
+        let unused_nodes = used.iter().filter(|&&u| !u).count();
+        let unmatched_edges = self
+            .g2
+            .edges
+            .iter()
+            .filter(|&&(a, b)| !used[a] || !used[b])
+            .count();
+        unused_nodes + unmatched_edges
+    }
+
+    /// Admissible lower bound for the remaining search below `state`.
+    fn lower_bound(&self, mapping: &[usize]) -> usize {
+        match self.bound {
+            Bound::Trivial => 0,
+            Bound::LabelSet => {
+                let depth = mapping.len();
+                // Remaining g1 labels.
+                let mut rem1: Vec<_> = self.order[depth..]
+                    .iter()
+                    .map(|&u| self.g1.labels[u])
+                    .collect();
+                rem1.sort();
+                // Unused g2 labels.
+                let mut used = vec![false; self.g2.num_nodes()];
+                for &img in mapping {
+                    if img != EPS {
+                        used[img] = true;
+                    }
+                }
+                let mut rem2: Vec<_> = (0..self.g2.num_nodes())
+                    .filter(|&v| !used[v])
+                    .map(|v| self.g2.labels[v])
+                    .collect();
+                rem2.sort();
+                // Node bound: every remaining g1 node is matched (label
+                // mismatch ⇒ ≥1) or deleted (≥1); every surplus g2 node is
+                // inserted (≥1).
+                let mut i = 0;
+                let mut j = 0;
+                let mut matched = 0;
+                while i < rem1.len() && j < rem2.len() {
+                    match rem1[i].cmp(&rem2[j]) {
+                        std::cmp::Ordering::Equal => {
+                            matched += 1;
+                            i += 1;
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                    }
+                }
+                let node_bound = rem1.len().max(rem2.len()) - matched;
+                // Edge bound: edges entirely among remaining nodes must map
+                // to edges among remaining nodes; the count difference is a
+                // lower bound on insertions/deletions.
+                let rem1_set: Vec<bool> = {
+                    let mut s = vec![false; self.g1.num_nodes()];
+                    for &u in &self.order[depth..] {
+                        s[u] = true;
+                    }
+                    s
+                };
+                let e1 = self
+                    .g1
+                    .edges
+                    .iter()
+                    .filter(|&&(a, b)| rem1_set[a] && rem1_set[b])
+                    .count();
+                let e2 = self
+                    .g2
+                    .edges
+                    .iter()
+                    .filter(|&&(a, b)| !used[a] && !used[b])
+                    .count();
+                node_bound + e1.abs_diff(e2)
+            }
+        }
+    }
+}
+
+/// Compute GED between `a` and `b` with the given bound, pruning any branch
+/// whose optimistic total exceeds `threshold`.
+pub fn ged_with(a: &GraphView, b: &GraphView, bound: Bound, threshold: usize) -> GedOutcome {
+    // Map the smaller graph onto the larger one (fewer search levels).
+    let (g1, g2) = if a.num_nodes() <= b.num_nodes() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let mut order: Vec<usize> = (0..g1.num_nodes()).collect();
+    order.sort_by_key(|&u| Reverse(g1.degree(u)));
+    let ctx = SearchCtx {
+        g1,
+        g2,
+        order,
+        bound,
+    };
+
+    // Best-first over (f, state). BinaryHeap is a max-heap → Reverse.
+    let mut heap: BinaryHeap<(Reverse<usize>, usize, Vec<usize>)> = BinaryHeap::new();
+    let n1 = g1.num_nodes();
+    let n2 = g2.num_nodes();
+    if n1 == 0 {
+        // Everything in g2 is inserted.
+        let total = ctx.completion_cost(&[]);
+        return if total <= threshold {
+            GedOutcome::Exact(total)
+        } else {
+            GedOutcome::ExceedsThreshold(threshold)
+        };
+    }
+    let root_h = ctx.lower_bound(&[]);
+    if root_h > threshold {
+        return GedOutcome::ExceedsThreshold(threshold);
+    }
+    heap.push((Reverse(root_h), 0, Vec::new()));
+
+    while let Some((Reverse(f), cost, mapping)) = heap.pop() {
+        if f > threshold {
+            return GedOutcome::ExceedsThreshold(threshold);
+        }
+        let depth = mapping.len();
+        if depth == n1 {
+            // f == cost + completion already folded in (we push complete
+            // states with completion cost included and empty h).
+            return GedOutcome::Exact(cost);
+        }
+        let u = ctx.order[depth];
+        // Candidate images: every unused g2 node, plus ε.
+        let mut used = vec![false; n2];
+        for &img in &mapping {
+            if img != EPS {
+                used[img] = true;
+            }
+        }
+        for v in (0..n2).filter(|&v| !used[v]).chain(std::iter::once(EPS)) {
+            let ext = ctx.extension_cost(&mapping, u, v);
+            let mut next = mapping.clone();
+            next.push(v);
+            let g = cost + ext;
+            if next.len() == n1 {
+                let total = g + ctx.completion_cost(&next);
+                if total <= threshold {
+                    heap.push((Reverse(total), total, next));
+                }
+            } else {
+                let h = ctx.lower_bound(&next);
+                if g + h <= threshold {
+                    heap.push((Reverse(g + h), g, next));
+                }
+            }
+        }
+    }
+    GedOutcome::ExceedsThreshold(threshold)
+}
+
+/// Exact GED via plain uniform-cost search (`h = 0`) — the "direct"
+/// baseline of the Fig. 11b ablation.
+pub fn ged_exact(a: &GraphView, b: &GraphView, threshold: usize) -> GedOutcome {
+    ged_with(a, b, Bound::Trivial, threshold)
+}
+
+/// Exact GED via the label-set bound (A\*+-LSa style).
+pub fn ged_lsa(a: &GraphView, b: &GraphView, threshold: usize) -> GedOutcome {
+    ged_with(a, b, Bound::LabelSet, threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamtune_dataflow::OperatorKind::{self, *};
+
+    fn chain(labels: &[OperatorKind]) -> GraphView {
+        let edges = (0..labels.len().saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
+        GraphView::new(labels.to_vec(), edges)
+    }
+
+    #[test]
+    fn zero_for_identical() {
+        let g = chain(&[Filter, Map, Sink]);
+        assert_eq!(ged_lsa(&g, &g.clone(), usize::MAX), GedOutcome::Exact(0));
+        assert_eq!(ged_exact(&g, &g.clone(), usize::MAX), GedOutcome::Exact(0));
+    }
+
+    #[test]
+    fn single_relabel_costs_one() {
+        let a = chain(&[Filter, Map, Sink]);
+        let b = chain(&[Filter, FlatMap, Sink]);
+        assert_eq!(ged_lsa(&a, &b, usize::MAX), GedOutcome::Exact(1));
+    }
+
+    #[test]
+    fn node_insertion_costs_node_plus_edge() {
+        let a = chain(&[Filter, Sink]);
+        let b = chain(&[Filter, Map, Sink]);
+        // Insert Map node (1) + rewire: delete Filter→Sink (1), insert two
+        // edges? Optimal: insert node (1), insert one edge (1), and modify
+        // endpoint of the other — edge substitution isn't an operation, so:
+        // delete Filter→Sink, insert Filter→Map, insert Map→Sink = 3 edits
+        // beyond the node? A* finds the true optimum; assert it's 2..=4 and
+        // symmetric, then pin the exact value.
+        let d = ged_lsa(&a, &b, usize::MAX).exact().unwrap();
+        let d_rev = ged_lsa(&b, &a, usize::MAX).exact().unwrap();
+        assert_eq!(d, d_rev);
+        assert_eq!(d, 3, "node + edge-del + edge-ins");
+    }
+
+    #[test]
+    fn direction_flip_costs_one() {
+        let a = GraphView::new(vec![Map, Sink], vec![(0, 1)]);
+        let b = GraphView::new(vec![Map, Sink], vec![(1, 0)]);
+        assert_eq!(ged_lsa(&a, &b, usize::MAX), GedOutcome::Exact(1));
+    }
+
+    #[test]
+    fn lsa_equals_trivial_on_random_pairs() {
+        // The bound must not change the result, only the speed.
+        use streamtune_dataflow::OperatorKind;
+        let kinds = [Map, Filter, FlatMap, Aggregate, Sink, WindowJoin];
+        let mk = |seed: u64, n: usize| {
+            let labels: Vec<OperatorKind> = (0..n)
+                .map(|i| kinds[((seed.wrapping_mul(31).wrapping_add(i as u64 * 7)) % 6) as usize])
+                .collect();
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in i + 1..n {
+                    if (seed.wrapping_add((i * n + j) as u64)) % 3 == 0 {
+                        edges.push((i, j));
+                    }
+                }
+            }
+            GraphView::new(labels, edges)
+        };
+        for s in 0..6u64 {
+            let a = mk(s, 4);
+            let b = mk(s + 100, 5);
+            let d1 = ged_exact(&a, &b, usize::MAX).exact().unwrap();
+            let d2 = ged_lsa(&a, &b, usize::MAX).exact().unwrap();
+            assert_eq!(d1, d2, "seed {s}");
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = chain(&[Filter, Map, Aggregate, Sink]);
+        let b = chain(&[Map, WindowJoin, Sink]);
+        let d1 = ged_lsa(&a, &b, usize::MAX).exact().unwrap();
+        let d2 = ged_lsa(&b, &a, usize::MAX).exact().unwrap();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn triangle_inequality_on_samples() {
+        let g1 = chain(&[Filter, Map, Sink]);
+        let g2 = chain(&[Filter, Aggregate, Sink]);
+        let g3 = chain(&[Map, Aggregate, WindowJoin, Sink]);
+        let d12 = ged_lsa(&g1, &g2, usize::MAX).exact().unwrap();
+        let d23 = ged_lsa(&g2, &g3, usize::MAX).exact().unwrap();
+        let d13 = ged_lsa(&g1, &g3, usize::MAX).exact().unwrap();
+        assert!(d13 <= d12 + d23, "{d13} <= {d12} + {d23}");
+    }
+
+    #[test]
+    fn threshold_prunes() {
+        let a = chain(&[Filter, Map, Sink]);
+        let b = chain(&[WindowJoin, Aggregate, KeyBy, FlatMap, Sink, Map, Filter]);
+        let full = ged_lsa(&a, &b, usize::MAX).exact().unwrap();
+        assert!(full > 2);
+        assert_eq!(ged_lsa(&a, &b, 2), GedOutcome::ExceedsThreshold(2));
+        assert_eq!(ged_lsa(&a, &b, 2).capped(), 3);
+    }
+
+    #[test]
+    fn threshold_equal_to_distance_succeeds() {
+        let a = chain(&[Filter, Map, Sink]);
+        let b = chain(&[Filter, FlatMap, Sink]);
+        assert_eq!(ged_lsa(&a, &b, 1), GedOutcome::Exact(1));
+    }
+
+    #[test]
+    fn disjoint_sizes() {
+        let a = chain(&[Map]);
+        let b = chain(&[Map, Map, Map, Map]);
+        // 3 node insertions + 3 edge insertions.
+        assert_eq!(ged_lsa(&a, &b, usize::MAX), GedOutcome::Exact(6));
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        let a = GraphView::new(vec![], vec![]);
+        let b = chain(&[Map, Sink]);
+        assert_eq!(ged_lsa(&a, &b, usize::MAX), GedOutcome::Exact(3));
+    }
+}

@@ -1,0 +1,169 @@
+//! Graph similarity search and similarity centers (paper Defs. 1–2).
+
+use crate::astar::{ged_with, Bound, GedOutcome};
+use crate::view::GraphView;
+use streamtune_dataflow::GraphSignature;
+
+/// All indices `i` with `ged(query, graphs[i]) ≤ tau` (Def. 1), using the
+/// given bound strategy for verification.
+///
+/// A cheap signature-based lower bound filters candidates before exact
+/// (threshold-pruned) verification — the filtering-and-verification pattern
+/// of the similarity-search literature the paper cites.
+pub fn similarity_search(
+    query: &GraphView,
+    query_sig: &GraphSignature,
+    graphs: &[(GraphView, GraphSignature)],
+    tau: usize,
+    bound: Bound,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, (g, sig)) in graphs.iter().enumerate() {
+        if query_sig.ged_lower_bound(sig) > tau {
+            continue; // filtered
+        }
+        if let GedOutcome::Exact(_) = ged_with(query, g, bound, tau) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Result of a similarity-center computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimilarityCenter {
+    /// Index of the center graph within the input cluster.
+    pub center: usize,
+    /// Appearance counts `C_g` per graph (Def. 2).
+    pub counts: Vec<usize>,
+}
+
+/// Compute the similarity center of a cluster (Def. 2): the graph appearing
+/// most often across the τ-similarity search results of *all* graphs in the
+/// cluster. Ties break toward the lower index (deterministic).
+///
+/// `bound` selects the GED verification strategy — [`Bound::LabelSet`] is
+/// the production path; [`Bound::Trivial`] is the slow baseline used by the
+/// Fig. 11b ablation.
+pub fn similarity_center(
+    cluster: &[(GraphView, GraphSignature)],
+    tau: usize,
+    bound: Bound,
+) -> Option<SimilarityCenter> {
+    if cluster.is_empty() {
+        return None;
+    }
+    let n = cluster.len();
+    let mut counts = vec![0usize; n];
+    for (qi, (q, qsig)) in cluster.iter().enumerate() {
+        // Sim_{q,τ}: every member (including q itself) within τ of q.
+        for hit in similarity_search(q, qsig, cluster, tau, bound) {
+            // g ∈ Sim_{q,τ} increments C_g; the query index qi is in its own
+            // result set (distance 0), which matches Def. 2's formula.
+            let _ = qi;
+            counts[hit] += 1;
+        }
+    }
+    let center = counts
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)?;
+    Some(SimilarityCenter { center, counts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamtune_dataflow::OperatorKind::{self, *};
+
+    fn chain(labels: &[OperatorKind]) -> (GraphView, GraphSignature) {
+        let edges = (0..labels.len().saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
+        let view = GraphView::new(labels.to_vec(), edges);
+        // Build a matching signature by hand (degrees/edge-kinds of a chain).
+        let mut kinds = labels.to_vec();
+        kinds.sort();
+        let mut degrees: Vec<(u8, u8)> = (0..labels.len())
+            .map(|i| {
+                let ind = u8::from(i > 0);
+                let outd = u8::from(i + 1 < labels.len());
+                (ind, outd)
+            })
+            .collect();
+        degrees.sort();
+        let mut edge_kinds: Vec<_> = (0..labels.len().saturating_sub(1))
+            .map(|i| (labels[i], labels[i + 1]))
+            .collect();
+        edge_kinds.sort();
+        let sig = GraphSignature {
+            num_ops: labels.len(),
+            num_edges: labels.len().saturating_sub(1),
+            kinds,
+            degrees,
+            edge_kinds,
+        };
+        (view, sig)
+    }
+
+    #[test]
+    fn search_finds_self_and_near() {
+        let graphs = vec![
+            chain(&[Filter, Map, Sink]),
+            chain(&[Filter, FlatMap, Sink]), // GED 1 from graphs[0]
+            chain(&[WindowJoin, Aggregate, KeyBy, FlatMap, Sink]), // far
+        ];
+        let (q, qsig) = chain(&[Filter, Map, Sink]);
+        let hits = similarity_search(&q, &qsig, &graphs, 1, Bound::LabelSet);
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn search_tau_zero_is_isomorphism_only() {
+        let graphs = vec![chain(&[Filter, Map, Sink]), chain(&[Filter, FlatMap, Sink])];
+        let (q, qsig) = chain(&[Filter, Map, Sink]);
+        let hits = similarity_search(&q, &qsig, &graphs, 0, Bound::LabelSet);
+        assert_eq!(hits, vec![0]);
+    }
+
+    #[test]
+    fn center_prefers_the_hub_graph() {
+        // graphs[0] is within τ=1 of everything; the outliers are only
+        // within τ of themselves and the hub.
+        let cluster = vec![
+            chain(&[Filter, Map, Sink]),
+            chain(&[Filter, FlatMap, Sink]),
+            chain(&[Filter, Aggregate, Sink]),
+            chain(&[FlatMap, Map, Sink]),
+        ];
+        let sc = similarity_center(&cluster, 1, Bound::LabelSet).unwrap();
+        assert_eq!(sc.center, 0, "counts: {:?}", sc.counts);
+        assert!(sc.counts[0] >= sc.counts[1]);
+    }
+
+    #[test]
+    fn center_of_singleton() {
+        let cluster = vec![chain(&[Map, Sink])];
+        let sc = similarity_center(&cluster, 5, Bound::LabelSet).unwrap();
+        assert_eq!(sc.center, 0);
+        assert_eq!(sc.counts, vec![1]);
+    }
+
+    #[test]
+    fn center_of_empty_is_none() {
+        assert!(similarity_center(&[], 5, Bound::LabelSet).is_none());
+    }
+
+    #[test]
+    fn trivial_and_lsa_agree_on_center() {
+        let cluster = vec![
+            chain(&[Filter, Map, Sink]),
+            chain(&[Filter, FlatMap, Sink]),
+            chain(&[Filter, Map, Aggregate, Sink]),
+        ];
+        let a = similarity_center(&cluster, 3, Bound::LabelSet).unwrap();
+        let b = similarity_center(&cluster, 3, Bound::Trivial).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,394 @@
+//! Gradient-boosted decision trees with a monotone constraint on the
+//! parallelism feature (the paper's XGBoost variant, §IV-B).
+//!
+//! Standard second-order gradient boosting with logistic loss. The
+//! monotonicity requirement — predictions non-increasing in parallelism —
+//! is enforced exactly as described in the paper:
+//!
+//! * **split rejection**: a candidate split on the constrained feature
+//!   whose left/right leaf values would violate the decreasing order gets
+//!   gain `−∞` and is never taken;
+//! * **leaf clamping**: each subtree carries a `[lo, hi]` value interval;
+//!   after a constrained split at midpoint `m`, the low-parallelism side
+//!   may only produce values in `[m, hi]` and the high-parallelism side in
+//!   `[lo, m]`, so the order holds across the whole ensemble.
+
+use crate::{BottleneckClassifier, TrainPoint};
+use serde::{Deserialize, Serialize};
+
+/// GBDT hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbdtConfig {
+    /// Boosting rounds (trees).
+    pub rounds: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Shrinkage (learning rate).
+    pub lr: f64,
+    /// L2 regularization on leaf values.
+    pub lambda: f64,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum split gain.
+    pub min_gain: f64,
+    /// Cap on the positive-class weight (XGBoost `scale_pos_weight`).
+    pub scale_pos_weight_cap: f64,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig {
+            rounds: 40,
+            max_depth: 3,
+            lr: 0.3,
+            lambda: 1.0,
+            min_samples_leaf: 2,
+            min_gain: 1e-6,
+            scale_pos_weight_cap: 25.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf(f64),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf(v) => return *v,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// The monotone-constrained GBDT classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonotonicGbdt {
+    config: GbdtConfig,
+    trees: Vec<Tree>,
+    base_score: f64,
+    /// Index of the monotone-decreasing feature (the parallelism column —
+    /// always the last input dimension).
+    constrained: usize,
+    fitted: bool,
+}
+
+struct TreeBuilder<'a> {
+    xs: &'a [Vec<f64>],
+    grads: &'a [f64],
+    hess: &'a [f64],
+    cfg: &'a GbdtConfig,
+    constrained: usize,
+    nodes: Vec<Node>,
+}
+
+impl TreeBuilder<'_> {
+    fn leaf_value(&self, g: f64, h: f64, lo: f64, hi: f64) -> f64 {
+        (-g / (h + self.cfg.lambda)).clamp(lo, hi)
+    }
+
+    fn build(&mut self, indices: &[usize], depth: usize, lo: f64, hi: f64) -> usize {
+        let g: f64 = indices.iter().map(|&i| self.grads[i]).sum();
+        let h: f64 = indices.iter().map(|&i| self.hess[i]).sum();
+        let make_leaf = |s: &Self| Node::Leaf(s.leaf_value(g, h, lo, hi) * s.cfg.lr);
+
+        if depth >= self.cfg.max_depth || indices.len() < 2 * self.cfg.min_samples_leaf {
+            self.nodes.push(make_leaf(self));
+            return self.nodes.len() - 1;
+        }
+
+        // Greedy exact split search.
+        let parent_score = g * g / (h + self.cfg.lambda);
+        let dim = self.xs[0].len();
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        for f in 0..dim {
+            let mut sorted: Vec<usize> = indices.to_vec();
+            sorted.sort_by(|&a, &b| self.xs[a][f].partial_cmp(&self.xs[b][f]).unwrap());
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            for k in 0..sorted.len() - 1 {
+                gl += self.grads[sorted[k]];
+                hl += self.hess[sorted[k]];
+                let xv = self.xs[sorted[k]][f];
+                let xn = self.xs[sorted[k + 1]][f];
+                if xv == xn {
+                    continue; // cannot split between equal values
+                }
+                let nl = k + 1;
+                let nr = sorted.len() - nl;
+                if nl < self.cfg.min_samples_leaf || nr < self.cfg.min_samples_leaf {
+                    continue;
+                }
+                let gr = g - gl;
+                let hr = h - hl;
+                let gain = gl * gl / (hl + self.cfg.lambda) + gr * gr / (hr + self.cfg.lambda)
+                    - parent_score;
+                if gain <= self.cfg.min_gain {
+                    continue;
+                }
+                if f == self.constrained {
+                    // Split rejection: decreasing constraint requires the
+                    // low-parallelism (left) value ≥ high-parallelism value.
+                    let wl = self.leaf_value(gl, hl, lo, hi);
+                    let wr = self.leaf_value(gr, hr, lo, hi);
+                    if wl < wr {
+                        continue; // gain = −∞
+                    }
+                }
+                if best.map(|(bg, _, _)| gain > bg).unwrap_or(true) {
+                    best = Some((gain, f, (xv + xn) / 2.0));
+                }
+            }
+        }
+
+        let Some((_, feature, threshold)) = best else {
+            self.nodes.push(make_leaf(self));
+            return self.nodes.len() - 1;
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| self.xs[i][feature] <= threshold);
+
+        // Child value intervals: clamp around the midpoint for constrained
+        // splits, inherit otherwise.
+        let (l_lo, l_hi, r_lo, r_hi) = if feature == self.constrained {
+            let gl: f64 = left_idx.iter().map(|&i| self.grads[i]).sum();
+            let hl: f64 = left_idx.iter().map(|&i| self.hess[i]).sum();
+            let gr: f64 = right_idx.iter().map(|&i| self.grads[i]).sum();
+            let hr: f64 = right_idx.iter().map(|&i| self.hess[i]).sum();
+            let wl = self.leaf_value(gl, hl, lo, hi);
+            let wr = self.leaf_value(gr, hr, lo, hi);
+            let mid = (wl + wr) / 2.0;
+            (mid, hi, lo, mid)
+        } else {
+            (lo, hi, lo, hi)
+        };
+
+        let placeholder = self.nodes.len();
+        self.nodes.push(Node::Leaf(0.0)); // replaced below
+        let left = self.build(&left_idx, depth + 1, l_lo, l_hi);
+        let right = self.build(&right_idx, depth + 1, r_lo, r_hi);
+        self.nodes[placeholder] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        placeholder
+    }
+}
+
+impl MonotonicGbdt {
+    /// Fresh, unfitted model.
+    pub fn new(config: GbdtConfig) -> Self {
+        MonotonicGbdt {
+            config,
+            trees: Vec::new(),
+            base_score: 0.0,
+            constrained: 0,
+            fitted: false,
+        }
+    }
+
+    /// Number of trees in the fitted ensemble.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    fn raw_score(&self, x: &[f64]) -> f64 {
+        self.base_score + self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl BottleneckClassifier for MonotonicGbdt {
+    fn fit(&mut self, data: &[TrainPoint]) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let xs: Vec<Vec<f64>> = data.iter().map(TrainPoint::input).collect();
+        let ys: Vec<f64> = data
+            .iter()
+            .map(|p| if p.bottleneck { 1.0 } else { 0.0 })
+            .collect();
+        self.constrained = xs[0].len() - 1;
+        let pos = ys.iter().sum::<f64>() / ys.len() as f64;
+        let p0 = pos.clamp(0.01, 0.99);
+        self.base_score = (p0 / (1.0 - p0)).ln();
+        self.trees.clear();
+
+        let mut scores = vec![self.base_score; xs.len()];
+        let all: Vec<usize> = (0..xs.len()).collect();
+        // Class balancing (XGBoost's scale_pos_weight): bottleneck labels
+        // are the rare minority; without it the ensemble ignores them.
+        let pos_count = ys.iter().filter(|&&y| y > 0.5).count().max(1) as f64;
+        let spw = ((ys.len() as f64 - pos_count) / pos_count)
+            .clamp(1.0, self.config.scale_pos_weight_cap.max(1.0));
+        for _ in 0..self.config.rounds {
+            let mut grads = Vec::with_capacity(xs.len());
+            let mut hess = Vec::with_capacity(xs.len());
+            for i in 0..xs.len() {
+                let p = sigmoid(scores[i]);
+                let w = if ys[i] > 0.5 { spw } else { 1.0 };
+                grads.push(w * (p - ys[i]));
+                hess.push((w * p * (1.0 - p)).max(1e-9));
+            }
+            let mut builder = TreeBuilder {
+                xs: &xs,
+                grads: &grads,
+                hess: &hess,
+                cfg: &self.config,
+                constrained: self.constrained,
+                nodes: Vec::new(),
+            };
+            let root = builder.build(&all, 0, f64::NEG_INFINITY, f64::INFINITY);
+            debug_assert_eq!(root, 0);
+            let tree = Tree {
+                nodes: builder.nodes,
+            };
+            for i in 0..xs.len() {
+                scores[i] += tree.predict(&xs[i]);
+            }
+            self.trees.push(tree);
+        }
+        self.fitted = true;
+    }
+
+    fn predict_proba(&self, embedding: &[f64], parallelism: u32) -> f64 {
+        assert!(self.fitted, "predict before fit");
+        let x = crate::assemble_input(embedding, parallelism);
+        sigmoid(self.raw_score(&x))
+    }
+
+    fn is_monotonic(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{accuracy, recommend_min_parallelism, verify_monotonic};
+
+    fn threshold_data(thresholds: &[(f64, u32)]) -> Vec<TrainPoint> {
+        let mut data = Vec::new();
+        for &(emb, thresh) in thresholds {
+            for p in 1..=60 {
+                data.push(TrainPoint {
+                    embedding: vec![emb, emb * emb],
+                    parallelism: p,
+                    bottleneck: p < thresh,
+                });
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn learns_threshold_accurately() {
+        let data = threshold_data(&[(0.2, 12), (0.8, 35)]);
+        let mut m = MonotonicGbdt::new(GbdtConfig::default());
+        m.fit(&data);
+        assert!(accuracy(&m, &data) > 0.95, "acc {}", accuracy(&m, &data));
+        assert_eq!(m.num_trees(), 40);
+    }
+
+    #[test]
+    fn predictions_are_monotonic_in_parallelism() {
+        let data = threshold_data(&[(0.2, 12), (0.8, 35), (0.5, 20)]);
+        let mut m = MonotonicGbdt::new(GbdtConfig::default());
+        m.fit(&data);
+        // Probe both training embeddings and unseen ones.
+        let probes = vec![
+            vec![0.2, 0.04],
+            vec![0.8, 0.64],
+            vec![0.5, 0.25],
+            vec![0.35, 0.1225],
+            vec![0.65, 0.4225],
+        ];
+        assert!(verify_monotonic(&m, &probes, 100));
+    }
+
+    #[test]
+    fn recommendation_close_to_true_threshold() {
+        let data = threshold_data(&[(0.2, 12), (0.8, 35)]);
+        let mut m = MonotonicGbdt::new(GbdtConfig::default());
+        m.fit(&data);
+        let r1 = recommend_min_parallelism(&m, &[0.2, 0.04], 100).unwrap();
+        let r2 = recommend_min_parallelism(&m, &[0.8, 0.64], 100).unwrap();
+        assert!((10..=14).contains(&r1), "r1 = {r1}");
+        assert!((32..=38).contains(&r2), "r2 = {r2}");
+    }
+
+    #[test]
+    fn interpolates_between_seen_embeddings_monotonically() {
+        let data = threshold_data(&[(0.1, 8), (0.9, 40)]);
+        let mut m = MonotonicGbdt::new(GbdtConfig::default());
+        m.fit(&data);
+        let r_mid = recommend_min_parallelism(&m, &[0.5, 0.25], 100).unwrap();
+        assert!((6..=42).contains(&r_mid), "r_mid = {r_mid}");
+    }
+
+    #[test]
+    fn all_one_class_predicts_that_class() {
+        let data: Vec<TrainPoint> = (1..=20)
+            .map(|p| TrainPoint {
+                embedding: vec![0.3, 0.3],
+                parallelism: p,
+                bottleneck: false,
+            })
+            .collect();
+        let mut m = MonotonicGbdt::new(GbdtConfig::default());
+        m.fit(&data);
+        assert!(!m.predict(&[0.3, 0.3], 5));
+    }
+
+    #[test]
+    fn handles_tiny_dataset() {
+        let data = vec![
+            TrainPoint {
+                embedding: vec![0.5, 0.5],
+                parallelism: 1,
+                bottleneck: true,
+            },
+            TrainPoint {
+                embedding: vec![0.5, 0.5],
+                parallelism: 50,
+                bottleneck: false,
+            },
+        ];
+        let mut m = MonotonicGbdt::new(GbdtConfig::default());
+        m.fit(&data);
+        // Even with 2 points the monotone order must hold.
+        assert!(m.predict_proba(&[0.5, 0.5], 1) >= m.predict_proba(&[0.5, 0.5], 50));
+    }
+}

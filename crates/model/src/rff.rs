@@ -1,0 +1,125 @@
+//! Random Fourier features — the kernel trick for the SVM head.
+//!
+//! Paper Eq. 4 applies a feature map `φ(h)` induced by an RBF kernel to the
+//! embedding part of the input (the parallelism dimension stays linear so
+//! `w_p ≤ 0` keeps its monotonic meaning). Rahimi–Recht random features
+//! approximate the RBF kernel: `φ(h)_i = √(2/D) · cos(ω_i·h + b_i)` with
+//! `ω ~ N(0, γ·I)`, `b ~ U[0, 2π]`.
+
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An RBF-kernel random feature map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomFourierFeatures {
+    /// `D × d` frequency matrix (row i = ω_i).
+    omegas: Vec<Vec<f64>>,
+    /// Phase offsets, length `D`.
+    phases: Vec<f64>,
+    /// Input dimension `d`.
+    input_dim: usize,
+}
+
+impl RandomFourierFeatures {
+    /// Sample a map of `output_dim` features for inputs of `input_dim`
+    /// dims, approximating `exp(-γ‖a−b‖²/2)`.
+    pub fn new(input_dim: usize, output_dim: usize, gamma: f64, seed: u64) -> Self {
+        assert!(gamma > 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let omegas = (0..output_dim)
+            .map(|_| {
+                (0..input_dim)
+                    .map(|_| gaussian(&mut rng) * gamma.sqrt())
+                    .collect()
+            })
+            .collect();
+        let phases = (0..output_dim)
+            .map(|_| rng.random_range(0.0..std::f64::consts::TAU))
+            .collect();
+        RandomFourierFeatures {
+            omegas,
+            phases,
+            input_dim,
+        }
+    }
+
+    /// Output dimension `D`.
+    pub fn output_dim(&self) -> usize {
+        self.omegas.len()
+    }
+
+    /// Input dimension `d`.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Map one input vector.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_dim, "input dim mismatch");
+        let scale = (2.0 / self.output_dim() as f64).sqrt();
+        self.omegas
+            .iter()
+            .zip(&self.phases)
+            .map(|(w, &b)| {
+                let dot: f64 = w.iter().zip(x).map(|(wi, xi)| wi * xi).sum();
+                scale * (dot + b).cos()
+            })
+            .collect()
+    }
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    // Box–Muller.
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn approximates_rbf_kernel() {
+        let gamma = 0.5;
+        let rff = RandomFourierFeatures::new(4, 512, gamma, 42);
+        let a = vec![0.2, -0.1, 0.4, 0.0];
+        let b = vec![0.1, 0.3, -0.2, 0.5];
+        let fa = rff.transform(&a);
+        let fb = rff.transform(&b);
+        let approx = dot(&fa, &fb);
+        let sq: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum();
+        let exact = (-gamma * sq / 2.0).exp();
+        assert!(
+            (approx - exact).abs() < 0.1,
+            "kernel approx {approx} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn self_similarity_near_one() {
+        let rff = RandomFourierFeatures::new(3, 512, 1.0, 7);
+        let x = vec![1.0, 2.0, 3.0];
+        let f = rff.transform(&x);
+        assert!((dot(&f, &f) - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = RandomFourierFeatures::new(3, 16, 1.0, 9);
+        let b = RandomFourierFeatures::new(3, 16, 1.0, 9);
+        assert_eq!(
+            a.transform(&[1.0, 0.0, -1.0]),
+            b.transform(&[1.0, 0.0, -1.0])
+        );
+        let c = RandomFourierFeatures::new(3, 16, 1.0, 10);
+        assert_ne!(
+            a.transform(&[1.0, 0.0, -1.0]),
+            c.transform(&[1.0, 0.0, -1.0])
+        );
+    }
+}

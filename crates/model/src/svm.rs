@@ -1,0 +1,304 @@
+//! Monotonic soft-margin SVM (paper Eq. 5).
+//!
+//! Decision function `f(x) = w_e·φ(h) + w_p·p + b` with hinge loss, L2
+//! regularization, and the monotonicity constraint `w_p ≤ 0` enforced by
+//! projection after every gradient step (projected subgradient descent on
+//! the convex objective — the projection keeps iterates feasible, so the
+//! constraint holds *exactly*, not approximately).
+//!
+//! Class +1 = bottleneck; `w_p ≤ 0` then makes `P(bottleneck)` =
+//! `σ(f)` non-increasing in parallelism, as required.
+
+use crate::rff::RandomFourierFeatures;
+use crate::{BottleneckClassifier, TrainPoint, PARALLELISM_NORM};
+use serde::{Deserialize, Serialize};
+
+/// SVM hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvmConfig {
+    /// Soft-margin penalty `C`.
+    pub c: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Initial learning rate (decays as 1/√t).
+    pub lr: f64,
+    /// Optional kernel trick: number of random Fourier features over the
+    /// embedding part (`None` = linear on `h`).
+    pub rff_dim: Option<usize>,
+    /// RBF bandwidth for the kernel map.
+    pub rff_gamma: f64,
+    /// Seed for the feature map and shuffling.
+    pub seed: u64,
+    /// Sigmoid sharpness for probability calibration.
+    pub proba_scale: f64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            c: 10.0,
+            epochs: 120,
+            lr: 0.5,
+            rff_dim: Some(64),
+            rff_gamma: 1.0,
+            seed: 23,
+            proba_scale: 3.0,
+        }
+    }
+}
+
+/// The monotonic SVM model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonotonicSvm {
+    config: SvmConfig,
+    rff: Option<RandomFourierFeatures>,
+    /// Per-dimension standardization of the raw embedding (GNN activations
+    /// have arbitrary scale; the RBF kernel needs unit-scale inputs).
+    feat_mean: Vec<f64>,
+    feat_std: Vec<f64>,
+    /// Weights over φ(h).
+    w_e: Vec<f64>,
+    /// Weight on the (normalized) parallelism — constrained ≤ 0.
+    w_p: f64,
+    bias: f64,
+    fitted: bool,
+}
+
+impl MonotonicSvm {
+    /// Fresh, unfitted model.
+    pub fn new(config: SvmConfig) -> Self {
+        MonotonicSvm {
+            config,
+            rff: None,
+            feat_mean: Vec::new(),
+            feat_std: Vec::new(),
+            w_e: Vec::new(),
+            w_p: 0.0,
+            bias: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// The learned parallelism weight (always ≤ 0 after fitting).
+    pub fn parallelism_weight(&self) -> f64 {
+        self.w_p
+    }
+
+    fn standardize(&self, embedding: &[f64]) -> Vec<f64> {
+        if self.feat_mean.is_empty() {
+            return embedding.to_vec();
+        }
+        embedding
+            .iter()
+            .zip(self.feat_mean.iter().zip(&self.feat_std))
+            .map(|(&x, (&m, &s))| (x - m) / s)
+            .collect()
+    }
+
+    fn features(&self, embedding: &[f64]) -> Vec<f64> {
+        let z = self.standardize(embedding);
+        match &self.rff {
+            Some(rff) => rff.transform(&z),
+            None => z,
+        }
+    }
+
+    /// Raw decision value `f(x)`.
+    pub fn decision(&self, embedding: &[f64], parallelism: u32) -> f64 {
+        let phi = self.features(embedding);
+        let we_dot: f64 = self.w_e.iter().zip(&phi).map(|(w, x)| w * x).sum();
+        we_dot + self.w_p * (f64::from(parallelism) / PARALLELISM_NORM) + self.bias
+    }
+}
+
+impl BottleneckClassifier for MonotonicSvm {
+    fn fit(&mut self, data: &[TrainPoint]) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let dim = data[0].embedding.len();
+        // Standardize each embedding dimension over the training set.
+        let n_pts = data.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for pt in data {
+            for (m, &x) in mean.iter_mut().zip(&pt.embedding) {
+                *m += x / n_pts;
+            }
+        }
+        let mut var = vec![0.0; dim];
+        for pt in data {
+            for ((v, &m), &x) in var.iter_mut().zip(&mean).zip(&pt.embedding) {
+                *v += (x - m) * (x - m) / n_pts;
+            }
+        }
+        self.feat_mean = mean;
+        self.feat_std = var.into_iter().map(|v| v.sqrt().max(1e-6)).collect();
+        // RBF bandwidth relative to the standardized dimensionality so the
+        // kernel stays informative regardless of the embedding scale.
+        let gamma = self.config.rff_gamma / dim as f64;
+        self.rff = self
+            .config
+            .rff_dim
+            .map(|d| RandomFourierFeatures::new(dim, d, gamma, self.config.seed));
+        let feat_dim = self.config.rff_dim.unwrap_or(dim);
+        self.w_e = vec![0.0; feat_dim];
+        self.w_p = 0.0;
+        self.bias = 0.0;
+
+        // Precompute feature vectors (the map is fixed).
+        let phis: Vec<Vec<f64>> = data.iter().map(|pt| self.features(&pt.embedding)).collect();
+        let ps: Vec<f64> = data
+            .iter()
+            .map(|pt| f64::from(pt.parallelism) / PARALLELISM_NORM)
+            .collect();
+        let ys: Vec<f64> = data
+            .iter()
+            .map(|pt| if pt.bottleneck { 1.0 } else { -1.0 })
+            .collect();
+
+        let n = data.len() as f64;
+        // Class-balanced penalties: bottleneck labels are the rare,
+        // decisive minority; weight them so the hinge loss cannot ignore
+        // them (standard class-weighted SVM).
+        let pos = ys.iter().filter(|&&y| y > 0.0).count().max(1) as f64;
+        let neg = (data.len() as f64 - pos).max(1.0);
+        let c_pos = self.config.c * (n / (2.0 * pos)).min(25.0);
+        let c_neg = self.config.c * (n / (2.0 * neg)).min(25.0);
+        let mut t = 0.0_f64;
+        // A simple deterministic index shuffle per epoch.
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let len = order.len().max(1);
+        for epoch in 0..self.config.epochs {
+            // Rotate the visit order deterministically.
+            order.rotate_left(epoch % len);
+            for &i in &order {
+                t += 1.0;
+                let lr = self.config.lr / t.sqrt();
+                let margin = ys[i]
+                    * (self
+                        .w_e
+                        .iter()
+                        .zip(&phis[i])
+                        .map(|(w, x)| w * x)
+                        .sum::<f64>()
+                        + self.w_p * ps[i]
+                        + self.bias);
+                let c = if ys[i] > 0.0 { c_pos } else { c_neg };
+                // Subgradient of (1/2)‖w‖²/n + C_y·hinge, per-sample.
+                for (w, &x) in self.w_e.iter_mut().zip(&phis[i]) {
+                    let reg = *w / n;
+                    let loss = if margin < 1.0 { -c * ys[i] * x } else { 0.0 };
+                    *w -= lr * (reg + loss);
+                }
+                let regp = self.w_p / n;
+                let lossp = if margin < 1.0 {
+                    -c * ys[i] * ps[i]
+                } else {
+                    0.0
+                };
+                self.w_p -= lr * (regp + lossp);
+                if margin < 1.0 {
+                    self.bias -= lr * (-c * ys[i]);
+                }
+                // Projection: keep the monotonic constraint exactly feasible.
+                self.w_p = self.w_p.min(0.0);
+            }
+        }
+        self.fitted = true;
+    }
+
+    fn predict_proba(&self, embedding: &[f64], parallelism: u32) -> f64 {
+        assert!(self.fitted, "predict before fit");
+        let f = self.decision(embedding, parallelism);
+        1.0 / (1.0 + (-self.config.proba_scale * f).exp())
+    }
+
+    fn is_monotonic(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{accuracy, recommend_min_parallelism, verify_monotonic};
+
+    /// Threshold data: bottleneck iff p < thresh, where thresh depends on
+    /// the (1-d) embedding.
+    fn threshold_data(thresholds: &[(f64, u32)]) -> Vec<TrainPoint> {
+        let mut data = Vec::new();
+        for &(emb, thresh) in thresholds {
+            for p in (1..=60).step_by(3) {
+                data.push(TrainPoint {
+                    embedding: vec![emb, 1.0 - emb],
+                    parallelism: p,
+                    bottleneck: p < thresh,
+                });
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn learns_simple_threshold() {
+        let data = threshold_data(&[(0.2, 12), (0.8, 30)]);
+        let mut svm = MonotonicSvm::new(SvmConfig::default());
+        svm.fit(&data);
+        assert!(accuracy(&svm, &data) > 0.9, "acc {}", accuracy(&svm, &data));
+    }
+
+    #[test]
+    fn parallelism_weight_is_nonpositive() {
+        let data = threshold_data(&[(0.5, 20)]);
+        let mut svm = MonotonicSvm::new(SvmConfig::default());
+        svm.fit(&data);
+        assert!(svm.parallelism_weight() <= 0.0);
+    }
+
+    #[test]
+    fn predictions_are_monotonic() {
+        let data = threshold_data(&[(0.2, 12), (0.8, 30)]);
+        let mut svm = MonotonicSvm::new(SvmConfig::default());
+        svm.fit(&data);
+        assert!(verify_monotonic(
+            &svm,
+            &[vec![0.2, 0.8], vec![0.8, 0.2], vec![0.5, 0.5]],
+            100
+        ));
+    }
+
+    #[test]
+    fn recommendation_near_true_threshold() {
+        let data = threshold_data(&[(0.2, 12), (0.8, 30)]);
+        let mut svm = MonotonicSvm::new(SvmConfig::default());
+        svm.fit(&data);
+        let rec = recommend_min_parallelism(&svm, &[0.2, 0.8], 100).unwrap();
+        assert!(
+            (8..=18).contains(&rec),
+            "recommended {rec}, true threshold 12"
+        );
+        let rec_hi = recommend_min_parallelism(&svm, &[0.8, 0.2], 100).unwrap();
+        assert!(
+            (24..=38).contains(&rec_hi),
+            "recommended {rec_hi}, true threshold 30"
+        );
+        assert!(rec < rec_hi);
+    }
+
+    #[test]
+    fn linear_variant_also_monotonic() {
+        let data = threshold_data(&[(0.3, 15)]);
+        let mut svm = MonotonicSvm::new(SvmConfig {
+            rff_dim: None,
+            ..Default::default()
+        });
+        svm.fit(&data);
+        assert!(verify_monotonic(&svm, &[vec![0.3, 0.7]], 100));
+        assert!(accuracy(&svm, &data) > 0.85);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let svm = MonotonicSvm::new(SvmConfig::default());
+        let _ = svm.predict_proba(&[0.0, 0.0], 1);
+    }
+}

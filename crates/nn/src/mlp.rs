@@ -1,0 +1,215 @@
+//! Multilayer perceptrons built on the tape.
+
+use crate::matrix::Matrix;
+use crate::optim::{Bindings, ParamId, ParamSet};
+use crate::tape::{Tape, Var};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Activation applied after a linear layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (no activation).
+    Linear,
+}
+
+/// One dense layer: `activation(x W + b)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseLayer {
+    /// Weight parameter id (`in_dim × out_dim`).
+    pub w: ParamId,
+    /// Bias parameter id (`1 × out_dim`).
+    pub b: ParamId,
+    /// Activation.
+    pub activation: Activation,
+}
+
+impl DenseLayer {
+    /// Create and register a layer's parameters.
+    pub fn new<R: Rng>(
+        params: &mut ParamSet,
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let w = params.register(Matrix::xavier(in_dim, out_dim, rng));
+        let b = params.register(Matrix::zeros(1, out_dim));
+        DenseLayer { w, b, activation }
+    }
+
+    /// Forward through the tape (training path).
+    pub fn forward(
+        &self,
+        params: &ParamSet,
+        tape: &mut Tape,
+        bindings: &mut Bindings,
+        x: Var,
+    ) -> Var {
+        let w = params.bind(self.w, tape, bindings);
+        let b = params.bind(self.b, tape, bindings);
+        let xw = tape.matmul(x, w);
+        let z = tape.add_bias(xw, b);
+        match self.activation {
+            Activation::Relu => tape.relu(z),
+            Activation::Sigmoid => tape.sigmoid(z),
+            Activation::Tanh => tape.tanh(z),
+            Activation::Linear => z,
+        }
+    }
+
+    /// Pure inference without a tape.
+    pub fn infer(&self, params: &ParamSet, x: &Matrix) -> Matrix {
+        let z = x
+            .matmul(params.value(self.w))
+            .add_row_broadcast(params.value(self.b));
+        match self.activation {
+            Activation::Relu => z.map(|v| v.max(0.0)),
+            Activation::Sigmoid => z.map(|v| 1.0 / (1.0 + (-v).exp())),
+            Activation::Tanh => z.map(f64::tanh),
+            Activation::Linear => z,
+        }
+    }
+}
+
+/// A stack of dense layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    /// Layers in order.
+    pub layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer sizes, hidden activation `hidden`,
+    /// and output activation `output`.
+    ///
+    /// `dims = [in, h1, …, out]` creates `dims.len() - 1` layers.
+    pub fn new<R: Rng>(
+        params: &mut ParamSet,
+        dims: &[usize],
+        hidden: Activation,
+        output: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let act = if i + 2 == dims.len() { output } else { hidden };
+            layers.push(DenseLayer::new(params, dims[i], dims[i + 1], act, rng));
+        }
+        Mlp { layers }
+    }
+
+    /// Forward through the tape.
+    pub fn forward(
+        &self,
+        params: &ParamSet,
+        tape: &mut Tape,
+        bindings: &mut Bindings,
+        mut x: Var,
+    ) -> Var {
+        for layer in &self.layers {
+            x = layer.forward(params, tape, bindings, x);
+        }
+        x
+    }
+
+    /// Tape-free inference.
+    pub fn infer(&self, params: &ParamSet, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.infer(params, &h);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::AdamConfig;
+    use rand::SeedableRng;
+
+    /// Train a 2-layer MLP on XOR — the classic non-linear sanity check.
+    #[test]
+    fn mlp_learns_xor() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut params = ParamSet::new();
+        let mlp = Mlp::new(
+            &mut params,
+            &[2, 8, 1],
+            Activation::Tanh,
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let y = Matrix::col_vector(&[0.0, 1.0, 1.0, 0.0]);
+        let mask = Matrix::col_vector(&[1.0; 4]);
+        let cfg = AdamConfig {
+            lr: 0.05,
+            ..Default::default()
+        };
+        let mut last_loss = f64::INFINITY;
+        for _ in 0..800 {
+            let mut tape = Tape::new();
+            let mut b = Bindings::new();
+            let xv = tape.leaf(x.clone());
+            let pred = mlp.forward(&params, &mut tape, &mut b, xv);
+            let (loss, grad) = Tape::bce_grad(tape.value(pred), &y, &mask);
+            tape.backward_from(pred, grad);
+            params.adam_step(&tape, &b, &cfg);
+            last_loss = loss;
+        }
+        assert!(last_loss < 0.1, "XOR loss {last_loss}");
+        let out = mlp.infer(&params, &x);
+        assert!(out.get(0, 0) < 0.3);
+        assert!(out.get(1, 0) > 0.7);
+        assert!(out.get(2, 0) > 0.7);
+        assert!(out.get(3, 0) < 0.3);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut params = ParamSet::new();
+        let mlp = Mlp::new(
+            &mut params,
+            &[3, 5, 2],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng,
+        );
+        let x = Matrix::from_rows(&[vec![0.1, 0.2, 0.3], vec![-1.0, 0.5, 2.0]]);
+        let mut tape = Tape::new();
+        let mut b = Bindings::new();
+        let xv = tape.leaf(x.clone());
+        let out = mlp.forward(&params, &mut tape, &mut b, xv);
+        let inferred = mlp.infer(&params, &x);
+        assert_eq!(tape.value(out), &inferred);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least input and output dims")]
+    fn mlp_rejects_single_dim() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut params = ParamSet::new();
+        let _ = Mlp::new(
+            &mut params,
+            &[3],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Parameter storage and optimizers (SGD, Adam).
+
+use crate::matrix::Matrix;
+use crate::tape::{Tape, Var};
+use serde::{Deserialize, Serialize};
+
+/// Handle to a trainable parameter inside a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamId(usize);
+
+/// A set of trainable parameters with Adam moment buffers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSet {
+    values: Vec<Matrix>,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+    step: u64,
+}
+
+impl Default for ParamSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParamSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        ParamSet {
+            values: Vec::new(),
+            m: Vec::new(),
+            v: Vec::new(),
+            step: 0,
+        }
+    }
+
+    /// Register a parameter; returns its id.
+    pub fn register(&mut self, value: Matrix) -> ParamId {
+        let (r, c) = value.shape();
+        self.values.push(value);
+        self.m.push(Matrix::zeros(r, c));
+        self.v.push(Matrix::zeros(r, c));
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable value (e.g. for constraint projection).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(|m| m.data().len()).sum()
+    }
+
+    /// Bind a parameter into `tape` as a leaf; record the binding for the
+    /// optimizer step.
+    pub fn bind(&self, id: ParamId, tape: &mut Tape, bindings: &mut Bindings) -> Var {
+        let var = tape.leaf(self.values[id.0].clone());
+        bindings.pairs.push((id, var));
+        var
+    }
+
+    /// Apply one Adam update from the gradients accumulated on `tape` for
+    /// the bound parameters.
+    pub fn adam_step(&mut self, tape: &Tape, bindings: &Bindings, cfg: &AdamConfig) {
+        self.step += 1;
+        let t = self.step as f64;
+        let bc1 = 1.0 - cfg.beta1.powf(t);
+        let bc2 = 1.0 - cfg.beta2.powf(t);
+        for &(id, var) in &bindings.pairs {
+            let g = tape.grad(var);
+            let i = id.0;
+            for k in 0..g.data().len() {
+                let grad = g.data()[k];
+                let m = cfg.beta1 * self.m[i].data()[k] + (1.0 - cfg.beta1) * grad;
+                let v = cfg.beta2 * self.v[i].data()[k] + (1.0 - cfg.beta2) * grad * grad;
+                self.m[i].data_mut()[k] = m;
+                self.v[i].data_mut()[k] = v;
+                let mhat = m / bc1;
+                let vhat = v / bc2;
+                self.values[i].data_mut()[k] -= cfg.lr * mhat / (vhat.sqrt() + cfg.eps);
+            }
+        }
+    }
+
+    /// Plain SGD update (used by tests and the SVM head).
+    pub fn sgd_step(&mut self, tape: &Tape, bindings: &Bindings, lr: f64) {
+        for &(id, var) in &bindings.pairs {
+            let g = tape.grad(var);
+            let i = id.0;
+            for k in 0..g.data().len() {
+                self.values[i].data_mut()[k] -= lr * g.data()[k];
+            }
+        }
+    }
+}
+
+/// Records which tape leaves correspond to which parameters in one forward.
+#[derive(Debug, Default)]
+pub struct Bindings {
+    pairs: Vec<(ParamId, Var)>,
+}
+
+impl Bindings {
+    /// Empty bindings for a fresh forward pass.
+    pub fn new() -> Self {
+        Bindings::default()
+    }
+}
+
+/// Adam hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical floor.
+    pub eps: f64,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-2,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize ‖x − target‖² with Adam; must converge.
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut params = ParamSet::new();
+        let x = params.register(Matrix::row_vector(&[5.0, -3.0]));
+        let target = Matrix::row_vector(&[1.0, 2.0]);
+        let cfg = AdamConfig {
+            lr: 0.1,
+            ..Default::default()
+        };
+        for _ in 0..500 {
+            let mut tape = Tape::new();
+            let mut bindings = Bindings::new();
+            let xv = params.bind(x, &mut tape, &mut bindings);
+            let t = tape.leaf(target.clone());
+            let d = tape.sub(xv, t);
+            let sq = tape.mul(d, d);
+            let ones = tape.leaf(Matrix::col_vector(&[1.0, 1.0]));
+            let loss = tape.matmul(sq, ones);
+            tape.backward_from(loss, Matrix::full(1, 1, 1.0));
+            params.adam_step(&tape, &bindings, &cfg);
+        }
+        let v = params.value(x);
+        assert!((v.get(0, 0) - 1.0).abs() < 1e-3, "{v:?}");
+        assert!((v.get(0, 1) - 2.0).abs() < 1e-3, "{v:?}");
+    }
+
+    #[test]
+    fn sgd_descends() {
+        let mut params = ParamSet::new();
+        let x = params.register(Matrix::row_vector(&[4.0]));
+        for _ in 0..100 {
+            let mut tape = Tape::new();
+            let mut b = Bindings::new();
+            let xv = params.bind(x, &mut tape, &mut b);
+            let loss = tape.mul(xv, xv);
+            tape.backward_from(loss, Matrix::full(1, 1, 1.0));
+            params.sgd_step(&tape, &b, 0.1);
+        }
+        assert!(params.value(x).get(0, 0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn param_registration_counts() {
+        let mut p = ParamSet::new();
+        assert!(p.is_empty());
+        p.register(Matrix::zeros(2, 3));
+        p.register(Matrix::zeros(1, 4));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.num_scalars(), 10);
+    }
+}

@@ -1,0 +1,379 @@
+//! Tiny reverse-mode autodiff over [`Matrix`] values.
+//!
+//! A [`Tape`] is an arena of operation nodes built during the forward pass;
+//! [`Tape::backward`] walks it in reverse, accumulating gradients. Graph
+//! aggregation in the GNN is expressed as multiplication by constant
+//! (row-normalized) adjacency matrices, so the whole encoder is expressible
+//! with the handful of ops here.
+
+use crate::matrix::Matrix;
+
+/// Handle to a value on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Leaf value (input or parameter); no backward.
+    Leaf,
+    /// `a × b` (matrix product).
+    MatMul(usize, usize),
+    /// `a + b` (same shape).
+    Add(usize, usize),
+    /// `a - b`.
+    Sub(usize, usize),
+    /// `a ⊙ b` elementwise.
+    Mul(usize, usize),
+    /// `a + bias` broadcast of 1×c row to each row of a.
+    AddBias(usize, usize),
+    /// `relu(a)`.
+    Relu(usize),
+    /// `sigmoid(a)`.
+    Sigmoid(usize),
+    /// `tanh(a)`.
+    Tanh(usize),
+    /// `a · s` scalar.
+    Scale(usize, f64),
+    /// Column concatenation `[a | b]`.
+    ConcatCols(usize, usize, usize), // (a, b, a_cols)
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    op: Op,
+    value: Matrix,
+    grad: Matrix,
+}
+
+/// Arena of forward values + backward rules.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// New empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        let (r, c) = value.shape();
+        self.nodes.push(Node {
+            op,
+            value,
+            grad: Matrix::zeros(r, c),
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Insert a leaf (input or parameter snapshot).
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(Op::Leaf, value)
+    }
+
+    /// Current value of `v`.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of the loss w.r.t. `v` (valid after [`Tape::backward`]).
+    pub fn grad(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].grad
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(Op::MatMul(a.0, b.0), v)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        self.push(Op::Add(a.0, b.0), v)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        self.push(Op::Sub(a.0, b.0), v)
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(Op::Mul(a.0, b.0), v)
+    }
+
+    /// Broadcast-add a 1×c bias row to every row of `a`.
+    pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
+        let v = self.nodes[a.0]
+            .value
+            .add_row_broadcast(&self.nodes[bias.0].value);
+        self.push(Op::AddBias(a.0, bias.0), v)
+    }
+
+    /// ReLU activation.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(Op::Relu(a.0), v)
+    }
+
+    /// Sigmoid activation.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid(a.0), v)
+    }
+
+    /// Tanh activation.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f64::tanh);
+        self.push(Op::Tanh(a.0), v)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, s: f64) -> Var {
+        let v = self.nodes[a.0].value.scale(s);
+        self.push(Op::Scale(a.0, s), v)
+    }
+
+    /// Column concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let ac = self.nodes[a.0].value.cols();
+        let v = self.nodes[a.0].value.concat_cols(&self.nodes[b.0].value);
+        self.push(Op::ConcatCols(a.0, b.0, ac), v)
+    }
+
+    /// Masked binary cross-entropy loss against `targets` for the rows
+    /// selected by `mask` (1.0 = labeled, 0.0 = ignore); `pred` must hold
+    /// probabilities in (0,1). Returns `(loss_value, d_loss/d_pred)` and the
+    /// gradient is seeded internally — call [`Tape::backward_from`] with the
+    /// returned gradient.
+    pub fn bce_grad(pred: &Matrix, targets: &Matrix, mask: &Matrix) -> (f64, Matrix) {
+        assert_eq!(pred.shape(), targets.shape());
+        assert_eq!(pred.shape(), mask.shape());
+        let eps = 1e-9;
+        let labeled: f64 = mask.data().iter().sum::<f64>().max(1.0);
+        let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+        let mut loss = 0.0;
+        for i in 0..pred.data().len() {
+            let m = mask.data()[i];
+            if m == 0.0 {
+                continue;
+            }
+            let p = pred.data()[i].clamp(eps, 1.0 - eps);
+            let y = targets.data()[i];
+            loss += -(y * p.ln() + (1.0 - y) * (1.0 - p).ln());
+            grad.data_mut()[i] = (p - y) / (p * (1.0 - p)) / labeled;
+        }
+        (loss / labeled, grad)
+    }
+
+    /// Run backward from `output` with an explicit output gradient.
+    pub fn backward_from(&mut self, output: Var, out_grad: Matrix) {
+        assert_eq!(self.nodes[output.0].value.shape(), out_grad.shape());
+        for n in &mut self.nodes {
+            let (r, c) = n.value.shape();
+            n.grad = Matrix::zeros(r, c);
+        }
+        self.nodes[output.0].grad = out_grad;
+        for i in (0..=output.0).rev() {
+            let grad = self.nodes[i].grad.clone();
+            if grad.norm() == 0.0 {
+                continue;
+            }
+            match self.nodes[i].op.clone() {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let ga = grad.matmul(&self.nodes[b].value.transpose());
+                    let gb = self.nodes[a].value.transpose().matmul(&grad);
+                    self.accumulate(a, ga);
+                    self.accumulate(b, gb);
+                }
+                Op::Add(a, b) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, grad);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, grad.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let ga = grad.hadamard(&self.nodes[b].value);
+                    let gb = grad.hadamard(&self.nodes[a].value);
+                    self.accumulate(a, ga);
+                    self.accumulate(b, gb);
+                }
+                Op::AddBias(a, bias) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(bias, grad.col_sums());
+                }
+                Op::Relu(a) => {
+                    let mask = self.nodes[a].value.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                    self.accumulate(a, grad.hadamard(&mask));
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let dy = y.map(|s| s * (1.0 - s));
+                    self.accumulate(a, grad.hadamard(&dy));
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let dy = y.map(|t| 1.0 - t * t);
+                    self.accumulate(a, grad.hadamard(&dy));
+                }
+                Op::Scale(a, s) => {
+                    self.accumulate(a, grad.scale(s));
+                }
+                Op::ConcatCols(a, b, a_cols) => {
+                    let rows = grad.rows();
+                    let total = grad.cols();
+                    let mut ga = Matrix::zeros(rows, a_cols);
+                    let mut gb = Matrix::zeros(rows, total - a_cols);
+                    for r in 0..rows {
+                        for c in 0..total {
+                            let g = grad.get(r, c);
+                            if c < a_cols {
+                                ga.set(r, c, g);
+                            } else {
+                                gb.set(r, c - a_cols, g);
+                            }
+                        }
+                    }
+                    self.accumulate(a, ga);
+                    self.accumulate(b, gb);
+                }
+            }
+        }
+    }
+
+    fn accumulate(&mut self, idx: usize, g: Matrix) {
+        self.nodes[idx].grad = self.nodes[idx].grad.add(&g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference check of a scalar function of one leaf.
+    fn check_grad(f: impl Fn(&mut Tape, Var) -> Var, x0: Matrix) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let y = f(&mut tape, x);
+        assert_eq!(tape.value(y).shape(), (1, 1), "loss must be scalar-shaped");
+        tape.backward_from(y, Matrix::full(1, 1, 1.0));
+        let analytic = tape.grad(x).clone();
+
+        let h = 1e-6;
+        for i in 0..x0.data().len() {
+            let mut plus = x0.clone();
+            plus.data_mut()[i] += h;
+            let mut tp = Tape::new();
+            let xp = tp.leaf(plus);
+            let yp = f(&mut tp, xp);
+            let mut minus = x0.clone();
+            minus.data_mut()[i] -= h;
+            let mut tm = Tape::new();
+            let xm = tm.leaf(minus);
+            let ym = f(&mut tm, xm);
+            let numeric = (tp.value(yp).get(0, 0) - tm.value(ym).get(0, 0)) / (2.0 * h);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "grad[{i}]: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_of_quadratic() {
+        // f(x) = sum(x ⊙ x) via x·xᵀ for a row vector.
+        check_grad(
+            |t, x| {
+                let y = t.mul(x, x);
+                // reduce 1×3 → scalar via matmul with ones.
+                let ones = t.leaf(Matrix::col_vector(&[1.0, 1.0, 1.0]));
+                t.matmul(y, ones)
+            },
+            Matrix::row_vector(&[1.0, -2.0, 0.5]),
+        );
+    }
+
+    #[test]
+    fn grad_through_relu_sigmoid() {
+        check_grad(
+            |t, x| {
+                let r = t.relu(x);
+                let s = t.sigmoid(r);
+                let ones = t.leaf(Matrix::col_vector(&[1.0, 1.0, 1.0]));
+                t.matmul(s, ones)
+            },
+            Matrix::row_vector(&[0.3, -0.7, 1.2]),
+        );
+    }
+
+    #[test]
+    fn grad_through_matmul_chain() {
+        let w = Matrix::from_vec(3, 2, vec![0.1, -0.2, 0.4, 0.3, -0.5, 0.6]);
+        check_grad(
+            move |t, x| {
+                let wv = t.leaf(w.clone());
+                let h = t.matmul(x, wv);
+                let th = t.tanh(h);
+                let ones = t.leaf(Matrix::col_vector(&[1.0, 1.0]));
+                t.matmul(th, ones)
+            },
+            Matrix::row_vector(&[0.5, -1.0, 0.25]),
+        );
+    }
+
+    #[test]
+    fn grad_through_concat_and_bias() {
+        check_grad(
+            |t, x| {
+                let c = t.leaf(Matrix::row_vector(&[2.0]));
+                let cat = t.concat_cols(x, c); // 1×4
+                let bias = t.leaf(Matrix::row_vector(&[0.1, 0.2, 0.3, 0.4]));
+                let b = t.add_bias(cat, bias);
+                let sq = t.mul(b, b);
+                let ones = t.leaf(Matrix::col_vector(&[1.0; 4]));
+                t.matmul(sq, ones)
+            },
+            Matrix::row_vector(&[1.0, 2.0, 3.0]),
+        );
+    }
+
+    #[test]
+    fn bce_grad_matches_finite_difference() {
+        let targets = Matrix::col_vector(&[1.0, 0.0, 1.0]);
+        let mask = Matrix::col_vector(&[1.0, 1.0, 0.0]);
+        let pred = Matrix::col_vector(&[0.7, 0.2, 0.9]);
+        let (loss, grad) = Tape::bce_grad(&pred, &targets, &mask);
+        assert!(loss > 0.0);
+        assert_eq!(grad.get(2, 0), 0.0, "masked row has zero grad");
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut p2 = pred.clone();
+            p2.data_mut()[i] += h;
+            let (l2, _) = Tape::bce_grad(&p2, &targets, &mask);
+            let numeric = (l2 - loss) / h;
+            assert!((grad.data()[i] - numeric).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn diamond_accumulates_both_paths() {
+        // f(x) = sum((x + x) ⊙ x): grad must collect both uses of x.
+        check_grad(
+            |t, x| {
+                let two_x = t.add(x, x);
+                let y = t.mul(two_x, x);
+                let ones = t.leaf(Matrix::col_vector(&[1.0, 1.0]));
+                t.matmul(y, ones)
+            },
+            Matrix::row_vector(&[1.5, -0.5]),
+        );
+    }
+}

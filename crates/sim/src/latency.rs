@@ -1,0 +1,198 @@
+//! Per-epoch latency model for the Timely-mode evaluation (paper Fig. 8).
+//!
+//! Paper §V-F: "per-epoch latency measures the time required to process one
+//! epoch of data, where an epoch represents a fixed time interval or a
+//! predefined data volume in Timely".
+//!
+//! Model: the latency of an epoch is dominated by the most loaded operator.
+//! For utilization `ρ = arrivals / PA < 1`, an epoch's drain time follows a
+//! queueing-style `base / (1 − ρ)` curve; at `ρ ≥ 1` backlog accumulates
+//! across epochs and latency grows linearly with the deficit. A small
+//! deterministic noise term widens the distribution like real measurements.
+
+use crate::noise::NoiseModel;
+use crate::pa::PerfProfile;
+use crate::rates::timely_steady_state;
+use serde::{Deserialize, Serialize};
+use streamtune_dataflow::{Dataflow, ParallelismAssignment};
+
+/// Configuration of the epoch latency model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Epoch length in seconds of source data.
+    pub epoch_seconds: f64,
+    /// Fixed pipeline overhead per epoch (scheduling, progress tracking).
+    pub base_latency: f64,
+    /// Multiplicative noise sigma on each epoch's latency.
+    pub sigma: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            epoch_seconds: 1.0,
+            base_latency: 0.08,
+            sigma: 0.25,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Simulate `epochs` consecutive epochs of `flow` at `assignment` and
+    /// return each epoch's latency in seconds.
+    ///
+    /// Backlog carries over between epochs: a saturated operator's queue
+    /// deepens every epoch, so its latencies climb — exactly the heavy tail
+    /// visible in the paper's CDFs when parallelism is insufficient.
+    pub fn simulate_epochs(
+        &self,
+        profile: &PerfProfile,
+        noise: &NoiseModel,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
+        epochs: usize,
+    ) -> Vec<f64> {
+        let st = timely_steady_state(profile, flow, assignment);
+        let n = flow.num_ops();
+        let mut backlog = vec![0.0_f64; n]; // records queued per operator
+        let mut out = Vec::with_capacity(epochs);
+        for e in 0..epochs {
+            let mut worst = self.base_latency;
+            for i in 0..n {
+                let pa = st.pa[i];
+                if pa <= 0.0 {
+                    continue;
+                }
+                let arrivals_per_epoch = st.arrivals[i] * self.epoch_seconds;
+                let capacity_per_epoch = pa * self.epoch_seconds;
+                let rho = st.arrivals[i] / pa;
+                let op_latency = if rho < 1.0 {
+                    // Queueing delay of the epoch batch at utilization rho,
+                    // capped to remain finite near saturation.
+                    let q = 1.0 / (1.0 - rho.min(0.995));
+                    self.base_latency * q
+                } else {
+                    // Deficit accumulates; latency is the time to drain the
+                    // standing backlog plus this epoch's batch.
+                    backlog[i] += arrivals_per_epoch - capacity_per_epoch;
+                    (backlog[i] + arrivals_per_epoch) / pa
+                };
+                worst = worst.max(op_latency);
+            }
+            let factor = (self.sigma * noise.gaussian(e as u64, 0x1A7E, 0)).exp();
+            out.push(worst * factor);
+        }
+        out
+    }
+
+    /// Percentile (0–100) of a latency sample.
+    pub fn percentile(samples: &[f64], pct: f64) -> f64 {
+        assert!(!samples.is_empty());
+        let mut v = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = (pct / 100.0 * (v.len() - 1) as f64).round() as usize;
+        v[rank.min(v.len() - 1)]
+    }
+
+    /// Empirical CDF points `(latency, fraction ≤ latency)` for plotting.
+    pub fn cdf(samples: &[f64]) -> Vec<(f64, f64)> {
+        let mut v = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = v.len() as f64;
+        v.into_iter()
+            .enumerate()
+            .map(|(i, x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamtune_dataflow::{DataflowBuilder, Operator};
+
+    fn flow(rate: f64) -> Dataflow {
+        let mut b = DataflowBuilder::new("lat-test");
+        let s = b.add_source("s", rate);
+        let f = b.add_op("f", Operator::filter(0.5, 32, 32));
+        let m = b.add_op("m", Operator::map(32, 32));
+        b.connect_source(s, f);
+        b.connect(f, m);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn provisioned_latency_is_low_and_stable() {
+        let f = flow(1.0e4);
+        let m = LatencyModel::default();
+        let lat = m.simulate_epochs(
+            &PerfProfile::default(),
+            &NoiseModel::default(),
+            &f,
+            &ParallelismAssignment::uniform(&f, 8),
+            200,
+        );
+        let p50 = LatencyModel::percentile(&lat, 50.0);
+        let p99 = LatencyModel::percentile(&lat, 99.0);
+        assert!(p50 < 0.5, "p50 {p50}");
+        assert!(p99 < 2.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn saturated_latency_grows_across_epochs() {
+        let f = flow(1.0e8);
+        let m = LatencyModel::default();
+        let lat = m.simulate_epochs(
+            &PerfProfile::default(),
+            &NoiseModel::new(1, 0.0),
+            &f,
+            &ParallelismAssignment::uniform(&f, 1),
+            50,
+        );
+        assert!(lat[49] > lat[0], "latency grows under overload");
+        assert!(lat[49] > 5.0, "late epochs severely delayed: {}", lat[49]);
+    }
+
+    #[test]
+    fn higher_parallelism_lowers_latency() {
+        let f = flow(2.0e6);
+        let m = LatencyModel::default();
+        let low = m.simulate_epochs(
+            &PerfProfile::default(),
+            &NoiseModel::new(2, 0.0),
+            &f,
+            &ParallelismAssignment::uniform(&f, 2),
+            100,
+        );
+        let high = m.simulate_epochs(
+            &PerfProfile::default(),
+            &NoiseModel::new(2, 0.0),
+            &f,
+            &ParallelismAssignment::uniform(&f, 16),
+            100,
+        );
+        assert!(
+            LatencyModel::percentile(&high, 95.0) <= LatencyModel::percentile(&low, 95.0),
+            "more parallelism should not raise p95"
+        );
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let samples = vec![3.0, 1.0, 2.0, 2.5];
+        let cdf = LatencyModel::cdf(&samples);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let s = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(LatencyModel::percentile(&s, 0.0), 1.0);
+        assert_eq!(LatencyModel::percentile(&s, 100.0), 4.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Live (in-place) reconfiguration — the paper's §VII extension.
+//!
+//! StreamTune as evaluated uses stop-and-restart reconfiguration, paying a
+//! full stabilization wait per change. The paper notes ByteDance deploys
+//! *live* rescaling internally: the JobManager applies new degrees through
+//! operator-level APIs at runtime, trading the restart downtime for a
+//! shorter per-operator migration stall proportional to how much state
+//! must move.
+//!
+//! This module models that trade-off so the `ablation_live_rescale` bench
+//! can quantify it: restart downtime is a flat
+//! [`crate::SimCluster::reconfig_wait_minutes`]; live rescaling costs a
+//! base coordination overhead plus a per-operator term scaled by the
+//! state-bearing parallelism delta.
+
+use crate::session::SimCluster;
+use serde::{Deserialize, Serialize};
+use streamtune_dataflow::{Dataflow, ParallelismAssignment};
+
+/// Cost model for live rescaling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiveRescaleModel {
+    /// Fixed coordination overhead per rescale operation (minutes).
+    pub base_minutes: f64,
+    /// Minutes per unit of *stateful* parallelism change (state shards
+    /// must be re-partitioned and shipped).
+    pub stateful_minutes_per_degree: f64,
+    /// Minutes per unit of stateless parallelism change (only channel
+    /// rewiring).
+    pub stateless_minutes_per_degree: f64,
+}
+
+impl Default for LiveRescaleModel {
+    fn default() -> Self {
+        LiveRescaleModel {
+            base_minutes: 0.5,
+            stateful_minutes_per_degree: 0.4,
+            stateless_minutes_per_degree: 0.05,
+        }
+    }
+}
+
+impl LiveRescaleModel {
+    /// Minutes of partial disruption for rescaling `flow` from `from` to
+    /// `to`. Zero when the assignments are identical.
+    pub fn rescale_minutes(
+        &self,
+        flow: &Dataflow,
+        from: &ParallelismAssignment,
+        to: &ParallelismAssignment,
+    ) -> f64 {
+        assert_eq!(from.len(), flow.num_ops());
+        assert_eq!(to.len(), flow.num_ops());
+        let mut cost = 0.0;
+        let mut any = false;
+        for op in flow.op_ids() {
+            let delta = from.degree(op).abs_diff(to.degree(op));
+            if delta == 0 {
+                continue;
+            }
+            any = true;
+            let per_degree = if flow.op(op).kind().is_stateful() {
+                self.stateful_minutes_per_degree
+            } else {
+                self.stateless_minutes_per_degree
+            };
+            cost += f64::from(delta) * per_degree;
+        }
+        if any {
+            cost + self.base_minutes
+        } else {
+            0.0
+        }
+    }
+
+    /// Downtime saved versus a stop-and-restart on `cluster` (may be
+    /// negative when a huge stateful migration exceeds the restart cost).
+    pub fn savings_vs_restart(
+        &self,
+        cluster: &SimCluster,
+        flow: &Dataflow,
+        from: &ParallelismAssignment,
+        to: &ParallelismAssignment,
+    ) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        cluster.reconfig_wait_minutes - self.rescale_minutes(flow, from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamtune_dataflow::{DataflowBuilder, OpId, Operator};
+
+    fn flow() -> Dataflow {
+        let mut b = DataflowBuilder::new("live-test");
+        let s = b.add_source("s", 1000.0);
+        let f = b.add_op("filter", Operator::filter(0.5, 32, 32));
+        let w = b.add_op(
+            "win",
+            Operator::window_aggregate(
+                streamtune_dataflow::AggregateFunction::Sum,
+                streamtune_dataflow::AggregateClass::Int,
+                streamtune_dataflow::JoinKeyClass::Int,
+                streamtune_dataflow::WindowType::Tumbling,
+                streamtune_dataflow::WindowPolicy::Time,
+                60.0,
+                0.0,
+                0.1,
+            ),
+        );
+        b.connect_source(s, f);
+        b.connect(f, w);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_assignments_cost_nothing() {
+        let f = flow();
+        let a = ParallelismAssignment::uniform(&f, 4);
+        let m = LiveRescaleModel::default();
+        assert_eq!(m.rescale_minutes(&f, &a, &a.clone()), 0.0);
+    }
+
+    #[test]
+    fn stateful_changes_cost_more_than_stateless() {
+        let f = flow();
+        let base = ParallelismAssignment::uniform(&f, 4);
+        let m = LiveRescaleModel::default();
+        let mut stateless_up = base.clone();
+        stateless_up.set_degree(OpId::new(0), 8); // filter
+        let mut stateful_up = base.clone();
+        stateful_up.set_degree(OpId::new(1), 8); // window aggregate
+        let c1 = m.rescale_minutes(&f, &base, &stateless_up);
+        let c2 = m.rescale_minutes(&f, &base, &stateful_up);
+        assert!(c2 > c1, "stateful {c2} must exceed stateless {c1}");
+    }
+
+    #[test]
+    fn small_live_rescale_beats_restart() {
+        let f = flow();
+        let cluster = SimCluster::flink_defaults(1);
+        let m = LiveRescaleModel::default();
+        let from = ParallelismAssignment::uniform(&f, 4);
+        let mut to = from.clone();
+        to.set_degree(OpId::new(0), 5);
+        let savings = m.savings_vs_restart(&cluster, &f, &from, &to);
+        assert!(
+            savings > 8.0,
+            "one-degree stateless change should save most of the 10-minute restart, saved {savings}"
+        );
+    }
+
+    #[test]
+    fn huge_stateful_migration_can_lose() {
+        let f = flow();
+        let cluster = SimCluster::flink_defaults(1);
+        let m = LiveRescaleModel {
+            stateful_minutes_per_degree: 0.4,
+            ..Default::default()
+        };
+        let from = ParallelismAssignment::uniform(&f, 1);
+        let mut to = from.clone();
+        to.set_degree(OpId::new(1), 60);
+        let savings = m.savings_vs_restart(&cluster, &f, &from, &to);
+        assert!(
+            savings < 0.0,
+            "moving 59 state shards should exceed the restart cost, saved {savings}"
+        );
+    }
+}

@@ -1,0 +1,323 @@
+//! Ground-truth processing-ability model `PA(p)`.
+//!
+//! Paper §II-A defines processing ability (PA) as the records/second an
+//! operator sustains per unit of useful time. Paper Fig. 4 measures PA
+//! against parallelism on Flink for a filter and a window operator and shows
+//! a *monotonically increasing, mildly sub-linear* relationship with a
+//! bottleneck threshold where PA crosses the offered rate.
+//!
+//! We model `PA(p) = base_rate · p^α · jitter`, with
+//! * `base_rate` derived from the operator's static features (kind cost,
+//!   tuple width, window configuration),
+//! * `α < 1` capturing coordination/state-shuffling overhead (lower for
+//!   stateful operators),
+//! * a deterministic per-operator jitter so that "the same" operator in two
+//!   different jobs has slightly different constants, as on real clusters.
+//!
+//! Tuners never see this module's outputs directly — only the noisy
+//! observations derived from them (see [`crate::noise`]).
+
+use serde::{Deserialize, Serialize};
+use streamtune_dataflow::{Dataflow, OpId, OperatorKind, StaticFeatures};
+
+/// Base per-record cost in microseconds for one parallel instance, by kind.
+fn kind_base_cost_us(kind: OperatorKind) -> f64 {
+    match kind {
+        OperatorKind::Map => 1.0,
+        OperatorKind::FlatMap => 1.4,
+        OperatorKind::Filter => 0.7,
+        OperatorKind::IncrementalJoin => 3.2,
+        OperatorKind::WindowJoin => 4.6,
+        OperatorKind::WindowAggregate => 3.4,
+        OperatorKind::Aggregate => 2.1,
+        OperatorKind::KeyBy => 0.9,
+        OperatorKind::Sink => 0.5,
+    }
+}
+
+/// Scaling exponent α by statefulness. Stateful operators pay more
+/// coordination overhead, so they scale worse (paper Fig. 4: the window
+/// operator's curve is flatter than the filter's).
+fn scaling_alpha(kind: OperatorKind) -> f64 {
+    if kind.is_stateful() {
+        0.88
+    } else {
+        0.94
+    }
+}
+
+/// Deterministic hash → uniform in [0,1).
+fn hash_unit(seed: u64, a: u64, b: u64) -> f64 {
+    // SplitMix64 over the combined key.
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(a.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(b.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn hash_str(s: &str) -> u64 {
+    // FNV-1a.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The ground-truth performance profile of one cluster: maps an operator
+/// (by its static features and identity) to its processing ability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfProfile {
+    /// Seed controlling per-operator jitter (the "hardware" identity).
+    pub seed: u64,
+    /// Relative magnitude of per-operator jitter (0.1 → ±10 %).
+    pub jitter: f64,
+    /// Global speed multiplier (1.0 = the defaults documented above).
+    pub speed: f64,
+}
+
+impl Default for PerfProfile {
+    fn default() -> Self {
+        PerfProfile {
+            seed: 0xC0FF_EE,
+            jitter: 0.10,
+            speed: 1.0,
+        }
+    }
+}
+
+impl PerfProfile {
+    /// Profile with an explicit seed and default jitter/speed.
+    pub fn with_seed(seed: u64) -> Self {
+        PerfProfile {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Per-record cost (µs) of one parallel instance of an operator with
+    /// static features `f`.
+    pub fn cost_per_record_us(&self, f: &StaticFeatures) -> f64 {
+        let base = kind_base_cost_us(f.kind);
+        // Wider tuples cost more to (de)serialize; paper §II-A "Useful Time"
+        // includes serialization+computation+deserialization.
+        let width_factor = 1.0 + (f.tuple_width_in + f.tuple_width_out) / 512.0;
+        // Windowed state maintenance scales gently with window size; sliding
+        // windows pay once per overlapping pane.
+        let window_factor = if f.window_length > 0.0 {
+            let panes = if f.sliding_length > 0.0 {
+                (f.window_length / f.sliding_length).max(1.0)
+            } else {
+                1.0
+            };
+            1.0 + 0.08 * (1.0 + f.window_length).log2() + 0.05 * (panes - 1.0)
+        } else {
+            1.0
+        };
+        base * width_factor * window_factor / self.speed
+    }
+
+    /// Ground-truth per-instance rate (records/second at `p = 1`) for
+    /// operator `op` of `flow`, including its deterministic jitter.
+    pub fn base_rate(&self, flow: &Dataflow, op: OpId) -> f64 {
+        let f = &flow.op(op).features;
+        let raw = 1.0e6 / self.cost_per_record_us(f);
+        let u = hash_unit(self.seed, hash_str(flow.name()), op.index() as u64);
+        let jitter = 1.0 + self.jitter * (2.0 * u - 1.0);
+        raw * jitter
+    }
+
+    /// Ground-truth processing ability of operator `op` at parallelism `p`.
+    ///
+    /// `PA(p) = base_rate · p^α` — strictly increasing in `p`, sub-linear,
+    /// matching the observed behaviour the paper's monotonic constraint is
+    /// built on (§IV-B).
+    pub fn pa(&self, flow: &Dataflow, op: OpId, p: u32) -> f64 {
+        assert!(p >= 1, "parallelism must be >= 1");
+        let alpha = scaling_alpha(flow.op(op).kind());
+        self.base_rate(flow, op) * f64::from(p).powf(alpha)
+    }
+
+    /// The smallest parallelism whose PA sustains `rate`, or `None` if even
+    /// `max_p` cannot. This is the *oracle* optimum used to score tuners in
+    /// tests (tuners themselves must discover it from observations).
+    pub fn oracle_min_parallelism(
+        &self,
+        flow: &Dataflow,
+        op: OpId,
+        rate: f64,
+        max_p: u32,
+    ) -> Option<u32> {
+        (1..=max_p).find(|&p| self.pa(flow, op, p) >= rate)
+    }
+}
+
+/// A sampled PA curve for one operator — used by the Fig. 4 reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcessingAbility {
+    /// Operator the curve belongs to.
+    pub op: OpId,
+    /// `(parallelism, PA records/second)` samples.
+    pub curve: Vec<(u32, f64)>,
+    /// Offered input rate against which the bottleneck threshold is defined.
+    pub offered_rate: f64,
+    /// Smallest sampled parallelism with `PA ≥ offered_rate`, if any.
+    pub bottleneck_threshold: Option<u32>,
+}
+
+impl ProcessingAbility {
+    /// Sweep `p ∈ [1, max_p]` for `op` and locate the bottleneck threshold
+    /// at `offered_rate` (paper Fig. 4).
+    pub fn sweep(
+        profile: &PerfProfile,
+        flow: &Dataflow,
+        op: OpId,
+        max_p: u32,
+        offered_rate: f64,
+    ) -> Self {
+        let curve: Vec<(u32, f64)> = (1..=max_p).map(|p| (p, profile.pa(flow, op, p))).collect();
+        let bottleneck_threshold = curve
+            .iter()
+            .find(|&&(_, pa)| pa >= offered_rate)
+            .map(|&(p, _)| p);
+        ProcessingAbility {
+            op,
+            curve,
+            offered_rate,
+            bottleneck_threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamtune_dataflow::{DataflowBuilder, Operator};
+
+    fn flow_with(op: Operator) -> (Dataflow, OpId) {
+        let mut b = DataflowBuilder::new("pa-test");
+        let s = b.add_source("s", 1000.0);
+        let id = b.add_op("op", op);
+        b.connect_source(s, id);
+        let flow = b.build().unwrap();
+        (flow, id)
+    }
+
+    #[test]
+    fn pa_is_strictly_monotonic_in_parallelism() {
+        let (flow, op) = flow_with(Operator::filter(0.5, 32, 32));
+        let prof = PerfProfile::default();
+        let mut prev = 0.0;
+        for p in 1..=64 {
+            let pa = prof.pa(&flow, op, p);
+            assert!(pa > prev, "PA must strictly increase: p={p}");
+            prev = pa;
+        }
+    }
+
+    #[test]
+    fn pa_is_sublinear() {
+        let (flow, op) = flow_with(Operator::filter(0.5, 32, 32));
+        let prof = PerfProfile::default();
+        let pa1 = prof.pa(&flow, op, 1);
+        let pa16 = prof.pa(&flow, op, 16);
+        assert!(pa16 < 16.0 * pa1, "16x parallelism must yield < 16x PA");
+        assert!(pa16 > 8.0 * pa1, "scaling should still be near-linear");
+    }
+
+    #[test]
+    fn stateful_scales_worse_than_stateless() {
+        let (f1, o1) = flow_with(Operator::filter(0.5, 32, 32));
+        let (f2, o2) = flow_with(Operator::window_aggregate(
+            streamtune_dataflow::AggregateFunction::Count,
+            streamtune_dataflow::AggregateClass::Int,
+            streamtune_dataflow::JoinKeyClass::Int,
+            streamtune_dataflow::WindowType::Tumbling,
+            streamtune_dataflow::WindowPolicy::Time,
+            60.0,
+            0.0,
+            0.01,
+        ));
+        let prof = PerfProfile::default();
+        let gain1 = prof.pa(&f1, o1, 32) / prof.pa(&f1, o1, 1);
+        let gain2 = prof.pa(&f2, o2, 32) / prof.pa(&f2, o2, 1);
+        assert!(
+            gain1 > gain2,
+            "stateless speedup {gain1} should exceed stateful {gain2}"
+        );
+    }
+
+    #[test]
+    fn filter_is_faster_than_window_join_per_instance() {
+        let (f1, o1) = flow_with(Operator::filter(0.5, 32, 32));
+        let (f2, o2) = flow_with(Operator::window_join(
+            streamtune_dataflow::JoinKeyClass::Int,
+            streamtune_dataflow::WindowType::Sliding,
+            streamtune_dataflow::WindowPolicy::Time,
+            60.0,
+            10.0,
+            0.5,
+        ));
+        let prof = PerfProfile::default();
+        assert!(prof.base_rate(&f1, o1) > prof.base_rate(&f2, o2));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let (flow, op) = flow_with(Operator::map(32, 32));
+        let prof = PerfProfile::default();
+        assert_eq!(prof.base_rate(&flow, op), prof.base_rate(&flow, op));
+        let no_jitter = PerfProfile {
+            jitter: 0.0,
+            ..PerfProfile::default()
+        };
+        let ratio = prof.base_rate(&flow, op) / no_jitter.base_rate(&flow, op);
+        assert!((0.9..=1.1).contains(&ratio), "jitter within ±10%: {ratio}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_rates() {
+        let (flow, op) = flow_with(Operator::map(32, 32));
+        let a = PerfProfile::with_seed(1).base_rate(&flow, op);
+        let b = PerfProfile::with_seed(2).base_rate(&flow, op);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sweep_finds_threshold() {
+        let (flow, op) = flow_with(Operator::filter(0.5, 32, 32));
+        let prof = PerfProfile::default();
+        // Pick an offered rate reachable mid-sweep.
+        let target = prof.pa(&flow, op, 10) * 1.001;
+        let curve = ProcessingAbility::sweep(&prof, &flow, op, 25, target);
+        let t = curve.bottleneck_threshold.unwrap();
+        assert!((10..=12).contains(&t), "threshold near 11, got {t}");
+        assert!(prof.pa(&flow, op, t) >= target);
+        assert!(prof.pa(&flow, op, t - 1) < target);
+    }
+
+    #[test]
+    fn oracle_min_parallelism_matches_sweep() {
+        let (flow, op) = flow_with(Operator::filter(0.5, 32, 32));
+        let prof = PerfProfile::default();
+        let target = prof.pa(&flow, op, 7) * 1.0001;
+        let oracle = prof.oracle_min_parallelism(&flow, op, target, 100).unwrap();
+        assert_eq!(oracle, 8);
+        assert!(prof
+            .oracle_min_parallelism(&flow, op, f64::INFINITY, 100)
+            .is_none());
+    }
+
+    #[test]
+    fn oracle_respects_max_p() {
+        let (flow, op) = flow_with(Operator::filter(0.5, 32, 32));
+        let prof = PerfProfile::default();
+        let huge = prof.pa(&flow, op, 50);
+        assert!(prof.oracle_min_parallelism(&flow, op, huge, 10).is_none());
+    }
+}

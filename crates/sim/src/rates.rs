@@ -1,0 +1,299 @@
+//! Rate propagation and backpressure fixed points.
+//!
+//! Two propagation regimes mirror the two engines of the paper:
+//!
+//! * **Demand propagation** — the rates every operator *must* sustain for
+//!   backpressure-free execution at the current source rates (paper §II-B:
+//!   "each operator must sustain all source rates"). Computed by a single
+//!   topological pass multiplying selectivities.
+//! * **Flink regime** — sources are throttled by backpressure until no
+//!   operator receives more than its processing ability. With
+//!   rate-proportional selectivities the fixed point is a global throttle
+//!   factor `s = min(1, min_op PA(op) / demand(op))`.
+//! * **Timely regime** — no backpressure: every operator forwards
+//!   `min(arrivals, PA) · selectivity`; queues at saturated operators grow
+//!   without bound (reflected in latency, see [`crate::latency`]).
+
+use crate::pa::PerfProfile;
+use streamtune_dataflow::{Dataflow, ParallelismAssignment};
+
+/// Demand rates: what each operator must sustain at full source speed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandRates {
+    /// Input records/second each operator must sustain (by OpId index).
+    pub input: Vec<f64>,
+    /// Output records/second each operator emits when sustaining its input.
+    pub output: Vec<f64>,
+}
+
+/// Compute demand rates by a topological pass (no capacity limits).
+pub fn demand_rates(flow: &Dataflow) -> DemandRates {
+    let n = flow.num_ops();
+    let mut input = vec![0.0; n];
+    let mut output = vec![0.0; n];
+    for &op in flow.topo_order() {
+        let i = op.index();
+        let mut rate = flow.direct_source_rate(op);
+        for &p in flow.preds(op) {
+            rate += output[p.index()];
+        }
+        input[i] = rate;
+        output[i] = rate * flow.op(op).selectivity();
+    }
+    DemandRates { input, output }
+}
+
+/// Flink-regime steady state under backpressure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlinkSteadyState {
+    /// Global source throttle factor in `(0, 1]`; `1.0` ⇔ backpressure-free.
+    pub throttle: f64,
+    /// Actual input rate per operator after throttling.
+    pub actual_input: Vec<f64>,
+    /// Ground-truth processing ability per operator at the deployed degrees.
+    pub pa: Vec<f64>,
+    /// Operators whose demand exceeds their PA (the binding bottlenecks).
+    pub saturated: Vec<bool>,
+    /// Operators observing backpressure: any transitive *successor* is
+    /// saturated (backpressure propagates upstream, paper §II-A).
+    pub backpressured: Vec<bool>,
+}
+
+/// Compute the Flink-regime fixed point for `flow` deployed at `assignment`.
+pub fn flink_steady_state(
+    profile: &PerfProfile,
+    flow: &Dataflow,
+    assignment: &ParallelismAssignment,
+) -> FlinkSteadyState {
+    let demand = demand_rates(flow);
+    let n = flow.num_ops();
+    let pa: Vec<f64> = flow
+        .op_ids()
+        .map(|op| profile.pa(flow, op, assignment.degree(op)))
+        .collect();
+
+    let mut throttle: f64 = 1.0;
+    for i in 0..n {
+        if demand.input[i] > pa[i] {
+            throttle = throttle.min(pa[i] / demand.input[i]);
+        }
+    }
+    // Only the *binding* operators (those whose PA/demand ratio equals the
+    // throttle) are saturated: everything downstream of them receives the
+    // throttled rate and runs below capacity, exactly as on a real engine.
+    let mut saturated = vec![false; n];
+    for i in 0..n {
+        saturated[i] =
+            demand.input[i] > pa[i] && pa[i] <= demand.input[i] * throttle * (1.0 + 1e-9);
+    }
+
+    // Backpressure propagates upstream from saturated operators: walk the
+    // reverse topological order, marking any operator with a saturated
+    // (or backpressured) successor.
+    let mut backpressured = vec![false; n];
+    for &op in flow.topo_order().iter().rev() {
+        let i = op.index();
+        for &succ in flow.succs(op) {
+            let j = succ.index();
+            if saturated[j] || backpressured[j] {
+                backpressured[i] = true;
+            }
+        }
+    }
+
+    let actual_input: Vec<f64> = demand.input.iter().map(|&d| d * throttle).collect();
+    FlinkSteadyState {
+        throttle,
+        actual_input,
+        pa,
+        saturated,
+        backpressured,
+    }
+}
+
+/// Timely-regime steady state (no backpressure, lossy forwarding).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelySteadyState {
+    /// Arrival rate at each operator (records/second).
+    pub arrivals: Vec<f64>,
+    /// Actual processed (consumed) rate: `min(arrivals, PA)`.
+    pub processed: Vec<f64>,
+    /// Ground-truth PA per operator.
+    pub pa: Vec<f64>,
+    /// Operators failing the 85 % consumption rule (paper §V-B): consumption
+    /// below 85 % of the combined upstream output rates.
+    pub bottleneck_85: Vec<bool>,
+}
+
+/// Compute the Timely-regime forward pass for `flow` at `assignment`.
+pub fn timely_steady_state(
+    profile: &PerfProfile,
+    flow: &Dataflow,
+    assignment: &ParallelismAssignment,
+) -> TimelySteadyState {
+    let n = flow.num_ops();
+    let mut arrivals = vec![0.0; n];
+    let mut processed = vec![0.0; n];
+    let mut out = vec![0.0; n];
+    let pa: Vec<f64> = flow
+        .op_ids()
+        .map(|op| profile.pa(flow, op, assignment.degree(op)))
+        .collect();
+    for &op in flow.topo_order() {
+        let i = op.index();
+        let mut arr = flow.direct_source_rate(op);
+        for &p in flow.preds(op) {
+            arr += out[p.index()];
+        }
+        arrivals[i] = arr;
+        processed[i] = arr.min(pa[i]);
+        out[i] = processed[i] * flow.op(op).selectivity();
+    }
+    let bottleneck_85 = (0..n)
+        .map(|i| arrivals[i] > 0.0 && processed[i] < 0.85 * arrivals[i])
+        .collect();
+    TimelySteadyState {
+        arrivals,
+        processed,
+        pa,
+        bottleneck_85,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamtune_dataflow::{DataflowBuilder, OpId, Operator};
+
+    /// src(1000) → filter(0.3) → map → sink, plus a second branch.
+    fn test_flow(rate: f64) -> Dataflow {
+        let mut b = DataflowBuilder::new("rates-test");
+        let s = b.add_source("s", rate);
+        let f = b.add_op("filter", Operator::filter(0.3, 32, 32));
+        let m = b.add_op("map", Operator::map(32, 32));
+        let k = b.add_op("sink", Operator::sink(32));
+        b.connect_source(s, f);
+        b.connect(f, m);
+        b.connect(m, k);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn demand_rates_multiply_selectivity() {
+        let flow = test_flow(1000.0);
+        let d = demand_rates(&flow);
+        assert_eq!(d.input[0], 1000.0);
+        assert!((d.input[1] - 300.0).abs() < 1e-9);
+        assert!((d.input[2] - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_rates_sum_over_multiple_upstreams() {
+        let mut b = DataflowBuilder::new("join");
+        let s1 = b.add_source("a", 400.0);
+        let s2 = b.add_source("b", 600.0);
+        let m1 = b.add_op("m1", Operator::map(32, 32));
+        let m2 = b.add_op("m2", Operator::map(32, 32));
+        let j = b.add_op(
+            "join",
+            Operator::incremental_join(streamtune_dataflow::JoinKeyClass::Int, 0.5, 64),
+        );
+        b.connect_source(s1, m1);
+        b.connect_source(s2, m2);
+        b.connect(m1, j);
+        b.connect(m2, j);
+        let flow = b.build().unwrap();
+        let d = demand_rates(&flow);
+        assert!((d.input[j.index()] - 1000.0).abs() < 1e-9);
+        assert!((d.output[j.index()] - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_rate_is_backpressure_free() {
+        let flow = test_flow(10.0);
+        let prof = PerfProfile::default();
+        let st = flink_steady_state(&prof, &flow, &ParallelismAssignment::uniform(&flow, 1));
+        assert_eq!(st.throttle, 1.0);
+        assert!(st.saturated.iter().all(|&s| !s));
+        assert!(st.backpressured.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn overload_throttles_and_marks_upstream_backpressure() {
+        let flow = test_flow(1.0e8); // far beyond any PA at p=1
+        let prof = PerfProfile::default();
+        let st = flink_steady_state(&prof, &flow, &ParallelismAssignment::uniform(&flow, 1));
+        assert!(st.throttle < 1.0);
+        assert!(st.saturated.iter().any(|&s| s));
+        // The first (most upstream) operator must observe backpressure if any
+        // of its successors is saturated; the filter itself is saturated.
+        assert!(st.saturated[0]);
+        // Actual input equals throttled demand.
+        assert!((st.actual_input[0] - 1.0e8 * st.throttle).abs() < 1.0);
+    }
+
+    #[test]
+    fn backpressure_propagates_transitively() {
+        // Chain where only the LAST op is slow: upstream ops all marked.
+        let mut b = DataflowBuilder::new("deep");
+        let s = b.add_source("s", 2.0e5);
+        let a = b.add_op("a", Operator::map(8, 8));
+        let c = b.add_op("b", Operator::map(8, 8));
+        let w = b.add_op(
+            "w",
+            Operator::window_join(
+                streamtune_dataflow::JoinKeyClass::Composite,
+                streamtune_dataflow::WindowType::Sliding,
+                streamtune_dataflow::WindowPolicy::Time,
+                300.0,
+                10.0,
+                0.5,
+            ),
+        );
+        b.connect_source(s, a);
+        b.connect(a, c);
+        b.connect(c, w);
+        let flow = b.build().unwrap();
+        let prof = PerfProfile::default();
+        let mut asg = ParallelismAssignment::uniform(&flow, 50);
+        asg.set_degree(OpId::new(2), 1); // starve the window join
+        let st = flink_steady_state(&prof, &flow, &asg);
+        assert!(st.saturated[2]);
+        assert!(st.backpressured[0] && st.backpressured[1]);
+        assert!(
+            !st.backpressured[2],
+            "the saturated op itself is busy, not backpressured"
+        );
+    }
+
+    #[test]
+    fn timely_forwards_capped_rates() {
+        let flow = test_flow(1.0e8);
+        let prof = PerfProfile::default();
+        let st = timely_steady_state(&prof, &flow, &ParallelismAssignment::uniform(&flow, 1));
+        // Filter saturates; map downstream sees only filter's capped output.
+        assert!(st.processed[0] < st.arrivals[0]);
+        assert!(st.bottleneck_85[0]);
+        let expected_map_arrivals = st.processed[0] * 0.3;
+        assert!((st.arrivals[1] - expected_map_arrivals).abs() < 1.0);
+    }
+
+    #[test]
+    fn timely_no_bottleneck_when_provisioned() {
+        let flow = test_flow(100.0);
+        let prof = PerfProfile::default();
+        let st = timely_steady_state(&prof, &flow, &ParallelismAssignment::uniform(&flow, 2));
+        assert!(st.bottleneck_85.iter().all(|&b| !b));
+        assert_eq!(st.processed, st.arrivals);
+    }
+
+    #[test]
+    fn raising_parallelism_clears_backpressure() {
+        let flow = test_flow(3.0e6);
+        let prof = PerfProfile::default();
+        let low = flink_steady_state(&prof, &flow, &ParallelismAssignment::uniform(&flow, 1));
+        assert!(low.throttle < 1.0);
+        let high = flink_steady_state(&prof, &flow, &ParallelismAssignment::uniform(&flow, 40));
+        assert_eq!(high.throttle, 1.0);
+    }
+}

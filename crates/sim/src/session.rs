@@ -1,0 +1,374 @@
+//! The cluster environment and tuning sessions.
+//!
+//! [`SimCluster`] is the substitute for "a Flink/Timely deployment": it owns
+//! the ground-truth performance profile, the measurement noise model and
+//! cluster limits (maximum per-operator parallelism, paper §V-A: 100 in
+//! Flink, worker count in Timely).
+//!
+//! [`TuningSession`] wraps one tuning run of one job: every `deploy` is a
+//! stop-and-restart reconfiguration (the paper's reconfiguration mechanism,
+//! §V-A) that costs a stabilization wait, increments the reconfiguration
+//! counter, records the CPU-utilization trace (Fig. 10) and counts
+//! backpressure occurrences (Table III).
+
+use crate::latency::LatencyModel;
+use crate::metrics::{observe, EngineMode, Observation, SimulationReport};
+use crate::noise::NoiseModel;
+use crate::pa::PerfProfile;
+use serde::{Deserialize, Serialize};
+use streamtune_dataflow::{Dataflow, ParallelismAssignment};
+
+/// A simulated stream-processing cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimCluster {
+    /// Engine the cluster mimics.
+    pub mode: EngineMode,
+    /// Ground-truth performance profile.
+    pub profile: PerfProfile,
+    /// Measurement noise.
+    pub noise: NoiseModel,
+    /// Maximum parallelism per operator (paper: 100 on the Flink testbed).
+    pub max_parallelism: u32,
+    /// Minutes the system needs to stabilize after a reconfiguration
+    /// (paper §V-A: a 10-minute wait is enforced between reconfigurations).
+    pub reconfig_wait_minutes: f64,
+    /// Latency model (used in Timely mode).
+    pub latency: LatencyModel,
+}
+
+impl SimCluster {
+    /// A Flink-like cluster (paper §V-A: 50 TaskManagers × 2 slots,
+    /// max parallelism 100, 10-minute stabilization).
+    pub fn flink_defaults(seed: u64) -> Self {
+        SimCluster {
+            mode: EngineMode::Flink,
+            profile: PerfProfile::with_seed(seed),
+            noise: NoiseModel::new(seed ^ 0xA5A5, 0.06).with_bias(0.88),
+            max_parallelism: 100,
+            reconfig_wait_minutes: 10.0,
+            latency: LatencyModel::default(),
+        }
+    }
+
+    /// A Timely-like cluster (single machine, ten workers → smaller
+    /// per-operator parallelism cap, much higher per-worker rates: the
+    /// paper's Timely source-rate units are ~10× Flink's, Table II).
+    pub fn timely_defaults(seed: u64) -> Self {
+        SimCluster {
+            mode: EngineMode::Timely,
+            profile: PerfProfile {
+                seed,
+                jitter: 0.10,
+                // Timely's lean single-process runtime sustains far higher
+                // per-worker rates than Flink's distributed stack — Table II
+                // uses ~10–100× larger Wu for the same queries, and the
+                // paper's Q3/Q5/Q8 run at total parallelism ≈ 1–14 on ten
+                // workers. A 40× speed factor puts the 10×Wu operating
+                // point in that same region.
+                speed: 150.0,
+            },
+            noise: NoiseModel::new(seed ^ 0x5A5A, 0.06).with_bias(0.90),
+            max_parallelism: 16,
+            reconfig_wait_minutes: 2.0,
+            latency: LatencyModel::default(),
+        }
+    }
+
+    /// Simulate one deployment without session bookkeeping.
+    pub fn simulate(
+        &self,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
+    ) -> SimulationReport {
+        observe(self.mode, &self.profile, &self.noise, flow, assignment, 0)
+    }
+
+    /// Simulate one deployment at a given observation epoch.
+    pub fn simulate_at(
+        &self,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
+        epoch: u64,
+    ) -> SimulationReport {
+        observe(
+            self.mode,
+            &self.profile,
+            &self.noise,
+            flow,
+            assignment,
+            epoch,
+        )
+    }
+
+    /// Per-epoch latencies for a deployment (Timely evaluation, Fig. 8).
+    pub fn epoch_latencies(
+        &self,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
+        epochs: usize,
+    ) -> Vec<f64> {
+        self.latency
+            .simulate_epochs(&self.profile, &self.noise, flow, assignment, epochs)
+    }
+
+    /// Ground-truth minimal backpressure-free assignment (oracle; used for
+    /// scoring tuners in tests, never visible to tuners).
+    pub fn oracle_assignment(&self, flow: &Dataflow) -> Option<ParallelismAssignment> {
+        let demand = crate::rates::demand_rates(flow);
+        let mut degrees = Vec::with_capacity(flow.num_ops());
+        for op in flow.op_ids() {
+            let p = self.profile.oracle_min_parallelism(
+                flow,
+                op,
+                demand.input[op.index()],
+                self.max_parallelism,
+            )?;
+            degrees.push(p);
+        }
+        Some(ParallelismAssignment::from_vec(degrees))
+    }
+}
+
+/// Bookkeeping for one tuning run of one job on a cluster.
+#[derive(Debug)]
+pub struct TuningSession<'a> {
+    cluster: &'a SimCluster,
+    flow: &'a Dataflow,
+    reconfigurations: u32,
+    backpressure_events: u32,
+    elapsed_minutes: f64,
+    cpu_trace: Vec<f64>,
+    parallelism_trace: Vec<u64>,
+    current: Option<ParallelismAssignment>,
+    epoch: u64,
+}
+
+impl<'a> TuningSession<'a> {
+    /// Start a session for `flow` on `cluster`.
+    pub fn new(cluster: &'a SimCluster, flow: &'a Dataflow) -> Self {
+        TuningSession {
+            cluster,
+            flow,
+            reconfigurations: 0,
+            backpressure_events: 0,
+            elapsed_minutes: 0.0,
+            cpu_trace: Vec::new(),
+            parallelism_trace: Vec::new(),
+            current: None,
+            epoch: 0,
+        }
+    }
+
+    /// Start a session where `initial` is already deployed (a running job
+    /// whose source rate just changed): the first re-deploy of the same
+    /// assignment does not count as a reconfiguration.
+    pub fn with_initial(
+        cluster: &'a SimCluster,
+        flow: &'a Dataflow,
+        initial: ParallelismAssignment,
+        epoch: u64,
+    ) -> Self {
+        let mut s = TuningSession::new(cluster, flow);
+        s.current = Some(initial);
+        s.epoch = epoch;
+        s
+    }
+
+    /// The job under tuning.
+    pub fn flow(&self) -> &Dataflow {
+        self.flow
+    }
+
+    /// The cluster.
+    pub fn cluster(&self) -> &SimCluster {
+        self.cluster
+    }
+
+    /// Maximum per-operator parallelism allowed.
+    pub fn max_parallelism(&self) -> u32 {
+        self.cluster.max_parallelism
+    }
+
+    /// Deploy `assignment` (stop-and-restart reconfiguration) and observe.
+    ///
+    /// Re-deploying an identical assignment is *not* counted as a
+    /// reconfiguration (the job keeps running), but still yields a fresh
+    /// observation after the monitoring interval.
+    pub fn deploy(&mut self, assignment: &ParallelismAssignment) -> Observation {
+        let changed = self.current.as_ref() != Some(assignment);
+        if changed {
+            self.reconfigurations += 1;
+            self.elapsed_minutes += self.cluster.reconfig_wait_minutes;
+            self.current = Some(assignment.clone());
+        } else {
+            // Pure monitoring interval.
+            self.elapsed_minutes += self.cluster.reconfig_wait_minutes / 2.0;
+        }
+        self.epoch += 1;
+        let report = self.cluster.simulate_at(self.flow, assignment, self.epoch);
+        // Backpressure occurrences (paper Table III) are attributed to the
+        // tuner's own reconfigurations: observing an inherited deployment
+        // that the environment's rate change already backpressured is
+        // monitoring, not a tuning mistake.
+        if report.observation.job_backpressure && changed {
+            self.backpressure_events += 1;
+        }
+        self.cpu_trace.push(report.observation.cpu_utilization);
+        self.parallelism_trace.push(assignment.total());
+        report.observation
+    }
+
+    /// Number of reconfigurations performed so far.
+    pub fn reconfigurations(&self) -> u32 {
+        self.reconfigurations
+    }
+
+    /// Number of deployments that exhibited job-level backpressure.
+    pub fn backpressure_events(&self) -> u32 {
+        self.backpressure_events
+    }
+
+    /// Simulated wall-clock minutes spent (reconfiguration + stabilization).
+    pub fn elapsed_minutes(&self) -> f64 {
+        self.elapsed_minutes
+    }
+
+    /// Cluster CPU utilization after each deployment (Fig. 10 trace).
+    pub fn cpu_trace(&self) -> &[f64] {
+        &self.cpu_trace
+    }
+
+    /// Total parallelism after each deployment.
+    pub fn parallelism_trace(&self) -> &[u64] {
+        &self.parallelism_trace
+    }
+
+    /// The currently deployed assignment, if any.
+    pub fn current_assignment(&self) -> Option<&ParallelismAssignment> {
+        self.current.as_ref()
+    }
+}
+
+/// The result of running a tuner to convergence on one session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneOutcome {
+    /// The parallelism assignment the tuner settled on.
+    pub final_assignment: ParallelismAssignment,
+    /// Reconfigurations performed (Fig. 7a metric).
+    pub reconfigurations: u32,
+    /// Deployments that exhibited job-level backpressure (Table III metric).
+    pub backpressure_events: u32,
+    /// Simulated minutes spent tuning (Fig. 7b metric).
+    pub elapsed_minutes: f64,
+    /// Tuning iterations executed.
+    pub iterations: u32,
+    /// Whether the tuner reached its own convergence criterion (as opposed
+    /// to hitting an iteration cap).
+    pub converged: bool,
+}
+
+impl TuningSession<'_> {
+    /// Assemble a [`TuneOutcome`] from the session's bookkeeping.
+    pub fn outcome(
+        &self,
+        final_assignment: ParallelismAssignment,
+        iterations: u32,
+        converged: bool,
+    ) -> TuneOutcome {
+        TuneOutcome {
+            final_assignment,
+            reconfigurations: self.reconfigurations(),
+            backpressure_events: self.backpressure_events(),
+            elapsed_minutes: self.elapsed_minutes(),
+            iterations,
+            converged,
+        }
+    }
+}
+
+/// A parallelism tuner: given a tuning session for one job, drive
+/// deployments until its convergence criterion is met. Implemented by
+/// StreamTune and every baseline (DS2, ContTune, ZeroTune).
+pub trait Tuner {
+    /// Short display name ("DS2", "StreamTune", …).
+    fn name(&self) -> &str;
+
+    /// Run the tuning loop on `session`.
+    fn tune(&mut self, session: &mut TuningSession<'_>) -> TuneOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamtune_dataflow::{DataflowBuilder, Operator};
+
+    fn flow(rate: f64) -> Dataflow {
+        let mut b = DataflowBuilder::new("session-test");
+        let s = b.add_source("s", rate);
+        let f = b.add_op("f", Operator::filter(0.5, 32, 32));
+        let m = b.add_op("m", Operator::map(32, 32));
+        b.connect_source(s, f);
+        b.connect(f, m);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn deploy_counts_reconfigurations() {
+        let f = flow(1000.0);
+        let cluster = SimCluster::flink_defaults(3);
+        let mut s = TuningSession::new(&cluster, &f);
+        let a = ParallelismAssignment::uniform(&f, 1);
+        let b = ParallelismAssignment::uniform(&f, 2);
+        s.deploy(&a);
+        s.deploy(&b);
+        s.deploy(&b); // unchanged → monitoring only
+        assert_eq!(s.reconfigurations(), 2);
+        assert_eq!(s.cpu_trace().len(), 3);
+        assert!(s.elapsed_minutes() > 20.0 && s.elapsed_minutes() < 30.0);
+    }
+
+    #[test]
+    fn backpressure_events_counted() {
+        let f = flow(1.0e8);
+        let cluster = SimCluster::flink_defaults(3);
+        let mut s = TuningSession::new(&cluster, &f);
+        s.deploy(&ParallelismAssignment::uniform(&f, 1));
+        assert_eq!(s.backpressure_events(), 1);
+    }
+
+    #[test]
+    fn oracle_assignment_is_backpressure_free_and_tight() {
+        let f = flow(2.0e6);
+        let cluster = SimCluster::flink_defaults(5);
+        let oracle = cluster.oracle_assignment(&f).unwrap();
+        let rep = cluster.simulate(&f, &oracle);
+        assert!(rep.backpressure_free());
+        // Decrement any operator → backpressure (minimality).
+        for op in f.op_ids() {
+            let d = oracle.degree(op);
+            if d > 1 {
+                let mut worse = oracle.clone();
+                worse.set_degree(op, d - 1);
+                assert!(!cluster.simulate(&f, &worse).backpressure_free());
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_none_when_rate_unsustainable() {
+        let f = flow(1.0e12);
+        let cluster = SimCluster::flink_defaults(5);
+        assert!(cluster.oracle_assignment(&f).is_none());
+    }
+
+    #[test]
+    fn timely_defaults_are_faster() {
+        let f = flow(5.0e6);
+        let flink = SimCluster::flink_defaults(9);
+        let timely = SimCluster::timely_defaults(9);
+        let a = ParallelismAssignment::uniform(&f, 4);
+        let rf = flink.simulate(&f, &a);
+        let rt = timely.simulate(&f, &a);
+        assert!(rt.true_pa[0] > rf.true_pa[0]);
+    }
+}

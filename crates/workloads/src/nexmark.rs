@@ -1,0 +1,234 @@
+//! Nexmark benchmark queries as logical dataflow DAGs (paper §V-A).
+//!
+//! Q1/Q2 are stateless (map, filter); Q3 is a stateful record-at-a-time
+//! two-input incremental join; Q5 and Q8 carry sliding- and tumbling-window
+//! joins respectively — exactly the operator mix the paper highlights.
+
+use crate::rates::{nexmark_units, Engine};
+use crate::Workload;
+use streamtune_dataflow::{
+    AggregateClass, AggregateFunction, DataflowBuilder, JoinKeyClass, Operator, WindowPolicy,
+    WindowType,
+};
+
+/// Q1 — currency conversion: `bids → map → sink` (stateless map).
+pub fn q1(engine: Engine) -> Workload {
+    let (bids, _, _) = nexmark_units("q1", engine);
+    let mut b = DataflowBuilder::new("nexmark-q1");
+    let s = b.add_source("bids", bids);
+    let map = b.add_op("currency-map", Operator::map(48, 48));
+    let sink = b.add_op("sink", Operator::sink(48));
+    b.connect_source(s, map);
+    b.connect(map, sink);
+    Workload::new("nexmark-q1", b.build().expect("valid q1"), vec![bids])
+}
+
+/// Q2 — selection: `bids → filter → sink` (stateless filter).
+pub fn q2(engine: Engine) -> Workload {
+    let (bids, _, _) = nexmark_units("q2", engine);
+    let mut b = DataflowBuilder::new("nexmark-q2");
+    let s = b.add_source("bids", bids);
+    let filter = b.add_op("auction-filter", Operator::filter(0.1, 48, 48));
+    let sink = b.add_op("sink", Operator::sink(48));
+    b.connect_source(s, filter);
+    b.connect(filter, sink);
+    Workload::new("nexmark-q2", b.build().expect("valid q2"), vec![bids])
+}
+
+/// Q3 — local item suggestion: incremental join of filtered persons with
+/// auctions (stateful record-at-a-time two-input join).
+pub fn q3(engine: Engine) -> Workload {
+    let (_, auctions, persons) = nexmark_units("q3", engine);
+    let mut b = DataflowBuilder::new("nexmark-q3");
+    let sa = b.add_source("auctions", auctions);
+    let sp = b.add_source("persons", persons);
+    let fa = b.add_op("category-filter", Operator::filter(0.25, 64, 64));
+    let fp = b.add_op("state-filter", Operator::filter(0.2, 72, 72));
+    let join = b.add_op(
+        "incremental-join",
+        Operator::incremental_join(JoinKeyClass::Int, 0.6, 96),
+    );
+    let sink = b.add_op("sink", Operator::sink(96));
+    b.connect_source(sa, fa);
+    b.connect_source(sp, fp);
+    b.connect(fa, join);
+    b.connect(fp, join);
+    b.connect(join, sink);
+    Workload::new(
+        "nexmark-q3",
+        b.build().expect("valid q3"),
+        vec![auctions, persons],
+    )
+}
+
+/// Q5 — hot items: sliding-window count per auction, then a windowed max
+/// (sliding window join family in the paper's taxonomy).
+pub fn q5(engine: Engine) -> Workload {
+    let (bids, _, _) = nexmark_units("q5", engine);
+    let mut b = DataflowBuilder::new("nexmark-q5");
+    let s = b.add_source("bids", bids);
+    let count = b.add_op(
+        "sliding-count",
+        Operator::window_aggregate(
+            AggregateFunction::Count,
+            AggregateClass::Int,
+            JoinKeyClass::Int,
+            WindowType::Sliding,
+            WindowPolicy::Time,
+            60.0,
+            10.0,
+            0.05,
+        ),
+    );
+    let max = b.add_op(
+        "hot-items-max",
+        Operator::window_aggregate(
+            AggregateFunction::Max,
+            AggregateClass::Int,
+            JoinKeyClass::None,
+            WindowType::Sliding,
+            WindowPolicy::Time,
+            60.0,
+            10.0,
+            0.2,
+        ),
+    );
+    let sink = b.add_op("sink", Operator::sink(32));
+    b.connect_source(s, count);
+    b.connect(count, max);
+    b.connect(max, sink);
+    Workload::new("nexmark-q5", b.build().expect("valid q5"), vec![bids])
+}
+
+/// Q8 — monitor new users: tumbling windows over persons and auctions
+/// joined on person id (tumbling window join).
+pub fn q8(engine: Engine) -> Workload {
+    let (_, auctions, persons) = nexmark_units("q8", engine);
+    let mut b = DataflowBuilder::new("nexmark-q8");
+    let sp = b.add_source("persons", persons);
+    let sa = b.add_source("auctions", auctions);
+    let wp = b.add_op(
+        "persons-window",
+        Operator::window_aggregate(
+            AggregateFunction::Count,
+            AggregateClass::Int,
+            JoinKeyClass::Int,
+            WindowType::Tumbling,
+            WindowPolicy::Time,
+            10.0,
+            0.0,
+            0.8,
+        ),
+    );
+    let wa = b.add_op(
+        "auctions-window",
+        Operator::window_aggregate(
+            AggregateFunction::Count,
+            AggregateClass::Int,
+            JoinKeyClass::Int,
+            WindowType::Tumbling,
+            WindowPolicy::Time,
+            10.0,
+            0.0,
+            0.8,
+        ),
+    );
+    let join = b.add_op(
+        "window-join",
+        Operator::window_join(
+            JoinKeyClass::Int,
+            WindowType::Tumbling,
+            WindowPolicy::Time,
+            10.0,
+            0.0,
+            0.5,
+        ),
+    );
+    let sink = b.add_op("sink", Operator::sink(96));
+    b.connect_source(sp, wp);
+    b.connect_source(sa, wa);
+    b.connect(wp, join);
+    b.connect(wa, join);
+    b.connect(join, sink);
+    Workload::new(
+        "nexmark-q8",
+        b.build().expect("valid q8"),
+        vec![persons, auctions],
+    )
+}
+
+/// All five evaluation queries for an engine, in paper order.
+pub fn all(engine: Engine) -> Vec<Workload> {
+    vec![q1(engine), q2(engine), q3(engine), q5(engine), q8(engine)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamtune_dataflow::OperatorKind;
+
+    #[test]
+    fn all_queries_build() {
+        for engine in [Engine::Flink, Engine::Timely] {
+            let ws = all(engine);
+            assert_eq!(ws.len(), 5);
+            for w in &ws {
+                assert!(w.flow.num_ops() >= 2);
+                assert!(!w.flow.sinks().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn q3_has_incremental_join_with_two_inputs() {
+        let w = q3(Engine::Flink);
+        let join = w
+            .flow
+            .ops()
+            .find(|(_, o)| o.kind() == OperatorKind::IncrementalJoin)
+            .map(|(id, _)| id)
+            .expect("q3 has an incremental join");
+        assert_eq!(w.flow.preds(join).len(), 2);
+    }
+
+    #[test]
+    fn q5_uses_sliding_windows() {
+        let w = q5(Engine::Flink);
+        let sliding = w
+            .flow
+            .ops()
+            .filter(|(_, o)| o.features.window_type == streamtune_dataflow::WindowType::Sliding)
+            .count();
+        assert_eq!(sliding, 2);
+    }
+
+    #[test]
+    fn q8_uses_tumbling_join() {
+        let w = q8(Engine::Flink);
+        let join = w
+            .flow
+            .ops()
+            .find(|(_, o)| o.kind() == OperatorKind::WindowJoin)
+            .expect("q8 has a window join");
+        assert_eq!(
+            join.1.features.window_type,
+            streamtune_dataflow::WindowType::Tumbling
+        );
+    }
+
+    #[test]
+    fn timely_rates_exceed_flink_rates() {
+        for q in ["q1", "q2", "q5"] {
+            let f = nexmark_units(q, Engine::Flink).0;
+            let t = nexmark_units(q, Engine::Timely).0;
+            assert!(t > f, "{q}: timely {t} vs flink {f}");
+        }
+    }
+
+    #[test]
+    fn two_source_queries_have_two_wu() {
+        assert_eq!(q3(Engine::Flink).wu.len(), 2);
+        assert_eq!(q8(Engine::Flink).wu.len(), 2);
+        assert_eq!(q1(Engine::Flink).wu.len(), 1);
+    }
+}

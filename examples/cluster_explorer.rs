@@ -1,0 +1,72 @@
+//! Explore the GED-based clustering of a dataflow-DAG corpus: distances,
+//! cluster assignments, similarity centers, and where an unseen query
+//! would land (paper §IV-C machinery, standalone).
+//!
+//! ```sh
+//! cargo run --release --example cluster_explorer
+//! ```
+
+use streamtune::cluster::{cluster_dags, nearest_center, ClusterConfig};
+use streamtune::dataflow::GraphSignature;
+use streamtune::ged::{ged_lsa, GraphView};
+use streamtune::workloads::{nexmark, pqp, rates::Engine};
+
+fn main() {
+    // A corpus mixing the Nexmark queries with PQP templates.
+    let mut workloads = nexmark::all(Engine::Flink);
+    workloads.extend(pqp::linear_queries().into_iter().take(4));
+    workloads.extend(pqp::two_way_join_queries().into_iter().take(4));
+    workloads.extend(pqp::three_way_join_queries().into_iter().take(4));
+
+    let graphs: Vec<(GraphView, GraphSignature)> = workloads
+        .iter()
+        .map(|w| (GraphView::of(&w.flow), GraphSignature::of(&w.flow)))
+        .collect();
+
+    // Pairwise GED between a few representative queries.
+    println!("pairwise graph edit distances:");
+    let names = ["nexmark-q1", "nexmark-q8", "pqp-linear-0", "pqp-3way-0"];
+    for a in names {
+        for b in names {
+            let ia = workloads.iter().position(|w| w.name == a).expect("exists");
+            let ib = workloads.iter().position(|w| w.name == b).expect("exists");
+            let d = ged_lsa(&graphs[ia].0, &graphs[ib].0, 64).capped();
+            print!("{d:>4}");
+        }
+        println!("   {a}");
+    }
+
+    // Cluster with k chosen by the elbow method.
+    let clustering = cluster_dags(&graphs, &ClusterConfig::default());
+    println!(
+        "\nclustered {} DAGs into k = {} (inertia {:.1}):",
+        graphs.len(),
+        clustering.k,
+        clustering.inertia
+    );
+    for c in 0..clustering.k {
+        let members: Vec<&str> = clustering
+            .members(c)
+            .into_iter()
+            .map(|i| workloads[i].name.as_str())
+            .collect();
+        println!(
+            "  cluster {c} (center {}): {}",
+            workloads[clustering.centers[c]].name,
+            members.join(", ")
+        );
+    }
+
+    // Where would an unseen query land?
+    let unseen = pqp::two_way_join_query(11);
+    let centers: Vec<GraphView> = clustering
+        .centers
+        .iter()
+        .map(|&g| graphs[g].0.clone())
+        .collect();
+    let (c, d) = nearest_center(&GraphView::of(&unseen.flow), &centers, 64);
+    println!(
+        "\nunseen query {} → cluster {c} (GED {d} to its similarity center)",
+        unseen.name
+    );
+}

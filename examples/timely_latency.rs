@@ -1,0 +1,49 @@
+//! Timely Dataflow mode: tune Nexmark Q8 with StreamTune and DS2, then
+//! compare per-epoch latency distributions at the recommended parallelisms
+//! (the paper's Fig. 8 experiment in miniature).
+//!
+//! ```sh
+//! cargo run --release --example timely_latency
+//! ```
+
+use streamtune::prelude::*;
+use streamtune::sim::latency::LatencyModel;
+use streamtune::sim::{Tuner, TuningSession};
+use streamtune::workloads::history::HistoryGenerator;
+use streamtune::workloads::rates::Engine;
+
+fn main() {
+    let cluster = SimCluster::timely_defaults(5);
+    println!("pre-training on Timely-mode histories…");
+    let mut gen = HistoryGenerator::new(5).with_jobs(40);
+    gen.engine = Engine::Timely;
+    let corpus = gen.generate(&cluster);
+    let pretrained = Pretrainer::new(PretrainConfig::fast()).run(&corpus);
+
+    let mut job = nexmark::q8(Engine::Timely);
+    job.set_multiplier(10.0);
+
+    let mut streamtune = StreamTune::new(&pretrained, TuneConfig::default());
+    let mut ds2 = streamtune::baselines::Ds2::default();
+    let tuners: [(&str, &mut dyn Tuner); 2] = [("StreamTune", &mut streamtune), ("DS2", &mut ds2)];
+
+    println!(
+        "\n{:<12} {:>10} {:>9} {:>9} {:>9}",
+        "method", "total-par", "p50 (s)", "p95 (s)", "p99 (s)"
+    );
+    for (name, tuner) in tuners {
+        let mut session = TuningSession::new(&cluster, &job.flow);
+        let outcome = tuner.tune(&mut session);
+        let latencies = cluster.epoch_latencies(&job.flow, &outcome.final_assignment, 400);
+        println!(
+            "{:<12} {:>10} {:>9.3} {:>9.3} {:>9.3}",
+            name,
+            outcome.final_assignment.total(),
+            LatencyModel::percentile(&latencies, 50.0),
+            LatencyModel::percentile(&latencies, 95.0),
+            LatencyModel::percentile(&latencies, 99.0),
+        );
+    }
+    println!("\nExpected shape (paper Fig. 8): StreamTune needs materially less");
+    println!("parallelism while the latency percentiles stay comparable.");
+}

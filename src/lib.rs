@@ -1,0 +1,65 @@
+//! # StreamTune (reproduction)
+//!
+//! Facade crate re-exporting the whole StreamTune reproduction workspace:
+//! an adaptive parallelism tuner for stream processing systems following
+//! *"Learning from the Past: Adaptive Parallelism Tuning for Stream
+//! Processing Systems"* (ICDE 2025), together with the simulated DSPS
+//! substrate, baseline tuners (DS2, ContTune, ZeroTune), workloads
+//! (Nexmark, PQP) and the model/GNN/GED machinery it builds on.
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`dataflow`] | `streamtune-dataflow` | logical DAG model, Table I features |
+//! | [`sim`] | `streamtune-sim` | Flink-/Timely-mode DSPS simulator substrate |
+//! | [`nn`] | `streamtune-nn` | dense NN + GNN encoder (Eq. 1–3) |
+//! | [`ged`] | `streamtune-ged` | graph edit distance + similarity search |
+//! | [`cluster`] | `streamtune-cluster` | GED k-means, similarity centers |
+//! | [`model`] | `streamtune-model` | monotonic SVM / GBDT / NN heads |
+//! | [`core`] | `streamtune-core` | Algorithms 1–2: pre-train + online tune |
+//! | [`baselines`] | `streamtune-baselines` | DS2, ContTune, ZeroTune |
+//! | [`workloads`] | `streamtune-workloads` | Nexmark, PQP, rate patterns, histories |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; the short version:
+//!
+//! ```no_run
+//! use streamtune::prelude::*;
+//! use streamtune::sim::{TuningSession, Tuner};
+//! use streamtune::workloads::history::HistoryGenerator;
+//! use streamtune::workloads::rates::Engine;
+//!
+//! // 1. A simulated cluster plus an execution-history corpus on it.
+//! let cluster = SimCluster::flink_defaults(42);
+//! let corpus = HistoryGenerator::new(7).with_jobs(40).generate(&cluster);
+//! // 2. Pre-train clustered GNN encoders offline.
+//! let pretrained = Pretrainer::new(PretrainConfig::fast()).run(&corpus);
+//! // 3. Tune a target job online.
+//! let mut job = nexmark::q5(Engine::Flink);
+//! job.set_multiplier(10.0);
+//! let mut session = TuningSession::new(&cluster, &job.flow);
+//! let mut tuner = StreamTune::new(&pretrained, TuneConfig::default());
+//! let outcome = tuner.tune(&mut session);
+//! println!("final parallelism: {}", outcome.final_assignment.total());
+//! ```
+
+pub use streamtune_baselines as baselines;
+pub use streamtune_cluster as cluster;
+pub use streamtune_core as core;
+pub use streamtune_dataflow as dataflow;
+pub use streamtune_ged as ged;
+pub use streamtune_model as model;
+pub use streamtune_nn as nn;
+pub use streamtune_sim as sim;
+pub use streamtune_workloads as workloads;
+
+/// Convenience prelude with the most common entry points.
+pub mod prelude {
+    pub use streamtune_baselines::{ContTune, Ds2, Tuner, ZeroTune};
+    pub use streamtune_core::{PretrainConfig, Pretrainer, StreamTune, TuneConfig};
+    pub use streamtune_dataflow::{Dataflow, DataflowBuilder, Operator, ParallelismAssignment};
+    pub use streamtune_sim::{SimCluster, SimulationReport};
+    pub use streamtune_workloads::{nexmark, pqp, rates};
+}

@@ -1,0 +1,92 @@
+//! Serde round-trips for the persistable artifacts: a deployed StreamTune
+//! installation saves its pre-trained bundle and reloads it at startup.
+
+use streamtune::dataflow::{Dataflow, ParallelismAssignment};
+use streamtune::model::{BottleneckClassifier, GbdtConfig, MonotonicGbdt, TrainPoint};
+use streamtune::prelude::*;
+use streamtune::sim::SimCluster;
+use streamtune::workloads::history::HistoryGenerator;
+use streamtune::workloads::rates::Engine;
+
+#[test]
+fn dataflow_roundtrip() {
+    let w = nexmark::q8(Engine::Flink);
+    let json = serde_json::to_string(&w.flow).expect("serialize");
+    let back: Dataflow = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, w.flow);
+    assert_eq!(back.topo_order(), w.flow.topo_order());
+}
+
+#[test]
+fn assignment_roundtrip() {
+    let w = nexmark::q3(Engine::Flink);
+    let asg = ParallelismAssignment::uniform(&w.flow, 7);
+    let json = serde_json::to_string(&asg).expect("serialize");
+    let back: ParallelismAssignment = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, asg);
+}
+
+#[test]
+fn pretrained_bundle_roundtrip_preserves_predictions() {
+    let cluster = SimCluster::flink_defaults(31);
+    let corpus = HistoryGenerator::new(31).with_jobs(12).generate(&cluster);
+    let pre = Pretrainer::new(PretrainConfig::fast()).run(&corpus);
+    let json = serde_json::to_string(&pre).expect("serialize bundle");
+    let back: streamtune::core::Pretrained = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.clusters.len(), pre.clusters.len());
+    // Identical embeddings from the reloaded encoders.
+    let w = nexmark::q5(Engine::Flink);
+    let (i1, m1) = pre.assign(&w.flow);
+    let (i2, m2) = back.assign(&w.flow);
+    assert_eq!(i1, i2);
+    let dummy = vec![1u32; w.flow.num_ops()];
+    let labels = vec![-1.0; w.flow.num_ops()];
+    let sample =
+        streamtune::nn::GraphSample::from_dataflow(&w.flow, &pre.features, &dummy, &labels);
+    // JSON float text round-trips can lose the final ULP; compare within
+    // a tight tolerance.
+    let a = m1.encoder.embed_agnostic(&sample);
+    let b = m2.encoder.embed_agnostic(&sample);
+    assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.data().iter().zip(b.data()) {
+        assert!((x - y).abs() < 1e-9, "embedding drift: {x} vs {y}");
+    }
+}
+
+#[test]
+fn fitted_gbdt_roundtrip_preserves_decisions() {
+    let data: Vec<TrainPoint> = (1..=40)
+        .map(|p| TrainPoint {
+            embedding: vec![0.4, 0.6],
+            parallelism: p,
+            bottleneck: p < 15,
+        })
+        .collect();
+    let mut model = MonotonicGbdt::new(GbdtConfig::default());
+    model.fit(&data);
+    let json = serde_json::to_string(&model).expect("serialize model");
+    let back: MonotonicGbdt = serde_json::from_str(&json).expect("deserialize model");
+    for p in [1, 10, 14, 15, 20, 50] {
+        assert_eq!(
+            model.predict_proba(&[0.4, 0.6], p),
+            back.predict_proba(&[0.4, 0.6], p),
+            "prediction drift at p={p}"
+        );
+    }
+}
+
+#[test]
+fn sim_cluster_roundtrip() {
+    let cluster = SimCluster::flink_defaults(77);
+    let json = serde_json::to_string(&cluster).expect("serialize");
+    let back: SimCluster = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, cluster);
+    // Same ground truth after reload.
+    let mut w = nexmark::q1(Engine::Flink);
+    w.set_multiplier(5.0);
+    let asg = ParallelismAssignment::uniform(&w.flow, 3);
+    assert_eq!(
+        cluster.simulate(&w.flow, &asg).true_pa,
+        back.simulate(&w.flow, &asg).true_pa
+    );
+}
