@@ -1,0 +1,166 @@
+//! Error types for the execution API.
+//!
+//! Hand-rolled in the `thiserror` idiom (enum variants with `Display`
+//! messages and `source` chaining) — the build environment is offline, so
+//! the derive crate itself is unavailable.
+
+use std::fmt;
+
+/// A deployment or observation request the backend could not serve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// The assignment does not cover the flow's operators.
+    AssignmentShape {
+        /// Operators in the flow.
+        expected: usize,
+        /// Degrees in the assignment.
+        actual: usize,
+    },
+    /// A degree exceeds the backend's maximum per-operator parallelism.
+    ExceedsMaxParallelism {
+        /// The offending degree.
+        degree: u32,
+        /// The backend's cap.
+        max: u32,
+    },
+    /// A replay backend ran out of recorded deployments.
+    TraceExhausted {
+        /// Deployments served before exhaustion.
+        served: usize,
+    },
+    /// A replay backend was asked to serve a different job (or the same
+    /// job at a different source rate) than the trace was recorded for.
+    TraceFlowMismatch {
+        /// Identity of the recorded flow.
+        recorded: String,
+        /// Identity of the requested flow.
+        requested: String,
+    },
+    /// A replay backend has no recorded deployment matching the request.
+    TraceMiss {
+        /// The requested assignment's degrees.
+        degrees: Vec<u32>,
+        /// The requested epoch.
+        epoch: u64,
+    },
+    /// The backend does not support the requested capability.
+    Unsupported {
+        /// Human-readable description of the missing capability.
+        what: String,
+    },
+    /// Reading or writing backend state failed (trace files, connectors).
+    Io {
+        /// The failing path or endpoint.
+        context: String,
+        /// The underlying error rendered to text.
+        message: String,
+    },
+    /// A trace log or other backend artifact failed to parse.
+    Format {
+        /// What was being parsed.
+        context: String,
+        /// The underlying error rendered to text.
+        message: String,
+    },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::AssignmentShape { expected, actual } => write!(
+                f,
+                "assignment covers {actual} operator(s) but the flow has {expected}"
+            ),
+            BackendError::ExceedsMaxParallelism { degree, max } => write!(
+                f,
+                "parallelism degree {degree} exceeds the backend maximum {max}"
+            ),
+            BackendError::TraceExhausted { served } => {
+                write!(f, "trace exhausted after {served} recorded deployment(s)")
+            }
+            BackendError::TraceFlowMismatch {
+                recorded,
+                requested,
+            } => write!(
+                f,
+                "trace was recorded for {recorded} but replay was asked to serve {requested}"
+            ),
+            BackendError::TraceMiss { degrees, epoch } => write!(
+                f,
+                "no recorded deployment matches assignment {degrees:?} at epoch {epoch}"
+            ),
+            BackendError::Unsupported { what } => {
+                write!(f, "backend does not support {what}")
+            }
+            BackendError::Io { context, message } => write!(f, "{context}: {message}"),
+            BackendError::Format { context, message } => {
+                write!(f, "cannot parse {context}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// A tuning run that could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuneError {
+    /// A deployment through the session failed.
+    Backend(BackendError),
+    /// The tuner was handed a flow it cannot tune.
+    InvalidFlow {
+        /// Why the flow is untunable.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::Backend(e) => write!(f, "deployment failed: {e}"),
+            TuneError::InvalidFlow { reason } => write!(f, "invalid flow: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TuneError::Backend(e) => Some(e),
+            TuneError::InvalidFlow { .. } => None,
+        }
+    }
+}
+
+impl From<BackendError> for TuneError {
+    fn from(e: BackendError) -> Self {
+        TuneError::Backend(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        let e = BackendError::AssignmentShape {
+            expected: 3,
+            actual: 1,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('1'));
+        let e = BackendError::TraceMiss {
+            degrees: vec![2, 4],
+            epoch: 7,
+        };
+        assert!(e.to_string().contains("epoch 7"));
+    }
+
+    #[test]
+    fn tune_error_chains_backend_source() {
+        use std::error::Error;
+        let e = TuneError::from(BackendError::TraceExhausted { served: 5 });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("deployment failed"));
+    }
+}

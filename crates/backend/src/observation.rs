@@ -1,0 +1,117 @@
+//! Engine-neutral observation model: the dashboard signals a tuner can see
+//! after a deployment, whichever backend produced them (paper §V-B).
+//!
+//! These types lived in the simulator crate historically; they moved here
+//! because every backend — simulated, replayed or real — reports the same
+//! union of Flink time metrics and Timely rate metrics.
+
+use serde::{Deserialize, Serialize};
+use streamtune_dataflow::OpId;
+
+/// Backpressure becomes *visible* to Flink's instrumentation only once the
+/// blocked-time fraction crosses the 10 % rule of paper §V-B; a job whose
+/// sources are throttled by less than this reads as backpressure-free on
+/// every dashboard (and in Algorithm 1's line 2). Backends use the same
+/// visibility threshold so tuners see exactly what the real engine would
+/// show them.
+pub const BACKPRESSURE_VISIBILITY: f64 = 0.10;
+
+/// Which engine the backend exposes (paper §V: Apache Flink vs Timely).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// Flink: built-in backpressure, busy/idle/backpressured time metrics.
+    Flink,
+    /// Timely Dataflow: no backpressure; 85 % consumption rule.
+    Timely,
+}
+
+/// Per-operator observation, the union of the signals both engines expose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpObservation {
+    /// The operator.
+    pub op: OpId,
+    /// Deployed parallelism degree.
+    pub parallelism: u32,
+    /// Arrival (input) rate in records/second — the *demand* the operator
+    /// must sustain in Flink mode; the actual arrivals in Timely mode.
+    pub input_rate: f64,
+    /// Actually processed records/second.
+    pub processed_rate: f64,
+    /// Flink `busyTimeMsPerSecond` (0–1000).
+    pub busy_ms_per_sec: f64,
+    /// Flink `idleTimeMsPerSecond` (0–1000).
+    pub idle_ms_per_sec: f64,
+    /// Flink `backPressuredTimeMsPerSecond` (0–1000).
+    pub backpressured_ms_per_sec: f64,
+    /// Noisy useful-time-derived per-instance processing rate — what DS2 /
+    /// ContTune use to estimate processing ability (records/second per
+    /// parallel instance of *useful* time).
+    pub observed_per_instance_rate: f64,
+    /// CPU load (busy fraction, 0–1) — the resource metric `R` of Alg. 1.
+    pub cpu_load: f64,
+    /// Flink bottleneck rule: backpressured time > 10 % of the cumulative
+    /// busy+idle+backpressured time (paper §V-B).
+    pub flink_backpressured: bool,
+    /// Timely bottleneck rule: consumption < 85 % of upstream output.
+    pub timely_bottleneck: bool,
+    /// Whether this operator's own demand exceeds its PA (saturated). Not
+    /// directly exposed by real engines, but derivable; used by tests.
+    pub saturated: bool,
+}
+
+/// One deployment's complete observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Engine mode the observation was taken under.
+    pub mode: EngineMode,
+    /// Per-operator signals, indexed by `OpId` order.
+    pub per_op: Vec<OpObservation>,
+    /// Job-level backpressure flag (any operator under backpressure or
+    /// saturated — what the Flink UI shows at the job level).
+    pub job_backpressure: bool,
+    /// Fraction of the offered source rate actually sustained (1.0 ⇔ no
+    /// throttling). Timely mode reports min(processed/arrivals) instead.
+    pub throughput_scale: f64,
+    /// Cluster CPU utilization: Σ busy·p / Σ p over allocated slots.
+    pub cpu_utilization: f64,
+    /// Total parallelism of the deployment.
+    pub total_parallelism: u64,
+}
+
+impl Observation {
+    /// Operators under backpressure per the mode's detection rule.
+    pub fn backpressured_ops(&self) -> Vec<OpId> {
+        self.per_op
+            .iter()
+            .filter(|o| o.flink_backpressured)
+            .map(|o| o.op)
+            .collect()
+    }
+
+    /// Observation of one operator.
+    pub fn op(&self, id: OpId) -> &OpObservation {
+        &self.per_op[id.index()]
+    }
+}
+
+/// A full deployment report: the observation plus ground truth (hidden from
+/// tuners, used by tests and experiment scoring; a real-engine connector
+/// fills the ground-truth vectors with its best estimates).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// What tuners see.
+    pub observation: Observation,
+    /// Ground-truth PA per operator at the deployed degrees.
+    pub true_pa: Vec<f64>,
+    /// Ground-truth demand input rates (backpressure-free requirement).
+    pub demand_input: Vec<f64>,
+    /// Ground-truth saturation flags.
+    pub saturated: Vec<bool>,
+}
+
+impl SimulationReport {
+    /// True iff the deployment sustains the sources without backpressure.
+    pub fn backpressure_free(&self) -> bool {
+        !self.saturated.iter().any(|&s| s)
+    }
+}

@@ -1,0 +1,282 @@
+//! The [`ExecutionBackend`] trait, [`TuningSession`] bookkeeping and the
+//! [`Tuner`] interface.
+//!
+//! A tuning session wraps one tuning run of one job on *some* backend:
+//! every `deploy` is a stop-and-restart reconfiguration (the paper's
+//! reconfiguration mechanism, §V-A) that costs a stabilization wait,
+//! increments the reconfiguration counter, records the CPU-utilization
+//! trace (Fig. 10) and counts backpressure occurrences (Table III). The
+//! session neither knows nor cares whether observations come from the
+//! simulator, a recorded trace, or a live engine.
+
+use crate::error::{BackendError, TuneError};
+use crate::observation::{EngineMode, Observation, SimulationReport};
+use serde::{Deserialize, Serialize};
+use streamtune_dataflow::{Dataflow, ParallelismAssignment};
+
+/// Deployment limits a backend imposes on tuners.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackendConstraints {
+    /// Maximum parallelism per operator (paper §V-A: 100 on the Flink
+    /// testbed, worker count in Timely).
+    pub max_parallelism: u32,
+    /// Minutes the system needs to stabilize after a reconfiguration
+    /// (paper §V-A: a 10-minute wait is enforced between reconfigurations).
+    pub reconfig_wait_minutes: f64,
+}
+
+/// An execution substrate that can deploy a dataflow at a parallelism
+/// assignment and report what its dashboard would show.
+///
+/// Implementations: the simulator's `SimCluster` (Flink and Timely modes),
+/// [`crate::ReplayBackend`] over a recorded [`crate::TraceLog`], the
+/// [`crate::TraceRecorder`] wrapper — and, eventually, real-engine
+/// connectors. The trait is object-safe; tuners receive it as
+/// `&mut dyn ExecutionBackend` through a [`TuningSession`].
+pub trait ExecutionBackend {
+    /// Engine family whose metrics dialect the observations use.
+    fn engine_mode(&self) -> EngineMode;
+
+    /// The backend's deployment limits.
+    fn constraints(&self) -> BackendConstraints;
+
+    /// Deploy `assignment` for `flow` and observe the steady state.
+    ///
+    /// `epoch` identifies the observation interval: backends key
+    /// measurement noise on it (redeploying at a later epoch sees fresh
+    /// measurement error; replaying an epoch is deterministic).
+    fn deploy(
+        &mut self,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
+        epoch: u64,
+    ) -> Result<SimulationReport, BackendError>;
+
+    /// Per-epoch latencies for a deployment (Timely evaluation, Fig. 8).
+    ///
+    /// Backends without a latency model report
+    /// [`BackendError::Unsupported`].
+    fn epoch_latencies(
+        &mut self,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
+        epochs: usize,
+    ) -> Result<Vec<f64>, BackendError>;
+}
+
+impl<B: ExecutionBackend + ?Sized> ExecutionBackend for &mut B {
+    fn engine_mode(&self) -> EngineMode {
+        (**self).engine_mode()
+    }
+
+    fn constraints(&self) -> BackendConstraints {
+        (**self).constraints()
+    }
+
+    fn deploy(
+        &mut self,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
+        epoch: u64,
+    ) -> Result<SimulationReport, BackendError> {
+        (**self).deploy(flow, assignment, epoch)
+    }
+
+    fn epoch_latencies(
+        &mut self,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
+        epochs: usize,
+    ) -> Result<Vec<f64>, BackendError> {
+        (**self).epoch_latencies(flow, assignment, epochs)
+    }
+}
+
+/// Bookkeeping for one tuning run of one job on a backend.
+pub struct TuningSession<'a> {
+    backend: &'a mut dyn ExecutionBackend,
+    flow: &'a Dataflow,
+    constraints: BackendConstraints,
+    reconfigurations: u32,
+    backpressure_events: u32,
+    elapsed_minutes: f64,
+    cpu_trace: Vec<f64>,
+    parallelism_trace: Vec<u64>,
+    current: Option<ParallelismAssignment>,
+    epoch: u64,
+}
+
+impl std::fmt::Debug for TuningSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TuningSession")
+            .field("flow", &self.flow.name())
+            .field("reconfigurations", &self.reconfigurations)
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> TuningSession<'a> {
+    /// Start a session for `flow` on `backend`.
+    pub fn new(backend: &'a mut dyn ExecutionBackend, flow: &'a Dataflow) -> Self {
+        let constraints = backend.constraints();
+        TuningSession {
+            backend,
+            flow,
+            constraints,
+            reconfigurations: 0,
+            backpressure_events: 0,
+            elapsed_minutes: 0.0,
+            cpu_trace: Vec::new(),
+            parallelism_trace: Vec::new(),
+            current: None,
+            epoch: 0,
+        }
+    }
+
+    /// Start a session where `initial` is already deployed (a running job
+    /// whose source rate just changed): the first re-deploy of the same
+    /// assignment does not count as a reconfiguration.
+    pub fn with_initial(
+        backend: &'a mut dyn ExecutionBackend,
+        flow: &'a Dataflow,
+        initial: ParallelismAssignment,
+        epoch: u64,
+    ) -> Self {
+        let mut s = TuningSession::new(backend, flow);
+        s.current = Some(initial);
+        s.epoch = epoch;
+        s
+    }
+
+    /// The job under tuning.
+    pub fn flow(&self) -> &Dataflow {
+        self.flow
+    }
+
+    /// Engine family of the underlying backend.
+    pub fn engine_mode(&self) -> EngineMode {
+        self.backend.engine_mode()
+    }
+
+    /// Maximum per-operator parallelism allowed.
+    pub fn max_parallelism(&self) -> u32 {
+        self.constraints.max_parallelism
+    }
+
+    /// Deploy `assignment` (stop-and-restart reconfiguration) and observe.
+    ///
+    /// Re-deploying an identical assignment is *not* counted as a
+    /// reconfiguration (the job keeps running), but still yields a fresh
+    /// observation after the monitoring interval.
+    pub fn deploy(
+        &mut self,
+        assignment: &ParallelismAssignment,
+    ) -> Result<Observation, BackendError> {
+        if assignment.len() != self.flow.num_ops() {
+            return Err(BackendError::AssignmentShape {
+                expected: self.flow.num_ops(),
+                actual: assignment.len(),
+            });
+        }
+        let changed = self.current.as_ref() != Some(assignment);
+        self.epoch += 1;
+        let report = self.backend.deploy(self.flow, assignment, self.epoch)?;
+        // Bookkeeping only after a successful deployment: a rejected
+        // assignment neither reconfigures nor costs stabilization time.
+        if changed {
+            self.reconfigurations += 1;
+            self.elapsed_minutes += self.constraints.reconfig_wait_minutes;
+            self.current = Some(assignment.clone());
+        } else {
+            // Pure monitoring interval.
+            self.elapsed_minutes += self.constraints.reconfig_wait_minutes / 2.0;
+        }
+        // Backpressure occurrences (paper Table III) are attributed to the
+        // tuner's own reconfigurations: observing an inherited deployment
+        // that the environment's rate change already backpressured is
+        // monitoring, not a tuning mistake.
+        if report.observation.job_backpressure && changed {
+            self.backpressure_events += 1;
+        }
+        self.cpu_trace.push(report.observation.cpu_utilization);
+        self.parallelism_trace.push(assignment.total());
+        Ok(report.observation)
+    }
+
+    /// Number of reconfigurations performed so far.
+    pub fn reconfigurations(&self) -> u32 {
+        self.reconfigurations
+    }
+
+    /// Number of deployments that exhibited job-level backpressure.
+    pub fn backpressure_events(&self) -> u32 {
+        self.backpressure_events
+    }
+
+    /// Simulated wall-clock minutes spent (reconfiguration + stabilization).
+    pub fn elapsed_minutes(&self) -> f64 {
+        self.elapsed_minutes
+    }
+
+    /// Cluster CPU utilization after each deployment (Fig. 10 trace).
+    pub fn cpu_trace(&self) -> &[f64] {
+        &self.cpu_trace
+    }
+
+    /// Total parallelism after each deployment.
+    pub fn parallelism_trace(&self) -> &[u64] {
+        &self.parallelism_trace
+    }
+
+    /// The currently deployed assignment, if any.
+    pub fn current_assignment(&self) -> Option<&ParallelismAssignment> {
+        self.current.as_ref()
+    }
+
+    /// Assemble a [`TuneOutcome`] from the session's bookkeeping.
+    pub fn outcome(
+        &self,
+        final_assignment: ParallelismAssignment,
+        iterations: u32,
+        converged: bool,
+    ) -> TuneOutcome {
+        TuneOutcome {
+            final_assignment,
+            reconfigurations: self.reconfigurations(),
+            backpressure_events: self.backpressure_events(),
+            elapsed_minutes: self.elapsed_minutes(),
+            iterations,
+            converged,
+        }
+    }
+}
+
+/// The result of running a tuner to convergence on one session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneOutcome {
+    /// The parallelism assignment the tuner settled on.
+    pub final_assignment: ParallelismAssignment,
+    /// Reconfigurations performed (Fig. 7a metric).
+    pub reconfigurations: u32,
+    /// Deployments that exhibited job-level backpressure (Table III metric).
+    pub backpressure_events: u32,
+    /// Simulated minutes spent tuning (Fig. 7b metric).
+    pub elapsed_minutes: f64,
+    /// Tuning iterations executed.
+    pub iterations: u32,
+    /// Whether the tuner reached its own convergence criterion (as opposed
+    /// to hitting an iteration cap).
+    pub converged: bool,
+}
+
+/// A parallelism tuner: given a tuning session for one job, drive
+/// deployments until its convergence criterion is met. Implemented by
+/// StreamTune and every baseline (DS2, ContTune, ZeroTune).
+pub trait Tuner {
+    /// Short display name ("DS2", "StreamTune", …).
+    fn name(&self) -> &str;
+
+    /// Run the tuning loop on `session`.
+    fn tune(&mut self, session: &mut TuningSession<'_>) -> Result<TuneOutcome, TuneError>;
+}

@@ -1,0 +1,471 @@
+//! Trace recording and replay: tuning against canned production metrics.
+//!
+//! [`TraceRecorder`] wraps any [`ExecutionBackend`] and captures every
+//! served deployment into a serde-serializable [`TraceLog`].
+//! [`ReplayBackend`] then serves those observations back — so a tuner can
+//! be driven against metrics captured from a prior session (or, in a
+//! production deployment, scraped from a real engine's dashboard) with no
+//! simulator in the loop.
+//!
+//! Replay matching is keyed, not blindly sequential: a deployment request
+//! is served by the first unconsumed entry with the same assignment and
+//! epoch, falling back to the first unconsumed entry with the same
+//! assignment (fresh noise epochs are fine — the observation is what it
+//! is). A request for an assignment the trace never saw is a
+//! [`BackendError::TraceMiss`]: replay cannot invent metrics.
+
+use crate::error::BackendError;
+use crate::observation::{EngineMode, SimulationReport};
+use crate::session::{BackendConstraints, ExecutionBackend};
+use serde::{Deserialize, Serialize};
+use streamtune_dataflow::{Dataflow, ParallelismAssignment};
+
+/// Identity of the job a trace was recorded for: enough to refuse a
+/// replay against a different flow (or the same flow at a different
+/// source rate), where (assignment, epoch) matching alone would silently
+/// serve another job's metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceFlowInfo {
+    /// The flow's name.
+    pub name: String,
+    /// Operators in the flow.
+    pub num_ops: usize,
+    /// Source rates at recording time (captures the rate multiplier).
+    pub source_rates: Vec<f64>,
+}
+
+impl TraceFlowInfo {
+    /// Capture the identity of `flow`.
+    pub fn of(flow: &Dataflow) -> Self {
+        TraceFlowInfo {
+            name: flow.name().to_string(),
+            num_ops: flow.num_ops(),
+            source_rates: flow.sources().iter().map(|s| s.rate).collect(),
+        }
+    }
+
+    fn matches(&self, other: &TraceFlowInfo) -> bool {
+        self.name == other.name
+            && self.num_ops == other.num_ops
+            && self.source_rates.len() == other.source_rates.len()
+            && self
+                .source_rates
+                .iter()
+                .zip(&other.source_rates)
+                .all(|(a, b)| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0))
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{} ({} op(s), rates {:?})",
+            self.name, self.num_ops, self.source_rates
+        )
+    }
+}
+
+/// One recorded deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Observation epoch the deployment was served at.
+    pub epoch: u64,
+    /// The deployed assignment.
+    pub assignment: ParallelismAssignment,
+    /// The full report the backend produced.
+    pub report: SimulationReport,
+}
+
+/// One recorded epoch-latency request (Fig. 8 measurements).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyEntry {
+    /// The deployed assignment.
+    pub assignment: ParallelismAssignment,
+    /// Number of epochs that were simulated.
+    pub epochs: usize,
+    /// Per-epoch latencies.
+    pub latencies: Vec<f64>,
+}
+
+/// A serializable log of everything a backend served during a session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceLog {
+    /// Engine family of the recorded backend.
+    pub engine_mode: EngineMode,
+    /// Deployment limits of the recorded backend.
+    pub constraints: BackendConstraints,
+    /// Identity of the recorded job (set on the first served deployment;
+    /// `None` in hand-built logs, which replay then cannot validate).
+    pub flow: Option<TraceFlowInfo>,
+    /// Recorded deployments, in service order.
+    pub deploys: Vec<TraceEntry>,
+    /// Recorded epoch-latency requests.
+    pub latencies: Vec<LatencyEntry>,
+}
+
+impl TraceLog {
+    /// An empty log for a backend with the given mode and constraints.
+    pub fn new(engine_mode: EngineMode, constraints: BackendConstraints) -> Self {
+        TraceLog {
+            engine_mode,
+            constraints,
+            flow: None,
+            deploys: Vec::new(),
+            latencies: Vec::new(),
+        }
+    }
+
+    /// Render the log as JSON.
+    pub fn to_json(&self) -> Result<String, BackendError> {
+        serde_json::to_string(self).map_err(|e| BackendError::Format {
+            context: "trace log".to_string(),
+            message: e.to_string(),
+        })
+    }
+
+    /// Parse a log from JSON.
+    pub fn from_json(text: &str) -> Result<Self, BackendError> {
+        serde_json::from_str(text).map_err(|e| BackendError::Format {
+            context: "trace log".to_string(),
+            message: e.to_string(),
+        })
+    }
+
+    /// Write the log to a JSON file.
+    pub fn save(&self, path: &str) -> Result<(), BackendError> {
+        let json = self.to_json()?;
+        std::fs::write(path, json).map_err(|e| BackendError::Io {
+            context: format!("write {path}"),
+            message: e.to_string(),
+        })
+    }
+
+    /// Read a log from a JSON file.
+    pub fn load(path: &str) -> Result<Self, BackendError> {
+        let text = std::fs::read_to_string(path).map_err(|e| BackendError::Io {
+            context: format!("read {path}"),
+            message: e.to_string(),
+        })?;
+        Self::from_json(&text)
+    }
+}
+
+/// Wraps a backend and records everything it serves.
+#[derive(Debug)]
+pub struct TraceRecorder<B: ExecutionBackend> {
+    inner: B,
+    log: TraceLog,
+}
+
+impl<B: ExecutionBackend> TraceRecorder<B> {
+    /// Start recording on top of `inner`.
+    pub fn new(inner: B) -> Self {
+        let log = TraceLog::new(inner.engine_mode(), inner.constraints());
+        TraceRecorder { inner, log }
+    }
+
+    /// The log captured so far.
+    pub fn log(&self) -> &TraceLog {
+        &self.log
+    }
+
+    /// Stop recording, returning the captured log.
+    pub fn into_log(self) -> TraceLog {
+        self.log
+    }
+
+    /// Borrow the wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: ExecutionBackend> ExecutionBackend for TraceRecorder<B> {
+    fn engine_mode(&self) -> EngineMode {
+        self.inner.engine_mode()
+    }
+
+    fn constraints(&self) -> BackendConstraints {
+        self.inner.constraints()
+    }
+
+    fn deploy(
+        &mut self,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
+        epoch: u64,
+    ) -> Result<SimulationReport, BackendError> {
+        let report = self.inner.deploy(flow, assignment, epoch)?;
+        if self.log.flow.is_none() {
+            self.log.flow = Some(TraceFlowInfo::of(flow));
+        }
+        self.log.deploys.push(TraceEntry {
+            epoch,
+            assignment: assignment.clone(),
+            report: report.clone(),
+        });
+        Ok(report)
+    }
+
+    fn epoch_latencies(
+        &mut self,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
+        epochs: usize,
+    ) -> Result<Vec<f64>, BackendError> {
+        let latencies = self.inner.epoch_latencies(flow, assignment, epochs)?;
+        self.log.latencies.push(LatencyEntry {
+            assignment: assignment.clone(),
+            epochs,
+            latencies: latencies.clone(),
+        });
+        Ok(latencies)
+    }
+}
+
+/// Serves observations out of a recorded [`TraceLog`] — no engine, no
+/// simulator, just the canned metrics.
+#[derive(Debug, Clone)]
+pub struct ReplayBackend {
+    log: TraceLog,
+    consumed: Vec<bool>,
+    served: usize,
+}
+
+impl ReplayBackend {
+    /// Replay `log` from the beginning.
+    pub fn new(log: TraceLog) -> Self {
+        let consumed = vec![false; log.deploys.len()];
+        ReplayBackend {
+            log,
+            consumed,
+            served: 0,
+        }
+    }
+
+    /// Load a trace file and replay it.
+    pub fn from_file(path: &str) -> Result<Self, BackendError> {
+        Ok(ReplayBackend::new(TraceLog::load(path)?))
+    }
+
+    /// Deployments served so far.
+    pub fn served(&self) -> usize {
+        self.served
+    }
+
+    /// Recorded deployments remaining.
+    pub fn remaining(&self) -> usize {
+        self.consumed.iter().filter(|&&c| !c).count()
+    }
+
+    /// Refuse to serve a flow other than the recorded one: matching on
+    /// (assignment, epoch) alone would silently hand another job's
+    /// metrics to the tuner.
+    fn check_flow(&self, flow: &Dataflow) -> Result<(), BackendError> {
+        let Some(recorded) = &self.log.flow else {
+            return Ok(()); // pre-identity log: nothing to validate against
+        };
+        let requested = TraceFlowInfo::of(flow);
+        if recorded.matches(&requested) {
+            Ok(())
+        } else {
+            Err(BackendError::TraceFlowMismatch {
+                recorded: recorded.describe(),
+                requested: requested.describe(),
+            })
+        }
+    }
+
+    /// Find the best unconsumed entry for a request: exact
+    /// (assignment, epoch) match first, same-assignment fallback second.
+    fn match_entry(&self, assignment: &ParallelismAssignment, epoch: u64) -> Option<usize> {
+        let mut fallback = None;
+        for (i, entry) in self.log.deploys.iter().enumerate() {
+            if self.consumed[i] || entry.assignment != *assignment {
+                continue;
+            }
+            if entry.epoch == epoch {
+                return Some(i);
+            }
+            if fallback.is_none() {
+                fallback = Some(i);
+            }
+        }
+        fallback
+    }
+}
+
+impl ExecutionBackend for ReplayBackend {
+    fn engine_mode(&self) -> EngineMode {
+        self.log.engine_mode
+    }
+
+    fn constraints(&self) -> BackendConstraints {
+        self.log.constraints
+    }
+
+    fn deploy(
+        &mut self,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
+        epoch: u64,
+    ) -> Result<SimulationReport, BackendError> {
+        self.check_flow(flow)?;
+        if self.remaining() == 0 {
+            return Err(BackendError::TraceExhausted {
+                served: self.served,
+            });
+        }
+        let Some(i) = self.match_entry(assignment, epoch) else {
+            return Err(BackendError::TraceMiss {
+                degrees: assignment.as_slice().to_vec(),
+                epoch,
+            });
+        };
+        self.consumed[i] = true;
+        self.served += 1;
+        Ok(self.log.deploys[i].report.clone())
+    }
+
+    fn epoch_latencies(
+        &mut self,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
+        epochs: usize,
+    ) -> Result<Vec<f64>, BackendError> {
+        self.check_flow(flow)?;
+        // Latency lookups are idempotent (they are measurements of a fixed
+        // deployment), so replay does not consume them.
+        self.log
+            .latencies
+            .iter()
+            .find(|e| e.assignment == *assignment && e.epochs == epochs)
+            .map(|e| e.latencies.clone())
+            .ok_or_else(|| BackendError::Unsupported {
+                what: format!(
+                    "epoch latencies for assignment {:?} ({} epochs) absent from the trace",
+                    assignment.as_slice(),
+                    epochs
+                ),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Observation;
+    use streamtune_dataflow::{DataflowBuilder, Operator};
+
+    fn tiny_flow() -> Dataflow {
+        let mut b = DataflowBuilder::new("trace-test");
+        let s = b.add_source("s", 100.0);
+        let m = b.add_op("m", Operator::map(8, 8));
+        b.connect_source(s, m);
+        b.build().unwrap()
+    }
+
+    fn fake_report(scale: f64, p: u32) -> SimulationReport {
+        SimulationReport {
+            observation: Observation {
+                mode: EngineMode::Flink,
+                per_op: Vec::new(),
+                job_backpressure: scale < 0.9,
+                throughput_scale: scale,
+                cpu_utilization: 0.5,
+                total_parallelism: u64::from(p),
+            },
+            true_pa: vec![100.0],
+            demand_input: vec![100.0],
+            saturated: vec![scale < 1.0],
+        }
+    }
+
+    fn fake_log() -> TraceLog {
+        let constraints = BackendConstraints {
+            max_parallelism: 16,
+            reconfig_wait_minutes: 10.0,
+        };
+        let mut log = TraceLog::new(EngineMode::Flink, constraints);
+        for (epoch, p) in [(1u64, 1u32), (2, 2), (3, 2)] {
+            log.deploys.push(TraceEntry {
+                epoch,
+                assignment: ParallelismAssignment::from_vec(vec![p]),
+                report: fake_report(if p == 1 { 0.5 } else { 1.0 }, p),
+            });
+        }
+        log
+    }
+
+    #[test]
+    fn replay_serves_exact_epoch_matches() {
+        let flow = tiny_flow();
+        let mut replay = ReplayBackend::new(fake_log());
+        let a2 = ParallelismAssignment::from_vec(vec![2]);
+        let r = replay.deploy(&flow, &a2, 3).unwrap();
+        assert_eq!(r.observation.total_parallelism, 2);
+        assert_eq!(replay.remaining(), 2);
+        // The epoch-3 entry was taken; epoch 2 remains for the same
+        // assignment.
+        let r = replay.deploy(&flow, &a2, 99).unwrap();
+        assert_eq!(r.observation.total_parallelism, 2);
+        assert_eq!(replay.remaining(), 1);
+    }
+
+    #[test]
+    fn replay_misses_on_unknown_assignment() {
+        let flow = tiny_flow();
+        let mut replay = ReplayBackend::new(fake_log());
+        let unknown = ParallelismAssignment::from_vec(vec![7]);
+        match replay.deploy(&flow, &unknown, 1) {
+            Err(BackendError::TraceMiss { degrees, .. }) => assert_eq!(degrees, vec![7]),
+            other => panic!("expected TraceMiss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_exhausts() {
+        let flow = tiny_flow();
+        let mut replay = ReplayBackend::new(fake_log());
+        let a1 = ParallelismAssignment::from_vec(vec![1]);
+        let a2 = ParallelismAssignment::from_vec(vec![2]);
+        replay.deploy(&flow, &a1, 1).unwrap();
+        replay.deploy(&flow, &a2, 2).unwrap();
+        replay.deploy(&flow, &a2, 3).unwrap();
+        match replay.deploy(&flow, &a2, 4) {
+            Err(BackendError::TraceExhausted { served }) => assert_eq!(served, 3),
+            other => panic!("expected TraceExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_rejects_wrong_flow() {
+        let flow = tiny_flow();
+        let mut log = fake_log();
+        log.flow = Some(TraceFlowInfo::of(&flow));
+
+        // Same structure, different source rate (a different multiplier).
+        let mut b = DataflowBuilder::new("trace-test");
+        let s = b.add_source("s", 200.0);
+        let m = b.add_op("m", Operator::map(8, 8));
+        b.connect_source(s, m);
+        let other = b.build().unwrap();
+
+        let mut replay = ReplayBackend::new(log);
+        let a = ParallelismAssignment::from_vec(vec![1]);
+        match replay.deploy(&other, &a, 1) {
+            Err(BackendError::TraceFlowMismatch { .. }) => {}
+            other => panic!("expected TraceFlowMismatch, got {other:?}"),
+        }
+        // The recorded flow itself is still served.
+        assert!(replay.deploy(&flow, &a, 1).is_ok());
+    }
+
+    #[test]
+    fn trace_log_json_roundtrip() {
+        let mut log = fake_log();
+        log.flow = Some(TraceFlowInfo::of(&tiny_flow()));
+        let json = log.to_json().unwrap();
+        assert!(json.contains("\"flow\""), "flow identity must persist");
+        let back = TraceLog::from_json(&json).unwrap();
+        assert_eq!(back, log);
+    }
+}

@@ -15,8 +15,8 @@
 
 use crate::gp::GaussianProcess;
 use serde::{Deserialize, Serialize};
+use streamtune_backend::{TuneError, TuneOutcome, Tuner, TuningSession};
 use streamtune_dataflow::ParallelismAssignment;
-use streamtune_sim::{TuneOutcome, Tuner, TuningSession};
 
 /// ContTune configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,7 +71,7 @@ impl Tuner for ContTune {
         "ContTune"
     }
 
-    fn tune(&mut self, session: &mut TuningSession<'_>) -> TuneOutcome {
+    fn tune(&mut self, session: &mut TuningSession<'_>) -> Result<TuneOutcome, TuneError> {
         let flow = session.flow().clone();
         let p_max = session.max_parallelism();
         let n = flow.num_ops();
@@ -96,7 +96,7 @@ impl Tuner for ContTune {
 
         while iterations < self.config.max_iterations {
             iterations += 1;
-            let obs = session.deploy(&assignment);
+            let obs = session.deploy(&assignment)?;
             // Update surrogates with this deployment's observations.
             for o in &obs.per_op {
                 let i = o.op.index();
@@ -145,9 +145,9 @@ impl Tuner for ContTune {
             assignment = next;
         }
         if !converged {
-            session.deploy(&assignment);
+            session.deploy(&assignment)?;
         }
-        session.outcome(assignment, iterations, converged)
+        Ok(session.outcome(assignment, iterations, converged))
     }
 }
 
@@ -159,11 +159,13 @@ mod tests {
 
     #[test]
     fn conttune_reaches_backpressure_free_on_q2() {
-        let cluster = SimCluster::flink_defaults(61);
+        let mut cluster = SimCluster::flink_defaults(61);
         let mut w = nexmark::q2(Engine::Flink);
         w.set_multiplier(10.0);
-        let mut session = TuningSession::new(&cluster, &w.flow);
-        let outcome = ContTune::default().tune(&mut session);
+        let mut session = TuningSession::new(&mut cluster, &w.flow);
+        let outcome = ContTune::default()
+            .tune(&mut session)
+            .expect("tuning succeeds");
         let rep = cluster.simulate(&w.flow, &outcome.final_assignment);
         assert!(
             rep.backpressure_free(),
@@ -174,11 +176,13 @@ mod tests {
 
     #[test]
     fn conttune_handles_join_queries() {
-        let cluster = SimCluster::flink_defaults(67);
+        let mut cluster = SimCluster::flink_defaults(67);
         let mut w = pqp::two_way_join_query(2);
         w.set_multiplier(10.0);
-        let mut session = TuningSession::new(&cluster, &w.flow);
-        let outcome = ContTune::default().tune(&mut session);
+        let mut session = TuningSession::new(&mut cluster, &w.flow);
+        let outcome = ContTune::default()
+            .tune(&mut session)
+            .expect("tuning succeeds");
         let rep = cluster.simulate(&w.flow, &outcome.final_assignment);
         assert!(rep.backpressure_free());
         assert!(outcome.iterations <= 10);
@@ -189,12 +193,12 @@ mod tests {
         // Once sustaining, ContTune must not shrink an operator below what
         // its own observations support — final must stay backpressure-free
         // across a rate drop-then-rise.
-        let cluster = SimCluster::flink_defaults(71);
+        let mut cluster = SimCluster::flink_defaults(71);
         let mut w = nexmark::q1(Engine::Flink);
         w.set_multiplier(8.0);
-        let mut session = TuningSession::new(&cluster, &w.flow);
+        let mut session = TuningSession::new(&mut cluster, &w.flow);
         let mut tuner = ContTune::default();
-        let outcome = tuner.tune(&mut session);
+        let outcome = tuner.tune(&mut session).expect("tuning succeeds");
         let rep = cluster.simulate(&w.flow, &outcome.final_assignment);
         assert!(rep.backpressure_free());
     }

@@ -13,8 +13,8 @@
 //! extra reconfigurations, Fig. 7a).
 
 use serde::{Deserialize, Serialize};
+use streamtune_backend::{TuneError, TuneOutcome, Tuner, TuningSession};
 use streamtune_dataflow::ParallelismAssignment;
-use streamtune_sim::{TuneOutcome, Tuner, TuningSession};
 
 /// DS2 configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,7 +53,7 @@ impl Tuner for Ds2 {
         "DS2"
     }
 
-    fn tune(&mut self, session: &mut TuningSession<'_>) -> TuneOutcome {
+    fn tune(&mut self, session: &mut TuningSession<'_>) -> Result<TuneOutcome, TuneError> {
         let flow = session.flow().clone();
         let p_max = session.max_parallelism();
         let mut assignment = session
@@ -65,7 +65,7 @@ impl Tuner for Ds2 {
 
         while iterations < self.config.max_iterations {
             iterations += 1;
-            let obs = session.deploy(&assignment);
+            let obs = session.deploy(&assignment)?;
             // Scale each operator by observed per-instance rate, assuming
             // linearity (the DS2 model).
             let mut next = assignment.clone();
@@ -83,9 +83,9 @@ impl Tuner for Ds2 {
         }
         // Deploy the final assignment if the loop ended on a change.
         if !converged {
-            session.deploy(&assignment);
+            session.deploy(&assignment)?;
         }
-        session.outcome(assignment, iterations, converged)
+        Ok(session.outcome(assignment, iterations, converged))
     }
 }
 
@@ -106,11 +106,11 @@ mod tests {
         // DS2's useful-time estimates are noisy, so it may converge to a
         // *marginally* backpressured state (the Table III failure mode);
         // it must still land within a few percent of sustaining.
-        let cluster = SimCluster::flink_defaults(41);
+        let mut cluster = SimCluster::flink_defaults(41);
         let mut w = nexmark::q1(Engine::Flink);
         w.set_multiplier(10.0);
-        let mut session = TuningSession::new(&cluster, &w.flow);
-        let outcome = Ds2::default().tune(&mut session);
+        let mut session = TuningSession::new(&mut cluster, &w.flow);
+        let outcome = Ds2::default().tune(&mut session).expect("tuning succeeds");
         let rep = cluster.simulate(&w.flow, &outcome.final_assignment);
         assert!(
             rep.observation.throughput_scale >= 0.88,
@@ -124,11 +124,11 @@ mod tests {
 
     #[test]
     fn ds2_converges_in_few_iterations_on_simple_jobs() {
-        let cluster = SimCluster::flink_defaults(43);
+        let mut cluster = SimCluster::flink_defaults(43);
         let mut w = nexmark::q2(Engine::Flink);
         w.set_multiplier(5.0);
-        let mut session = TuningSession::new(&cluster, &w.flow);
-        let outcome = Ds2::default().tune(&mut session);
+        let mut session = TuningSession::new(&mut cluster, &w.flow);
+        let outcome = Ds2::default().tune(&mut session).expect("tuning succeeds");
         assert!(outcome.converged);
         assert!(
             outcome.iterations <= 6,
@@ -139,11 +139,11 @@ mod tests {
 
     #[test]
     fn ds2_does_not_exceed_max_parallelism() {
-        let cluster = SimCluster::flink_defaults(47);
+        let mut cluster = SimCluster::flink_defaults(47);
         let mut w = nexmark::q5(Engine::Flink);
         w.set_multiplier(10.0);
-        let mut session = TuningSession::new(&cluster, &w.flow);
-        let outcome = Ds2::default().tune(&mut session);
+        let mut session = TuningSession::new(&mut cluster, &w.flow);
+        let outcome = Ds2::default().tune(&mut session).expect("tuning succeeds");
         for (_, d) in outcome.final_assignment.iter() {
             assert!(d <= cluster.max_parallelism);
         }
@@ -153,11 +153,11 @@ mod tests {
     fn sublinearity_forces_upward_corrections() {
         // At a high rate, linear extrapolation from p=1 under-estimates the
         // needed degree, so DS2 must take more than one scaling step.
-        let cluster = SimCluster::flink_defaults(53);
+        let mut cluster = SimCluster::flink_defaults(53);
         let mut w = nexmark::q5(Engine::Flink);
         w.set_multiplier(10.0);
-        let mut session = TuningSession::new(&cluster, &w.flow);
-        let outcome = Ds2::default().tune(&mut session);
+        let mut session = TuningSession::new(&mut cluster, &w.flow);
+        let outcome = Ds2::default().tune(&mut session).expect("tuning succeeds");
         assert!(
             outcome.reconfigurations >= 2,
             "expected multiple reconfigurations, got {}",

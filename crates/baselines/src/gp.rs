@@ -83,10 +83,8 @@ impl GaussianProcess {
         let mut l = vec![vec![0.0; n]; n];
         for i in 0..n {
             for j in 0..=i {
-                let mut sum = k[i][j];
-                for m in 0..j {
-                    sum -= l[i][m] * l[j][m];
-                }
+                let dot: f64 = l[i][..j].iter().zip(&l[j][..j]).map(|(a, b)| a * b).sum();
+                let sum = k[i][j] - dot;
                 if i == j {
                     l[i][j] = sum.max(1e-12).sqrt();
                 } else {
@@ -141,11 +139,12 @@ impl GaussianProcess {
         // v = L⁻¹ k*
         let mut v = vec![0.0; n];
         for i in 0..n {
-            let mut sum = kstar[i];
-            for m in 0..i {
-                sum -= self.chol[i][m] * v[m];
-            }
-            v[i] = sum / self.chol[i][i];
+            let dot: f64 = self.chol[i][..i]
+                .iter()
+                .zip(&v[..i])
+                .map(|(c, vm)| c * vm)
+                .sum();
+            v[i] = (kstar[i] - dot) / self.chol[i][i];
         }
         let var = (self.kernel(x, x) - v.iter().map(|vi| vi * vi).sum::<f64>()).max(0.0);
         (mean, var.sqrt())

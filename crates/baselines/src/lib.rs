@@ -22,5 +22,5 @@ pub mod zerotune;
 pub use conttune::{ContTune, ContTuneConfig};
 pub use ds2::{Ds2, Ds2Config};
 pub use gp::GaussianProcess;
-pub use streamtune_sim::{TuneOutcome, Tuner};
+pub use streamtune_backend::{ExecutionBackend, TuneError, TuneOutcome, Tuner, TuningSession};
 pub use zerotune::{ZeroTune, ZeroTuneConfig, ZeroTuneModel};

@@ -13,9 +13,9 @@
 //! over-provisions (Fig. 6) while avoiding backpressure (Table III).
 
 use serde::{Deserialize, Serialize};
+use streamtune_backend::{TuneError, TuneOutcome, Tuner, TuningSession};
 use streamtune_dataflow::{Dataflow, FeatureEncoder, ParallelismAssignment};
 use streamtune_nn::{GnnConfig, GnnEncoder, GraphSample};
-use streamtune_sim::{TuneOutcome, Tuner, TuningSession};
 use streamtune_workloads::history::ExecutionRecord;
 
 /// ZeroTune configuration.
@@ -145,7 +145,7 @@ impl Tuner for ZeroTune {
         "ZeroTune"
     }
 
-    fn tune(&mut self, session: &mut TuningSession<'_>) -> TuneOutcome {
+    fn tune(&mut self, session: &mut TuningSession<'_>) -> Result<TuneOutcome, TuneError> {
         let flow = session.flow().clone();
         let p_max = session.max_parallelism();
         let candidates = self.sample_candidates(&flow, p_max);
@@ -162,8 +162,8 @@ impl Tuner for ZeroTune {
             .map(|(c, _)| c)
             .expect("at least one candidate");
         // ZeroTune performs a single reconfiguration (paper §V-D).
-        session.deploy(&best);
-        session.outcome(best, 1, true)
+        session.deploy(&best)?;
+        Ok(session.outcome(best, 1, true))
     }
 }
 
@@ -172,7 +172,7 @@ mod tests {
     use super::*;
     use streamtune_sim::SimCluster;
     use streamtune_workloads::history::HistoryGenerator;
-    use streamtune_workloads::{pqp, rates::Engine};
+    use streamtune_workloads::pqp;
 
     fn trained(seed: u64) -> (SimCluster, ZeroTune) {
         let cluster = SimCluster::flink_defaults(seed);
@@ -201,23 +201,23 @@ mod tests {
 
     #[test]
     fn single_reconfiguration_only() {
-        let (cluster, mut zt) = trained(83);
+        let (mut cluster, mut zt) = trained(83);
         let mut w = pqp::linear_query(2);
         w.set_multiplier(10.0);
-        let mut session = TuningSession::new(&cluster, &w.flow);
-        let outcome = zt.tune(&mut session);
+        let mut session = TuningSession::new(&mut cluster, &w.flow);
+        let outcome = zt.tune(&mut session).expect("tuning succeeds");
         assert_eq!(outcome.reconfigurations, 1);
         assert!(outcome.converged);
     }
 
     #[test]
     fn recommendation_overprovisions_relative_to_oracle() {
-        let (cluster, mut zt) = trained(89);
+        let (mut cluster, mut zt) = trained(89);
         let mut w = pqp::linear_query(3);
         w.set_multiplier(5.0);
         let oracle = cluster.oracle_assignment(&w.flow).expect("sustainable");
-        let mut session = TuningSession::new(&cluster, &w.flow);
-        let outcome = zt.tune(&mut session);
+        let mut session = TuningSession::new(&mut cluster, &w.flow);
+        let outcome = zt.tune(&mut session).expect("tuning succeeds");
         assert!(
             outcome.final_assignment.total() > oracle.total(),
             "ZeroTune {} should exceed oracle {}",

@@ -23,7 +23,7 @@ fn bench_tuning(c: &mut Criterion) {
         Method::StreamTune(ModelKind::Xgboost),
         Method::ZeroTune,
     ] {
-        let out = env.tune_once(m, &w, 10.0);
+        let out = env.tune_once(m, &w, 10.0).expect("tuning failed");
         println!(
             "  {:<12} total {} reconfigs {}",
             m.name(),
@@ -42,8 +42,9 @@ fn bench_tuning(c: &mut Criterion) {
         group.bench_function(m.name(), |b| {
             b.iter(|| {
                 let mut tuner = env.make_tuner(m);
-                let mut session = TuningSession::new(&env.cluster, &flow);
-                black_box(tuner.tune(&mut session))
+                let mut backend = env.backend();
+                let mut session = TuningSession::new(&mut backend, &flow);
+                black_box(tuner.tune(&mut session).expect("tuning failed"))
             })
         });
     }

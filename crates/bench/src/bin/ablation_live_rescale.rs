@@ -36,6 +36,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for w in &workloads {
+        let mut backend = env.backend();
         let mut tuner = env.make_tuner(Method::StreamTune(ModelKind::Xgboost));
         let mut carry: Option<streamtune_dataflow::ParallelismAssignment> = None;
         let mut restart_minutes = 0.0;
@@ -44,10 +45,10 @@ fn main() {
             let flow = w.at(m);
             let before = carry.clone();
             let mut session = match carry.take() {
-                Some(a) => TuningSession::with_initial(&env.cluster, &flow, a, (k * 1000) as u64),
-                None => TuningSession::new(&env.cluster, &flow),
+                Some(a) => TuningSession::with_initial(&mut backend, &flow, a, (k * 1000) as u64),
+                None => TuningSession::new(&mut backend, &flow),
             };
-            let out = tuner.tune(&mut session);
+            let out = tuner.tune(&mut session).expect("tuning succeeds");
             restart_minutes += f64::from(out.reconfigurations) * env.cluster.reconfig_wait_minutes;
             // Live rescale path: same sequence of assignments, but each step
             // costs only the state-migration stall.

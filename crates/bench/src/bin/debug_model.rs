@@ -7,7 +7,8 @@ fn main() {
     let env = ExperimentEnv::flink(11, 48, true);
     let w = pqp::two_way_join_query(0);
     let sched = schedule(false, 1);
-    let stats = run_schedule(&env, Method::StreamTune(ModelKind::Xgboost), &w, &sched);
+    let stats = run_schedule(&env, Method::StreamTune(ModelKind::Xgboost), &w, &sched)
+        .expect("schedule run");
     for (wstart, chunk) in stats.changes.chunks(20).enumerate() {
         let bp: u32 = chunk.iter().map(|c| c.backpressure_events).sum();
         let rc: u32 = chunk.iter().map(|c| c.reconfigurations).sum();
@@ -21,18 +22,19 @@ fn main() {
     }
     // Trace the last few changes in detail.
     unsafe { std::env::set_var("STREAMTUNE_DEBUG", "1") };
+    let mut backend = env.backend();
     let mut tuner = env.make_tuner(Method::StreamTune(ModelKind::Xgboost));
     let mut cur = None;
     for (k, &m) in sched.iter().enumerate() {
         let flow = w.at(m);
         let mut session = match cur.take() {
             Some(a) => streamtune_sim::TuningSession::with_initial(
-                &env.cluster,
+                &mut backend,
                 &flow,
                 a,
                 (k * 1000) as u64,
             ),
-            None => streamtune_sim::TuningSession::new(&env.cluster, &flow),
+            None => streamtune_sim::TuningSession::new(&mut backend, &flow),
         };
         if k < 110 {
             unsafe { std::env::remove_var("STREAMTUNE_DEBUG") };
@@ -45,7 +47,7 @@ fn main() {
                 env.cluster.oracle_assignment(&flow).unwrap().as_slice()
             );
         }
-        let out = tuner.tune(&mut session);
+        let out = tuner.tune(&mut session).expect("tuning succeeds");
         cur = Some(out.final_assignment);
     }
 }

@@ -33,7 +33,8 @@ fn main() {
 
     let mut json = Vec::new();
     for w in &jobs {
-        let stats = run_schedule(&env, Method::StreamTune(ModelKind::Xgboost), w, &sched);
+        let stats = run_schedule(&env, Method::StreamTune(ModelKind::Xgboost), w, &sched)
+            .expect("schedule run");
         let mut trace = Vec::new();
         let mut boundaries = Vec::new();
         for c in &stats.changes {

@@ -39,6 +39,7 @@ fn main() {
         for &k in &models {
             // Guard rails off: the ablation isolates the prediction layer
             // (monotonic or not) exactly as the paper's Fig. 11a does.
+            let mut backend = env.backend();
             let mut tuner = StreamTune::new(
                 &env.pretrained,
                 TuneConfig {
@@ -53,11 +54,11 @@ fn main() {
                 let flow = w.at(m);
                 let mut session = match carry.take() {
                     Some(a) => {
-                        TuningSession::with_initial(&env.cluster, &flow, a, (i * 1000) as u64)
+                        TuningSession::with_initial(&mut backend, &flow, a, (i * 1000) as u64)
                     }
-                    None => TuningSession::new(&env.cluster, &flow),
+                    None => TuningSession::new(&mut backend, &flow),
                 };
-                let out = tuner.tune(&mut session);
+                let out = tuner.tune(&mut session).expect("tuning succeeds");
                 changes.push(ChangeStats {
                     multiplier: m,
                     reconfigurations: out.reconfigurations,

@@ -39,7 +39,7 @@ fn main() {
                 cells.push("/".into());
                 continue;
             }
-            let stats = run_schedule(&env, m, w, &sched);
+            let stats = run_schedule(&env, m, w, &sched).expect("schedule run");
             let total = stats
                 .parallelism_at_multiplier(10.0)
                 .unwrap_or_else(|| stats.changes.last().expect("non-empty").total_parallelism);

@@ -28,9 +28,14 @@ fn main() {
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for w in &workloads {
-        let ds2 = run_schedule(&env, Method::Ds2, w, &sched).avg_reconfigurations();
-        let ct = run_schedule(&env, Method::ContTune, w, &sched).avg_reconfigurations();
+        let ds2 = run_schedule(&env, Method::Ds2, w, &sched)
+            .expect("schedule run")
+            .avg_reconfigurations();
+        let ct = run_schedule(&env, Method::ContTune, w, &sched)
+            .expect("schedule run")
+            .avg_reconfigurations();
         let st = run_schedule(&env, Method::StreamTune(ModelKind::Xgboost), w, &sched)
+            .expect("schedule run")
             .avg_reconfigurations();
         rows.push(vec![
             w.name.clone(),

@@ -33,7 +33,8 @@ fn main() {
         Method::StreamTune(ModelKind::Xgboost),
         &target,
         &sched,
-    );
+    )
+    .expect("schedule run");
 
     let rows: Vec<Vec<String>> = stats
         .changes

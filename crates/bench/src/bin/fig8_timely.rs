@@ -43,6 +43,7 @@ fn main() {
         w.set_multiplier(10.0);
         let mut cells = vec![q.to_uppercase()];
         for &m in &methods {
+            let mut backend = env.backend();
             let mut tuner = env.make_tuner(m);
             // Warm through a short rate ramp so every method reports its
             // settled recommendation (the paper measures within the running
@@ -57,15 +58,20 @@ fn main() {
                 let warm_flow = warm.flow;
                 let mut s = match carry.take() {
                     Some(a) => {
-                        TuningSession::with_initial(&env.cluster, &warm_flow, a, (k * 50) as u64)
+                        TuningSession::with_initial(&mut backend, &warm_flow, a, (k * 50) as u64)
                     }
-                    None => TuningSession::new(&env.cluster, &warm_flow),
+                    None => TuningSession::new(&mut backend, &warm_flow),
                 };
-                carry = Some(tuner.tune(&mut s).final_assignment);
+                carry = Some(
+                    tuner
+                        .tune(&mut s)
+                        .expect("tuning succeeds")
+                        .final_assignment,
+                );
             }
             let mut session =
-                TuningSession::with_initial(&env.cluster, &w.flow, carry.expect("warmed"), 999);
-            let outcome = tuner.tune(&mut session);
+                TuningSession::with_initial(&mut backend, &w.flow, carry.expect("warmed"), 999);
+            let outcome = tuner.tune(&mut session).expect("tuning succeeds");
             let lat = env
                 .cluster
                 .epoch_latencies(&w.flow, &outcome.final_assignment, epochs);

@@ -43,10 +43,11 @@ fn main() {
             let mut count = 0u32;
             for w in queries.iter().take(queries_per_template) {
                 let flow = w.at(10.0);
+                let mut backend = env.backend();
                 let mut tuner = env.make_tuner(m);
-                let mut session = TuningSession::new(&env.cluster, &flow);
+                let mut session = TuningSession::new(&mut backend, &flow);
                 let start = Instant::now();
-                let outcome = tuner.tune(&mut session);
+                let outcome = tuner.tune(&mut session).expect("tuning succeeds");
                 // Decision time per tuning process (the simulated deploys
                 // are effectively free, so the wall clock ≈ model time).
                 total += start.elapsed().as_secs_f64();

@@ -40,7 +40,9 @@ fn main() {
                 cells.push("/".into());
                 continue;
             }
-            let bp = run_schedule(&env, m, w, &sched).total_backpressure();
+            let bp = run_schedule(&env, m, w, &sched)
+                .expect("schedule run")
+                .total_backpressure();
             cells.push(format!("{bp}"));
             json.push(T3Row {
                 workload: w.name.clone(),

@@ -2,9 +2,10 @@
 //! periodic-schedule driver, and table/JSON reporting.
 
 use serde::Serialize;
+use streamtune_backend::{ExecutionBackend, TuneError, TuneOutcome, TuningSession};
 use streamtune_baselines::{ContTune, Ds2, Tuner, ZeroTune, ZeroTuneConfig};
 use streamtune_core::{ModelKind, PretrainConfig, Pretrained, Pretrainer, StreamTune, TuneConfig};
-use streamtune_sim::{SimCluster, TuneOutcome, TuningSession};
+use streamtune_sim::SimCluster;
 use streamtune_workloads::history::{ExecutionRecord, HistoryGenerator};
 use streamtune_workloads::{rates, Workload};
 
@@ -132,12 +133,38 @@ impl ExperimentEnv {
         }
     }
 
+    /// A fresh backend instance for driving sessions: deployments need
+    /// `&mut`, and cloning the simulated cluster preserves its ground truth
+    /// (everything is derived from the seed), so every caller gets an
+    /// identical, independent substrate.
+    pub fn backend(&self) -> SimCluster {
+        self.cluster.clone()
+    }
+
     /// One-shot tuning of `workload` at `multiplier × Wu` with a fresh
-    /// tuner and session.
-    pub fn tune_once(&self, method: Method, workload: &Workload, multiplier: f64) -> TuneOutcome {
+    /// tuner and session on a fresh backend.
+    pub fn tune_once(
+        &self,
+        method: Method,
+        workload: &Workload,
+        multiplier: f64,
+    ) -> Result<TuneOutcome, TuneError> {
+        let mut backend = self.backend();
+        self.tune_once_on(&mut backend, method, workload, multiplier)
+    }
+
+    /// One-shot tuning against an arbitrary execution backend (replayed
+    /// traces, recorders, future engine connectors).
+    pub fn tune_once_on(
+        &self,
+        backend: &mut dyn ExecutionBackend,
+        method: Method,
+        workload: &Workload,
+        multiplier: f64,
+    ) -> Result<TuneOutcome, TuneError> {
         let flow = workload.at(multiplier);
         let mut tuner = self.make_tuner(method);
-        let mut session = TuningSession::new(&self.cluster, &flow);
+        let mut session = TuningSession::new(backend, &flow);
         tuner.tune(&mut session)
     }
 }
@@ -208,17 +235,18 @@ pub fn run_schedule(
     method: Method,
     workload: &Workload,
     schedule: &[f64],
-) -> ScheduleStats {
+) -> Result<ScheduleStats, TuneError> {
+    let mut backend = env.backend();
     let mut tuner = env.make_tuner(method);
     let mut current: Option<streamtune_dataflow::ParallelismAssignment> = None;
     let mut changes = Vec::with_capacity(schedule.len());
     for (k, &m) in schedule.iter().enumerate() {
         let flow = workload.at(m);
         let mut session = match current.take() {
-            Some(asg) => TuningSession::with_initial(&env.cluster, &flow, asg, (k * 1000) as u64),
-            None => TuningSession::new(&env.cluster, &flow),
+            Some(asg) => TuningSession::with_initial(&mut backend, &flow, asg, (k * 1000) as u64),
+            None => TuningSession::new(&mut backend, &flow),
         };
-        let outcome = tuner.tune(&mut session);
+        let outcome = tuner.tune(&mut session)?;
         changes.push(ChangeStats {
             multiplier: m,
             reconfigurations: outcome.reconfigurations,
@@ -229,11 +257,11 @@ pub fn run_schedule(
         });
         current = Some(outcome.final_assignment);
     }
-    ScheduleStats {
+    Ok(ScheduleStats {
         method: method.name(),
         workload: workload.name.clone(),
         changes,
-    }
+    })
 }
 
 /// Print a fixed-width table.

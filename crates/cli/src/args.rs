@@ -55,6 +55,11 @@ impl Args {
         }
     }
 
+    /// An optional `--key value`, `None` when absent.
+    pub fn optional(&self, key: &str) -> Option<String> {
+        self.values.get(key).cloned()
+    }
+
     /// Whether a bare `--flag` was given.
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)

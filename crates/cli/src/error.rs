@@ -1,0 +1,79 @@
+//! CLI error type: every failure mode the `streamtune` binary can hit,
+//! propagated as a `Result` up to `main` (thiserror-idiom by hand — the
+//! derive crate is unavailable offline).
+
+use std::fmt;
+use streamtune_backend::{BackendError, TuneError};
+
+/// A failed CLI invocation.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad or missing command-line arguments.
+    Usage(String),
+    /// The requested workload name is unknown.
+    UnknownWorkload {
+        /// The name the user asked for.
+        query: String,
+    },
+    /// A deployment/trace operation failed.
+    Backend(BackendError),
+    /// A tuning run failed.
+    Tune(TuneError),
+    /// Reading or writing a file failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error rendered to text.
+        message: String,
+    },
+    /// A bundle or trace failed to (de)serialize.
+    Serde {
+        /// What was being (de)serialized.
+        context: String,
+        /// The underlying error rendered to text.
+        message: String,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => f.write_str(msg),
+            CliError::UnknownWorkload { query } => {
+                write!(f, "unknown workload '{query}' (try `streamtune workloads`)")
+            }
+            CliError::Backend(e) => write!(f, "backend: {e}"),
+            CliError::Tune(e) => write!(f, "tuning: {e}"),
+            CliError::Io { path, message } => write!(f, "{path}: {message}"),
+            CliError::Serde { context, message } => write!(f, "{context}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Backend(e) => Some(e),
+            CliError::Tune(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BackendError> for CliError {
+    fn from(e: BackendError) -> Self {
+        CliError::Backend(e)
+    }
+}
+
+impl From<TuneError> for CliError {
+    fn from(e: TuneError) -> Self {
+        CliError::Tune(e)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}

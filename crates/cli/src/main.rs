@@ -5,26 +5,35 @@
 //! * `pretrain --out bundle.json [--jobs N] [--seed S] [--engine flink|timely]`
 //!   — generate a history corpus on the simulated cluster and pre-train the
 //!   clustered GNN encoders; writes the serialized [`Pretrained`] bundle.
-//! * `tune --bundle bundle.json --query <name> [--multiplier M]`
+//! * `tune --bundle bundle.json --query <name> [--multiplier M]
+//!   [--backend sim|replay:<trace.json>] [--record <trace.json>]`
 //!   — load a bundle and tune a named workload online, printing the
-//!   per-operator recommendation.
+//!   per-operator recommendation. `--backend replay:<path>` drives the
+//!   tuner from a recorded trace instead of the simulator; `--record`
+//!   captures the session into a trace file for later replay.
 //! * `inspect --bundle bundle.json` — summarize a bundle (clusters, warm-up
 //!   sizes, encoder losses).
 //! * `workloads` — list the named workloads usable with `tune`.
 //!
-//! The cluster is simulated (see DESIGN.md §1); the CLI demonstrates the
-//! full persistence story a production deployment would use.
+//! The default backend is the simulated cluster (see DESIGN.md §1); every
+//! tuner runs through the backend-agnostic `ExecutionBackend` API, so the
+//! same commands will drive real-engine connectors when they exist.
 
 use std::process::ExitCode;
+use streamtune_backend::{
+    ExecutionBackend, ReplayBackend, TraceRecorder, TuneOutcome, TuningSession,
+};
 use streamtune_baselines::Tuner;
 use streamtune_core::{PretrainConfig, Pretrained, Pretrainer, StreamTune, TuneConfig};
-use streamtune_sim::{SimCluster, TuningSession};
+use streamtune_sim::SimCluster;
 use streamtune_workloads::history::HistoryGenerator;
 use streamtune_workloads::rates::Engine;
 use streamtune_workloads::{nexmark, pqp, Workload};
 
 mod args;
+mod error;
 use args::Args;
+use error::CliError;
 
 fn named_workloads(engine: Engine) -> Vec<Workload> {
     let mut v = nexmark::all(engine);
@@ -48,7 +57,7 @@ fn cmd_workloads() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_pretrain(args: &Args) -> Result<(), String> {
+fn cmd_pretrain(args: &Args) -> Result<(), CliError> {
     let out = args.required("out")?;
     let seed: u64 = args.parse_or("seed", 42)?;
     let jobs: usize = args.parse_or("jobs", 60)?;
@@ -68,8 +77,14 @@ fn cmd_pretrain(args: &Args) -> Result<(), String> {
         PretrainConfig::default()
     };
     let pre = Pretrainer::new(config).run(&corpus);
-    let json = serde_json::to_string(&pre).map_err(|e| format!("serialize: {e}"))?;
-    std::fs::write(&out, json).map_err(|e| format!("write {out}: {e}"))?;
+    let json = serde_json::to_string(&pre).map_err(|e| CliError::Serde {
+        context: "serialize bundle".to_string(),
+        message: e.to_string(),
+    })?;
+    std::fs::write(&out, json).map_err(|e| CliError::Io {
+        path: out.clone(),
+        message: e.to_string(),
+    })?;
     eprintln!(
         "wrote {} cluster(s), {} warm-up points → {out}",
         pre.clusters.len(),
@@ -78,30 +93,109 @@ fn cmd_pretrain(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_bundle(args: &Args) -> Result<Pretrained, String> {
+fn load_bundle(args: &Args) -> Result<Pretrained, CliError> {
     let path = args.required("bundle")?;
-    let data = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
-    serde_json::from_str(&data).map_err(|e| format!("parse {path}: {e}"))
+    let data = std::fs::read_to_string(&path).map_err(|e| CliError::Io {
+        path: path.clone(),
+        message: e.to_string(),
+    })?;
+    serde_json::from_str(&data).map_err(|e| CliError::Serde {
+        context: format!("parse {path}"),
+        message: e.to_string(),
+    })
 }
 
-fn cmd_tune(args: &Args) -> Result<(), String> {
+/// The `--backend` selection: the simulator, or a recorded trace.
+enum BackendChoice {
+    Sim,
+    Replay(String),
+}
+
+fn backend_choice(args: &Args) -> Result<BackendChoice, CliError> {
+    match args.optional("backend").as_deref() {
+        None | Some("sim") => Ok(BackendChoice::Sim),
+        Some(spec) => match spec.strip_prefix("replay:") {
+            Some(path) if !path.is_empty() => Ok(BackendChoice::Replay(path.to_string())),
+            _ => Err(CliError::Usage(format!(
+                "--backend must be `sim` or `replay:<trace.json>`, got `{spec}`"
+            ))),
+        },
+    }
+}
+
+fn run_tuning(
+    backend: &mut dyn ExecutionBackend,
+    pre: &Pretrained,
+    flow: &streamtune_dataflow::Dataflow,
+) -> Result<TuneOutcome, CliError> {
+    let mut tuner = StreamTune::new(pre, TuneConfig::default());
+    let mut session = TuningSession::new(backend, flow);
+    Ok(tuner.tune(&mut session)?)
+}
+
+fn cmd_tune(args: &Args) -> Result<(), CliError> {
     let pre = load_bundle(args)?;
     let query = args.required("query")?;
     let multiplier: f64 = args.parse_or("multiplier", 10.0)?;
     let seed: u64 = args.parse_or("seed", 42)?;
     let engine = args.engine()?;
-    let cluster = match engine {
-        Engine::Flink => SimCluster::flink_defaults(seed),
-        Engine::Timely => SimCluster::timely_defaults(seed),
-    };
     let workload = named_workloads(engine)
         .into_iter()
         .find(|w| w.name == query)
-        .ok_or_else(|| format!("unknown workload '{query}' (try `streamtune workloads`)"))?;
+        .ok_or(CliError::UnknownWorkload {
+            query: query.clone(),
+        })?;
     let flow = workload.at(multiplier);
-    let mut tuner = StreamTune::new(&pre, TuneConfig::default());
-    let mut session = TuningSession::new(&cluster, &flow);
-    let outcome = tuner.tune(&mut session);
+
+    let record_path = args.optional("record");
+    match backend_choice(args)? {
+        BackendChoice::Sim => {
+            let mut cluster = match engine {
+                Engine::Flink => SimCluster::flink_defaults(seed),
+                Engine::Timely => SimCluster::timely_defaults(seed),
+            };
+            let outcome = if let Some(path) = &record_path {
+                let mut recorder = TraceRecorder::new(cluster.clone());
+                let outcome = run_tuning(&mut recorder, &pre, &flow)?;
+                recorder.into_log().save(path)?;
+                eprintln!("trace recorded → {path}");
+                outcome
+            } else {
+                run_tuning(&mut cluster, &pre, &flow)?
+            };
+            // Score the recommendation against the simulator's ground truth.
+            let rep = cluster.simulate(&flow, &outcome.final_assignment);
+            print_outcome(&query, multiplier, &flow, &outcome);
+            println!(
+                "sustains sources: {:.1}%",
+                rep.observation.throughput_scale * 100.0
+            );
+        }
+        BackendChoice::Replay(path) => {
+            if record_path.is_some() {
+                return Err(CliError::Usage(
+                    "--record is only meaningful with --backend sim (a replayed trace is already recorded)"
+                        .to_string(),
+                ));
+            }
+            let mut replay = ReplayBackend::from_file(&path)?;
+            let outcome = run_tuning(&mut replay, &pre, &flow)?;
+            print_outcome(&query, multiplier, &flow, &outcome);
+            println!(
+                "replayed {} recorded deployment(s) from {path}",
+                replay.served()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn print_outcome(
+    query: &str,
+    multiplier: f64,
+    flow: &streamtune_dataflow::Dataflow,
+    outcome: &TuneOutcome,
+) {
     println!("{query} @ {multiplier}×Wu:");
     for (op, d) in outcome.final_assignment.iter() {
         println!("  {:<20} parallelism {d}", flow.op_name(op));
@@ -112,15 +206,9 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         outcome.reconfigurations,
         outcome.elapsed_minutes
     );
-    let rep = cluster.simulate(&flow, &outcome.final_assignment);
-    println!(
-        "sustains sources: {:.1}%",
-        rep.observation.throughput_scale * 100.0
-    );
-    Ok(())
 }
 
-fn cmd_inspect(args: &Args) -> Result<(), String> {
+fn cmd_inspect(args: &Args) -> Result<(), CliError> {
     let pre = load_bundle(args)?;
     println!(
         "bundle: {} cluster(s){}",
@@ -149,6 +237,7 @@ fn usage() -> &'static str {
      commands:\n\
        pretrain  --out FILE [--jobs N] [--seed S] [--engine flink|timely] [--fast]\n\
        tune      --bundle FILE --query NAME [--multiplier M] [--seed S] [--engine flink|timely]\n\
+                 [--backend sim|replay:TRACE] [--record TRACE]\n\
        inspect   --bundle FILE\n\
        workloads"
 }
@@ -169,7 +258,10 @@ fn main() -> ExitCode {
             println!("{}", usage());
             return ExitCode::SUCCESS;
         }
-        other => Err(format!("unknown command '{other}'\n{}", usage())),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n{}",
+            usage()
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -137,14 +137,14 @@ fn run_kmeans(
 
     for _ in 0..cfg.max_iters {
         // Assignment step.
-        for i in 0..n {
+        for (i, assignment) in assignments.iter_mut().enumerate() {
             let (best_c, _) = centers
                 .iter()
                 .enumerate()
                 .map(|(c, &g)| (c, cache.dist(i, g)))
                 .min_by_key(|&(c, d)| (d, c))
                 .expect("k >= 1");
-            assignments[i] = best_c;
+            *assignment = best_c;
         }
         // Update step: similarity centers.
         let mut new_centers = centers.clone();
@@ -167,14 +167,14 @@ fn run_kmeans(
 
     // Final assignment against the converged centers + inertia.
     let mut inertia = 0.0;
-    for i in 0..n {
+    for (i, assignment) in assignments.iter_mut().enumerate() {
         let (best_c, d) = centers
             .iter()
             .enumerate()
             .map(|(c, &g)| (c, cache.dist(i, g)))
             .min_by_key(|&(c, d)| (d, c))
             .expect("k >= 1");
-        assignments[i] = best_c;
+        *assignment = best_c;
         inertia += d as f64;
     }
 

@@ -49,13 +49,7 @@ fn under_backpressure(obs: &Observation, idx: usize) -> bool {
         // backpressured-equivalent; the rule already fires on the
         // overwhelmed operator itself, so invert the roles below by using
         // upstream-of-bottleneck as the frontier.
-        EngineMode::Timely => {
-            if obs.per_op[idx].timely_bottleneck {
-                false
-            } else {
-                false
-            }
-        }
+        EngineMode::Timely => false,
     }
 }
 
@@ -116,10 +110,10 @@ pub fn bottleneck_labels(flow: &Dataflow, obs: &Observation, cfg: &LabelConfig) 
             // those flagged operators by utilization; their siblings (other
             // downstreams of the same upstreams) by utilization too; the
             // rest stay unlabeled, mirroring the Flink variant's caution.
-            for i in 0..n {
-                if obs.per_op[i].timely_bottleneck {
-                    let r = obs.per_op[i].cpu_load;
-                    labels[i] = if r > cfg.cpu_threshold { 1.0 } else { 0.0 };
+            for (label, op) in labels.iter_mut().zip(&obs.per_op) {
+                if op.timely_bottleneck {
+                    let r = op.cpu_load;
+                    *label = if r > cfg.cpu_threshold { 1.0 } else { 0.0 };
                     // Upstream peers of this operator deliver distorted
                     // rates downstream; keep everything else unlabeled.
                 }
@@ -228,7 +222,7 @@ mod tests {
         assert!(rep.observation.job_backpressure);
         let labels = bottleneck_labels(&flow, &rep.observation, &LabelConfig::default());
         // At least one operator flagged and labeled as bottleneck.
-        assert!(labels.iter().any(|&l| l == 1.0));
+        assert!(labels.contains(&1.0));
     }
 
     #[test]

@@ -12,12 +12,12 @@
 use crate::label::bottleneck_labels;
 use crate::pretrain::Pretrained;
 use serde::{Deserialize, Serialize};
+use streamtune_backend::{TuneError, TuneOutcome, Tuner, TuningSession};
 use streamtune_model::{
     recommend_min_parallelism_at, BottleneckClassifier, GbdtConfig, MonotonicGbdt, MonotonicSvm,
     NnClassifier, NnConfig, SvmConfig, TrainPoint,
 };
 use streamtune_nn::GraphSample;
-use streamtune_sim::{TuneOutcome, Tuner, TuningSession};
 
 /// Which fine-tuning model family to use (paper §IV-B, Fig. 11a ablation).
 ///
@@ -214,7 +214,7 @@ impl Tuner for StreamTune<'_> {
         "StreamTune"
     }
 
-    fn tune(&mut self, session: &mut TuningSession<'_>) -> TuneOutcome {
+    fn tune(&mut self, session: &mut TuningSession<'_>) -> Result<TuneOutcome, TuneError> {
         let flow = session.flow().clone();
         let flow = &flow;
         let p_max = session.max_parallelism();
@@ -328,7 +328,7 @@ impl Tuner for StreamTune<'_> {
                 );
             }
             // Line 10: redeploy and monitor.
-            let obs = session.deploy(&assignment);
+            let obs = session.deploy(&assignment)?;
             if std::env::var_os("STREAMTUNE_DEBUG").is_some() {
                 eprintln!("    -> bp={}", obs.job_backpressure);
             }
@@ -413,7 +413,7 @@ impl Tuner for StreamTune<'_> {
             .unwrap_or_else(|| streamtune_dataflow::ParallelismAssignment::uniform(flow, 1));
         if last_backpressure {
             if let Some(good) = best_good {
-                session.deploy(&good);
+                session.deploy(&good)?;
                 final_assignment = good;
             }
         }
@@ -432,7 +432,7 @@ impl Tuner for StreamTune<'_> {
             let ub = if last_backpressure { p_max } else { upper[i] };
             job_state.record(i, demand.input[i], lower[i], ub);
         }
-        session.outcome(final_assignment, iterations, converged)
+        Ok(session.outcome(final_assignment, iterations, converged))
     }
 }
 
@@ -454,13 +454,13 @@ mod tests {
 
     #[test]
     fn tunes_q1_to_backpressure_free() {
-        let cluster = SimCluster::flink_defaults(21);
+        let mut cluster = SimCluster::flink_defaults(21);
         let pre = pretrained_on(&cluster, 21, 14);
         let mut w = nexmark::q1(Engine::Flink);
         w.set_multiplier(10.0);
-        let mut session = TuningSession::new(&cluster, &w.flow);
+        let mut session = TuningSession::new(&mut cluster, &w.flow);
         let mut tuner = StreamTune::new(&pre, TuneConfig::default());
-        let outcome = tuner.tune(&mut session);
+        let outcome = tuner.tune(&mut session).expect("tuning succeeds");
         // The final deployment must sustain the sources.
         let rep = cluster.simulate(&w.flow, &outcome.final_assignment);
         assert!(
@@ -474,14 +474,14 @@ mod tests {
 
     #[test]
     fn final_parallelism_not_wildly_overprovisioned() {
-        let cluster = SimCluster::flink_defaults(23);
+        let mut cluster = SimCluster::flink_defaults(23);
         let pre = pretrained_on(&cluster, 23, 14);
         let mut w = nexmark::q2(Engine::Flink);
         w.set_multiplier(10.0);
         let oracle = cluster.oracle_assignment(&w.flow).expect("sustainable");
-        let mut session = TuningSession::new(&cluster, &w.flow);
+        let mut session = TuningSession::new(&mut cluster, &w.flow);
         let mut tuner = StreamTune::new(&pre, TuneConfig::default());
-        let outcome = tuner.tune(&mut session);
+        let outcome = tuner.tune(&mut session).expect("tuning succeeds");
         let rep = cluster.simulate(&w.flow, &outcome.final_assignment);
         assert!(rep.backpressure_free());
         assert!(
@@ -494,11 +494,11 @@ mod tests {
 
     #[test]
     fn gbdt_variant_also_converges() {
-        let cluster = SimCluster::flink_defaults(29);
+        let mut cluster = SimCluster::flink_defaults(29);
         let pre = pretrained_on(&cluster, 29, 12);
         let mut w = nexmark::q1(Engine::Flink);
         w.set_multiplier(5.0);
-        let mut session = TuningSession::new(&cluster, &w.flow);
+        let mut session = TuningSession::new(&mut cluster, &w.flow);
         let mut tuner = StreamTune::new(
             &pre,
             TuneConfig {
@@ -506,18 +506,18 @@ mod tests {
                 ..Default::default()
             },
         );
-        let outcome = tuner.tune(&mut session);
+        let outcome = tuner.tune(&mut session).expect("tuning succeeds");
         let rep = cluster.simulate(&w.flow, &outcome.final_assignment);
         assert!(rep.backpressure_free());
     }
 
     #[test]
     fn iteration_cap_respected() {
-        let cluster = SimCluster::flink_defaults(31);
+        let mut cluster = SimCluster::flink_defaults(31);
         let pre = pretrained_on(&cluster, 31, 10);
         let mut w = nexmark::q5(Engine::Flink);
         w.set_multiplier(10.0);
-        let mut session = TuningSession::new(&cluster, &w.flow);
+        let mut session = TuningSession::new(&mut cluster, &w.flow);
         let mut tuner = StreamTune::new(
             &pre,
             TuneConfig {
@@ -525,7 +525,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let outcome = tuner.tune(&mut session);
+        let outcome = tuner.tune(&mut session).expect("tuning succeeds");
         assert!(outcome.iterations <= 2);
         // +1 allows the best-known-good fallback redeploy at loop exit.
         assert!(outcome.reconfigurations <= 3);

@@ -3,9 +3,10 @@
 //! This crate defines the *logical* Directed Acyclic Graph abstraction used
 //! throughout the workspace (paper §II-A): operators with the static feature
 //! set of Table I, external data sources with source rates, directed edges
-//! carrying data dependencies, and the feature encoding (one-hot categorical
-//! + min-max numeric scaling) that forms the initial node vectors `h_v^(0)`
-//! of the GNN encoder (paper §IV-A, "Initial Feature Vector Construction").
+//! carrying data dependencies, and the feature encoding (one-hot
+//! categorical plus min-max numeric scaling) that forms the initial node
+//! vectors `h_v^(0)` of the GNN encoder (paper §IV-A, "Initial Feature
+//! Vector Construction").
 //!
 //! Parallelism is deliberately **not** part of the [`Dataflow`] — it is a
 //! dynamic feature handled separately by the tuners (paper §III, "Strategy
@@ -36,22 +37,51 @@ pub struct ParallelismAssignment {
     degrees: Vec<u32>,
 }
 
+/// A degree vector that cannot form a valid [`ParallelismAssignment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignmentError {
+    /// A degree of 0 at the given operator index (degrees are ≥ 1).
+    ZeroDegree {
+        /// Position of the offending degree.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for AssignmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssignmentError::ZeroDegree { index } => write!(
+                f,
+                "parallelism degrees must be >= 1 (degree 0 at operator index {index})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AssignmentError {}
+
 impl ParallelismAssignment {
     /// Uniform assignment of `p` for every operator of `dataflow`.
+    ///
+    /// Panics when `p` is 0; use [`Self::try_from_vec`] for a fallible path.
     pub fn uniform(dataflow: &Dataflow, p: u32) -> Self {
-        assert!(p >= 1, "parallelism degrees must be >= 1");
-        Self {
-            degrees: vec![p; dataflow.num_ops()],
-        }
+        Self::try_from_vec(vec![p; dataflow.num_ops()]).expect("parallelism degrees must be >= 1")
     }
 
     /// Build from an explicit degree vector (one entry per operator).
+    ///
+    /// Panics on a zero degree; use [`Self::try_from_vec`] for a fallible path.
     pub fn from_vec(degrees: Vec<u32>) -> Self {
-        assert!(
-            degrees.iter().all(|&d| d >= 1),
-            "parallelism degrees must be >= 1"
-        );
-        Self { degrees }
+        Self::try_from_vec(degrees).expect("parallelism degrees must be >= 1")
+    }
+
+    /// Build from an explicit degree vector, rejecting zero degrees with an
+    /// [`AssignmentError`] instead of panicking.
+    pub fn try_from_vec(degrees: Vec<u32>) -> Result<Self, AssignmentError> {
+        match degrees.iter().position(|&d| d == 0) {
+            Some(index) => Err(AssignmentError::ZeroDegree { index }),
+            None => Ok(Self { degrees }),
+        }
     }
 
     /// Parallelism of operator `op`.
@@ -133,5 +163,15 @@ mod tests {
     #[should_panic(expected = "parallelism degrees must be >= 1")]
     fn zero_degree_rejected() {
         ParallelismAssignment::from_vec(vec![1, 0]);
+    }
+
+    #[test]
+    fn try_from_vec_reports_offending_index() {
+        assert_eq!(
+            ParallelismAssignment::try_from_vec(vec![2, 0, 3]),
+            Err(AssignmentError::ZeroDegree { index: 1 })
+        );
+        let ok = ParallelismAssignment::try_from_vec(vec![2, 1, 3]).unwrap();
+        assert_eq!(ok.total(), 6);
     }
 }

@@ -348,7 +348,7 @@ mod tests {
             let mut edges = Vec::new();
             for i in 0..n {
                 for j in i + 1..n {
-                    if (seed.wrapping_add((i * n + j) as u64)) % 3 == 0 {
+                    if (seed.wrapping_add((i * n + j) as u64)).is_multiple_of(3) {
                         edges.push((i, j));
                     }
                 }

@@ -58,7 +58,7 @@ impl LatencyModel {
         let mut out = Vec::with_capacity(epochs);
         for e in 0..epochs {
             let mut worst = self.base_latency;
-            for i in 0..n {
+            for (i, backlog_i) in backlog.iter_mut().enumerate() {
                 let pa = st.pa[i];
                 if pa <= 0.0 {
                     continue;
@@ -74,8 +74,8 @@ impl LatencyModel {
                 } else {
                     // Deficit accumulates; latency is the time to drain the
                     // standing backlog plus this epoch's batch.
-                    backlog[i] += arrivals_per_epoch - capacity_per_epoch;
-                    (backlog[i] + arrivals_per_epoch) / pa
+                    *backlog_i += arrivals_per_epoch - capacity_per_epoch;
+                    (*backlog_i + arrivals_per_epoch) / pa
                 };
                 worst = worst.max(op_latency);
             }

@@ -30,7 +30,10 @@ pub mod session;
 pub use live::LiveRescaleModel;
 pub use metrics::{EngineMode, Observation, OpObservation, SimulationReport};
 pub use pa::{PerfProfile, ProcessingAbility};
-pub use session::{SimCluster, TuneOutcome, Tuner, TuningSession};
+pub use session::SimCluster;
+pub use streamtune_backend::{
+    BackendConstraints, BackendError, ExecutionBackend, TuneOutcome, Tuner, TuningSession,
+};
 
 #[cfg(test)]
 mod tests {

@@ -4,115 +4,14 @@
 use crate::noise::NoiseModel;
 use crate::pa::PerfProfile;
 use crate::rates::{demand_rates, flink_steady_state, timely_steady_state};
-use serde::{Deserialize, Serialize};
-use streamtune_dataflow::{Dataflow, OpId, ParallelismAssignment};
+use streamtune_dataflow::{Dataflow, ParallelismAssignment};
 
-/// Backpressure becomes *visible* to Flink's instrumentation only once the
-/// blocked-time fraction crosses the 10 % rule of paper §V-B; a job whose
-/// sources are throttled by less than this reads as backpressure-free on
-/// every dashboard (and in Algorithm 1's line 2). The simulator's
-/// job-level flag uses the same visibility threshold so tuners see exactly
-/// what the real engine would show them.
-pub const BACKPRESSURE_VISIBILITY: f64 = 0.10;
-
-/// Which engine the simulator mimics (paper §V: Apache Flink vs Timely).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum EngineMode {
-    /// Flink: built-in backpressure, busy/idle/backpressured time metrics.
-    Flink,
-    /// Timely Dataflow: no backpressure; 85 % consumption rule.
-    Timely,
-}
-
-/// Per-operator observation, the union of the signals both engines expose.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct OpObservation {
-    /// The operator.
-    pub op: OpId,
-    /// Deployed parallelism degree.
-    pub parallelism: u32,
-    /// Arrival (input) rate in records/second — the *demand* the operator
-    /// must sustain in Flink mode; the actual arrivals in Timely mode.
-    pub input_rate: f64,
-    /// Actually processed records/second.
-    pub processed_rate: f64,
-    /// Flink `busyTimeMsPerSecond` (0–1000).
-    pub busy_ms_per_sec: f64,
-    /// Flink `idleTimeMsPerSecond` (0–1000).
-    pub idle_ms_per_sec: f64,
-    /// Flink `backPressuredTimeMsPerSecond` (0–1000).
-    pub backpressured_ms_per_sec: f64,
-    /// Noisy useful-time-derived per-instance processing rate — what DS2 /
-    /// ContTune use to estimate processing ability (records/second per
-    /// parallel instance of *useful* time).
-    pub observed_per_instance_rate: f64,
-    /// CPU load (busy fraction, 0–1) — the resource metric `R` of Alg. 1.
-    pub cpu_load: f64,
-    /// Flink bottleneck rule: backpressured time > 10 % of the cumulative
-    /// busy+idle+backpressured time (paper §V-B).
-    pub flink_backpressured: bool,
-    /// Timely bottleneck rule: consumption < 85 % of upstream output.
-    pub timely_bottleneck: bool,
-    /// Whether this operator's own demand exceeds its PA (saturated). Not
-    /// directly exposed by real engines, but derivable; used by tests.
-    pub saturated: bool,
-}
-
-/// One deployment's complete observation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Observation {
-    /// Engine mode the observation was taken under.
-    pub mode: EngineMode,
-    /// Per-operator signals, indexed by `OpId` order.
-    pub per_op: Vec<OpObservation>,
-    /// Job-level backpressure flag (any operator under backpressure or
-    /// saturated — what the Flink UI shows at the job level).
-    pub job_backpressure: bool,
-    /// Fraction of the offered source rate actually sustained (1.0 ⇔ no
-    /// throttling). Timely mode reports min(processed/arrivals) instead.
-    pub throughput_scale: f64,
-    /// Cluster CPU utilization: Σ busy·p / Σ p over allocated slots.
-    pub cpu_utilization: f64,
-    /// Total parallelism of the deployment.
-    pub total_parallelism: u64,
-}
-
-impl Observation {
-    /// Operators under backpressure per the mode's detection rule.
-    pub fn backpressured_ops(&self) -> Vec<OpId> {
-        self.per_op
-            .iter()
-            .filter(|o| o.flink_backpressured)
-            .map(|o| o.op)
-            .collect()
-    }
-
-    /// Observation of one operator.
-    pub fn op(&self, id: OpId) -> &OpObservation {
-        &self.per_op[id.index()]
-    }
-}
-
-/// A full simulation report: the observation plus ground truth (hidden from
-/// tuners, used by tests and experiment scoring).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SimulationReport {
-    /// What tuners see.
-    pub observation: Observation,
-    /// Ground-truth PA per operator at the deployed degrees.
-    pub true_pa: Vec<f64>,
-    /// Ground-truth demand input rates (backpressure-free requirement).
-    pub demand_input: Vec<f64>,
-    /// Ground-truth saturation flags.
-    pub saturated: Vec<bool>,
-}
-
-impl SimulationReport {
-    /// True iff the deployment sustains the sources without backpressure.
-    pub fn backpressure_free(&self) -> bool {
-        !self.saturated.iter().any(|&s| s)
-    }
-}
+// The observation model is engine-neutral and lives in the backend crate
+// (see `streamtune_backend::observation`); this module keeps the *physics*
+// that fills it in for the simulated substrate.
+pub use streamtune_backend::{
+    EngineMode, Observation, OpObservation, SimulationReport, BACKPRESSURE_VISIBILITY,
+};
 
 /// Compute an [`Observation`] (and ground truth) for `flow` deployed at
 /// `assignment` with the given profile/noise, in the given mode.
@@ -294,7 +193,7 @@ fn cluster_cpu(per_op: &[OpObservation]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use streamtune_dataflow::{DataflowBuilder, Operator};
+    use streamtune_dataflow::{DataflowBuilder, OpId, Operator};
 
     fn flow(rate: f64) -> Dataflow {
         let mut b = DataflowBuilder::new("metrics-test");

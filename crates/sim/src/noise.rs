@@ -37,7 +37,7 @@ pub struct NoiseModel {
 impl Default for NoiseModel {
     fn default() -> Self {
         NoiseModel {
-            seed: 0xBAD5_EED,
+            seed: 0x0BAD_5EED,
             sigma: 0.06,
             bias: 0.88,
         }

@@ -84,7 +84,7 @@ pub struct PerfProfile {
 impl Default for PerfProfile {
     fn default() -> Self {
         PerfProfile {
-            seed: 0xC0FF_EE,
+            seed: 0x00C0_FFEE,
             jitter: 0.10,
             speed: 1.0,
         }

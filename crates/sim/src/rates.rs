@@ -73,9 +73,9 @@ pub fn flink_steady_state(
         .collect();
 
     let mut throttle: f64 = 1.0;
-    for i in 0..n {
-        if demand.input[i] > pa[i] {
-            throttle = throttle.min(pa[i] / demand.input[i]);
+    for (pa_i, input_i) in pa.iter().zip(&demand.input) {
+        if input_i > pa_i {
+            throttle = throttle.min(pa_i / input_i);
         }
     }
     // Only the *binding* operators (those whose PA/demand ratio equals the

@@ -1,22 +1,23 @@
-//! The cluster environment and tuning sessions.
+//! The simulated cluster and its [`ExecutionBackend`] implementation.
 //!
 //! [`SimCluster`] is the substitute for "a Flink/Timely deployment": it owns
 //! the ground-truth performance profile, the measurement noise model and
 //! cluster limits (maximum per-operator parallelism, paper §V-A: 100 in
 //! Flink, worker count in Timely).
 //!
-//! [`TuningSession`] wraps one tuning run of one job: every `deploy` is a
-//! stop-and-restart reconfiguration (the paper's reconfiguration mechanism,
-//! §V-A) that costs a stabilization wait, increments the reconfiguration
-//! counter, records the CPU-utilization trace (Fig. 10) and counts
-//! backpressure occurrences (Table III).
+//! Tuning sessions, the `Tuner` trait and `TuneOutcome` live in
+//! `streamtune_backend` (re-exported here for convenience): tuners drive
+//! *any* [`ExecutionBackend`], of which `SimCluster` is the simulated one.
 
 use crate::latency::LatencyModel;
-use crate::metrics::{observe, EngineMode, Observation, SimulationReport};
+use crate::metrics::{observe, EngineMode, SimulationReport};
 use crate::noise::NoiseModel;
 use crate::pa::PerfProfile;
 use serde::{Deserialize, Serialize};
+use streamtune_backend::{BackendConstraints, BackendError, ExecutionBackend};
 use streamtune_dataflow::{Dataflow, ParallelismAssignment};
+
+pub use streamtune_backend::{TuneOutcome, Tuner, TuningSession};
 
 /// A simulated stream-processing cluster.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -129,172 +130,47 @@ impl SimCluster {
     }
 }
 
-/// Bookkeeping for one tuning run of one job on a cluster.
-#[derive(Debug)]
-pub struct TuningSession<'a> {
-    cluster: &'a SimCluster,
-    flow: &'a Dataflow,
-    reconfigurations: u32,
-    backpressure_events: u32,
-    elapsed_minutes: f64,
-    cpu_trace: Vec<f64>,
-    parallelism_trace: Vec<u64>,
-    current: Option<ParallelismAssignment>,
-    epoch: u64,
-}
+impl ExecutionBackend for SimCluster {
+    fn engine_mode(&self) -> EngineMode {
+        self.mode
+    }
 
-impl<'a> TuningSession<'a> {
-    /// Start a session for `flow` on `cluster`.
-    pub fn new(cluster: &'a SimCluster, flow: &'a Dataflow) -> Self {
-        TuningSession {
-            cluster,
-            flow,
-            reconfigurations: 0,
-            backpressure_events: 0,
-            elapsed_minutes: 0.0,
-            cpu_trace: Vec::new(),
-            parallelism_trace: Vec::new(),
-            current: None,
-            epoch: 0,
+    fn constraints(&self) -> BackendConstraints {
+        BackendConstraints {
+            max_parallelism: self.max_parallelism,
+            reconfig_wait_minutes: self.reconfig_wait_minutes,
         }
     }
 
-    /// Start a session where `initial` is already deployed (a running job
-    /// whose source rate just changed): the first re-deploy of the same
-    /// assignment does not count as a reconfiguration.
-    pub fn with_initial(
-        cluster: &'a SimCluster,
-        flow: &'a Dataflow,
-        initial: ParallelismAssignment,
+    fn deploy(
+        &mut self,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
         epoch: u64,
-    ) -> Self {
-        let mut s = TuningSession::new(cluster, flow);
-        s.current = Some(initial);
-        s.epoch = epoch;
-        s
-    }
-
-    /// The job under tuning.
-    pub fn flow(&self) -> &Dataflow {
-        self.flow
-    }
-
-    /// The cluster.
-    pub fn cluster(&self) -> &SimCluster {
-        self.cluster
-    }
-
-    /// Maximum per-operator parallelism allowed.
-    pub fn max_parallelism(&self) -> u32 {
-        self.cluster.max_parallelism
-    }
-
-    /// Deploy `assignment` (stop-and-restart reconfiguration) and observe.
-    ///
-    /// Re-deploying an identical assignment is *not* counted as a
-    /// reconfiguration (the job keeps running), but still yields a fresh
-    /// observation after the monitoring interval.
-    pub fn deploy(&mut self, assignment: &ParallelismAssignment) -> Observation {
-        let changed = self.current.as_ref() != Some(assignment);
-        if changed {
-            self.reconfigurations += 1;
-            self.elapsed_minutes += self.cluster.reconfig_wait_minutes;
-            self.current = Some(assignment.clone());
-        } else {
-            // Pure monitoring interval.
-            self.elapsed_minutes += self.cluster.reconfig_wait_minutes / 2.0;
+    ) -> Result<SimulationReport, BackendError> {
+        if assignment.len() != flow.num_ops() {
+            return Err(BackendError::AssignmentShape {
+                expected: flow.num_ops(),
+                actual: assignment.len(),
+            });
         }
-        self.epoch += 1;
-        let report = self.cluster.simulate_at(self.flow, assignment, self.epoch);
-        // Backpressure occurrences (paper Table III) are attributed to the
-        // tuner's own reconfigurations: observing an inherited deployment
-        // that the environment's rate change already backpressured is
-        // monitoring, not a tuning mistake.
-        if report.observation.job_backpressure && changed {
-            self.backpressure_events += 1;
+        Ok(self.simulate_at(flow, assignment, epoch))
+    }
+
+    fn epoch_latencies(
+        &mut self,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
+        epochs: usize,
+    ) -> Result<Vec<f64>, BackendError> {
+        if assignment.len() != flow.num_ops() {
+            return Err(BackendError::AssignmentShape {
+                expected: flow.num_ops(),
+                actual: assignment.len(),
+            });
         }
-        self.cpu_trace.push(report.observation.cpu_utilization);
-        self.parallelism_trace.push(assignment.total());
-        report.observation
+        Ok(SimCluster::epoch_latencies(self, flow, assignment, epochs))
     }
-
-    /// Number of reconfigurations performed so far.
-    pub fn reconfigurations(&self) -> u32 {
-        self.reconfigurations
-    }
-
-    /// Number of deployments that exhibited job-level backpressure.
-    pub fn backpressure_events(&self) -> u32 {
-        self.backpressure_events
-    }
-
-    /// Simulated wall-clock minutes spent (reconfiguration + stabilization).
-    pub fn elapsed_minutes(&self) -> f64 {
-        self.elapsed_minutes
-    }
-
-    /// Cluster CPU utilization after each deployment (Fig. 10 trace).
-    pub fn cpu_trace(&self) -> &[f64] {
-        &self.cpu_trace
-    }
-
-    /// Total parallelism after each deployment.
-    pub fn parallelism_trace(&self) -> &[u64] {
-        &self.parallelism_trace
-    }
-
-    /// The currently deployed assignment, if any.
-    pub fn current_assignment(&self) -> Option<&ParallelismAssignment> {
-        self.current.as_ref()
-    }
-}
-
-/// The result of running a tuner to convergence on one session.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct TuneOutcome {
-    /// The parallelism assignment the tuner settled on.
-    pub final_assignment: ParallelismAssignment,
-    /// Reconfigurations performed (Fig. 7a metric).
-    pub reconfigurations: u32,
-    /// Deployments that exhibited job-level backpressure (Table III metric).
-    pub backpressure_events: u32,
-    /// Simulated minutes spent tuning (Fig. 7b metric).
-    pub elapsed_minutes: f64,
-    /// Tuning iterations executed.
-    pub iterations: u32,
-    /// Whether the tuner reached its own convergence criterion (as opposed
-    /// to hitting an iteration cap).
-    pub converged: bool,
-}
-
-impl TuningSession<'_> {
-    /// Assemble a [`TuneOutcome`] from the session's bookkeeping.
-    pub fn outcome(
-        &self,
-        final_assignment: ParallelismAssignment,
-        iterations: u32,
-        converged: bool,
-    ) -> TuneOutcome {
-        TuneOutcome {
-            final_assignment,
-            reconfigurations: self.reconfigurations(),
-            backpressure_events: self.backpressure_events(),
-            elapsed_minutes: self.elapsed_minutes(),
-            iterations,
-            converged,
-        }
-    }
-}
-
-/// A parallelism tuner: given a tuning session for one job, drive
-/// deployments until its convergence criterion is met. Implemented by
-/// StreamTune and every baseline (DS2, ContTune, ZeroTune).
-pub trait Tuner {
-    /// Short display name ("DS2", "StreamTune", …).
-    fn name(&self) -> &str;
-
-    /// Run the tuning loop on `session`.
-    fn tune(&mut self, session: &mut TuningSession<'_>) -> TuneOutcome;
 }
 
 #[cfg(test)]
@@ -315,13 +191,13 @@ mod tests {
     #[test]
     fn deploy_counts_reconfigurations() {
         let f = flow(1000.0);
-        let cluster = SimCluster::flink_defaults(3);
-        let mut s = TuningSession::new(&cluster, &f);
+        let mut cluster = SimCluster::flink_defaults(3);
         let a = ParallelismAssignment::uniform(&f, 1);
         let b = ParallelismAssignment::uniform(&f, 2);
-        s.deploy(&a);
-        s.deploy(&b);
-        s.deploy(&b); // unchanged → monitoring only
+        let mut s = TuningSession::new(&mut cluster, &f);
+        s.deploy(&a).unwrap();
+        s.deploy(&b).unwrap();
+        s.deploy(&b).unwrap(); // unchanged → monitoring only
         assert_eq!(s.reconfigurations(), 2);
         assert_eq!(s.cpu_trace().len(), 3);
         assert!(s.elapsed_minutes() > 20.0 && s.elapsed_minutes() < 30.0);
@@ -330,10 +206,28 @@ mod tests {
     #[test]
     fn backpressure_events_counted() {
         let f = flow(1.0e8);
-        let cluster = SimCluster::flink_defaults(3);
-        let mut s = TuningSession::new(&cluster, &f);
-        s.deploy(&ParallelismAssignment::uniform(&f, 1));
+        let mut cluster = SimCluster::flink_defaults(3);
+        let a = ParallelismAssignment::uniform(&f, 1);
+        let mut s = TuningSession::new(&mut cluster, &f);
+        s.deploy(&a).unwrap();
         assert_eq!(s.backpressure_events(), 1);
+    }
+
+    #[test]
+    fn deploy_rejects_malformed_assignment() {
+        let f = flow(1000.0);
+        let mut cluster = SimCluster::flink_defaults(3);
+        let short = ParallelismAssignment::from_vec(vec![1]);
+        let mut s = TuningSession::new(&mut cluster, &f);
+        match s.deploy(&short) {
+            Err(BackendError::AssignmentShape { expected, actual }) => {
+                assert_eq!((expected, actual), (2, 1));
+            }
+            other => panic!("expected AssignmentShape error, got {other:?}"),
+        }
+        // A failed deploy is not a reconfiguration and costs no time.
+        assert_eq!(s.reconfigurations(), 0);
+        assert_eq!(s.elapsed_minutes(), 0.0);
     }
 
     #[test]
@@ -370,5 +264,13 @@ mod tests {
         let rf = flink.simulate(&f, &a);
         let rt = timely.simulate(&f, &a);
         assert!(rt.true_pa[0] > rf.true_pa[0]);
+    }
+
+    #[test]
+    fn backend_constraints_mirror_cluster_limits() {
+        let cluster = SimCluster::flink_defaults(7);
+        let c = ExecutionBackend::constraints(&cluster);
+        assert_eq!(c.max_parallelism, cluster.max_parallelism);
+        assert_eq!(c.reconfig_wait_minutes, cluster.reconfig_wait_minutes);
     }
 }

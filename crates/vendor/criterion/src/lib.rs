@@ -1,0 +1,179 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! `sample_size`, the `criterion_group!`/`criterion_main!` macros and a
+//! [`Bencher`] whose `iter` runs a short warm-up followed by timed batches,
+//! printing a median ns/iter. No statistics engine, no HTML reports — just
+//! honest wall-clock numbers so `cargo bench` stays useful offline.
+
+use std::time::Instant;
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// A benchmark identifier: a function name, optionally parameterized
+/// (`BenchmarkId::new("sort", input_len)` reports as `sort/1024`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A parameterized id, reported as `function_name/parameter`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter (used inside groups).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Entry point handed to every benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&id.into().id);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group: benchmarks report as `group/function`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size.unwrap_or(self.parent.sample_size),
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into().id));
+        self
+    }
+
+    /// Finish the group (reporting already happened per-function).
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to `iter`.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`: warm up briefly, then record `sample_size` timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: target ~5ms per batch.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().as_secs_f64().max(1e-9);
+        let batch = ((5e-3 / once) as usize).clamp(1, 1_000_000);
+        for _ in 0..self.sample_size.max(1) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed / batch as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = sorted[sorted.len() / 2];
+        let best = sorted[0];
+        println!(
+            "{name:<40} median {:>12.0} ns/iter (best {:>12.0})",
+            median * 1e9,
+            best * 1e9
+        );
+    }
+}
+
+/// Declare a group runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare `main` from group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,133 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides exactly the surface this workspace uses: the [`Rng`] core
+//! trait, the [`RngExt`] convenience extension with `random_range`, the
+//! [`SeedableRng`] constructor trait and [`rngs::StdRng`]. `StdRng` is a
+//! xoshiro256** generator seeded through SplitMix64 — not the real crate's
+//! ChaCha12, but deterministic, well distributed and more than adequate
+//! for simulation noise and weight initialization.
+
+use std::ops::Range;
+
+/// Core random number generator interface.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convenience sampling methods over any [`Rng`].
+pub trait RngExt: Rng {
+    /// Uniform `f64` in `[0, 1)`.
+    fn random(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[range.start, range.end)`.
+    fn random_range(&mut self, range: Range<f64>) -> f64 {
+        assert!(
+            range.start < range.end,
+            "random_range requires a non-empty range"
+        );
+        range.start + self.random() * (range.end - range.start)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded via
+    /// SplitMix64 (the seeding scheme its authors recommend).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn random_range_within_bounds_and_covering() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut lo_half = 0;
+        for _ in 0..1000 {
+            let x = rng.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            if x < 0.5 {
+                lo_half += 1;
+            }
+        }
+        // Roughly uniform: the lower half should get roughly half the mass.
+        assert!((300..700).contains(&lo_half), "skewed: {lo_half}");
+    }
+}

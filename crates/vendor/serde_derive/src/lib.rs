@@ -1,0 +1,362 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored offline `serde` stand-in (see `crates/vendor/serde`).
+//!
+//! Supports the item shapes this workspace actually uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype and wider),
+//! * enums with unit, newtype/tuple and struct variants.
+//!
+//! Generics are intentionally unsupported — no serialized type in the
+//! workspace is generic, and rejecting them loudly beats silently
+//! miscompiling. The macro walks the raw `proc_macro::TokenTree`s (neither
+//! `syn` nor `quote` is available offline) and emits the impl as a string
+//! parsed back into a `TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// `struct Name { a: A, b: B }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(A, B);` — arity recorded.
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { Unit, New(T), Record { a: A } }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Skip leading attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracketed group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Count top-level comma-separated entries of a group, tracking `<...>`
+/// nesting so generic arguments don't split an entry. Trailing commas are
+/// tolerated. Returns the token-index ranges of each entry.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut angle = 0i32;
+    let mut start = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if i > start {
+                        out.push((start, i));
+                    }
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    if tokens.len() > start {
+        out.push((start, tokens.len()));
+    }
+    out
+}
+
+/// Field name of one named-field entry (skips attrs/vis, takes the ident).
+fn field_name(entry: &[TokenTree]) -> String {
+    let i = skip_attrs_and_vis(entry, 0);
+    match entry.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected field name, found {other:?}"),
+    }
+}
+
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level(group_tokens)
+        .into_iter()
+        .map(|(a, b)| field_name(&group_tokens[a..b]))
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the offline stand-in");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::Struct {
+                    name,
+                    fields: parse_named_fields(&inner),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::TupleStruct {
+                    name,
+                    arity: split_top_level(&inner).len(),
+                }
+            }
+            other => panic!("serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            let inner: Vec<TokenTree> = body.into_iter().collect();
+            let variants = split_top_level(&inner)
+                .into_iter()
+                .map(|(a, b)| {
+                    let entry = &inner[a..b];
+                    let j = skip_attrs_and_vis(entry, 0);
+                    let vname = match entry.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("serde_derive: expected variant name, found {other:?}"),
+                    };
+                    let shape = match entry.get(j + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantShape::Tuple(split_top_level(&inner).len())
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantShape::Struct(parse_named_fields(&inner))
+                        }
+                        _ => VariantShape::Unit,
+                    };
+                    Variant { name: vname, shape }
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__obj.push((\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                 let mut __obj: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Value::Object(__obj)\n}}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|k| format!("__f{k}")).collect();
+                            let payload = if *arity == 1 {
+                                "::serde::Serialize::serialize(__f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::serialize({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}\n}}\n}}\n}}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(__v.field(\"{f}\")?)?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{ {} }})\n}}\n}}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
+                )
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Deserialize::deserialize(__v.index({k})?)?"))
+                    .collect();
+                format!("::std::result::Result::Ok({name}({}))", elems.join(", "))
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let payload = format!(
+                                "let __p = __payload.ok_or_else(|| ::serde::Error::custom(\"variant {vn} expects a payload\"))?;"
+                            );
+                            let build = if *arity == 1 {
+                                format!("{name}::{vn}(::serde::Deserialize::deserialize(__p)?)")
+                            } else {
+                                let elems: Vec<String> = (0..*arity)
+                                    .map(|k| {
+                                        format!(
+                                            "::serde::Deserialize::deserialize(__p.index({k})?)?"
+                                        )
+                                    })
+                                    .collect();
+                                format!("{name}::{vn}({})", elems.join(", "))
+                            };
+                            format!(
+                                "\"{vn}\" => {{ {payload} ::std::result::Result::Ok({build}) }}\n"
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let payload = format!(
+                                "let __p = __payload.ok_or_else(|| ::serde::Error::custom(\"variant {vn} expects a payload\"))?;"
+                            );
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize(__p.field(\"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ {payload} ::std::result::Result::Ok({name}::{vn} {{ {} }}) }}\n",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let (__name, __payload) = __v.variant()?;\n\
+                 match __name {{\n{arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}

@@ -6,13 +6,13 @@
 //! cargo run --release --example compare_tuners
 //! ```
 
-use streamtune::baselines::{ContTune, Ds2, Tuner, ZeroTune, ZeroTuneConfig};
+use streamtune::backend::{Tuner, TuningSession};
+use streamtune::baselines::{ContTune, Ds2, ZeroTune, ZeroTuneConfig};
 use streamtune::prelude::*;
-use streamtune::sim::TuningSession;
 use streamtune::workloads::history::HistoryGenerator;
 
 fn main() {
-    let cluster = SimCluster::flink_defaults(9);
+    let mut cluster = SimCluster::flink_defaults(9);
     println!("building shared knowledge base…");
     let corpus = HistoryGenerator::new(9).with_jobs(48).generate(&cluster);
     let pretrained = Pretrainer::new(PretrainConfig::fast()).run(&corpus);
@@ -43,10 +43,10 @@ fn main() {
         for (k, &m) in rates.iter().enumerate() {
             let flow = workload.at(m);
             let mut session = match carry.take() {
-                Some(a) => TuningSession::with_initial(&cluster, &flow, a, k as u64 * 100),
-                None => TuningSession::new(&cluster, &flow),
+                Some(a) => TuningSession::with_initial(&mut cluster, &flow, a, k as u64 * 100),
+                None => TuningSession::new(&mut cluster, &flow),
             };
-            let out = tuner.tune(&mut session);
+            let out = tuner.tune(&mut session).expect("tuning failed");
             println!(
                 "{:<12} {:>4}×W {:>10} {:>9} {:>13}",
                 name,

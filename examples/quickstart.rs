@@ -1,19 +1,22 @@
 //! Quickstart: pre-train StreamTune on a simulated execution-history
-//! corpus, then tune Nexmark Q5 online.
+//! corpus, then tune Nexmark Q5 online through the backend-agnostic
+//! execution API.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
+use streamtune::backend::{Tuner, TuningSession};
 use streamtune::prelude::*;
-use streamtune::sim::{Tuner, TuningSession};
 use streamtune::workloads::history::HistoryGenerator;
 use streamtune::workloads::rates::Engine;
 
 fn main() {
     // 1. A simulated Flink-like cluster: ground-truth processing abilities,
-    //    noisy useful-time metrics, stop-and-restart reconfiguration.
-    let cluster = SimCluster::flink_defaults(42);
+    //    noisy useful-time metrics, stop-and-restart reconfiguration. It is
+    //    one implementation of `ExecutionBackend`; the tuner below never
+    //    learns which one it is driving.
+    let mut cluster = SimCluster::flink_defaults(42);
 
     // 2. An execution-history corpus: randomized jobs deployed at random
     //    rates and parallelisms, with the engine's observations recorded.
@@ -34,9 +37,9 @@ fn main() {
     // 4. Online phase: tune Nexmark Q5 at ten times its base source rate.
     let mut job = nexmark::q5(Engine::Flink);
     job.set_multiplier(10.0);
-    let mut session = TuningSession::new(&cluster, &job.flow);
+    let mut session = TuningSession::new(&mut cluster, &job.flow);
     let mut tuner = StreamTune::new(&pretrained, TuneConfig::default());
-    let outcome = tuner.tune(&mut session);
+    let outcome = tuner.tune(&mut session).expect("tuning failed");
 
     println!("\ntuned {} at 10×Wu:", job.name);
     for (op, degree) in outcome.final_assignment.iter() {
@@ -51,7 +54,7 @@ fn main() {
 
     // 5. Verify the recommendation sustains the sources. Engines only
     //    surface backpressure past a ~10% blocked-time threshold (see
-    //    sim::metrics::BACKPRESSURE_VISIBILITY), so that is the relevant
+    //    backend::BACKPRESSURE_VISIBILITY), so that is the relevant
     //    acceptance bar — the same one the tuner optimizes against.
     let report = cluster.simulate(&job.flow, &outcome.final_assignment);
     println!(

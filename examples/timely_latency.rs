@@ -6,14 +6,14 @@
 //! cargo run --release --example timely_latency
 //! ```
 
+use streamtune::backend::{Tuner, TuningSession};
 use streamtune::prelude::*;
 use streamtune::sim::latency::LatencyModel;
-use streamtune::sim::{Tuner, TuningSession};
 use streamtune::workloads::history::HistoryGenerator;
 use streamtune::workloads::rates::Engine;
 
 fn main() {
-    let cluster = SimCluster::timely_defaults(5);
+    let mut cluster = SimCluster::timely_defaults(5);
     println!("pre-training on Timely-mode histories…");
     let mut gen = HistoryGenerator::new(5).with_jobs(40);
     gen.engine = Engine::Timely;
@@ -32,8 +32,8 @@ fn main() {
         "method", "total-par", "p50 (s)", "p95 (s)", "p99 (s)"
     );
     for (name, tuner) in tuners {
-        let mut session = TuningSession::new(&cluster, &job.flow);
-        let outcome = tuner.tune(&mut session);
+        let mut session = TuningSession::new(&mut cluster, &job.flow);
+        let outcome = tuner.tune(&mut session).expect("tuning failed");
         let latencies = cluster.epoch_latencies(&job.flow, &outcome.final_assignment, 400);
         println!(
             "{:<12} {:>10} {:>9.3} {:>9.3} {:>9.3}",

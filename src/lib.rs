@@ -3,16 +3,18 @@
 //! Facade crate re-exporting the whole StreamTune reproduction workspace:
 //! an adaptive parallelism tuner for stream processing systems following
 //! *"Learning from the Past: Adaptive Parallelism Tuning for Stream
-//! Processing Systems"* (ICDE 2025), together with the simulated DSPS
-//! substrate, baseline tuners (DS2, ContTune, ZeroTune), workloads
-//! (Nexmark, PQP) and the model/GNN/GED machinery it builds on.
+//! Processing Systems"* (ICDE 2025), together with the backend-agnostic
+//! execution API, the simulated DSPS substrate, baseline tuners (DS2,
+//! ContTune, ZeroTune), workloads (Nexmark, PQP) and the model/GNN/GED
+//! machinery it builds on.
 //!
 //! ## Crate map
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`backend`] | `streamtune-backend` | [`ExecutionBackend`](backend::ExecutionBackend) trait, [`TuningSession`](backend::TuningSession), [`Tuner`](backend::Tuner), trace record/replay, error types |
 //! | [`dataflow`] | `streamtune-dataflow` | logical DAG model, Table I features |
-//! | [`sim`] | `streamtune-sim` | Flink-/Timely-mode DSPS simulator substrate |
+//! | [`sim`] | `streamtune-sim` | Flink-/Timely-mode DSPS simulator (`SimCluster`, an `ExecutionBackend`) |
 //! | [`nn`] | `streamtune-nn` | dense NN + GNN encoder (Eq. 1–3) |
 //! | [`ged`] | `streamtune-ged` | graph edit distance + similarity search |
 //! | [`cluster`] | `streamtune-cluster` | GED k-means, similarity centers |
@@ -21,30 +23,55 @@
 //! | [`baselines`] | `streamtune-baselines` | DS2, ContTune, ZeroTune |
 //! | [`workloads`] | `streamtune-workloads` | Nexmark, PQP, rate patterns, histories |
 //!
+//! Tuners never name a concrete engine: they drive deployments through a
+//! [`TuningSession`](backend::TuningSession) over
+//! `&mut dyn ExecutionBackend`. The simulator is one backend;
+//! [`ReplayBackend`](backend::ReplayBackend) (canned metrics from a
+//! recorded [`TraceLog`](backend::TraceLog)) is another; real-engine
+//! connectors slot in the same way.
+//!
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs`; the short version:
 //!
 //! ```no_run
+//! use streamtune::backend::{Tuner, TuningSession};
 //! use streamtune::prelude::*;
-//! use streamtune::sim::{TuningSession, Tuner};
 //! use streamtune::workloads::history::HistoryGenerator;
 //! use streamtune::workloads::rates::Engine;
 //!
 //! // 1. A simulated cluster plus an execution-history corpus on it.
-//! let cluster = SimCluster::flink_defaults(42);
+//! let mut cluster = SimCluster::flink_defaults(42);
 //! let corpus = HistoryGenerator::new(7).with_jobs(40).generate(&cluster);
 //! // 2. Pre-train clustered GNN encoders offline.
 //! let pretrained = Pretrainer::new(PretrainConfig::fast()).run(&corpus);
-//! // 3. Tune a target job online.
+//! // 3. Tune a target job online through the backend-agnostic session.
 //! let mut job = nexmark::q5(Engine::Flink);
 //! job.set_multiplier(10.0);
-//! let mut session = TuningSession::new(&cluster, &job.flow);
+//! let mut session = TuningSession::new(&mut cluster, &job.flow);
 //! let mut tuner = StreamTune::new(&pretrained, TuneConfig::default());
-//! let outcome = tuner.tune(&mut session);
+//! let outcome = tuner.tune(&mut session).expect("tuning failed");
 //! println!("final parallelism: {}", outcome.final_assignment.total());
 //! ```
+//!
+//! To tune against canned production metrics instead of the simulator,
+//! record a session with [`TraceRecorder`](backend::TraceRecorder) and
+//! replay it:
+//!
+//! ```no_run
+//! use streamtune::backend::{ReplayBackend, TraceRecorder, Tuner, TuningSession};
+//! # use streamtune::prelude::*;
+//! # use streamtune::workloads::rates::Engine;
+//! # fn tune_on(backend: &mut dyn streamtune::backend::ExecutionBackend) {}
+//! let mut recorder = TraceRecorder::new(SimCluster::flink_defaults(42));
+//! tune_on(&mut recorder); // any tuning run through a TuningSession
+//! let log = recorder.into_log();
+//! log.save("trace.json").unwrap();
+//! let mut replay = ReplayBackend::from_file("trace.json").unwrap();
+//! tune_on(&mut replay); // same observations, no simulator in the loop
+//! ```
 
+pub use streamtune_backend as backend;
 pub use streamtune_baselines as baselines;
 pub use streamtune_cluster as cluster;
 pub use streamtune_core as core;
@@ -57,7 +84,11 @@ pub use streamtune_workloads as workloads;
 
 /// Convenience prelude with the most common entry points.
 pub mod prelude {
-    pub use streamtune_baselines::{ContTune, Ds2, Tuner, ZeroTune};
+    pub use streamtune_backend::{
+        BackendError, ExecutionBackend, ReplayBackend, TraceLog, TraceRecorder, TuneError,
+        TuneOutcome, Tuner, TuningSession,
+    };
+    pub use streamtune_baselines::{ContTune, Ds2, ZeroTune};
     pub use streamtune_core::{PretrainConfig, Pretrainer, StreamTune, TuneConfig};
     pub use streamtune_dataflow::{Dataflow, DataflowBuilder, Operator, ParallelismAssignment};
     pub use streamtune_sim::{SimCluster, SimulationReport};

@@ -1,0 +1,122 @@
+//! The backend-agnostic execution API at the facade level: tuners drive
+//! `&mut dyn ExecutionBackend` without knowing whether observations come
+//! from the simulator or a recorded trace, and both paths agree.
+
+use streamtune::backend::{
+    BackendError, ExecutionBackend, ReplayBackend, TraceLog, TraceRecorder, TuneOutcome, Tuner,
+    TuningSession,
+};
+use streamtune::prelude::*;
+use streamtune::workloads::history::HistoryGenerator;
+use streamtune::workloads::rates::Engine;
+
+fn tune_on(
+    backend: &mut dyn ExecutionBackend,
+    tuner: &mut dyn Tuner,
+    flow: &Dataflow,
+) -> TuneOutcome {
+    let mut session = TuningSession::new(backend, flow);
+    tuner.tune(&mut session).expect("tuning failed")
+}
+
+/// Record a StreamTune + DS2 session on the simulator, then re-run both
+/// tuners against a `ReplayBackend` over the captured trace: the canned
+/// metrics must drive them to identical outcomes (the acceptance criterion
+/// for backend-agnosticism — nothing tuner-visible leaks from the engine).
+#[test]
+fn sim_and_replay_backends_reach_identical_outcomes() {
+    let cluster = SimCluster::flink_defaults(17);
+    let corpus = HistoryGenerator::new(17).with_jobs(24).generate(&cluster);
+    let pretrained = Pretrainer::new(PretrainConfig::fast()).run(&corpus);
+    let mut w = nexmark::q5(Engine::Flink);
+    w.set_multiplier(10.0);
+
+    let mut recorder = TraceRecorder::new(cluster);
+    let mut st = StreamTune::new(&pretrained, TuneConfig::default());
+    let st_live = tune_on(&mut recorder, &mut st, &w.flow);
+    let mut ds2 = Ds2::default();
+    let ds2_live = tune_on(&mut recorder, &mut ds2, &w.flow);
+    let log = recorder.into_log();
+    assert!(
+        log.deploys.len() >= 2,
+        "both tuning runs must have recorded deployments"
+    );
+
+    // Fresh tuners (StreamTune carries job memory across runs) on replay.
+    let mut replay = ReplayBackend::new(log.clone());
+    let mut st2 = StreamTune::new(&pretrained, TuneConfig::default());
+    let st_replay = tune_on(&mut replay, &mut st2, &w.flow);
+    let mut ds2_2 = Ds2::default();
+    let ds2_replay = tune_on(&mut replay, &mut ds2_2, &w.flow);
+
+    assert_eq!(st_live, st_replay, "StreamTune outcome diverged on replay");
+    assert_eq!(ds2_live, ds2_replay, "DS2 outcome diverged on replay");
+    assert_eq!(
+        replay.served(),
+        log.deploys.len(),
+        "replay must consume exactly the recorded deployments"
+    );
+}
+
+/// `ExecutionBackend` is object-safe: backends move through `Box<dyn …>`,
+/// heterogeneous collections of them work, and a boxed backend drives a
+/// full tuning session.
+#[test]
+fn execution_backend_is_object_safe() {
+    let cluster = SimCluster::flink_defaults(23);
+    let mut w = nexmark::q1(Engine::Flink);
+    w.set_multiplier(5.0);
+
+    // Capture a trace so the heterogeneous list has a replay member.
+    let mut recorder = TraceRecorder::new(cluster.clone());
+    let mut ds2 = Ds2::default();
+    let live = tune_on(&mut recorder, &mut ds2, &w.flow);
+    let log = recorder.into_log();
+
+    let mut backends: Vec<Box<dyn ExecutionBackend>> =
+        vec![Box::new(cluster), Box::new(ReplayBackend::new(log))];
+    for backend in &mut backends {
+        let mut tuner = Ds2::default();
+        let out = tune_on(backend.as_mut(), &mut tuner, &w.flow);
+        assert_eq!(
+            out.final_assignment,
+            live.final_assignment,
+            "a boxed {:?}-mode backend diverged",
+            backend.engine_mode()
+        );
+    }
+}
+
+/// Replay refuses to invent metrics: a deployment the trace never saw is a
+/// `TraceMiss`, surfaced as a `Result` (not a panic) through the session.
+#[test]
+fn replay_miss_surfaces_as_error_not_panic() {
+    let cluster = SimCluster::flink_defaults(29);
+    let w = nexmark::q1(Engine::Flink);
+    let empty = TraceLog::new(cluster.engine_mode(), cluster.constraints());
+    let mut replay = ReplayBackend::new(empty);
+    let mut session = TuningSession::new(&mut replay, &w.flow);
+    let a = ParallelismAssignment::uniform(&w.flow, 2);
+    match session.deploy(&a) {
+        Err(BackendError::TraceExhausted { .. }) => {}
+        other => panic!("expected TraceExhausted, got {other:?}"),
+    }
+}
+
+/// A session rejects an assignment that does not cover the flow before it
+/// ever reaches the backend.
+#[test]
+fn session_rejects_malformed_assignment_with_result() {
+    let mut cluster = SimCluster::flink_defaults(31);
+    let w = nexmark::q5(Engine::Flink);
+    let mut session = TuningSession::new(&mut cluster, &w.flow);
+    let short = ParallelismAssignment::try_from_vec(vec![1]).unwrap();
+    match session.deploy(&short) {
+        Err(BackendError::AssignmentShape { expected, actual }) => {
+            assert_eq!(actual, 1);
+            assert_eq!(expected, w.flow.num_ops());
+        }
+        other => panic!("expected AssignmentShape, got {other:?}"),
+    }
+    assert_eq!(session.reconfigurations(), 0);
+}

@@ -1,9 +1,9 @@
 //! Cross-tuner invariants: the qualitative relationships the paper's
 //! evaluation establishes must hold on the simulated substrate.
 
-use streamtune::baselines::{ContTune, Ds2, Tuner, ZeroTune, ZeroTuneConfig};
+use streamtune::backend::{Tuner, TuningSession};
+use streamtune::baselines::{ContTune, Ds2, ZeroTune, ZeroTuneConfig};
 use streamtune::prelude::*;
-use streamtune::sim::TuningSession;
 use streamtune::workloads::history::HistoryGenerator;
 use streamtune::workloads::rates::Engine;
 
@@ -26,7 +26,7 @@ fn setup(seed: u64) -> Setup {
 
 #[test]
 fn all_tuners_sustain_q2_at_10wu() {
-    let s = setup(211);
+    let mut s = setup(211);
     let mut w = nexmark::q2(Engine::Flink);
     w.set_multiplier(10.0);
     let mut tuners: Vec<(&str, Box<dyn Tuner>)> = vec![
@@ -42,8 +42,8 @@ fn all_tuners_sustain_q2_at_10wu() {
         ),
     ];
     for (name, tuner) in &mut tuners {
-        let mut session = TuningSession::new(&s.cluster, &w.flow);
-        let outcome = tuner.tune(&mut session);
+        let mut session = TuningSession::new(&mut s.cluster, &w.flow);
+        let outcome = tuner.tune(&mut session).expect("tuning failed");
         let rep = s.cluster.simulate(&w.flow, &outcome.final_assignment);
         assert!(
             rep.observation.throughput_scale > 0.88,
@@ -55,7 +55,7 @@ fn all_tuners_sustain_q2_at_10wu() {
 
 #[test]
 fn zerotune_overprovisions_relative_to_everyone() {
-    let s = setup(223);
+    let mut s = setup(223);
     let mut w = pqp::two_way_join_query(3);
     w.set_multiplier(10.0);
     let totals: Vec<u64> = {
@@ -65,8 +65,13 @@ fn zerotune_overprovisions_relative_to_everyone() {
         let mut st = StreamTune::new(&s.pretrained, TuneConfig::default());
         let tuners: [&mut dyn Tuner; 3] = [&mut zt, &mut ds2, &mut st];
         for t in tuners {
-            let mut session = TuningSession::new(&s.cluster, &w.flow);
-            out.push(t.tune(&mut session).final_assignment.total());
+            let mut session = TuningSession::new(&mut s.cluster, &w.flow);
+            out.push(
+                t.tune(&mut session)
+                    .expect("tuning failed")
+                    .final_assignment
+                    .total(),
+            );
         }
         out
     };
@@ -79,20 +84,20 @@ fn zerotune_overprovisions_relative_to_everyone() {
 
 #[test]
 fn streamtune_uses_fewer_reconfigurations_than_ds2_over_a_schedule() {
-    let s = setup(227);
+    let mut s = setup(227);
     let w = pqp::three_way_join_query(2);
     let schedule = [3.0, 8.0, 5.0, 10.0, 2.0, 7.0, 10.0, 4.0];
 
-    let run = |tuner: &mut dyn Tuner| -> u32 {
+    let mut run = |tuner: &mut dyn Tuner| -> u32 {
         let mut carry: Option<ParallelismAssignment> = None;
         let mut total = 0;
         for (k, &m) in schedule.iter().enumerate() {
             let flow = w.at(m);
             let mut session = match carry.take() {
-                Some(a) => TuningSession::with_initial(&s.cluster, &flow, a, k as u64 * 100),
-                None => TuningSession::new(&s.cluster, &flow),
+                Some(a) => TuningSession::with_initial(&mut s.cluster, &flow, a, k as u64 * 100),
+                None => TuningSession::new(&mut s.cluster, &flow),
             };
-            let out = tuner.tune(&mut session);
+            let out = tuner.tune(&mut session).expect("tuning failed");
             total += out.reconfigurations;
             carry = Some(out.final_assignment);
         }
@@ -111,17 +116,17 @@ fn streamtune_uses_fewer_reconfigurations_than_ds2_over_a_schedule() {
 
 #[test]
 fn conttune_accumulates_observations_across_changes() {
-    let s = setup(229);
+    let mut s = setup(229);
     let w = nexmark::q5(Engine::Flink);
     let mut ct = ContTune::default();
     let mut carry: Option<ParallelismAssignment> = None;
     for (k, m) in [3.0, 7.0, 5.0].iter().enumerate() {
         let flow = w.at(*m);
         let mut session = match carry.take() {
-            Some(a) => TuningSession::with_initial(&s.cluster, &flow, a, k as u64 * 10),
-            None => TuningSession::new(&s.cluster, &flow),
+            Some(a) => TuningSession::with_initial(&mut s.cluster, &flow, a, k as u64 * 10),
+            None => TuningSession::new(&mut s.cluster, &flow),
         };
-        let out = ct.tune(&mut session);
+        let out = ct.tune(&mut session).expect("tuning failed");
         carry = Some(out.final_assignment);
     }
     assert!(
@@ -133,7 +138,7 @@ fn conttune_accumulates_observations_across_changes() {
 
 #[test]
 fn timely_streamtune_needs_less_parallelism_than_ds2_at_similar_latency() {
-    let cluster = SimCluster::timely_defaults(233);
+    let mut cluster = SimCluster::timely_defaults(233);
     let mut gen = HistoryGenerator::new(233).with_jobs(48);
     gen.engine = Engine::Timely;
     let corpus = gen.generate(&cluster);
@@ -150,17 +155,17 @@ fn timely_streamtune_needs_less_parallelism_than_ds2_at_similar_latency() {
     let mut carry = None;
     for k in 0..2 {
         let mut s = match carry.take() {
-            Some(a) => TuningSession::with_initial(&cluster, &w.flow, a, k * 10),
-            None => TuningSession::new(&cluster, &w.flow),
+            Some(a) => TuningSession::with_initial(&mut cluster, &w.flow, a, k * 10),
+            None => TuningSession::new(&mut cluster, &w.flow),
         };
-        carry = Some(st.tune(&mut s).final_assignment);
+        carry = Some(st.tune(&mut s).expect("tuning failed").final_assignment);
     }
-    let mut s1 = TuningSession::with_initial(&cluster, &w.flow, carry.unwrap(), 100);
-    let st_out = st.tune(&mut s1);
+    let mut s1 = TuningSession::with_initial(&mut cluster, &w.flow, carry.unwrap(), 100);
+    let st_out = st.tune(&mut s1).expect("tuning failed");
 
     let mut ds2 = Ds2::default();
-    let mut s2 = TuningSession::new(&cluster, &w.flow);
-    let ds2_out = ds2.tune(&mut s2);
+    let mut s2 = TuningSession::new(&mut cluster, &w.flow);
+    let ds2_out = ds2.tune(&mut s2).expect("tuning failed");
 
     // Allow a small tolerance: the paper's Fig. 8 margin comes from a much
     // larger pre-training corpus than an integration test can afford.

@@ -1,8 +1,8 @@
 //! End-to-end integration: history generation → pre-training → online
 //! tuning, across the facade crate's public API.
 
+use streamtune::backend::{Tuner, TuningSession};
 use streamtune::prelude::*;
-use streamtune::sim::{Tuner, TuningSession};
 use streamtune::workloads::history::HistoryGenerator;
 use streamtune::workloads::rates::Engine;
 
@@ -15,12 +15,12 @@ fn env(seed: u64) -> (SimCluster, streamtune::core::Pretrained) {
 
 #[test]
 fn streamtune_sustains_every_nexmark_query_at_10wu() {
-    let (cluster, pretrained) = env(101);
+    let (mut cluster, pretrained) = env(101);
     for mut w in nexmark::all(Engine::Flink) {
         w.set_multiplier(10.0);
         let mut tuner = StreamTune::new(&pretrained, TuneConfig::default());
-        let mut session = TuningSession::new(&cluster, &w.flow);
-        let outcome = tuner.tune(&mut session);
+        let mut session = TuningSession::new(&mut cluster, &w.flow);
+        let outcome = tuner.tune(&mut session).expect("tuning failed");
         let rep = cluster.simulate(&w.flow, &outcome.final_assignment);
         assert!(
             rep.observation.throughput_scale > 0.9,
@@ -33,17 +33,17 @@ fn streamtune_sustains_every_nexmark_query_at_10wu() {
 
 #[test]
 fn streamtune_scales_down_when_rate_drops() {
-    let (cluster, pretrained) = env(103);
+    let (mut cluster, pretrained) = env(103);
     let mut tuner = StreamTune::new(&pretrained, TuneConfig::default());
     let w = nexmark::q5(Engine::Flink);
 
     let high_flow = w.at(10.0);
-    let mut s1 = TuningSession::new(&cluster, &high_flow);
-    let high = tuner.tune(&mut s1).final_assignment;
+    let mut s1 = TuningSession::new(&mut cluster, &high_flow);
+    let high = tuner.tune(&mut s1).expect("tuning failed").final_assignment;
 
     let low_flow = w.at(1.0);
-    let mut s2 = TuningSession::with_initial(&cluster, &low_flow, high.clone(), 50);
-    let low = tuner.tune(&mut s2).final_assignment;
+    let mut s2 = TuningSession::with_initial(&mut cluster, &low_flow, high.clone(), 50);
+    let low = tuner.tune(&mut s2).expect("tuning failed").final_assignment;
 
     assert!(
         low.total() < high.total(),
@@ -55,7 +55,7 @@ fn streamtune_scales_down_when_rate_drops() {
 
 #[test]
 fn job_memory_accumulates_and_reduces_reconfigurations() {
-    let (cluster, pretrained) = env(107);
+    let (mut cluster, pretrained) = env(107);
     let mut tuner = StreamTune::new(&pretrained, TuneConfig::default());
     let w = pqp::two_way_join_query(1);
     let mut carry: Option<ParallelismAssignment> = None;
@@ -64,10 +64,10 @@ fn job_memory_accumulates_and_reduces_reconfigurations() {
     for (k, m) in [4.0, 9.0, 4.0, 9.0, 4.0, 9.0].iter().enumerate() {
         let flow = w.at(*m);
         let mut session = match carry.take() {
-            Some(a) => TuningSession::with_initial(&cluster, &flow, a, k as u64 * 10),
-            None => TuningSession::new(&cluster, &flow),
+            Some(a) => TuningSession::with_initial(&mut cluster, &flow, a, k as u64 * 10),
+            None => TuningSession::new(&mut cluster, &flow),
         };
-        let out = tuner.tune(&mut session);
+        let out = tuner.tune(&mut session).expect("tuning failed");
         reconfigs.push(out.reconfigurations);
         carry = Some(out.final_assignment);
     }
@@ -92,7 +92,7 @@ fn pretrained_assignment_is_deterministic() {
 #[test]
 fn global_fallback_still_tunes() {
     // A corpus with a single job structure forces the §VII global encoder.
-    let cluster = SimCluster::flink_defaults(113);
+    let mut cluster = SimCluster::flink_defaults(113);
     let mut gen = HistoryGenerator::new(113)
         .with_jobs(1)
         .with_runs_per_job(12);
@@ -105,15 +105,15 @@ fn global_fallback_still_tunes() {
     let mut w = nexmark::q1(Engine::Flink);
     w.set_multiplier(5.0);
     let mut tuner = StreamTune::new(&pretrained, TuneConfig::default());
-    let mut session = TuningSession::new(&cluster, &w.flow);
-    let outcome = tuner.tune(&mut session);
+    let mut session = TuningSession::new(&mut cluster, &w.flow);
+    let outcome = tuner.tune(&mut session).expect("tuning failed");
     let rep = cluster.simulate(&w.flow, &outcome.final_assignment);
     assert!(rep.observation.throughput_scale > 0.9);
 }
 
 #[test]
 fn timely_mode_end_to_end() {
-    let cluster = SimCluster::timely_defaults(127);
+    let mut cluster = SimCluster::timely_defaults(127);
     let mut gen = HistoryGenerator::new(127).with_jobs(24);
     gen.engine = Engine::Timely;
     let corpus = gen.generate(&cluster);
@@ -122,8 +122,8 @@ fn timely_mode_end_to_end() {
     let mut w = nexmark::q8(Engine::Timely);
     w.set_multiplier(10.0);
     let mut tuner = StreamTune::new(&pretrained, TuneConfig::default());
-    let mut session = TuningSession::new(&cluster, &w.flow);
-    let outcome = tuner.tune(&mut session);
+    let mut session = TuningSession::new(&mut cluster, &w.flow);
+    let outcome = tuner.tune(&mut session).expect("tuning failed");
     // The method's guarantee in Timely mode is the 85% consumption rule:
     // no operator may consume less than 85% of its arrivals. (Marginal
     // saturation within that slack is tolerated by the paper's own

@@ -1,6 +1,7 @@
 //! Serde round-trips for the persistable artifacts: a deployed StreamTune
 //! installation saves its pre-trained bundle and reloads it at startup.
 
+use streamtune::backend::{ReplayBackend, TraceLog, TraceRecorder, Tuner, TuningSession};
 use streamtune::dataflow::{Dataflow, ParallelismAssignment};
 use streamtune::model::{BottleneckClassifier, GbdtConfig, MonotonicGbdt, TrainPoint};
 use streamtune::prelude::*;
@@ -73,6 +74,35 @@ fn fitted_gbdt_roundtrip_preserves_decisions() {
             "prediction drift at p={p}"
         );
     }
+}
+
+#[test]
+fn trace_log_roundtrip_preserves_replay_behavior() {
+    // Record a real tuning session, round-trip the trace-log format through
+    // JSON, and check the reloaded log drives a tuner to the same outcome.
+    let cluster = SimCluster::flink_defaults(41);
+    let mut w = nexmark::q3(Engine::Flink);
+    w.set_multiplier(8.0);
+    let mut recorder = TraceRecorder::new(cluster);
+    let outcome = {
+        let mut ds2 = Ds2::default();
+        let mut session = TuningSession::new(&mut recorder, &w.flow);
+        ds2.tune(&mut session).expect("tuning failed")
+    };
+    let log = recorder.into_log();
+    assert!(!log.deploys.is_empty());
+
+    let json = log.to_json().expect("serialize trace log");
+    let back = TraceLog::from_json(&json).expect("deserialize trace log");
+    assert_eq!(back, log);
+    assert_eq!(back.engine_mode, log.engine_mode);
+    assert_eq!(back.constraints, log.constraints);
+
+    let mut replay = ReplayBackend::new(back);
+    let mut ds2 = Ds2::default();
+    let mut session = TuningSession::new(&mut replay, &w.flow);
+    let replayed = ds2.tune(&mut session).expect("replay tuning failed");
+    assert_eq!(replayed, outcome);
 }
 
 #[test]
