@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_live_rescale-5601066df642a821.d: crates/bench/src/bin/ablation_live_rescale.rs
+
+/root/repo/target/debug/deps/libablation_live_rescale-5601066df642a821.rmeta: crates/bench/src/bin/ablation_live_rescale.rs
+
+crates/bench/src/bin/ablation_live_rescale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_live_rescale-7e722a00f792b765.d: crates/bench/src/bin/ablation_live_rescale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_live_rescale-7e722a00f792b765.rmeta: crates/bench/src/bin/ablation_live_rescale.rs Cargo.toml
+
+crates/bench/src/bin/ablation_live_rescale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

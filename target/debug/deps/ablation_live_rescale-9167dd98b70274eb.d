@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_live_rescale-9167dd98b70274eb.d: crates/bench/src/bin/ablation_live_rescale.rs
+
+/root/repo/target/debug/deps/ablation_live_rescale-9167dd98b70274eb: crates/bench/src/bin/ablation_live_rescale.rs
+
+crates/bench/src/bin/ablation_live_rescale.rs:

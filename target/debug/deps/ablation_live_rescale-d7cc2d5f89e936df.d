@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_live_rescale-d7cc2d5f89e936df.d: crates/bench/src/bin/ablation_live_rescale.rs
+
+/root/repo/target/debug/deps/ablation_live_rescale-d7cc2d5f89e936df: crates/bench/src/bin/ablation_live_rescale.rs
+
+crates/bench/src/bin/ablation_live_rescale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_live_rescale-def18af50290b5cc.d: crates/bench/src/bin/ablation_live_rescale.rs
+
+/root/repo/target/debug/deps/ablation_live_rescale-def18af50290b5cc: crates/bench/src/bin/ablation_live_rescale.rs
+
+crates/bench/src/bin/ablation_live_rescale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backend_api-049235ef1a527757.d: tests/backend_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackend_api-049235ef1a527757.rmeta: tests/backend_api.rs Cargo.toml
+
+tests/backend_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

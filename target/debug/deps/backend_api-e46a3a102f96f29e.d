@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backend_api-e46a3a102f96f29e.d: tests/backend_api.rs
+
+/root/repo/target/debug/deps/backend_api-e46a3a102f96f29e: tests/backend_api.rs
+
+tests/backend_api.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines_comparison-07a02b8b1ba5a0a3.d: tests/baselines_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_comparison-07a02b8b1ba5a0a3.rmeta: tests/baselines_comparison.rs Cargo.toml
+
+tests/baselines_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

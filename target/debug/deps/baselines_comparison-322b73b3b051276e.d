@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_comparison-322b73b3b051276e.d: tests/baselines_comparison.rs
+
+/root/repo/target/debug/deps/baselines_comparison-322b73b3b051276e: tests/baselines_comparison.rs
+
+tests/baselines_comparison.rs:

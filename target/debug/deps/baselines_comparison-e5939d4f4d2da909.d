@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_comparison-e5939d4f4d2da909.d: tests/baselines_comparison.rs
+
+/root/repo/target/debug/deps/baselines_comparison-e5939d4f4d2da909: tests/baselines_comparison.rs
+
+tests/baselines_comparison.rs:

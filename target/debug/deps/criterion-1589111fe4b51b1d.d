@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-1589111fe4b51b1d.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-1589111fe4b51b1d.rlib: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-1589111fe4b51b1d.rmeta: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

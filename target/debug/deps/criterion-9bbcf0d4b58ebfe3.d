@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-9bbcf0d4b58ebfe3.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-9bbcf0d4b58ebfe3.rmeta: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

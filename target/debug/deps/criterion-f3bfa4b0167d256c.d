@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-f3bfa4b0167d256c.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-f3bfa4b0167d256c: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_model-1d6cc0510736f283.d: crates/bench/src/bin/debug_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_model-1d6cc0510736f283.rmeta: crates/bench/src/bin/debug_model.rs Cargo.toml
+
+crates/bench/src/bin/debug_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_model-2d6893a69dcd14a6.d: crates/bench/src/bin/debug_model.rs
+
+/root/repo/target/debug/deps/debug_model-2d6893a69dcd14a6: crates/bench/src/bin/debug_model.rs
+
+crates/bench/src/bin/debug_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_model-4b7b01f0eef1086a.d: crates/bench/src/bin/debug_model.rs
+
+/root/repo/target/debug/deps/debug_model-4b7b01f0eef1086a: crates/bench/src/bin/debug_model.rs
+
+crates/bench/src/bin/debug_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_model-9ec89e56ccdd8d1b.d: crates/bench/src/bin/debug_model.rs
+
+/root/repo/target/debug/deps/debug_model-9ec89e56ccdd8d1b: crates/bench/src/bin/debug_model.rs
+
+crates/bench/src/bin/debug_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_model-aac4e0e65c40c971.d: crates/bench/src/bin/debug_model.rs
+
+/root/repo/target/debug/deps/libdebug_model-aac4e0e65c40c971.rmeta: crates/bench/src/bin/debug_model.rs
+
+crates/bench/src/bin/debug_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-32c490c85ec3b93e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-32c490c85ec3b93e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_setup-729a24ed9015de25.d: crates/bench/src/bin/exp_setup.rs
+
+/root/repo/target/debug/deps/exp_setup-729a24ed9015de25: crates/bench/src/bin/exp_setup.rs
+
+crates/bench/src/bin/exp_setup.rs:

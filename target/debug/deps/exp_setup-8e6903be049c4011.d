@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_setup-8e6903be049c4011.d: crates/bench/src/bin/exp_setup.rs
+
+/root/repo/target/debug/deps/libexp_setup-8e6903be049c4011.rmeta: crates/bench/src/bin/exp_setup.rs
+
+crates/bench/src/bin/exp_setup.rs:

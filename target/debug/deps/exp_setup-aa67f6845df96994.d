@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_setup-aa67f6845df96994.d: crates/bench/src/bin/exp_setup.rs
+
+/root/repo/target/debug/deps/exp_setup-aa67f6845df96994: crates/bench/src/bin/exp_setup.rs
+
+crates/bench/src/bin/exp_setup.rs:

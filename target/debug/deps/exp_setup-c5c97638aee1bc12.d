@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_setup-c5c97638aee1bc12.d: crates/bench/src/bin/exp_setup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_setup-c5c97638aee1bc12.rmeta: crates/bench/src/bin/exp_setup.rs Cargo.toml
+
+crates/bench/src/bin/exp_setup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

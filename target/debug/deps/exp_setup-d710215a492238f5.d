@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_setup-d710215a492238f5.d: crates/bench/src/bin/exp_setup.rs
+
+/root/repo/target/debug/deps/exp_setup-d710215a492238f5: crates/bench/src/bin/exp_setup.rs
+
+crates/bench/src/bin/exp_setup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_setup-fca086b5acb34e2f.d: crates/bench/src/bin/exp_setup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_setup-fca086b5acb34e2f.rmeta: crates/bench/src/bin/exp_setup.rs Cargo.toml
+
+crates/bench/src/bin/exp_setup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_cpu_utilization-37f954b64e7923c6.d: crates/bench/src/bin/fig10_cpu_utilization.rs
+
+/root/repo/target/debug/deps/fig10_cpu_utilization-37f954b64e7923c6: crates/bench/src/bin/fig10_cpu_utilization.rs
+
+crates/bench/src/bin/fig10_cpu_utilization.rs:

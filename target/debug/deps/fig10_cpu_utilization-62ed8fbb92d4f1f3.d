@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_cpu_utilization-62ed8fbb92d4f1f3.d: crates/bench/src/bin/fig10_cpu_utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_cpu_utilization-62ed8fbb92d4f1f3.rmeta: crates/bench/src/bin/fig10_cpu_utilization.rs Cargo.toml
+
+crates/bench/src/bin/fig10_cpu_utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_cpu_utilization-810be6be001feab6.d: crates/bench/src/bin/fig10_cpu_utilization.rs
+
+/root/repo/target/debug/deps/fig10_cpu_utilization-810be6be001feab6: crates/bench/src/bin/fig10_cpu_utilization.rs
+
+crates/bench/src/bin/fig10_cpu_utilization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_cpu_utilization-aa4be732a2d8186d.d: crates/bench/src/bin/fig10_cpu_utilization.rs
+
+/root/repo/target/debug/deps/libfig10_cpu_utilization-aa4be732a2d8186d.rmeta: crates/bench/src/bin/fig10_cpu_utilization.rs
+
+crates/bench/src/bin/fig10_cpu_utilization.rs:

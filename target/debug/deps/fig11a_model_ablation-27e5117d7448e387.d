@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11a_model_ablation-27e5117d7448e387.d: crates/bench/src/bin/fig11a_model_ablation.rs
+
+/root/repo/target/debug/deps/fig11a_model_ablation-27e5117d7448e387: crates/bench/src/bin/fig11a_model_ablation.rs
+
+crates/bench/src/bin/fig11a_model_ablation.rs:

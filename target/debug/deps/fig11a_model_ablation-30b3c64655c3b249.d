@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11a_model_ablation-30b3c64655c3b249.d: crates/bench/src/bin/fig11a_model_ablation.rs
+
+/root/repo/target/debug/deps/fig11a_model_ablation-30b3c64655c3b249: crates/bench/src/bin/fig11a_model_ablation.rs
+
+crates/bench/src/bin/fig11a_model_ablation.rs:

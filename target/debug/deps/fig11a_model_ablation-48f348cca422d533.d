@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11a_model_ablation-48f348cca422d533.d: crates/bench/src/bin/fig11a_model_ablation.rs
+
+/root/repo/target/debug/deps/libfig11a_model_ablation-48f348cca422d533.rmeta: crates/bench/src/bin/fig11a_model_ablation.rs
+
+crates/bench/src/bin/fig11a_model_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11a_model_ablation-6c6cdbc5e49e53cc.d: crates/bench/src/bin/fig11a_model_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11a_model_ablation-6c6cdbc5e49e53cc.rmeta: crates/bench/src/bin/fig11a_model_ablation.rs Cargo.toml
+
+crates/bench/src/bin/fig11a_model_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11a_model_ablation-b29b71c0f14f66ba.d: crates/bench/src/bin/fig11a_model_ablation.rs
+
+/root/repo/target/debug/deps/fig11a_model_ablation-b29b71c0f14f66ba: crates/bench/src/bin/fig11a_model_ablation.rs
+
+crates/bench/src/bin/fig11a_model_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11b_ged_ablation-0eaa2d798580c38f.d: crates/bench/src/bin/fig11b_ged_ablation.rs
+
+/root/repo/target/debug/deps/fig11b_ged_ablation-0eaa2d798580c38f: crates/bench/src/bin/fig11b_ged_ablation.rs
+
+crates/bench/src/bin/fig11b_ged_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11b_ged_ablation-39c4c2baadb2538f.d: crates/bench/src/bin/fig11b_ged_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11b_ged_ablation-39c4c2baadb2538f.rmeta: crates/bench/src/bin/fig11b_ged_ablation.rs Cargo.toml
+
+crates/bench/src/bin/fig11b_ged_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11b_ged_ablation-840bf9352bb3e18b.d: crates/bench/src/bin/fig11b_ged_ablation.rs
+
+/root/repo/target/debug/deps/fig11b_ged_ablation-840bf9352bb3e18b: crates/bench/src/bin/fig11b_ged_ablation.rs
+
+crates/bench/src/bin/fig11b_ged_ablation.rs:

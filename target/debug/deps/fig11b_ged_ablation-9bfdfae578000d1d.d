@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11b_ged_ablation-9bfdfae578000d1d.d: crates/bench/src/bin/fig11b_ged_ablation.rs
+
+/root/repo/target/debug/deps/fig11b_ged_ablation-9bfdfae578000d1d: crates/bench/src/bin/fig11b_ged_ablation.rs
+
+crates/bench/src/bin/fig11b_ged_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11b_ged_ablation-c6752424b294cc18.d: crates/bench/src/bin/fig11b_ged_ablation.rs
+
+/root/repo/target/debug/deps/libfig11b_ged_ablation-c6752424b294cc18.rmeta: crates/bench/src/bin/fig11b_ged_ablation.rs
+
+crates/bench/src/bin/fig11b_ged_ablation.rs:

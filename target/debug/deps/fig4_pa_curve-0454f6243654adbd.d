@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_pa_curve-0454f6243654adbd.d: crates/bench/src/bin/fig4_pa_curve.rs
+
+/root/repo/target/debug/deps/fig4_pa_curve-0454f6243654adbd: crates/bench/src/bin/fig4_pa_curve.rs
+
+crates/bench/src/bin/fig4_pa_curve.rs:

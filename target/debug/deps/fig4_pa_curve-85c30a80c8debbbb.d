@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_pa_curve-85c30a80c8debbbb.d: crates/bench/src/bin/fig4_pa_curve.rs
+
+/root/repo/target/debug/deps/fig4_pa_curve-85c30a80c8debbbb: crates/bench/src/bin/fig4_pa_curve.rs
+
+crates/bench/src/bin/fig4_pa_curve.rs:

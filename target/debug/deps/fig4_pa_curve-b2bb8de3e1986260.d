@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_pa_curve-b2bb8de3e1986260.d: crates/bench/src/bin/fig4_pa_curve.rs
+
+/root/repo/target/debug/deps/libfig4_pa_curve-b2bb8de3e1986260.rmeta: crates/bench/src/bin/fig4_pa_curve.rs
+
+crates/bench/src/bin/fig4_pa_curve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_pa_curve-b36f7f64e69cc996.d: crates/bench/src/bin/fig4_pa_curve.rs
+
+/root/repo/target/debug/deps/fig4_pa_curve-b36f7f64e69cc996: crates/bench/src/bin/fig4_pa_curve.rs
+
+crates/bench/src/bin/fig4_pa_curve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_pa_curve-f05ad7e4d299687b.d: crates/bench/src/bin/fig4_pa_curve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_pa_curve-f05ad7e4d299687b.rmeta: crates/bench/src/bin/fig4_pa_curve.rs Cargo.toml
+
+crates/bench/src/bin/fig4_pa_curve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_dag_distribution-659b59675a548710.d: crates/bench/src/bin/fig5_dag_distribution.rs
+
+/root/repo/target/debug/deps/fig5_dag_distribution-659b59675a548710: crates/bench/src/bin/fig5_dag_distribution.rs
+
+crates/bench/src/bin/fig5_dag_distribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_dag_distribution-7dc950c50b9f2631.d: crates/bench/src/bin/fig5_dag_distribution.rs
+
+/root/repo/target/debug/deps/libfig5_dag_distribution-7dc950c50b9f2631.rmeta: crates/bench/src/bin/fig5_dag_distribution.rs
+
+crates/bench/src/bin/fig5_dag_distribution.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_dag_distribution-9281f271cd6b4533.d: crates/bench/src/bin/fig5_dag_distribution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_dag_distribution-9281f271cd6b4533.rmeta: crates/bench/src/bin/fig5_dag_distribution.rs Cargo.toml
+
+crates/bench/src/bin/fig5_dag_distribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

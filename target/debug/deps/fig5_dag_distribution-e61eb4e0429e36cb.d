@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_dag_distribution-e61eb4e0429e36cb.d: crates/bench/src/bin/fig5_dag_distribution.rs
+
+/root/repo/target/debug/deps/fig5_dag_distribution-e61eb4e0429e36cb: crates/bench/src/bin/fig5_dag_distribution.rs
+
+crates/bench/src/bin/fig5_dag_distribution.rs:

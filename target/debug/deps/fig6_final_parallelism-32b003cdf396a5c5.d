@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_final_parallelism-32b003cdf396a5c5.d: crates/bench/src/bin/fig6_final_parallelism.rs
+
+/root/repo/target/debug/deps/fig6_final_parallelism-32b003cdf396a5c5: crates/bench/src/bin/fig6_final_parallelism.rs
+
+crates/bench/src/bin/fig6_final_parallelism.rs:

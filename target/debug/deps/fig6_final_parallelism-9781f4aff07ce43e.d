@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_final_parallelism-9781f4aff07ce43e.d: crates/bench/src/bin/fig6_final_parallelism.rs
+
+/root/repo/target/debug/deps/libfig6_final_parallelism-9781f4aff07ce43e.rmeta: crates/bench/src/bin/fig6_final_parallelism.rs
+
+crates/bench/src/bin/fig6_final_parallelism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_final_parallelism-b0610db2126f6019.d: crates/bench/src/bin/fig6_final_parallelism.rs
+
+/root/repo/target/debug/deps/fig6_final_parallelism-b0610db2126f6019: crates/bench/src/bin/fig6_final_parallelism.rs
+
+crates/bench/src/bin/fig6_final_parallelism.rs:

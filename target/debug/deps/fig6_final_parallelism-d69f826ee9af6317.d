@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_final_parallelism-d69f826ee9af6317.d: crates/bench/src/bin/fig6_final_parallelism.rs
+
+/root/repo/target/debug/deps/fig6_final_parallelism-d69f826ee9af6317: crates/bench/src/bin/fig6_final_parallelism.rs
+
+crates/bench/src/bin/fig6_final_parallelism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_final_parallelism-f608a39c5fa1ae7c.d: crates/bench/src/bin/fig6_final_parallelism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_final_parallelism-f608a39c5fa1ae7c.rmeta: crates/bench/src/bin/fig6_final_parallelism.rs Cargo.toml
+
+crates/bench/src/bin/fig6_final_parallelism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7a_reconfigurations-1372f8076f90fd6f.d: crates/bench/src/bin/fig7a_reconfigurations.rs
+
+/root/repo/target/debug/deps/fig7a_reconfigurations-1372f8076f90fd6f: crates/bench/src/bin/fig7a_reconfigurations.rs
+
+crates/bench/src/bin/fig7a_reconfigurations.rs:

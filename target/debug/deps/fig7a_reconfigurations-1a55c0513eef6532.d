@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7a_reconfigurations-1a55c0513eef6532.d: crates/bench/src/bin/fig7a_reconfigurations.rs
+
+/root/repo/target/debug/deps/libfig7a_reconfigurations-1a55c0513eef6532.rmeta: crates/bench/src/bin/fig7a_reconfigurations.rs
+
+crates/bench/src/bin/fig7a_reconfigurations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7a_reconfigurations-9fa0e883dd1fa6c7.d: crates/bench/src/bin/fig7a_reconfigurations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7a_reconfigurations-9fa0e883dd1fa6c7.rmeta: crates/bench/src/bin/fig7a_reconfigurations.rs Cargo.toml
+
+crates/bench/src/bin/fig7a_reconfigurations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7a_reconfigurations-aacd207b69117204.d: crates/bench/src/bin/fig7a_reconfigurations.rs
+
+/root/repo/target/debug/deps/fig7a_reconfigurations-aacd207b69117204: crates/bench/src/bin/fig7a_reconfigurations.rs
+
+crates/bench/src/bin/fig7a_reconfigurations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7a_reconfigurations-bb80ae87a79c8dc4.d: crates/bench/src/bin/fig7a_reconfigurations.rs
+
+/root/repo/target/debug/deps/fig7a_reconfigurations-bb80ae87a79c8dc4: crates/bench/src/bin/fig7a_reconfigurations.rs
+
+crates/bench/src/bin/fig7a_reconfigurations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7b_case_study-0890ec06a0736f80.d: crates/bench/src/bin/fig7b_case_study.rs
+
+/root/repo/target/debug/deps/libfig7b_case_study-0890ec06a0736f80.rmeta: crates/bench/src/bin/fig7b_case_study.rs
+
+crates/bench/src/bin/fig7b_case_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7b_case_study-432223f32119ad64.d: crates/bench/src/bin/fig7b_case_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7b_case_study-432223f32119ad64.rmeta: crates/bench/src/bin/fig7b_case_study.rs Cargo.toml
+
+crates/bench/src/bin/fig7b_case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

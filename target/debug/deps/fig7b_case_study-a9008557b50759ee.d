@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7b_case_study-a9008557b50759ee.d: crates/bench/src/bin/fig7b_case_study.rs
+
+/root/repo/target/debug/deps/fig7b_case_study-a9008557b50759ee: crates/bench/src/bin/fig7b_case_study.rs
+
+crates/bench/src/bin/fig7b_case_study.rs:

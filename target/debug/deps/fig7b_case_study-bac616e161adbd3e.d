@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7b_case_study-bac616e161adbd3e.d: crates/bench/src/bin/fig7b_case_study.rs
+
+/root/repo/target/debug/deps/fig7b_case_study-bac616e161adbd3e: crates/bench/src/bin/fig7b_case_study.rs
+
+crates/bench/src/bin/fig7b_case_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7b_case_study-dd625789765dbbb6.d: crates/bench/src/bin/fig7b_case_study.rs
+
+/root/repo/target/debug/deps/fig7b_case_study-dd625789765dbbb6: crates/bench/src/bin/fig7b_case_study.rs
+
+crates/bench/src/bin/fig7b_case_study.rs:

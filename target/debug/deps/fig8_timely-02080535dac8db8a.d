@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_timely-02080535dac8db8a.d: crates/bench/src/bin/fig8_timely.rs
+
+/root/repo/target/debug/deps/libfig8_timely-02080535dac8db8a.rmeta: crates/bench/src/bin/fig8_timely.rs
+
+crates/bench/src/bin/fig8_timely.rs:

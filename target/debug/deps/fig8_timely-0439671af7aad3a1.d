@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_timely-0439671af7aad3a1.d: crates/bench/src/bin/fig8_timely.rs
+
+/root/repo/target/debug/deps/fig8_timely-0439671af7aad3a1: crates/bench/src/bin/fig8_timely.rs
+
+crates/bench/src/bin/fig8_timely.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_timely-58dfcaf4a9d16d99.d: crates/bench/src/bin/fig8_timely.rs
+
+/root/repo/target/debug/deps/fig8_timely-58dfcaf4a9d16d99: crates/bench/src/bin/fig8_timely.rs
+
+crates/bench/src/bin/fig8_timely.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_timely-89a60ab126b6b304.d: crates/bench/src/bin/fig8_timely.rs
+
+/root/repo/target/debug/deps/fig8_timely-89a60ab126b6b304: crates/bench/src/bin/fig8_timely.rs
+
+crates/bench/src/bin/fig8_timely.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_timely-9222c57fdd26e2b4.d: crates/bench/src/bin/fig8_timely.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_timely-9222c57fdd26e2b4.rmeta: crates/bench/src/bin/fig8_timely.rs Cargo.toml
+
+crates/bench/src/bin/fig8_timely.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_timely-94c4364468704605.d: crates/bench/src/bin/fig8_timely.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_timely-94c4364468704605.rmeta: crates/bench/src/bin/fig8_timely.rs Cargo.toml
+
+crates/bench/src/bin/fig8_timely.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a_recommendation_time-300d068200c35951.d: crates/bench/src/bin/fig9a_recommendation_time.rs
+
+/root/repo/target/debug/deps/libfig9a_recommendation_time-300d068200c35951.rmeta: crates/bench/src/bin/fig9a_recommendation_time.rs
+
+crates/bench/src/bin/fig9a_recommendation_time.rs:

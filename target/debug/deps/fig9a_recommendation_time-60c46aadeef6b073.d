@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9a_recommendation_time-60c46aadeef6b073.d: crates/bench/src/bin/fig9a_recommendation_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9a_recommendation_time-60c46aadeef6b073.rmeta: crates/bench/src/bin/fig9a_recommendation_time.rs Cargo.toml
+
+crates/bench/src/bin/fig9a_recommendation_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

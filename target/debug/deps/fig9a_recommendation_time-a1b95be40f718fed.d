@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a_recommendation_time-a1b95be40f718fed.d: crates/bench/src/bin/fig9a_recommendation_time.rs
+
+/root/repo/target/debug/deps/fig9a_recommendation_time-a1b95be40f718fed: crates/bench/src/bin/fig9a_recommendation_time.rs
+
+crates/bench/src/bin/fig9a_recommendation_time.rs:

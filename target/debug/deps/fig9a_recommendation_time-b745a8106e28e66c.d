@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a_recommendation_time-b745a8106e28e66c.d: crates/bench/src/bin/fig9a_recommendation_time.rs
+
+/root/repo/target/debug/deps/fig9a_recommendation_time-b745a8106e28e66c: crates/bench/src/bin/fig9a_recommendation_time.rs
+
+crates/bench/src/bin/fig9a_recommendation_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a_recommendation_time-cd939a0466cd56e7.d: crates/bench/src/bin/fig9a_recommendation_time.rs
+
+/root/repo/target/debug/deps/fig9a_recommendation_time-cd939a0466cd56e7: crates/bench/src/bin/fig9a_recommendation_time.rs
+
+crates/bench/src/bin/fig9a_recommendation_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b_pretraining_cost-14b666714643bee6.d: crates/bench/src/bin/fig9b_pretraining_cost.rs
+
+/root/repo/target/debug/deps/fig9b_pretraining_cost-14b666714643bee6: crates/bench/src/bin/fig9b_pretraining_cost.rs
+
+crates/bench/src/bin/fig9b_pretraining_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b_pretraining_cost-26ffc1dc87d6afdc.d: crates/bench/src/bin/fig9b_pretraining_cost.rs
+
+/root/repo/target/debug/deps/libfig9b_pretraining_cost-26ffc1dc87d6afdc.rmeta: crates/bench/src/bin/fig9b_pretraining_cost.rs
+
+crates/bench/src/bin/fig9b_pretraining_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b_pretraining_cost-2708b48587157ff2.d: crates/bench/src/bin/fig9b_pretraining_cost.rs
+
+/root/repo/target/debug/deps/fig9b_pretraining_cost-2708b48587157ff2: crates/bench/src/bin/fig9b_pretraining_cost.rs
+
+crates/bench/src/bin/fig9b_pretraining_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b_pretraining_cost-8abb0b7de6c60e03.d: crates/bench/src/bin/fig9b_pretraining_cost.rs
+
+/root/repo/target/debug/deps/fig9b_pretraining_cost-8abb0b7de6c60e03: crates/bench/src/bin/fig9b_pretraining_cost.rs
+
+crates/bench/src/bin/fig9b_pretraining_cost.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9b_pretraining_cost-f1437f03f689d6e8.d: crates/bench/src/bin/fig9b_pretraining_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9b_pretraining_cost-f1437f03f689d6e8.rmeta: crates/bench/src/bin/fig9b_pretraining_cost.rs Cargo.toml
+
+crates/bench/src/bin/fig9b_pretraining_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ged_bench-bb487cd5f2fd9172.d: crates/bench/benches/ged_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libged_bench-bb487cd5f2fd9172.rmeta: crates/bench/benches/ged_bench.rs Cargo.toml
+
+crates/bench/benches/ged_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

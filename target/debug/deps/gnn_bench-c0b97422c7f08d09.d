@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gnn_bench-c0b97422c7f08d09.d: crates/bench/benches/gnn_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgnn_bench-c0b97422c7f08d09.rmeta: crates/bench/benches/gnn_bench.rs Cargo.toml
+
+crates/bench/benches/gnn_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

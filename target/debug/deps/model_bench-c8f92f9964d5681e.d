@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_bench-c8f92f9964d5681e.d: crates/bench/benches/model_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_bench-c8f92f9964d5681e.rmeta: crates/bench/benches/model_bench.rs Cargo.toml
+
+crates/bench/benches/model_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

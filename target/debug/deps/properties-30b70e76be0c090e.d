@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-30b70e76be0c090e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-30b70e76be0c090e: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cf30927b9e9ff745.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cf30927b9e9ff745: tests/properties.rs
+
+tests/properties.rs:

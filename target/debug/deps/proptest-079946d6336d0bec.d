@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-079946d6336d0bec.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-079946d6336d0bec.rmeta: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

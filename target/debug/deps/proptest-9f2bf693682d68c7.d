@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-9f2bf693682d68c7.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-9f2bf693682d68c7: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

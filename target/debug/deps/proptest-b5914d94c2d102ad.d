@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-b5914d94c2d102ad.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-b5914d94c2d102ad.rlib: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-b5914d94c2d102ad.rmeta: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-cb79377bf72ca925.d: crates/vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-cb79377bf72ca925.rmeta: crates/vendor/proptest/src/lib.rs Cargo.toml
+
+crates/vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

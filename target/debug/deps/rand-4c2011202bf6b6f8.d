@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-4c2011202bf6b6f8.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-4c2011202bf6b6f8: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

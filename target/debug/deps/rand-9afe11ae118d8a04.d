@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-9afe11ae118d8a04.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9afe11ae118d8a04.rmeta: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-fd7281b53da6fccf.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-fd7281b53da6fccf.rlib: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-fd7281b53da6fccf.rmeta: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

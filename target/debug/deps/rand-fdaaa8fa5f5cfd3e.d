@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-fdaaa8fa5f5cfd3e.d: crates/vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-fdaaa8fa5f5cfd3e.rmeta: crates/vendor/rand/src/lib.rs Cargo.toml
+
+crates/vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-3170067baeee0eca.d: crates/vendor/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-3170067baeee0eca.rmeta: crates/vendor/serde/src/lib.rs Cargo.toml
+
+crates/vendor/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-335297287df5a734.d: crates/vendor/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-335297287df5a734.rmeta: crates/vendor/serde/src/lib.rs Cargo.toml
+
+crates/vendor/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-45067781bc4780b7.d: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-45067781bc4780b7.rlib: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-45067781bc4780b7.rmeta: crates/vendor/serde/src/lib.rs
+
+crates/vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-b0abf5c17dcffdc0.d: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b0abf5c17dcffdc0.rlib: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b0abf5c17dcffdc0.rmeta: crates/vendor/serde/src/lib.rs
+
+crates/vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-dae43008c78b3d58.d: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-dae43008c78b3d58: crates/vendor/serde/src/lib.rs
+
+crates/vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-ff78d90a15481737.d: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ff78d90a15481737.rmeta: crates/vendor/serde/src/lib.rs
+
+crates/vendor/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-2afad5f42052e330.d: crates/vendor/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-2afad5f42052e330.rmeta: crates/vendor/serde_derive/src/lib.rs Cargo.toml
+
+crates/vendor/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

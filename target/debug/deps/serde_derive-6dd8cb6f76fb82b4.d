@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-6dd8cb6f76fb82b4.d: crates/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-6dd8cb6f76fb82b4.so: crates/vendor/serde_derive/src/lib.rs
+
+crates/vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-a993cac9101ec451.d: crates/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-a993cac9101ec451.rmeta: crates/vendor/serde_derive/src/lib.rs
+
+crates/vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-c42287ba5632fc03.d: crates/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-c42287ba5632fc03: crates/vendor/serde_derive/src/lib.rs
+
+crates/vendor/serde_derive/src/lib.rs:

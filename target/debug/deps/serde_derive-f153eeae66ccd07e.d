@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-f153eeae66ccd07e.d: crates/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-f153eeae66ccd07e.so: crates/vendor/serde_derive/src/lib.rs
+
+crates/vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-02a4da5beb734eee.d: crates/vendor/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-02a4da5beb734eee.rmeta: crates/vendor/serde_json/src/lib.rs Cargo.toml
+
+crates/vendor/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-125278f07c717d3e.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-125278f07c717d3e.rlib: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-125278f07c717d3e.rmeta: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

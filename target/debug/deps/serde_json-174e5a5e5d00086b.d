@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-174e5a5e5d00086b.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-174e5a5e5d00086b: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-6eca0fa6a66fa503.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-6eca0fa6a66fa503.rlib: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-6eca0fa6a66fa503.rmeta: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

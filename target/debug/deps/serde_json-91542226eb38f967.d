@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-91542226eb38f967.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-91542226eb38f967.rmeta: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serialization-16e3a7048e40521a.d: tests/serialization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserialization-16e3a7048e40521a.rmeta: tests/serialization.rs Cargo.toml
+
+tests/serialization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

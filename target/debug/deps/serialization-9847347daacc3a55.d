@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serialization-9847347daacc3a55.d: tests/serialization.rs
+
+/root/repo/target/debug/deps/serialization-9847347daacc3a55: tests/serialization.rs
+
+tests/serialization.rs:

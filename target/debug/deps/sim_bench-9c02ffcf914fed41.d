@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_bench-9c02ffcf914fed41.d: crates/bench/benches/sim_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_bench-9c02ffcf914fed41.rmeta: crates/bench/benches/sim_bench.rs Cargo.toml
+
+crates/bench/benches/sim_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streamtune-1d07a63d9aa0e528.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamtune-1d07a63d9aa0e528.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

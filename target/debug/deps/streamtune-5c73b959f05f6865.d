@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/streamtune-5c73b959f05f6865.d: src/lib.rs
+
+/root/repo/target/debug/deps/libstreamtune-5c73b959f05f6865.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libstreamtune-5c73b959f05f6865.rmeta: src/lib.rs
+
+src/lib.rs:

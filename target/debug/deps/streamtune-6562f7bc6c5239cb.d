@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/streamtune-6562f7bc6c5239cb.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/error.rs
+
+/root/repo/target/debug/deps/streamtune-6562f7bc6c5239cb: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/error.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/error.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/streamtune-6b426328dd180fa3.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/error.rs
+
+/root/repo/target/debug/deps/libstreamtune-6b426328dd180fa3.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/error.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/error.rs:

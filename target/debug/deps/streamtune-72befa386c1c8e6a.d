@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/streamtune-72befa386c1c8e6a.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamtune-72befa386c1c8e6a.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/error.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

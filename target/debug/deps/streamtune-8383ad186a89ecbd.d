@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streamtune-8383ad186a89ecbd.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamtune-8383ad186a89ecbd.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/streamtune-c4a743e5b51393f6.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/streamtune-c4a743e5b51393f6: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streamtune-c74e643f04d8bd6f.d: src/lib.rs
+
+/root/repo/target/debug/deps/streamtune-c74e643f04d8bd6f: src/lib.rs
+
+src/lib.rs:

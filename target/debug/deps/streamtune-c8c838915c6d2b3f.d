@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streamtune-c8c838915c6d2b3f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libstreamtune-c8c838915c6d2b3f.rmeta: src/lib.rs
+
+src/lib.rs:

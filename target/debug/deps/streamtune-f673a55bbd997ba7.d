@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/streamtune-f673a55bbd997ba7.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamtune-f673a55bbd997ba7.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/error.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

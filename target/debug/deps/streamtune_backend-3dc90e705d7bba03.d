@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/streamtune_backend-3dc90e705d7bba03.d: crates/backend/src/lib.rs crates/backend/src/error.rs crates/backend/src/observation.rs crates/backend/src/session.rs crates/backend/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamtune_backend-3dc90e705d7bba03.rmeta: crates/backend/src/lib.rs crates/backend/src/error.rs crates/backend/src/observation.rs crates/backend/src/session.rs crates/backend/src/trace.rs Cargo.toml
+
+crates/backend/src/lib.rs:
+crates/backend/src/error.rs:
+crates/backend/src/observation.rs:
+crates/backend/src/session.rs:
+crates/backend/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streamtune_backend-5ab54d1ecf1ae94c.d: crates/backend/src/lib.rs crates/backend/src/error.rs crates/backend/src/observation.rs crates/backend/src/session.rs crates/backend/src/trace.rs
+
+/root/repo/target/debug/deps/streamtune_backend-5ab54d1ecf1ae94c: crates/backend/src/lib.rs crates/backend/src/error.rs crates/backend/src/observation.rs crates/backend/src/session.rs crates/backend/src/trace.rs
+
+crates/backend/src/lib.rs:
+crates/backend/src/error.rs:
+crates/backend/src/observation.rs:
+crates/backend/src/session.rs:
+crates/backend/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/streamtune_backend-8544ecdb0dd1e757.d: crates/backend/src/lib.rs crates/backend/src/error.rs crates/backend/src/observation.rs crates/backend/src/session.rs crates/backend/src/trace.rs
+
+/root/repo/target/debug/deps/libstreamtune_backend-8544ecdb0dd1e757.rlib: crates/backend/src/lib.rs crates/backend/src/error.rs crates/backend/src/observation.rs crates/backend/src/session.rs crates/backend/src/trace.rs
+
+/root/repo/target/debug/deps/libstreamtune_backend-8544ecdb0dd1e757.rmeta: crates/backend/src/lib.rs crates/backend/src/error.rs crates/backend/src/observation.rs crates/backend/src/session.rs crates/backend/src/trace.rs
+
+crates/backend/src/lib.rs:
+crates/backend/src/error.rs:
+crates/backend/src/observation.rs:
+crates/backend/src/session.rs:
+crates/backend/src/trace.rs:

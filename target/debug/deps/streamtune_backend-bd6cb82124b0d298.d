@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streamtune_backend-bd6cb82124b0d298.d: crates/backend/src/lib.rs crates/backend/src/error.rs crates/backend/src/observation.rs crates/backend/src/session.rs crates/backend/src/trace.rs
+
+/root/repo/target/debug/deps/libstreamtune_backend-bd6cb82124b0d298.rmeta: crates/backend/src/lib.rs crates/backend/src/error.rs crates/backend/src/observation.rs crates/backend/src/session.rs crates/backend/src/trace.rs
+
+crates/backend/src/lib.rs:
+crates/backend/src/error.rs:
+crates/backend/src/observation.rs:
+crates/backend/src/session.rs:
+crates/backend/src/trace.rs:

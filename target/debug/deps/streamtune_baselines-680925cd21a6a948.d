@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/streamtune_baselines-680925cd21a6a948.d: crates/baselines/src/lib.rs crates/baselines/src/conttune.rs crates/baselines/src/ds2.rs crates/baselines/src/gp.rs crates/baselines/src/zerotune.rs
+
+/root/repo/target/debug/deps/libstreamtune_baselines-680925cd21a6a948.rlib: crates/baselines/src/lib.rs crates/baselines/src/conttune.rs crates/baselines/src/ds2.rs crates/baselines/src/gp.rs crates/baselines/src/zerotune.rs
+
+/root/repo/target/debug/deps/libstreamtune_baselines-680925cd21a6a948.rmeta: crates/baselines/src/lib.rs crates/baselines/src/conttune.rs crates/baselines/src/ds2.rs crates/baselines/src/gp.rs crates/baselines/src/zerotune.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/conttune.rs:
+crates/baselines/src/ds2.rs:
+crates/baselines/src/gp.rs:
+crates/baselines/src/zerotune.rs:

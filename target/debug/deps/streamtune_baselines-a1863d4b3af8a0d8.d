@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/streamtune_baselines-a1863d4b3af8a0d8.d: crates/baselines/src/lib.rs crates/baselines/src/conttune.rs crates/baselines/src/ds2.rs crates/baselines/src/gp.rs crates/baselines/src/zerotune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamtune_baselines-a1863d4b3af8a0d8.rmeta: crates/baselines/src/lib.rs crates/baselines/src/conttune.rs crates/baselines/src/ds2.rs crates/baselines/src/gp.rs crates/baselines/src/zerotune.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/conttune.rs:
+crates/baselines/src/ds2.rs:
+crates/baselines/src/gp.rs:
+crates/baselines/src/zerotune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/streamtune_baselines-b6150ba6db0d5715.d: crates/baselines/src/lib.rs crates/baselines/src/conttune.rs crates/baselines/src/ds2.rs crates/baselines/src/gp.rs crates/baselines/src/zerotune.rs
+
+/root/repo/target/debug/deps/libstreamtune_baselines-b6150ba6db0d5715.rlib: crates/baselines/src/lib.rs crates/baselines/src/conttune.rs crates/baselines/src/ds2.rs crates/baselines/src/gp.rs crates/baselines/src/zerotune.rs
+
+/root/repo/target/debug/deps/libstreamtune_baselines-b6150ba6db0d5715.rmeta: crates/baselines/src/lib.rs crates/baselines/src/conttune.rs crates/baselines/src/ds2.rs crates/baselines/src/gp.rs crates/baselines/src/zerotune.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/conttune.rs:
+crates/baselines/src/ds2.rs:
+crates/baselines/src/gp.rs:
+crates/baselines/src/zerotune.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streamtune_baselines-fe3fd4da5746f81d.d: crates/baselines/src/lib.rs crates/baselines/src/conttune.rs crates/baselines/src/ds2.rs crates/baselines/src/gp.rs crates/baselines/src/zerotune.rs
+
+/root/repo/target/debug/deps/streamtune_baselines-fe3fd4da5746f81d: crates/baselines/src/lib.rs crates/baselines/src/conttune.rs crates/baselines/src/ds2.rs crates/baselines/src/gp.rs crates/baselines/src/zerotune.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/conttune.rs:
+crates/baselines/src/ds2.rs:
+crates/baselines/src/gp.rs:
+crates/baselines/src/zerotune.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/streamtune_bench-1cc8de58cf84360f.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/streamtune_bench-1cc8de58cf84360f: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

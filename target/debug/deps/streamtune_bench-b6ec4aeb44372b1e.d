@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/streamtune_bench-b6ec4aeb44372b1e.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libstreamtune_bench-b6ec4aeb44372b1e.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

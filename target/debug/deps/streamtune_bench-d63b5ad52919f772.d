@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/streamtune_bench-d63b5ad52919f772.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libstreamtune_bench-d63b5ad52919f772.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libstreamtune_bench-d63b5ad52919f772.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

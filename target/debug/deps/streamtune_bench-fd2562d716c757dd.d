@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/streamtune_bench-fd2562d716c757dd.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libstreamtune_bench-fd2562d716c757dd.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libstreamtune_bench-fd2562d716c757dd.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

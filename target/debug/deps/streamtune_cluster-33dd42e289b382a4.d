@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/streamtune_cluster-33dd42e289b382a4.d: crates/cluster/src/lib.rs crates/cluster/src/kmeans.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamtune_cluster-33dd42e289b382a4.rmeta: crates/cluster/src/lib.rs crates/cluster/src/kmeans.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/kmeans.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/streamtune_cluster-5348f37006973b3e.d: crates/cluster/src/lib.rs crates/cluster/src/kmeans.rs
+
+/root/repo/target/debug/deps/libstreamtune_cluster-5348f37006973b3e.rlib: crates/cluster/src/lib.rs crates/cluster/src/kmeans.rs
+
+/root/repo/target/debug/deps/libstreamtune_cluster-5348f37006973b3e.rmeta: crates/cluster/src/lib.rs crates/cluster/src/kmeans.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/kmeans.rs:

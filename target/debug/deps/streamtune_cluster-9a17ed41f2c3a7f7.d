@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/streamtune_cluster-9a17ed41f2c3a7f7.d: crates/cluster/src/lib.rs crates/cluster/src/kmeans.rs
+
+/root/repo/target/debug/deps/libstreamtune_cluster-9a17ed41f2c3a7f7.rlib: crates/cluster/src/lib.rs crates/cluster/src/kmeans.rs
+
+/root/repo/target/debug/deps/libstreamtune_cluster-9a17ed41f2c3a7f7.rmeta: crates/cluster/src/lib.rs crates/cluster/src/kmeans.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/kmeans.rs:

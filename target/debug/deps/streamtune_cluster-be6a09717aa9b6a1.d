@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/streamtune_cluster-be6a09717aa9b6a1.d: crates/cluster/src/lib.rs crates/cluster/src/kmeans.rs
+
+/root/repo/target/debug/deps/streamtune_cluster-be6a09717aa9b6a1: crates/cluster/src/lib.rs crates/cluster/src/kmeans.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/kmeans.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/streamtune_cluster-d9cae9f8faac7963.d: crates/cluster/src/lib.rs crates/cluster/src/kmeans.rs
+
+/root/repo/target/debug/deps/libstreamtune_cluster-d9cae9f8faac7963.rmeta: crates/cluster/src/lib.rs crates/cluster/src/kmeans.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/kmeans.rs:

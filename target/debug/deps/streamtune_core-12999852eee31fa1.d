@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/streamtune_core-12999852eee31fa1.d: crates/core/src/lib.rs crates/core/src/label.rs crates/core/src/pretrain.rs crates/core/src/tune.rs
+
+/root/repo/target/debug/deps/libstreamtune_core-12999852eee31fa1.rmeta: crates/core/src/lib.rs crates/core/src/label.rs crates/core/src/pretrain.rs crates/core/src/tune.rs
+
+crates/core/src/lib.rs:
+crates/core/src/label.rs:
+crates/core/src/pretrain.rs:
+crates/core/src/tune.rs:

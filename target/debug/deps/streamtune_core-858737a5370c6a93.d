@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/streamtune_core-858737a5370c6a93.d: crates/core/src/lib.rs crates/core/src/label.rs crates/core/src/pretrain.rs crates/core/src/tune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamtune_core-858737a5370c6a93.rmeta: crates/core/src/lib.rs crates/core/src/label.rs crates/core/src/pretrain.rs crates/core/src/tune.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/label.rs:
+crates/core/src/pretrain.rs:
+crates/core/src/tune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/streamtune_core-96158eb35ea64b93.d: crates/core/src/lib.rs crates/core/src/label.rs crates/core/src/pretrain.rs crates/core/src/tune.rs
+
+/root/repo/target/debug/deps/libstreamtune_core-96158eb35ea64b93.rlib: crates/core/src/lib.rs crates/core/src/label.rs crates/core/src/pretrain.rs crates/core/src/tune.rs
+
+/root/repo/target/debug/deps/libstreamtune_core-96158eb35ea64b93.rmeta: crates/core/src/lib.rs crates/core/src/label.rs crates/core/src/pretrain.rs crates/core/src/tune.rs
+
+crates/core/src/lib.rs:
+crates/core/src/label.rs:
+crates/core/src/pretrain.rs:
+crates/core/src/tune.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/streamtune_core-f32f512c85a3becf.d: crates/core/src/lib.rs crates/core/src/label.rs crates/core/src/pretrain.rs crates/core/src/tune.rs
+
+/root/repo/target/debug/deps/streamtune_core-f32f512c85a3becf: crates/core/src/lib.rs crates/core/src/label.rs crates/core/src/pretrain.rs crates/core/src/tune.rs
+
+crates/core/src/lib.rs:
+crates/core/src/label.rs:
+crates/core/src/pretrain.rs:
+crates/core/src/tune.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/streamtune_dataflow-769af2dfa88f2035.d: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/features.rs crates/dataflow/src/graph.rs crates/dataflow/src/op.rs crates/dataflow/src/signature.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamtune_dataflow-769af2dfa88f2035.rmeta: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/features.rs crates/dataflow/src/graph.rs crates/dataflow/src/op.rs crates/dataflow/src/signature.rs Cargo.toml
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/builder.rs:
+crates/dataflow/src/features.rs:
+crates/dataflow/src/graph.rs:
+crates/dataflow/src/op.rs:
+crates/dataflow/src/signature.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

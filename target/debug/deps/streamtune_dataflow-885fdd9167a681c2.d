@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/streamtune_dataflow-885fdd9167a681c2.d: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/features.rs crates/dataflow/src/graph.rs crates/dataflow/src/op.rs crates/dataflow/src/signature.rs
+
+/root/repo/target/debug/deps/libstreamtune_dataflow-885fdd9167a681c2.rlib: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/features.rs crates/dataflow/src/graph.rs crates/dataflow/src/op.rs crates/dataflow/src/signature.rs
+
+/root/repo/target/debug/deps/libstreamtune_dataflow-885fdd9167a681c2.rmeta: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/features.rs crates/dataflow/src/graph.rs crates/dataflow/src/op.rs crates/dataflow/src/signature.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/builder.rs:
+crates/dataflow/src/features.rs:
+crates/dataflow/src/graph.rs:
+crates/dataflow/src/op.rs:
+crates/dataflow/src/signature.rs:

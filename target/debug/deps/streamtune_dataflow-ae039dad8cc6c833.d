@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/streamtune_dataflow-ae039dad8cc6c833.d: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/features.rs crates/dataflow/src/graph.rs crates/dataflow/src/op.rs crates/dataflow/src/signature.rs
+
+/root/repo/target/debug/deps/streamtune_dataflow-ae039dad8cc6c833: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/features.rs crates/dataflow/src/graph.rs crates/dataflow/src/op.rs crates/dataflow/src/signature.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/builder.rs:
+crates/dataflow/src/features.rs:
+crates/dataflow/src/graph.rs:
+crates/dataflow/src/op.rs:
+crates/dataflow/src/signature.rs:

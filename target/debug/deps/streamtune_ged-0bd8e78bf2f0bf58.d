@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/streamtune_ged-0bd8e78bf2f0bf58.d: crates/ged/src/lib.rs crates/ged/src/astar.rs crates/ged/src/search.rs crates/ged/src/view.rs
+
+/root/repo/target/debug/deps/libstreamtune_ged-0bd8e78bf2f0bf58.rmeta: crates/ged/src/lib.rs crates/ged/src/astar.rs crates/ged/src/search.rs crates/ged/src/view.rs
+
+crates/ged/src/lib.rs:
+crates/ged/src/astar.rs:
+crates/ged/src/search.rs:
+crates/ged/src/view.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/streamtune_ged-4d7bcac15c5d0503.d: crates/ged/src/lib.rs crates/ged/src/astar.rs crates/ged/src/search.rs crates/ged/src/view.rs
+
+/root/repo/target/debug/deps/libstreamtune_ged-4d7bcac15c5d0503.rlib: crates/ged/src/lib.rs crates/ged/src/astar.rs crates/ged/src/search.rs crates/ged/src/view.rs
+
+/root/repo/target/debug/deps/libstreamtune_ged-4d7bcac15c5d0503.rmeta: crates/ged/src/lib.rs crates/ged/src/astar.rs crates/ged/src/search.rs crates/ged/src/view.rs
+
+crates/ged/src/lib.rs:
+crates/ged/src/astar.rs:
+crates/ged/src/search.rs:
+crates/ged/src/view.rs:

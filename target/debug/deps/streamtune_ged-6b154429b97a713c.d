@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/streamtune_ged-6b154429b97a713c.d: crates/ged/src/lib.rs crates/ged/src/astar.rs crates/ged/src/search.rs crates/ged/src/view.rs
+
+/root/repo/target/debug/deps/libstreamtune_ged-6b154429b97a713c.rlib: crates/ged/src/lib.rs crates/ged/src/astar.rs crates/ged/src/search.rs crates/ged/src/view.rs
+
+/root/repo/target/debug/deps/libstreamtune_ged-6b154429b97a713c.rmeta: crates/ged/src/lib.rs crates/ged/src/astar.rs crates/ged/src/search.rs crates/ged/src/view.rs
+
+crates/ged/src/lib.rs:
+crates/ged/src/astar.rs:
+crates/ged/src/search.rs:
+crates/ged/src/view.rs:

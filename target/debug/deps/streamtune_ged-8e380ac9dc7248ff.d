@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/streamtune_ged-8e380ac9dc7248ff.d: crates/ged/src/lib.rs crates/ged/src/astar.rs crates/ged/src/search.rs crates/ged/src/view.rs
+
+/root/repo/target/debug/deps/streamtune_ged-8e380ac9dc7248ff: crates/ged/src/lib.rs crates/ged/src/astar.rs crates/ged/src/search.rs crates/ged/src/view.rs
+
+crates/ged/src/lib.rs:
+crates/ged/src/astar.rs:
+crates/ged/src/search.rs:
+crates/ged/src/view.rs:

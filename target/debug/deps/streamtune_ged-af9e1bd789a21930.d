@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/streamtune_ged-af9e1bd789a21930.d: crates/ged/src/lib.rs crates/ged/src/astar.rs crates/ged/src/search.rs crates/ged/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamtune_ged-af9e1bd789a21930.rmeta: crates/ged/src/lib.rs crates/ged/src/astar.rs crates/ged/src/search.rs crates/ged/src/view.rs Cargo.toml
+
+crates/ged/src/lib.rs:
+crates/ged/src/astar.rs:
+crates/ged/src/search.rs:
+crates/ged/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

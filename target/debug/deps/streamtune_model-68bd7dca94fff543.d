@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/streamtune_model-68bd7dca94fff543.d: crates/model/src/lib.rs crates/model/src/gbdt.rs crates/model/src/nnhead.rs crates/model/src/rff.rs crates/model/src/svm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamtune_model-68bd7dca94fff543.rmeta: crates/model/src/lib.rs crates/model/src/gbdt.rs crates/model/src/nnhead.rs crates/model/src/rff.rs crates/model/src/svm.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/gbdt.rs:
+crates/model/src/nnhead.rs:
+crates/model/src/rff.rs:
+crates/model/src/svm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

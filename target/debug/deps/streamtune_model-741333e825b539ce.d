@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/streamtune_model-741333e825b539ce.d: crates/model/src/lib.rs crates/model/src/gbdt.rs crates/model/src/nnhead.rs crates/model/src/rff.rs crates/model/src/svm.rs
+
+/root/repo/target/debug/deps/libstreamtune_model-741333e825b539ce.rlib: crates/model/src/lib.rs crates/model/src/gbdt.rs crates/model/src/nnhead.rs crates/model/src/rff.rs crates/model/src/svm.rs
+
+/root/repo/target/debug/deps/libstreamtune_model-741333e825b539ce.rmeta: crates/model/src/lib.rs crates/model/src/gbdt.rs crates/model/src/nnhead.rs crates/model/src/rff.rs crates/model/src/svm.rs
+
+crates/model/src/lib.rs:
+crates/model/src/gbdt.rs:
+crates/model/src/nnhead.rs:
+crates/model/src/rff.rs:
+crates/model/src/svm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streamtune_model-7f4f3b71a7eb9367.d: crates/model/src/lib.rs crates/model/src/gbdt.rs crates/model/src/nnhead.rs crates/model/src/rff.rs crates/model/src/svm.rs
+
+/root/repo/target/debug/deps/libstreamtune_model-7f4f3b71a7eb9367.rmeta: crates/model/src/lib.rs crates/model/src/gbdt.rs crates/model/src/nnhead.rs crates/model/src/rff.rs crates/model/src/svm.rs
+
+crates/model/src/lib.rs:
+crates/model/src/gbdt.rs:
+crates/model/src/nnhead.rs:
+crates/model/src/rff.rs:
+crates/model/src/svm.rs:

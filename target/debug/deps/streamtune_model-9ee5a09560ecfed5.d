@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/streamtune_model-9ee5a09560ecfed5.d: crates/model/src/lib.rs crates/model/src/gbdt.rs crates/model/src/nnhead.rs crates/model/src/rff.rs crates/model/src/svm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamtune_model-9ee5a09560ecfed5.rmeta: crates/model/src/lib.rs crates/model/src/gbdt.rs crates/model/src/nnhead.rs crates/model/src/rff.rs crates/model/src/svm.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/gbdt.rs:
+crates/model/src/nnhead.rs:
+crates/model/src/rff.rs:
+crates/model/src/svm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streamtune_model-f689c38fb6b0b4b0.d: crates/model/src/lib.rs crates/model/src/gbdt.rs crates/model/src/nnhead.rs crates/model/src/rff.rs crates/model/src/svm.rs
+
+/root/repo/target/debug/deps/streamtune_model-f689c38fb6b0b4b0: crates/model/src/lib.rs crates/model/src/gbdt.rs crates/model/src/nnhead.rs crates/model/src/rff.rs crates/model/src/svm.rs
+
+crates/model/src/lib.rs:
+crates/model/src/gbdt.rs:
+crates/model/src/nnhead.rs:
+crates/model/src/rff.rs:
+crates/model/src/svm.rs:

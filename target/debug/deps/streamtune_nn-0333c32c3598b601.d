@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/streamtune_nn-0333c32c3598b601.d: crates/nn/src/lib.rs crates/nn/src/gnn.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamtune_nn-0333c32c3598b601.rmeta: crates/nn/src/lib.rs crates/nn/src/gnn.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tape.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/gnn.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/streamtune_nn-450ab60f788efca8.d: crates/nn/src/lib.rs crates/nn/src/gnn.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+/root/repo/target/debug/deps/libstreamtune_nn-450ab60f788efca8.rlib: crates/nn/src/lib.rs crates/nn/src/gnn.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+/root/repo/target/debug/deps/libstreamtune_nn-450ab60f788efca8.rmeta: crates/nn/src/lib.rs crates/nn/src/gnn.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/gnn.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tape.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/streamtune_nn-66018e1807c1ed5a.d: crates/nn/src/lib.rs crates/nn/src/gnn.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+/root/repo/target/debug/deps/libstreamtune_nn-66018e1807c1ed5a.rlib: crates/nn/src/lib.rs crates/nn/src/gnn.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+/root/repo/target/debug/deps/libstreamtune_nn-66018e1807c1ed5a.rmeta: crates/nn/src/lib.rs crates/nn/src/gnn.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/gnn.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tape.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/streamtune_nn-c30314205265fc7e.d: crates/nn/src/lib.rs crates/nn/src/gnn.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+/root/repo/target/debug/deps/streamtune_nn-c30314205265fc7e: crates/nn/src/lib.rs crates/nn/src/gnn.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/gnn.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tape.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/streamtune_sim-1d141d6c6f5b05fa.d: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/live.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/pa.rs crates/sim/src/rates.rs crates/sim/src/session.rs
+
+/root/repo/target/debug/deps/streamtune_sim-1d141d6c6f5b05fa: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/live.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/pa.rs crates/sim/src/rates.rs crates/sim/src/session.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/live.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/noise.rs:
+crates/sim/src/pa.rs:
+crates/sim/src/rates.rs:
+crates/sim/src/session.rs:

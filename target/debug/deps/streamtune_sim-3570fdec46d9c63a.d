@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/streamtune_sim-3570fdec46d9c63a.d: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/live.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/pa.rs crates/sim/src/rates.rs crates/sim/src/session.rs
+
+/root/repo/target/debug/deps/libstreamtune_sim-3570fdec46d9c63a.rlib: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/live.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/pa.rs crates/sim/src/rates.rs crates/sim/src/session.rs
+
+/root/repo/target/debug/deps/libstreamtune_sim-3570fdec46d9c63a.rmeta: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/live.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/pa.rs crates/sim/src/rates.rs crates/sim/src/session.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/live.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/noise.rs:
+crates/sim/src/pa.rs:
+crates/sim/src/rates.rs:
+crates/sim/src/session.rs:

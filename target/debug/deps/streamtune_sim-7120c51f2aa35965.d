@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/streamtune_sim-7120c51f2aa35965.d: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/live.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/pa.rs crates/sim/src/rates.rs crates/sim/src/session.rs
+
+/root/repo/target/debug/deps/libstreamtune_sim-7120c51f2aa35965.rmeta: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/live.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/pa.rs crates/sim/src/rates.rs crates/sim/src/session.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/live.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/noise.rs:
+crates/sim/src/pa.rs:
+crates/sim/src/rates.rs:
+crates/sim/src/session.rs:

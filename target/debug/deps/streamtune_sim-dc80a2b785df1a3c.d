@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/streamtune_sim-dc80a2b785df1a3c.d: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/live.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/pa.rs crates/sim/src/rates.rs crates/sim/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamtune_sim-dc80a2b785df1a3c.rmeta: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/live.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/pa.rs crates/sim/src/rates.rs crates/sim/src/session.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/live.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/noise.rs:
+crates/sim/src/pa.rs:
+crates/sim/src/rates.rs:
+crates/sim/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

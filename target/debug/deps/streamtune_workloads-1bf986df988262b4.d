@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/streamtune_workloads-1bf986df988262b4.d: crates/workloads/src/lib.rs crates/workloads/src/history.rs crates/workloads/src/nexmark.rs crates/workloads/src/pqp.rs crates/workloads/src/rates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamtune_workloads-1bf986df988262b4.rmeta: crates/workloads/src/lib.rs crates/workloads/src/history.rs crates/workloads/src/nexmark.rs crates/workloads/src/pqp.rs crates/workloads/src/rates.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/history.rs:
+crates/workloads/src/nexmark.rs:
+crates/workloads/src/pqp.rs:
+crates/workloads/src/rates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/streamtune_workloads-77d602854bc28580.d: crates/workloads/src/lib.rs crates/workloads/src/history.rs crates/workloads/src/nexmark.rs crates/workloads/src/pqp.rs crates/workloads/src/rates.rs
+
+/root/repo/target/debug/deps/libstreamtune_workloads-77d602854bc28580.rlib: crates/workloads/src/lib.rs crates/workloads/src/history.rs crates/workloads/src/nexmark.rs crates/workloads/src/pqp.rs crates/workloads/src/rates.rs
+
+/root/repo/target/debug/deps/libstreamtune_workloads-77d602854bc28580.rmeta: crates/workloads/src/lib.rs crates/workloads/src/history.rs crates/workloads/src/nexmark.rs crates/workloads/src/pqp.rs crates/workloads/src/rates.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/history.rs:
+crates/workloads/src/nexmark.rs:
+crates/workloads/src/pqp.rs:
+crates/workloads/src/rates.rs:

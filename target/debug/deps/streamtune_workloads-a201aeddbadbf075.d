@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streamtune_workloads-a201aeddbadbf075.d: crates/workloads/src/lib.rs crates/workloads/src/history.rs crates/workloads/src/nexmark.rs crates/workloads/src/pqp.rs crates/workloads/src/rates.rs
+
+/root/repo/target/debug/deps/libstreamtune_workloads-a201aeddbadbf075.rmeta: crates/workloads/src/lib.rs crates/workloads/src/history.rs crates/workloads/src/nexmark.rs crates/workloads/src/pqp.rs crates/workloads/src/rates.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/history.rs:
+crates/workloads/src/nexmark.rs:
+crates/workloads/src/pqp.rs:
+crates/workloads/src/rates.rs:

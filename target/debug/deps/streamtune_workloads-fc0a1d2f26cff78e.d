@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/streamtune_workloads-fc0a1d2f26cff78e.d: crates/workloads/src/lib.rs crates/workloads/src/history.rs crates/workloads/src/nexmark.rs crates/workloads/src/pqp.rs crates/workloads/src/rates.rs
+
+/root/repo/target/debug/deps/libstreamtune_workloads-fc0a1d2f26cff78e.rlib: crates/workloads/src/lib.rs crates/workloads/src/history.rs crates/workloads/src/nexmark.rs crates/workloads/src/pqp.rs crates/workloads/src/rates.rs
+
+/root/repo/target/debug/deps/libstreamtune_workloads-fc0a1d2f26cff78e.rmeta: crates/workloads/src/lib.rs crates/workloads/src/history.rs crates/workloads/src/nexmark.rs crates/workloads/src/pqp.rs crates/workloads/src/rates.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/history.rs:
+crates/workloads/src/nexmark.rs:
+crates/workloads/src/pqp.rs:
+crates/workloads/src/rates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_backpressure-6be9c021b804f57c.d: crates/bench/src/bin/table3_backpressure.rs
+
+/root/repo/target/debug/deps/table3_backpressure-6be9c021b804f57c: crates/bench/src/bin/table3_backpressure.rs
+
+crates/bench/src/bin/table3_backpressure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_backpressure-99ccf397e5655318.d: crates/bench/src/bin/table3_backpressure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_backpressure-99ccf397e5655318.rmeta: crates/bench/src/bin/table3_backpressure.rs Cargo.toml
+
+crates/bench/src/bin/table3_backpressure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_backpressure-a9efef5e29474863.d: crates/bench/src/bin/table3_backpressure.rs
+
+/root/repo/target/debug/deps/table3_backpressure-a9efef5e29474863: crates/bench/src/bin/table3_backpressure.rs
+
+crates/bench/src/bin/table3_backpressure.rs:

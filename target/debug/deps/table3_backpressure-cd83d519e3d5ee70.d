@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_backpressure-cd83d519e3d5ee70.d: crates/bench/src/bin/table3_backpressure.rs
+
+/root/repo/target/debug/deps/table3_backpressure-cd83d519e3d5ee70: crates/bench/src/bin/table3_backpressure.rs
+
+crates/bench/src/bin/table3_backpressure.rs:

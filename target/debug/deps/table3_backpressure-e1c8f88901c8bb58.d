@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_backpressure-e1c8f88901c8bb58.d: crates/bench/src/bin/table3_backpressure.rs
+
+/root/repo/target/debug/deps/libtable3_backpressure-e1c8f88901c8bb58.rmeta: crates/bench/src/bin/table3_backpressure.rs
+
+crates/bench/src/bin/table3_backpressure.rs:

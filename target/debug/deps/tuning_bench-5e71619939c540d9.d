@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tuning_bench-5e71619939c540d9.d: crates/bench/benches/tuning_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtuning_bench-5e71619939c540d9.rmeta: crates/bench/benches/tuning_bench.rs Cargo.toml
+
+crates/bench/benches/tuning_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

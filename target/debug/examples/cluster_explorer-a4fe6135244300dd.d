@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cluster_explorer-a4fe6135244300dd.d: examples/cluster_explorer.rs
+
+/root/repo/target/debug/examples/cluster_explorer-a4fe6135244300dd: examples/cluster_explorer.rs
+
+examples/cluster_explorer.rs:

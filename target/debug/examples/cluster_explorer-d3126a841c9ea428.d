@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cluster_explorer-d3126a841c9ea428.d: examples/cluster_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcluster_explorer-d3126a841c9ea428.rmeta: examples/cluster_explorer.rs Cargo.toml
+
+examples/cluster_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

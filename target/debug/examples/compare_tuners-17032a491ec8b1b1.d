@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_tuners-17032a491ec8b1b1.d: examples/compare_tuners.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_tuners-17032a491ec8b1b1.rmeta: examples/compare_tuners.rs Cargo.toml
+
+examples/compare_tuners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

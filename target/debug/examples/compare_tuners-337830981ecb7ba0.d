@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_tuners-337830981ecb7ba0.d: examples/compare_tuners.rs
+
+/root/repo/target/debug/examples/compare_tuners-337830981ecb7ba0: examples/compare_tuners.rs
+
+examples/compare_tuners.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_tuners-488820cc9593947c.d: examples/compare_tuners.rs
+
+/root/repo/target/debug/examples/compare_tuners-488820cc9593947c: examples/compare_tuners.rs
+
+examples/compare_tuners.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-42af49bdc0fa0ad7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-42af49bdc0fa0ad7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cb881c946378c35c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cb881c946378c35c: examples/quickstart.rs
+
+examples/quickstart.rs:

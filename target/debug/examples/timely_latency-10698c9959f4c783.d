@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timely_latency-10698c9959f4c783.d: examples/timely_latency.rs
+
+/root/repo/target/debug/examples/timely_latency-10698c9959f4c783: examples/timely_latency.rs
+
+examples/timely_latency.rs:

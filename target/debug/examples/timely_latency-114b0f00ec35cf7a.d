@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timely_latency-114b0f00ec35cf7a.d: examples/timely_latency.rs
+
+/root/repo/target/debug/examples/timely_latency-114b0f00ec35cf7a: examples/timely_latency.rs
+
+examples/timely_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/timely_latency-d2fb513a61ed6847.d: examples/timely_latency.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtimely_latency-d2fb513a61ed6847.rmeta: examples/timely_latency.rs Cargo.toml
+
+examples/timely_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

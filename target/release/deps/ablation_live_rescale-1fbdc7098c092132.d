@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_live_rescale-1fbdc7098c092132.d: crates/bench/src/bin/ablation_live_rescale.rs
+
+/root/repo/target/release/deps/ablation_live_rescale-1fbdc7098c092132: crates/bench/src/bin/ablation_live_rescale.rs
+
+crates/bench/src/bin/ablation_live_rescale.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-2486c661d6dcc89c.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-2486c661d6dcc89c.rlib: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-2486c661d6dcc89c.rmeta: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

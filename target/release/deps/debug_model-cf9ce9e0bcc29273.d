@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_model-cf9ce9e0bcc29273.d: crates/bench/src/bin/debug_model.rs
+
+/root/repo/target/release/deps/debug_model-cf9ce9e0bcc29273: crates/bench/src/bin/debug_model.rs
+
+crates/bench/src/bin/debug_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_setup-03073fc8c07a796d.d: crates/bench/src/bin/exp_setup.rs
+
+/root/repo/target/release/deps/exp_setup-03073fc8c07a796d: crates/bench/src/bin/exp_setup.rs
+
+crates/bench/src/bin/exp_setup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_cpu_utilization-b247bea8e0ba73ba.d: crates/bench/src/bin/fig10_cpu_utilization.rs
+
+/root/repo/target/release/deps/fig10_cpu_utilization-b247bea8e0ba73ba: crates/bench/src/bin/fig10_cpu_utilization.rs
+
+crates/bench/src/bin/fig10_cpu_utilization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11a_model_ablation-68b249ade4eb90dd.d: crates/bench/src/bin/fig11a_model_ablation.rs
+
+/root/repo/target/release/deps/fig11a_model_ablation-68b249ade4eb90dd: crates/bench/src/bin/fig11a_model_ablation.rs
+
+crates/bench/src/bin/fig11a_model_ablation.rs:

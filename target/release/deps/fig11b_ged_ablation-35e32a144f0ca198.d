@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11b_ged_ablation-35e32a144f0ca198.d: crates/bench/src/bin/fig11b_ged_ablation.rs
+
+/root/repo/target/release/deps/fig11b_ged_ablation-35e32a144f0ca198: crates/bench/src/bin/fig11b_ged_ablation.rs
+
+crates/bench/src/bin/fig11b_ged_ablation.rs:

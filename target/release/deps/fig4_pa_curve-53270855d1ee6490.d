@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_pa_curve-53270855d1ee6490.d: crates/bench/src/bin/fig4_pa_curve.rs
+
+/root/repo/target/release/deps/fig4_pa_curve-53270855d1ee6490: crates/bench/src/bin/fig4_pa_curve.rs
+
+crates/bench/src/bin/fig4_pa_curve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_dag_distribution-00010dd308e0bb6a.d: crates/bench/src/bin/fig5_dag_distribution.rs
+
+/root/repo/target/release/deps/fig5_dag_distribution-00010dd308e0bb6a: crates/bench/src/bin/fig5_dag_distribution.rs
+
+crates/bench/src/bin/fig5_dag_distribution.rs:

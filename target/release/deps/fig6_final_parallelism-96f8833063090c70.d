@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_final_parallelism-96f8833063090c70.d: crates/bench/src/bin/fig6_final_parallelism.rs
+
+/root/repo/target/release/deps/fig6_final_parallelism-96f8833063090c70: crates/bench/src/bin/fig6_final_parallelism.rs
+
+crates/bench/src/bin/fig6_final_parallelism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7a_reconfigurations-1ac5bbac89f41ce3.d: crates/bench/src/bin/fig7a_reconfigurations.rs
+
+/root/repo/target/release/deps/fig7a_reconfigurations-1ac5bbac89f41ce3: crates/bench/src/bin/fig7a_reconfigurations.rs
+
+crates/bench/src/bin/fig7a_reconfigurations.rs:

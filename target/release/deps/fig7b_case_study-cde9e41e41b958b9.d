@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7b_case_study-cde9e41e41b958b9.d: crates/bench/src/bin/fig7b_case_study.rs
+
+/root/repo/target/release/deps/fig7b_case_study-cde9e41e41b958b9: crates/bench/src/bin/fig7b_case_study.rs
+
+crates/bench/src/bin/fig7b_case_study.rs:

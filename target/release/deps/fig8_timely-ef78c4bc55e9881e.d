@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_timely-ef78c4bc55e9881e.d: crates/bench/src/bin/fig8_timely.rs
+
+/root/repo/target/release/deps/fig8_timely-ef78c4bc55e9881e: crates/bench/src/bin/fig8_timely.rs
+
+crates/bench/src/bin/fig8_timely.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9a_recommendation_time-6b549711b4b8fc86.d: crates/bench/src/bin/fig9a_recommendation_time.rs
+
+/root/repo/target/release/deps/fig9a_recommendation_time-6b549711b4b8fc86: crates/bench/src/bin/fig9a_recommendation_time.rs
+
+crates/bench/src/bin/fig9a_recommendation_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9b_pretraining_cost-d7e619b7d66b3231.d: crates/bench/src/bin/fig9b_pretraining_cost.rs
+
+/root/repo/target/release/deps/fig9b_pretraining_cost-d7e619b7d66b3231: crates/bench/src/bin/fig9b_pretraining_cost.rs
+
+crates/bench/src/bin/fig9b_pretraining_cost.rs:

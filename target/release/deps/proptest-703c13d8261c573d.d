@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-703c13d8261c573d.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-703c13d8261c573d.rlib: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-703c13d8261c573d.rmeta: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

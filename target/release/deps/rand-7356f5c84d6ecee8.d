@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-7356f5c84d6ecee8.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7356f5c84d6ecee8.rlib: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7356f5c84d6ecee8.rmeta: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

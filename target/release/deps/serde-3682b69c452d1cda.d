@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-3682b69c452d1cda.d: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-3682b69c452d1cda.rlib: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-3682b69c452d1cda.rmeta: crates/vendor/serde/src/lib.rs
+
+crates/vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-807298496c200519.d: crates/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-807298496c200519.so: crates/vendor/serde_derive/src/lib.rs
+
+crates/vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-659bfb6cbaba0df7.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-659bfb6cbaba0df7.rlib: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-659bfb6cbaba0df7.rmeta: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

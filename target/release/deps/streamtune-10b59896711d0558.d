@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/streamtune-10b59896711d0558.d: src/lib.rs
+
+/root/repo/target/release/deps/libstreamtune-10b59896711d0558.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libstreamtune-10b59896711d0558.rmeta: src/lib.rs
+
+src/lib.rs:

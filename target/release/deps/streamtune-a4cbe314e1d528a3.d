@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/streamtune-a4cbe314e1d528a3.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/error.rs
+
+/root/repo/target/release/deps/streamtune-a4cbe314e1d528a3: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/error.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/error.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/streamtune-f53511bd27102850.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/error.rs
+
+/root/repo/target/release/deps/streamtune-f53511bd27102850: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/error.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/error.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/streamtune_backend-787decf445cc51b1.d: crates/backend/src/lib.rs crates/backend/src/error.rs crates/backend/src/observation.rs crates/backend/src/session.rs crates/backend/src/trace.rs
+
+/root/repo/target/release/deps/libstreamtune_backend-787decf445cc51b1.rlib: crates/backend/src/lib.rs crates/backend/src/error.rs crates/backend/src/observation.rs crates/backend/src/session.rs crates/backend/src/trace.rs
+
+/root/repo/target/release/deps/libstreamtune_backend-787decf445cc51b1.rmeta: crates/backend/src/lib.rs crates/backend/src/error.rs crates/backend/src/observation.rs crates/backend/src/session.rs crates/backend/src/trace.rs
+
+crates/backend/src/lib.rs:
+crates/backend/src/error.rs:
+crates/backend/src/observation.rs:
+crates/backend/src/session.rs:
+crates/backend/src/trace.rs:

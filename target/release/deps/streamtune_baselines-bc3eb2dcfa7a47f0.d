@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/streamtune_baselines-bc3eb2dcfa7a47f0.d: crates/baselines/src/lib.rs crates/baselines/src/conttune.rs crates/baselines/src/ds2.rs crates/baselines/src/gp.rs crates/baselines/src/zerotune.rs
+
+/root/repo/target/release/deps/libstreamtune_baselines-bc3eb2dcfa7a47f0.rlib: crates/baselines/src/lib.rs crates/baselines/src/conttune.rs crates/baselines/src/ds2.rs crates/baselines/src/gp.rs crates/baselines/src/zerotune.rs
+
+/root/repo/target/release/deps/libstreamtune_baselines-bc3eb2dcfa7a47f0.rmeta: crates/baselines/src/lib.rs crates/baselines/src/conttune.rs crates/baselines/src/ds2.rs crates/baselines/src/gp.rs crates/baselines/src/zerotune.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/conttune.rs:
+crates/baselines/src/ds2.rs:
+crates/baselines/src/gp.rs:
+crates/baselines/src/zerotune.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/streamtune_bench-1a146f636e2b4138.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libstreamtune_bench-1a146f636e2b4138.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libstreamtune_bench-1a146f636e2b4138.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

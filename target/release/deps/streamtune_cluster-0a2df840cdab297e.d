@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/streamtune_cluster-0a2df840cdab297e.d: crates/cluster/src/lib.rs crates/cluster/src/kmeans.rs
+
+/root/repo/target/release/deps/libstreamtune_cluster-0a2df840cdab297e.rlib: crates/cluster/src/lib.rs crates/cluster/src/kmeans.rs
+
+/root/repo/target/release/deps/libstreamtune_cluster-0a2df840cdab297e.rmeta: crates/cluster/src/lib.rs crates/cluster/src/kmeans.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/kmeans.rs:

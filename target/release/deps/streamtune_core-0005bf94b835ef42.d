@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/streamtune_core-0005bf94b835ef42.d: crates/core/src/lib.rs crates/core/src/label.rs crates/core/src/pretrain.rs crates/core/src/tune.rs
+
+/root/repo/target/release/deps/libstreamtune_core-0005bf94b835ef42.rlib: crates/core/src/lib.rs crates/core/src/label.rs crates/core/src/pretrain.rs crates/core/src/tune.rs
+
+/root/repo/target/release/deps/libstreamtune_core-0005bf94b835ef42.rmeta: crates/core/src/lib.rs crates/core/src/label.rs crates/core/src/pretrain.rs crates/core/src/tune.rs
+
+crates/core/src/lib.rs:
+crates/core/src/label.rs:
+crates/core/src/pretrain.rs:
+crates/core/src/tune.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/streamtune_dataflow-1c4815a85bd8c365.d: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/features.rs crates/dataflow/src/graph.rs crates/dataflow/src/op.rs crates/dataflow/src/signature.rs
+
+/root/repo/target/release/deps/libstreamtune_dataflow-1c4815a85bd8c365.rlib: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/features.rs crates/dataflow/src/graph.rs crates/dataflow/src/op.rs crates/dataflow/src/signature.rs
+
+/root/repo/target/release/deps/libstreamtune_dataflow-1c4815a85bd8c365.rmeta: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/features.rs crates/dataflow/src/graph.rs crates/dataflow/src/op.rs crates/dataflow/src/signature.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/builder.rs:
+crates/dataflow/src/features.rs:
+crates/dataflow/src/graph.rs:
+crates/dataflow/src/op.rs:
+crates/dataflow/src/signature.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/streamtune_ged-ed8767b101c4831b.d: crates/ged/src/lib.rs crates/ged/src/astar.rs crates/ged/src/search.rs crates/ged/src/view.rs
+
+/root/repo/target/release/deps/libstreamtune_ged-ed8767b101c4831b.rlib: crates/ged/src/lib.rs crates/ged/src/astar.rs crates/ged/src/search.rs crates/ged/src/view.rs
+
+/root/repo/target/release/deps/libstreamtune_ged-ed8767b101c4831b.rmeta: crates/ged/src/lib.rs crates/ged/src/astar.rs crates/ged/src/search.rs crates/ged/src/view.rs
+
+crates/ged/src/lib.rs:
+crates/ged/src/astar.rs:
+crates/ged/src/search.rs:
+crates/ged/src/view.rs:

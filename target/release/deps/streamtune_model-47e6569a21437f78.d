@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/streamtune_model-47e6569a21437f78.d: crates/model/src/lib.rs crates/model/src/gbdt.rs crates/model/src/nnhead.rs crates/model/src/rff.rs crates/model/src/svm.rs
+
+/root/repo/target/release/deps/libstreamtune_model-47e6569a21437f78.rlib: crates/model/src/lib.rs crates/model/src/gbdt.rs crates/model/src/nnhead.rs crates/model/src/rff.rs crates/model/src/svm.rs
+
+/root/repo/target/release/deps/libstreamtune_model-47e6569a21437f78.rmeta: crates/model/src/lib.rs crates/model/src/gbdt.rs crates/model/src/nnhead.rs crates/model/src/rff.rs crates/model/src/svm.rs
+
+crates/model/src/lib.rs:
+crates/model/src/gbdt.rs:
+crates/model/src/nnhead.rs:
+crates/model/src/rff.rs:
+crates/model/src/svm.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/streamtune_nn-4f49a4b8dbba4e0e.d: crates/nn/src/lib.rs crates/nn/src/gnn.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+/root/repo/target/release/deps/libstreamtune_nn-4f49a4b8dbba4e0e.rlib: crates/nn/src/lib.rs crates/nn/src/gnn.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+/root/repo/target/release/deps/libstreamtune_nn-4f49a4b8dbba4e0e.rmeta: crates/nn/src/lib.rs crates/nn/src/gnn.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tape.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/gnn.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tape.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/streamtune_sim-366ad258fea14fd3.d: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/live.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/pa.rs crates/sim/src/rates.rs crates/sim/src/session.rs
+
+/root/repo/target/release/deps/libstreamtune_sim-366ad258fea14fd3.rlib: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/live.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/pa.rs crates/sim/src/rates.rs crates/sim/src/session.rs
+
+/root/repo/target/release/deps/libstreamtune_sim-366ad258fea14fd3.rmeta: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/live.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/pa.rs crates/sim/src/rates.rs crates/sim/src/session.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/live.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/noise.rs:
+crates/sim/src/pa.rs:
+crates/sim/src/rates.rs:
+crates/sim/src/session.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/streamtune_workloads-294afb1a565fdc27.d: crates/workloads/src/lib.rs crates/workloads/src/history.rs crates/workloads/src/nexmark.rs crates/workloads/src/pqp.rs crates/workloads/src/rates.rs
+
+/root/repo/target/release/deps/libstreamtune_workloads-294afb1a565fdc27.rlib: crates/workloads/src/lib.rs crates/workloads/src/history.rs crates/workloads/src/nexmark.rs crates/workloads/src/pqp.rs crates/workloads/src/rates.rs
+
+/root/repo/target/release/deps/libstreamtune_workloads-294afb1a565fdc27.rmeta: crates/workloads/src/lib.rs crates/workloads/src/history.rs crates/workloads/src/nexmark.rs crates/workloads/src/pqp.rs crates/workloads/src/rates.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/history.rs:
+crates/workloads/src/nexmark.rs:
+crates/workloads/src/pqp.rs:
+crates/workloads/src/rates.rs:

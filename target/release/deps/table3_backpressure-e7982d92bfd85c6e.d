@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_backpressure-e7982d92bfd85c6e.d: crates/bench/src/bin/table3_backpressure.rs
+
+/root/repo/target/release/deps/table3_backpressure-e7982d92bfd85c6e: crates/bench/src/bin/table3_backpressure.rs
+
+crates/bench/src/bin/table3_backpressure.rs:

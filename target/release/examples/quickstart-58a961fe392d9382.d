@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-58a961fe392d9382.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-58a961fe392d9382: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libproptest.rlib: /root/repo/crates/vendor/proptest/src/lib.rs /root/repo/crates/vendor/rand/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde.rlib: /root/repo/crates/vendor/serde/src/lib.rs /root/repo/crates/vendor/serde_derive/src/lib.rs
