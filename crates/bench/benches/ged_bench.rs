@@ -66,5 +66,50 @@ fn bench_similarity_center(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_pairwise, bench_similarity_center);
+/// Cold vs cached similarity-center: the cold path re-runs every pairwise
+/// A\* per call (what the pre-PR k-means did on every iteration of every k
+/// in the elbow sweep); the cached path answers from a warm [`GedCache`].
+fn bench_similarity_center_cached(c: &mut Criterion) {
+    use streamtune_ged::GedCache;
+    let graphs = corpus(16);
+    let tau = 5usize;
+    let mut group = c.benchmark_group("similarity_center_cache");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| black_box(similarity_center(&graphs, tau, Bound::LabelSet)))
+    });
+    // Warm the cache once, then measure the steady-state (cache-hit) cost —
+    // the cost every k-means iteration after the first actually pays.
+    let mut cache = GedCache::new(Bound::LabelSet, 24);
+    let ids: Vec<usize> = graphs.iter().map(|(v, s)| cache.intern(v, s)).collect();
+    let cached_center = |cache: &mut GedCache| -> Option<usize> {
+        let mut counts = vec![0usize; ids.len()];
+        for &q in &ids {
+            for (gi, &g) in ids.iter().enumerate() {
+                if cache.within(q, g, tau) {
+                    counts[gi] += 1;
+                }
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+    };
+    let warm = cached_center(&mut cache);
+    group.bench_function("cached", |b| {
+        b.iter(|| black_box(cached_center(&mut cache)))
+    });
+    group.finish();
+    let cold = similarity_center(&graphs, tau, Bound::LabelSet).map(|sc| sc.center);
+    assert_eq!(warm, cold, "cached and cold centers must agree");
+}
+
+criterion_group!(
+    benches,
+    bench_pairwise,
+    bench_similarity_center,
+    bench_similarity_center_cached
+);
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! (agnostic + aware) and training steps — the kernels behind Fig. 9b's
 //! pre-training cost curve.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use std::hint::black_box;
 use streamtune_dataflow::FeatureEncoder;
@@ -59,5 +59,35 @@ fn bench_train(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_forward, bench_train);
+/// Dense n×n matmul vs CSR spmm message passing, forward and backward —
+/// the two paths are bit-identical (parity-tested), so any gap here is
+/// pure kernel cost.
+fn bench_dense_vs_csr(c: &mut Criterion) {
+    let batch = samples();
+    let mut group = c.benchmark_group("gnn_messages");
+    group.sample_size(10);
+    for (name, dense) in [("csr", false), ("dense", true)] {
+        let config = GnnConfig {
+            dense_messages: dense,
+            ..Default::default()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let encoder = GnnEncoder::new(config.clone(), &mut rng);
+        group.bench_function(BenchmarkId::new("forward", name), |b| {
+            b.iter(|| {
+                for s in &batch {
+                    black_box(encoder.embed_aware(s));
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("train", name), |b| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let mut enc = GnnEncoder::new(config.clone(), &mut rng);
+            b.iter(|| black_box(enc.train_step(&batch)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_train, bench_dense_vs_csr);
 criterion_main!(benches);

@@ -1,9 +1,15 @@
 //! K-means over graphs with GED distance and similarity-center centroids.
+//!
+//! All distance queries go through a corpus-level [`GedCache`]: structures
+//! are interned (duplicates collapse to one id with a multiplicity weight)
+//! and every pair's A\* search runs at most once across farthest-first
+//! seeding, every assignment step, the similarity-center updates and the
+//! whole elbow sweep. Pairwise batches are back-filled with deterministic
+//! scoped-thread fan-out ([`Parallelism`]).
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use streamtune_dataflow::GraphSignature;
-use streamtune_ged::{ged_with, similarity_center, Bound, GraphView};
+use streamtune_ged::{ged_with, Bound, GedCache, GraphView, Parallelism, StructId};
 
 /// Configuration of the DAG clustering.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -25,6 +31,8 @@ pub struct ClusterConfig {
     pub elbow_epsilon: f64,
     /// Seed for the farthest-first initialization.
     pub seed: u64,
+    /// Worker threads for pairwise GED batches.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ClusterConfig {
@@ -37,6 +45,7 @@ impl Default for ClusterConfig {
             max_iters: 12,
             elbow_epsilon: 0.15,
             seed: 17,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -50,7 +59,8 @@ pub struct DagClustering {
     pub assignments: Vec<usize>,
     /// Center graph index (into the input corpus) per cluster.
     pub centers: Vec<usize>,
-    /// Sum of member→center distances (inertia).
+    /// Sum of member→center distances (inertia). Weighted runs count each
+    /// structure with its multiplicity.
     pub inertia: f64,
 }
 
@@ -66,116 +76,167 @@ impl DagClustering {
     }
 }
 
-/// Lazily cached capped-GED oracle over a corpus.
-struct DistCache<'a> {
-    graphs: &'a [(GraphView, GraphSignature)],
-    cap: usize,
-    cache: HashMap<(usize, usize), usize>,
-}
-
-impl DistCache<'_> {
-    fn dist(&mut self, a: usize, b: usize) -> usize {
-        if a == b {
-            return 0;
-        }
-        let key = (a.min(b), a.max(b));
-        if let Some(&d) = self.cache.get(&key) {
-            return d;
-        }
-        let d = ged_with(
-            &self.graphs[a].0,
-            &self.graphs[b].0,
-            Bound::LabelSet,
-            self.cap,
-        )
-        .capped();
-        self.cache.insert(key, d);
-        d
+/// Farthest-first growth: the next center is the point maximizing
+/// `weight × distance-to-nearest-center` (weighted farthest-first — with
+/// unit weights this is the classic criterion). Membership is tracked with
+/// a boolean vector, ties break toward the lower index, and the candidate
+/// distances are pre-filled in one parallel batch. Returns `None` when
+/// every point is already a center.
+fn grow_center(
+    cache: &mut GedCache,
+    ids: &[StructId],
+    weights: &[f64],
+    centers: &[usize],
+    par: Parallelism,
+) -> Option<usize> {
+    let n = ids.len();
+    let mut is_center = vec![false; n];
+    for &c in centers {
+        is_center[c] = true;
     }
-}
-
-/// Farthest-first initialization: pick a deterministic seed point, then
-/// repeatedly pick the graph farthest from its nearest chosen center.
-fn farthest_first(cache: &mut DistCache<'_>, n: usize, k: usize, seed: u64) -> Vec<usize> {
-    let mut centers = vec![(seed as usize) % n];
-    while centers.len() < k {
-        let mut best = (0usize, 0usize); // (distance, index)
-        for i in 0..n {
-            if centers.contains(&i) {
-                continue;
-            }
-            let d = centers.iter().map(|&c| cache.dist(i, c)).min().unwrap();
-            // Tie-break on lower index for determinism.
-            if d > best.0 {
-                best = (d, i);
-            }
+    let pairs: Vec<(StructId, StructId)> = (0..n)
+        .filter(|&i| !is_center[i])
+        .flat_map(|i| centers.iter().map(move |&c| (ids[i], ids[c])))
+        .collect();
+    let cap = cache.cap();
+    cache.ensure_dists(&pairs, cap, par);
+    let mut best: (f64, Option<usize>) = (0.0, None); // (score, index)
+    for i in 0..n {
+        if is_center[i] {
+            continue;
         }
-        if best.0 == 0 {
-            // All remaining graphs coincide with some center; duplicate any.
-            let extra = (0..n).find(|i| !centers.contains(i));
-            match extra {
-                Some(i) => centers.push(i),
-                None => break,
-            }
-        } else {
-            centers.push(best.1);
+        let d = centers
+            .iter()
+            .map(|&c| cache.dist(ids[i], ids[c]))
+            .min()
+            .expect("at least one center");
+        let score = weights[i] * d as f64;
+        // Tie-break on lower index for determinism.
+        if score > best.0 {
+            best = (score, Some(i));
         }
     }
-    centers
+    best.1.or_else(|| {
+        // All remaining graphs coincide with some center; duplicate any.
+        is_center.iter().position(|&c| !c)
+    })
 }
 
+/// Weighted similarity center (paper Def. 2 over a multiset): the member
+/// appearing most often across the τ-similarity search results of all
+/// members, each query weighted by its structure's multiplicity. Ties break
+/// toward the lower member position (deterministic). Distances come from
+/// the shared cache — no graph is cloned and no pair is searched twice.
+///
+/// A candidate's *own* multiplicity deliberately does not scale its count:
+/// Def. 2's `C_g` counts the queries whose result set contains `g`, so
+/// every copy of a duplicated structure has the same count and the
+/// structure-level argmax with first-occurrence tie-break equals the
+/// instance-level argmax over the raw multiset.
+fn weighted_similarity_center(
+    cache: &mut GedCache,
+    ids: &[StructId],
+    weights: &[f64],
+    members: &[usize],
+    tau: usize,
+    par: Parallelism,
+) -> Option<usize> {
+    if members.is_empty() {
+        return None;
+    }
+    // Pre-fill every member pair up to τ (the signature filter and prior
+    // knowledge are applied inside the cache).
+    let mut pairs = Vec::new();
+    for (i, &mi) in members.iter().enumerate() {
+        for &mj in &members[i + 1..] {
+            pairs.push((ids[mi], ids[mj]));
+        }
+    }
+    cache.ensure_dists(&pairs, tau, par);
+    let mut counts = vec![0.0f64; members.len()];
+    for &mq in members {
+        let w = weights[mq];
+        for (gi, &mg) in members.iter().enumerate() {
+            if cache.within(ids[mq], ids[mg], tau) {
+                counts[gi] += w;
+            }
+        }
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.partial_cmp(b.1)
+                .expect("finite counts")
+                .then(b.0.cmp(&a.0))
+        })
+        .map(|(i, _)| i)
+}
+
+/// One weighted k-means run from explicit initial centers. Center updates
+/// use the similarity center; an update is accepted only if the weighted
+/// inertia does not rise (medoid-update guard).
 fn run_kmeans(
-    graphs: &[(GraphView, GraphSignature)],
-    cache: &mut DistCache<'_>,
-    k: usize,
+    cache: &mut GedCache,
+    ids: &[StructId],
+    weights: &[f64],
+    mut centers: Vec<usize>,
     cfg: &ClusterConfig,
 ) -> DagClustering {
-    let n = graphs.len();
-    let mut centers = farthest_first(cache, n, k.min(n), cfg.seed);
+    let n = ids.len();
+    let par = cfg.parallelism;
     let k = centers.len();
     let mut assignments = vec![0usize; n];
 
-    for _ in 0..cfg.max_iters {
-        // Assignment step.
+    let assign = |cache: &mut GedCache, centers: &[usize], assignments: &mut [usize]| -> f64 {
+        let pairs: Vec<(StructId, StructId)> = (0..n)
+            .flat_map(|i| centers.iter().map(move |&c| (i, c)))
+            .map(|(i, c)| (ids[i], ids[c]))
+            .collect();
+        let cap = cache.cap();
+        cache.ensure_dists(&pairs, cap, par);
+        let mut inertia = 0.0;
         for (i, assignment) in assignments.iter_mut().enumerate() {
-            let (best_c, _) = centers
+            let (best_c, d) = centers
                 .iter()
                 .enumerate()
-                .map(|(c, &g)| (c, cache.dist(i, g)))
+                .map(|(c, &g)| (c, cache.dist(ids[i], ids[g])))
                 .min_by_key(|&(c, d)| (d, c))
                 .expect("k >= 1");
             *assignment = best_c;
+            inertia += weights[i] * d as f64;
         }
-        // Update step: similarity centers.
+        inertia
+    };
+
+    let mut inertia = assign(cache, &centers, &mut assignments);
+    for _ in 0..cfg.max_iters {
+        // Update step: similarity centers from the current assignment.
         let mut new_centers = centers.clone();
         for (c, nc) in new_centers.iter_mut().enumerate() {
             let members: Vec<usize> = (0..n).filter(|&i| assignments[i] == c).collect();
-            if members.is_empty() {
-                continue;
-            }
-            let cluster_graphs: Vec<(GraphView, GraphSignature)> =
-                members.iter().map(|&i| graphs[i].clone()).collect();
-            if let Some(sc) = similarity_center(&cluster_graphs, cfg.tau, Bound::LabelSet) {
-                *nc = members[sc.center];
+            if let Some(sc) =
+                weighted_similarity_center(cache, ids, weights, &members, cfg.tau, par)
+            {
+                *nc = members[sc];
             }
         }
         if new_centers == centers {
             break;
         }
+        // Medoid-update guard: the similarity center is a structural mode,
+        // not an inertia minimizer, so a center move can worsen the weighted
+        // objective (heavily duplicated structures amplify this). Accept a
+        // move only if it keeps inertia from rising — this keeps the per-k
+        // inertia curve well-behaved for the elbow sweep.
+        let mut new_assignments = vec![0usize; n];
+        let new_inertia = assign(cache, &new_centers, &mut new_assignments);
+        if new_inertia > inertia {
+            break;
+        }
         centers = new_centers;
-    }
-
-    // Final assignment against the converged centers + inertia.
-    let mut inertia = 0.0;
-    for (i, assignment) in assignments.iter_mut().enumerate() {
-        let (best_c, d) = centers
-            .iter()
-            .enumerate()
-            .map(|(c, &g)| (c, cache.dist(i, g)))
-            .min_by_key(|&(c, d)| (d, c))
-            .expect("k >= 1");
-        *assignment = best_c;
-        inertia += d as f64;
+        assignments = new_assignments;
+        inertia = new_inertia;
     }
 
     DagClustering {
@@ -204,25 +265,85 @@ pub fn choose_k_elbow(inertias: &[f64], epsilon: f64) -> usize {
     inertias.len()
 }
 
-/// Cluster a corpus of dataflow DAG views.
-pub fn cluster_dags(graphs: &[(GraphView, GraphSignature)], cfg: &ClusterConfig) -> DagClustering {
-    assert!(!graphs.is_empty(), "cannot cluster an empty corpus");
-    let mut cache = DistCache {
-        graphs,
-        cap: cfg.ged_cap,
-        cache: HashMap::new(),
-    };
+/// Cluster interned structures through a shared [`GedCache`].
+///
+/// `ids[i]` is the interned structure of corpus entry `i` and `weights[i]`
+/// its multiplicity (how many raw records share that structure). The cache
+/// persists across the entire call — including the full elbow sweep when
+/// `cfg.k` is `None` — so every distance is searched at most once.
+///
+/// The sweep is *incremental* (greedy global-k-means style): the run for k
+/// starts from the **converged** centers of k−1 plus the weighted-farthest
+/// point, and center updates never raise inertia, so the per-k inertia
+/// curve is non-increasing by construction — exactly what the elbow method
+/// assumes. A fixed `cfg.k` runs the same chain up to k and keeps the last
+/// run: the intermediate runs are what seeds it well, and their distance
+/// queries all hit the shared cache, so repeated fixed-k calls also stay
+/// monotone in k.
+pub fn cluster_dags_cached(
+    cache: &mut GedCache,
+    ids: &[StructId],
+    weights: &[f64],
+    cfg: &ClusterConfig,
+) -> DagClustering {
+    assert!(!ids.is_empty(), "cannot cluster an empty corpus");
+    assert_eq!(ids.len(), weights.len(), "one weight per structure");
+    let n = ids.len();
+    let k_target = cfg.k.unwrap_or(cfg.k_max).clamp(1, n);
+    let mut centers = vec![(cfg.seed as usize) % n];
+    let mut runs: Vec<DagClustering> = Vec::with_capacity(k_target);
+    loop {
+        let run = run_kmeans(cache, ids, weights, centers.clone(), cfg);
+        centers = run.centers.clone();
+        runs.push(run);
+        if runs.len() >= k_target {
+            break;
+        }
+        match grow_center(cache, ids, weights, &centers, cfg.parallelism) {
+            Some(next) => centers.push(next),
+            None => break, // every structure is already a center
+        }
+    }
     match cfg.k {
-        Some(k) => run_kmeans(graphs, &mut cache, k.max(1), cfg),
+        Some(_) => runs.pop().expect("at least one run"),
         None => {
-            let k_max = cfg.k_max.min(graphs.len()).max(1);
-            let runs: Vec<DagClustering> = (1..=k_max)
-                .map(|k| run_kmeans(graphs, &mut cache, k, cfg))
-                .collect();
             let inertias: Vec<f64> = runs.iter().map(|r| r.inertia).collect();
             let k = choose_k_elbow(&inertias, cfg.elbow_epsilon);
             runs.into_iter().nth(k - 1).expect("k within range")
         }
+    }
+}
+
+/// Cluster a corpus of dataflow DAG views.
+///
+/// Structurally identical graphs are deduplicated before k-means (distinct
+/// structures are clustered with their multiplicities), then the result is
+/// expanded back to per-input assignments: duplicates always land in the
+/// same cluster, and the reported inertia counts every copy. Seeding and
+/// centroid updates operate on the deduped, weighted view (the initial
+/// center is `seed % distinct_count` and growth maximizes
+/// `weight × distance`), so center choices can differ from a naive run
+/// over the raw corpus — by design: multiplicity is signal, not noise.
+pub fn cluster_dags(graphs: &[(GraphView, GraphSignature)], cfg: &ClusterConfig) -> DagClustering {
+    assert!(!graphs.is_empty(), "cannot cluster an empty corpus");
+    let mut cache = GedCache::new(Bound::LabelSet, cfg.ged_cap);
+    let structure_of: Vec<StructId> = graphs.iter().map(|(v, s)| cache.intern(v, s)).collect();
+    // Interned ids are dense and in first-occurrence order.
+    let distinct: Vec<StructId> = (0..cache.len()).collect();
+    let weights = cache.multiplicities(&structure_of);
+    let dc = cluster_dags_cached(&mut cache, &distinct, &weights, cfg);
+    // Expand distinct-structure assignments back to input positions.
+    let mut first_pos = vec![usize::MAX; cache.len()];
+    for (pos, &s) in structure_of.iter().enumerate() {
+        if first_pos[s] == usize::MAX {
+            first_pos[s] = pos;
+        }
+    }
+    DagClustering {
+        k: dc.k,
+        assignments: structure_of.iter().map(|&s| dc.assignments[s]).collect(),
+        centers: dc.centers.iter().map(|&d| first_pos[distinct[d]]).collect(),
+        inertia: dc.inertia,
     }
 }
 
@@ -389,5 +510,69 @@ mod tests {
         };
         let r = cluster_dags(&graphs, &cfg);
         assert!(r.k <= 2);
+    }
+
+    #[test]
+    fn duplicates_collapse_but_assignments_expand() {
+        // Three copies of one structure + one outlier family.
+        let graphs = vec![
+            chain(&[Filter, Map, Sink]),
+            chain(&[Filter, Map, Sink]),
+            chain(&[Filter, Map, Sink]),
+            chain(&[WindowJoin, Aggregate, KeyBy, FlatMap, Map, Sink]),
+        ];
+        let cfg = ClusterConfig {
+            k: Some(2),
+            ..Default::default()
+        };
+        let r = cluster_dags(&graphs, &cfg);
+        assert_eq!(r.assignments.len(), 4);
+        assert_eq!(r.assignments[0], r.assignments[1]);
+        assert_eq!(r.assignments[0], r.assignments[2]);
+        assert_ne!(r.assignments[0], r.assignments[3]);
+        // Inertia counts every copy: all copies sit on their center (0) and
+        // the outlier is its own center, so inertia must be 0 here.
+        assert_eq!(r.inertia, 0.0);
+    }
+
+    #[test]
+    fn serial_and_parallel_clustering_agree() {
+        let graphs = corpus();
+        let mk = |par: Parallelism| {
+            let cfg = ClusterConfig {
+                parallelism: par,
+                ..Default::default()
+            };
+            cluster_dags(&graphs, &cfg)
+        };
+        let serial = mk(Parallelism::Serial);
+        for threads in [2, 4, 16] {
+            assert_eq!(
+                mk(Parallelism::Fixed(threads)),
+                serial,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_clustering_never_repeats_a_search() {
+        let graphs = corpus();
+        let mut cache = GedCache::new(Bound::LabelSet, 24);
+        let ids: Vec<StructId> = graphs.iter().map(|(v, s)| cache.intern(v, s)).collect();
+        let weights = vec![1.0; ids.len()];
+        let cfg = ClusterConfig::default();
+        let _ = cluster_dags_cached(&mut cache, &ids, &weights, &cfg);
+        let stats = cache.stats();
+        // Each canonical pair is searched at most once per threshold level:
+        // once at τ (similarity) and once at the cap (metric escalation).
+        let max_pairs = (ids.len() * (ids.len() - 1) / 2) as u64;
+        assert!(
+            stats.searches <= 2 * max_pairs,
+            "{} searches for {} canonical pairs — cache must dedup the sweep",
+            stats.searches,
+            max_pairs
+        );
+        assert!(stats.lookups > stats.searches, "cache must be hit");
     }
 }

@@ -11,4 +11,6 @@
 
 pub mod kmeans;
 
-pub use kmeans::{choose_k_elbow, cluster_dags, nearest_center, ClusterConfig, DagClustering};
+pub use kmeans::{
+    choose_k_elbow, cluster_dags, cluster_dags_cached, nearest_center, ClusterConfig, DagClustering,
+};

@@ -18,4 +18,5 @@ pub mod tune;
 
 pub use label::{bottleneck_labels, LabelConfig};
 pub use pretrain::{PretrainConfig, Pretrained, Pretrainer};
+pub use streamtune_ged::Parallelism;
 pub use tune::{ModelKind, StreamTune, TuneConfig};

@@ -12,11 +12,11 @@
 use crate::label::{bottleneck_labels, LabelConfig};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use streamtune_cluster::{cluster_dags, nearest_center, ClusterConfig};
+use streamtune_cluster::{cluster_dags_cached, nearest_center, ClusterConfig};
 use streamtune_dataflow::{Dataflow, FeatureEncoder, GraphSignature};
-use streamtune_ged::GraphView;
+use streamtune_ged::{parallel_map, Bound, GedCache, GraphView, Parallelism, StructId};
 use streamtune_model::TrainPoint;
-use streamtune_nn::{GnnConfig, GnnEncoder, GraphSample};
+use streamtune_nn::{GnnConfig, GnnEncoder, GraphSample, Tape};
 use streamtune_workloads::history::ExecutionRecord;
 
 /// Log-normalization constant for the per-operator input-rate feature that
@@ -54,6 +54,9 @@ pub struct PretrainConfig {
     pub min_warmup_points: usize,
     /// Initialization seed.
     pub seed: u64,
+    /// Worker threads for the independent per-cluster training loops (each
+    /// cluster has its own seeded RNG, so any thread count is bit-identical).
+    pub parallelism: Parallelism,
 }
 
 impl Default for PretrainConfig {
@@ -66,6 +69,7 @@ impl Default for PretrainConfig {
             min_structures_for_clustering: 6,
             min_warmup_points: 150,
             seed: 1234,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -160,34 +164,36 @@ impl Pretrainer {
     }
 
     /// Run the full offline phase on an execution-history corpus.
+    ///
+    /// Performance shape: distinct DAG structures are interned into one
+    /// corpus-level [`GedCache`] (duplicates collapse to a multiplicity
+    /// weight), the weighted GED k-means reuses that cache across its whole
+    /// elbow sweep, and the independent per-cluster GNN training loops fan
+    /// out over scoped worker threads. Every stage is bit-for-bit
+    /// deterministic under a fixed seed regardless of thread count.
     pub fn run(&self, records: &[ExecutionRecord]) -> Pretrained {
         assert!(!records.is_empty(), "empty execution history");
         let features = FeatureEncoder::default();
         let samples = self.samples(records, &features);
 
-        // Distinct DAG structures (many records share a structure).
-        let mut structures: Vec<(GraphView, GraphSignature)> = Vec::new();
-        let mut record_structure = Vec::with_capacity(records.len());
-        for r in records {
-            let view = GraphView::of(&r.flow);
-            let sig = GraphSignature::of(&r.flow);
-            let idx = structures
-                .iter()
-                .position(|(v, s)| *s == sig && *v == view)
-                .unwrap_or_else(|| {
-                    structures.push((view.clone(), sig.clone()));
-                    structures.len() - 1
-                });
-            record_structure.push(idx);
-        }
+        // Intern distinct DAG structures (many records share a structure).
+        let mut cache = GedCache::new(Bound::LabelSet, self.config.cluster.ged_cap);
+        let record_structure: Vec<StructId> = records
+            .iter()
+            .map(|r| cache.intern(&GraphView::of(&r.flow), &GraphSignature::of(&r.flow)))
+            .collect();
 
-        let use_clustering = structures.len() >= self.config.min_structures_for_clustering;
+        let use_clustering = cache.len() >= self.config.min_structures_for_clustering;
         let (memberships, centers): (Vec<usize>, Vec<GraphView>) = if use_clustering {
-            let clustering = cluster_dags(&structures, &self.config.cluster);
+            // Cluster the distinct structures, weighted by multiplicity.
+            let distinct: Vec<StructId> = (0..cache.len()).collect();
+            let weights = cache.multiplicities(&record_structure);
+            let clustering =
+                cluster_dags_cached(&mut cache, &distinct, &weights, &self.config.cluster);
             let centers = clustering
                 .centers
                 .iter()
-                .map(|&g| structures[g].0.clone())
+                .map(|&g| cache.graph(distinct[g]).clone())
                 .collect();
             (
                 record_structure
@@ -198,33 +204,58 @@ impl Pretrainer {
             )
         } else {
             // §VII fallback: one global cluster centered on the first DAG.
-            (vec![0; records.len()], vec![structures[0].0.clone()])
+            (vec![0; records.len()], vec![cache.graph(0).clone()])
         };
 
-        let k = centers.len();
-        let mut clusters = Vec::with_capacity(k);
-        for (c, center) in centers.into_iter().enumerate() {
-            let member_samples: Vec<GraphSample> = samples
-                .iter()
-                .zip(&memberships)
-                .filter(|&(_, &m)| m == c)
-                .map(|(s, _)| s.clone())
-                .collect();
-            let mut rng =
-                rand::rngs::StdRng::seed_from_u64(self.config.seed.wrapping_add(c as u64));
-            let mut encoder = GnnEncoder::new(self.config.gnn.clone(), &mut rng);
-            let mut final_loss = 0.0;
-            if !member_samples.is_empty() {
-                for _ in 0..self.config.epochs {
-                    final_loss = encoder.train_step(&member_samples);
-                }
+        // Per-cluster pre-training is embarrassingly parallel: every
+        // cluster has its own RNG seeded from (seed, cluster index), so the
+        // fan-out only partitions work and any thread count produces the
+        // same encoders and warm-up sets.
+        let cluster_indices: Vec<usize> = (0..centers.len()).collect();
+        let clusters = parallel_map(self.config.parallelism, &cluster_indices, |&c| {
+            self.train_cluster(c, &centers[c], &samples, &memberships, records)
+        });
+
+        Pretrained {
+            clusters,
+            global_fallback: !use_clustering,
+            features,
+            ged_cap: self.config.cluster.ged_cap,
+        }
+    }
+
+    /// Train one cluster's encoder and harvest its warm-up dataset.
+    fn train_cluster(
+        &self,
+        c: usize,
+        center: &GraphView,
+        samples: &[GraphSample],
+        memberships: &[usize],
+        records: &[ExecutionRecord],
+    ) -> ClusterModel {
+        let member_samples: Vec<GraphSample> = samples
+            .iter()
+            .zip(memberships)
+            .filter(|&(_, &m)| m == c)
+            .map(|(s, _)| s.clone())
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed.wrapping_add(c as u64));
+        let mut encoder = GnnEncoder::new(self.config.gnn.clone(), &mut rng);
+        let mut final_loss = 0.0;
+        if !member_samples.is_empty() {
+            for _ in 0..self.config.epochs {
+                final_loss = encoder.train_step(&member_samples);
             }
-            // Warm-up dataset: agnostic embeddings + input-rate feature +
-            // recorded (p, label). Sparse clusters are topped up with
-            // non-member samples embedded by this cluster's encoder.
-            let mut warmup = Vec::new();
-            let harvest = |s: &GraphSample, rates: &[f64], warmup: &mut Vec<TrainPoint>| {
-                let emb = encoder.embed_agnostic(s);
+        }
+        // Warm-up dataset: agnostic embeddings + input-rate feature +
+        // recorded (p, label). Sparse clusters are topped up with
+        // non-member samples embedded by this cluster's encoder. One tape
+        // is reused across all embeddings.
+        let mut warmup = Vec::new();
+        let mut tape = Tape::new();
+        let harvest =
+            |s: &GraphSample, rates: &[f64], tape: &mut Tape, warmup: &mut Vec<TrainPoint>| {
+                let emb = encoder.embed_agnostic_with(tape, s);
                 for (i, &l) in s.labels.iter().enumerate() {
                     if l < 0.0 {
                         continue;
@@ -238,52 +269,44 @@ impl Pretrainer {
                     });
                 }
             };
-            // Truthful rate per labeled operator: a 0-label taken during a
-            // backpressured run only certifies the operator at the
-            // *throttled* rate it actually received; a 1-label (and any
-            // label from a backpressure-free run) refers to the full
-            // demand rate.
-            let record_rates = |r: &ExecutionRecord| -> Vec<f64> {
-                r.observation
-                    .per_op
-                    .iter()
-                    .map(|o| {
-                        if r.observation.job_backpressure && !o.saturated {
-                            o.processed_rate
-                        } else {
-                            o.input_rate
-                        }
-                    })
-                    .collect()
-            };
-            for ((s, &m), r) in samples.iter().zip(&memberships).zip(records) {
-                if m == c {
-                    harvest(s, &record_rates(r), &mut warmup);
-                }
-            }
-            if warmup.len() < self.config.min_warmup_points {
-                for ((s, &m), r) in samples.iter().zip(&memberships).zip(records) {
-                    if m != c {
-                        harvest(s, &record_rates(r), &mut warmup);
+        // Truthful rate per labeled operator: a 0-label taken during a
+        // backpressured run only certifies the operator at the
+        // *throttled* rate it actually received; a 1-label (and any
+        // label from a backpressure-free run) refers to the full
+        // demand rate.
+        let record_rates = |r: &ExecutionRecord| -> Vec<f64> {
+            r.observation
+                .per_op
+                .iter()
+                .map(|o| {
+                    if r.observation.job_backpressure && !o.saturated {
+                        o.processed_rate
+                    } else {
+                        o.input_rate
                     }
-                    if warmup.len() >= self.config.min_warmup_points {
-                        break;
-                    }
-                }
+                })
+                .collect()
+        };
+        for ((s, &m), r) in samples.iter().zip(memberships).zip(records) {
+            if m == c {
+                harvest(s, &record_rates(r), &mut tape, &mut warmup);
             }
-            clusters.push(ClusterModel {
-                center,
-                encoder,
-                warmup,
-                final_loss,
-            });
         }
-
-        Pretrained {
-            clusters,
-            global_fallback: !use_clustering,
-            features,
-            ged_cap: self.config.cluster.ged_cap,
+        if warmup.len() < self.config.min_warmup_points {
+            for ((s, &m), r) in samples.iter().zip(memberships).zip(records) {
+                if m != c {
+                    harvest(s, &record_rates(r), &mut tape, &mut warmup);
+                }
+                if warmup.len() >= self.config.min_warmup_points {
+                    break;
+                }
+            }
+        }
+        ClusterModel {
+            center: center.clone(),
+            encoder,
+            warmup,
+            final_loss,
         }
     }
 }

@@ -1,0 +1,404 @@
+//! Corpus-level GED cache over interned DAG structures.
+//!
+//! The clustering pipeline evaluates the same graph pairs over and over:
+//! farthest-first seeding, every assignment step of every k-means
+//! iteration, the similarity-center update, and the whole elbow sweep
+//! (k = 1..k_max) repeat distances between the *same* corpus members. A\*
+//! GED is the single most expensive kernel in the offline phase, so
+//! [`GedCache`] interns each distinct structure once (structurally
+//! identical DAGs share an id) and memoizes every computed distance under
+//! the canonical (lower id, higher id) pair — GED is symmetric.
+//!
+//! Searches are pruned at the weakest threshold that answers the query:
+//! similarity queries ([`GedCache::within`]) run A\* only up to their own
+//! `tau`, metric queries ([`GedCache::dist`]) up to the cache's `cap`
+//! (capped at `cap + 1`). Partial knowledge is kept — a failed
+//! threshold-`tau` search still proves `d ≥ tau + 1` — and escalated only
+//! when a later query actually needs more. A signature-based lower bound
+//! ([`GraphSignature::ged_lower_bound`]) rejects far pairs before any A\*
+//! runs — the filtering-and-verification pattern of the similarity-search
+//! literature the paper builds on.
+//!
+//! [`GedCache::ensure_dists`] back-fills missing pairs with scoped worker
+//! threads; each pair is an independent pure computation, so the fill is
+//! deterministic for every thread count.
+
+use crate::astar::{ged_with, Bound};
+use crate::par::{parallel_map, Parallelism};
+use crate::view::GraphView;
+use std::collections::HashMap;
+use streamtune_dataflow::GraphSignature;
+
+/// Interned id of a distinct DAG structure within a [`GedCache`].
+pub type StructId = usize;
+
+/// Cache statistics (for benches and regression tracking).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GedCacheStats {
+    /// Distance queries answered (including cache hits).
+    pub lookups: u64,
+    /// A\* searches actually run (cache misses).
+    pub searches: u64,
+    /// Queries rejected by the signature lower bound without any search.
+    pub filtered: u64,
+}
+
+/// What the cache knows about a pair's distance. Similarity queries run
+/// A\* only up to their own threshold, so knowledge is often one-sided:
+/// a failed threshold-τ search still proves `d ≥ τ + 1`, which answers
+/// every later query with a threshold below that for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Entry {
+    /// The exact distance.
+    Exact(usize),
+    /// Only a lower bound is known: `d ≥ min`.
+    AtLeast(usize),
+}
+
+/// Shared, growable GED oracle over an interned corpus of DAG structures.
+#[derive(Debug, Clone)]
+pub struct GedCache {
+    bound: Bound,
+    cap: usize,
+    graphs: Vec<(GraphView, GraphSignature)>,
+    by_sig: HashMap<GraphSignature, Vec<StructId>>,
+    dists: HashMap<(StructId, StructId), Entry>,
+    stats: GedCacheStats,
+}
+
+impl GedCache {
+    /// New cache computing distances with `bound`, capped at `cap`
+    /// (distances above `cap` are stored as `cap + 1`).
+    pub fn new(bound: Bound, cap: usize) -> Self {
+        GedCache {
+            bound,
+            cap,
+            graphs: Vec::new(),
+            by_sig: HashMap::new(),
+            dists: HashMap::new(),
+            stats: GedCacheStats::default(),
+        }
+    }
+
+    /// The distance cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Intern a structure: structurally identical graphs (same signature
+    /// *and* same view) share one id, so duplicate corpus entries cost one
+    /// GED evaluation total, not one per occurrence.
+    pub fn intern(&mut self, view: &GraphView, sig: &GraphSignature) -> StructId {
+        if let Some(cands) = self.by_sig.get(sig) {
+            for &i in cands {
+                if self.graphs[i].0 == *view {
+                    return i;
+                }
+            }
+        }
+        let id = self.graphs.len();
+        self.graphs.push((view.clone(), sig.clone()));
+        self.by_sig.entry(sig.clone()).or_default().push(id);
+        id
+    }
+
+    /// Number of distinct interned structures.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The interned structure for `id`.
+    pub fn graph(&self, id: StructId) -> &GraphView {
+        &self.graphs[id].0
+    }
+
+    /// The signature for `id`.
+    pub fn signature(&self, id: StructId) -> &GraphSignature {
+        &self.graphs[id].1
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> GedCacheStats {
+        self.stats
+    }
+
+    /// Multiplicity of every interned structure across an id sequence
+    /// (e.g. one entry per corpus record): `multiplicities(ids)[s]` is how
+    /// many entries of `ids` equal `s`. Indexed by [`StructId`], length
+    /// [`GedCache::len`] — the weight vector for weighted clustering.
+    pub fn multiplicities(&self, ids: &[StructId]) -> Vec<f64> {
+        let mut weights = vec![0.0f64; self.graphs.len()];
+        for &s in ids {
+            weights[s] += 1.0;
+        }
+        weights
+    }
+
+    /// Signature-based GED lower bound between two interned structures.
+    pub fn lower_bound(&self, a: StructId, b: StructId) -> usize {
+        self.graphs[a].1.ged_lower_bound(&self.graphs[b].1)
+    }
+
+    /// Capped GED between interned structures: exact when `≤ cap`, and
+    /// `cap + 1` ("far") otherwise. Memoized under the canonical pair.
+    pub fn dist(&mut self, a: StructId, b: StructId) -> usize {
+        self.stats.lookups += 1;
+        if a == b {
+            return 0;
+        }
+        let key = (a.min(b), a.max(b));
+        match self.dists.get(&key) {
+            Some(&Entry::Exact(d)) => return d,
+            Some(&Entry::AtLeast(min)) if min > self.cap => return self.cap + 1,
+            _ => {}
+        }
+        let lb = self.lower_bound(a, b);
+        if lb > self.cap {
+            self.stats.filtered += 1;
+            self.dists.insert(key, Entry::AtLeast(lb));
+            return self.cap + 1;
+        }
+        self.stats.searches += 1;
+        let entry = search_entry(&self.graphs, self.bound, key, self.cap);
+        self.dists.insert(key, entry);
+        match entry {
+            Entry::Exact(d) => d,
+            Entry::AtLeast(_) => self.cap + 1,
+        }
+    }
+
+    /// Is `ged(a, b) ≤ tau`? The search is pruned at `tau` itself — far
+    /// pairs abort early, and the surviving lower bound (`d ≥ tau + 1`) is
+    /// cached for every later query. The signature lower bound rejects
+    /// hopeless pairs without any search. `tau` may exceed the cap: the cap
+    /// bounds metric ([`GedCache::dist`]) queries, not similarity ones.
+    pub fn within(&mut self, a: StructId, b: StructId, tau: usize) -> bool {
+        self.stats.lookups += 1;
+        if a == b {
+            return true;
+        }
+        let key = (a.min(b), a.max(b));
+        match self.dists.get(&key) {
+            Some(&Entry::Exact(d)) => return d <= tau,
+            Some(&Entry::AtLeast(min)) if min > tau => return false,
+            _ => {}
+        }
+        let lb = self.lower_bound(a, b);
+        if lb > tau {
+            // Memoize the rejection: the signature bound is O(n) per query,
+            // and similarity sweeps re-ask the same far pairs constantly.
+            self.stats.filtered += 1;
+            self.dists.insert(key, Entry::AtLeast(lb));
+            return false;
+        }
+        self.stats.searches += 1;
+        let entry = search_entry(&self.graphs, self.bound, key, tau);
+        self.dists.insert(key, entry);
+        matches!(entry, Entry::Exact(d) if d <= tau)
+    }
+
+    /// True when the pair's entry already answers a threshold-`tau` query.
+    fn knows_within(&self, key: (StructId, StructId), tau: usize) -> bool {
+        match self.dists.get(&key) {
+            Some(&Entry::Exact(_)) => true,
+            Some(&Entry::AtLeast(min)) => min > tau,
+            None => false,
+        }
+    }
+
+    /// Compute (in parallel) and memoize every distance in `pairs` that is
+    /// not yet resolved up to `threshold` (pass [`GedCache::cap`] for full
+    /// metric precision). Each pair is an independent pure A\* run, so the
+    /// result set is identical for every thread count; only wall-clock
+    /// changes.
+    pub fn ensure_dists(
+        &mut self,
+        pairs: &[(StructId, StructId)],
+        threshold: usize,
+        par: Parallelism,
+    ) {
+        let mut missing: Vec<(StructId, StructId)> = pairs
+            .iter()
+            .filter(|&&(a, b)| a != b)
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .filter(|&key| {
+                !self.knows_within(key, threshold) && self.lower_bound(key.0, key.1) <= threshold
+            })
+            .collect();
+        missing.sort_unstable();
+        missing.dedup();
+        if missing.is_empty() {
+            return;
+        }
+        let graphs = &self.graphs;
+        let bound = self.bound;
+        let computed = parallel_map(par, &missing, |&key| {
+            search_entry(graphs, bound, key, threshold)
+        });
+        self.stats.searches += missing.len() as u64;
+        for (key, entry) in missing.into_iter().zip(computed) {
+            self.dists.insert(key, entry);
+        }
+    }
+}
+
+/// One threshold-pruned A\* run lowered to a cache entry.
+fn search_entry(
+    graphs: &[(GraphView, GraphSignature)],
+    bound: Bound,
+    key: (StructId, StructId),
+    threshold: usize,
+) -> Entry {
+    match ged_with(&graphs[key.0].0, &graphs[key.1].0, bound, threshold) {
+        crate::astar::GedOutcome::Exact(d) => Entry::Exact(d),
+        crate::astar::GedOutcome::ExceedsThreshold(t) => Entry::AtLeast(t + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamtune_dataflow::OperatorKind::{self, *};
+
+    fn chain(labels: &[OperatorKind]) -> (GraphView, GraphSignature) {
+        let edges: Vec<(usize, usize)> = (0..labels.len().saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
+        let view = GraphView::new(labels.to_vec(), edges.clone());
+        let mut kinds = labels.to_vec();
+        kinds.sort();
+        let mut degrees: Vec<(u8, u8)> = (0..labels.len())
+            .map(|i| (u8::from(i > 0), u8::from(i + 1 < labels.len())))
+            .collect();
+        degrees.sort();
+        let mut edge_kinds: Vec<_> = edges.iter().map(|&(a, b)| (labels[a], labels[b])).collect();
+        edge_kinds.sort();
+        let sig = GraphSignature {
+            num_ops: labels.len(),
+            num_edges: edges.len(),
+            kinds,
+            degrees,
+            edge_kinds,
+        };
+        (view, sig)
+    }
+
+    #[test]
+    fn intern_dedups_identical_structures() {
+        let mut cache = GedCache::new(Bound::LabelSet, 10);
+        let (v1, s1) = chain(&[Filter, Map, Sink]);
+        let (v2, s2) = chain(&[Filter, Map, Sink]);
+        let (v3, s3) = chain(&[Filter, FlatMap, Sink]);
+        let a = cache.intern(&v1, &s1);
+        let b = cache.intern(&v2, &s2);
+        let c = cache.intern(&v3, &s3);
+        assert_eq!(a, b, "identical structures share an id");
+        assert_ne!(a, c);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn dist_is_cached_and_symmetric() {
+        let mut cache = GedCache::new(Bound::LabelSet, 10);
+        let (v1, s1) = chain(&[Filter, Map, Sink]);
+        let (v2, s2) = chain(&[Filter, FlatMap, Sink]);
+        let a = cache.intern(&v1, &s1);
+        let b = cache.intern(&v2, &s2);
+        assert_eq!(cache.dist(a, b), 1);
+        assert_eq!(cache.dist(b, a), 1);
+        assert_eq!(cache.dist(a, a), 0);
+        let stats = cache.stats();
+        assert_eq!(stats.searches, 1, "second query must hit the cache");
+    }
+
+    #[test]
+    fn within_uses_signature_filter() {
+        let mut cache = GedCache::new(Bound::LabelSet, 20);
+        let (v1, s1) = chain(&[Filter, Map, Sink]);
+        let (v2, s2) = chain(&[WindowJoin, Aggregate, KeyBy, FlatMap, Map, Sink]);
+        let a = cache.intern(&v1, &s1);
+        let b = cache.intern(&v2, &s2);
+        assert!(!cache.within(a, b, 1));
+        assert_eq!(cache.stats().searches, 0, "lower bound must reject first");
+        assert_eq!(cache.stats().filtered, 1);
+        assert!(cache.within(a, a, 0));
+    }
+
+    #[test]
+    fn within_agrees_with_dist() {
+        let mut cache = GedCache::new(Bound::LabelSet, 20);
+        let graphs = [
+            chain(&[Filter, Map, Sink]),
+            chain(&[Filter, FlatMap, Sink]),
+            chain(&[Filter, Map, Map, Sink]),
+            chain(&[WindowJoin, Aggregate, KeyBy, Map, Sink]),
+        ];
+        let ids: Vec<StructId> = graphs.iter().map(|(v, s)| cache.intern(v, s)).collect();
+        for &a in &ids {
+            for &b in &ids {
+                for tau in 0..6 {
+                    assert_eq!(
+                        cache.within(a, b, tau),
+                        cache.dist(a, b) <= tau,
+                        "a={a} b={b} tau={tau}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn within_works_above_the_cap() {
+        // τ above the cap is valid: the cap bounds metric queries only.
+        let mut cache = GedCache::new(Bound::LabelSet, 2);
+        let (v1, s1) = chain(&[Filter, Map, Sink]);
+        let (v2, s2) = chain(&[WindowJoin, Aggregate, KeyBy, FlatMap, Map, Sink]);
+        let a = cache.intern(&v1, &s1);
+        let b = cache.intern(&v2, &s2);
+        assert_eq!(cache.dist(a, b), 3, "metric query capped at cap + 1");
+        assert!(cache.within(a, b, 30), "exact distance is below 30");
+        assert!(!cache.within(a, b, 4));
+    }
+
+    #[test]
+    fn ensure_dists_parallel_matches_serial() {
+        let graphs = [
+            chain(&[Filter, Map, Sink]),
+            chain(&[Filter, FlatMap, Sink]),
+            chain(&[Filter, Map, Map, Sink]),
+            chain(&[WindowJoin, Aggregate, KeyBy, Map, Sink]),
+            chain(&[Map, Sink]),
+        ];
+        let mut all_pairs = Vec::new();
+        for a in 0..graphs.len() {
+            for b in 0..graphs.len() {
+                all_pairs.push((a, b));
+            }
+        }
+        let fill = |par: Parallelism| {
+            let mut cache = GedCache::new(Bound::LabelSet, 15);
+            for (v, s) in &graphs {
+                cache.intern(v, s);
+            }
+            cache.ensure_dists(&all_pairs, 15, par);
+            let mut dists = Vec::new();
+            for a in 0..graphs.len() {
+                for b in 0..graphs.len() {
+                    dists.push(cache.dist(a, b));
+                }
+            }
+            (dists, cache.stats().searches)
+        };
+        let (serial, serial_searches) = fill(Parallelism::Serial);
+        let (parallel, parallel_searches) = fill(Parallelism::Fixed(4));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_searches, parallel_searches);
+        // n·(n-1)/2 canonical pairs, each searched exactly once.
+        assert_eq!(serial_searches, 10);
+    }
+}

@@ -15,13 +15,21 @@
 //!   tight per-state lower bounds and threshold pruning.
 //!
 //! On top sit the graph-similarity-search primitives the clustering needs:
-//! [`similarity_search`] (Def. 1) and [`similarity_center`] (Def. 2).
+//! [`similarity_search`] (Def. 1) and [`similarity_center`] (Def. 2) — plus
+//! the performance layer: [`GedCache`], a corpus-level memo of capped
+//! distances over interned structures, and [`Parallelism`]/[`parallel_map`],
+//! the deterministic scoped-thread fan-out used by the clustering and
+//! pre-training stages.
 
 pub mod astar;
+pub mod cache;
+pub mod par;
 pub mod search;
 pub mod view;
 
 pub use astar::{ged_exact, ged_lsa, ged_with, Bound, GedOutcome};
+pub use cache::{GedCache, GedCacheStats, StructId};
+pub use par::{parallel_map, Parallelism};
 pub use search::{similarity_center, similarity_search, SimilarityCenter};
 pub use view::GraphView;
 

@@ -1,0 +1,120 @@
+//! Worker-thread parallelism for embarrassingly-parallel stages.
+//!
+//! The workspace is offline and dependency-free, so fan-out uses
+//! [`std::thread::scope`] directly. Determinism contract: parallelism only
+//! *partitions* work — every item is computed by exactly one worker with a
+//! pure function, and results are stitched back in input order, so any
+//! thread count (including 1) produces bit-identical output.
+//!
+//! Not to be confused with operator parallelism degrees
+//! (`ParallelismAssignment` in `streamtune-dataflow`): this knob controls
+//! how many *OS threads* the tuner's own algorithms use.
+
+use serde::{Deserialize, Serialize};
+
+/// How many worker threads a parallel stage may use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// One thread per available core ([`std::thread::available_parallelism`]).
+    #[default]
+    Auto,
+    /// Single-threaded (the reference path for parity tests).
+    Serial,
+    /// Exactly `n` threads (clamped to ≥ 1).
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// Resolved thread count, ≥ 1.
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            Parallelism::Serial => 1,
+            Parallelism::Fixed(n) => n.max(1),
+        }
+    }
+}
+
+/// Map `f` over `items`, fanning out across contiguous chunks with scoped
+/// threads. Results come back in input order; with one thread (or fewer
+/// than two items) this is a plain serial map, so serial and parallel runs
+/// are bit-identical.
+pub fn parallel_map<T, R, F>(par: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = par.threads().min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest: &mut [Option<R>] = &mut out;
+        let mut offset = 0;
+        let mut handles = Vec::new();
+        while offset < items.len() {
+            let take = chunk.min(items.len() - offset);
+            let (slot, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let chunk_items = &items[offset..offset + take];
+            handles.push(scope.spawn(move || {
+                for (s, item) in slot.iter_mut().zip(chunk_items) {
+                    *s = Some(f(item));
+                }
+            }));
+            offset += take;
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_resolve_to_at_least_one() {
+        assert_eq!(Parallelism::Serial.threads(), 1);
+        assert_eq!(Parallelism::Fixed(0).threads(), 1);
+        assert_eq!(Parallelism::Fixed(7).threads(), 7);
+        assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_values() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial = parallel_map(Parallelism::Serial, &items, |&x| x * x + 1);
+        for threads in [2, 3, 8, 64] {
+            let par = parallel_map(Parallelism::Fixed(threads), &items, |&x| x * x + 1);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_edge_sizes() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(Parallelism::Fixed(4), &empty, |&x| x).is_empty());
+        assert_eq!(
+            parallel_map(Parallelism::Fixed(4), &[5u32], |&x| x * 2),
+            vec![10]
+        );
+        // More threads than items.
+        let two: Vec<u32> = vec![1, 2];
+        assert_eq!(
+            parallel_map(Parallelism::Fixed(16), &two, |&x| x + 1),
+            vec![2, 3]
+        );
+    }
+}

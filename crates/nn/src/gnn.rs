@@ -19,9 +19,11 @@
 use crate::matrix::Matrix;
 use crate::mlp::{Activation, Mlp};
 use crate::optim::{AdamConfig, Bindings, ParamId, ParamSet};
+use crate::sparse::CsrAdj;
 use crate::tape::{Tape, Var};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::rc::Rc;
 use streamtune_dataflow::{Dataflow, FeatureEncoder};
 
 /// Parallelism degrees are normalized by this constant before entering the
@@ -29,6 +31,11 @@ use streamtune_dataflow::{Dataflow, FeatureEncoder};
 pub const PARALLELISM_NORM: f64 = 100.0;
 
 /// One training/inference sample: a dataflow DAG lowered to matrices.
+///
+/// The adjacency is carried twice: dense `n × n` matrices (the reference
+/// path, used by the parity tests and the Fig. 11-style ablations) and CSR
+/// sparse forms (`csr_in`/`csr_out`, the production message-passing path —
+/// DAGs have `O(n)` edges, so `spmm` beats the dense matmul by `n / degree`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GraphSample {
     /// Node features, `n × FEATURE_DIM`.
@@ -37,6 +44,10 @@ pub struct GraphSample {
     pub a_in: Matrix,
     /// Row-normalized out-neighbour adjacency, `n × n`.
     pub a_out: Matrix,
+    /// CSR form of [`GraphSample::a_in`] (sparse message-passing path).
+    pub csr_in: CsrAdj,
+    /// CSR form of [`GraphSample::a_out`].
+    pub csr_out: CsrAdj,
     /// Per-node parallelism degrees (raw, ≥ 1). Used when training with the
     /// parallelism-aware path.
     pub parallelism: Vec<u32>,
@@ -57,10 +68,14 @@ impl GraphSample {
         let rows = encoder.encode_dataflow(flow);
         let features = Matrix::from_rows(&rows);
         let (a_in, a_out) = adjacency_matrices(flow);
+        let csr_in = CsrAdj::from_dense(&a_in);
+        let csr_out = CsrAdj::from_dense(&a_out);
         GraphSample {
             features,
             a_in,
             a_out,
+            csr_in,
+            csr_out,
             parallelism: parallelism.to_vec(),
             labels: labels.to_vec(),
         }
@@ -140,6 +155,10 @@ pub struct GnnConfig {
     pub message_passing_steps: usize,
     /// Adam settings for pre-training.
     pub adam: AdamConfig,
+    /// Aggregate neighbour messages with dense `n × n` matmuls instead of
+    /// CSR `spmm`. The two paths are bit-identical; dense exists for parity
+    /// tests and ablation. Default: `false` (sparse).
+    pub dense_messages: bool,
 }
 
 impl Default for GnnConfig {
@@ -149,6 +168,7 @@ impl Default for GnnConfig {
             hidden_dim: 32,
             message_passing_steps: 3,
             adam: AdamConfig::default(),
+            dense_messages: false,
         }
     }
 }
@@ -233,14 +253,25 @@ impl GnnEncoder {
         sample: &GraphSample,
         with_parallelism: bool,
     ) -> Var {
-        let x = tape.leaf(sample.features.clone());
-        let a_in = tape.leaf(sample.a_in.clone());
-        let a_out = tape.leaf(sample.a_out.clone());
+        let x = tape.leaf_copy(&sample.features);
+        // Dense path binds the adjacencies as constant leaves; the sparse
+        // path hands CSR constants straight to `spmm` (no n×n tape nodes).
+        let dense_adj = if self.config.dense_messages {
+            Some((tape.leaf_copy(&sample.a_in), tape.leaf_copy(&sample.a_out)))
+        } else {
+            None
+        };
+        let sparse_adj = if self.config.dense_messages {
+            None
+        } else {
+            Some((
+                Rc::new(sample.csr_in.clone()),
+                Rc::new(sample.csr_out.clone()),
+            ))
+        };
         let pw = self.params.bind(self.input_proj_w, tape, bindings);
         let pb = self.params.bind(self.input_proj_b, tape, bindings);
-        let xw = tape.matmul(x, pw);
-        let xz = tape.add_bias(xw, pb);
-        let mut h = tape.relu(xz);
+        let mut h = tape.linear_bias_relu(x, pw, pb);
         let p_col = if with_parallelism {
             Some(tape.leaf(sample.parallelism_column()))
         } else {
@@ -252,35 +283,42 @@ impl GnnEncoder {
             let w_out = self.params.bind(layer.w_out, tape, bindings);
             let b = self.params.bind(layer.b, tape, bindings);
             let own = tape.matmul(h, w_self);
-            let agg_in = tape.matmul(a_in, h);
-            let agg_in = tape.matmul(agg_in, w_in);
-            let agg_out = tape.matmul(a_out, h);
-            let agg_out = tape.matmul(agg_out, w_out);
+            let (msg_in, msg_out) = match (&dense_adj, &sparse_adj) {
+                (Some((a_in, a_out)), _) => (tape.matmul(*a_in, h), tape.matmul(*a_out, h)),
+                (None, Some((c_in, c_out))) => (
+                    tape.spmm(Rc::clone(c_in), h),
+                    tape.spmm(Rc::clone(c_out), h),
+                ),
+                (None, None) => unreachable!("one adjacency form is always set"),
+            };
+            let agg_in = tape.matmul(msg_in, w_in);
+            let agg_out = tape.matmul(msg_out, w_out);
             let s1 = tape.add(own, agg_in);
             let s2 = tape.add(s1, agg_out);
-            let z = tape.add_bias(s2, b);
-            h = tape.relu(z);
+            h = tape.add_bias_relu(s2, b);
             if let Some(p) = p_col {
                 // FUSE (Eq. 3): integrate parallelism, keep dimensionality.
                 let wf = self.params.bind(layer.w_fuse, tape, bindings);
                 let bf = self.params.bind(layer.b_fuse, tape, bindings);
                 let cat = tape.concat_cols(h, p);
-                let fz = tape.matmul(cat, wf);
-                let fz = tape.add_bias(fz, bf);
-                h = tape.relu(fz);
+                h = tape.linear_bias_relu(cat, wf, bf);
             }
         }
         h
     }
 
     /// One supervised pre-training step on a batch of graphs; returns the
-    /// mean BCE loss over labeled operators (paper's `L_total`).
+    /// mean BCE loss over labeled operators (paper's `L_total`). The tape
+    /// and its buffers are reused across the whole batch.
     pub fn train_step(&mut self, batch: &[GraphSample]) -> f64 {
         assert!(!batch.is_empty());
         let mut total_loss = 0.0;
+        let mut tape = Tape::new();
+        let mut bindings = Bindings::new();
+        let adam = self.config.adam.clone();
         for sample in batch {
-            let mut tape = Tape::new();
-            let mut bindings = Bindings::new();
+            tape.reset();
+            bindings.clear();
             let h = self.forward(&mut tape, &mut bindings, sample, true);
             let pred = self.head.forward(&self.params, &mut tape, &mut bindings, h);
             let (loss, grad) = Tape::bce_grad(
@@ -289,8 +327,7 @@ impl GnnEncoder {
                 &sample.label_mask(),
             );
             tape.backward_from(pred, grad);
-            self.params
-                .adam_step(&tape, &bindings, &self.config.adam.clone());
+            self.params.adam_step(&tape, &bindings, &adam);
             total_loss += loss;
         }
         total_loss / batch.len() as f64
@@ -300,9 +337,17 @@ impl GnnEncoder {
     /// (Algorithm 2 line 7: `h_v` via `enc_c(G)`).
     pub fn embed_agnostic(&self, sample: &GraphSample) -> Matrix {
         let mut tape = Tape::new();
+        self.embed_agnostic_with(&mut tape, sample).clone()
+    }
+
+    /// [`GnnEncoder::embed_agnostic`] reusing a caller-provided tape: the
+    /// tape is reset and the embedding is borrowed from it, so batch
+    /// embedding loops allocate nothing after the first call.
+    pub fn embed_agnostic_with<'t>(&self, tape: &'t mut Tape, sample: &GraphSample) -> &'t Matrix {
+        tape.reset();
         let mut bindings = Bindings::new();
-        let h = self.forward(&mut tape, &mut bindings, sample, false);
-        tape.value(h).clone()
+        let h = self.forward(tape, &mut bindings, sample, false);
+        tape.value(h)
     }
 
     /// Parallelism-aware embeddings (pre-training path).
@@ -456,6 +501,43 @@ mod tests {
         let all_unlabeled = sample(100.0, &[1, 1, 1], &[-1.0, -1.0, -1.0]);
         let loss = enc.evaluate(&[all_unlabeled]);
         assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    fn dense_and_sparse_message_passing_are_bit_identical() {
+        // Same seed → same initial weights; the two adjacency forms must
+        // produce the same embeddings, predictions and training trajectory.
+        let mk = |dense: bool| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+            GnnEncoder::new(
+                GnnConfig {
+                    dense_messages: dense,
+                    hidden_dim: 16,
+                    message_passing_steps: 2,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+        };
+        let mut dense = mk(true);
+        let mut sparse = mk(false);
+        let batch = vec![
+            sample(1000.0, &[1, 2, 3], &[1.0, 0.0, -1.0]),
+            sample(500.0, &[10, 20, 30], &[0.0, 1.0, 0.0]),
+        ];
+        for s in &batch {
+            assert_eq!(dense.embed_agnostic(s), sparse.embed_agnostic(s));
+            assert_eq!(dense.embed_aware(s), sparse.embed_aware(s));
+            assert_eq!(dense.predict_bottleneck(s), sparse.predict_bottleneck(s));
+        }
+        for _ in 0..5 {
+            let ld = dense.train_step(&batch);
+            let ls = sparse.train_step(&batch);
+            assert_eq!(ld, ls, "training losses must match exactly");
+        }
+        for s in &batch {
+            assert_eq!(dense.predict_bottleneck(s), sparse.predict_bottleneck(s));
+        }
     }
 
     #[test]

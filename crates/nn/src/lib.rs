@@ -2,19 +2,24 @@
 //!
 //! The paper's models are small: a message-passing GNN over DAGs of ≤ 20
 //! nodes, two-layer MLP heads, and lightweight online classifiers. This
-//! crate provides exactly that — a dense [`matrix::Matrix`], a tape-based
-//! reverse-mode autodiff ([`tape::Tape`]), Adam/SGD ([`optim`]), MLPs
-//! ([`mlp`]), and the dataflow GNN encoder with the parallelism FUSE update
-//! ([`gnn`], paper Eq. 1–3) — with no external ML dependencies.
+//! crate provides exactly that — a dense [`matrix::Matrix`] with in-place
+//! (`*_into`, `axpy`) and fused (linear+bias+ReLU) kernels, a CSR sparse
+//! adjacency for message passing ([`sparse::CsrAdj`]), a tape-based
+//! reverse-mode autodiff with pooled buffer reuse ([`tape::Tape`]),
+//! Adam/SGD ([`optim`]), MLPs ([`mlp`]), and the dataflow GNN encoder with
+//! the parallelism FUSE update ([`gnn`], paper Eq. 1–3) — with no external
+//! ML dependencies.
 
 pub mod gnn;
 pub mod matrix;
 pub mod mlp;
 pub mod optim;
+pub mod sparse;
 pub mod tape;
 
 pub use gnn::{adjacency_matrices, GnnConfig, GnnEncoder, GraphSample, PARALLELISM_NORM};
 pub use matrix::Matrix;
 pub use mlp::{Activation, DenseLayer, Mlp};
 pub use optim::{AdamConfig, Bindings, ParamId, ParamSet};
+pub use sparse::CsrAdj;
 pub use tape::{Tape, Var};

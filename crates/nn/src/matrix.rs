@@ -4,7 +4,7 @@ use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
 
 /// A dense `rows × cols` matrix of `f64`, row-major.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -113,8 +113,55 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Rebuild a matrix from a recycled buffer: the buffer is cleared,
+    /// resized to `rows × cols` and zero-filled, reusing its allocation.
+    pub fn from_buffer(rows: usize, cols: usize, mut buf: Vec<f64>) -> Self {
+        buf.clear();
+        buf.resize(rows * cols, 0.0);
+        Matrix {
+            rows,
+            cols,
+            data: buf,
+        }
+    }
+
+    /// Consume the matrix, returning its backing buffer for reuse.
+    pub fn into_buffer(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Reshape in place to `rows × cols`, zero-filling (allocation is kept
+    /// whenever the new size fits).
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Zero every element, keeping the shape and allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Copy `other` into `self`, reshaping as needed (allocation reused).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Matrix product `self × other`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product `self × other` written into `out` (which is reshaped
+    /// and overwritten; its allocation is reused).
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             other.rows,
@@ -122,7 +169,7 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reset(self.rows, other.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
@@ -136,7 +183,87 @@ impl Matrix {
                 }
             }
         }
-        out
+    }
+
+    /// `self × otherᵀ` written into `out` — the `∂L/∂A` kernel of a matmul
+    /// backward pass, without materializing the transpose.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            other.cols,
+            "matmul_nt shape mismatch: {:?} × {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        out.reset(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let crow = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            for (j, c) in crow.iter_mut().enumerate() {
+                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
+                let mut acc = 0.0;
+                for (a, b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                *c = acc;
+            }
+        }
+    }
+
+    /// `selfᵀ × other` written into `out` — the `∂L/∂B` kernel of a matmul
+    /// backward pass, without materializing the transpose.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows,
+            other.rows,
+            "matmul_tn shape mismatch: {:?}ᵀ × {:?}",
+            self.shape(),
+            other.shape()
+        );
+        out.reset(self.cols, other.cols);
+        for i in 0..self.rows {
+            let orow = &other.data[i * other.cols..(i + 1) * other.cols];
+            for j in 0..self.cols {
+                let a = self.data[i * self.cols + j];
+                if a == 0.0 {
+                    continue;
+                }
+                let crow = &mut out.data[j * other.cols..(j + 1) * other.cols];
+                for (c, &o) in crow.iter_mut().zip(orow) {
+                    *c += a * o;
+                }
+            }
+        }
+    }
+
+    /// `self += alpha · other` (BLAS `axpy`), elementwise in place.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self += other`, elementwise in place.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Fused `relu(x × w + bias)` written into `out` — one pass over the
+    /// output instead of three tape nodes (matmul, bias broadcast, ReLU).
+    pub fn linear_bias_relu_into(x: &Matrix, w: &Matrix, bias: &Matrix, out: &mut Matrix) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, w.cols, "bias/weight width mismatch");
+        x.matmul_into(w, out);
+        for r in 0..out.rows {
+            let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
+            for (o, &b) in row.iter_mut().zip(&bias.data) {
+                *o = (*o + b).max(0.0);
+            }
+        }
     }
 
     /// Transpose.
@@ -334,5 +461,60 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut out = Matrix::zeros(5, 7); // wrong shape on purpose
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_nt_tn_match_explicit_transposes() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.0, 0.5, 4.0, -1.0]);
+        let b = Matrix::from_vec(
+            4,
+            3,
+            vec![2.0, 1.0, 0.0, -1.0, 3.0, 2.0, 0.5, 0.0, 1.0, 2.0, -2.0, 1.0],
+        );
+        let mut nt = Matrix::default();
+        a.matmul_nt_into(&b, &mut nt);
+        assert_eq!(nt, a.matmul(&b.transpose()));
+        let c = Matrix::from_vec(2, 4, vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 2.0]);
+        let mut tn = Matrix::default();
+        a.matmul_tn_into(&c, &mut tn);
+        assert_eq!(tn, a.transpose().matmul(&c));
+    }
+
+    #[test]
+    fn axpy_and_add_assign() {
+        let mut y = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let x = Matrix::from_vec(1, 3, vec![10.0, 20.0, 30.0]);
+        y.axpy(0.5, &x);
+        assert_eq!(y, Matrix::from_vec(1, 3, vec![6.0, 12.0, 18.0]));
+        y.add_assign(&x);
+        assert_eq!(y, Matrix::from_vec(1, 3, vec![16.0, 32.0, 48.0]));
+    }
+
+    #[test]
+    fn fused_linear_bias_relu_matches_composed_ops() {
+        let x = Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 1.0, 0.0, -0.5]);
+        let w = Matrix::from_vec(3, 2, vec![1.0, -1.0, 0.5, 2.0, -2.0, 1.0]);
+        let b = Matrix::row_vector(&[0.1, -0.2]);
+        let mut fused = Matrix::default();
+        Matrix::linear_bias_relu_into(&x, &w, &b, &mut fused);
+        let reference = x.matmul(&w).add_row_broadcast(&b).map(|v| v.max(0.0));
+        assert_eq!(fused, reference);
+    }
+
+    #[test]
+    fn buffer_roundtrip_preserves_capacity_semantics() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let buf = m.into_buffer();
+        let z = Matrix::from_buffer(3, 1, buf);
+        assert_eq!(z, Matrix::zeros(3, 1));
     }
 }

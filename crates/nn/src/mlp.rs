@@ -44,7 +44,8 @@ impl DenseLayer {
         DenseLayer { w, b, activation }
     }
 
-    /// Forward through the tape (training path).
+    /// Forward through the tape (training path). ReLU layers take the fused
+    /// linear+bias+ReLU kernel — one tape node instead of three.
     pub fn forward(
         &self,
         params: &ParamSet,
@@ -54,13 +55,22 @@ impl DenseLayer {
     ) -> Var {
         let w = params.bind(self.w, tape, bindings);
         let b = params.bind(self.b, tape, bindings);
-        let xw = tape.matmul(x, w);
-        let z = tape.add_bias(xw, b);
         match self.activation {
-            Activation::Relu => tape.relu(z),
-            Activation::Sigmoid => tape.sigmoid(z),
-            Activation::Tanh => tape.tanh(z),
-            Activation::Linear => z,
+            Activation::Relu => tape.linear_bias_relu(x, w, b),
+            Activation::Sigmoid => {
+                let xw = tape.matmul(x, w);
+                let z = tape.add_bias(xw, b);
+                tape.sigmoid(z)
+            }
+            Activation::Tanh => {
+                let xw = tape.matmul(x, w);
+                let z = tape.add_bias(xw, b);
+                tape.tanh(z)
+            }
+            Activation::Linear => {
+                let xw = tape.matmul(x, w);
+                tape.add_bias(xw, b)
+            }
         }
     }
 

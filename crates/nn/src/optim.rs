@@ -68,10 +68,10 @@ impl ParamSet {
         self.values.iter().map(|m| m.data().len()).sum()
     }
 
-    /// Bind a parameter into `tape` as a leaf; record the binding for the
-    /// optimizer step.
+    /// Bind a parameter into `tape` as a leaf (copied into a pooled tape
+    /// buffer); record the binding for the optimizer step.
     pub fn bind(&self, id: ParamId, tape: &mut Tape, bindings: &mut Bindings) -> Var {
-        let var = tape.leaf(self.values[id.0].clone());
+        let var = tape.leaf_copy(&self.values[id.0]);
         bindings.pairs.push((id, var));
         var
     }
@@ -121,6 +121,11 @@ impl Bindings {
     /// Empty bindings for a fresh forward pass.
     pub fn new() -> Self {
         Bindings::default()
+    }
+
+    /// Clear for reuse across forward passes (keeps the allocation).
+    pub fn clear(&mut self) {
+        self.pairs.clear();
     }
 }
 

@@ -1,0 +1,228 @@
+//! CSR sparse adjacency for GNN message passing.
+//!
+//! Dataflow DAGs have `O(n)` edges, so aggregating neighbour messages as a
+//! dense `n × n` matmul wastes `O(n²h)` work per layer. [`CsrAdj`] stores
+//! the row-normalized predecessor/successor adjacency in compressed sparse
+//! row form and aggregates with `spmm` over the actual neighbour lists.
+//!
+//! Column indices within each row are kept ascending, so [`CsrAdj::spmm_into`]
+//! accumulates contributions in exactly the same order as the zero-skipping
+//! dense `matmul` — sparse and dense message passing are bit-identical, not
+//! merely close.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A sparse `rows × cols` matrix in compressed sparse row format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrAdj {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[i]..row_ptr[i+1]` indexes row `i`'s entries.
+    row_ptr: Vec<usize>,
+    /// Column index per non-zero, ascending within each row.
+    col_idx: Vec<usize>,
+    /// Value per non-zero.
+    vals: Vec<f64>,
+}
+
+impl CsrAdj {
+    /// Build from a dense matrix, keeping every non-zero entry.
+    pub fn from_dense(m: &Matrix) -> Self {
+        let (rows, cols) = m.shape();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            for (c, &v) in m.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(c);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrAdj {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Build an `n × n` adjacency from weighted edges `(row, col, weight)`.
+    /// Entries are sorted into canonical (row-major, ascending-column) order.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Self {
+        let mut sorted: Vec<(usize, usize, f64)> = edges.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut vals = Vec::with_capacity(sorted.len());
+        row_ptr.push(0);
+        let mut next = sorted.iter().peekable();
+        for r in 0..n {
+            while let Some(&&(er, ec, ev)) = next.peek() {
+                if er != r {
+                    break;
+                }
+                assert!(ec < n, "edge column out of range");
+                col_idx.push(ec);
+                vals.push(ev);
+                next.next();
+            }
+            row_ptr.push(col_idx.len());
+        }
+        assert!(next.peek().is_none(), "edge row out of range");
+        CsrAdj {
+            rows: n,
+            cols: n,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Densify (tests, interop).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                out.set(r, self.col_idx[k], self.vals[k]);
+            }
+        }
+        out
+    }
+
+    /// `out = self × h` (sparse × dense). Contributions accumulate in
+    /// ascending column order, matching the zero-skipping dense matmul
+    /// bit for bit.
+    pub fn spmm_into(&self, h: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, h.rows(), "spmm shape mismatch");
+        let hc = h.cols();
+        out.reset(self.rows, hc);
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let a = self.vals[k];
+                let hrow = h.row(self.col_idx[k]);
+                let orow = &mut out.data_mut()[r * hc..(r + 1) * hc];
+                for (o, &x) in orow.iter_mut().zip(hrow) {
+                    *o += a * x;
+                }
+            }
+        }
+    }
+
+    /// `out = selfᵀ × g` (the backward of [`CsrAdj::spmm_into`] w.r.t. `h`),
+    /// scattering row contributions in ascending row order — deterministic
+    /// and bit-identical to the dense `Aᵀ × G` kernel.
+    pub fn spmm_transpose_into(&self, g: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, g.rows(), "spmm_transpose shape mismatch");
+        let gc = g.cols();
+        out.reset(self.cols, gc);
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let a = self.vals[k];
+                let c = self.col_idx[k];
+                let grow = &g.data()[r * gc..(r + 1) * gc];
+                let orow = &mut out.data_mut()[c * gc..(c + 1) * gc];
+                for (o, &x) in orow.iter_mut().zip(grow) {
+                    *o += a * x;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_example() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.5, 0.5, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.25, 0.25, 0.25, 0.25],
+        ])
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = dense_example();
+        let csr = CsrAdj::from_dense(&d);
+        assert_eq!(csr.nnz(), 7);
+        assert_eq!(csr.to_dense(), d);
+    }
+
+    #[test]
+    fn from_edges_matches_from_dense() {
+        let d = dense_example();
+        let mut edges = Vec::new();
+        for r in 0..4 {
+            for c in 0..4 {
+                if d.get(r, c) != 0.0 {
+                    edges.push((r, c, d.get(r, c)));
+                }
+            }
+        }
+        // Shuffle the order; canonicalization must restore it.
+        edges.reverse();
+        assert_eq!(CsrAdj::from_edges(4, &edges), CsrAdj::from_dense(&d));
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul_exactly() {
+        let d = dense_example();
+        let csr = CsrAdj::from_dense(&d);
+        let h = Matrix::from_rows(&[
+            vec![1.0, -2.0, 0.3],
+            vec![0.7, 1.1, -0.4],
+            vec![-1.5, 0.2, 2.0],
+            vec![0.9, -0.6, 1.3],
+        ]);
+        let mut out = Matrix::default();
+        csr.spmm_into(&h, &mut out);
+        assert_eq!(out, d.matmul(&h), "sparse and dense must be bit-identical");
+    }
+
+    #[test]
+    fn spmm_transpose_matches_dense_transpose_matmul() {
+        let d = dense_example();
+        let csr = CsrAdj::from_dense(&d);
+        let g = Matrix::from_rows(&[
+            vec![0.2, 1.0],
+            vec![-0.3, 0.4],
+            vec![1.5, -2.0],
+            vec![0.8, 0.1],
+        ]);
+        let mut out = Matrix::default();
+        csr.spmm_transpose_into(&g, &mut out);
+        let mut reference = Matrix::default();
+        d.matmul_tn_into(&g, &mut reference);
+        assert_eq!(out, reference);
+        assert_eq!(out, d.transpose().matmul(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge row out of range")]
+    fn from_edges_rejects_out_of_range_row() {
+        CsrAdj::from_edges(2, &[(5, 0, 1.0)]);
+    }
+}
