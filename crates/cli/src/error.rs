@@ -4,6 +4,7 @@
 
 use std::fmt;
 use streamtune_backend::{BackendError, TuneError};
+use streamtune_serve::ServeError;
 
 /// A failed CLI invocation.
 #[derive(Debug)]
@@ -19,6 +20,8 @@ pub enum CliError {
     Backend(BackendError),
     /// A tuning run failed.
     Tune(TuneError),
+    /// A serve/client operation failed.
+    Serve(ServeError),
     /// Reading or writing a file failed.
     Io {
         /// The path involved.
@@ -44,6 +47,7 @@ impl fmt::Display for CliError {
             }
             CliError::Backend(e) => write!(f, "backend: {e}"),
             CliError::Tune(e) => write!(f, "tuning: {e}"),
+            CliError::Serve(e) => write!(f, "serve: {e}"),
             CliError::Io { path, message } => write!(f, "{path}: {message}"),
             CliError::Serde { context, message } => write!(f, "{context}: {message}"),
         }
@@ -55,6 +59,7 @@ impl std::error::Error for CliError {
         match self {
             CliError::Backend(e) => Some(e),
             CliError::Tune(e) => Some(e),
+            CliError::Serve(e) => Some(e),
             _ => None,
         }
     }
@@ -69,6 +74,12 @@ impl From<BackendError> for CliError {
 impl From<TuneError> for CliError {
     fn from(e: TuneError) -> Self {
         CliError::Tune(e)
+    }
+}
+
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        CliError::Serve(e)
     }
 }
 

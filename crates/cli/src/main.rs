@@ -14,34 +14,39 @@
 //! * `inspect --bundle bundle.json` — summarize a bundle (clusters, warm-up
 //!   sizes, encoder losses).
 //! * `workloads` — list the named workloads usable with `tune`.
+//! * `serve [--store DIR] [--listen ADDR] [--threads N] [--jobs N]
+//!   [--seed S] [--engine flink|timely] [--fast]` — run the long-lived
+//!   tuning daemon: load the model store (or pre-train and persist it,
+//!   warm-started from any persisted GED-cache snapshot), then answer the
+//!   line-delimited JSON control protocol (`submit`/`status`/`recommend`/
+//!   `cancel`/`snapshot`/`shutdown`) on stdin/stdout, or on a TCP listener
+//!   with `--listen`.
+//! * `client --connect ADDR [--script FILE]` — send protocol lines (from
+//!   the script file or stdin) to a serving daemon and print each response.
 //!
 //! The default backend is the simulated cluster (see DESIGN.md §1); every
 //! tuner runs through the backend-agnostic `ExecutionBackend` API, so the
 //! same commands will drive real-engine connectors when they exist.
 
+use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
 use streamtune_backend::{
     ExecutionBackend, ReplayBackend, TraceRecorder, TuneOutcome, TuningSession,
 };
 use streamtune_baselines::Tuner;
-use streamtune_core::{PretrainConfig, Pretrained, Pretrainer, StreamTune, TuneConfig};
+use streamtune_core::{
+    Parallelism, PretrainConfig, Pretrained, Pretrainer, StreamTune, TuneConfig,
+};
+use streamtune_serve::{ModelStore, Server};
 use streamtune_sim::SimCluster;
 use streamtune_workloads::history::HistoryGenerator;
+use streamtune_workloads::named_workloads;
 use streamtune_workloads::rates::Engine;
-use streamtune_workloads::{nexmark, pqp, Workload};
 
 mod args;
 mod error;
 use args::Args;
 use error::CliError;
-
-fn named_workloads(engine: Engine) -> Vec<Workload> {
-    let mut v = nexmark::all(engine);
-    v.extend(pqp::linear_queries());
-    v.extend(pqp::two_way_join_queries());
-    v.extend(pqp::three_way_join_queries());
-    v
-}
 
 fn cmd_workloads() -> ExitCode {
     println!("available workloads (use with `tune --query <name>`):");
@@ -208,6 +213,119 @@ fn print_outcome(
     );
 }
 
+/// The `--threads` selection for the serve worker pool (default `Auto`).
+fn parallelism_choice(args: &Args) -> Result<Parallelism, CliError> {
+    match args.optional("threads") {
+        None => Ok(Parallelism::Auto),
+        Some(t) => t
+            .parse::<usize>()
+            .map(Parallelism::Fixed)
+            .map_err(|e| CliError::Usage(format!("--threads {t}: {e}"))),
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let jobs: usize = args.parse_or("jobs", 60)?;
+    let engine = args.engine()?;
+    let parallelism = parallelism_choice(args)?;
+    let store = args.optional("store").map(ModelStore::new);
+    let fast = args.flag("fast");
+
+    let (mut server, report) = Server::bootstrap(
+        store,
+        || {
+            let cluster = match engine {
+                Engine::Flink => SimCluster::flink_defaults(seed),
+                Engine::Timely => SimCluster::timely_defaults(seed),
+            };
+            eprintln!("generating {jobs}-job corpus (seed {seed})…");
+            let mut gen = HistoryGenerator::new(seed).with_jobs(jobs);
+            gen.engine = engine;
+            let corpus = gen.generate(&cluster);
+            eprintln!("pre-training on {} runs…", corpus.len());
+            let config = if fast {
+                PretrainConfig::fast()
+            } else {
+                PretrainConfig::default()
+            };
+            (config, corpus)
+        },
+        parallelism,
+    )?;
+    eprintln!(
+        "model ready: {} cluster(s), {} warm-up points ({}{})",
+        server.pretrained().clusters.len(),
+        server.pretrained().total_warmup_points(),
+        if report.loaded_from_store {
+            "loaded from store, no retraining"
+        } else if report.warm_started {
+            "pre-trained warm-started from the persisted GED cache"
+        } else {
+            "pre-trained cold"
+        },
+        if report.restored_jobs > 0 {
+            format!("; {} job(s) restored", report.restored_jobs)
+        } else {
+            String::new()
+        },
+    );
+
+    match args.optional("listen") {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr).map_err(|e| CliError::Io {
+                path: addr.clone(),
+                message: e.to_string(),
+            })?;
+            eprintln!("listening on {addr} — send line-delimited JSON requests");
+            server.serve_tcp(&listener)?;
+        }
+        None => {
+            eprintln!("serving line-delimited JSON on stdin/stdout");
+            let stdin = std::io::stdin();
+            server.serve(stdin.lock(), std::io::stdout())?;
+        }
+    }
+    eprintln!("server stopped");
+    Ok(())
+}
+
+fn cmd_client(args: &Args) -> Result<(), CliError> {
+    let addr = args.required("connect")?;
+    let io_err = |path: &str, e: std::io::Error| CliError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    };
+    let stream = std::net::TcpStream::connect(&addr).map_err(|e| io_err(&addr, e))?;
+    let mut responses = BufReader::new(stream.try_clone().map_err(|e| io_err(&addr, e))?);
+    let mut requests_out = stream;
+    let requests: Box<dyn BufRead> = match args.optional("script") {
+        Some(path) => Box::new(BufReader::new(
+            std::fs::File::open(&path).map_err(|e| io_err(&path, e))?,
+        )),
+        None => Box::new(BufReader::new(std::io::stdin())),
+    };
+    for line in requests.lines() {
+        let line = line.map_err(|e| io_err("request input", e))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        writeln!(requests_out, "{trimmed}").map_err(|e| io_err(&addr, e))?;
+        requests_out.flush().map_err(|e| io_err(&addr, e))?;
+        let mut response = String::new();
+        let n = responses
+            .read_line(&mut response)
+            .map_err(|e| io_err(&addr, e))?;
+        if n == 0 {
+            eprintln!("server closed the connection");
+            break;
+        }
+        print!("{response}");
+    }
+    Ok(())
+}
+
 fn cmd_inspect(args: &Args) -> Result<(), CliError> {
     let pre = load_bundle(args)?;
     println!(
@@ -239,7 +357,10 @@ fn usage() -> &'static str {
        tune      --bundle FILE --query NAME [--multiplier M] [--seed S] [--engine flink|timely]\n\
                  [--backend sim|replay:TRACE] [--record TRACE]\n\
        inspect   --bundle FILE\n\
-       workloads"
+       workloads\n\
+       serve     [--store DIR] [--listen ADDR] [--threads N] [--jobs N] [--seed S]\n\
+                 [--engine flink|timely] [--fast]\n\
+       client    --connect ADDR [--script FILE]"
 }
 
 fn main() -> ExitCode {
@@ -254,6 +375,8 @@ fn main() -> ExitCode {
         "pretrain" => cmd_pretrain(&args),
         "tune" => cmd_tune(&args),
         "inspect" => cmd_inspect(&args),
+        "serve" => cmd_serve(&args),
+        "client" => cmd_client(&args),
         "-h" | "--help" | "help" => {
             println!("{}", usage());
             return ExitCode::SUCCESS;

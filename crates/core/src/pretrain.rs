@@ -172,24 +172,50 @@ impl Pretrainer {
     /// out over scoped worker threads. Every stage is bit-for-bit
     /// deterministic under a fixed seed regardless of thread count.
     pub fn run(&self, records: &[ExecutionRecord]) -> Pretrained {
+        let mut cache = GedCache::new(Bound::LabelSet, self.config.cluster.ged_cap);
+        self.run_with_cache(records, &mut cache)
+    }
+
+    /// [`Pretrainer::run`], but interning into (and memoizing through) a
+    /// caller-owned [`GedCache`] — the warm-start path. A cache restored
+    /// from a prior run's snapshot already holds every A\* fact the
+    /// clustering sweep will ask for, so a repeated pre-training run does
+    /// no GED searches at all; a cold (empty) cache makes this identical
+    /// to [`Pretrainer::run`]. The cache may contain structures beyond
+    /// this corpus (e.g. from an earlier, larger corpus): clustering is
+    /// restricted to the structures this corpus actually interns, and
+    /// memoized facts are sound regardless of the cap they were computed
+    /// under (they are exact distances or proven lower bounds, escalated
+    /// on demand).
+    pub fn run_with_cache(&self, records: &[ExecutionRecord], cache: &mut GedCache) -> Pretrained {
         assert!(!records.is_empty(), "empty execution history");
         let features = FeatureEncoder::default();
         let samples = self.samples(records, &features);
 
         // Intern distinct DAG structures (many records share a structure).
-        let mut cache = GedCache::new(Bound::LabelSet, self.config.cluster.ged_cap);
         let record_structure: Vec<StructId> = records
             .iter()
             .map(|r| cache.intern(&GraphView::of(&r.flow), &GraphSignature::of(&r.flow)))
             .collect();
+        // This corpus' distinct structures, in interned-id order. With a
+        // cold cache this is exactly 0..cache.len(); a warm cache may hold
+        // foreign structures, which must not join the clustering.
+        let mut distinct: Vec<StructId> = record_structure.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut position = vec![usize::MAX; cache.len()];
+        for (pos, &s) in distinct.iter().enumerate() {
+            position[s] = pos;
+        }
 
-        let use_clustering = cache.len() >= self.config.min_structures_for_clustering;
+        let use_clustering = distinct.len() >= self.config.min_structures_for_clustering;
         let (memberships, centers): (Vec<usize>, Vec<GraphView>) = if use_clustering {
             // Cluster the distinct structures, weighted by multiplicity.
-            let distinct: Vec<StructId> = (0..cache.len()).collect();
-            let weights = cache.multiplicities(&record_structure);
-            let clustering =
-                cluster_dags_cached(&mut cache, &distinct, &weights, &self.config.cluster);
+            let mut weights = vec![0.0f64; distinct.len()];
+            for &s in &record_structure {
+                weights[position[s]] += 1.0;
+            }
+            let clustering = cluster_dags_cached(cache, &distinct, &weights, &self.config.cluster);
             let centers = clustering
                 .centers
                 .iter()
@@ -198,13 +224,16 @@ impl Pretrainer {
             (
                 record_structure
                     .iter()
-                    .map(|&s| clustering.assignments[s])
+                    .map(|&s| clustering.assignments[position[s]])
                     .collect(),
                 centers,
             )
         } else {
             // §VII fallback: one global cluster centered on the first DAG.
-            (vec![0; records.len()], vec![cache.graph(0).clone()])
+            (
+                vec![0; records.len()],
+                vec![cache.graph(record_structure[0]).clone()],
+            )
         };
 
         // Per-cluster pre-training is embarrassingly parallel: every
@@ -375,6 +404,35 @@ mod tests {
                 let rate_feat = pt.embedding.last().unwrap();
                 assert!((0.0..=1.2).contains(rate_feat));
             }
+        }
+    }
+
+    #[test]
+    fn run_with_cache_matches_run_and_warm_start_skips_searches() {
+        let corpus = small_corpus(13, 16);
+        let pretrainer = Pretrainer::new(PretrainConfig::fast());
+        let cold = pretrainer.run(&corpus);
+
+        // A fresh caller-owned cache reproduces `run` exactly.
+        let mut cache = GedCache::new(Bound::LabelSet, PretrainConfig::fast().cluster.ged_cap);
+        let first = pretrainer.run_with_cache(&corpus, &mut cache);
+        assert_eq!(first.clusters.len(), cold.clusters.len());
+        for (a, b) in first.clusters.iter().zip(&cold.clusters) {
+            assert_eq!(a.center, b.center);
+            assert_eq!(a.final_loss.to_bits(), b.final_loss.to_bits());
+            assert_eq!(a.warmup, b.warmup);
+        }
+        let cold_searches = cache.stats().searches;
+        assert!(cold_searches > 0, "clustering must have run A* searches");
+
+        // Re-running on the warm cache does zero new searches and yields
+        // the same model.
+        let mut warm = GedCache::from_snapshot(cache.snapshot()).expect("valid snapshot");
+        let again = pretrainer.run_with_cache(&corpus, &mut warm);
+        assert_eq!(warm.stats().searches, 0, "warm start must not search");
+        for (a, b) in again.clusters.iter().zip(&first.clusters) {
+            assert_eq!(a.center, b.center);
+            assert_eq!(a.final_loss.to_bits(), b.final_loss.to_bits());
         }
     }
 

@@ -14,11 +14,12 @@
 //!   for delete+insert.
 
 use crate::view::{GraphView, PairEdge};
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Lower-bound strategy for the remaining (unmapped) part of the graphs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Bound {
     /// `h = 0` — plain uniform-cost search ("directly computing GED",
     /// the slow baseline of Fig. 11b).

@@ -26,6 +26,7 @@
 use crate::astar::{ged_with, Bound};
 use crate::par::{parallel_map, Parallelism};
 use crate::view::GraphView;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use streamtune_dataflow::GraphSignature;
 
@@ -47,12 +48,38 @@ pub struct GedCacheStats {
 /// A\* only up to their own threshold, so knowledge is often one-sided:
 /// a failed threshold-τ search still proves `d ≥ τ + 1`, which answers
 /// every later query with a threshold below that for free.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Entry {
+///
+/// This is also the serialized form inside a [`GedCacheSnapshot`]: both
+/// variants are *facts* about the pair (an exact distance, or a proven
+/// lower bound), so a restored entry is sound under any later query —
+/// queries needing more knowledge than the fact provides simply escalate
+/// to a fresh search, exactly as they would on a live cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GedFact {
     /// The exact distance.
     Exact(usize),
     /// Only a lower bound is known: `d ≥ min`.
     AtLeast(usize),
+}
+
+use GedFact as Entry;
+
+/// A serializable snapshot of a [`GedCache`]: the interned corpus plus
+/// every memoized distance fact, in a stable (sorted) order so identical
+/// caches serialize identically. Restore with [`GedCache::from_snapshot`];
+/// statistics counters are not persisted (a restored cache starts at
+/// zero). The on-disk envelope (versioning, checksums) is the serving
+/// layer's concern — see `streamtune-serve`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GedCacheSnapshot {
+    /// Lower-bound strategy of the snapshotted cache.
+    pub bound: Bound,
+    /// Distance cap of the snapshotted cache.
+    pub cap: usize,
+    /// Interned structures in id order.
+    pub graphs: Vec<(GraphView, GraphSignature)>,
+    /// Memoized facts as `(low id, high id, fact)`, sorted by pair.
+    pub dists: Vec<(StructId, StructId, GedFact)>,
 }
 
 /// Shared, growable GED oracle over an interned corpus of DAG structures.
@@ -247,6 +274,103 @@ impl GedCache {
     }
 }
 
+/// A structurally invalid [`GedCacheSnapshot`] (ids out of range,
+/// non-canonical pairs). Malformed snapshots are reported, never panicked
+/// on: a corrupt or future-format file must not take the daemon down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// What is wrong with the snapshot.
+    pub reason: String,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid GED cache snapshot: {}", self.reason)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl GedCache {
+    /// Capture the cache as a serializable [`GedCacheSnapshot`]. Facts are
+    /// emitted in sorted pair order, so equal caches snapshot identically
+    /// (byte-stable on disk). Statistics counters are not captured.
+    pub fn snapshot(&self) -> GedCacheSnapshot {
+        let mut dists: Vec<(StructId, StructId, GedFact)> =
+            self.dists.iter().map(|(&(a, b), &e)| (a, b, e)).collect();
+        dists.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        GedCacheSnapshot {
+            bound: self.bound,
+            cap: self.cap,
+            graphs: self.graphs.clone(),
+            dists,
+        }
+    }
+
+    /// Rebuild a cache from a snapshot, re-deriving the signature index.
+    /// Takes the snapshot by value — the interned corpus can be large,
+    /// and every caller restores from a freshly loaded snapshot it would
+    /// otherwise drop, so moving the graphs avoids a deep clone.
+    ///
+    /// Everything is validated before use — edge endpoints must be in
+    /// range and loop-free (each graph's derived adjacency is *rebuilt*
+    /// from labels + edges, never trusted from the file), fact ids must
+    /// refer to interned structures, and pairs must be canonical
+    /// (`a < b`) — so a hand-edited or corrupted snapshot yields a
+    /// [`SnapshotError`], not a panic or a silently wrong oracle. Stats
+    /// start at zero.
+    pub fn from_snapshot(snap: GedCacheSnapshot) -> Result<Self, SnapshotError> {
+        let n = snap.graphs.len();
+        let mut by_sig: HashMap<GraphSignature, Vec<StructId>> = HashMap::new();
+        let mut graphs = Vec::with_capacity(n);
+        for (id, (view, sig)) in snap.graphs.into_iter().enumerate() {
+            if view.labels.len() != sig.num_ops {
+                return Err(SnapshotError {
+                    reason: format!(
+                        "structure {id} has {} node(s) but its signature claims {}",
+                        view.labels.len(),
+                        sig.num_ops
+                    ),
+                });
+            }
+            let nodes = view.labels.len();
+            for &(a, b) in &view.edges {
+                if a >= nodes || b >= nodes || a == b {
+                    return Err(SnapshotError {
+                        reason: format!(
+                            "structure {id} has invalid edge ({a}, {b}) over {nodes} node(s)"
+                        ),
+                    });
+                }
+            }
+            by_sig.entry(sig.clone()).or_default().push(id);
+            graphs.push((GraphView::new(view.labels, view.edges), sig));
+        }
+        let mut dists = HashMap::with_capacity(snap.dists.len());
+        for &(a, b, fact) in &snap.dists {
+            if a >= b {
+                return Err(SnapshotError {
+                    reason: format!("pair ({a}, {b}) is not canonical (want low id < high id)"),
+                });
+            }
+            if b >= n {
+                return Err(SnapshotError {
+                    reason: format!("pair ({a}, {b}) refers past the {n} interned structure(s)"),
+                });
+            }
+            dists.insert((a, b), fact);
+        }
+        Ok(GedCache {
+            bound: snap.bound,
+            cap: snap.cap,
+            graphs,
+            by_sig,
+            dists,
+            stats: GedCacheStats::default(),
+        })
+    }
+}
+
 /// One threshold-pruned A\* run lowered to a cache entry.
 fn search_entry(
     graphs: &[(GraphView, GraphSignature)],
@@ -363,6 +487,134 @@ mod tests {
         assert_eq!(cache.dist(a, b), 3, "metric query capped at cap + 1");
         assert!(cache.within(a, b, 30), "exact distance is below 30");
         assert!(!cache.within(a, b, 4));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_every_fact() {
+        let mut cache = GedCache::new(Bound::LabelSet, 15);
+        let graphs = [
+            chain(&[Filter, Map, Sink]),
+            chain(&[Filter, FlatMap, Sink]),
+            chain(&[Filter, Map, Map, Sink]),
+            chain(&[WindowJoin, Aggregate, KeyBy, Map, Sink]),
+        ];
+        let ids: Vec<StructId> = graphs.iter().map(|(v, s)| cache.intern(v, s)).collect();
+        // Mix exact facts and one-sided bounds.
+        cache.dist(ids[0], ids[1]);
+        cache.within(ids[0], ids[3], 1);
+        cache.within(ids[1], ids[2], 2);
+
+        let snap = cache.snapshot();
+        let mut restored = GedCache::from_snapshot(snap.clone()).expect("valid snapshot");
+        assert_eq!(restored.len(), cache.len());
+        // Restored facts answer without any new searches…
+        assert_eq!(restored.dist(ids[0], ids[1]), 1);
+        assert!(!restored.within(ids[0], ids[3], 1));
+        assert_eq!(restored.stats().searches, 0);
+        // …and interning the same structures dedups to the same ids.
+        for (i, (v, s)) in graphs.iter().enumerate() {
+            assert_eq!(restored.intern(v, s), ids[i]);
+        }
+        // A second snapshot of an untouched restore is identical.
+        assert_eq!(restored.snapshot().graphs, snap.graphs);
+    }
+
+    #[test]
+    fn snapshot_order_is_stable() {
+        let mut cache = GedCache::new(Bound::LabelSet, 15);
+        let graphs = [
+            chain(&[Filter, Map, Sink]),
+            chain(&[Filter, FlatMap, Sink]),
+            chain(&[Map, Map, Sink]),
+        ];
+        for (v, s) in &graphs {
+            cache.intern(v, s);
+        }
+        // Populate in one order…
+        cache.dist(2, 1);
+        cache.dist(0, 2);
+        cache.dist(0, 1);
+        let a = cache.snapshot();
+        // …and an equal cache populated in another order snapshots the same.
+        let mut other = GedCache::new(Bound::LabelSet, 15);
+        for (v, s) in &graphs {
+            other.intern(v, s);
+        }
+        other.dist(0, 1);
+        other.dist(1, 2);
+        other.dist(0, 2);
+        assert_eq!(other.snapshot(), a);
+    }
+
+    #[test]
+    fn snapshot_adjacency_is_rebuilt_not_trusted() {
+        use serde::{Deserialize, Serialize, Value};
+        let mut cache = GedCache::new(Bound::LabelSet, 15);
+        let graphs = [
+            chain(&[Filter, Map, Sink]),
+            chain(&[Filter, FlatMap, Sink]),
+            chain(&[Filter, Map, Map, Sink]),
+        ];
+        let ids: Vec<StructId> = graphs.iter().map(|(v, s)| cache.intern(v, s)).collect();
+        cache.dist(ids[0], ids[1]);
+        let good = cache.snapshot();
+
+        // Corrupt the serialized private adjacency of structure 2 (the
+        // JSON attack surface): the restore must rebuild it from
+        // labels + edges, so an un-memoized query still answers
+        // correctly instead of panicking inside A*.
+        let set_field = |view: &GraphView, name: &str, value: Value| {
+            let mut v = view.serialize();
+            let Value::Object(entries) = &mut v else {
+                panic!("views serialize to objects")
+            };
+            entries
+                .iter_mut()
+                .find(|(k, _)| k == name)
+                .expect("field present")
+                .1 = value;
+            GraphView::deserialize(&v).expect("still a parseable view")
+        };
+        let mut tampered = good.clone();
+        tampered.graphs[2].0 = set_field(&good.graphs[2].0, "adj", Value::Array(Vec::new()));
+        let mut restored = GedCache::from_snapshot(tampered).expect("adjacency is rebuilt");
+        assert_eq!(restored.dist(ids[0], ids[2]), cache.dist(ids[0], ids[2]));
+
+        // An out-of-range or self-loop edge is an explicit error.
+        for bad_edge in [(0usize, 9usize), (1, 1)] {
+            let mut bad = good.clone();
+            let edges = Value::Array(vec![Value::Array(vec![
+                Value::U64(bad_edge.0 as u64),
+                Value::U64(bad_edge.1 as u64),
+            ])]);
+            bad.graphs[0].0 = set_field(&good.graphs[0].0, "edges", edges);
+            let err = GedCache::from_snapshot(bad).unwrap_err();
+            assert!(err.to_string().contains("invalid edge"), "{err}");
+        }
+    }
+
+    #[test]
+    fn malformed_snapshots_error_instead_of_panicking() {
+        let mut cache = GedCache::new(Bound::LabelSet, 15);
+        let (v1, s1) = chain(&[Filter, Map, Sink]);
+        let (v2, s2) = chain(&[Filter, FlatMap, Sink]);
+        cache.intern(&v1, &s1);
+        cache.intern(&v2, &s2);
+        cache.dist(0, 1);
+        let good = cache.snapshot();
+
+        let mut out_of_range = good.clone();
+        out_of_range.dists.push((0, 9, GedFact::Exact(3)));
+        let err = GedCache::from_snapshot(out_of_range).unwrap_err();
+        assert!(err.to_string().contains("refers past"), "{err}");
+
+        let mut non_canonical = good.clone();
+        non_canonical.dists.push((1, 0, GedFact::Exact(1)));
+        assert!(GedCache::from_snapshot(non_canonical).is_err());
+
+        let mut bad_sig = good.clone();
+        bad_sig.graphs[0].1.num_ops = 99;
+        assert!(GedCache::from_snapshot(bad_sig).is_err());
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Serving-layer error type.
+
+use crate::store::StoreError;
+use std::fmt;
+use streamtune_ged::SnapshotError;
+
+/// A serving operation that could not be performed. Protocol handling
+/// lowers these into `error` responses; the daemon itself keeps running.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A job with this name already exists.
+    DuplicateJob {
+        /// The contested name.
+        name: String,
+    },
+    /// No job with this name was ever admitted.
+    UnknownJob {
+        /// The requested name.
+        name: String,
+    },
+    /// The submitted spec names a workload that does not exist.
+    UnknownWorkload {
+        /// The requested query name.
+        query: String,
+    },
+    /// `cancel` on a job that already ran (or was already cancelled).
+    NotQueued {
+        /// The job's name.
+        name: String,
+        /// The state it is actually in.
+        state: String,
+    },
+    /// `recommend` on a job that has no result (failed or cancelled).
+    NoResult {
+        /// The job's name.
+        name: String,
+        /// The state it is actually in.
+        state: String,
+    },
+    /// `snapshot` on a server that was started without a store directory.
+    NoStore,
+    /// A model-store operation failed.
+    Store(StoreError),
+    /// A persisted GED-cache snapshot is structurally invalid.
+    Snapshot(SnapshotError),
+    /// Transport I/O failed (socket, stdio).
+    Io {
+        /// What was being done.
+        context: String,
+        /// The underlying error rendered to text.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::DuplicateJob { name } => {
+                write!(f, "job `{name}` already exists (names are unique handles)")
+            }
+            ServeError::UnknownJob { name } => write!(f, "no job named `{name}`"),
+            ServeError::UnknownWorkload { query } => {
+                write!(f, "unknown workload `{query}` (try `streamtune workloads`)")
+            }
+            ServeError::NotQueued { name, state } => {
+                write!(
+                    f,
+                    "job `{name}` is {state}, only queued jobs can be cancelled"
+                )
+            }
+            ServeError::NoResult { name, state } => {
+                write!(f, "job `{name}` is {state} and has no recommendation")
+            }
+            ServeError::NoStore => {
+                write!(
+                    f,
+                    "no model store configured (start the server with --store)"
+                )
+            }
+            ServeError::Store(e) => write!(f, "model store: {e}"),
+            ServeError::Snapshot(e) => write!(f, "{e}"),
+            ServeError::Io { context, message } => write!(f, "{context}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Store(e) => Some(e),
+            ServeError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}

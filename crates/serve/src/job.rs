@@ -1,0 +1,352 @@
+//! The job manager: admission, deterministic batch execution, ledger.
+//!
+//! Jobs are *independent by construction*: every job owns its backend
+//! (a per-job seeded `SimCluster` or a replayed trace) and its own
+//! `StreamTune` fine-tuning state, while the admission-time [`Pretrained`]
+//! corpus is shared read-only. Running a job is therefore a pure function
+//! of `(pretrained, spec)`, which is what makes the worker-pool fan-out
+//! deterministic: any thread count ([`Parallelism`]) and any submission
+//! interleaving produce bit-identical per-job outcomes.
+//!
+//! Execution is batched, not streamed: `submit` only admits (and assigns
+//! the job to its cluster); the first verb that needs results (`status`,
+//! `recommend`, `snapshot`) drains every queued job in one deterministic
+//! [`parallel_map`] batch. `cancel` removes a job that has not been
+//! drained yet.
+
+use crate::error::ServeError;
+use crate::protocol::{BackendSpec, JobSpec, JobStatusLine};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use streamtune_backend::{ExecutionBackend, TuneOutcome, Tuner, TuningSession};
+use streamtune_core::{Pretrained, StreamTune, TuneConfig};
+use streamtune_ged::{parallel_map, Parallelism};
+use streamtune_sim::SimCluster;
+use streamtune_workloads::{find_workload, rates::Engine};
+
+/// A finished job's tuning result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// Cluster whose model served the job.
+    pub cluster: usize,
+    /// The tuning outcome.
+    pub outcome: TuneOutcome,
+    /// Operator names, aligned with the outcome's assignment.
+    pub op_names: Vec<String>,
+}
+
+/// Lifecycle state of an admitted job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Admitted, not yet drained onto the worker pool.
+    Queued,
+    /// Ran to completion.
+    Done(JobResult),
+    /// The tuning run failed (message preserved).
+    Failed(String),
+    /// Cancelled before it ran.
+    Cancelled,
+}
+
+impl JobState {
+    /// Short state name for `status` lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One admitted job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Cluster assigned at admission ([`Pretrained::assign`]).
+    pub cluster: usize,
+    /// Current lifecycle state.
+    pub state: JobState,
+}
+
+/// A job as persisted in the store's ledger (`jobs.json`). Queued jobs
+/// never appear: a snapshot drains first, so every persisted state is
+/// terminal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersistedJob {
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Cluster assigned at admission.
+    pub cluster: usize,
+    /// Terminal state.
+    pub state: JobState,
+}
+
+/// Run one job to completion — a pure function of `(pretrained, spec)`.
+/// `cluster` is the admission-time assignment (computed once in
+/// [`JobManager::submit`]; `StreamTune` re-derives the same value
+/// internally, so there is no second GED pass to pay here).
+fn run_job(pretrained: &Pretrained, spec: &JobSpec, cluster: usize) -> Result<JobResult, String> {
+    let workload = find_workload(&spec.query, spec.engine)
+        .ok_or_else(|| format!("unknown workload `{}`", spec.query))?;
+    let flow = workload.at(spec.multiplier);
+    let mut backend: Box<dyn ExecutionBackend> = match &spec.backend {
+        BackendSpec::Sim => Box::new(match spec.engine {
+            Engine::Flink => SimCluster::flink_defaults(spec.seed),
+            Engine::Timely => SimCluster::timely_defaults(spec.seed),
+        }),
+        BackendSpec::Replay(path) => {
+            Box::new(streamtune_backend::ReplayBackend::from_file(path).map_err(|e| e.to_string())?)
+        }
+    };
+    let mut tuner = StreamTune::new(pretrained, TuneConfig::default());
+    let mut session = TuningSession::new(backend.as_mut(), &flow);
+    let outcome = tuner.tune(&mut session).map_err(|e| e.to_string())?;
+    let op_names = outcome
+        .final_assignment
+        .iter()
+        .map(|(op, _)| flow.op_name(op).to_string())
+        .collect();
+    Ok(JobResult {
+        cluster,
+        outcome,
+        op_names,
+    })
+}
+
+/// Admits named jobs against one shared pre-trained corpus and drains
+/// them in deterministic parallel batches.
+#[derive(Debug)]
+pub struct JobManager {
+    pretrained: Pretrained,
+    parallelism: Parallelism,
+    jobs: Vec<Job>,
+    index: HashMap<String, usize>,
+}
+
+impl JobManager {
+    /// A manager over `pretrained`, draining on `parallelism` workers.
+    pub fn new(pretrained: Pretrained, parallelism: Parallelism) -> Self {
+        JobManager {
+            pretrained,
+            parallelism,
+            jobs: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The shared pre-trained corpus.
+    pub fn pretrained(&self) -> &Pretrained {
+        &self.pretrained
+    }
+
+    /// All admitted jobs, in admission order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Look up a job by name.
+    pub fn job(&self, name: &str) -> Option<&Job> {
+        self.index.get(name).map(|&i| &self.jobs[i])
+    }
+
+    /// Number of jobs still queued.
+    pub fn queued(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.state == JobState::Queued)
+            .count()
+    }
+
+    /// Admit a job: validate its workload, assign it to its cluster, and
+    /// queue it. Returns the assigned cluster.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<usize, ServeError> {
+        if self.index.contains_key(&spec.name) {
+            return Err(ServeError::DuplicateJob { name: spec.name });
+        }
+        let workload =
+            find_workload(&spec.query, spec.engine).ok_or_else(|| ServeError::UnknownWorkload {
+                query: spec.query.clone(),
+            })?;
+        let flow = workload.at(spec.multiplier);
+        let (cluster, _) = self.pretrained.assign(&flow);
+        self.index.insert(spec.name.clone(), self.jobs.len());
+        self.jobs.push(Job {
+            spec,
+            cluster,
+            state: JobState::Queued,
+        });
+        Ok(cluster)
+    }
+
+    /// Cancel a still-queued job.
+    pub fn cancel(&mut self, name: &str) -> Result<(), ServeError> {
+        let &i = self.index.get(name).ok_or_else(|| ServeError::UnknownJob {
+            name: name.to_string(),
+        })?;
+        match self.jobs[i].state {
+            JobState::Queued => {
+                self.jobs[i].state = JobState::Cancelled;
+                Ok(())
+            }
+            ref other => Err(ServeError::NotQueued {
+                name: name.to_string(),
+                state: other.name().to_string(),
+            }),
+        }
+    }
+
+    /// Run every queued job on the worker pool. One batch, results
+    /// stitched back in admission order; each job is a pure function of
+    /// the shared corpus and its own spec, so any [`Parallelism`] and any
+    /// prior submission interleaving yield identical per-job states.
+    pub fn drain(&mut self) {
+        let pending: Vec<(usize, JobSpec, usize)> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.state == JobState::Queued)
+            .map(|(i, j)| (i, j.spec.clone(), j.cluster))
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        let pretrained = &self.pretrained;
+        let results = parallel_map(self.parallelism, &pending, |(_, spec, cluster)| {
+            run_job(pretrained, spec, *cluster)
+        });
+        for ((i, _, _), result) in pending.into_iter().zip(results) {
+            self.jobs[i].state = match result {
+                Ok(r) => JobState::Done(r),
+                Err(message) => JobState::Failed(message),
+            };
+        }
+    }
+
+    /// One `status` line per job, in admission order.
+    pub fn status_lines(&self) -> Vec<JobStatusLine> {
+        self.jobs
+            .iter()
+            .map(|j| JobStatusLine {
+                name: j.spec.name.clone(),
+                query: j.spec.query.clone(),
+                state: j.state.name().to_string(),
+                cluster: j.cluster,
+                detail: match &j.state {
+                    JobState::Failed(message) => Some(message.clone()),
+                    _ => None,
+                },
+            })
+            .collect()
+    }
+
+    /// The ledger to persist: every job in a terminal state (callers
+    /// drain first, so normally all of them).
+    pub fn persistable(&self) -> Vec<PersistedJob> {
+        self.jobs
+            .iter()
+            .filter(|j| j.state != JobState::Queued)
+            .map(|j| PersistedJob {
+                spec: j.spec.clone(),
+                cluster: j.cluster,
+                state: j.state.clone(),
+            })
+            .collect()
+    }
+
+    /// Re-admit a persisted ledger (server restart). Duplicate names in
+    /// the ledger are rejected the same way `submit` rejects them.
+    pub fn restore(&mut self, jobs: Vec<PersistedJob>) -> Result<(), ServeError> {
+        for p in jobs {
+            if self.index.contains_key(&p.spec.name) {
+                return Err(ServeError::DuplicateJob { name: p.spec.name });
+            }
+            self.index.insert(p.spec.name.clone(), self.jobs.len());
+            self.jobs.push(Job {
+                spec: p.spec,
+                cluster: p.cluster,
+                state: p.state,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamtune_core::{PretrainConfig, Pretrainer};
+    use streamtune_workloads::history::HistoryGenerator;
+
+    fn small_pretrained(seed: u64) -> Pretrained {
+        let cluster = SimCluster::flink_defaults(seed);
+        let corpus = HistoryGenerator::new(seed).with_jobs(12).generate(&cluster);
+        Pretrainer::new(PretrainConfig::fast()).run(&corpus)
+    }
+
+    fn spec(name: &str, query: &str, seed: u64) -> JobSpec {
+        JobSpec {
+            name: name.to_string(),
+            query: query.to_string(),
+            multiplier: 8.0,
+            seed,
+            engine: Engine::Flink,
+            backend: BackendSpec::Sim,
+        }
+    }
+
+    #[test]
+    fn submit_validates_and_assigns_clusters() {
+        let mut mgr = JobManager::new(small_pretrained(3), Parallelism::Serial);
+        let cluster = mgr.submit(spec("a", "nexmark-q1", 1)).unwrap();
+        assert!(cluster < mgr.pretrained().clusters.len());
+        assert!(matches!(
+            mgr.submit(spec("a", "nexmark-q2", 1)),
+            Err(ServeError::DuplicateJob { .. })
+        ));
+        assert!(matches!(
+            mgr.submit(spec("b", "no-such-query", 1)),
+            Err(ServeError::UnknownWorkload { .. })
+        ));
+        assert_eq!(mgr.queued(), 1);
+    }
+
+    #[test]
+    fn cancel_only_hits_queued_jobs() {
+        let mut mgr = JobManager::new(small_pretrained(5), Parallelism::Serial);
+        mgr.submit(spec("a", "nexmark-q1", 1)).unwrap();
+        mgr.submit(spec("b", "nexmark-q2", 2)).unwrap();
+        mgr.cancel("a").unwrap();
+        assert!(matches!(mgr.cancel("a"), Err(ServeError::NotQueued { .. })));
+        mgr.drain();
+        assert!(matches!(mgr.cancel("b"), Err(ServeError::NotQueued { .. })));
+        assert!(matches!(
+            mgr.cancel("zz"),
+            Err(ServeError::UnknownJob { .. })
+        ));
+        assert_eq!(mgr.job("a").unwrap().state, JobState::Cancelled);
+        assert!(matches!(mgr.job("b").unwrap().state, JobState::Done(_)));
+    }
+
+    #[test]
+    fn drain_failures_are_recorded_not_fatal() {
+        let mut mgr = JobManager::new(small_pretrained(7), Parallelism::Serial);
+        mgr.submit(spec("good", "nexmark-q1", 1)).unwrap();
+        // A replay job whose trace file does not exist fails cleanly.
+        let mut bad = spec("bad", "nexmark-q2", 1);
+        bad.backend = BackendSpec::Replay("/nonexistent/trace.json".to_string());
+        mgr.submit(bad).unwrap();
+        mgr.drain();
+        assert!(matches!(mgr.job("good").unwrap().state, JobState::Done(_)));
+        match &mgr.job("bad").unwrap().state {
+            JobState::Failed(message) => assert!(message.contains("trace")),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // The ledger round-trips both terminal states.
+        let mut fresh = JobManager::new(small_pretrained(7), Parallelism::Serial);
+        fresh.restore(mgr.persistable()).unwrap();
+        assert_eq!(fresh.status_lines(), mgr.status_lines());
+    }
+}

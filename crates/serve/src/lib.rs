@@ -1,0 +1,42 @@
+//! `streamtune-serve` — the long-running tuning service.
+//!
+//! The paper's end state is an *online* tuner: one pre-trained model
+//! corpus serving recommendation requests for many concurrently running
+//! stream jobs. This crate turns the workspace's library pieces into that
+//! system:
+//!
+//! * [`store`] — the **persistent model store**: the serialized
+//!   [`Pretrained`](streamtune_core::Pretrained) bundle, a warm-start
+//!   [`GedCacheSnapshot`](streamtune_ged::GedCacheSnapshot) and the
+//!   completed-job ledger, each wrapped in a versioned, FNV-checksummed
+//!   envelope (unknown future fields tolerated; corruption is an explicit
+//!   error, never a panic);
+//! * [`job`] — the **job manager**: admits named jobs, assigns each to
+//!   its cluster at admission, and drains queued jobs in deterministic
+//!   [`Parallelism`](streamtune_ged::Parallelism) batches — every job
+//!   owns its backend and fine-tuning state, so any thread count and any
+//!   submission interleaving produce bit-identical per-job outcomes;
+//! * [`protocol`] — the **line-delimited JSON control protocol**
+//!   (`submit` / `status` / `recommend` / `cancel` / `snapshot` /
+//!   `shutdown`), identical over stdio, in-process buffers and TCP;
+//! * [`server`] — the daemon: [`Server::bootstrap`] loads the store (no
+//!   retraining) or pre-trains (warm-started from any persisted GED
+//!   cache) and persists, then serves the protocol.
+//!
+//! The CLI front ends are `streamtune serve` and `streamtune client`;
+//! `examples/serve_quickstart.rs` drives an in-process server.
+
+pub mod error;
+pub mod job;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use error::ServeError;
+pub use job::{Job, JobManager, JobResult, JobState, PersistedJob};
+pub use protocol::{
+    parse_request, render_response, BackendSpec, JobSpec, JobStatusLine, Recommendation, Request,
+    Response,
+};
+pub use server::{BootstrapReport, Server};
+pub use store::{fnv1a64, read_envelope, write_envelope, ModelStore, StoreError};

@@ -1,0 +1,401 @@
+//! The line-delimited JSON control protocol.
+//!
+//! One request per line in, one response per line out — over stdin/stdout
+//! or a TCP connection, the framing is identical. Verbs are lowercase on
+//! the wire (the `Serialize`/`Deserialize` impls are written by hand so
+//! the protocol, not Rust naming, owns the encoding):
+//!
+//! | request | wire form |
+//! |---|---|
+//! | submit | `{"submit": {"name": "j1", "query": "nexmark-q5", "multiplier": 10.0, "seed": 42, "engine": "flink", "backend": "sim"}}` |
+//! | status | `"status"` |
+//! | recommend | `{"recommend": {"job": "j1"}}` |
+//! | cancel | `{"cancel": {"job": "j1"}}` |
+//! | snapshot | `"snapshot"` |
+//! | shutdown | `"shutdown"` |
+//!
+//! Responses mirror the shape: `{"submitted": {...}}`, `{"status": [...]}`,
+//! `{"recommendation": {...}}`, `{"cancelled": {...}}`,
+//! `{"snapshotted": {...}}`, `"shutting-down"`, `{"error": {...}}`.
+//! Unknown verbs and malformed lines produce an `error` response, never a
+//! dropped connection.
+
+use serde::{Deserialize, Error, Serialize, Value};
+use streamtune_workloads::rates::Engine;
+
+/// Which execution backend a job tunes against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// The deterministic simulated cluster (seeded per job).
+    Sim,
+    /// Replay of a recorded trace file (canned production metrics).
+    Replay(String),
+}
+
+impl Serialize for BackendSpec {
+    fn serialize(&self) -> Value {
+        match self {
+            BackendSpec::Sim => Value::String("sim".to_string()),
+            BackendSpec::Replay(path) => {
+                Value::Object(vec![("replay".to_string(), Value::String(path.clone()))])
+            }
+        }
+    }
+}
+
+impl Deserialize for BackendSpec {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let (name, payload) = v.variant()?;
+        match (name, payload) {
+            ("sim", None) => Ok(BackendSpec::Sim),
+            ("replay", Some(p)) => Ok(BackendSpec::Replay(String::deserialize(p)?)),
+            _ => Err(Error::custom(format!(
+                "backend must be \"sim\" or {{\"replay\": \"<trace.json>\"}}, got `{name}`"
+            ))),
+        }
+    }
+}
+
+/// Everything needed to admit and run one named tuning job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique job name (the handle for `status`/`recommend`/`cancel`).
+    pub name: String,
+    /// Named workload to tune (see `streamtune workloads`).
+    pub query: String,
+    /// Source-rate multiplier (`m × Wu`).
+    pub multiplier: f64,
+    /// Seed of the job's own backend.
+    pub seed: u64,
+    /// Engine dialect of the job's backend.
+    pub engine: Engine,
+    /// Which backend the job tunes against.
+    pub backend: BackendSpec,
+}
+
+/// The payload a tagged verb must carry, or a descriptive error.
+fn need_payload<'a>(
+    kind: &str,
+    verb: &str,
+    payload: Option<&'a Value>,
+) -> Result<&'a Value, Error> {
+    payload.ok_or_else(|| Error::custom(format!("{kind} `{verb}` expects a payload")))
+}
+
+/// One protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Admit a new named job.
+    Submit(JobSpec),
+    /// Report every admitted job's state (runs pending jobs first).
+    Status,
+    /// Report one job's recommendation (runs pending jobs first).
+    Recommend {
+        /// The job's name.
+        job: String,
+    },
+    /// Cancel a still-queued job.
+    Cancel {
+        /// The job's name.
+        job: String,
+    },
+    /// Persist the model store (model, GED cache, job ledger).
+    Snapshot,
+    /// Stop the server after responding.
+    Shutdown,
+}
+
+impl Serialize for Request {
+    fn serialize(&self) -> Value {
+        let tagged = |verb: &str, payload: Value| Value::Object(vec![(verb.to_string(), payload)]);
+        let job_ref =
+            |job: &String| Value::Object(vec![("job".to_string(), Value::String(job.clone()))]);
+        match self {
+            Request::Submit(spec) => tagged("submit", spec.serialize()),
+            Request::Status => Value::String("status".to_string()),
+            Request::Recommend { job } => tagged("recommend", job_ref(job)),
+            Request::Cancel { job } => tagged("cancel", job_ref(job)),
+            Request::Snapshot => Value::String("snapshot".to_string()),
+            Request::Shutdown => Value::String("shutdown".to_string()),
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let (verb, payload) = v.variant()?;
+        let need = |payload| need_payload("verb", verb, payload);
+        let job_of = |payload: &Value| String::deserialize(payload.field("job")?);
+        match verb {
+            "submit" => Ok(Request::Submit(JobSpec::deserialize(need(payload)?)?)),
+            "status" => Ok(Request::Status),
+            "recommend" => Ok(Request::Recommend {
+                job: job_of(need(payload)?)?,
+            }),
+            "cancel" => Ok(Request::Cancel {
+                job: job_of(need(payload)?)?,
+            }),
+            "snapshot" => Ok(Request::Snapshot),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(Error::custom(format!(
+                "unknown verb `{other}` (want submit/status/recommend/cancel/snapshot/shutdown)"
+            ))),
+        }
+    }
+}
+
+/// One job's line in a `status` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatusLine {
+    /// Job name.
+    pub name: String,
+    /// Workload it tunes.
+    pub query: String,
+    /// `"queued"`, `"done"`, `"failed"` or `"cancelled"`.
+    pub state: String,
+    /// Cluster the job was assigned to at admission.
+    pub cluster: usize,
+    /// Failure message when `state == "failed"`.
+    pub detail: Option<String>,
+}
+
+/// The payload of a `recommendation` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Job name.
+    pub job: String,
+    /// Workload it tuned.
+    pub query: String,
+    /// Cluster whose model served the job.
+    pub cluster: usize,
+    /// Operator names, in [`degrees`](Self::degrees) order.
+    pub op_names: Vec<String>,
+    /// Recommended per-operator parallelism.
+    pub degrees: Vec<u32>,
+    /// Total parallelism.
+    pub total: u64,
+    /// Reconfigurations the tuning run performed.
+    pub reconfigurations: u32,
+    /// Deployments that exhibited job-level backpressure.
+    pub backpressure_events: u32,
+    /// Simulated minutes the tuning run took.
+    pub elapsed_minutes: f64,
+    /// Tuning iterations executed.
+    pub iterations: u32,
+    /// Whether the tuner reached its own convergence criterion.
+    pub converged: bool,
+}
+
+/// One protocol response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A job was admitted.
+    Submitted {
+        /// The job's name.
+        job: String,
+        /// Cluster the job was assigned to.
+        cluster: usize,
+    },
+    /// All admitted jobs.
+    Status(Vec<JobStatusLine>),
+    /// One job's tuning result.
+    Recommendation(Recommendation),
+    /// A queued job was cancelled.
+    Cancelled {
+        /// The job's name.
+        job: String,
+    },
+    /// The model store was persisted.
+    Snapshotted {
+        /// Directory the store was written to.
+        dir: String,
+    },
+    /// The server acknowledges shutdown.
+    ShuttingDown,
+    /// The request could not be served.
+    Error {
+        /// Why.
+        message: String,
+    },
+}
+
+impl Serialize for Response {
+    fn serialize(&self) -> Value {
+        let tagged = |verb: &str, payload: Value| Value::Object(vec![(verb.to_string(), payload)]);
+        match self {
+            Response::Submitted { job, cluster } => tagged(
+                "submitted",
+                Value::Object(vec![
+                    ("job".to_string(), Value::String(job.clone())),
+                    ("cluster".to_string(), Value::U64(*cluster as u64)),
+                ]),
+            ),
+            Response::Status(lines) => tagged("status", lines.serialize()),
+            Response::Recommendation(r) => tagged("recommendation", r.serialize()),
+            Response::Cancelled { job } => tagged(
+                "cancelled",
+                Value::Object(vec![("job".to_string(), Value::String(job.clone()))]),
+            ),
+            Response::Snapshotted { dir } => tagged(
+                "snapshotted",
+                Value::Object(vec![("dir".to_string(), Value::String(dir.clone()))]),
+            ),
+            Response::ShuttingDown => Value::String("shutting-down".to_string()),
+            Response::Error { message } => tagged(
+                "error",
+                Value::Object(vec![(
+                    "message".to_string(),
+                    Value::String(message.clone()),
+                )]),
+            ),
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let (verb, payload) = v.variant()?;
+        let need = |payload| need_payload("response", verb, payload);
+        match verb {
+            "submitted" => {
+                let p = need(payload)?;
+                Ok(Response::Submitted {
+                    job: String::deserialize(p.field("job")?)?,
+                    cluster: usize::deserialize(p.field("cluster")?)?,
+                })
+            }
+            "status" => Ok(Response::Status(Vec::deserialize(need(payload)?)?)),
+            "recommendation" => Ok(Response::Recommendation(Recommendation::deserialize(
+                need(payload)?,
+            )?)),
+            "cancelled" => Ok(Response::Cancelled {
+                job: String::deserialize(need(payload)?.field("job")?)?,
+            }),
+            "snapshotted" => Ok(Response::Snapshotted {
+                dir: String::deserialize(need(payload)?.field("dir")?)?,
+            }),
+            "shutting-down" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error {
+                message: String::deserialize(need(payload)?.field("message")?)?,
+            }),
+            other => Err(Error::custom(format!("unknown response `{other}`"))),
+        }
+    }
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, Error> {
+    serde_json::from_str(line)
+}
+
+/// Render one response line (no trailing newline).
+pub fn render_response(response: &Response) -> String {
+    serde_json::to_string(response).expect("responses always serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            name: "j1".to_string(),
+            query: "nexmark-q5".to_string(),
+            multiplier: 10.0,
+            seed: 42,
+            engine: Engine::Flink,
+            backend: BackendSpec::Sim,
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip_through_the_wire_format() {
+        let requests = [
+            Request::Submit(spec()),
+            Request::Status,
+            Request::Recommend {
+                job: "j1".to_string(),
+            },
+            Request::Cancel {
+                job: "j1".to_string(),
+            },
+            Request::Snapshot,
+            Request::Shutdown,
+        ];
+        for r in requests {
+            let line = serde_json::to_string(&r).unwrap();
+            assert_eq!(parse_request(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn wire_verbs_are_lowercase() {
+        let line = serde_json::to_string(&Request::Submit(spec())).unwrap();
+        assert!(line.starts_with("{\"submit\":"), "{line}");
+        assert!(
+            line.contains("\"engine\":\"flink\""),
+            "engines are lowercase on the wire like every other token: {line}"
+        );
+        assert_eq!(
+            serde_json::to_string(&Request::Status).unwrap(),
+            "\"status\""
+        );
+        assert_eq!(
+            serde_json::to_string(&Request::Shutdown).unwrap(),
+            "\"shutdown\""
+        );
+        let line = render_response(&Response::ShuttingDown);
+        assert_eq!(line, "\"shutting-down\"");
+    }
+
+    #[test]
+    fn handwritten_requests_parse() {
+        let r = parse_request(
+            "{\"submit\": {\"name\": \"a\", \"query\": \"nexmark-q1\", \"multiplier\": 5.0, \
+             \"seed\": 7, \"engine\": \"timely\", \"backend\": {\"replay\": \"t.json\"}}}",
+        )
+        .unwrap();
+        match r {
+            Request::Submit(s) => {
+                assert_eq!(s.engine, Engine::Timely);
+                assert_eq!(s.backend, BackendSpec::Replay("t.json".to_string()));
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
+        assert!(parse_request("\"reboot\"").is_err());
+        assert!(parse_request("{\"recommend\": {}}").is_err());
+        assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let responses = [
+            Response::Submitted {
+                job: "j".to_string(),
+                cluster: 2,
+            },
+            Response::Status(vec![JobStatusLine {
+                name: "j".to_string(),
+                query: "nexmark-q2".to_string(),
+                state: "done".to_string(),
+                cluster: 0,
+                detail: None,
+            }]),
+            Response::Cancelled {
+                job: "j".to_string(),
+            },
+            Response::Snapshotted {
+                dir: "/tmp/store".to_string(),
+            },
+            Response::ShuttingDown,
+            Response::Error {
+                message: "nope".to_string(),
+            },
+        ];
+        for r in responses {
+            let line = render_response(&r);
+            let back: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, r, "{line}");
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! The tuning daemon: bootstrap, protocol dispatch, transports.
+//!
+//! A [`Server`] owns the shared model corpus ([`Pretrained`] + live
+//! [`GedCache`]), the [`JobManager`], and (optionally) a [`ModelStore`].
+//! It speaks the line-delimited protocol over any `BufRead`/`Write` pair
+//! — stdin/stdout, an in-process byte buffer (tests, examples), or TCP
+//! connections served sequentially — with identical semantics.
+
+use crate::error::ServeError;
+use crate::job::{JobManager, JobState};
+use crate::protocol::{parse_request, render_response, Recommendation, Request, Response};
+use crate::store::ModelStore;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use streamtune_core::{PretrainConfig, Pretrained, Pretrainer};
+use streamtune_ged::{Bound, GedCache, Parallelism};
+use streamtune_workloads::history::ExecutionRecord;
+
+/// How a [`Server`] came to own its model (for operator logging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BootstrapReport {
+    /// The model was loaded from the store — no retraining happened.
+    pub loaded_from_store: bool,
+    /// Pre-training ran warm-started from a persisted GED-cache snapshot.
+    pub warm_started: bool,
+    /// Jobs restored from the persisted ledger.
+    pub restored_jobs: usize,
+}
+
+/// The long-running tuning daemon.
+#[derive(Debug)]
+pub struct Server {
+    manager: JobManager,
+    cache: GedCache,
+    store: Option<ModelStore>,
+}
+
+impl Server {
+    /// A server over an already-built model. `cache` is the GED cache the
+    /// model was trained through (snapshotted on the `snapshot` verb);
+    /// `store` enables `snapshot` and restart-resume.
+    pub fn new(
+        pretrained: Pretrained,
+        cache: GedCache,
+        store: Option<ModelStore>,
+        parallelism: Parallelism,
+    ) -> Self {
+        Server {
+            manager: JobManager::new(pretrained, parallelism),
+            cache,
+            store,
+        }
+    }
+
+    /// Build a server from the store when possible, pre-training only on
+    /// a store miss.
+    ///
+    /// * Store has a model → load it (plus cache snapshot and job
+    ///   ledger); **no retraining**.
+    /// * Store has only a GED-cache snapshot (e.g. a prior run was
+    ///   interrupted after clustering) → pre-train warm-started from it.
+    /// * Otherwise → cold pre-train. With a store configured, the fresh
+    ///   model and cache are persisted immediately.
+    ///
+    /// `recipe` supplies the pre-training inputs and is only invoked on a
+    /// store miss, so a warm start never pays corpus generation.
+    pub fn bootstrap(
+        store: Option<ModelStore>,
+        recipe: impl FnOnce() -> (PretrainConfig, Vec<ExecutionRecord>),
+        parallelism: Parallelism,
+    ) -> Result<(Self, BootstrapReport), ServeError> {
+        if let Some(store) = &store {
+            if store.has_model() {
+                let pretrained = store.load_model()?;
+                let cache = if store.has_ged_cache() {
+                    GedCache::from_snapshot(store.load_ged_cache()?)?
+                } else {
+                    GedCache::new(Bound::LabelSet, pretrained.ged_cap)
+                };
+                let ledger = if store.has_jobs() {
+                    store.load_jobs()?
+                } else {
+                    Vec::new()
+                };
+                let restored_jobs = ledger.len();
+                let mut server = Server::new(pretrained, cache, Some(store.clone()), parallelism);
+                server.manager.restore(ledger)?;
+                return Ok((
+                    server,
+                    BootstrapReport {
+                        loaded_from_store: true,
+                        warm_started: false,
+                        restored_jobs,
+                    },
+                ));
+            }
+        }
+        let (config, corpus) = recipe();
+        let warm_started = matches!(&store, Some(store) if store.has_ged_cache());
+        let mut cache = if warm_started {
+            let store = store.as_ref().expect("warm start implies a store");
+            GedCache::from_snapshot(store.load_ged_cache()?)?
+        } else {
+            GedCache::new(Bound::LabelSet, config.cluster.ged_cap)
+        };
+        let pretrained = Pretrainer::new(config).run_with_cache(&corpus, &mut cache);
+        if let Some(store) = &store {
+            store.save_model(&pretrained)?;
+            store.save_ged_cache(&cache.snapshot())?;
+            // A fresh model invalidates any ledger left by a previous
+            // model epoch (e.g. the operator deleted model.json to force
+            // a retrain): without this, the next restart would resurrect
+            // results computed under the old model as if they were new.
+            store.save_jobs(&[])?;
+        }
+        let server = Server::new(pretrained, cache, store, parallelism);
+        Ok((
+            server,
+            BootstrapReport {
+                loaded_from_store: false,
+                warm_started,
+                restored_jobs: 0,
+            },
+        ))
+    }
+
+    /// The shared model corpus.
+    pub fn pretrained(&self) -> &Pretrained {
+        self.manager.pretrained()
+    }
+
+    /// The job manager (for in-process drivers and tests).
+    pub fn manager(&self) -> &JobManager {
+        &self.manager
+    }
+
+    /// Persist model, GED cache and job ledger to the store.
+    fn snapshot(&mut self) -> Result<String, ServeError> {
+        // Drain first so the ledger only holds terminal states.
+        self.manager.drain();
+        let store = self.store.as_ref().ok_or(ServeError::NoStore)?;
+        store.save_model(self.manager.pretrained())?;
+        store.save_ged_cache(&self.cache.snapshot())?;
+        store.save_jobs(&self.manager.persistable())?;
+        Ok(store.dir().display().to_string())
+    }
+
+    /// Serve one request. Returns the response and whether the server
+    /// should stop after sending it.
+    pub fn handle(&mut self, request: &Request) -> (Response, bool) {
+        let response = match request {
+            Request::Submit(spec) => {
+                let job = spec.name.clone();
+                match self.manager.submit(spec.clone()) {
+                    Ok(cluster) => Response::Submitted { job, cluster },
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::Status => {
+                self.manager.drain();
+                Response::Status(self.manager.status_lines())
+            }
+            Request::Recommend { job } => {
+                self.manager.drain();
+                match self.manager.job(job) {
+                    None => Response::Error {
+                        message: ServeError::UnknownJob { name: job.clone() }.to_string(),
+                    },
+                    Some(j) => match &j.state {
+                        JobState::Done(result) => Response::Recommendation(Recommendation {
+                            job: job.clone(),
+                            query: j.spec.query.clone(),
+                            cluster: result.cluster,
+                            op_names: result.op_names.clone(),
+                            degrees: result.outcome.final_assignment.as_slice().to_vec(),
+                            total: result.outcome.final_assignment.total(),
+                            reconfigurations: result.outcome.reconfigurations,
+                            backpressure_events: result.outcome.backpressure_events,
+                            elapsed_minutes: result.outcome.elapsed_minutes,
+                            iterations: result.outcome.iterations,
+                            converged: result.outcome.converged,
+                        }),
+                        other => Response::Error {
+                            message: ServeError::NoResult {
+                                name: job.clone(),
+                                state: other.name().to_string(),
+                            }
+                            .to_string(),
+                        },
+                    },
+                }
+            }
+            Request::Cancel { job } => match self.manager.cancel(job) {
+                Ok(()) => Response::Cancelled { job: job.clone() },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+            Request::Snapshot => match self.snapshot() {
+                Ok(dir) => Response::Snapshotted { dir },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+            Request::Shutdown => Response::ShuttingDown,
+        };
+        (response, matches!(request, Request::Shutdown))
+    }
+
+    /// Serve line-delimited requests from `input`, writing one response
+    /// line each to `output`, until `shutdown`, end of input, or an I/O
+    /// failure. Blank lines and `#` comment lines are skipped (so scripts
+    /// can be annotated). Returns whether `shutdown` was received.
+    pub fn serve(
+        &mut self,
+        input: impl BufRead,
+        mut output: impl Write,
+    ) -> Result<bool, ServeError> {
+        let io_err = |context: &str, e: std::io::Error| ServeError::Io {
+            context: context.to_string(),
+            message: e.to_string(),
+        };
+        for line in input.lines() {
+            let line = line.map_err(|e| io_err("read request", e))?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let (response, stop) = match parse_request(trimmed) {
+                Ok(request) => self.handle(&request),
+                Err(e) => (
+                    Response::Error {
+                        message: format!("bad request: {e}"),
+                    },
+                    false,
+                ),
+            };
+            writeln!(output, "{}", render_response(&response))
+                .map_err(|e| io_err("write response", e))?;
+            output.flush().map_err(|e| io_err("flush response", e))?;
+            if stop {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Serve TCP connections sequentially until a client sends
+    /// `shutdown`. One connection at a time keeps request handling
+    /// single-threaded (the parallelism lives in the worker pool under
+    /// `drain`, where it is deterministic). A connection-level failure —
+    /// a client resetting the socket mid-session, a broken pipe on the
+    /// response — ends only that connection (logged to stderr); the
+    /// daemon keeps accepting. Only a broken *listener* is fatal.
+    pub fn serve_tcp(&mut self, listener: &TcpListener) -> Result<(), ServeError> {
+        loop {
+            let (stream, peer) = listener.accept().map_err(|e| ServeError::Io {
+                context: "accept connection".to_string(),
+                message: e.to_string(),
+            })?;
+            let reader = match stream.try_clone() {
+                Ok(clone) => BufReader::new(clone),
+                Err(e) => {
+                    eprintln!("dropping connection from {peer}: {e}");
+                    continue;
+                }
+            };
+            match self.serve(reader, stream) {
+                Ok(true) => return Ok(()),
+                Ok(false) => {}
+                Err(e) => eprintln!("connection from {peer} failed: {e}"),
+            }
+        }
+    }
+}

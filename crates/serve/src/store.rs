@@ -1,0 +1,405 @@
+//! The persistent model store: versioned, checksummed artifact files.
+//!
+//! A long-running tuning service must survive restarts without repeating
+//! the (expensive) offline phase, so everything it learned is persisted as
+//! three artifacts inside one store directory:
+//!
+//! * `model.json` — the serialized [`Pretrained`] bundle (cluster centers,
+//!   GNN encoders, warm-up datasets);
+//! * `gedcache.json` — a [`GedCacheSnapshot`] of every memoized A\* fact,
+//!   so a re-pretraining run (e.g. on a grown corpus) starts warm;
+//! * `jobs.json` — the completed job ledger, so `status` answers across
+//!   restarts.
+//!
+//! Every file is wrapped in the same **envelope**: a JSON object carrying
+//! `magic` (format name), `version`, `checksum` (FNV-1a 64 of the compact
+//! payload text) and `payload`. Readers *tolerate unknown extra fields* —
+//! a future version may add fields without breaking old readers — but
+//! refuse wrong magic, a version from the future, and any checksum
+//! mismatch with an explicit [`StoreError`]; malformed input never
+//! panics. The payload text is checksummed exactly as embedded (compact
+//! rendering), so verification is a pure re-render of the parsed payload.
+
+use serde::{Deserialize, Serialize, Value};
+use std::path::{Path, PathBuf};
+use streamtune_core::Pretrained;
+use streamtune_ged::GedCacheSnapshot;
+
+use crate::job::PersistedJob;
+
+/// Format name every store artifact carries.
+pub const STORE_MAGIC: &str = "streamtune-model-store";
+
+/// Envelope version this build writes (and the newest it reads).
+pub const STORE_VERSION: u64 = 1;
+
+/// A failed store operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Reading or writing an artifact file failed.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The underlying error rendered to text.
+        message: String,
+    },
+    /// An artifact is not valid JSON or not a valid envelope/payload.
+    Format {
+        /// The file involved.
+        path: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// The artifact's payload does not match its recorded checksum.
+    ChecksumMismatch {
+        /// The file involved.
+        path: String,
+        /// Checksum recorded in the envelope.
+        recorded: u64,
+        /// Checksum of the payload actually present.
+        actual: u64,
+    },
+    /// The file is not a store artifact at all (wrong `magic`).
+    WrongMagic {
+        /// The file involved.
+        path: String,
+        /// The magic string found.
+        found: String,
+    },
+    /// The artifact was written by a newer format version.
+    UnsupportedVersion {
+        /// The file involved.
+        path: String,
+        /// The version found.
+        version: u64,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, message } => write!(f, "{path}: {message}"),
+            StoreError::Format { path, message } => write!(f, "{path}: {message}"),
+            StoreError::ChecksumMismatch {
+                path,
+                recorded,
+                actual,
+            } => write!(
+                f,
+                "{path}: checksum mismatch (recorded {recorded:#018x}, payload hashes to \
+                 {actual:#018x}) — the artifact is corrupt or was edited by hand"
+            ),
+            StoreError::WrongMagic { path, found } => {
+                write!(f, "{path}: not a {STORE_MAGIC} artifact (magic `{found}`)")
+            }
+            StoreError::UnsupportedVersion { path, version } => write!(
+                f,
+                "{path}: envelope version {version} is newer than this build understands \
+                 ({STORE_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// FNV-1a 64-bit over `bytes` — a small, dependency-free integrity hash.
+/// This detects corruption and accidental edits, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Serialize `payload` into an envelope and write it to `path`.
+///
+/// The write is atomic (temp file + rename in the same directory): a
+/// crash mid-snapshot must never leave a truncated artifact in place of
+/// the previously good one, or the daemon could not restart from its own
+/// store.
+pub fn write_envelope<T: Serialize>(path: &Path, payload: &T) -> Result<(), StoreError> {
+    let display = path.display().to_string();
+    let payload_json = serde_json::to_string(payload).map_err(|e| StoreError::Format {
+        path: display.clone(),
+        message: format!("serialize payload: {e}"),
+    })?;
+    let checksum = fnv1a64(payload_json.as_bytes());
+    let text = format!(
+        "{{\"magic\":\"{STORE_MAGIC}\",\"version\":{STORE_VERSION},\
+         \"checksum\":{checksum},\"payload\":{payload_json}}}"
+    );
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let io_err = |e: std::io::Error| StoreError::Io {
+        path: display.clone(),
+        message: e.to_string(),
+    };
+    std::fs::write(&tmp, text).map_err(io_err)?;
+    std::fs::rename(&tmp, path).map_err(io_err)
+}
+
+/// Read and verify an envelope from `path`, deserializing its payload.
+///
+/// Unknown envelope fields are ignored (forward compatibility); wrong
+/// magic, future versions and checksum mismatches are explicit errors.
+pub fn read_envelope<T: Deserialize>(path: &Path) -> Result<T, StoreError> {
+    let display = path.display().to_string();
+    let text = std::fs::read_to_string(path).map_err(|e| StoreError::Io {
+        path: display.clone(),
+        message: e.to_string(),
+    })?;
+    let value: Value = serde_json::from_str(&text).map_err(|e| StoreError::Format {
+        path: display.clone(),
+        message: format!("invalid JSON: {e}"),
+    })?;
+    let envelope_field = |name: &str| {
+        value.field(name).map_err(|e| StoreError::Format {
+            path: display.clone(),
+            message: format!("invalid envelope: {e}"),
+        })
+    };
+    let magic = String::deserialize(envelope_field("magic")?).map_err(|e| StoreError::Format {
+        path: display.clone(),
+        message: format!("invalid envelope magic: {e}"),
+    })?;
+    if magic != STORE_MAGIC {
+        return Err(StoreError::WrongMagic {
+            path: display,
+            found: magic,
+        });
+    }
+    let version = u64::deserialize(envelope_field("version")?).map_err(|e| StoreError::Format {
+        path: display.clone(),
+        message: format!("invalid envelope version: {e}"),
+    })?;
+    if version > STORE_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            path: display,
+            version,
+        });
+    }
+    let recorded =
+        u64::deserialize(envelope_field("checksum")?).map_err(|e| StoreError::Format {
+            path: display.clone(),
+            message: format!("invalid envelope checksum: {e}"),
+        })?;
+    let payload = envelope_field("payload")?;
+    // The writer embedded the compact payload text verbatim, so hashing a
+    // compact re-render of the parsed payload reproduces its checksum.
+    let payload_json = serde_json::to_string(payload).map_err(|e| StoreError::Format {
+        path: display.clone(),
+        message: format!("re-render payload: {e}"),
+    })?;
+    let actual = fnv1a64(payload_json.as_bytes());
+    if actual != recorded {
+        return Err(StoreError::ChecksumMismatch {
+            path: display,
+            recorded,
+            actual,
+        });
+    }
+    T::deserialize(payload).map_err(|e| StoreError::Format {
+        path: display,
+        message: format!("invalid payload: {e}"),
+    })
+}
+
+/// A model-store directory holding the three persisted artifacts.
+#[derive(Debug, Clone)]
+pub struct ModelStore {
+    dir: PathBuf,
+}
+
+impl ModelStore {
+    /// A store rooted at `dir` (created lazily on first save).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ModelStore { dir: dir.into() }
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the pre-trained model artifact.
+    pub fn model_path(&self) -> PathBuf {
+        self.dir.join("model.json")
+    }
+
+    /// Path of the GED-cache snapshot artifact.
+    pub fn ged_cache_path(&self) -> PathBuf {
+        self.dir.join("gedcache.json")
+    }
+
+    /// Path of the completed-job ledger artifact.
+    pub fn jobs_path(&self) -> PathBuf {
+        self.dir.join("jobs.json")
+    }
+
+    /// Whether a pre-trained model is present.
+    pub fn has_model(&self) -> bool {
+        self.model_path().is_file()
+    }
+
+    /// Whether a GED-cache snapshot is present.
+    pub fn has_ged_cache(&self) -> bool {
+        self.ged_cache_path().is_file()
+    }
+
+    /// Whether a job ledger is present.
+    pub fn has_jobs(&self) -> bool {
+        self.jobs_path().is_file()
+    }
+
+    fn ensure_dir(&self) -> Result<(), StoreError> {
+        std::fs::create_dir_all(&self.dir).map_err(|e| StoreError::Io {
+            path: self.dir.display().to_string(),
+            message: e.to_string(),
+        })
+    }
+
+    /// Persist the pre-trained bundle.
+    pub fn save_model(&self, pretrained: &Pretrained) -> Result<(), StoreError> {
+        self.ensure_dir()?;
+        write_envelope(&self.model_path(), pretrained)
+    }
+
+    /// Load the pre-trained bundle.
+    pub fn load_model(&self) -> Result<Pretrained, StoreError> {
+        read_envelope(&self.model_path())
+    }
+
+    /// Persist a GED-cache snapshot.
+    pub fn save_ged_cache(&self, snapshot: &GedCacheSnapshot) -> Result<(), StoreError> {
+        self.ensure_dir()?;
+        write_envelope(&self.ged_cache_path(), snapshot)
+    }
+
+    /// Load the GED-cache snapshot.
+    pub fn load_ged_cache(&self) -> Result<GedCacheSnapshot, StoreError> {
+        read_envelope(&self.ged_cache_path())
+    }
+
+    /// Persist the completed-job ledger.
+    pub fn save_jobs(&self, jobs: &[PersistedJob]) -> Result<(), StoreError> {
+        self.ensure_dir()?;
+        write_envelope(&self.jobs_path(), &jobs.to_vec())
+    }
+
+    /// Load the completed-job ledger.
+    pub fn load_jobs(&self) -> Result<Vec<PersistedJob>, StoreError> {
+        read_envelope(&self.jobs_path())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "streamtune-store-test-{}-{name}",
+            std::process::id()
+        ))
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Payload {
+        answer: u64,
+        label: String,
+        weights: Vec<f64>,
+    }
+
+    fn payload() -> Payload {
+        Payload {
+            answer: 42,
+            label: "q5".to_string(),
+            weights: vec![0.1, -3.5, 2e-7],
+        }
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let path = temp_file("roundtrip.json");
+        write_envelope(&path, &payload()).unwrap();
+        let back: Payload = read_envelope(&path).unwrap();
+        assert_eq!(back, payload());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn envelope_tolerates_unknown_future_fields() {
+        let path = temp_file("future.json");
+        write_envelope(&path, &payload()).unwrap();
+        // A future writer appends fields this build does not know about.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let extended = text.replacen(
+            "{\"magic\"",
+            "{\"written_by\":\"v9\",\"compression\":null,\"magic\"",
+            1,
+        );
+        std::fs::write(&path, extended).unwrap();
+        let back: Payload = read_envelope(&path).unwrap();
+        assert_eq!(back, payload());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tampered_payload_is_a_checksum_error_not_a_panic() {
+        let path = temp_file("tampered.json");
+        write_envelope(&path, &payload()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"answer\":42"));
+        std::fs::write(&path, text.replace("\"answer\":42", "\"answer\":41")).unwrap();
+        match read_envelope::<Payload>(&path) {
+            Err(StoreError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_future_version_and_garbage_are_explicit_errors() {
+        let path = temp_file("bad.json");
+
+        std::fs::write(&path, "{\"magic\":\"other-format\",\"version\":1}").unwrap();
+        assert!(matches!(
+            read_envelope::<Payload>(&path),
+            Err(StoreError::WrongMagic { .. })
+        ));
+
+        std::fs::write(
+            &path,
+            format!("{{\"magic\":\"{STORE_MAGIC}\",\"version\":999,\"checksum\":0,\"payload\":0}}"),
+        )
+        .unwrap();
+        assert!(matches!(
+            read_envelope::<Payload>(&path),
+            Err(StoreError::UnsupportedVersion { version: 999, .. })
+        ));
+
+        std::fs::write(&path, "not json at all {{{").unwrap();
+        assert!(matches!(
+            read_envelope::<Payload>(&path),
+            Err(StoreError::Format { .. })
+        ));
+
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            read_envelope::<Payload>(&path),
+            Err(StoreError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

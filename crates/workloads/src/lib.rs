@@ -66,9 +66,37 @@ impl Workload {
     }
 }
 
+/// Every named workload usable by name (CLI `--query`, serve-protocol
+/// `submit`): the Nexmark queries for `engine` plus the full PQP family.
+pub fn named_workloads(engine: rates::Engine) -> Vec<Workload> {
+    let mut v = nexmark::all(engine);
+    v.extend(pqp::linear_queries());
+    v.extend(pqp::two_way_join_queries());
+    v.extend(pqp::three_way_join_queries());
+    v
+}
+
+/// Look up one named workload, `None` when the name is unknown.
+pub fn find_workload(name: &str, engine: rates::Engine) -> Option<Workload> {
+    named_workloads(engine).into_iter().find(|w| w.name == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn named_workloads_are_unique_and_findable() {
+        let all = named_workloads(rates::Engine::Flink);
+        assert!(all.len() >= 5 + 8 + 16 + 32);
+        let mut names: Vec<&str> = all.iter().map(|w| w.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "workload names must be unique");
+        assert!(find_workload("nexmark-q5", rates::Engine::Flink).is_some());
+        assert!(find_workload("no-such-query", rates::Engine::Flink).is_none());
+    }
 
     #[test]
     fn multiplier_scales_all_sources() {

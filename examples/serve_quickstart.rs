@@ -1,0 +1,126 @@
+//! Serve quickstart: drive an in-process tuning server through the
+//! line-delimited JSON control protocol — submit three jobs, read their
+//! recommendations, snapshot the model store, and shut down cleanly.
+//!
+//! ```sh
+//! cargo run --release --example serve_quickstart
+//! ```
+//!
+//! The same byte stream works over `streamtune serve --listen ADDR` +
+//! `streamtune client --connect ADDR`; the in-process buffer here just
+//! removes the socket.
+
+use std::io::Cursor;
+use streamtune::core::Parallelism;
+use streamtune::prelude::*;
+use streamtune::serve::{parse_request, Request, Response};
+use streamtune::workloads::history::HistoryGenerator;
+
+fn main() {
+    // 1. Bootstrap: no store on disk yet, so this pre-trains (fast
+    //    config) and persists the model store for the next run.
+    let store_dir = std::env::temp_dir().join(format!(
+        "streamtune-serve-quickstart-{}",
+        std::process::id()
+    ));
+    println!(
+        "bootstrapping server (model store at {})…",
+        store_dir.display()
+    );
+    let (mut server, report) = Server::bootstrap(
+        Some(ModelStore::new(&store_dir)),
+        || {
+            let cluster = SimCluster::flink_defaults(42);
+            let corpus = HistoryGenerator::new(7).with_jobs(40).generate(&cluster);
+            (PretrainConfig::fast(), corpus)
+        },
+        Parallelism::Auto,
+    )
+    .expect("bootstrap failed");
+    println!(
+        "  {} cluster(s), loaded_from_store = {}",
+        server.pretrained().clusters.len(),
+        report.loaded_from_store
+    );
+
+    // 2. A scripted protocol session: three submissions, their
+    //    recommendations, a snapshot, and shutdown. Each line is exactly
+    //    what a TCP client would send.
+    let script = r#"
+# three concurrent tuning jobs sharing one pre-trained corpus
+{"submit": {"name": "checkout", "query": "nexmark-q1", "multiplier": 10.0, "seed": 1, "engine": "flink", "backend": "sim"}}
+{"submit": {"name": "fraud", "query": "nexmark-q5", "multiplier": 8.0, "seed": 2, "engine": "flink", "backend": "sim"}}
+{"submit": {"name": "billing", "query": "nexmark-q8", "multiplier": 6.0, "seed": 3, "engine": "flink", "backend": "sim"}}
+"status"
+{"recommend": {"job": "checkout"}}
+{"recommend": {"job": "fraud"}}
+{"recommend": {"job": "billing"}}
+"snapshot"
+"shutdown"
+"#;
+
+    let mut raw = Vec::new();
+    let shutdown = server
+        .serve(Cursor::new(script), &mut raw)
+        .expect("serve failed");
+    assert!(shutdown, "the script ends with shutdown");
+
+    // 3. Render the session: requests on the left, responses decoded.
+    let responses = String::from_utf8(raw).expect("responses are UTF-8");
+    let requests = script
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    println!("\nprotocol session:");
+    for (req_line, resp_line) in requests.zip(responses.lines()) {
+        let request = parse_request(req_line).expect("script lines are valid requests");
+        let response: Response = serde_json::from_str(resp_line).expect("valid response");
+        match (&request, &response) {
+            (Request::Submit(spec), Response::Submitted { cluster, .. }) => {
+                println!(
+                    "  submit {:<9} ({} @ {}×Wu) → admitted to cluster {cluster}",
+                    spec.name, spec.query, spec.multiplier
+                );
+            }
+            (_, Response::Status(lines)) => {
+                println!("  status → {} job(s):", lines.len());
+                for l in lines {
+                    println!("      {:<9} {:<10} {}", l.name, l.query, l.state);
+                }
+            }
+            (_, Response::Recommendation(rec)) => {
+                println!(
+                    "  recommend {:<9} → total parallelism {} in {} reconfiguration(s):",
+                    rec.job, rec.total, rec.reconfigurations
+                );
+                for (name, degree) in rec.op_names.iter().zip(&rec.degrees) {
+                    println!("      {name:<20} parallelism {degree}");
+                }
+            }
+            (_, Response::Snapshotted { dir }) => {
+                println!("  snapshot → model store persisted at {dir}");
+            }
+            (_, Response::ShuttingDown) => println!("  shutdown → server stopped"),
+            (_, Response::Error { message }) => println!("  error: {message}"),
+            other => println!("  unexpected pairing: {other:?}"),
+        }
+    }
+
+    // 4. Restart from the snapshot: the second bootstrap must load the
+    //    store (no retraining) and still know all three jobs.
+    let (restarted, report) = Server::bootstrap(
+        Some(ModelStore::new(&store_dir)),
+        || unreachable!("a persisted store must not retrain"),
+        Parallelism::Auto,
+    )
+    .expect("restart failed");
+    println!(
+        "\nrestart: loaded_from_store = {}, {} job(s) restored from the ledger",
+        report.loaded_from_store, report.restored_jobs
+    );
+    assert!(report.loaded_from_store);
+    assert_eq!(report.restored_jobs, 3);
+    drop(restarted);
+
+    std::fs::remove_dir_all(&store_dir).ok();
+}

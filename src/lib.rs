@@ -22,6 +22,7 @@
 //! | [`core`] | `streamtune-core` | Algorithms 1–2: pre-train + online tune |
 //! | [`baselines`] | `streamtune-baselines` | DS2, ContTune, ZeroTune |
 //! | [`workloads`] | `streamtune-workloads` | Nexmark, PQP, rate patterns, histories |
+//! | [`serve`] | `streamtune-serve` | tuning daemon: model store, job manager, control protocol |
 //!
 //! Tuners never name a concrete engine: they drive deployments through a
 //! [`TuningSession`](backend::TuningSession) over
@@ -109,6 +110,26 @@
 //! micro-benchmarks. On the reference container (1 core), this PR took the
 //! Fig. 9b 800-DAG pre-training sweep point from 20.8 s to 2.5 s (≈ 8×)
 //! and the steady-state similarity-center update from ~810 µs to ~4.4 µs.
+//!
+//! ## Serving
+//!
+//! [`serve`] turns the library into a long-running system: `streamtune
+//! serve` loads (or builds and persists) a **model store** — the
+//! [`Pretrained`](core::Pretrained) bundle, a warm-start
+//! [`GedCacheSnapshot`](ged::GedCacheSnapshot) and the completed-job
+//! ledger, each in a versioned, FNV-checksummed JSON envelope — and then
+//! answers a **line-delimited JSON control protocol** (`submit`,
+//! `status`, `recommend`, `cancel`, `snapshot`, `shutdown`) on
+//! stdin/stdout or a TCP listener (`--listen`), with `streamtune client`
+//! as the matching pipe. Many named jobs share the one pre-trained
+//! corpus: each is assigned to its cluster at admission
+//! ([`Pretrained::assign`](core::Pretrained::assign)) and runs against
+//! its *own* backend on the deterministic
+//! [`Parallelism`](ged::Parallelism) worker pool, so any thread count and
+//! any submission interleaving produce bit-identical per-job outcomes
+//! (proven in `tests/serve_concurrency.rs`). A `snapshot`/restart/`status`
+//! cycle resumes from the store without retraining. See
+//! `examples/serve_quickstart.rs` for an in-process session.
 
 pub use streamtune_backend as backend;
 pub use streamtune_baselines as baselines;
@@ -118,6 +139,7 @@ pub use streamtune_dataflow as dataflow;
 pub use streamtune_ged as ged;
 pub use streamtune_model as model;
 pub use streamtune_nn as nn;
+pub use streamtune_serve as serve;
 pub use streamtune_sim as sim;
 pub use streamtune_workloads as workloads;
 
@@ -130,6 +152,9 @@ pub mod prelude {
     pub use streamtune_baselines::{ContTune, Ds2, ZeroTune};
     pub use streamtune_core::{PretrainConfig, Pretrainer, StreamTune, TuneConfig};
     pub use streamtune_dataflow::{Dataflow, DataflowBuilder, Operator, ParallelismAssignment};
+    pub use streamtune_serve::{
+        BackendSpec, JobSpec, ModelStore, Request, Response, Server, StoreError,
+    };
     pub use streamtune_sim::{SimCluster, SimulationReport};
-    pub use streamtune_workloads::{nexmark, pqp, rates};
+    pub use streamtune_workloads::{find_workload, named_workloads, nexmark, pqp, rates};
 }

@@ -1,0 +1,114 @@
+//! Concurrency determinism for the serve job manager: N jobs submitted in
+//! shuffled orders, drained on different worker-pool widths, must produce
+//! identical per-job `TuneOutcome`s. Each job owns its backend and
+//! fine-tuning state while sharing the read-only pre-trained corpus, so
+//! neither the interleaving nor the thread count may leak into results.
+
+use std::collections::HashMap;
+use streamtune::core::Parallelism;
+use streamtune::prelude::*;
+use streamtune::serve::{JobManager, JobSpec, JobState};
+use streamtune::workloads::history::HistoryGenerator;
+use streamtune::workloads::rates::Engine;
+
+fn pretrained() -> streamtune::core::Pretrained {
+    let cluster = SimCluster::flink_defaults(61);
+    let corpus = HistoryGenerator::new(61).with_jobs(14).generate(&cluster);
+    Pretrainer::new(PretrainConfig::fast()).run(&corpus)
+}
+
+fn specs() -> Vec<JobSpec> {
+    let queries = [
+        ("nexmark-q1", 10.0),
+        ("nexmark-q2", 8.0),
+        ("nexmark-q3", 6.0),
+        ("nexmark-q5", 10.0),
+        ("nexmark-q8", 5.0),
+        ("pqp-linear-1", 12.0),
+    ];
+    queries
+        .iter()
+        .enumerate()
+        .map(|(i, &(query, multiplier))| JobSpec {
+            name: format!("job-{i}"),
+            query: query.to_string(),
+            multiplier,
+            seed: 100 + i as u64,
+            engine: Engine::Flink,
+            backend: BackendSpec::Sim,
+        })
+        .collect()
+}
+
+/// Submit `order`-permuted specs, drain on `par`, return name → outcome.
+fn run_order(
+    pre: &streamtune::core::Pretrained,
+    order: &[usize],
+    par: Parallelism,
+) -> HashMap<String, TuneOutcome> {
+    let all = specs();
+    let mut mgr = JobManager::new(pre.clone(), par);
+    for &i in order {
+        mgr.submit(all[i].clone()).expect("submit succeeds");
+    }
+    mgr.drain();
+    mgr.jobs()
+        .iter()
+        .map(|j| match &j.state {
+            JobState::Done(r) => (j.spec.name.clone(), r.outcome.clone()),
+            other => panic!("job {} did not finish: {other:?}", j.spec.name),
+        })
+        .collect()
+}
+
+#[test]
+fn shuffled_orders_and_thread_counts_agree() {
+    let pre = pretrained();
+    let n = specs().len();
+    let orders: [Vec<usize>; 3] = [
+        (0..n).collect(),
+        (0..n).rev().collect(),
+        // An interleaved order (evens then odds).
+        (0..n).step_by(2).chain((1..n).step_by(2)).collect(),
+    ];
+
+    let reference = run_order(&pre, &orders[0], Parallelism::Serial);
+    assert_eq!(reference.len(), n);
+    for order in &orders {
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Fixed(4),
+            Parallelism::Fixed(13),
+        ] {
+            let outcomes = run_order(&pre, order, par);
+            assert_eq!(
+                outcomes, reference,
+                "order {order:?} under {par:?} must match the serial reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn manager_outcomes_match_single_process_sessions() {
+    use streamtune::backend::{Tuner, TuningSession};
+
+    let pre = pretrained();
+    let all = specs();
+    let order: Vec<usize> = (0..all.len()).collect();
+    let served = run_order(&pre, &order, Parallelism::Fixed(4));
+
+    for spec in &all {
+        let workload = find_workload(&spec.query, spec.engine).expect("known workload");
+        let flow = workload.at(spec.multiplier);
+        let mut cluster = SimCluster::flink_defaults(spec.seed);
+        let mut session = TuningSession::new(&mut cluster, &flow);
+        let mut tuner = StreamTune::new(&pre, TuneConfig::default());
+        let solo = tuner.tune(&mut session).expect("tuning succeeds");
+        assert_eq!(
+            served[&spec.name], solo,
+            "served outcome for {} must equal the single-process session",
+            spec.name
+        );
+    }
+}

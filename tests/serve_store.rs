@@ -1,0 +1,134 @@
+//! Model-store coverage: a persisted store reproduces the freshly trained
+//! model bit-for-bit, warm-started pre-training matches a cold run, and
+//! corrupted artifacts fail loudly instead of panicking.
+
+use streamtune::backend::{Tuner, TuningSession};
+use streamtune::ged::{Bound, GedCache};
+use streamtune::prelude::*;
+use streamtune::serve::StoreError;
+use streamtune::workloads::history::HistoryGenerator;
+use streamtune::workloads::rates::Engine;
+use streamtune_workloads::history::ExecutionRecord;
+
+fn temp_store(name: &str) -> ModelStore {
+    let dir =
+        std::env::temp_dir().join(format!("streamtune-store-it-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    ModelStore::new(dir)
+}
+
+fn small_corpus(seed: u64) -> Vec<ExecutionRecord> {
+    let cluster = SimCluster::flink_defaults(seed);
+    HistoryGenerator::new(seed).with_jobs(14).generate(&cluster)
+}
+
+/// Tune `query` at `multiplier` on a fresh seeded simulator.
+fn recommend(
+    pre: &streamtune::core::Pretrained,
+    query: &str,
+    multiplier: f64,
+    seed: u64,
+) -> Vec<u32> {
+    let workload = find_workload(query, Engine::Flink).expect("known workload");
+    let flow = workload.at(multiplier);
+    let mut cluster = SimCluster::flink_defaults(seed);
+    let mut session = TuningSession::new(&mut cluster, &flow);
+    let mut tuner = StreamTune::new(pre, TuneConfig::default());
+    let outcome = tuner.tune(&mut session).expect("tuning succeeds");
+    outcome.final_assignment.as_slice().to_vec()
+}
+
+#[test]
+fn persisted_model_yields_bit_identical_recommendations() {
+    let corpus = small_corpus(51);
+    let pretrainer = Pretrainer::new(PretrainConfig::fast());
+    let mut cache = GedCache::new(Bound::LabelSet, PretrainConfig::fast().cluster.ged_cap);
+    let fresh = pretrainer.run_with_cache(&corpus, &mut cache);
+
+    let store = temp_store("roundtrip");
+    store.save_model(&fresh).expect("save model");
+    store.save_ged_cache(&cache.snapshot()).expect("save cache");
+    let reloaded = store.load_model().expect("load model");
+
+    for (query, seed) in [("nexmark-q1", 5), ("nexmark-q5", 6), ("pqp-linear-3", 7)] {
+        assert_eq!(
+            recommend(&fresh, query, 10.0, seed),
+            recommend(&reloaded, query, 10.0, seed),
+            "reloaded model must recommend identically for {query}"
+        );
+    }
+
+    // The cache snapshot round-trips to an equal snapshot.
+    let snap = store.load_ged_cache().expect("load cache");
+    assert_eq!(snap, cache.snapshot());
+    std::fs::remove_dir_all(store.dir()).ok();
+}
+
+#[test]
+fn warm_started_pretraining_matches_cold_and_skips_searches() {
+    let corpus = small_corpus(53);
+    let pretrainer = Pretrainer::new(PretrainConfig::fast());
+
+    let mut cold_cache = GedCache::new(Bound::LabelSet, PretrainConfig::fast().cluster.ged_cap);
+    let cold = pretrainer.run_with_cache(&corpus, &mut cold_cache);
+    assert!(cold_cache.stats().searches > 0);
+
+    // Persist only the GED cache (a run interrupted before the model was
+    // written), then pre-train again from the restored snapshot.
+    let store = temp_store("warm");
+    store
+        .save_ged_cache(&cold_cache.snapshot())
+        .expect("save cache");
+    let mut warm_cache =
+        GedCache::from_snapshot(store.load_ged_cache().expect("load")).expect("valid snapshot");
+    let warm = pretrainer.run_with_cache(&corpus, &mut warm_cache);
+    assert_eq!(
+        warm_cache.stats().searches,
+        0,
+        "every A* fact must come from the snapshot"
+    );
+
+    // Same clusters, same models, same behaviour.
+    assert_eq!(warm.clusters.len(), cold.clusters.len());
+    for (w, c) in warm.clusters.iter().zip(&cold.clusters) {
+        assert_eq!(w.center, c.center);
+        assert_eq!(w.final_loss.to_bits(), c.final_loss.to_bits());
+        assert_eq!(w.warmup, c.warmup);
+    }
+    assert_eq!(
+        recommend(&warm, "nexmark-q2", 10.0, 9),
+        recommend(&cold, "nexmark-q2", 10.0, 9),
+    );
+    std::fs::remove_dir_all(store.dir()).ok();
+}
+
+#[test]
+fn corrupted_store_artifacts_error_loudly() {
+    let corpus = small_corpus(57);
+    let mut cfg = PretrainConfig::fast();
+    cfg.min_structures_for_clustering = usize::MAX; // global fallback: tiny model
+    let pre = Pretrainer::new(cfg).run(&corpus);
+
+    let store = temp_store("corrupt");
+    store.save_model(&pre).expect("save model");
+
+    // Flip one payload byte: checksum mismatch, not a panic or a silently
+    // wrong model.
+    let path = store.model_path();
+    let text = std::fs::read_to_string(&path).expect("read artifact");
+    let tampered = text.replacen("\"ged_cap\":", "\"ged_cap_x\":", 1);
+    assert_ne!(tampered, text, "tamper point must exist");
+    std::fs::write(&path, tampered).expect("write tampered");
+    match store.load_model() {
+        Err(StoreError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+
+    // Truncation is a format error.
+    std::fs::write(&path, &text[..text.len() / 2]).expect("write truncated");
+    match store.load_model() {
+        Err(StoreError::Format { .. }) => {}
+        other => panic!("expected Format error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(store.dir()).ok();
+}
