@@ -15,14 +15,22 @@
 //!   sizes, encoder losses).
 //! * `workloads` — list the named workloads usable with `tune`.
 //! * `serve [--store DIR] [--listen ADDR] [--threads N] [--jobs N]
-//!   [--seed S] [--engine flink|timely] [--fast]` — run the long-lived
-//!   tuning daemon: load the model store (or pre-train and persist it,
-//!   warm-started from any persisted GED-cache snapshot), then answer the
-//!   line-delimited JSON control protocol (`submit`/`status`/`recommend`/
-//!   `cancel`/`snapshot`/`shutdown`) on stdin/stdout, or on a TCP listener
-//!   with `--listen`.
+//!   [--seed S] [--engine flink|timely] [--fast] [--ledger-cap N]
+//!   [--monitor-interval SECS]` — run the long-lived tuning daemon: load
+//!   the model store (or pre-train and persist it, warm-started from any
+//!   persisted GED-cache snapshot), then answer the line-delimited JSON
+//!   control protocol (`submit`/`status`/`recommend`/`cancel`/`watch`/
+//!   `unwatch`/`drift_status`/`tick`/`snapshot`/`shutdown`) on
+//!   stdin/stdout, or on a TCP listener with `--listen` — one session per
+//!   client, with `--monitor-interval` running the background drift
+//!   monitor between accepts.
 //! * `client --connect ADDR [--script FILE]` — send protocol lines (from
 //!   the script file or stdin) to a serving daemon and print each response.
+//! * `monitor --query NAME [--multiplier M] [--shift-to M2] [--shift-at T]
+//!   [--ticks N] [--seed S] [--store DIR] [--fast]` — an in-process
+//!   demonstration of the observe→detect→adapt loop: tune a job, watch it
+//!   with a scripted rate shift, tick the monitor and report the
+//!   automatic re-tune.
 //!
 //! The default backend is the simulated cluster (see DESIGN.md §1); every
 //! tuner runs through the backend-agnostic `ExecutionBackend` API, so the
@@ -37,7 +45,7 @@ use streamtune_baselines::Tuner;
 use streamtune_core::{
     Parallelism, PretrainConfig, Pretrained, Pretrainer, StreamTune, TuneConfig,
 };
-use streamtune_serve::{ModelStore, Server};
+use streamtune_serve::{ModelStore, Request, Response, Server, ServerConfig};
 use streamtune_sim::SimCluster;
 use streamtune_workloads::history::HistoryGenerator;
 use streamtune_workloads::named_workloads;
@@ -224,35 +232,40 @@ fn parallelism_choice(args: &Args) -> Result<Parallelism, CliError> {
     }
 }
 
-fn cmd_serve(args: &Args) -> Result<(), CliError> {
+/// Build the `ServerConfig` common to `serve` and `monitor`.
+fn server_config(args: &Args) -> Result<ServerConfig, CliError> {
+    let parallelism = parallelism_choice(args)?;
+    let mut config = if args.flag("fast") {
+        ServerConfig::fast()
+    } else {
+        ServerConfig::default()
+    }
+    .with_parallelism(parallelism);
+    config.ledger_cap = args.parse_or("ledger-cap", config.ledger_cap)?;
+    Ok(config)
+}
+
+/// Bootstrap a server over the simulated cluster (shared by `serve` and
+/// `monitor`).
+fn bootstrap_server(args: &Args) -> Result<Server, CliError> {
     let seed: u64 = args.parse_or("seed", 42)?;
     let jobs: usize = args.parse_or("jobs", 60)?;
     let engine = args.engine()?;
-    let parallelism = parallelism_choice(args)?;
     let store = args.optional("store").map(ModelStore::new);
-    let fast = args.flag("fast");
+    let config = server_config(args)?;
 
-    let (mut server, report) = Server::bootstrap(
-        store,
-        || {
-            let cluster = match engine {
-                Engine::Flink => SimCluster::flink_defaults(seed),
-                Engine::Timely => SimCluster::timely_defaults(seed),
-            };
-            eprintln!("generating {jobs}-job corpus (seed {seed})…");
-            let mut gen = HistoryGenerator::new(seed).with_jobs(jobs);
-            gen.engine = engine;
-            let corpus = gen.generate(&cluster);
-            eprintln!("pre-training on {} runs…", corpus.len());
-            let config = if fast {
-                PretrainConfig::fast()
-            } else {
-                PretrainConfig::default()
-            };
-            (config, corpus)
-        },
-        parallelism,
-    )?;
+    let (server, report) = Server::bootstrap(store, config, || {
+        let cluster = match engine {
+            Engine::Flink => SimCluster::flink_defaults(seed),
+            Engine::Timely => SimCluster::timely_defaults(seed),
+        };
+        eprintln!("generating {jobs}-job corpus (seed {seed})…");
+        let mut gen = HistoryGenerator::new(seed).with_jobs(jobs);
+        gen.engine = engine;
+        let corpus = gen.generate(&cluster);
+        eprintln!("pre-training on {} runs…", corpus.len());
+        corpus
+    })?;
     eprintln!(
         "model ready: {} cluster(s), {} warm-up points ({}{})",
         server.pretrained().clusters.len(),
@@ -270,15 +283,42 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             String::new()
         },
     );
+    Ok(server)
+}
 
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let mut server = bootstrap_server(args)?;
     match args.optional("listen") {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(&addr).map_err(|e| CliError::Io {
                 path: addr.clone(),
                 message: e.to_string(),
             })?;
-            eprintln!("listening on {addr} — send line-delimited JSON requests");
-            server.serve_tcp(&listener)?;
+            let interval = match args.optional("monitor-interval") {
+                Some(secs) => {
+                    let value = secs
+                        .parse::<f64>()
+                        .map_err(|e| CliError::Usage(format!("--monitor-interval {secs}: {e}")))?;
+                    if !value.is_finite() || value <= 0.0 {
+                        return Err(CliError::Usage(format!(
+                            "--monitor-interval must be a positive number of seconds, got {secs}"
+                        )));
+                    }
+                    Some(std::time::Duration::from_secs_f64(value))
+                }
+                None => None,
+            };
+            eprintln!(
+                "listening on {addr} — send line-delimited JSON requests \
+                 (one session per client{})",
+                if interval.is_some() {
+                    ", background drift monitor running"
+                } else {
+                    ""
+                }
+            );
+            let server = std::sync::Mutex::new(server);
+            Server::serve_tcp(&server, &listener, interval)?;
         }
         None => {
             eprintln!("serving line-delimited JSON on stdin/stdout");
@@ -287,6 +327,79 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         }
     }
     eprintln!("server stopped");
+    Ok(())
+}
+
+/// `streamtune monitor` — drive the observe→detect→adapt loop in-process:
+/// tune one job, watch it with a scripted rate shift, tick the monitor,
+/// and report what the adaptation policy did.
+fn cmd_monitor(args: &Args) -> Result<(), CliError> {
+    let query = args.required("query")?;
+    let multiplier: f64 = args.parse_or("multiplier", 5.0)?;
+    let shift_to: f64 = args.parse_or("shift-to", multiplier * 1.6)?;
+    let shift_at: u64 = args.parse_or("shift-at", 10)?;
+    let ticks: u64 = args.parse_or("ticks", 40)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let engine = args.engine()?;
+    let mut server = bootstrap_server(args)?;
+
+    let expect_ok = |response: Response| -> Result<Response, CliError> {
+        match response {
+            Response::Error { message } => Err(CliError::Usage(message)),
+            other => Ok(other),
+        }
+    };
+    let spec = streamtune_serve::JobSpec {
+        name: "watched".to_string(),
+        query: query.clone(),
+        multiplier,
+        seed,
+        engine,
+        backend: streamtune_serve::BackendSpec::Sim,
+    };
+    expect_ok(server.handle(&Request::Submit(spec)).0)?;
+    let schedule: Vec<f64> = std::iter::repeat_n(multiplier, shift_at as usize)
+        .chain([shift_to])
+        .collect();
+    eprintln!(
+        "watching `{query}` at {multiplier}×Wu; the environment shifts to {shift_to}×Wu at \
+         tick {shift_at}"
+    );
+    match expect_ok(
+        server
+            .handle(&Request::Watch {
+                job: "watched".to_string(),
+                schedule: Some(schedule),
+            })
+            .0,
+    )? {
+        Response::Watching { covered, .. } => {
+            if !covered {
+                eprintln!("DAG structure is uncovered — the first tick will grow the corpus");
+            }
+        }
+        other => eprintln!("unexpected watch response: {other:?}"),
+    }
+    let Response::Ticked(report) = expect_ok(server.handle(&Request::Tick { steps: ticks }).0)?
+    else {
+        return Err(CliError::Usage("tick did not report".to_string()));
+    };
+    println!(
+        "{} tick(s), {} adaptation(s):",
+        report.steps,
+        report.events.len()
+    );
+    for event in &report.events {
+        println!("  {} [{}] {}", event.job, event.kind, event.detail);
+    }
+    if let Response::Drift(lines) = expect_ok(server.handle(&Request::DriftStatus).0)? {
+        for l in lines {
+            println!(
+                "  {}: {} after {} tick(s) — multiplier {}, {} trigger(s), {} re-tune(s)",
+                l.job, l.class, l.ticks, l.multiplier, l.triggers, l.retunes
+            );
+        }
+    }
     Ok(())
 }
 
@@ -359,8 +472,10 @@ fn usage() -> &'static str {
        inspect   --bundle FILE\n\
        workloads\n\
        serve     [--store DIR] [--listen ADDR] [--threads N] [--jobs N] [--seed S]\n\
-                 [--engine flink|timely] [--fast]\n\
-       client    --connect ADDR [--script FILE]"
+                 [--engine flink|timely] [--fast] [--ledger-cap N] [--monitor-interval SECS]\n\
+       client    --connect ADDR [--script FILE]\n\
+       monitor   --query NAME [--multiplier M] [--shift-to M2] [--shift-at T] [--ticks N]\n\
+                 [--seed S] [--store DIR] [--fast]"
 }
 
 fn main() -> ExitCode {
@@ -377,6 +492,7 @@ fn main() -> ExitCode {
         "inspect" => cmd_inspect(&args),
         "serve" => cmd_serve(&args),
         "client" => cmd_client(&args),
+        "monitor" => cmd_monitor(&args),
         "-h" | "--help" | "help" => {
             println!("{}", usage());
             return ExitCode::SUCCESS;

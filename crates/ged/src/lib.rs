@@ -29,7 +29,7 @@ pub mod view;
 
 pub use astar::{ged_exact, ged_lsa, ged_with, Bound, GedOutcome};
 pub use cache::{GedCache, GedCacheSnapshot, GedCacheStats, GedFact, SnapshotError, StructId};
-pub use par::{parallel_map, Parallelism};
+pub use par::{parallel_map, parallel_map_mut, Parallelism};
 pub use search::{similarity_center, similarity_search, SimilarityCenter};
 pub use view::GraphView;
 

@@ -80,6 +80,53 @@ where
         .collect()
 }
 
+/// Map `f` over `items` *in place*, fanning out across contiguous chunks
+/// with scoped threads. The mutable counterpart of [`parallel_map`] for
+/// stages whose items carry their own state (e.g. one watched job per
+/// slot, each owning its backend): every item is visited by exactly one
+/// worker, results come back in input order, and one thread (or fewer
+/// than two items) degenerates to a plain serial loop — so serial and
+/// parallel runs are bit-identical.
+pub fn parallel_map_mut<T, R, F>(par: Parallelism, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let threads = par.threads().min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items.iter_mut().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let total = items.len();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(total);
+    out.resize_with(total, || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest_out: &mut [Option<R>] = &mut out;
+        let mut rest_items: &mut [T] = items;
+        let mut handles = Vec::new();
+        while !rest_items.is_empty() {
+            let take = chunk.min(rest_items.len());
+            let (slot, tail_out) = rest_out.split_at_mut(take);
+            rest_out = tail_out;
+            let (chunk_items, tail_items) = rest_items.split_at_mut(take);
+            rest_items = tail_items;
+            handles.push(scope.spawn(move || {
+                for (s, item) in slot.iter_mut().zip(chunk_items) {
+                    *s = Some(f(item));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +147,35 @@ mod tests {
             let par = parallel_map(Parallelism::Fixed(threads), &items, |&x| x * x + 1);
             assert_eq!(par, serial, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn parallel_map_mut_mutates_every_item_once_in_order() {
+        let reference: Vec<u64> = (0..257).map(|x| x * 3 + 1).collect();
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(5),
+            Parallelism::Fixed(64),
+        ] {
+            let mut items: Vec<u64> = (0..257).collect();
+            let returned = parallel_map_mut(par, &mut items, |x| {
+                *x = *x * 3 + 1;
+                *x
+            });
+            assert_eq!(items, reference, "{par:?}");
+            assert_eq!(returned, reference, "{par:?}");
+        }
+        let mut empty: Vec<u64> = Vec::new();
+        assert!(parallel_map_mut(Parallelism::Fixed(4), &mut empty, |x| *x).is_empty());
+        let mut one = vec![7u64];
+        assert_eq!(
+            parallel_map_mut(Parallelism::Fixed(4), &mut one, |x| {
+                *x += 1;
+                *x
+            }),
+            vec![8]
+        );
     }
 
     #[test]

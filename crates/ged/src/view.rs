@@ -4,7 +4,7 @@
 //! the full [`Dataflow`] through the A\* search would be wasteful.
 
 use serde::{Deserialize, Serialize};
-use streamtune_dataflow::{Dataflow, OperatorKind};
+use streamtune_dataflow::{Dataflow, GraphSignature, OperatorKind};
 
 /// Edge relation between an unordered node pair, from the perspective of
 /// the pair `(lo, hi)` with `lo < hi`.
@@ -101,6 +101,45 @@ impl GraphView {
         v.sort();
         v
     }
+
+    /// The [`GraphSignature`] of this view — identical to
+    /// [`GraphSignature::of`] on the dataflow the view was extracted from,
+    /// so views interned from a flow and views restored from a snapshot
+    /// (e.g. persisted cluster centers) index into the same
+    /// [`crate::GedCache`] buckets.
+    pub fn signature(&self) -> GraphSignature {
+        let mut kinds = self.labels.clone();
+        kinds.sort();
+        let n = self.num_nodes();
+        let mut indeg = vec![0usize; n];
+        let mut outdeg = vec![0usize; n];
+        for &(a, b) in &self.edges {
+            outdeg[a] += 1;
+            indeg[b] += 1;
+        }
+        let mut degrees: Vec<(u8, u8)> = (0..n)
+            .map(|i| {
+                (
+                    u8::try_from(indeg[i].min(255)).unwrap(),
+                    u8::try_from(outdeg[i].min(255)).unwrap(),
+                )
+            })
+            .collect();
+        degrees.sort();
+        let mut edge_kinds: Vec<(OperatorKind, OperatorKind)> = self
+            .edges
+            .iter()
+            .map(|&(a, b)| (self.labels[a], self.labels[b]))
+            .collect();
+        edge_kinds.sort();
+        GraphSignature {
+            num_ops: n,
+            num_edges: self.edges.len(),
+            kinds,
+            degrees,
+            edge_kinds,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -148,5 +187,22 @@ mod tests {
     #[should_panic(expected = "self loops not allowed")]
     fn self_loop_rejected() {
         GraphView::new(vec![OperatorKind::Map], vec![(0, 0)]);
+    }
+
+    #[test]
+    fn view_signature_matches_dataflow_signature() {
+        let mut b = DataflowBuilder::new("sig");
+        let s = b.add_source("s", 1.0);
+        let f = b.add_op("f", Operator::filter(0.5, 8, 8));
+        let m = b.add_op("m", Operator::map(8, 8));
+        let k = b.add_op("k", Operator::sink(8));
+        b.connect_source(s, f);
+        b.connect(f, m);
+        b.connect(m, k);
+        let flow = b.build().unwrap();
+        assert_eq!(
+            GraphView::of(&flow).signature(),
+            streamtune_dataflow::GraphSignature::of(&flow)
+        );
     }
 }

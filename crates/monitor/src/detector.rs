@@ -1,0 +1,330 @@
+//! Change-point detection: windowed-mean-shift CUSUM with hysteresis and
+//! a cooldown.
+//!
+//! The detector watches one reference signal per job — the summed
+//! source-adjacent arrival rate, i.e. the job's total offered load — and
+//! classifies the job as *Stable* or *RateDrift*. (Structure drift is a
+//! property of the DAG, not of the signal; it is classified at watch time
+//! against the pre-trained corpus, see [`crate::structure_distance`].)
+//!
+//! The mechanism is a two-sided CUSUM on the *relative* deviation from a
+//! learned baseline: after a short warm-up establishes the baseline mean,
+//! each sample `x` contributes `dev = (x − baseline) / |baseline|`, and
+//! the one-sided sums `s⁺ = max(0, s⁺ + dev − k)` / `s⁻ = max(0, s⁻ − dev
+//! − k)` accumulate only deviations beyond the slack `k`. A drift fires
+//! when a sum stays above the decision threshold `h` for `hysteresis`
+//! consecutive samples — a single noisy spike cannot trigger — and the
+//! detector then re-baselines at the shifted level and suppresses further
+//! triggers for `cooldown` samples. Everything is plain `f64` arithmetic
+//! over one sample at a time, so detector state is bit-identical for any
+//! thread count driving it.
+
+use serde::{Deserialize, Serialize};
+
+/// Change-point detector settings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Samples used to establish the baseline mean before detection arms.
+    pub warmup: usize,
+    /// CUSUM slack `k` (relative units): deviations below this accumulate
+    /// nothing, which is what makes constant-but-noisy signals safe.
+    pub slack: f64,
+    /// CUSUM decision threshold `h` (relative units).
+    pub threshold: f64,
+    /// Consecutive above-threshold samples required before a trigger.
+    pub hysteresis: usize,
+    /// Samples after a trigger during which no new trigger may fire.
+    pub cooldown: usize,
+    /// GED distance beyond which a DAG counts as uncovered by the corpus
+    /// (structure drift), see [`crate::structure_distance`].
+    pub structure_tau: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            warmup: 4,
+            slack: 0.05,
+            threshold: 0.5,
+            hysteresis: 2,
+            cooldown: 8,
+            structure_tau: 4,
+        }
+    }
+}
+
+/// How the detector currently classifies its job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriftClass {
+    /// Still collecting warm-up samples; no baseline yet.
+    Warmup,
+    /// No change point since the last (re-)baseline.
+    Stable,
+    /// The offered rate shifted away from the baseline.
+    RateDrift,
+    /// The DAG itself is structurally uncovered by the pre-trained corpus.
+    StructureDrift,
+}
+
+impl DriftClass {
+    /// Wire/status name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DriftClass::Warmup => "warmup",
+            DriftClass::Stable => "stable",
+            DriftClass::RateDrift => "rate-drift",
+            DriftClass::StructureDrift => "structure-drift",
+        }
+    }
+}
+
+/// The full detector state — comparable (and hence parity-testable)
+/// across thread counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorState {
+    /// Learned baseline mean of the reference signal.
+    pub baseline: f64,
+    /// Warm-up samples consumed so far.
+    pub warm: usize,
+    /// Warm-up accumulator.
+    pub warm_sum: f64,
+    /// Upward CUSUM sum `s⁺`.
+    pub pos: f64,
+    /// Downward CUSUM sum `s⁻`.
+    pub neg: f64,
+    /// Consecutive above-threshold samples.
+    pub streak: usize,
+    /// Samples left in the post-trigger cooldown.
+    pub cooldown_left: usize,
+    /// Triggers fired over the detector's lifetime.
+    pub triggers: u64,
+    /// Samples observed over the detector's lifetime.
+    pub samples: u64,
+}
+
+/// A fired change point: the signal moved from `baseline` to `level`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftTrigger {
+    /// Baseline the detector had learned.
+    pub baseline: f64,
+    /// The shifted level it re-baselined to.
+    pub level: f64,
+    /// `level / baseline` (the relative shift).
+    pub ratio: f64,
+}
+
+/// Windowed mean-shift CUSUM detector for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftDetector {
+    config: DetectorConfig,
+    state: DetectorState,
+}
+
+impl DriftDetector {
+    /// A fresh detector (baseline learned from the first samples).
+    pub fn new(config: DetectorConfig) -> Self {
+        DriftDetector {
+            config,
+            state: DetectorState {
+                baseline: 0.0,
+                warm: 0,
+                warm_sum: 0.0,
+                pos: 0.0,
+                neg: 0.0,
+                streak: 0,
+                cooldown_left: 0,
+                triggers: 0,
+                samples: 0,
+            },
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// The complete internal state (parity tests compare this).
+    pub fn state(&self) -> &DetectorState {
+        &self.state
+    }
+
+    /// Current classification of the signal.
+    pub fn class(&self) -> DriftClass {
+        if self.state.warm < self.config.warmup {
+            DriftClass::Warmup
+        } else if self.state.triggers > 0 && self.state.cooldown_left > 0 {
+            DriftClass::RateDrift
+        } else {
+            DriftClass::Stable
+        }
+    }
+
+    /// Feed one sample of the reference signal. Returns the trigger when a
+    /// change point fires (at most once per cooldown window); the detector
+    /// re-baselines at the shifted level itself.
+    pub fn observe(&mut self, x: f64) -> Option<DriftTrigger> {
+        let s = &mut self.state;
+        s.samples += 1;
+        if s.warm < self.config.warmup {
+            s.warm += 1;
+            s.warm_sum += x;
+            if s.warm == self.config.warmup {
+                s.baseline = s.warm_sum / self.config.warmup as f64;
+            }
+            return None;
+        }
+        let dev = if s.baseline.abs() > f64::EPSILON {
+            (x - s.baseline) / s.baseline.abs()
+        } else {
+            x
+        };
+        s.pos = (s.pos + dev - self.config.slack).max(0.0);
+        s.neg = (s.neg - dev - self.config.slack).max(0.0);
+        let exceeded = s.pos > self.config.threshold || s.neg > self.config.threshold;
+        if exceeded {
+            s.streak += 1;
+        } else {
+            s.streak = 0;
+        }
+        if s.cooldown_left > 0 {
+            s.cooldown_left -= 1;
+            return None;
+        }
+        if exceeded && s.streak >= self.config.hysteresis {
+            let trigger = DriftTrigger {
+                baseline: s.baseline,
+                level: x,
+                ratio: if s.baseline.abs() > f64::EPSILON {
+                    x / s.baseline
+                } else {
+                    1.0
+                },
+            };
+            s.baseline = x;
+            s.pos = 0.0;
+            s.neg = 0.0;
+            s.streak = 0;
+            s.cooldown_left = self.config.cooldown;
+            s.triggers += 1;
+            return Some(trigger);
+        }
+        None
+    }
+
+    /// Re-baseline explicitly (e.g. after an adaptation redeployed the job
+    /// at a known new operating point) and clear transient state.
+    pub fn rebase(&mut self, baseline: f64) {
+        let s = &mut self.state;
+        s.baseline = baseline;
+        s.warm = self.config.warmup;
+        s.pos = 0.0;
+        s.neg = 0.0;
+        s.streak = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> DriftDetector {
+        DriftDetector::new(DetectorConfig::default())
+    }
+
+    #[test]
+    fn constant_signal_never_triggers() {
+        let mut d = detector();
+        for _ in 0..10_000 {
+            assert!(d.observe(700_000.0).is_none());
+        }
+        assert_eq!(d.state().triggers, 0);
+        assert_eq!(d.class(), DriftClass::Stable);
+    }
+
+    #[test]
+    fn noisy_but_stationary_signal_never_triggers() {
+        // ±2 % bounded noise stays under the 5 % slack: s⁺/s⁻ never grow.
+        let mut d = detector();
+        for i in 0..10_000u64 {
+            let wobble = 1.0 + 0.02 * f64::sin(i as f64);
+            assert!(d.observe(100_000.0 * wobble).is_none());
+        }
+        assert_eq!(d.state().triggers, 0);
+    }
+
+    #[test]
+    fn step_change_triggers_exactly_once_and_rebaselines() {
+        let mut d = detector();
+        for _ in 0..50 {
+            assert!(d.observe(10.0).is_none());
+        }
+        let mut fired = Vec::new();
+        for _ in 0..200 {
+            if let Some(t) = d.observe(14.0) {
+                fired.push(t);
+            }
+        }
+        assert_eq!(fired.len(), 1, "one step, one trigger");
+        assert_eq!(fired[0].baseline, 10.0);
+        assert_eq!(fired[0].level, 14.0);
+        assert!((fired[0].ratio - 1.4).abs() < 1e-12);
+        assert_eq!(d.state().baseline, 14.0, "re-baselined at the new level");
+    }
+
+    #[test]
+    fn downward_steps_also_fire() {
+        let mut d = detector();
+        for _ in 0..20 {
+            d.observe(10.0);
+        }
+        let mut fired = 0;
+        for _ in 0..100 {
+            if d.observe(4.0).is_some() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn cooldown_bounds_the_trigger_rate() {
+        // Even an adversarial oscillating signal can trigger at most once
+        // per (cooldown + 1) samples: a trigger starts the cooldown, and
+        // the earliest next trigger is the first sample after it expires.
+        let config = DetectorConfig {
+            cooldown: 10,
+            ..DetectorConfig::default()
+        };
+        let mut d = DriftDetector::new(config);
+        let mut fired = 0u64;
+        let n = 2_000u64;
+        for i in 0..n {
+            let x = if (i / 3) % 2 == 0 { 10.0 } else { 20.0 };
+            if d.observe(x).is_some() {
+                fired += 1;
+            }
+        }
+        assert!(fired > 0, "an oscillating signal must fire sometimes");
+        let cap = n.div_ceil(config.cooldown as u64 + 1);
+        assert!(
+            fired <= cap,
+            "{fired} triggers exceed the cooldown-implied cap {cap}"
+        );
+    }
+
+    #[test]
+    fn rebase_clears_transients() {
+        let mut d = detector();
+        for _ in 0..10 {
+            d.observe(10.0);
+        }
+        d.observe(14.0); // start accumulating
+        d.rebase(14.0);
+        assert_eq!(d.state().pos, 0.0);
+        assert_eq!(d.state().baseline, 14.0);
+        for _ in 0..100 {
+            assert!(d.observe(14.0).is_none());
+        }
+    }
+}

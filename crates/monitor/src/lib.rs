@@ -1,0 +1,49 @@
+//! `streamtune-monitor` — live drift detection and adaptation primitives.
+//!
+//! The paper's promise is *online* tuning: a pre-trained model keeps
+//! recommending good parallelism as workload rates shift, without
+//! re-running the offline phase. This crate closes the
+//! observe→detect→adapt loop around the serving layer:
+//!
+//! * [`ring`] / [`stream`] — **metric ingestion**: a [`MetricStream`]
+//!   polls any [`ExecutionBackend`](streamtune_backend::ExecutionBackend)
+//!   on demand (the simulated cluster, a replayed trace, a future live
+//!   connector) and maintains per-operator windowed rate/latency/CPU
+//!   statistics in bounded [`RingBuffer`]s;
+//! * [`detector`] — **drift detection**: a windowed mean-shift CUSUM
+//!   ([`DriftDetector`]) with slack, hysteresis and a cooldown classifies
+//!   each job as [`Stable`](DriftClass::Stable) or
+//!   [`RateDrift`](DriftClass::RateDrift); DAGs structurally uncovered by
+//!   the pre-trained corpus ([`structure_distance`] over
+//!   `streamtune-dataflow` signatures + the shared
+//!   [`GedCache`](streamtune_ged::GedCache)) classify as
+//!   [`StructureDrift`](DriftClass::StructureDrift);
+//! * [`monitor`] — the **[`Monitor`]**: watched jobs, each owning its
+//!   backend, stream and detector, polled in deterministic
+//!   [`Parallelism`](streamtune_ged::Parallelism) fan-outs — any thread
+//!   count produces bit-identical detector state and events;
+//! * [`grow`] — **incremental corpus growth**: [`grow_records`]
+//!   synthesizes execution records for an uncovered DAG and
+//!   [`grow_and_pretrain`] re-pretrains *warm* over the long-lived GED
+//!   cache (already-cached pairs never search again; the model is
+//!   bit-identical to a cold pre-train on the grown corpus).
+//!
+//! The adapt half is the caller's: `streamtune-serve` wires
+//! [`DriftEvent`]s into automatic re-tunes through its `JobManager` and
+//! model-store swaps — this crate stays free of serving dependencies so
+//! it can also drive bench harnesses and tests directly.
+
+pub mod detector;
+pub mod grow;
+pub mod monitor;
+pub mod ring;
+pub mod stream;
+
+pub use detector::{DetectorConfig, DetectorState, DriftClass, DriftDetector, DriftTrigger};
+pub use grow::{grow_and_pretrain, grow_records, GrowthReport, GROW_MAX_PARALLELISM};
+pub use monitor::{
+    quantize, structure_distance, DriftEvent, DriftStatusLine, Monitor, MonitorConfig,
+    MonitorError, WatchSpec,
+};
+pub use ring::RingBuffer;
+pub use stream::{MetricStream, MetricStreamConfig, OpWindow, MONITOR_EPOCH_BASE};

@@ -1,0 +1,610 @@
+//! The monitor: watched jobs, deterministic ticks, drift events.
+//!
+//! A [`Monitor`] closes the observe→detect half of the loop: each watched
+//! job owns its backend, its [`MetricStream`] windows and its
+//! [`DriftDetector`], so one tick is an embarrassingly parallel sweep —
+//! [`parallel_map_mut`] fans the per-job polls out over scoped worker
+//! threads and stitches the events back in watch order, making every
+//! decision bit-identical for any [`Parallelism`]. The adapt half
+//! (re-tuning through a job manager, growing the corpus) is the caller's:
+//! the monitor only *reports* [`DriftEvent`]s, so it stays free of any
+//! serving-layer dependency.
+//!
+//! The *environment* is scripted: each watched job carries a rate
+//! schedule (one source-rate multiplier per tick, cycled), which plays
+//! the role of the production workload whose offered load shifts under
+//! the tuner. The detector never sees the script — only the rates the
+//! backend's dashboard reports.
+
+use crate::detector::{DetectorState, DriftClass, DriftDetector};
+use crate::stream::{MetricStream, MetricStreamConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use streamtune_backend::ExecutionBackend;
+use streamtune_core::Pretrained;
+use streamtune_dataflow::{Dataflow, GraphSignature, ParallelismAssignment};
+use streamtune_ged::{parallel_map_mut, GedCache, GraphView, Parallelism};
+use streamtune_workloads::Workload;
+
+pub use crate::detector::DetectorConfig;
+
+/// Monitor settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorConfig {
+    /// Metric-window settings.
+    pub stream: MetricStreamConfig,
+    /// Change-point detector settings.
+    pub detector: DetectorConfig,
+    /// Worker threads for the per-job poll fan-out (any value is
+    /// bit-identical; only wall-clock changes).
+    pub parallelism: Parallelism,
+    /// Estimated multipliers are rounded to this grid (dashboard rates are
+    /// read at finite precision; quantizing makes the re-tune target — and
+    /// therefore the whole adaptation — reproducible bit-for-bit).
+    pub quantum: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            stream: MetricStreamConfig::default(),
+            detector: DetectorConfig::default(),
+            parallelism: Parallelism::Auto,
+            quantum: 1e-3,
+        }
+    }
+}
+
+/// Round `x` to the nearest multiple of `quantum` (`quantum ≤ 0` is a
+/// no-op).
+pub fn quantize(x: f64, quantum: f64) -> f64 {
+    if quantum > 0.0 {
+        (x / quantum).round() * quantum
+    } else {
+        x
+    }
+}
+
+/// Everything needed to start watching one job.
+#[derive(Debug, Clone)]
+pub struct WatchSpec {
+    /// Job name (the handle `DriftEvent`s carry back).
+    pub name: String,
+    /// The job's workload (source `Wu` units + logical DAG).
+    pub workload: Workload,
+    /// Multiplier the job is currently tuned for.
+    pub multiplier: f64,
+    /// Environment script: the multiplier offered at each tick; the last
+    /// entry holds once the script runs out. `None` keeps the rate
+    /// constant at `multiplier`.
+    pub schedule: Option<Vec<f64>>,
+    /// The currently deployed assignment (from the job's last tune).
+    pub assignment: ParallelismAssignment,
+    /// Whether the job's DAG structure is covered by the pre-trained
+    /// corpus (`false` fires a [`DriftEvent::StructureDrift`] on the first
+    /// tick).
+    pub structure_covered: bool,
+}
+
+/// A drift the monitor detected on one tick, in watch order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriftEvent {
+    /// The job's offered rate shifted; it should be re-tuned at
+    /// `to_multiplier`.
+    RateDrift {
+        /// The affected job.
+        job: String,
+        /// Multiplier the job was tuned for.
+        from_multiplier: f64,
+        /// Estimated (quantized) multiplier it now runs at.
+        to_multiplier: f64,
+    },
+    /// The job's DAG is structurally uncovered by the pre-trained corpus;
+    /// the corpus should grow and the model re-pretrain.
+    StructureDrift {
+        /// The affected job.
+        job: String,
+    },
+    /// Polling the job's backend failed (the job stays watched; the error
+    /// is surfaced, never a panic).
+    PollFailed {
+        /// The affected job.
+        job: String,
+        /// The backend error rendered to text.
+        message: String,
+    },
+}
+
+impl DriftEvent {
+    /// The job the event concerns.
+    pub fn job(&self) -> &str {
+        match self {
+            DriftEvent::RateDrift { job, .. }
+            | DriftEvent::StructureDrift { job }
+            | DriftEvent::PollFailed { job, .. } => job,
+        }
+    }
+}
+
+/// One job's line in a `drift_status` report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftStatusLine {
+    /// Job name.
+    pub job: String,
+    /// `"warmup"`, `"stable"`, `"rate-drift"` or `"structure-drift"`.
+    pub class: String,
+    /// Monitor ticks taken for this job.
+    pub ticks: u64,
+    /// The monitor's current estimate of the multiplier the job runs at
+    /// (updated at every detected drift, whether or not the re-tune
+    /// succeeded).
+    pub multiplier: f64,
+    /// Detector baseline of the reference signal (records/second).
+    pub baseline: f64,
+    /// Change points fired so far.
+    pub triggers: u64,
+    /// Automatic re-tunes applied so far.
+    pub retunes: u32,
+}
+
+/// A monitor operation that could not be performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorError {
+    /// The job is already being watched.
+    DuplicateWatch {
+        /// The contested name.
+        name: String,
+    },
+    /// No watched job with this name.
+    UnknownWatch {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonitorError::DuplicateWatch { name } => {
+                write!(f, "job `{name}` is already watched")
+            }
+            MonitorError::UnknownWatch { name } => write!(f, "job `{name}` is not watched"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+/// One watched job: spec + backend + stream + detector.
+struct WatchedJob {
+    name: String,
+    workload: Workload,
+    multiplier: f64,
+    schedule: Vec<f64>,
+    assignment: ParallelismAssignment,
+    backend: Box<dyn ExecutionBackend + Send>,
+    stream: MetricStream,
+    detector: DriftDetector,
+    /// Operators fed directly by a source: their summed arrival rate is
+    /// the job's total offered load, the detector's reference signal.
+    source_ops: Vec<usize>,
+    structure_covered: bool,
+    structure_reported: bool,
+    ticks: u64,
+    retunes: u32,
+    last_signal: Option<f64>,
+}
+
+impl std::fmt::Debug for WatchedJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WatchedJob")
+            .field("name", &self.name)
+            .field("multiplier", &self.multiplier)
+            .field("ticks", &self.ticks)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WatchedJob {
+    /// Current classification.
+    fn class(&self) -> DriftClass {
+        if !self.structure_covered {
+            DriftClass::StructureDrift
+        } else {
+            self.detector.class()
+        }
+    }
+
+    /// One observe→detect step. Pure function of this job's own state, so
+    /// the tick fan-out is deterministic under any thread count.
+    fn tick_one(&mut self, quantum: f64) -> Option<DriftEvent> {
+        // The schedule *holds* its last entry (a step schedule like
+        // `[5, 5, 5, 8]` shifts once and stays shifted); periodic patterns
+        // are written out explicitly.
+        let idx = (self.ticks as usize).min(self.schedule.len() - 1);
+        let env_multiplier = self.schedule[idx];
+        let flow = self.workload.at(env_multiplier);
+        self.ticks += 1;
+        let obs = match self
+            .stream
+            .poll(self.backend.as_mut(), &flow, &self.assignment)
+        {
+            Ok(obs) => obs,
+            Err(e) => {
+                return Some(DriftEvent::PollFailed {
+                    job: self.name.clone(),
+                    message: e.to_string(),
+                })
+            }
+        };
+        if !self.structure_covered {
+            if self.structure_reported {
+                return None;
+            }
+            self.structure_reported = true;
+            return Some(DriftEvent::StructureDrift {
+                job: self.name.clone(),
+            });
+        }
+        let signal: f64 = self
+            .source_ops
+            .iter()
+            .map(|&i| obs.per_op[i].input_rate)
+            .sum();
+        self.last_signal = Some(signal);
+        let trigger = self.detector.observe(signal)?;
+        let from = self.multiplier;
+        let to = quantize(from * trigger.ratio, quantum);
+        // The detector has already re-baselined at the shifted level, so
+        // the believed multiplier must move with it *now* — if the
+        // adaptation fails downstream, a later drift is still estimated
+        // against a consistent (baseline, multiplier) pair instead of
+        // compounding the error.
+        self.multiplier = to;
+        Some(DriftEvent::RateDrift {
+            job: self.name.clone(),
+            from_multiplier: from,
+            to_multiplier: to,
+        })
+    }
+}
+
+/// Watches jobs over their own backends and reports drift events.
+#[derive(Debug)]
+pub struct Monitor {
+    config: MonitorConfig,
+    jobs: Vec<WatchedJob>,
+    index: HashMap<String, usize>,
+    ticks: u64,
+}
+
+impl Monitor {
+    /// A monitor with `config`.
+    pub fn new(config: MonitorConfig) -> Self {
+        Monitor {
+            config,
+            jobs: Vec::new(),
+            index: HashMap::new(),
+            ticks: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Number of watched jobs.
+    pub fn watched(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Global ticks taken.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Whether `name` is being watched.
+    pub fn is_watched(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Start watching a job over `backend` (the job's own — monitoring
+    /// must not perturb anyone else's measurements).
+    pub fn watch(
+        &mut self,
+        spec: WatchSpec,
+        backend: Box<dyn ExecutionBackend + Send>,
+    ) -> Result<(), MonitorError> {
+        if self.index.contains_key(&spec.name) {
+            return Err(MonitorError::DuplicateWatch { name: spec.name });
+        }
+        let flow = spec.workload.at(spec.multiplier);
+        let source_ops: Vec<usize> = flow
+            .op_ids()
+            .filter(|&op| flow.direct_source_rate(op) > 0.0)
+            .map(|op| op.index())
+            .collect();
+        let schedule = match spec.schedule {
+            Some(s) if !s.is_empty() => s,
+            _ => vec![spec.multiplier],
+        };
+        self.index.insert(spec.name.clone(), self.jobs.len());
+        self.jobs.push(WatchedJob {
+            name: spec.name,
+            stream: MetricStream::new(flow.num_ops(), self.config.stream),
+            detector: DriftDetector::new(self.config.detector),
+            source_ops,
+            workload: spec.workload,
+            multiplier: spec.multiplier,
+            schedule,
+            assignment: spec.assignment,
+            backend,
+            structure_covered: spec.structure_covered,
+            structure_reported: false,
+            ticks: 0,
+            retunes: 0,
+            last_signal: None,
+        });
+        Ok(())
+    }
+
+    /// Stop watching a job.
+    pub fn unwatch(&mut self, name: &str) -> Result<(), MonitorError> {
+        let i = self
+            .index
+            .remove(name)
+            .ok_or_else(|| MonitorError::UnknownWatch {
+                name: name.to_string(),
+            })?;
+        self.jobs.remove(i);
+        for v in self.index.values_mut() {
+            if *v > i {
+                *v -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// One monitor tick: poll every watched job (deterministic fan-out),
+    /// run its detector, and return the fired events in watch order.
+    pub fn tick(&mut self) -> Vec<DriftEvent> {
+        self.ticks += 1;
+        let quantum = self.config.quantum;
+        parallel_map_mut(self.config.parallelism, &mut self.jobs, |job| {
+            job.tick_one(quantum)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Record that an adaptation re-tuned `name`: the deployed assignment
+    /// and believed multiplier are updated and the detector re-baselines
+    /// at the last observed signal level.
+    pub fn on_retuned(
+        &mut self,
+        name: &str,
+        assignment: ParallelismAssignment,
+        multiplier: f64,
+    ) -> Result<(), MonitorError> {
+        let &i = self
+            .index
+            .get(name)
+            .ok_or_else(|| MonitorError::UnknownWatch {
+                name: name.to_string(),
+            })?;
+        let job = &mut self.jobs[i];
+        job.assignment = assignment;
+        job.multiplier = multiplier;
+        job.retunes += 1;
+        if let Some(signal) = job.last_signal {
+            job.detector.rebase(signal);
+        }
+        Ok(())
+    }
+
+    /// Record that the corpus grew to cover `name`'s structure (no more
+    /// structure-drift events for it).
+    pub fn mark_structure_covered(&mut self, name: &str) -> Result<(), MonitorError> {
+        let &i = self
+            .index
+            .get(name)
+            .ok_or_else(|| MonitorError::UnknownWatch {
+                name: name.to_string(),
+            })?;
+        self.jobs[i].structure_covered = true;
+        Ok(())
+    }
+
+    /// One status line per watched job, in watch order.
+    pub fn status(&self) -> Vec<DriftStatusLine> {
+        self.jobs
+            .iter()
+            .map(|j| DriftStatusLine {
+                job: j.name.clone(),
+                class: j.class().name().to_string(),
+                ticks: j.ticks,
+                multiplier: j.multiplier,
+                baseline: j.detector.state().baseline,
+                triggers: j.detector.state().triggers,
+                retunes: j.retunes,
+            })
+            .collect()
+    }
+
+    /// The detector state of one watched job (parity tests compare this
+    /// across thread counts).
+    pub fn detector_state(&self, name: &str) -> Option<&DetectorState> {
+        self.index.get(name).map(|&i| self.jobs[i].detector.state())
+    }
+}
+
+/// Minimum capped GED between `flow` and any cluster center of
+/// `pretrained`, computed through (and memoized in) the shared cache.
+/// Distances above the cache's cap report as `cap + 1`, so "uncovered" is
+/// `structure_distance(..) > tau` for any `tau ≤ cap`.
+pub fn structure_distance(cache: &mut GedCache, flow: &Dataflow, pretrained: &Pretrained) -> usize {
+    let id = cache.intern(&GraphView::of(flow), &GraphSignature::of(flow));
+    pretrained
+        .clusters
+        .iter()
+        .map(|c| {
+            let center = cache.intern(&c.center, &c.center.signature());
+            cache.dist(id, center)
+        })
+        .min()
+        .unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamtune_sim::SimCluster;
+    use streamtune_workloads::{nexmark, rates::Engine};
+
+    fn watch_spec(name: &str, multiplier: f64, schedule: Option<Vec<f64>>) -> WatchSpec {
+        let workload = nexmark::q1(Engine::Flink);
+        let flow = workload.at(multiplier);
+        WatchSpec {
+            name: name.to_string(),
+            assignment: ParallelismAssignment::uniform(&flow, 30),
+            workload,
+            multiplier,
+            schedule,
+            structure_covered: true,
+        }
+    }
+
+    fn sim_backend(seed: u64) -> Box<dyn ExecutionBackend + Send> {
+        Box::new(SimCluster::flink_defaults(seed))
+    }
+
+    #[test]
+    fn constant_schedule_stays_stable() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        m.watch(watch_spec("a", 5.0, None), sim_backend(1)).unwrap();
+        for _ in 0..200 {
+            assert!(m.tick().is_empty(), "constant rates must not drift");
+        }
+        let status = m.status();
+        assert_eq!(status[0].class, "stable");
+        assert_eq!(status[0].ticks, 200);
+        assert_eq!(status[0].triggers, 0);
+    }
+
+    #[test]
+    fn scheduled_step_fires_one_rate_drift_with_exact_multiplier() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        // 10 ticks at 5×, then the environment shifts to 8×.
+        let schedule: Vec<f64> = std::iter::repeat_n(5.0, 10).chain([8.0]).collect();
+        m.watch(watch_spec("a", 5.0, Some(schedule)), sim_backend(2))
+            .unwrap();
+        let mut events = Vec::new();
+        for _ in 0..10 {
+            events.extend(m.tick());
+        }
+        assert!(events.is_empty(), "no drift before the shift");
+        for _ in 0..30 {
+            events.extend(m.tick());
+        }
+        assert_eq!(events.len(), 1, "one step, one event: {events:?}");
+        match &events[0] {
+            DriftEvent::RateDrift {
+                job,
+                from_multiplier,
+                to_multiplier,
+            } => {
+                assert_eq!(job, "a");
+                assert_eq!(*from_multiplier, 5.0);
+                assert_eq!(
+                    *to_multiplier, 8.0,
+                    "quantized estimate must recover the scripted multiplier exactly"
+                );
+            }
+            other => panic!("expected RateDrift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncovered_structure_reports_once() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        let mut spec = watch_spec("s", 5.0, None);
+        spec.structure_covered = false;
+        m.watch(spec, sim_backend(3)).unwrap();
+        let first = m.tick();
+        assert_eq!(
+            first,
+            vec![DriftEvent::StructureDrift {
+                job: "s".to_string()
+            }]
+        );
+        for _ in 0..5 {
+            assert!(m.tick().is_empty(), "structure drift reports only once");
+        }
+        assert_eq!(m.status()[0].class, "structure-drift");
+        m.mark_structure_covered("s").unwrap();
+        assert_ne!(m.status()[0].class, "structure-drift");
+    }
+
+    #[test]
+    fn watch_unwatch_and_errors() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        m.watch(watch_spec("a", 5.0, None), sim_backend(1)).unwrap();
+        assert!(matches!(
+            m.watch(watch_spec("a", 5.0, None), sim_backend(1)),
+            Err(MonitorError::DuplicateWatch { .. })
+        ));
+        m.watch(watch_spec("b", 6.0, None), sim_backend(2)).unwrap();
+        m.unwatch("a").unwrap();
+        assert!(!m.is_watched("a"));
+        assert!(m.is_watched("b"));
+        assert_eq!(m.status()[0].job, "b", "index stays consistent");
+        assert!(matches!(
+            m.unwatch("a"),
+            Err(MonitorError::UnknownWatch { .. })
+        ));
+        assert!(m
+            .on_retuned("zz", ParallelismAssignment::from_vec(vec![1]), 1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn retune_updates_assignment_and_rebaselines() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        let schedule: Vec<f64> = std::iter::repeat_n(5.0, 8).chain([9.0]).collect();
+        m.watch(watch_spec("a", 5.0, Some(schedule)), sim_backend(4))
+            .unwrap();
+        let mut drift = None;
+        for _ in 0..40 {
+            if let Some(e) = m.tick().into_iter().next() {
+                drift = Some(e);
+                break;
+            }
+        }
+        let Some(DriftEvent::RateDrift { to_multiplier, .. }) = drift else {
+            panic!("expected a rate drift, got {drift:?}");
+        };
+        let workload = nexmark::q1(Engine::Flink);
+        let flow = workload.at(to_multiplier);
+        m.on_retuned(
+            "a",
+            ParallelismAssignment::uniform(&flow, 40),
+            to_multiplier,
+        )
+        .unwrap();
+        assert_eq!(m.status()[0].retunes, 1);
+        assert_eq!(m.status()[0].multiplier, 9.0);
+        // The shifted level is the new baseline: no further events.
+        for _ in 0..50 {
+            assert!(m.tick().is_empty(), "re-tuned job must be stable again");
+        }
+    }
+
+    #[test]
+    fn quantize_snaps_to_grid() {
+        assert_eq!(quantize(1.4000000000000004 * 10.0, 1e-3), 14.0);
+        assert_eq!(quantize(7.123456, 1e-3), 7.123);
+        assert_eq!(quantize(3.3, 0.0), 3.3);
+    }
+}

@@ -1,0 +1,162 @@
+//! Fixed-capacity ring buffer with windowed statistics.
+//!
+//! Every per-operator metric stream keeps its recent history in one of
+//! these: pushes are O(1), memory is bounded by the configured window, and
+//! the summary statistics iterate oldest→newest in a fixed order so the
+//! same samples always reduce to bit-identical sums regardless of how the
+//! buffer wrapped.
+
+/// A fixed-capacity ring of `f64` samples (newest overwrites oldest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingBuffer {
+    buf: Vec<f64>,
+    head: usize,
+    len: usize,
+    pushed: u64,
+}
+
+impl RingBuffer {
+    /// A ring holding at most `capacity` samples (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "ring capacity must be at least 1");
+        RingBuffer {
+            buf: vec![0.0; capacity],
+            head: 0,
+            len: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Append a sample, evicting the oldest once full.
+    pub fn push(&mut self, v: f64) {
+        self.buf[self.head] = v;
+        self.head = (self.head + 1) % self.buf.len();
+        self.len = (self.len + 1).min(self.buf.len());
+        self.pushed += 1;
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no sample has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the window has filled to capacity at least once.
+    pub fn is_full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Total samples ever pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Samples oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        let cap = self.buf.len();
+        let start = (self.head + cap - self.len) % cap;
+        (0..self.len).map(move |i| self.buf[(start + i) % cap])
+    }
+
+    /// The most recent sample.
+    pub fn latest(&self) -> Option<f64> {
+        if self.len == 0 {
+            return None;
+        }
+        let cap = self.buf.len();
+        Some(self.buf[(self.head + cap - 1) % cap])
+    }
+
+    /// Mean over the window (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        self.iter().sum::<f64>() / self.len as f64
+    }
+
+    /// Population variance over the window (0 when < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.len < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / self.len as f64
+    }
+
+    /// Smallest sample in the window.
+    pub fn min(&self) -> f64 {
+        self.iter().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest sample in the window.
+    pub fn max(&self) -> f64 {
+        self.iter().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_evicting_oldest() {
+        let mut r = RingBuffer::new(3);
+        assert!(r.is_empty());
+        r.push(1.0);
+        r.push(2.0);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![1.0, 2.0]);
+        r.push(3.0);
+        assert!(r.is_full());
+        r.push(4.0);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![2.0, 3.0, 4.0]);
+        assert_eq!(r.latest(), Some(4.0));
+        assert_eq!(r.total_pushed(), 4);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn stats_are_windowed() {
+        let mut r = RingBuffer::new(4);
+        for v in [10.0, 10.0, 10.0, 10.0, 14.0, 14.0] {
+            r.push(v);
+        }
+        // Window holds [10, 10, 14, 14].
+        assert_eq!(r.mean(), 12.0);
+        assert_eq!(r.min(), 10.0);
+        assert_eq!(r.max(), 14.0);
+        assert_eq!(r.variance(), 4.0);
+    }
+
+    #[test]
+    fn wrapped_and_unwrapped_sums_agree_bitwise() {
+        // The same logical window must reduce identically no matter where
+        // the head sits (summation order is fixed oldest → newest).
+        let samples = [0.1, 0.7, 1.3, 2.9, 0.05, 7.7, 3.3, 0.9];
+        let mut a = RingBuffer::new(4);
+        for &v in &samples[4..] {
+            a.push(v);
+        }
+        let mut b = RingBuffer::new(4);
+        for &v in &samples {
+            b.push(v);
+        }
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        assert_eq!(a.variance().to_bits(), b.variance().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        RingBuffer::new(0);
+    }
+}

@@ -3,6 +3,7 @@
 use crate::store::StoreError;
 use std::fmt;
 use streamtune_ged::SnapshotError;
+use streamtune_monitor::MonitorError;
 
 /// A serving operation that could not be performed. Protocol handling
 /// lowers these into `error` responses; the daemon itself keeps running.
@@ -39,6 +40,18 @@ pub enum ServeError {
     },
     /// `snapshot` on a server that was started without a store directory.
     NoStore,
+    /// `watch` on a job whose backend cannot be monitored live (a
+    /// replayed trace is finite; polling it forever makes no sense).
+    NotWatchable {
+        /// The job's name.
+        name: String,
+    },
+    /// A monitor operation failed (duplicate/unknown watch).
+    Monitor(MonitorError),
+    /// Growing the corpus for a structure-drifted job is impossible
+    /// because no training corpus is available (no `corpus.json` was
+    /// persisted and the server was built without one).
+    NoCorpus,
     /// A model-store operation failed.
     Store(StoreError),
     /// A persisted GED-cache snapshot is structurally invalid.
@@ -77,6 +90,19 @@ impl fmt::Display for ServeError {
                     "no model store configured (start the server with --store)"
                 )
             }
+            ServeError::NotWatchable { name } => {
+                write!(
+                    f,
+                    "job `{name}` runs on a replayed trace and cannot be watched live"
+                )
+            }
+            ServeError::Monitor(e) => write!(f, "{e}"),
+            ServeError::NoCorpus => {
+                write!(
+                    f,
+                    "no training corpus available to grow (the store has no corpus.json)"
+                )
+            }
             ServeError::Store(e) => write!(f, "model store: {e}"),
             ServeError::Snapshot(e) => write!(f, "{e}"),
             ServeError::Io { context, message } => write!(f, "{context}: {message}"),
@@ -89,8 +115,15 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Store(e) => Some(e),
             ServeError::Snapshot(e) => Some(e),
+            ServeError::Monitor(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<MonitorError> for ServeError {
+    fn from(e: MonitorError) -> Self {
+        ServeError::Monitor(e)
     }
 }
 

@@ -63,18 +63,21 @@ impl JobState {
 /// One admitted job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Job {
-    /// The submitted spec.
+    /// The submitted spec (re-tunes replace the multiplier in place).
     pub spec: JobSpec,
     /// Cluster assigned at admission ([`Pretrained::assign`]).
     pub cluster: usize,
     /// Current lifecycle state.
     pub state: JobState,
+    /// Times the job has been automatically re-tuned (monitor-triggered
+    /// [`JobManager::resubmit`]s).
+    pub retunes: u32,
 }
 
 /// A job as persisted in the store's ledger (`jobs.json`). Queued jobs
 /// never appear: a snapshot drains first, so every persisted state is
 /// terminal.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct PersistedJob {
     /// The submitted spec.
     pub spec: JobSpec,
@@ -82,6 +85,25 @@ pub struct PersistedJob {
     pub cluster: usize,
     /// Terminal state.
     pub state: JobState,
+    /// Automatic re-tunes applied over the job's lifetime.
+    pub retunes: u32,
+}
+
+// Hand-written so ledgers written before re-tunes existed (no `retunes`
+// field) still restore — a daemon upgrade must never strand an operator's
+// store. Missing `retunes` defaults to 0.
+impl serde::Deserialize for PersistedJob {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(PersistedJob {
+            spec: JobSpec::deserialize(v.field("spec")?)?,
+            cluster: usize::deserialize(v.field("cluster")?)?,
+            state: JobState::deserialize(v.field("state")?)?,
+            retunes: match v.field("retunes") {
+                Ok(f) => u32::deserialize(f)?,
+                Err(_) => 0,
+            },
+        })
+    }
 }
 
 /// Run one job to completion — a pure function of `(pretrained, spec)`.
@@ -177,8 +199,90 @@ impl JobManager {
             spec,
             cluster,
             state: JobState::Queued,
+            retunes: 0,
         });
         Ok(cluster)
+    }
+
+    /// Re-tune an existing job in place: replace its spec (typically the
+    /// same job at a shifted multiplier), re-assign its cluster, and queue
+    /// it again. The next drain runs it exactly like a fresh submission —
+    /// a pure function of `(pretrained, spec)` — so an automatic re-tune
+    /// is bit-identical to manually re-submitting at the new rate.
+    pub fn resubmit(&mut self, spec: JobSpec) -> Result<usize, ServeError> {
+        let &i = self
+            .index
+            .get(&spec.name)
+            .ok_or_else(|| ServeError::UnknownJob {
+                name: spec.name.clone(),
+            })?;
+        let workload =
+            find_workload(&spec.query, spec.engine).ok_or_else(|| ServeError::UnknownWorkload {
+                query: spec.query.clone(),
+            })?;
+        let flow = workload.at(spec.multiplier);
+        let (cluster, _) = self.pretrained.assign(&flow);
+        let job = &mut self.jobs[i];
+        job.spec = spec;
+        job.cluster = cluster;
+        job.state = JobState::Queued;
+        job.retunes += 1;
+        Ok(cluster)
+    }
+
+    /// Swap in a new pre-trained corpus (e.g. after an incremental warm
+    /// re-pretrain on a grown corpus) and re-assign every job to its
+    /// nearest cluster under the new model. Completed results are kept —
+    /// they were computed under the model of their epoch — but their
+    /// cluster labels now reflect the live model. Returns how many jobs
+    /// changed cluster.
+    pub fn swap_pretrained(&mut self, pretrained: Pretrained) -> usize {
+        self.pretrained = pretrained;
+        let mut changed = 0;
+        for job in &mut self.jobs {
+            let Some(workload) = find_workload(&job.spec.query, job.spec.engine) else {
+                continue;
+            };
+            let flow = workload.at(job.spec.multiplier);
+            let (cluster, _) = self.pretrained.assign(&flow);
+            if cluster != job.cluster {
+                job.cluster = cluster;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Ledger rotation for long-lived daemons: keep at most `cap` jobs in
+    /// *terminal* states, dropping the oldest first (queued jobs are never
+    /// touched). Dropped names become reusable. Returns how many jobs were
+    /// dropped.
+    pub fn compact(&mut self, cap: usize) -> usize {
+        let terminal = self
+            .jobs
+            .iter()
+            .filter(|j| j.state != JobState::Queued)
+            .count();
+        if terminal <= cap {
+            return 0;
+        }
+        let mut to_drop = terminal - cap;
+        let mut kept = Vec::with_capacity(self.jobs.len() - to_drop);
+        for job in self.jobs.drain(..) {
+            if to_drop > 0 && job.state != JobState::Queued {
+                to_drop -= 1;
+            } else {
+                kept.push(job);
+            }
+        }
+        self.jobs = kept;
+        self.index = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (j.spec.name.clone(), i))
+            .collect();
+        terminal - cap
     }
 
     /// Cancel a still-queued job.
@@ -234,6 +338,7 @@ impl JobManager {
                 query: j.spec.query.clone(),
                 state: j.state.name().to_string(),
                 cluster: j.cluster,
+                retunes: j.retunes,
                 detail: match &j.state {
                     JobState::Failed(message) => Some(message.clone()),
                     _ => None,
@@ -252,6 +357,7 @@ impl JobManager {
                 spec: j.spec.clone(),
                 cluster: j.cluster,
                 state: j.state.clone(),
+                retunes: j.retunes,
             })
             .collect()
     }
@@ -268,6 +374,7 @@ impl JobManager {
                 spec: p.spec,
                 cluster: p.cluster,
                 state: p.state,
+                retunes: p.retunes,
             });
         }
         Ok(())
@@ -328,6 +435,109 @@ mod tests {
         ));
         assert_eq!(mgr.job("a").unwrap().state, JobState::Cancelled);
         assert!(matches!(mgr.job("b").unwrap().state, JobState::Done(_)));
+    }
+
+    #[test]
+    fn resubmit_requeues_in_place_and_matches_fresh_submission() {
+        let pre = small_pretrained(9);
+        let mut mgr = JobManager::new(pre.clone(), Parallelism::Serial);
+        mgr.submit(spec("a", "nexmark-q1", 1)).unwrap();
+        mgr.drain();
+        let first = match &mgr.job("a").unwrap().state {
+            JobState::Done(r) => r.clone(),
+            other => panic!("expected Done, got {other:?}"),
+        };
+
+        // Re-tune at a shifted multiplier.
+        let mut shifted = spec("a", "nexmark-q1", 1);
+        shifted.multiplier = 12.0;
+        mgr.resubmit(shifted.clone()).unwrap();
+        assert_eq!(mgr.job("a").unwrap().state, JobState::Queued);
+        assert_eq!(mgr.job("a").unwrap().retunes, 1);
+        mgr.drain();
+        let retuned = match &mgr.job("a").unwrap().state {
+            JobState::Done(r) => r.clone(),
+            other => panic!("expected Done, got {other:?}"),
+        };
+        assert_ne!(first.outcome, retuned.outcome, "the rate shift must matter");
+
+        // Bit-identical to a manual fresh submission at the shifted rate.
+        let mut manual = JobManager::new(pre, Parallelism::Serial);
+        let mut fresh = shifted;
+        fresh.name = "manual".to_string();
+        manual.submit(fresh).unwrap();
+        manual.drain();
+        match &manual.job("manual").unwrap().state {
+            JobState::Done(r) => assert_eq!(r.outcome, retuned.outcome),
+            other => panic!("expected Done, got {other:?}"),
+        }
+
+        // Resubmitting an unknown name is an error.
+        assert!(matches!(
+            mgr.resubmit(spec("ghost", "nexmark-q1", 1)),
+            Err(ServeError::UnknownJob { .. })
+        ));
+    }
+
+    #[test]
+    fn compact_drops_oldest_terminal_jobs_and_frees_names() {
+        let mut mgr = JobManager::new(small_pretrained(11), Parallelism::Serial);
+        for (i, q) in ["nexmark-q1", "nexmark-q2", "nexmark-q5"]
+            .iter()
+            .enumerate()
+        {
+            mgr.submit(spec(&format!("j{i}"), q, i as u64)).unwrap();
+        }
+        mgr.drain();
+        mgr.submit(spec("queued", "nexmark-q1", 9)).unwrap();
+        assert_eq!(mgr.compact(2), 1, "three terminal, cap two");
+        assert!(mgr.job("j0").is_none(), "oldest terminal job dropped");
+        assert!(mgr.job("j1").is_some());
+        assert!(mgr.job("queued").is_some(), "queued jobs are untouched");
+        assert_eq!(mgr.compact(2), 0, "already within cap");
+        // The dropped name is reusable.
+        mgr.submit(spec("j0", "nexmark-q2", 3)).unwrap();
+        // The index stayed consistent through the rebuild.
+        assert_eq!(mgr.job("j1").unwrap().spec.name, "j1");
+    }
+
+    #[test]
+    fn pre_retune_ledgers_still_restore() {
+        use serde::{Deserialize, Serialize, Value};
+        let job = PersistedJob {
+            spec: spec("old", "nexmark-q1", 1),
+            cluster: 2,
+            state: JobState::Cancelled,
+            retunes: 3,
+        };
+        // A ledger written by a build that predates re-tunes has no
+        // `retunes` field; it must load with retunes = 0, not error.
+        let Value::Object(fields) = job.serialize() else {
+            panic!("jobs serialize to objects")
+        };
+        let legacy = Value::Object(fields.into_iter().filter(|(k, _)| k != "retunes").collect());
+        let restored = PersistedJob::deserialize(&legacy).expect("legacy ledger loads");
+        assert_eq!(restored.retunes, 0);
+        assert_eq!(restored.spec, job.spec);
+        assert_eq!(restored.state, job.state);
+        // The current format round-trips exactly.
+        let back = PersistedJob::deserialize(&job.serialize()).expect("current format loads");
+        assert_eq!(back, job);
+    }
+
+    #[test]
+    fn swap_pretrained_reassigns_jobs() {
+        let mut mgr = JobManager::new(small_pretrained(3), Parallelism::Serial);
+        mgr.submit(spec("a", "nexmark-q1", 1)).unwrap();
+        mgr.drain();
+        let swapped = small_pretrained(4);
+        let expected = {
+            let w = find_workload("nexmark-q1", Engine::Flink).unwrap();
+            swapped.assign(&w.at(8.0)).0
+        };
+        mgr.swap_pretrained(swapped);
+        assert_eq!(mgr.job("a").unwrap().cluster, expected);
+        assert!(matches!(mgr.job("a").unwrap().state, JobState::Done(_)));
     }
 
     #[test]

@@ -2,29 +2,39 @@
 //!
 //! The paper's end state is an *online* tuner: one pre-trained model
 //! corpus serving recommendation requests for many concurrently running
-//! stream jobs. This crate turns the workspace's library pieces into that
-//! system:
+//! stream jobs, re-tuning them as their workloads drift. This crate turns
+//! the workspace's library pieces into that system:
 //!
 //! * [`store`] — the **persistent model store**: the serialized
-//!   [`Pretrained`](streamtune_core::Pretrained) bundle, a warm-start
-//!   [`GedCacheSnapshot`](streamtune_ged::GedCacheSnapshot) and the
-//!   completed-job ledger, each wrapped in a versioned, FNV-checksummed
-//!   envelope (unknown future fields tolerated; corruption is an explicit
-//!   error, never a panic);
+//!   [`Pretrained`](streamtune_core::Pretrained) bundle (superseded models
+//!   rotate to `model.json.bak`), a warm-start
+//!   [`GedCacheSnapshot`](streamtune_ged::GedCacheSnapshot), the training
+//!   corpus (so the model can grow) and the rotated completed-job ledger,
+//!   each wrapped in a versioned, FNV-checksummed envelope (unknown future
+//!   fields tolerated; corruption is an explicit error, never a panic);
 //! * [`job`] — the **job manager**: admits named jobs, assigns each to
 //!   its cluster at admission, and drains queued jobs in deterministic
 //!   [`Parallelism`](streamtune_ged::Parallelism) batches — every job
 //!   owns its backend and fine-tuning state, so any thread count and any
-//!   submission interleaving produce bit-identical per-job outcomes;
+//!   submission interleaving produce bit-identical per-job outcomes.
+//!   Monitor-triggered re-tunes go through [`JobManager::resubmit`] and
+//!   are bit-identical to manual re-submits at the shifted rate; model
+//!   swaps go through [`JobManager::swap_pretrained`];
 //! * [`protocol`] — the **line-delimited JSON control protocol**
-//!   (`submit` / `status` / `recommend` / `cancel` / `snapshot` /
-//!   `shutdown`), identical over stdio, in-process buffers and TCP;
+//!   (`submit` / `status` / `recommend` / `cancel` / `watch` / `unwatch` /
+//!   `drift_status` / `tick` / `snapshot` / `shutdown`), identical over
+//!   stdio, in-process buffers and TCP;
 //! * [`server`] — the daemon: [`Server::bootstrap`] loads the store (no
 //!   retraining) or pre-trains (warm-started from any persisted GED
-//!   cache) and persists, then serves the protocol.
+//!   cache) and persists; [`Server::serve_tcp`] serves **one session per
+//!   client** over the shared state and doubles as the background monitor
+//!   loop; [`Server::tick_monitor`] runs the observe→detect→adapt cycle —
+//!   rate drifts re-tune through the job manager, structure drifts grow
+//!   the corpus and warm re-pretrain (see `streamtune-monitor`).
 //!
-//! The CLI front ends are `streamtune serve` and `streamtune client`;
-//! `examples/serve_quickstart.rs` drives an in-process server.
+//! The CLI front ends are `streamtune serve`, `streamtune client` and
+//! `streamtune monitor`; `examples/serve_quickstart.rs` and
+//! `examples/monitor_quickstart.rs` drive in-process servers.
 
 pub mod error;
 pub mod job;
@@ -35,8 +45,8 @@ pub mod store;
 pub use error::ServeError;
 pub use job::{Job, JobManager, JobResult, JobState, PersistedJob};
 pub use protocol::{
-    parse_request, render_response, BackendSpec, JobSpec, JobStatusLine, Recommendation, Request,
-    Response,
+    parse_request, render_response, BackendSpec, DriftEventLine, JobSpec, JobStatusLine,
+    Recommendation, Request, Response, StatusReport, TickReport,
 };
-pub use server::{BootstrapReport, Server};
-pub use store::{fnv1a64, read_envelope, write_envelope, ModelStore, StoreError};
+pub use server::{BootstrapReport, Server, ServerConfig};
+pub use store::{fnv1a64, read_envelope, write_envelope, ModelStore, StoreError, StoreStats};

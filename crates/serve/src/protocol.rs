@@ -11,17 +11,26 @@
 //! | status | `"status"` |
 //! | recommend | `{"recommend": {"job": "j1"}}` |
 //! | cancel | `{"cancel": {"job": "j1"}}` |
+//! | watch | `{"watch": {"job": "j1", "schedule": [10.0, 10.0, 14.0]}}` (`schedule` optional) |
+//! | unwatch | `{"unwatch": {"job": "j1"}}` |
+//! | drift_status | `"drift_status"` |
+//! | tick | `{"tick": {"steps": 5}}` |
 //! | snapshot | `"snapshot"` |
 //! | shutdown | `"shutdown"` |
 //!
-//! Responses mirror the shape: `{"submitted": {...}}`, `{"status": [...]}`,
+//! Responses mirror the shape: `{"submitted": {...}}`,
+//! `{"status": {"jobs": [...], "store": {...}|null}}`,
 //! `{"recommendation": {...}}`, `{"cancelled": {...}}`,
-//! `{"snapshotted": {...}}`, `"shutting-down"`, `{"error": {...}}`.
-//! Unknown verbs and malformed lines produce an `error` response, never a
-//! dropped connection.
+//! `{"watching": {...}}`, `{"unwatched": {...}}`, `{"drift": [...]}`,
+//! `{"ticked": {...}}`, `{"snapshotted": {...}}`, `"shutting-down"`,
+//! `{"error": {...}}`. Unknown verbs and malformed lines produce an
+//! `error` response, never a dropped connection.
 
 use serde::{Deserialize, Error, Serialize, Value};
+use streamtune_monitor::DriftStatusLine;
 use streamtune_workloads::rates::Engine;
+
+use crate::store::StoreStats;
 
 /// Which execution backend a job tunes against.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,7 +108,27 @@ pub enum Request {
         /// The job's name.
         job: String,
     },
-    /// Persist the model store (model, GED cache, job ledger).
+    /// Start live drift monitoring of a finished job.
+    Watch {
+        /// The job's name.
+        job: String,
+        /// Environment rate script: one multiplier per monitor tick, the
+        /// last entry holding; `None` keeps the submitted rate.
+        schedule: Option<Vec<f64>>,
+    },
+    /// Stop monitoring a job.
+    Unwatch {
+        /// The job's name.
+        job: String,
+    },
+    /// Report every watched job's drift classification.
+    DriftStatus,
+    /// Advance the monitor by `steps` observe→detect→adapt ticks.
+    Tick {
+        /// Ticks to take.
+        steps: u64,
+    },
+    /// Persist the model store (model, GED cache, corpus, job ledger).
     Snapshot,
     /// Stop the server after responding.
     Shutdown,
@@ -115,6 +144,19 @@ impl Serialize for Request {
             Request::Status => Value::String("status".to_string()),
             Request::Recommend { job } => tagged("recommend", job_ref(job)),
             Request::Cancel { job } => tagged("cancel", job_ref(job)),
+            Request::Watch { job, schedule } => {
+                let mut fields = vec![("job".to_string(), Value::String(job.clone()))];
+                if let Some(s) = schedule {
+                    fields.push(("schedule".to_string(), s.serialize()));
+                }
+                tagged("watch", Value::Object(fields))
+            }
+            Request::Unwatch { job } => tagged("unwatch", job_ref(job)),
+            Request::DriftStatus => Value::String("drift_status".to_string()),
+            Request::Tick { steps } => tagged(
+                "tick",
+                Value::Object(vec![("steps".to_string(), Value::U64(*steps))]),
+            ),
             Request::Snapshot => Value::String("snapshot".to_string()),
             Request::Shutdown => Value::String("shutdown".to_string()),
         }
@@ -135,10 +177,29 @@ impl Deserialize for Request {
             "cancel" => Ok(Request::Cancel {
                 job: job_of(need(payload)?)?,
             }),
+            "watch" => {
+                let p = need(payload)?;
+                let schedule = match p.field("schedule") {
+                    Ok(v) => Some(Vec::<f64>::deserialize(v)?),
+                    Err(_) => None,
+                };
+                Ok(Request::Watch {
+                    job: job_of(p)?,
+                    schedule,
+                })
+            }
+            "unwatch" => Ok(Request::Unwatch {
+                job: job_of(need(payload)?)?,
+            }),
+            "drift_status" => Ok(Request::DriftStatus),
+            "tick" => Ok(Request::Tick {
+                steps: u64::deserialize(need(payload)?.field("steps")?)?,
+            }),
             "snapshot" => Ok(Request::Snapshot),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(Error::custom(format!(
-                "unknown verb `{other}` (want submit/status/recommend/cancel/snapshot/shutdown)"
+                "unknown verb `{other}` (want submit/status/recommend/cancel/watch/unwatch/\
+                 drift_status/tick/snapshot/shutdown)"
             ))),
         }
     }
@@ -155,8 +216,41 @@ pub struct JobStatusLine {
     pub state: String,
     /// Cluster the job was assigned to at admission.
     pub cluster: usize,
+    /// Automatic re-tunes applied to the job so far.
+    pub retunes: u32,
     /// Failure message when `state == "failed"`.
     pub detail: Option<String>,
+}
+
+/// The payload of a `status` response: the job table plus store health.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusReport {
+    /// One line per admitted job, in admission order.
+    pub jobs: Vec<JobStatusLine>,
+    /// Store artifact sizes (absent without a configured store).
+    pub store: Option<StoreStats>,
+}
+
+/// One applied adaptation in a `ticked` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftEventLine {
+    /// The affected job.
+    pub job: String,
+    /// `"rate-drift"`, `"structure-drift"` or `"poll-failed"`.
+    pub kind: String,
+    /// What the adaptation did (or why it could not).
+    pub detail: String,
+}
+
+/// The payload of a `ticked` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TickReport {
+    /// Ticks taken.
+    pub steps: u64,
+    /// Jobs currently watched.
+    pub watched: u64,
+    /// Adaptations applied during these ticks, in detection order.
+    pub events: Vec<DriftEventLine>,
 }
 
 /// The payload of a `recommendation` response.
@@ -196,8 +290,8 @@ pub enum Response {
         /// Cluster the job was assigned to.
         cluster: usize,
     },
-    /// All admitted jobs.
-    Status(Vec<JobStatusLine>),
+    /// All admitted jobs plus store health.
+    Status(StatusReport),
     /// One job's tuning result.
     Recommendation(Recommendation),
     /// A queued job was cancelled.
@@ -205,6 +299,23 @@ pub enum Response {
         /// The job's name.
         job: String,
     },
+    /// A job is now being monitored for drift.
+    Watching {
+        /// The job's name.
+        job: String,
+        /// Whether its DAG structure is covered by the pre-trained corpus
+        /// (`false` ⇒ the first tick will grow the corpus).
+        covered: bool,
+    },
+    /// A job is no longer monitored.
+    Unwatched {
+        /// The job's name.
+        job: String,
+    },
+    /// Drift classification of every watched job.
+    Drift(Vec<DriftStatusLine>),
+    /// The monitor advanced.
+    Ticked(TickReport),
     /// The model store was persisted.
     Snapshotted {
         /// Directory the store was written to.
@@ -230,12 +341,25 @@ impl Serialize for Response {
                     ("cluster".to_string(), Value::U64(*cluster as u64)),
                 ]),
             ),
-            Response::Status(lines) => tagged("status", lines.serialize()),
+            Response::Status(report) => tagged("status", report.serialize()),
             Response::Recommendation(r) => tagged("recommendation", r.serialize()),
             Response::Cancelled { job } => tagged(
                 "cancelled",
                 Value::Object(vec![("job".to_string(), Value::String(job.clone()))]),
             ),
+            Response::Watching { job, covered } => tagged(
+                "watching",
+                Value::Object(vec![
+                    ("job".to_string(), Value::String(job.clone())),
+                    ("covered".to_string(), Value::Bool(*covered)),
+                ]),
+            ),
+            Response::Unwatched { job } => tagged(
+                "unwatched",
+                Value::Object(vec![("job".to_string(), Value::String(job.clone()))]),
+            ),
+            Response::Drift(lines) => tagged("drift", lines.serialize()),
+            Response::Ticked(report) => tagged("ticked", report.serialize()),
             Response::Snapshotted { dir } => tagged(
                 "snapshotted",
                 Value::Object(vec![("dir".to_string(), Value::String(dir.clone()))]),
@@ -264,13 +388,25 @@ impl Deserialize for Response {
                     cluster: usize::deserialize(p.field("cluster")?)?,
                 })
             }
-            "status" => Ok(Response::Status(Vec::deserialize(need(payload)?)?)),
+            "status" => Ok(Response::Status(StatusReport::deserialize(need(payload)?)?)),
             "recommendation" => Ok(Response::Recommendation(Recommendation::deserialize(
                 need(payload)?,
             )?)),
             "cancelled" => Ok(Response::Cancelled {
                 job: String::deserialize(need(payload)?.field("job")?)?,
             }),
+            "watching" => {
+                let p = need(payload)?;
+                Ok(Response::Watching {
+                    job: String::deserialize(p.field("job")?)?,
+                    covered: bool::deserialize(p.field("covered")?)?,
+                })
+            }
+            "unwatched" => Ok(Response::Unwatched {
+                job: String::deserialize(need(payload)?.field("job")?)?,
+            }),
+            "drift" => Ok(Response::Drift(Vec::deserialize(need(payload)?)?)),
+            "ticked" => Ok(Response::Ticked(TickReport::deserialize(need(payload)?)?)),
             "snapshotted" => Ok(Response::Snapshotted {
                 dir: String::deserialize(need(payload)?.field("dir")?)?,
             }),
@@ -319,6 +455,19 @@ mod tests {
             Request::Cancel {
                 job: "j1".to_string(),
             },
+            Request::Watch {
+                job: "j1".to_string(),
+                schedule: Some(vec![10.0, 10.0, 14.0]),
+            },
+            Request::Watch {
+                job: "j1".to_string(),
+                schedule: None,
+            },
+            Request::Unwatch {
+                job: "j1".to_string(),
+            },
+            Request::DriftStatus,
+            Request::Tick { steps: 25 },
             Request::Snapshot,
             Request::Shutdown,
         ];
@@ -365,6 +514,19 @@ mod tests {
         assert!(parse_request("\"reboot\"").is_err());
         assert!(parse_request("{\"recommend\": {}}").is_err());
         assert!(parse_request("not json").is_err());
+        // Monitor verbs: schedule optional, steps required.
+        match parse_request("{\"watch\": {\"job\": \"a\"}}").unwrap() {
+            Request::Watch { job, schedule } => {
+                assert_eq!(job, "a");
+                assert_eq!(schedule, None);
+            }
+            other => panic!("expected watch, got {other:?}"),
+        }
+        assert_eq!(
+            parse_request("\"drift_status\"").unwrap(),
+            Request::DriftStatus
+        );
+        assert!(parse_request("{\"tick\": {}}").is_err());
     }
 
     #[test]
@@ -374,16 +536,55 @@ mod tests {
                 job: "j".to_string(),
                 cluster: 2,
             },
-            Response::Status(vec![JobStatusLine {
-                name: "j".to_string(),
-                query: "nexmark-q2".to_string(),
-                state: "done".to_string(),
-                cluster: 0,
-                detail: None,
-            }]),
+            Response::Status(StatusReport {
+                jobs: vec![JobStatusLine {
+                    name: "j".to_string(),
+                    query: "nexmark-q2".to_string(),
+                    state: "done".to_string(),
+                    cluster: 0,
+                    retunes: 3,
+                    detail: None,
+                }],
+                store: Some(StoreStats {
+                    model_bytes: 1024,
+                    model_backup_bytes: 0,
+                    ged_cache_bytes: 99,
+                    corpus_bytes: 12_345,
+                    jobs_bytes: 7,
+                }),
+            }),
+            Response::Status(StatusReport {
+                jobs: Vec::new(),
+                store: None,
+            }),
             Response::Cancelled {
                 job: "j".to_string(),
             },
+            Response::Watching {
+                job: "j".to_string(),
+                covered: false,
+            },
+            Response::Unwatched {
+                job: "j".to_string(),
+            },
+            Response::Drift(vec![streamtune_monitor::DriftStatusLine {
+                job: "j".to_string(),
+                class: "rate-drift".to_string(),
+                ticks: 40,
+                multiplier: 10.0,
+                baseline: 700e3,
+                triggers: 1,
+                retunes: 1,
+            }]),
+            Response::Ticked(TickReport {
+                steps: 5,
+                watched: 2,
+                events: vec![DriftEventLine {
+                    job: "j".to_string(),
+                    kind: "rate-drift".to_string(),
+                    detail: "re-tuned 10 → 14".to_string(),
+                }],
+            }),
             Response::Snapshotted {
                 dir: "/tmp/store".to_string(),
             },

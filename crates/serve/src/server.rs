@@ -1,20 +1,102 @@
-//! The tuning daemon: bootstrap, protocol dispatch, transports.
+//! The tuning daemon: bootstrap, protocol dispatch, monitoring, transports.
 //!
 //! A [`Server`] owns the shared model corpus ([`Pretrained`] + live
-//! [`GedCache`]), the [`JobManager`], and (optionally) a [`ModelStore`].
-//! It speaks the line-delimited protocol over any `BufRead`/`Write` pair
-//! — stdin/stdout, an in-process byte buffer (tests, examples), or TCP
-//! connections served sequentially — with identical semantics.
+//! [`GedCache`] + the execution-history corpus it was trained on), the
+//! [`JobManager`], the drift [`Monitor`] and (optionally) a
+//! [`ModelStore`]. It speaks the line-delimited protocol over any
+//! `BufRead`/`Write` pair — stdin/stdout, an in-process byte buffer
+//! (tests, examples) — and over TCP with **one session per client**: each
+//! connection gets its own thread over the shared server state, so a slow
+//! or crashing client never blocks (let alone kills) the daemon.
+//!
+//! The observe→detect→adapt loop runs through [`Server::tick_monitor`]:
+//! each tick polls every watched job (deterministic
+//! [`Parallelism`](streamtune_ged::Parallelism) fan-out), classifies
+//! drift, and applies the adaptation policy — a rate drift re-tunes the
+//! affected job through the job manager (bit-identical to a manual
+//! re-submit at the shifted rate); a structure drift appends the unseen
+//! DAG to the corpus, re-pretrains *warm* over the GED cache (cached
+//! pairs never search again), atomically swaps the model and re-assigns
+//! every live job. Ticks are driven by the `tick` protocol verb
+//! (scripted, deterministic) or by the TCP transport's background
+//! monitor interval (wall-clock cadence; the decisions stay
+//! deterministic, only *when* they happen varies).
 
 use crate::error::ServeError;
 use crate::job::{JobManager, JobState};
-use crate::protocol::{parse_request, render_response, Recommendation, Request, Response};
+use crate::protocol::{
+    parse_request, render_response, BackendSpec, DriftEventLine, Recommendation, Request, Response,
+    StatusReport, TickReport,
+};
 use crate::store::ModelStore;
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use streamtune_backend::ExecutionBackend;
 use streamtune_core::{PretrainConfig, Pretrained, Pretrainer};
 use streamtune_ged::{Bound, GedCache, Parallelism};
+use streamtune_monitor::{
+    grow_and_pretrain, grow_records, structure_distance, DriftEvent, Monitor, MonitorConfig,
+    WatchSpec,
+};
+use streamtune_sim::SimCluster;
 use streamtune_workloads::history::ExecutionRecord;
+use streamtune_workloads::{find_workload, rates::Engine};
+
+/// Server settings beyond the model itself.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Pre-training configuration — used for the bootstrap cold path *and*
+    /// for every incremental re-pretrain on a grown corpus.
+    pub pretrain: PretrainConfig,
+    /// Worker pool width for job drains and monitor ticks (any value is
+    /// bit-identical; only wall-clock changes).
+    pub parallelism: Parallelism,
+    /// Ledger rotation: at most this many terminal jobs are kept (oldest
+    /// dropped first) when snapshotting, so `jobs.json` stays bounded on
+    /// long-lived daemons.
+    pub ledger_cap: usize,
+    /// Drift-monitor settings.
+    pub monitor: MonitorConfig,
+    /// Execution records synthesized per structure-drifted DAG before the
+    /// incremental re-pretrain.
+    pub grow_runs: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            pretrain: PretrainConfig::default(),
+            parallelism: Parallelism::Auto,
+            ledger_cap: 256,
+            monitor: MonitorConfig::default(),
+            grow_runs: 2,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A reduced-cost configuration for tests and examples.
+    pub fn fast() -> Self {
+        ServerConfig {
+            pretrain: PretrainConfig::fast(),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Same config with `parallelism` (worker pool + monitor fan-out).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self.monitor.parallelism = parallelism;
+        self
+    }
+}
+
+/// Largest `steps` one `tick` request may take (bounds how long a single
+/// request can hold the shared server state).
+pub const MAX_TICK_STEPS: u64 = 100_000;
 
 /// How a [`Server`] came to own its model (for operator logging).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,41 +115,51 @@ pub struct Server {
     manager: JobManager,
     cache: GedCache,
     store: Option<ModelStore>,
+    corpus: Vec<ExecutionRecord>,
+    monitor: Monitor,
+    config: ServerConfig,
 }
 
 impl Server {
     /// A server over an already-built model. `cache` is the GED cache the
     /// model was trained through (snapshotted on the `snapshot` verb);
-    /// `store` enables `snapshot` and restart-resume.
+    /// `corpus` is the history it was trained on (grown on structure
+    /// drift); `store` enables `snapshot` and restart-resume.
     pub fn new(
         pretrained: Pretrained,
         cache: GedCache,
         store: Option<ModelStore>,
-        parallelism: Parallelism,
+        corpus: Vec<ExecutionRecord>,
+        config: ServerConfig,
     ) -> Self {
         Server {
-            manager: JobManager::new(pretrained, parallelism),
+            manager: JobManager::new(pretrained, config.parallelism),
             cache,
             store,
+            corpus,
+            monitor: Monitor::new(config.monitor.clone()),
+            config,
         }
     }
 
     /// Build a server from the store when possible, pre-training only on
     /// a store miss.
     ///
-    /// * Store has a model → load it (plus cache snapshot and job
+    /// * Store has a model → load it (plus cache snapshot, corpus and job
     ///   ledger); **no retraining**.
     /// * Store has only a GED-cache snapshot (e.g. a prior run was
     ///   interrupted after clustering) → pre-train warm-started from it.
     /// * Otherwise → cold pre-train. With a store configured, the fresh
-    ///   model and cache are persisted immediately.
+    ///   model, cache and corpus are persisted immediately.
     ///
-    /// `recipe` supplies the pre-training inputs and is only invoked on a
-    /// store miss, so a warm start never pays corpus generation.
+    /// `corpus_recipe` supplies the pre-training history and is only
+    /// invoked on a store miss, so a warm start never pays corpus
+    /// generation; `config.pretrain` governs both the cold path and every
+    /// later incremental re-pretrain.
     pub fn bootstrap(
         store: Option<ModelStore>,
-        recipe: impl FnOnce() -> (PretrainConfig, Vec<ExecutionRecord>),
-        parallelism: Parallelism,
+        config: ServerConfig,
+        corpus_recipe: impl FnOnce() -> Vec<ExecutionRecord>,
     ) -> Result<(Self, BootstrapReport), ServeError> {
         if let Some(store) = &store {
             if store.has_model() {
@@ -77,13 +169,19 @@ impl Server {
                 } else {
                     GedCache::new(Bound::LabelSet, pretrained.ged_cap)
                 };
+                let corpus = if store.has_corpus() {
+                    store.load_corpus()?
+                } else {
+                    Vec::new()
+                };
                 let ledger = if store.has_jobs() {
                     store.load_jobs()?
                 } else {
                     Vec::new()
                 };
                 let restored_jobs = ledger.len();
-                let mut server = Server::new(pretrained, cache, Some(store.clone()), parallelism);
+                let mut server =
+                    Server::new(pretrained, cache, Some(store.clone()), corpus, config);
                 server.manager.restore(ledger)?;
                 return Ok((
                     server,
@@ -95,25 +193,27 @@ impl Server {
                 ));
             }
         }
-        let (config, corpus) = recipe();
+        let corpus = corpus_recipe();
         let warm_started = matches!(&store, Some(store) if store.has_ged_cache());
         let mut cache = if warm_started {
             let store = store.as_ref().expect("warm start implies a store");
             GedCache::from_snapshot(store.load_ged_cache()?)?
         } else {
-            GedCache::new(Bound::LabelSet, config.cluster.ged_cap)
+            GedCache::new(Bound::LabelSet, config.pretrain.cluster.ged_cap)
         };
-        let pretrained = Pretrainer::new(config).run_with_cache(&corpus, &mut cache);
+        let pretrained =
+            Pretrainer::new(config.pretrain.clone()).run_with_cache(&corpus, &mut cache);
         if let Some(store) = &store {
             store.save_model(&pretrained)?;
             store.save_ged_cache(&cache.snapshot())?;
+            store.save_corpus(&corpus)?;
             // A fresh model invalidates any ledger left by a previous
             // model epoch (e.g. the operator deleted model.json to force
             // a retrain): without this, the next restart would resurrect
             // results computed under the old model as if they were new.
             store.save_jobs(&[])?;
         }
-        let server = Server::new(pretrained, cache, store, parallelism);
+        let server = Server::new(pretrained, cache, store, corpus, config);
         Ok((
             server,
             BootstrapReport {
@@ -134,15 +234,211 @@ impl Server {
         &self.manager
     }
 
-    /// Persist model, GED cache and job ledger to the store.
+    /// The drift monitor (for in-process drivers and tests).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// The execution-history corpus the live model was trained on.
+    pub fn corpus(&self) -> &[ExecutionRecord] {
+        &self.corpus
+    }
+
+    /// Persist model, GED cache, corpus and (rotated) job ledger.
     fn snapshot(&mut self) -> Result<String, ServeError> {
-        // Drain first so the ledger only holds terminal states.
+        // Drain first so the ledger only holds terminal states; compact so
+        // it stays bounded on long-lived daemons.
         self.manager.drain();
+        self.manager.compact(self.config.ledger_cap);
         let store = self.store.as_ref().ok_or(ServeError::NoStore)?;
         store.save_model(self.manager.pretrained())?;
         store.save_ged_cache(&self.cache.snapshot())?;
+        store.save_corpus(&self.corpus)?;
         store.save_jobs(&self.manager.persistable())?;
         Ok(store.dir().display().to_string())
+    }
+
+    /// Register a finished job with the drift monitor. Returns whether its
+    /// DAG structure is covered by the pre-trained corpus.
+    fn watch_job(&mut self, name: &str, schedule: Option<Vec<f64>>) -> Result<bool, ServeError> {
+        self.manager.drain();
+        let job = self
+            .manager
+            .job(name)
+            .ok_or_else(|| ServeError::UnknownJob {
+                name: name.to_string(),
+            })?;
+        let JobState::Done(result) = &job.state else {
+            return Err(ServeError::NoResult {
+                name: name.to_string(),
+                state: job.state.name().to_string(),
+            });
+        };
+        if job.spec.backend != BackendSpec::Sim {
+            return Err(ServeError::NotWatchable {
+                name: name.to_string(),
+            });
+        }
+        let spec = job.spec.clone();
+        let assignment = result.outcome.final_assignment.clone();
+        let workload =
+            find_workload(&spec.query, spec.engine).ok_or_else(|| ServeError::UnknownWorkload {
+                query: spec.query.clone(),
+            })?;
+        let flow = workload.at(spec.multiplier);
+        let distance = structure_distance(&mut self.cache, &flow, self.manager.pretrained());
+        let covered = distance <= self.config.monitor.detector.structure_tau;
+        // The monitor polls the same ground-truth cluster the job runs on
+        // (same per-spec seed); monitor epochs are disjoint from tuning
+        // epochs, so the readings are fresh, not replays.
+        let backend: Box<dyn ExecutionBackend + Send> = Box::new(match spec.engine {
+            Engine::Flink => SimCluster::flink_defaults(spec.seed),
+            Engine::Timely => SimCluster::timely_defaults(spec.seed),
+        });
+        self.monitor.watch(
+            WatchSpec {
+                name: spec.name,
+                workload,
+                multiplier: spec.multiplier,
+                schedule,
+                assignment,
+                structure_covered: covered,
+            },
+            backend,
+        )?;
+        Ok(covered)
+    }
+
+    /// Re-tune `job` at `multiplier` through the job manager and tell the
+    /// monitor about the new deployment. The re-tune re-runs the job as a
+    /// pure function of `(pretrained, spec)`, so it is bit-identical to a
+    /// manual re-submit at the same rate.
+    fn retune(&mut self, job: &str, multiplier: f64) -> Result<(), ServeError> {
+        let mut spec = self
+            .manager
+            .job(job)
+            .ok_or_else(|| ServeError::UnknownJob {
+                name: job.to_string(),
+            })?
+            .spec
+            .clone();
+        spec.multiplier = multiplier;
+        self.manager.resubmit(spec)?;
+        self.manager.drain();
+        match &self.manager.job(job).expect("job still admitted").state {
+            JobState::Done(result) => {
+                self.monitor.on_retuned(
+                    job,
+                    result.outcome.final_assignment.clone(),
+                    multiplier,
+                )?;
+                Ok(())
+            }
+            other => Err(ServeError::NoResult {
+                name: job.to_string(),
+                state: other.name().to_string(),
+            }),
+        }
+    }
+
+    /// Grow the corpus to cover `job`'s DAG, re-pretrain warm, swap the
+    /// model in, re-assign live jobs and re-tune the drifted job under
+    /// the new model. Returns a human-readable summary.
+    fn grow_for(&mut self, job: &str) -> Result<String, ServeError> {
+        if self.corpus.is_empty() {
+            return Err(ServeError::NoCorpus);
+        }
+        let spec = self
+            .manager
+            .job(job)
+            .ok_or_else(|| ServeError::UnknownJob {
+                name: job.to_string(),
+            })?
+            .spec
+            .clone();
+        let workload =
+            find_workload(&spec.query, spec.engine).ok_or_else(|| ServeError::UnknownWorkload {
+                query: spec.query.clone(),
+            })?;
+        let new_records = grow_records(&workload, spec.engine, spec.seed, self.config.grow_runs);
+        let (pretrained, report) = grow_and_pretrain(
+            &self.config.pretrain,
+            &mut self.corpus,
+            new_records,
+            &mut self.cache,
+        );
+        let reassigned = self.manager.swap_pretrained(pretrained);
+        self.monitor.mark_structure_covered(job)?;
+        self.retune(job, spec.multiplier)?;
+        if let Some(store) = &self.store {
+            store.save_model(self.manager.pretrained())?;
+            store.save_ged_cache(&self.cache.snapshot())?;
+            store.save_corpus(&self.corpus)?;
+        }
+        Ok(format!(
+            "corpus grew by {} to {} record(s); warm re-pretrain ran {} A* search(es) into {} \
+             cluster(s); {} job(s) re-assigned",
+            report.added_records,
+            report.corpus_records,
+            report.new_searches,
+            report.clusters,
+            reassigned
+        ))
+    }
+
+    /// Apply the adaptation policy to one detected drift.
+    fn apply_drift(&mut self, event: DriftEvent) -> DriftEventLine {
+        match event {
+            DriftEvent::RateDrift {
+                job,
+                from_multiplier,
+                to_multiplier,
+            } => {
+                let detail = match self.retune(&job, to_multiplier) {
+                    Ok(()) => {
+                        format!("re-tuned at {from_multiplier} → {to_multiplier}×Wu")
+                    }
+                    Err(e) => format!("re-tune failed: {e}"),
+                };
+                DriftEventLine {
+                    job,
+                    kind: "rate-drift".to_string(),
+                    detail,
+                }
+            }
+            DriftEvent::StructureDrift { job } => {
+                let detail = match self.grow_for(&job) {
+                    Ok(summary) => summary,
+                    Err(e) => format!("incremental re-pretrain failed: {e}"),
+                };
+                DriftEventLine {
+                    job,
+                    kind: "structure-drift".to_string(),
+                    detail,
+                }
+            }
+            DriftEvent::PollFailed { job, message } => DriftEventLine {
+                job,
+                kind: "poll-failed".to_string(),
+                detail: message,
+            },
+        }
+    }
+
+    /// Advance the monitor by `steps` observe→detect→adapt ticks,
+    /// applying the adaptation policy to every detected drift.
+    pub fn tick_monitor(&mut self, steps: u64) -> TickReport {
+        let mut events = Vec::new();
+        for _ in 0..steps {
+            for event in self.monitor.tick() {
+                events.push(self.apply_drift(event));
+            }
+        }
+        TickReport {
+            steps,
+            watched: self.monitor.watched() as u64,
+            events,
+        }
     }
 
     /// Serve one request. Returns the response and whether the server
@@ -160,7 +456,10 @@ impl Server {
             }
             Request::Status => {
                 self.manager.drain();
-                Response::Status(self.manager.status_lines())
+                Response::Status(StatusReport {
+                    jobs: self.manager.status_lines(),
+                    store: self.store.as_ref().map(|s| s.stats()),
+                })
             }
             Request::Recommend { job } => {
                 self.manager.drain();
@@ -198,6 +497,37 @@ impl Server {
                     message: e.to_string(),
                 },
             },
+            Request::Watch { job, schedule } => match self.watch_job(job, schedule.clone()) {
+                Ok(covered) => Response::Watching {
+                    job: job.clone(),
+                    covered,
+                },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+            Request::Unwatch { job } => match self.monitor.unwatch(job) {
+                Ok(()) => Response::Unwatched { job: job.clone() },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+            Request::DriftStatus => Response::Drift(self.monitor.status()),
+            Request::Tick { steps } => {
+                // One request must not hold the shared server lock for an
+                // unbounded time: a huge (or fat-fingered) steps value
+                // would freeze every other client and the background loop.
+                if *steps > MAX_TICK_STEPS {
+                    Response::Error {
+                        message: format!(
+                            "tick steps {steps} exceeds the per-request cap {MAX_TICK_STEPS} \
+                             (send several smaller ticks instead)"
+                        ),
+                    }
+                } else {
+                    Response::Ticked(self.tick_monitor(*steps))
+                }
+            }
             Request::Snapshot => match self.snapshot() {
                 Ok(dir) => Response::Snapshotted { dir },
                 Err(e) => Response::Error {
@@ -247,31 +577,126 @@ impl Server {
         Ok(false)
     }
 
-    /// Serve TCP connections sequentially until a client sends
-    /// `shutdown`. One connection at a time keeps request handling
-    /// single-threaded (the parallelism lives in the worker pool under
-    /// `drain`, where it is deterministic). A connection-level failure —
-    /// a client resetting the socket mid-session, a broken pipe on the
-    /// response — ends only that connection (logged to stderr); the
+    /// Serve TCP connections **concurrently**: every accepted client gets
+    /// its own session thread over the shared server state (one request is
+    /// handled at a time under the lock; the parallelism lives in the
+    /// worker pool under `drain` and the monitor fan-out, where it is
+    /// deterministic). A connection-level failure — a client resetting the
+    /// socket mid-session, a broken pipe on the response, half a line at
+    /// disconnect — ends only that connection (logged to stderr); the
     /// daemon keeps accepting. Only a broken *listener* is fatal.
-    pub fn serve_tcp(&mut self, listener: &TcpListener) -> Result<(), ServeError> {
-        loop {
-            let (stream, peer) = listener.accept().map_err(|e| ServeError::Io {
-                context: "accept connection".to_string(),
-                message: e.to_string(),
-            })?;
-            let reader = match stream.try_clone() {
-                Ok(clone) => BufReader::new(clone),
-                Err(e) => {
-                    eprintln!("dropping connection from {peer}: {e}");
+    ///
+    /// With `monitor_interval` set, the accept loop doubles as the
+    /// **background monitor loop**: whenever the interval elapses it takes
+    /// one observe→detect→adapt tick (logging applied adaptations to
+    /// stderr). Returns once any client sends `shutdown`.
+    pub fn serve_tcp(
+        server: &Mutex<Server>,
+        listener: &TcpListener,
+        monitor_interval: Option<Duration>,
+    ) -> Result<(), ServeError> {
+        listener.set_nonblocking(true).map_err(|e| ServeError::Io {
+            context: "set listener nonblocking".to_string(),
+            message: e.to_string(),
+        })?;
+        let shutdown = AtomicBool::new(false);
+        let mut last_tick = Instant::now();
+        let mut fatal: Option<ServeError> = None;
+        std::thread::scope(|scope| {
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        let peer = peer.to_string();
+                        let shutdown = &shutdown;
+                        scope.spawn(move || {
+                            if let Err(e) = serve_connection(server, stream, shutdown) {
+                                eprintln!("connection from {peer} ended: {e}");
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if let Some(interval) = monitor_interval {
+                            if last_tick.elapsed() >= interval {
+                                last_tick = Instant::now();
+                                let report =
+                                    server.lock().expect("server lock poisoned").tick_monitor(1);
+                                for event in &report.events {
+                                    eprintln!(
+                                        "monitor: {} [{}] {}",
+                                        event.job, event.kind, event.detail
+                                    );
+                                }
+                            }
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) => {
+                        fatal = Some(ServeError::Io {
+                            context: "accept connection".to_string(),
+                            message: e.to_string(),
+                        });
+                        shutdown.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+        });
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// One client session over the shared server. Reads with a short timeout
+/// so the thread notices a daemon-wide shutdown even while its client is
+/// idle; partial lines survive timeouts (the buffer accumulates until the
+/// newline arrives).
+fn serve_connection(
+    server: &Mutex<Server>,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut buf = String::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => return Ok(()), // client disconnected
+            Ok(_) => {
+                let trimmed = buf.trim().to_string();
+                buf.clear();
+                if trimmed.is_empty() || trimmed.starts_with('#') {
                     continue;
                 }
-            };
-            match self.serve(reader, stream) {
-                Ok(true) => return Ok(()),
-                Ok(false) => {}
-                Err(e) => eprintln!("connection from {peer} failed: {e}"),
+                let (response, stop) = match parse_request(&trimmed) {
+                    Ok(request) => server
+                        .lock()
+                        .expect("server lock poisoned")
+                        .handle(&request),
+                    Err(e) => (
+                        Response::Error {
+                            message: format!("bad request: {e}"),
+                        },
+                        false,
+                    ),
+                };
+                writeln!(writer, "{}", render_response(&response))?;
+                writer.flush()?;
+                if stop {
+                    shutdown.store(true, Ordering::SeqCst);
+                    return Ok(());
+                }
             }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
         }
     }
 }

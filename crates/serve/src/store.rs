@@ -2,14 +2,19 @@
 //!
 //! A long-running tuning service must survive restarts without repeating
 //! the (expensive) offline phase, so everything it learned is persisted as
-//! three artifacts inside one store directory:
+//! four artifacts inside one store directory:
 //!
 //! * `model.json` — the serialized [`Pretrained`] bundle (cluster centers,
-//!   GNN encoders, warm-up datasets);
+//!   GNN encoders, warm-up datasets); a *superseded* model (e.g. replaced
+//!   after an incremental re-pretrain) is rotated to `model.json.bak`
+//!   rather than overwritten, so one bad swap is always recoverable;
 //! * `gedcache.json` — a [`GedCacheSnapshot`] of every memoized A\* fact,
 //!   so a re-pretraining run (e.g. on a grown corpus) starts warm;
-//! * `jobs.json` — the completed job ledger, so `status` answers across
-//!   restarts.
+//! * `corpus.json` — the execution-history corpus the model was trained
+//!   on, so incremental corpus growth (appending an uncovered DAG and
+//!   re-pretraining warm) works across restarts;
+//! * `jobs.json` — the completed job ledger (capped by the server's
+//!   ledger rotation), so `status` answers across restarts.
 //!
 //! Every file is wrapped in the same **envelope**: a JSON object carrying
 //! `magic` (format name), `version`, `checksum` (FNV-1a 64 of the compact
@@ -24,6 +29,7 @@ use serde::{Deserialize, Serialize, Value};
 use std::path::{Path, PathBuf};
 use streamtune_core::Pretrained;
 use streamtune_ged::GedCacheSnapshot;
+use streamtune_workloads::history::ExecutionRecord;
 
 use crate::job::PersistedJob;
 
@@ -121,21 +127,32 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// the previously good one, or the daemon could not restart from its own
 /// store.
 pub fn write_envelope<T: Serialize>(path: &Path, payload: &T) -> Result<(), StoreError> {
-    let display = path.display().to_string();
+    let text = envelope_text(path, payload)?;
+    write_text_atomic(path, &text)
+}
+
+/// Render the full envelope text for `payload` (the exact bytes
+/// [`write_envelope`] would put on disk — the writer is deterministic, so
+/// equal payloads produce byte-equal envelopes).
+fn envelope_text<T: Serialize>(path: &Path, payload: &T) -> Result<String, StoreError> {
     let payload_json = serde_json::to_string(payload).map_err(|e| StoreError::Format {
-        path: display.clone(),
+        path: path.display().to_string(),
         message: format!("serialize payload: {e}"),
     })?;
     let checksum = fnv1a64(payload_json.as_bytes());
-    let text = format!(
+    Ok(format!(
         "{{\"magic\":\"{STORE_MAGIC}\",\"version\":{STORE_VERSION},\
          \"checksum\":{checksum},\"payload\":{payload_json}}}"
-    );
+    ))
+}
+
+/// Atomically place `text` at `path` (temp file + rename).
+fn write_text_atomic(path: &Path, text: &str) -> Result<(), StoreError> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
     let io_err = |e: std::io::Error| StoreError::Io {
-        path: display.clone(),
+        path: path.display().to_string(),
         message: e.to_string(),
     };
     std::fs::write(&tmp, text).map_err(io_err)?;
@@ -240,6 +257,16 @@ impl ModelStore {
         self.dir.join("jobs.json")
     }
 
+    /// Path of the training-corpus artifact.
+    pub fn corpus_path(&self) -> PathBuf {
+        self.dir.join("corpus.json")
+    }
+
+    /// Path a superseded model is rotated to.
+    pub fn model_backup_path(&self) -> PathBuf {
+        self.dir.join("model.json.bak")
+    }
+
     /// Whether a pre-trained model is present.
     pub fn has_model(&self) -> bool {
         self.model_path().is_file()
@@ -255,6 +282,11 @@ impl ModelStore {
         self.jobs_path().is_file()
     }
 
+    /// Whether a training corpus is present.
+    pub fn has_corpus(&self) -> bool {
+        self.corpus_path().is_file()
+    }
+
     fn ensure_dir(&self) -> Result<(), StoreError> {
         std::fs::create_dir_all(&self.dir).map_err(|e| StoreError::Io {
             path: self.dir.display().to_string(),
@@ -262,10 +294,30 @@ impl ModelStore {
         })
     }
 
-    /// Persist the pre-trained bundle.
+    /// Persist the pre-trained bundle. A *different* model already on disk
+    /// is rotated to `model.json.bak` first (long-lived daemons swap
+    /// models after incremental re-pretrains; the previous envelope stays
+    /// recoverable). Re-saving an identical model is a no-op: the writer
+    /// is deterministic, so byte-equal envelopes mean equal models.
     pub fn save_model(&self, pretrained: &Pretrained) -> Result<(), StoreError> {
         self.ensure_dir()?;
-        write_envelope(&self.model_path(), pretrained)
+        let path = self.model_path();
+        let text = envelope_text(&path, pretrained)?;
+        if path.is_file() {
+            let old = std::fs::read_to_string(&path).map_err(|e| StoreError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+            if old == text {
+                return Ok(());
+            }
+            let bak = self.model_backup_path();
+            std::fs::rename(&path, &bak).map_err(|e| StoreError::Io {
+                path: bak.display().to_string(),
+                message: e.to_string(),
+            })?;
+        }
+        write_text_atomic(&path, &text)
     }
 
     /// Load the pre-trained bundle.
@@ -294,6 +346,47 @@ impl ModelStore {
     pub fn load_jobs(&self) -> Result<Vec<PersistedJob>, StoreError> {
         read_envelope(&self.jobs_path())
     }
+
+    /// Persist the training corpus.
+    pub fn save_corpus(&self, corpus: &[ExecutionRecord]) -> Result<(), StoreError> {
+        self.ensure_dir()?;
+        write_envelope(&self.corpus_path(), &corpus.to_vec())
+    }
+
+    /// Load the training corpus.
+    pub fn load_corpus(&self) -> Result<Vec<ExecutionRecord>, StoreError> {
+        read_envelope(&self.corpus_path())
+    }
+
+    /// File-level statistics (sizes in bytes; 0 when absent) — the
+    /// `store_stats` block of the `status` reply.
+    pub fn stats(&self) -> StoreStats {
+        let size = |p: PathBuf| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+        StoreStats {
+            model_bytes: size(self.model_path()),
+            model_backup_bytes: size(self.model_backup_path()),
+            ged_cache_bytes: size(self.ged_cache_path()),
+            corpus_bytes: size(self.corpus_path()),
+            jobs_bytes: size(self.jobs_path()),
+        }
+    }
+}
+
+/// Artifact sizes of a store directory (0 ⇔ absent). Reported by the
+/// `status` verb so operators of long-lived daemons can watch growth and
+/// verify that rotation/compaction are doing their jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Bytes of `model.json`.
+    pub model_bytes: u64,
+    /// Bytes of the rotated `model.json.bak` (0 ⇔ never superseded).
+    pub model_backup_bytes: u64,
+    /// Bytes of `gedcache.json`.
+    pub ged_cache_bytes: u64,
+    /// Bytes of `corpus.json`.
+    pub corpus_bytes: u64,
+    /// Bytes of `jobs.json`.
+    pub jobs_bytes: u64,
 }
 
 #[cfg(test)]
@@ -393,6 +486,45 @@ mod tests {
             read_envelope::<Payload>(&path),
             Err(StoreError::Io { .. })
         ));
+    }
+
+    #[test]
+    fn superseded_models_rotate_to_bak_identical_saves_do_not() {
+        use streamtune_core::{PretrainConfig, Pretrainer};
+        use streamtune_sim::SimCluster;
+        use streamtune_workloads::history::HistoryGenerator;
+
+        let dir = std::env::temp_dir().join(format!("streamtune-rotate-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ModelStore::new(&dir);
+        let cluster = SimCluster::flink_defaults(5);
+        let corpus = HistoryGenerator::new(5).with_jobs(4).generate(&cluster);
+        let mut cfg = PretrainConfig::fast();
+        cfg.min_structures_for_clustering = usize::MAX; // tiny global model
+        let a = Pretrainer::new(cfg.clone()).run(&corpus);
+        cfg.epochs = 3; // a genuinely different model
+        let b = Pretrainer::new(cfg).run(&corpus);
+
+        store.save_model(&a).unwrap();
+        assert!(!store.model_backup_path().is_file());
+        // Same model again: no rotation.
+        store.save_model(&a).unwrap();
+        assert!(!store.model_backup_path().is_file());
+        // A different model supersedes: the old envelope rotates to .bak.
+        let old_envelope = std::fs::read_to_string(store.model_path()).unwrap();
+        store.save_model(&b).unwrap();
+        assert!(store.model_backup_path().is_file());
+        assert_eq!(
+            std::fs::read_to_string(store.model_backup_path()).unwrap(),
+            old_envelope,
+            "the .bak must be the superseded envelope, byte for byte"
+        );
+
+        let stats = store.stats();
+        assert!(stats.model_bytes > 0);
+        assert!(stats.model_backup_bytes > 0);
+        assert_eq!(stats.corpus_bytes, 0, "corpus never saved here");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

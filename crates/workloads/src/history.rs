@@ -292,6 +292,40 @@ impl HistoryGenerator {
     }
 }
 
+/// Synthesize `runs` execution records for one workload on `cluster`,
+/// sampling rates and parallelisms exactly the way corpus generation does
+/// (rates uniform in `(1 Wu, 10 Wu)`, log-uniform degrees in
+/// `[1, max_parallelism]`). This is the *incremental corpus growth*
+/// primitive: when a live job's DAG is structurally uncovered by the
+/// pre-trained corpus, its records are appended and the model is
+/// re-pretrained warm — only pairs involving the new structure pay A\*.
+/// Deterministic in `(workload, cluster, seed, runs)`.
+pub fn record_runs(
+    cluster: &SimCluster,
+    workload: &Workload,
+    seed: u64,
+    runs: usize,
+    max_parallelism: u32,
+) -> Vec<ExecutionRecord> {
+    let mut rng = Rng64::new(seed ^ 0xFEED);
+    let mut out = Vec::with_capacity(runs);
+    for run in 0..runs {
+        let mult = rng.range_f(1.0, 10.0);
+        let flow = workload.at(mult);
+        let degrees: Vec<u32> = (0..flow.num_ops())
+            .map(|_| rng.log_range_u32(1, max_parallelism))
+            .collect();
+        let assignment = ParallelismAssignment::from_vec(degrees);
+        let report = cluster.simulate_at(&flow, &assignment, (seed ^ run as u64) & 0xFFFF);
+        out.push(ExecutionRecord {
+            flow,
+            assignment,
+            observation: report.observation,
+        });
+    }
+    out
+}
+
 /// Node-count histogram of a corpus (Fig. 5 reproduction).
 pub fn node_count_histogram(records: &[ExecutionRecord]) -> Vec<(usize, usize)> {
     let mut counts = std::collections::BTreeMap::new();
@@ -366,6 +400,28 @@ mod tests {
             let w = random_query(n as u64 * 13, n);
             assert_eq!(w.flow.num_ops(), n, "requested {n} ops");
         }
+    }
+
+    #[test]
+    fn record_runs_is_deterministic_and_in_range() {
+        let cluster = SimCluster::flink_defaults(19);
+        let w = crate::nexmark::q5(Engine::Flink);
+        let a = record_runs(&cluster, &w, 77, 3, 60);
+        let b = record_runs(&cluster, &w, 77, 3, 60);
+        assert_eq!(a, b, "same inputs must grow identical records");
+        assert_eq!(a.len(), 3);
+        for r in &a {
+            let m = r.flow.sources()[0].rate / w.wu[0];
+            assert!((0.99..=10.01).contains(&m), "multiplier {m}");
+            for (_, d) in r.assignment.iter() {
+                assert!((1..=60).contains(&d));
+            }
+        }
+        assert_ne!(
+            record_runs(&cluster, &w, 78, 3, 60)[0].assignment,
+            a[0].assignment,
+            "different seeds must sample differently"
+        );
     }
 
     #[test]

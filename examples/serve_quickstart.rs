@@ -11,9 +11,8 @@
 //! removes the socket.
 
 use std::io::Cursor;
-use streamtune::core::Parallelism;
 use streamtune::prelude::*;
-use streamtune::serve::{parse_request, Request, Response};
+use streamtune::serve::{parse_request, Request, Response, ServerConfig};
 use streamtune::workloads::history::HistoryGenerator;
 
 fn main() {
@@ -29,12 +28,11 @@ fn main() {
     );
     let (mut server, report) = Server::bootstrap(
         Some(ModelStore::new(&store_dir)),
+        ServerConfig::fast(),
         || {
             let cluster = SimCluster::flink_defaults(42);
-            let corpus = HistoryGenerator::new(7).with_jobs(40).generate(&cluster);
-            (PretrainConfig::fast(), corpus)
+            HistoryGenerator::new(7).with_jobs(40).generate(&cluster)
         },
-        Parallelism::Auto,
     )
     .expect("bootstrap failed");
     println!(
@@ -82,9 +80,9 @@ fn main() {
                     spec.name, spec.query, spec.multiplier
                 );
             }
-            (_, Response::Status(lines)) => {
-                println!("  status → {} job(s):", lines.len());
-                for l in lines {
+            (_, Response::Status(status)) => {
+                println!("  status → {} job(s):", status.jobs.len());
+                for l in &status.jobs {
                     println!("      {:<9} {:<10} {}", l.name, l.query, l.state);
                 }
             }
@@ -110,8 +108,8 @@ fn main() {
     //    store (no retraining) and still know all three jobs.
     let (restarted, report) = Server::bootstrap(
         Some(ModelStore::new(&store_dir)),
+        ServerConfig::fast(),
         || unreachable!("a persisted store must not retrain"),
-        Parallelism::Auto,
     )
     .expect("restart failed");
     println!(

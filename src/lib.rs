@@ -23,6 +23,7 @@
 //! | [`baselines`] | `streamtune-baselines` | DS2, ContTune, ZeroTune |
 //! | [`workloads`] | `streamtune-workloads` | Nexmark, PQP, rate patterns, histories |
 //! | [`serve`] | `streamtune-serve` | tuning daemon: model store, job manager, control protocol |
+//! | [`monitor`] | `streamtune-monitor` | drift detection: metric streams, CUSUM detectors, corpus growth |
 //!
 //! Tuners never name a concrete engine: they drive deployments through a
 //! [`TuningSession`](backend::TuningSession) over
@@ -115,21 +116,69 @@
 //!
 //! [`serve`] turns the library into a long-running system: `streamtune
 //! serve` loads (or builds and persists) a **model store** — the
-//! [`Pretrained`](core::Pretrained) bundle, a warm-start
-//! [`GedCacheSnapshot`](ged::GedCacheSnapshot) and the completed-job
-//! ledger, each in a versioned, FNV-checksummed JSON envelope — and then
-//! answers a **line-delimited JSON control protocol** (`submit`,
-//! `status`, `recommend`, `cancel`, `snapshot`, `shutdown`) on
+//! [`Pretrained`](core::Pretrained) bundle (superseded models rotate to
+//! `model.json.bak`), a warm-start
+//! [`GedCacheSnapshot`](ged::GedCacheSnapshot), the training corpus and
+//! the rotated completed-job ledger, each in a versioned, FNV-checksummed
+//! JSON envelope — and then answers a **line-delimited JSON control
+//! protocol** (`submit`, `status`, `recommend`, `cancel`, `watch`,
+//! `unwatch`, `drift_status`, `tick`, `snapshot`, `shutdown`) on
 //! stdin/stdout or a TCP listener (`--listen`), with `streamtune client`
-//! as the matching pipe. Many named jobs share the one pre-trained
-//! corpus: each is assigned to its cluster at admission
+//! as the matching pipe. TCP connections are served **concurrently — one
+//! session per client** over the shared
+//! [`JobManager`](serve::JobManager); a client disconnecting (cleanly or
+//! mid-line) never takes the daemon down. Many named jobs share the one
+//! pre-trained corpus: each is assigned to its cluster at admission
 //! ([`Pretrained::assign`](core::Pretrained::assign)) and runs against
 //! its *own* backend on the deterministic
 //! [`Parallelism`](ged::Parallelism) worker pool, so any thread count and
 //! any submission interleaving produce bit-identical per-job outcomes
 //! (proven in `tests/serve_concurrency.rs`). A `snapshot`/restart/`status`
-//! cycle resumes from the store without retraining. See
+//! cycle resumes from the store without retraining, and `status` reports
+//! store artifact sizes so rotation/compaction are observable. See
 //! `examples/serve_quickstart.rs` for an in-process session.
+//!
+//! ## Monitoring — the offline → serve → monitor pipeline
+//!
+//! [`monitor`] closes the paper's loop: tune *once* offline, serve
+//! recommendations online, then keep them good as workloads drift —
+//! without ever re-running the offline phase from scratch.
+//!
+//! 1. **Offline** — `streamtune pretrain` (or [`Server::bootstrap`]
+//!    (serve::Server::bootstrap) on a store miss) builds the clustered
+//!    GNN corpus and fills the [`GedCache`](ged::GedCache).
+//! 2. **Serve** — jobs are submitted, assigned and tuned; results are
+//!    answered from the shared model.
+//! 3. **Monitor** — `watch` registers a finished job with the
+//!    [`Monitor`](monitor::Monitor): a [`MetricStream`](monitor::MetricStream)
+//!    polls the job's backend every tick into per-operator ring-buffer
+//!    windows, and a CUSUM [`DriftDetector`](monitor::DriftDetector)
+//!    (slack + hysteresis + cooldown: constant rates never trigger, a
+//!    step triggers exactly once) classifies the job as `Stable`,
+//!    `RateDrift` or `StructureDrift`. The adaptation policy then acts:
+//!    * **rate drift** → the job is automatically re-tuned through
+//!      [`JobManager::resubmit`](serve::JobManager::resubmit) at the
+//!      estimated (quantized) multiplier — bit-identical to a manual
+//!      re-submit at the shifted rate;
+//!    * **structure drift** (DAG uncovered by the corpus, via
+//!      [`structure_distance`](monitor::structure_distance)) → fresh
+//!      execution records are appended and the model **re-pretrains
+//!      warm** over the live GED cache
+//!      ([`Pretrainer::run_with_cache`](core::Pretrainer::run_with_cache):
+//!      zero A\* searches for already-cached pairs, bit-identical to a
+//!      cold pre-train on the grown corpus), then the
+//!      [`Pretrained`](core::Pretrained) bundle is swapped atomically,
+//!      live jobs re-assigned, and the superseded model rotated to
+//!      `model.json.bak`.
+//!
+//! Every decision is deterministic under [`Parallelism`](ged::Parallelism)
+//! — monitor ticks fan watched jobs out over scoped threads and detector
+//! state is bit-identical for any thread count (`tests/monitor_drift.rs`,
+//! `tests/monitor_adaptation.rs`). Ticks are driven by the `tick` verb
+//! (scripted) or by `streamtune serve --listen … --monitor-interval S`
+//! (background wall-clock loop). `streamtune monitor` and
+//! `examples/monitor_quickstart.rs` demonstrate a scripted mid-run rate
+//! shift being detected and automatically re-tuned.
 
 pub use streamtune_backend as backend;
 pub use streamtune_baselines as baselines;
@@ -138,6 +187,7 @@ pub use streamtune_core as core;
 pub use streamtune_dataflow as dataflow;
 pub use streamtune_ged as ged;
 pub use streamtune_model as model;
+pub use streamtune_monitor as monitor;
 pub use streamtune_nn as nn;
 pub use streamtune_serve as serve;
 pub use streamtune_sim as sim;
@@ -152,8 +202,9 @@ pub mod prelude {
     pub use streamtune_baselines::{ContTune, Ds2, ZeroTune};
     pub use streamtune_core::{PretrainConfig, Pretrainer, StreamTune, TuneConfig};
     pub use streamtune_dataflow::{Dataflow, DataflowBuilder, Operator, ParallelismAssignment};
+    pub use streamtune_monitor::{DriftClass, DriftDetector, DriftEvent, MetricStream, Monitor};
     pub use streamtune_serve::{
-        BackendSpec, JobSpec, ModelStore, Request, Response, Server, StoreError,
+        BackendSpec, JobSpec, ModelStore, Request, Response, Server, ServerConfig, StoreError,
     };
     pub use streamtune_sim::{SimCluster, SimulationReport};
     pub use streamtune_workloads::{find_workload, named_workloads, nexmark, pqp, rates};

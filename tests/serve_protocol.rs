@@ -7,7 +7,7 @@ use std::io::Cursor;
 use streamtune::backend::{Tuner, TuningSession};
 use streamtune::core::Parallelism;
 use streamtune::prelude::*;
-use streamtune::serve::Response;
+use streamtune::serve::{Response, ServerConfig};
 use streamtune::workloads::history::HistoryGenerator;
 use streamtune::workloads::rates::Engine;
 
@@ -18,13 +18,13 @@ fn temp_store(name: &str) -> ModelStore {
     ModelStore::new(dir)
 }
 
-fn recipe() -> (
-    PretrainConfig,
-    Vec<streamtune::workloads::history::ExecutionRecord>,
-) {
+fn recipe() -> Vec<streamtune::workloads::history::ExecutionRecord> {
     let cluster = SimCluster::flink_defaults(71);
-    let corpus = HistoryGenerator::new(71).with_jobs(14).generate(&cluster);
-    (PretrainConfig::fast(), corpus)
+    HistoryGenerator::new(71).with_jobs(14).generate(&cluster)
+}
+
+fn config(parallelism: Parallelism) -> ServerConfig {
+    ServerConfig::fast().with_parallelism(parallelism)
 }
 
 /// Run `script` against `server`, returning one parsed response per line.
@@ -64,7 +64,7 @@ fn scripted_session_matches_single_process_tuning_and_survives_restart() {
 
     // --- Session 1: fresh bootstrap (pre-trains, persists the model). ---
     let (mut server, report) =
-        Server::bootstrap(Some(store.clone()), recipe, Parallelism::Fixed(4))
+        Server::bootstrap(Some(store.clone()), config(Parallelism::Fixed(4)), recipe)
             .expect("bootstrap succeeds");
     assert!(!report.loaded_from_store);
 
@@ -109,25 +109,28 @@ fn scripted_session_matches_single_process_tuning_and_survives_restart() {
     assert!(matches!(responses[7], Response::ShuttingDown));
 
     // --- Session 2: restart resumes from the store without retraining. ---
-    let (mut restarted, report) = Server::bootstrap(
-        Some(store.clone()),
-        || unreachable!("restart must not retrain"),
-        Parallelism::Fixed(4),
-    )
-    .expect("restart succeeds");
+    let (mut restarted, report) =
+        Server::bootstrap(Some(store.clone()), config(Parallelism::Fixed(4)), || {
+            unreachable!("restart must not retrain")
+        })
+        .expect("restart succeeds");
     assert!(report.loaded_from_store);
     assert_eq!(report.restored_jobs, 3);
 
     let responses = run_script(&mut restarted, "\"status\"\n\"shutdown\"\n");
-    let Response::Status(lines) = &responses[0] else {
+    let Response::Status(status) = &responses[0] else {
         panic!("expected status, got {:?}", responses[0]);
     };
-    assert_eq!(lines.len(), 3);
-    for (line, (name, query, ..)) in lines.iter().zip(JOBS) {
+    assert_eq!(status.jobs.len(), 3);
+    for (line, (name, query, ..)) in status.jobs.iter().zip(JOBS) {
         assert_eq!(line.name, name);
         assert_eq!(line.query, query);
         assert_eq!(line.state, "done");
     }
+    let stats = status.store.as_ref().expect("store stats present");
+    assert!(stats.model_bytes > 0);
+    assert!(stats.corpus_bytes > 0, "corpus must be persisted");
+    assert!(stats.jobs_bytes > 0);
     std::fs::remove_dir_all(store.dir()).ok();
 }
 
@@ -136,8 +139,9 @@ fn forced_retrain_invalidates_the_stale_job_ledger() {
     let store = temp_store("retrain");
 
     // Session 1: train, run a job, snapshot (model + ledger on disk).
-    let (mut server, _) = Server::bootstrap(Some(store.clone()), recipe, Parallelism::Serial)
-        .expect("bootstrap succeeds");
+    let (mut server, _) =
+        Server::bootstrap(Some(store.clone()), config(Parallelism::Serial), recipe)
+            .expect("bootstrap succeeds");
     let mut script = submit_lines();
     script.push_str("\"snapshot\"\n\"shutdown\"\n");
     run_script(&mut server, &script);
@@ -147,19 +151,19 @@ fn forced_retrain_invalidates_the_stale_job_ledger() {
     std::fs::remove_file(store.model_path()).expect("delete model");
 
     // Session 2: cold bootstrap must clear the old model epoch's ledger…
-    let (_server, report) = Server::bootstrap(Some(store.clone()), recipe, Parallelism::Serial)
-        .expect("retrain succeeds");
+    let (_server, report) =
+        Server::bootstrap(Some(store.clone()), config(Parallelism::Serial), recipe)
+            .expect("retrain succeeds");
     assert!(!report.loaded_from_store);
     assert_eq!(report.restored_jobs, 0);
 
     // …so a restart does not resurrect results computed under the old
     // model, and the old names are free to resubmit.
-    let (mut restarted, report) = Server::bootstrap(
-        Some(store.clone()),
-        || unreachable!("restart must not retrain"),
-        Parallelism::Serial,
-    )
-    .expect("restart succeeds");
+    let (mut restarted, report) =
+        Server::bootstrap(Some(store.clone()), config(Parallelism::Serial), || {
+            unreachable!("restart must not retrain")
+        })
+        .expect("restart succeeds");
     assert!(report.loaded_from_store);
     assert_eq!(report.restored_jobs, 0);
     let responses = run_script(&mut restarted, &submit_lines());
@@ -172,29 +176,37 @@ fn forced_retrain_invalidates_the_stale_job_ledger() {
 #[test]
 fn protocol_errors_keep_the_server_alive() {
     let (mut server, _) =
-        Server::bootstrap(None, recipe, Parallelism::Serial).expect("bootstrap succeeds");
+        Server::bootstrap(None, config(Parallelism::Serial), recipe).expect("bootstrap succeeds");
     let script = "\
         this is not json\n\
         \"reboot\"\n\
         {\"recommend\": {\"job\": \"ghost\"}}\n\
         {\"cancel\": {\"job\": \"ghost\"}}\n\
         \"snapshot\"\n\
+        {\"watch\": {\"job\": \"ghost\"}}\n\
+        {\"unwatch\": {\"job\": \"ghost\"}}\n\
         \"status\"\n";
     let responses = run_script(&mut server, script);
-    assert_eq!(responses.len(), 6);
-    // Bad line, unknown verb, unknown job (twice), and snapshot without a
-    // store all answer with errors…
-    for r in &responses[..5] {
+    assert_eq!(responses.len(), 8);
+    // Bad line, unknown verb, unknown job (four times), and snapshot
+    // without a store all answer with errors…
+    for r in &responses[..7] {
         assert!(matches!(r, Response::Error { .. }), "got {r:?}");
     }
     // …and the server still serves real requests afterwards.
-    assert!(matches!(&responses[5], Response::Status(lines) if lines.is_empty()));
+    match &responses[7] {
+        Response::Status(status) => {
+            assert!(status.jobs.is_empty());
+            assert!(status.store.is_none(), "no store configured");
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
 }
 
 #[test]
 fn cancel_and_duplicate_submissions_behave() {
     let (mut server, _) =
-        Server::bootstrap(None, recipe, Parallelism::Serial).expect("bootstrap succeeds");
+        Server::bootstrap(None, config(Parallelism::Serial), recipe).expect("bootstrap succeeds");
     let script = format!(
         "{submits}{dup}{cancel}\"status\"\n",
         submits = submit_lines(),
@@ -208,9 +220,9 @@ fn cancel_and_duplicate_submissions_behave() {
         "duplicate name"
     );
     assert!(matches!(responses[4], Response::Cancelled { .. }));
-    let Response::Status(lines) = &responses[5] else {
+    let Response::Status(status) = &responses[5] else {
         panic!("expected status");
     };
-    let states: Vec<&str> = lines.iter().map(|l| l.state.as_str()).collect();
+    let states: Vec<&str> = status.jobs.iter().map(|l| l.state.as_str()).collect();
     assert_eq!(states, ["done", "cancelled", "done"]);
 }

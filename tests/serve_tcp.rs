@@ -1,0 +1,153 @@
+//! Concurrent TCP transport: one session per client over the shared
+//! `JobManager`; a client disconnecting (cleanly, mid-line, or after
+//! garbage) never takes the daemon down; `shutdown` from any client stops
+//! the accept loop.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+use streamtune::core::Parallelism;
+use streamtune::prelude::*;
+use streamtune::serve::{Response, ServerConfig};
+use streamtune::workloads::history::HistoryGenerator;
+
+fn server() -> Server {
+    let (server, _) = Server::bootstrap(
+        None,
+        ServerConfig::fast().with_parallelism(Parallelism::Serial),
+        || {
+            let cluster = SimCluster::flink_defaults(91);
+            HistoryGenerator::new(91).with_jobs(12).generate(&cluster)
+        },
+    )
+    .expect("bootstrap succeeds");
+    server
+}
+
+/// A tiny line-oriented protocol client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Response {
+        writeln!(self.writer, "{line}").expect("send request");
+        self.writer.flush().expect("flush request");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        serde_json::from_str(response.trim()).expect("valid response line")
+    }
+}
+
+#[test]
+fn concurrent_clients_share_the_daemon_and_disconnects_are_harmless() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let server = Mutex::new(server());
+
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| Server::serve_tcp(&server, &listener, None));
+
+        // Client A: garbage, then half a line, then a hard disconnect.
+        {
+            let mut a = Client::connect(addr);
+            assert!(matches!(
+                a.request("this is not json"),
+                Response::Error { .. }
+            ));
+            // Half a line (no newline), then drop the socket.
+            write!(a.writer, "{{\"submit\": {{\"name\": \"torn").expect("send partial");
+            a.writer.flush().expect("flush partial");
+        }
+
+        // Two clients interleave over the shared job manager.
+        let mut b = Client::connect(addr);
+        let mut c = Client::connect(addr);
+        let submit = |name: &str, seed: u64| {
+            format!(
+                "{{\"submit\": {{\"name\": \"{name}\", \"query\": \"nexmark-q1\", \
+                 \"multiplier\": 6.0, \"seed\": {seed}, \"engine\": \"flink\", \
+                 \"backend\": \"sim\"}}}}"
+            )
+        };
+        assert!(matches!(
+            b.request(&submit("from-b", 1)),
+            Response::Submitted { .. }
+        ));
+        assert!(matches!(
+            c.request(&submit("from-c", 2)),
+            Response::Submitted { .. }
+        ));
+        // B sees C's job and vice versa: one shared manager.
+        match b.request("\"status\"") {
+            Response::Status(status) => {
+                let names: Vec<&str> = status.jobs.iter().map(|j| j.name.as_str()).collect();
+                assert_eq!(names, ["from-b", "from-c"]);
+                assert!(status.jobs.iter().all(|j| j.state == "done"));
+            }
+            other => panic!("expected status, got {other:?}"),
+        }
+        // Duplicate across connections is still rejected.
+        assert!(matches!(
+            c.request(&submit("from-b", 3)),
+            Response::Error { .. }
+        ));
+        // C recommends a job submitted by B.
+        match c.request("{\"recommend\": {\"job\": \"from-b\"}}") {
+            Response::Recommendation(rec) => assert_eq!(rec.job, "from-b"),
+            other => panic!("expected recommendation, got {other:?}"),
+        }
+        drop(b);
+
+        // Any client may stop the daemon.
+        assert!(matches!(c.request("\"shutdown\""), Response::ShuttingDown));
+        drop(c);
+        daemon
+            .join()
+            .expect("daemon thread")
+            .expect("daemon exits cleanly");
+    });
+
+    // After shutdown the state is still inspectable in-process.
+    let server = server.into_inner().expect("lock intact");
+    assert_eq!(server.manager().jobs().len(), 2);
+}
+
+#[test]
+fn slow_client_does_not_block_others() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let server = Mutex::new(server());
+
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| Server::serve_tcp(&server, &listener, None));
+
+        // An idle connection that never sends anything…
+        let _lurker = TcpStream::connect(addr).expect("connect lurker");
+        std::thread::sleep(Duration::from_millis(50));
+        // …must not stop an active client from being served.
+        let mut active = Client::connect(addr);
+        match active.request("\"status\"") {
+            Response::Status(status) => assert!(status.jobs.is_empty()),
+            other => panic!("expected status, got {other:?}"),
+        }
+        assert!(matches!(
+            active.request("\"shutdown\""),
+            Response::ShuttingDown
+        ));
+        daemon
+            .join()
+            .expect("daemon thread")
+            .expect("daemon exits cleanly");
+    });
+}
