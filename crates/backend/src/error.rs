@@ -62,6 +62,55 @@ pub enum BackendError {
         /// The underlying error rendered to text.
         message: String,
     },
+    /// A reconfiguration failed mid-flight (the engine rejected or lost
+    /// the redeployment); the previous deployment keeps running.
+    DeployFailed {
+        /// The epoch the deployment was attempted at.
+        epoch: u64,
+    },
+    /// The backend returned an observation with non-finite metrics (a
+    /// scraper racing a restarting dashboard); the numbers are garbage.
+    CorruptObservation {
+        /// Which metrics were non-finite.
+        context: String,
+    },
+}
+
+/// Whether an error is worth retrying.
+///
+/// Transient faults (flaky metric scrapes, mid-flight deploy failures,
+/// corrupt observations) are expected to clear on a retry of the *same*
+/// deployment at the *same* epoch; permanent faults (malformed requests,
+/// exhausted traces, unsupported capabilities) never will.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Retrying the same call may succeed.
+    Transient,
+    /// Retrying is pointless; surface immediately.
+    Permanent,
+}
+
+impl BackendError {
+    /// Classify this error for retry policies.
+    pub fn class(&self) -> FaultClass {
+        match self {
+            BackendError::Io { .. }
+            | BackendError::DeployFailed { .. }
+            | BackendError::CorruptObservation { .. } => FaultClass::Transient,
+            BackendError::AssignmentShape { .. }
+            | BackendError::ExceedsMaxParallelism { .. }
+            | BackendError::TraceExhausted { .. }
+            | BackendError::TraceFlowMismatch { .. }
+            | BackendError::TraceMiss { .. }
+            | BackendError::Unsupported { .. }
+            | BackendError::Format { .. } => FaultClass::Permanent,
+        }
+    }
+
+    /// Whether a bounded retry of the same call may clear this error.
+    pub fn is_transient(&self) -> bool {
+        self.class() == FaultClass::Transient
+    }
 }
 
 impl fmt::Display for BackendError {
@@ -95,6 +144,12 @@ impl fmt::Display for BackendError {
             BackendError::Io { context, message } => write!(f, "{context}: {message}"),
             BackendError::Format { context, message } => {
                 write!(f, "cannot parse {context}: {message}")
+            }
+            BackendError::DeployFailed { epoch } => {
+                write!(f, "reconfiguration failed mid-flight at epoch {epoch}")
+            }
+            BackendError::CorruptObservation { context } => {
+                write!(f, "observation has non-finite metrics: {context}")
             }
         }
     }
@@ -154,6 +209,36 @@ mod tests {
             epoch: 7,
         };
         assert!(e.to_string().contains("epoch 7"));
+    }
+
+    #[test]
+    fn classification_separates_transient_from_permanent() {
+        let transient = [
+            BackendError::Io {
+                context: "scrape".to_string(),
+                message: "timed out".to_string(),
+            },
+            BackendError::DeployFailed { epoch: 3 },
+            BackendError::CorruptObservation {
+                context: "processed_rate".to_string(),
+            },
+        ];
+        for e in &transient {
+            assert!(e.is_transient(), "{e} must classify transient");
+        }
+        let permanent = [
+            BackendError::TraceExhausted { served: 2 },
+            BackendError::Unsupported {
+                what: "latencies".to_string(),
+            },
+            BackendError::Format {
+                context: "trace".to_string(),
+                message: "truncated".to_string(),
+            },
+        ];
+        for e in &permanent {
+            assert_eq!(e.class(), FaultClass::Permanent, "{e} must be permanent");
+        }
     }
 
     #[test]

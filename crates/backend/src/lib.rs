@@ -23,16 +23,26 @@
 //!   [`TraceRecorder`], which wraps any backend and captures a
 //!   serializable [`TraceLog`], and [`ReplayBackend`], which serves
 //!   observations back out of such a log — canned production metrics,
-//!   no engine in the loop.
+//!   no engine in the loop;
+//! * the fault-tolerance layer: [`ChaosBackend`] injects deterministic,
+//!   seeded faults from a [`FaultPlan`] (transient I/O errors, failed
+//!   deploys, NaN/stale observations, crash-at-epoch), errors classify
+//!   as transient vs permanent ([`FaultClass`]), and sessions absorb
+//!   transient faults through a [`RetryPolicy`] with deterministic
+//!   virtual backoff — without perturbing the tuning outcome.
 
+pub mod chaos;
 pub mod error;
 pub mod observation;
+pub mod retry;
 pub mod session;
 pub mod trace;
 
-pub use error::{BackendError, TuneError};
+pub use chaos::{ChaosBackend, FaultCounters, FaultPlan};
+pub use error::{BackendError, FaultClass, TuneError};
 pub use observation::{
     EngineMode, Observation, OpObservation, SimulationReport, BACKPRESSURE_VISIBILITY,
 };
+pub use retry::{RetryPolicy, RetryStats};
 pub use session::{BackendConstraints, ExecutionBackend, TuneOutcome, Tuner, TuningSession};
 pub use trace::{ReplayBackend, TraceEntry, TraceFlowInfo, TraceLog, TraceRecorder};

@@ -5,6 +5,7 @@
 //! because every backend — simulated, replayed or real — reports the same
 //! union of Flink time metrics and Timely rate metrics.
 
+use crate::error::BackendError;
 use serde::{Deserialize, Serialize};
 use streamtune_dataflow::OpId;
 
@@ -91,6 +92,51 @@ impl Observation {
     /// Observation of one operator.
     pub fn op(&self, id: OpId) -> &OpObservation {
         &self.per_op[id.index()]
+    }
+
+    /// Reject observations carrying non-finite metrics.
+    ///
+    /// A scraper racing a restarting dashboard can read NaN/∞ rates;
+    /// feeding them to a tuner would poison every downstream estimate, so
+    /// sessions validate each observation and treat a corrupt one as a
+    /// transient fault ([`BackendError::CorruptObservation`]) eligible
+    /// for retry.
+    pub fn validate(&self) -> Result<(), BackendError> {
+        let mut bad: Vec<String> = Vec::new();
+        let mut check = |name: &str, value: f64| {
+            if !value.is_finite() {
+                bad.push(format!("{name}={value}"));
+            }
+        };
+        check("throughput_scale", self.throughput_scale);
+        check("cpu_utilization", self.cpu_utilization);
+        for o in &self.per_op {
+            for (name, value) in [
+                ("input_rate", o.input_rate),
+                ("processed_rate", o.processed_rate),
+                ("busy_ms_per_sec", o.busy_ms_per_sec),
+                ("idle_ms_per_sec", o.idle_ms_per_sec),
+                ("backpressured_ms_per_sec", o.backpressured_ms_per_sec),
+                ("observed_per_instance_rate", o.observed_per_instance_rate),
+                ("cpu_load", o.cpu_load),
+            ] {
+                if !value.is_finite() {
+                    bad.push(format!("op {}: {name}={value}", o.op.index()));
+                }
+            }
+        }
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            const SHOWN: usize = 4;
+            let more = bad.len().saturating_sub(SHOWN);
+            bad.truncate(SHOWN);
+            let mut context = bad.join(", ");
+            if more > 0 {
+                context.push_str(&format!(" (+{more} more)"));
+            }
+            Err(BackendError::CorruptObservation { context })
+        }
     }
 }
 

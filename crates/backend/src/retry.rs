@@ -1,0 +1,140 @@
+//! Bounded retry with deterministic *virtual* backoff.
+//!
+//! A [`RetryPolicy`] tells a [`crate::TuningSession`] (and the monitor's
+//! metric stream) how many times a transiently failing deployment may be
+//! re-attempted before the failure is surfaced, and how many simulated
+//! minutes each attempt waits. The backoff is virtual — tracked in
+//! [`RetryStats`], never slept — so fault-injected runs stay as fast and
+//! as deterministic as fault-free ones, and the determinism-under-faults
+//! invariant holds: retries never touch the session's tuning bookkeeping,
+//! so a run whose transient faults were all absorbed produces a
+//! bit-identical `TuneOutcome` to a run that saw no faults at all.
+
+use serde::{Deserialize, Serialize};
+
+/// Bounded-attempt retry with deterministic exponential virtual backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per deployment (1 = no retry).
+    pub max_attempts: u32,
+    /// Virtual minutes waited before the first retry; each further retry
+    /// doubles it.
+    pub base_backoff_minutes: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_minutes: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every error surfaces immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_minutes: 0.0,
+        }
+    }
+
+    /// Virtual backoff before retry number `retry` (1-based): exponential,
+    /// `base · 2^(retry-1)`.
+    pub fn backoff_minutes(&self, retry: u32) -> f64 {
+        if retry == 0 {
+            return 0.0;
+        }
+        self.base_backoff_minutes * f64::from(1u32 << (retry - 1).min(20))
+    }
+}
+
+/// Counters for everything a retry loop absorbed or gave up on.
+///
+/// Deliberately *not* part of [`crate::TuneOutcome`]: outcomes of runs
+/// whose transient faults were retried away must stay bit-identical to
+/// fault-free outcomes. These counters surface through the serve daemon's
+/// `health` verb instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RetryStats {
+    /// Transient backend errors observed (including ones later retried).
+    pub transient_faults: u64,
+    /// Attempts that were retried after a transient error.
+    pub retries: u64,
+    /// Transient errors that exhausted the attempt budget and surfaced.
+    pub exhausted: u64,
+    /// Permanent (non-retryable) errors surfaced immediately.
+    pub permanent_failures: u64,
+    /// Total virtual minutes spent backing off.
+    pub backoff_minutes: f64,
+}
+
+impl RetryStats {
+    /// Fold another stats block into this one.
+    pub fn absorb(&mut self, other: &RetryStats) {
+        self.transient_faults += other.transient_faults;
+        self.retries += other.retries;
+        self.exhausted += other.exhausted;
+        self.permanent_failures += other.permanent_failures;
+        self.backoff_minutes += other.backoff_minutes;
+    }
+
+    /// Whether any fault (transient or permanent) was ever observed.
+    pub fn any_faults(&self) -> bool {
+        self.transient_faults > 0 || self.permanent_failures > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_backoff_minutes: 0.5,
+        };
+        assert_eq!(p.backoff_minutes(1).to_bits(), 0.5f64.to_bits());
+        assert_eq!(p.backoff_minutes(2).to_bits(), 1.0f64.to_bits());
+        assert_eq!(p.backoff_minutes(3).to_bits(), 2.0f64.to_bits());
+        assert_eq!(p.backoff_minutes(0), 0.0);
+    }
+
+    #[test]
+    fn none_policy_never_retries() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_attempts, 1);
+    }
+
+    #[test]
+    fn stats_absorb_adds_counters() {
+        let mut a = RetryStats {
+            transient_faults: 2,
+            retries: 2,
+            exhausted: 0,
+            permanent_failures: 1,
+            backoff_minutes: 1.5,
+        };
+        let b = RetryStats {
+            transient_faults: 1,
+            retries: 0,
+            exhausted: 1,
+            permanent_failures: 0,
+            backoff_minutes: 0.5,
+        };
+        a.absorb(&b);
+        assert_eq!(a.transient_faults, 3);
+        assert_eq!(a.exhausted, 1);
+        assert!(a.any_faults());
+    }
+
+    #[test]
+    fn policy_roundtrips_through_serde() {
+        let p = RetryPolicy::default();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: RetryPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -11,6 +11,7 @@
 
 use crate::error::{BackendError, TuneError};
 use crate::observation::{EngineMode, Observation, SimulationReport};
+use crate::retry::{RetryPolicy, RetryStats};
 use serde::{Deserialize, Serialize};
 use streamtune_dataflow::{Dataflow, ParallelismAssignment};
 
@@ -104,6 +105,8 @@ pub struct TuningSession<'a> {
     parallelism_trace: Vec<u64>,
     current: Option<ParallelismAssignment>,
     epoch: u64,
+    retry: RetryPolicy,
+    retry_stats: RetryStats,
 }
 
 impl std::fmt::Debug for TuningSession<'_> {
@@ -131,7 +134,17 @@ impl<'a> TuningSession<'a> {
             parallelism_trace: Vec::new(),
             current: None,
             epoch: 0,
+            retry: RetryPolicy::default(),
+            retry_stats: RetryStats::default(),
         }
+    }
+
+    /// Replace the retry policy (builder-style). The default absorbs a
+    /// few transient faults per deployment; [`RetryPolicy::none`] makes
+    /// every backend error surface immediately.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Start a session where `initial` is already deployed (a running job
@@ -181,7 +194,7 @@ impl<'a> TuningSession<'a> {
         }
         let changed = self.current.as_ref() != Some(assignment);
         self.epoch += 1;
-        let report = self.backend.deploy(self.flow, assignment, self.epoch)?;
+        let report = self.deploy_with_retry(assignment)?;
         // Bookkeeping only after a successful deployment: a rejected
         // assignment neither reconfigures nor costs stabilization time.
         if changed {
@@ -202,6 +215,51 @@ impl<'a> TuningSession<'a> {
         self.cpu_trace.push(report.observation.cpu_utilization);
         self.parallelism_trace.push(assignment.total());
         Ok(report.observation)
+    }
+
+    /// Deploy at the current epoch, retrying transient faults per the
+    /// session's [`RetryPolicy`].
+    ///
+    /// Retries re-attempt the *same* epoch: backends key measurement
+    /// noise on the epoch, so a retried deployment observes exactly what
+    /// the fault-free call would have — which, together with retries
+    /// never touching the tuning bookkeeping (reconfigurations, elapsed
+    /// minutes, traces), keeps outcomes of transient-fault runs
+    /// bit-identical to fault-free runs. Backoff is virtual: accounted in
+    /// [`RetryStats`], never slept, never billed to the outcome.
+    fn deploy_with_retry(
+        &mut self,
+        assignment: &ParallelismAssignment,
+    ) -> Result<SimulationReport, BackendError> {
+        let mut attempt: u32 = 1;
+        loop {
+            let result = self
+                .backend
+                .deploy(self.flow, assignment, self.epoch)
+                .and_then(|report| report.observation.validate().map(|()| report));
+            match result {
+                Ok(report) => return Ok(report),
+                Err(e) if e.is_transient() => {
+                    self.retry_stats.transient_faults += 1;
+                    if attempt >= self.retry.max_attempts.max(1) {
+                        self.retry_stats.exhausted += 1;
+                        return Err(e);
+                    }
+                    self.retry_stats.retries += 1;
+                    self.retry_stats.backoff_minutes += self.retry.backoff_minutes(attempt);
+                    attempt += 1;
+                }
+                Err(e) => {
+                    self.retry_stats.permanent_failures += 1;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// What the retry loop absorbed or gave up on so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry_stats
     }
 
     /// Number of reconfigurations performed so far.

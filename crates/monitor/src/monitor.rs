@@ -42,6 +42,12 @@ pub struct MonitorConfig {
     /// read at finite precision; quantizing makes the re-tune target — and
     /// therefore the whole adaptation — reproducible bit-for-bit).
     pub quantum: f64,
+    /// Consecutive failed polls (after the stream's own retries) before a
+    /// job transitions to *degraded*: still watched, still polled each
+    /// tick, but silent until its backend recovers — a persistently
+    /// failing backend must not break the tick for its neighbors or spam
+    /// an event per tick.
+    pub max_poll_failures: u32,
 }
 
 impl Default for MonitorConfig {
@@ -51,6 +57,7 @@ impl Default for MonitorConfig {
             detector: DetectorConfig::default(),
             parallelism: Parallelism::Auto,
             quantum: 1e-3,
+            max_poll_failures: 3,
         }
     }
 }
@@ -113,6 +120,21 @@ pub enum DriftEvent {
         /// The backend error rendered to text.
         message: String,
     },
+    /// The job's backend kept failing past
+    /// [`MonitorConfig::max_poll_failures`]: the job is now degraded —
+    /// still polled every tick, but silent until it recovers.
+    Degraded {
+        /// The affected job.
+        job: String,
+        /// The last backend error rendered to text.
+        message: String,
+    },
+    /// A degraded job's backend answered again; normal monitoring
+    /// resumes on the next tick.
+    Recovered {
+        /// The affected job.
+        job: String,
+    },
 }
 
 impl DriftEvent {
@@ -121,7 +143,9 @@ impl DriftEvent {
         match self {
             DriftEvent::RateDrift { job, .. }
             | DriftEvent::StructureDrift { job }
-            | DriftEvent::PollFailed { job, .. } => job,
+            | DriftEvent::PollFailed { job, .. }
+            | DriftEvent::Degraded { job, .. }
+            | DriftEvent::Recovered { job } => job,
         }
     }
 }
@@ -145,6 +169,11 @@ pub struct DriftStatusLine {
     pub triggers: u64,
     /// Automatic re-tunes applied so far.
     pub retunes: u32,
+    /// Whether the job's backend is persistently failing (class is then
+    /// `"degraded"`).
+    pub degraded: bool,
+    /// Polls that failed even after the stream's retries.
+    pub poll_failures: u64,
 }
 
 /// A monitor operation that could not be performed.
@@ -193,6 +222,9 @@ struct WatchedJob {
     ticks: u64,
     retunes: u32,
     last_signal: Option<f64>,
+    consecutive_poll_failures: u32,
+    poll_failures: u64,
+    degraded: bool,
 }
 
 impl std::fmt::Debug for WatchedJob {
@@ -217,7 +249,7 @@ impl WatchedJob {
 
     /// One observe→detect step. Pure function of this job's own state, so
     /// the tick fan-out is deterministic under any thread count.
-    fn tick_one(&mut self, quantum: f64) -> Option<DriftEvent> {
+    fn tick_one(&mut self, quantum: f64, max_poll_failures: u32) -> Option<DriftEvent> {
         // The schedule *holds* its last entry (a step schedule like
         // `[5, 5, 5, 8]` shifts once and stays shifted); periodic patterns
         // are written out explicitly.
@@ -231,12 +263,34 @@ impl WatchedJob {
         {
             Ok(obs) => obs,
             Err(e) => {
+                self.poll_failures += 1;
+                self.consecutive_poll_failures += 1;
+                if self.degraded {
+                    // Already degraded: keep probing, stay silent.
+                    return None;
+                }
+                if self.consecutive_poll_failures >= max_poll_failures.max(1) {
+                    self.degraded = true;
+                    return Some(DriftEvent::Degraded {
+                        job: self.name.clone(),
+                        message: e.to_string(),
+                    });
+                }
                 return Some(DriftEvent::PollFailed {
                     job: self.name.clone(),
                     message: e.to_string(),
-                })
+                });
             }
         };
+        self.consecutive_poll_failures = 0;
+        if self.degraded {
+            // The backend answered again; report recovery and resume
+            // normal detection on the next tick.
+            self.degraded = false;
+            return Some(DriftEvent::Recovered {
+                job: self.name.clone(),
+            });
+        }
         if !self.structure_covered {
             if self.structure_reported {
                 return None;
@@ -345,6 +399,9 @@ impl Monitor {
             ticks: 0,
             retunes: 0,
             last_signal: None,
+            consecutive_poll_failures: 0,
+            poll_failures: 0,
+            degraded: false,
         });
         Ok(())
     }
@@ -371,8 +428,9 @@ impl Monitor {
     pub fn tick(&mut self) -> Vec<DriftEvent> {
         self.ticks += 1;
         let quantum = self.config.quantum;
+        let max_poll_failures = self.config.max_poll_failures;
         parallel_map_mut(self.config.parallelism, &mut self.jobs, |job| {
-            job.tick_one(quantum)
+            job.tick_one(quantum, max_poll_failures)
         })
         .into_iter()
         .flatten()
@@ -423,12 +481,18 @@ impl Monitor {
             .iter()
             .map(|j| DriftStatusLine {
                 job: j.name.clone(),
-                class: j.class().name().to_string(),
+                class: if j.degraded {
+                    "degraded".to_string()
+                } else {
+                    j.class().name().to_string()
+                },
                 ticks: j.ticks,
                 multiplier: j.multiplier,
                 baseline: j.detector.state().baseline,
                 triggers: j.detector.state().triggers,
                 retunes: j.retunes,
+                degraded: j.degraded,
+                poll_failures: j.poll_failures,
             })
             .collect()
     }
@@ -437,6 +501,14 @@ impl Monitor {
     /// across thread counts).
     pub fn detector_state(&self, name: &str) -> Option<&DetectorState> {
         self.index.get(name).map(|&i| self.jobs[i].detector.state())
+    }
+
+    /// The poll retry stats of one watched job's metric stream (surfaced
+    /// through the serve daemon's `health` verb).
+    pub fn stream_retry_stats(&self, name: &str) -> Option<streamtune_backend::RetryStats> {
+        self.index
+            .get(name)
+            .map(|&i| self.jobs[i].stream.retry_stats())
     }
 }
 
@@ -599,6 +671,89 @@ mod tests {
         for _ in 0..50 {
             assert!(m.tick().is_empty(), "re-tuned job must be stable again");
         }
+    }
+
+    #[test]
+    fn persistently_failing_backend_degrades_then_recovers() {
+        use streamtune_backend::{BackendConstraints, BackendError, EngineMode, SimulationReport};
+        use streamtune_dataflow::Dataflow;
+
+        /// Fails the first `failures_left` deploys with a permanent
+        /// error, then behaves like the wrapped simulator.
+        struct FlakyBackend {
+            inner: SimCluster,
+            failures_left: u32,
+        }
+
+        impl ExecutionBackend for FlakyBackend {
+            fn engine_mode(&self) -> EngineMode {
+                self.inner.engine_mode()
+            }
+
+            fn constraints(&self) -> BackendConstraints {
+                self.inner.constraints()
+            }
+
+            fn deploy(
+                &mut self,
+                flow: &Dataflow,
+                assignment: &ParallelismAssignment,
+                epoch: u64,
+            ) -> Result<SimulationReport, BackendError> {
+                if self.failures_left > 0 {
+                    self.failures_left -= 1;
+                    return Err(BackendError::Unsupported {
+                        what: "dashboard offline".to_string(),
+                    });
+                }
+                self.inner.deploy(flow, assignment, epoch)
+            }
+
+            fn epoch_latencies(
+                &mut self,
+                flow: &Dataflow,
+                assignment: &ParallelismAssignment,
+                epochs: usize,
+            ) -> Result<Vec<f64>, BackendError> {
+                ExecutionBackend::epoch_latencies(&mut self.inner, flow, assignment, epochs)
+            }
+        }
+
+        let mut m = Monitor::new(MonitorConfig::default());
+        m.watch(
+            watch_spec("flaky", 5.0, None),
+            Box::new(FlakyBackend {
+                inner: SimCluster::flink_defaults(7),
+                failures_left: 5,
+            }),
+        )
+        .unwrap();
+
+        // Failures 1–2 surface as PollFailed; the third crosses
+        // max_poll_failures (3) and degrades the job.
+        assert!(matches!(&m.tick()[..], [DriftEvent::PollFailed { .. }]));
+        assert!(matches!(&m.tick()[..], [DriftEvent::PollFailed { .. }]));
+        assert!(matches!(
+            &m.tick()[..],
+            [DriftEvent::Degraded { job, .. }] if job == "flaky"
+        ));
+        let status = m.status();
+        assert_eq!(status[0].class, "degraded");
+        assert!(status[0].degraded);
+        assert_eq!(status[0].poll_failures, 3);
+
+        // Degraded jobs keep probing silently…
+        assert!(m.tick().is_empty());
+        assert!(m.tick().is_empty());
+        // …and report recovery once the backend answers again.
+        assert!(matches!(
+            &m.tick()[..],
+            [DriftEvent::Recovered { job }] if job == "flaky"
+        ));
+        let status = m.status();
+        assert!(!status[0].degraded);
+        assert_ne!(status[0].class, "degraded");
+        assert_eq!(status[0].poll_failures, 5);
     }
 
     #[test]

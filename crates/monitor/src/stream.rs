@@ -9,7 +9,7 @@
 //! never mutates the deployment itself.
 
 use crate::ring::RingBuffer;
-use streamtune_backend::{BackendError, ExecutionBackend, Observation};
+use streamtune_backend::{BackendError, ExecutionBackend, Observation, RetryPolicy, RetryStats};
 use streamtune_dataflow::{Dataflow, ParallelismAssignment};
 
 /// Observation epochs used by monitor polls start here so they never
@@ -19,15 +19,23 @@ use streamtune_dataflow::{Dataflow, ParallelismAssignment};
 pub const MONITOR_EPOCH_BASE: u64 = 1 << 32;
 
 /// Metric-stream settings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetricStreamConfig {
     /// Ring-buffer capacity per operator metric (samples retained).
     pub window: usize,
+    /// Retry policy for transiently failing polls: a flaky scrape is
+    /// re-attempted at the *same* monitor epoch (deterministic — the
+    /// retried read observes exactly what the clean read would have)
+    /// before the failure surfaces to the monitor.
+    pub retry: RetryPolicy,
 }
 
 impl Default for MetricStreamConfig {
     fn default() -> Self {
-        MetricStreamConfig { window: 32 }
+        MetricStreamConfig {
+            window: 32,
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -58,6 +66,8 @@ pub struct MetricStream {
     per_op: Vec<OpWindow>,
     backpressure: RingBuffer,
     polls: u64,
+    retry: RetryPolicy,
+    retry_stats: RetryStats,
 }
 
 impl MetricStream {
@@ -67,12 +77,19 @@ impl MetricStream {
             per_op: (0..num_ops).map(|_| OpWindow::new(config.window)).collect(),
             backpressure: RingBuffer::new(config.window),
             polls: 0,
+            retry: config.retry,
+            retry_stats: RetryStats::default(),
         }
     }
 
     /// Deploy-and-observe one monitoring interval: the current assignment
     /// is re-deployed at a fresh monitor epoch and the observation is
     /// folded into the windows.
+    ///
+    /// Transient backend faults (flaky scrapes, corrupt observations) are
+    /// retried at the *same* epoch per the stream's [`RetryPolicy`]; the
+    /// poll counter advances only on success, so an absorbed fault leaves
+    /// the window contents bit-identical to a fault-free run.
     pub fn poll(
         &mut self,
         backend: &mut dyn ExecutionBackend,
@@ -80,9 +97,37 @@ impl MetricStream {
         assignment: &ParallelismAssignment,
     ) -> Result<Observation, BackendError> {
         let epoch = MONITOR_EPOCH_BASE + self.polls;
-        let report = backend.deploy(flow, assignment, epoch)?;
-        self.record(&report.observation);
-        Ok(report.observation)
+        let mut attempt: u32 = 1;
+        loop {
+            let result = backend
+                .deploy(flow, assignment, epoch)
+                .and_then(|report| report.observation.validate().map(|()| report));
+            match result {
+                Ok(report) => {
+                    self.record(&report.observation);
+                    return Ok(report.observation);
+                }
+                Err(e) if e.is_transient() => {
+                    self.retry_stats.transient_faults += 1;
+                    if attempt >= self.retry.max_attempts.max(1) {
+                        self.retry_stats.exhausted += 1;
+                        return Err(e);
+                    }
+                    self.retry_stats.retries += 1;
+                    self.retry_stats.backoff_minutes += self.retry.backoff_minutes(attempt);
+                    attempt += 1;
+                }
+                Err(e) => {
+                    self.retry_stats.permanent_failures += 1;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// What the poll retry loop absorbed or gave up on so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry_stats
     }
 
     /// Fold one observation into the windows (exposed so recorded
@@ -136,7 +181,13 @@ mod tests {
         let w = nexmark::q1(Engine::Flink);
         let flow = w.at(5.0);
         let assignment = ParallelismAssignment::uniform(&flow, 8);
-        let mut stream = MetricStream::new(flow.num_ops(), MetricStreamConfig { window: 4 });
+        let mut stream = MetricStream::new(
+            flow.num_ops(),
+            MetricStreamConfig {
+                window: 4,
+                ..MetricStreamConfig::default()
+            },
+        );
         for _ in 0..6 {
             stream.poll(&mut cluster, &flow, &assignment).unwrap();
         }
@@ -165,6 +216,45 @@ mod tests {
             a.per_op[0].observed_per_instance_rate,
             b.per_op[0].observed_per_instance_rate
         );
+    }
+
+    #[test]
+    fn transient_poll_faults_are_absorbed_bit_identically() {
+        use streamtune_backend::{ChaosBackend, FaultPlan};
+        let w = nexmark::q1(Engine::Flink);
+        let flow = w.at(5.0);
+        let assignment = ParallelismAssignment::uniform(&flow, 8);
+
+        let mut clean_backend = SimCluster::flink_defaults(3);
+        let mut clean_stream = MetricStream::new(flow.num_ops(), MetricStreamConfig::default());
+        let clean: Vec<_> = (0..8)
+            .map(|_| {
+                clean_stream
+                    .poll(&mut clean_backend, &flow, &assignment)
+                    .unwrap()
+            })
+            .collect();
+
+        let mut chaotic_backend =
+            ChaosBackend::new(SimCluster::flink_defaults(3), FaultPlan::transient(17));
+        let mut chaotic_stream = MetricStream::new(flow.num_ops(), MetricStreamConfig::default());
+        let chaotic: Vec<_> = (0..8)
+            .map(|_| {
+                chaotic_stream
+                    .poll(&mut chaotic_backend, &flow, &assignment)
+                    .unwrap()
+            })
+            .collect();
+
+        assert_eq!(
+            clean, chaotic,
+            "absorbed transient faults must not perturb observations"
+        );
+        assert!(
+            chaotic_stream.retry_stats().transient_faults > 0,
+            "the plan's rates must fire within 8 polls"
+        );
+        assert_eq!(chaotic_stream.retry_stats().exhausted, 0);
     }
 
     #[test]

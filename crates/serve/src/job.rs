@@ -18,7 +18,10 @@ use crate::error::ServeError;
 use crate::protocol::{BackendSpec, JobSpec, JobStatusLine};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use streamtune_backend::{ExecutionBackend, TuneOutcome, Tuner, TuningSession};
+use streamtune_backend::{
+    ChaosBackend, ExecutionBackend, RetryPolicy, RetryStats, TuneError, TuneOutcome, Tuner,
+    TuningSession,
+};
 use streamtune_core::{Pretrained, StreamTune, TuneConfig};
 use streamtune_ged::{parallel_map, Parallelism};
 use streamtune_sim::SimCluster;
@@ -44,6 +47,11 @@ pub enum JobState {
     Done(JobResult),
     /// The tuning run failed (message preserved).
     Failed(String),
+    /// The tuning run failed on *transient* backend faults that outlasted
+    /// the retry budget: the job itself is fine, its backend is sick. A
+    /// re-submit (or monitor-triggered re-tune) retries from scratch;
+    /// meanwhile the job stays visible instead of masquerading as broken.
+    Degraded(String),
     /// Cancelled before it ran.
     Cancelled,
 }
@@ -55,6 +63,7 @@ impl JobState {
             JobState::Queued => "queued",
             JobState::Done(_) => "done",
             JobState::Failed(_) => "failed",
+            JobState::Degraded(_) => "degraded",
             JobState::Cancelled => "cancelled",
         }
     }
@@ -72,6 +81,9 @@ pub struct Job {
     /// Times the job has been automatically re-tuned (monitor-triggered
     /// [`JobManager::resubmit`]s).
     pub retunes: u32,
+    /// What the job's retry loops absorbed or gave up on, accumulated
+    /// over every run (initial tune plus re-tunes).
+    pub retry: RetryStats,
 }
 
 /// A job as persisted in the store's ledger (`jobs.json`). Queued jobs
@@ -87,11 +99,14 @@ pub struct PersistedJob {
     pub state: JobState,
     /// Automatic re-tunes applied over the job's lifetime.
     pub retunes: u32,
+    /// Accumulated retry counters over the job's lifetime.
+    pub retry: RetryStats,
 }
 
-// Hand-written so ledgers written before re-tunes existed (no `retunes`
-// field) still restore — a daemon upgrade must never strand an operator's
-// store. Missing `retunes` defaults to 0.
+// Hand-written so ledgers written before re-tunes (no `retunes` field) or
+// before the fault-tolerance layer (no `retry` field) still restore — a
+// daemon upgrade must never strand an operator's store. Missing fields
+// default to their zero values.
 impl serde::Deserialize for PersistedJob {
     fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
         Ok(PersistedJob {
@@ -102,40 +117,114 @@ impl serde::Deserialize for PersistedJob {
                 Ok(f) => u32::deserialize(f)?,
                 Err(_) => 0,
             },
+            retry: match v.field("retry") {
+                Ok(f) => RetryStats::deserialize(f)?,
+                Err(_) => RetryStats::default(),
+            },
         })
     }
 }
 
-/// Run one job to completion — a pure function of `(pretrained, spec)`.
-/// `cluster` is the admission-time assignment (computed once in
+/// What one run of a job produced: its new terminal state plus what the
+/// retry loop absorbed along the way.
+struct RunReport {
+    state: JobState,
+    retry: RetryStats,
+}
+
+/// Best-effort text of a panic payload (panics carry `&str` or `String`
+/// in practice).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+/// The per-job seeded simulated cluster a spec runs on.
+fn sim_for(spec: &JobSpec) -> SimCluster {
+    match spec.engine {
+        Engine::Flink => SimCluster::flink_defaults(spec.seed),
+        Engine::Timely => SimCluster::timely_defaults(spec.seed),
+    }
+}
+
+/// Run one job to completion — a pure function of `(pretrained, spec,
+/// retry)`. `cluster` is the admission-time assignment (computed once in
 /// [`JobManager::submit`]; `StreamTune` re-derives the same value
 /// internally, so there is no second GED pass to pay here).
-fn run_job(pretrained: &Pretrained, spec: &JobSpec, cluster: usize) -> Result<JobResult, String> {
-    let workload = find_workload(&spec.query, spec.engine)
-        .ok_or_else(|| format!("unknown workload `{}`", spec.query))?;
+///
+/// Never panics: a panicking backend (e.g. a [`ChaosBackend`] crash
+/// epoch) is caught *here*, inside the worker closure, and becomes a
+/// `Failed` state — it must not unwind through [`parallel_map`], which
+/// would take the whole drain (and the server lock) down with it.
+fn run_job(
+    pretrained: &Pretrained,
+    spec: &JobSpec,
+    cluster: usize,
+    retry: RetryPolicy,
+) -> RunReport {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_job_inner(pretrained, spec, cluster, retry)
+    })) {
+        Ok(report) => report,
+        Err(payload) => RunReport {
+            state: JobState::Failed(format!(
+                "tuning run panicked: {}",
+                panic_message(payload.as_ref())
+            )),
+            retry: RetryStats::default(),
+        },
+    }
+}
+
+fn run_job_inner(
+    pretrained: &Pretrained,
+    spec: &JobSpec,
+    cluster: usize,
+    retry: RetryPolicy,
+) -> RunReport {
+    let failed = |message: String| RunReport {
+        state: JobState::Failed(message),
+        retry: RetryStats::default(),
+    };
+    let Some(workload) = find_workload(&spec.query, spec.engine) else {
+        return failed(format!("unknown workload `{}`", spec.query));
+    };
     let flow = workload.at(spec.multiplier);
     let mut backend: Box<dyn ExecutionBackend> = match &spec.backend {
-        BackendSpec::Sim => Box::new(match spec.engine {
-            Engine::Flink => SimCluster::flink_defaults(spec.seed),
-            Engine::Timely => SimCluster::timely_defaults(spec.seed),
-        }),
-        BackendSpec::Replay(path) => {
-            Box::new(streamtune_backend::ReplayBackend::from_file(path).map_err(|e| e.to_string())?)
-        }
+        BackendSpec::Sim => Box::new(sim_for(spec)),
+        BackendSpec::Replay(path) => match streamtune_backend::ReplayBackend::from_file(path) {
+            Ok(replay) => Box::new(replay),
+            Err(e) => return failed(e.to_string()),
+        },
+        BackendSpec::Chaos(plan) => Box::new(ChaosBackend::new(sim_for(spec), *plan)),
     };
     let mut tuner = StreamTune::new(pretrained, TuneConfig::default());
-    let mut session = TuningSession::new(backend.as_mut(), &flow);
-    let outcome = tuner.tune(&mut session).map_err(|e| e.to_string())?;
-    let op_names = outcome
-        .final_assignment
-        .iter()
-        .map(|(op, _)| flow.op_name(op).to_string())
-        .collect();
-    Ok(JobResult {
-        cluster,
-        outcome,
-        op_names,
-    })
+    let mut session = TuningSession::new(backend.as_mut(), &flow).with_retry(retry);
+    let result = tuner.tune(&mut session);
+    let retry = session.retry_stats();
+    let state = match result {
+        Ok(outcome) => {
+            let op_names = outcome
+                .final_assignment
+                .iter()
+                .map(|(op, _)| flow.op_name(op).to_string())
+                .collect();
+            JobState::Done(JobResult {
+                cluster,
+                outcome,
+                op_names,
+            })
+        }
+        // Transient faults that outlasted the retry budget mean the
+        // *backend* is sick, not the job: degrade instead of failing so
+        // operators (and the monitor) can tell the two apart.
+        Err(TuneError::Backend(e)) if e.is_transient() => JobState::Degraded(e.to_string()),
+        Err(e) => JobState::Failed(e.to_string()),
+    };
+    RunReport { state, retry }
 }
 
 /// Admits named jobs against one shared pre-trained corpus and drains
@@ -144,6 +233,7 @@ fn run_job(pretrained: &Pretrained, spec: &JobSpec, cluster: usize) -> Result<Jo
 pub struct JobManager {
     pretrained: Pretrained,
     parallelism: Parallelism,
+    retry: RetryPolicy,
     jobs: Vec<Job>,
     index: HashMap<String, usize>,
 }
@@ -154,9 +244,17 @@ impl JobManager {
         JobManager {
             pretrained,
             parallelism,
+            retry: RetryPolicy::default(),
             jobs: Vec::new(),
             index: HashMap::new(),
         }
+    }
+
+    /// Replace the retry policy every drained job runs under
+    /// (builder-style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The shared pre-trained corpus.
@@ -200,6 +298,7 @@ impl JobManager {
             cluster,
             state: JobState::Queued,
             retunes: 0,
+            retry: RetryStats::default(),
         });
         Ok(cluster)
     }
@@ -318,14 +417,13 @@ impl JobManager {
             return;
         }
         let pretrained = &self.pretrained;
+        let retry = self.retry;
         let results = parallel_map(self.parallelism, &pending, |(_, spec, cluster)| {
-            run_job(pretrained, spec, *cluster)
+            run_job(pretrained, spec, *cluster, retry)
         });
-        for ((i, _, _), result) in pending.into_iter().zip(results) {
-            self.jobs[i].state = match result {
-                Ok(r) => JobState::Done(r),
-                Err(message) => JobState::Failed(message),
-            };
+        for ((i, _, _), report) in pending.into_iter().zip(results) {
+            self.jobs[i].state = report.state;
+            self.jobs[i].retry.absorb(&report.retry);
         }
     }
 
@@ -340,7 +438,9 @@ impl JobManager {
                 cluster: j.cluster,
                 retunes: j.retunes,
                 detail: match &j.state {
-                    JobState::Failed(message) => Some(message.clone()),
+                    JobState::Failed(message) | JobState::Degraded(message) => {
+                        Some(message.clone())
+                    }
                     _ => None,
                 },
             })
@@ -358,6 +458,7 @@ impl JobManager {
                 cluster: j.cluster,
                 state: j.state.clone(),
                 retunes: j.retunes,
+                retry: j.retry,
             })
             .collect()
     }
@@ -375,6 +476,7 @@ impl JobManager {
                 cluster: p.cluster,
                 state: p.state,
                 retunes: p.retunes,
+                retry: p.retry,
             });
         }
         Ok(())
@@ -509,20 +611,125 @@ mod tests {
             cluster: 2,
             state: JobState::Cancelled,
             retunes: 3,
+            retry: RetryStats {
+                transient_faults: 2,
+                retries: 2,
+                ..RetryStats::default()
+            },
         };
-        // A ledger written by a build that predates re-tunes has no
-        // `retunes` field; it must load with retunes = 0, not error.
+        // A ledger written by a build that predates re-tunes and retry
+        // accounting has neither field; it must load with zero defaults,
+        // not error.
         let Value::Object(fields) = job.serialize() else {
             panic!("jobs serialize to objects")
         };
-        let legacy = Value::Object(fields.into_iter().filter(|(k, _)| k != "retunes").collect());
+        let legacy = Value::Object(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "retunes" && k != "retry")
+                .collect(),
+        );
         let restored = PersistedJob::deserialize(&legacy).expect("legacy ledger loads");
         assert_eq!(restored.retunes, 0);
+        assert_eq!(restored.retry, RetryStats::default());
         assert_eq!(restored.spec, job.spec);
         assert_eq!(restored.state, job.state);
         // The current format round-trips exactly.
         let back = PersistedJob::deserialize(&job.serialize()).expect("current format loads");
         assert_eq!(back, job);
+    }
+
+    #[test]
+    fn chaos_jobs_with_transient_faults_match_clean_runs_bitwise() {
+        use streamtune_backend::FaultPlan;
+        let pre = small_pretrained(13);
+        let mut clean = JobManager::new(pre.clone(), Parallelism::Serial);
+        clean.submit(spec("j", "nexmark-q2", 4)).unwrap();
+        clean.drain();
+        let clean_result = match &clean.job("j").unwrap().state {
+            JobState::Done(r) => r.clone(),
+            other => panic!("expected Done, got {other:?}"),
+        };
+
+        let mut chaotic = JobManager::new(pre, Parallelism::Serial);
+        let mut chaos_spec = spec("j", "nexmark-q2", 4);
+        // Near-certain per-call faults, but the burst cap (2) sits below
+        // the default retry budget (4 attempts): every deploy reaches a
+        // clean call, so the fault storm must be fully absorbed.
+        let mut plan = FaultPlan::transient(23);
+        plan.io_rate = 0.9;
+        chaos_spec.backend = BackendSpec::Chaos(plan);
+        chaotic.submit(chaos_spec).unwrap();
+        chaotic.drain();
+        let job = chaotic.job("j").unwrap();
+        match &job.state {
+            JobState::Done(r) => assert_eq!(
+                r, &clean_result,
+                "absorbed transient faults must not perturb the outcome"
+            ),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert!(
+            job.retry.transient_faults > 0,
+            "the transient plan must have fired during the run"
+        );
+        assert_eq!(job.retry.exhausted, 0);
+    }
+
+    #[test]
+    fn exhausted_transient_faults_degrade_not_fail() {
+        use streamtune_backend::FaultPlan;
+        let mut mgr = JobManager::new(small_pretrained(13), Parallelism::Serial)
+            .with_retry(RetryPolicy::none());
+        // Every call faults and the burst never closes: with retries
+        // disabled the very first deploy surfaces a transient error.
+        let mut plan = FaultPlan::quiet(1).with_max_burst(u32::MAX);
+        plan.io_rate = 1.0;
+        let mut sick = spec("sick", "nexmark-q1", 2);
+        sick.backend = BackendSpec::Chaos(plan);
+        mgr.submit(sick).unwrap();
+        mgr.drain();
+        let job = mgr.job("sick").unwrap();
+        match &job.state {
+            JobState::Degraded(message) => {
+                assert!(message.contains("I/O"), "degraded detail names the fault")
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        assert_eq!(job.state.name(), "degraded");
+        assert!(job.retry.exhausted > 0);
+        // Degraded is terminal: status carries the detail, cancel refuses.
+        let line = &mgr.status_lines()[0];
+        assert_eq!(line.state, "degraded");
+        assert!(line.detail.is_some());
+        assert!(matches!(
+            mgr.cancel("sick"),
+            Err(ServeError::NotQueued { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_crash_fails_the_job_not_the_drain() {
+        use streamtune_backend::FaultPlan;
+        let mut mgr = JobManager::new(small_pretrained(13), Parallelism::Fixed(2));
+        // Crash epoch 1 fires on the first deploy of the tuning session
+        // (the session advances its epoch to 1 before deploying).
+        let mut crasher = spec("crasher", "nexmark-q1", 2);
+        crasher.backend = BackendSpec::Chaos(FaultPlan::quiet(1).with_crash_at(1));
+        mgr.submit(crasher).unwrap();
+        mgr.submit(spec("bystander", "nexmark-q2", 3)).unwrap();
+        mgr.drain();
+        match &mgr.job("crasher").unwrap().state {
+            JobState::Failed(message) => assert!(
+                message.contains("panicked") && message.contains("injected crash"),
+                "panic payload must reach the failure detail: {message}"
+            ),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(
+            matches!(mgr.job("bystander").unwrap().state, JobState::Done(_)),
+            "a crashing job must not take the batch down"
+        );
     }
 
     #[test]

@@ -32,6 +32,43 @@
 //!   rate drifts re-tune through the job manager, structure drifts grow
 //!   the corpus and warm re-pretrain (see `streamtune-monitor`).
 //!
+//! # Fault tolerance
+//!
+//! The daemon is built to keep serving through backend faults, handler
+//! panics and torn writes — deterministically, so failure scenarios are
+//! reproducible test cases:
+//!
+//! * **Deterministic fault injection** — a job may run on
+//!   [`BackendSpec::Chaos`], wrapping the simulator in a
+//!   [`ChaosBackend`](streamtune_backend::ChaosBackend) driven by a
+//!   seeded [`FaultPlan`](streamtune_backend::FaultPlan): transient I/O
+//!   errors, failed deploys, NaN observations, stale epochs and
+//!   crash-at-epoch, all pure functions of the plan seed.
+//! * **Retry, then degrade** — transient backend faults are retried at
+//!   the *same* epoch under a bounded
+//!   [`RetryPolicy`](streamtune_backend::RetryPolicy) with virtual
+//!   (never slept) backoff, so a run with absorbed transient faults
+//!   yields a **bit-identical** [`JobResult`] to a fault-free run. A
+//!   backend that stays sick past the retry budget leaves the job
+//!   [`JobState::Degraded`] — distinct from [`JobState::Failed`] — and a
+//!   watched stream that cannot be polled flips its drift status line to
+//!   `degraded` until the backend answers again. Injected crashes are
+//!   contained per job (`catch_unwind` inside the drain worker) and per
+//!   request (handler panics become `error` responses); poisoned server
+//!   locks are cleared and counted, never fatal.
+//! * **Crash-safe store** — every artifact write is
+//!   write-temp → `fsync` → atomic rename (plus a parent-directory
+//!   `fsync`), so a crash at any byte leaves either the old or the new
+//!   artifact, never garbage. On boot, [`Server::bootstrap`] routes
+//!   through [`ModelStore::recover_model`]: a corrupt `model.json` is
+//!   quarantined to `model.json.corrupt` and the `.bak` rotation is
+//!   promoted in its place; corrupt warm-start artifacts are quarantined
+//!   and rebuilt.
+//! * **Observability** — the `health` protocol verb reports per-job
+//!   fault/retry counters ([`JobHealthLine`]) plus daemon-wide degraded
+//!   watches, store recoveries, lock recoveries and contained handler
+//!   panics ([`HealthReport`], [`HealthCounters`]).
+//!
 //! The CLI front ends are `streamtune serve`, `streamtune client` and
 //! `streamtune monitor`; `examples/serve_quickstart.rs` and
 //! `examples/monitor_quickstart.rs` drive in-process servers.
@@ -45,8 +82,10 @@ pub mod store;
 pub use error::ServeError;
 pub use job::{Job, JobManager, JobResult, JobState, PersistedJob};
 pub use protocol::{
-    parse_request, render_response, BackendSpec, DriftEventLine, JobSpec, JobStatusLine,
-    Recommendation, Request, Response, StatusReport, TickReport,
+    parse_request, render_response, BackendSpec, DriftEventLine, HealthReport, JobHealthLine,
+    JobSpec, JobStatusLine, Recommendation, Request, Response, StatusReport, TickReport,
 };
-pub use server::{BootstrapReport, Server, ServerConfig};
-pub use store::{fnv1a64, read_envelope, write_envelope, ModelStore, StoreError, StoreStats};
+pub use server::{BootstrapReport, HealthCounters, Server, ServerConfig};
+pub use store::{
+    fnv1a64, read_envelope, write_envelope, ModelRecovery, ModelStore, StoreError, StoreStats,
+};

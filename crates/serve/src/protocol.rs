@@ -14,6 +14,7 @@
 //! | watch | `{"watch": {"job": "j1", "schedule": [10.0, 10.0, 14.0]}}` (`schedule` optional) |
 //! | unwatch | `{"unwatch": {"job": "j1"}}` |
 //! | drift_status | `"drift_status"` |
+//! | health | `"health"` |
 //! | tick | `{"tick": {"steps": 5}}` |
 //! | snapshot | `"snapshot"` |
 //! | shutdown | `"shutdown"` |
@@ -22,23 +23,27 @@
 //! `{"status": {"jobs": [...], "store": {...}|null}}`,
 //! `{"recommendation": {...}}`, `{"cancelled": {...}}`,
 //! `{"watching": {...}}`, `{"unwatched": {...}}`, `{"drift": [...]}`,
-//! `{"ticked": {...}}`, `{"snapshotted": {...}}`, `"shutting-down"`,
-//! `{"error": {...}}`. Unknown verbs and malformed lines produce an
-//! `error` response, never a dropped connection.
+//! `{"health": {...}}`, `{"ticked": {...}}`, `{"snapshotted": {...}}`,
+//! `"shutting-down"`, `{"error": {...}}`. Unknown verbs and malformed
+//! lines produce an `error` response, never a dropped connection.
 
 use serde::{Deserialize, Error, Serialize, Value};
+use streamtune_backend::FaultPlan;
 use streamtune_monitor::DriftStatusLine;
 use streamtune_workloads::rates::Engine;
 
 use crate::store::StoreStats;
 
 /// Which execution backend a job tunes against.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum BackendSpec {
     /// The deterministic simulated cluster (seeded per job).
     Sim,
     /// Replay of a recorded trace file (canned production metrics).
     Replay(String),
+    /// The simulated cluster wrapped in deterministic fault injection —
+    /// the same job, plus the failures of the carried [`FaultPlan`].
+    Chaos(FaultPlan),
 }
 
 impl Serialize for BackendSpec {
@@ -47,6 +52,9 @@ impl Serialize for BackendSpec {
             BackendSpec::Sim => Value::String("sim".to_string()),
             BackendSpec::Replay(path) => {
                 Value::Object(vec![("replay".to_string(), Value::String(path.clone()))])
+            }
+            BackendSpec::Chaos(plan) => {
+                Value::Object(vec![("chaos".to_string(), plan.serialize())])
             }
         }
     }
@@ -58,8 +66,10 @@ impl Deserialize for BackendSpec {
         match (name, payload) {
             ("sim", None) => Ok(BackendSpec::Sim),
             ("replay", Some(p)) => Ok(BackendSpec::Replay(String::deserialize(p)?)),
+            ("chaos", Some(p)) => Ok(BackendSpec::Chaos(FaultPlan::deserialize(p)?)),
             _ => Err(Error::custom(format!(
-                "backend must be \"sim\" or {{\"replay\": \"<trace.json>\"}}, got `{name}`"
+                "backend must be \"sim\", {{\"replay\": \"<trace.json>\"}} or \
+                 {{\"chaos\": {{<fault plan>}}}}, got `{name}`"
             ))),
         }
     }
@@ -123,6 +133,9 @@ pub enum Request {
     },
     /// Report every watched job's drift classification.
     DriftStatus,
+    /// Report fault-tolerance health: per-job retry counters, degraded
+    /// flags, store recovery events and daemon-level panic/lock counters.
+    Health,
     /// Advance the monitor by `steps` observe→detect→adapt ticks.
     Tick {
         /// Ticks to take.
@@ -153,6 +166,7 @@ impl Serialize for Request {
             }
             Request::Unwatch { job } => tagged("unwatch", job_ref(job)),
             Request::DriftStatus => Value::String("drift_status".to_string()),
+            Request::Health => Value::String("health".to_string()),
             Request::Tick { steps } => tagged(
                 "tick",
                 Value::Object(vec![("steps".to_string(), Value::U64(*steps))]),
@@ -192,6 +206,7 @@ impl Deserialize for Request {
                 job: job_of(need(payload)?)?,
             }),
             "drift_status" => Ok(Request::DriftStatus),
+            "health" => Ok(Request::Health),
             "tick" => Ok(Request::Tick {
                 steps: u64::deserialize(need(payload)?.field("steps")?)?,
             }),
@@ -199,7 +214,7 @@ impl Deserialize for Request {
             "shutdown" => Ok(Request::Shutdown),
             other => Err(Error::custom(format!(
                 "unknown verb `{other}` (want submit/status/recommend/cancel/watch/unwatch/\
-                 drift_status/tick/snapshot/shutdown)"
+                 drift_status/health/tick/snapshot/shutdown)"
             ))),
         }
     }
@@ -212,7 +227,7 @@ pub struct JobStatusLine {
     pub name: String,
     /// Workload it tunes.
     pub query: String,
-    /// `"queued"`, `"done"`, `"failed"` or `"cancelled"`.
+    /// `"queued"`, `"done"`, `"failed"`, `"degraded"` or `"cancelled"`.
     pub state: String,
     /// Cluster the job was assigned to at admission.
     pub cluster: usize,
@@ -251,6 +266,49 @@ pub struct TickReport {
     pub watched: u64,
     /// Adaptations applied during these ticks, in detection order.
     pub events: Vec<DriftEventLine>,
+}
+
+/// One job's line in a `health` response: what its retry loops absorbed
+/// or gave up on across every run (initial tune plus re-tunes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobHealthLine {
+    /// Job name.
+    pub job: String,
+    /// Current lifecycle state (`"degraded"` ⇔ transient faults outlasted
+    /// the retry budget on the last run).
+    pub state: String,
+    /// Transient backend faults seen (including the retried-away ones).
+    pub transient_faults: u64,
+    /// Retries taken in response.
+    pub retries: u64,
+    /// Times the retry budget ran out and the fault surfaced.
+    pub exhausted: u64,
+    /// Non-retryable backend failures.
+    pub permanent_failures: u64,
+    /// Virtual backoff minutes accumulated (never billed to outcomes).
+    pub backoff_minutes: f64,
+}
+
+/// The payload of a `health` response: the daemon's fault-tolerance
+/// ledger. Everything here is *observability only* — none of it feeds
+/// back into tuning decisions, so reading it never perturbs outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// One line per admitted job, in admission order.
+    pub jobs: Vec<JobHealthLine>,
+    /// Jobs currently watched by the drift monitor.
+    pub watched: u64,
+    /// Watched jobs currently degraded (backend persistently failing).
+    pub degraded_watches: u64,
+    /// Monitor polls that failed even after retries, across all watches.
+    pub poll_failures: u64,
+    /// Corrupt store artifacts quarantined and recovered at bootstrap.
+    pub store_recoveries: u64,
+    /// Poisoned server locks recovered (a handler panicked mid-request).
+    pub lock_recoveries: u64,
+    /// Request handlers that panicked and were converted to `error`
+    /// responses instead of killing the connection or daemon.
+    pub handler_panics: u64,
 }
 
 /// The payload of a `recommendation` response.
@@ -314,6 +372,8 @@ pub enum Response {
     },
     /// Drift classification of every watched job.
     Drift(Vec<DriftStatusLine>),
+    /// The daemon's fault-tolerance ledger.
+    Health(HealthReport),
     /// The monitor advanced.
     Ticked(TickReport),
     /// The model store was persisted.
@@ -359,6 +419,7 @@ impl Serialize for Response {
                 Value::Object(vec![("job".to_string(), Value::String(job.clone()))]),
             ),
             Response::Drift(lines) => tagged("drift", lines.serialize()),
+            Response::Health(report) => tagged("health", report.serialize()),
             Response::Ticked(report) => tagged("ticked", report.serialize()),
             Response::Snapshotted { dir } => tagged(
                 "snapshotted",
@@ -406,6 +467,7 @@ impl Deserialize for Response {
                 job: String::deserialize(need(payload)?.field("job")?)?,
             }),
             "drift" => Ok(Response::Drift(Vec::deserialize(need(payload)?)?)),
+            "health" => Ok(Response::Health(HealthReport::deserialize(need(payload)?)?)),
             "ticked" => Ok(Response::Ticked(TickReport::deserialize(need(payload)?)?)),
             "snapshotted" => Ok(Response::Snapshotted {
                 dir: String::deserialize(need(payload)?.field("dir")?)?,
@@ -446,8 +508,13 @@ mod tests {
 
     #[test]
     fn requests_roundtrip_through_the_wire_format() {
+        let chaos_spec = JobSpec {
+            backend: BackendSpec::Chaos(FaultPlan::transient(9).with_crash_at(4)),
+            ..spec()
+        };
         let requests = [
             Request::Submit(spec()),
+            Request::Submit(chaos_spec),
             Request::Status,
             Request::Recommend {
                 job: "j1".to_string(),
@@ -467,6 +534,7 @@ mod tests {
                 job: "j1".to_string(),
             },
             Request::DriftStatus,
+            Request::Health,
             Request::Tick { steps: 25 },
             Request::Snapshot,
             Request::Shutdown,
@@ -526,7 +594,27 @@ mod tests {
             parse_request("\"drift_status\"").unwrap(),
             Request::DriftStatus
         );
+        assert_eq!(parse_request("\"health\"").unwrap(), Request::Health);
         assert!(parse_request("{\"tick\": {}}").is_err());
+        // A hand-written chaos backend spec parses into a full fault plan.
+        let r = parse_request(
+            "{\"submit\": {\"name\": \"c\", \"query\": \"nexmark-q1\", \"multiplier\": 5.0, \
+             \"seed\": 7, \"engine\": \"flink\", \"backend\": {\"chaos\": {\"seed\": 3, \
+             \"io_rate\": 0.2, \"deploy_fail_rate\": 0.1, \"nan_rate\": 0.0, \
+             \"stale_rate\": 0.0, \"max_burst\": 2, \"crash_epoch\": null}}}}",
+        )
+        .unwrap();
+        match r {
+            Request::Submit(s) => match s.backend {
+                BackendSpec::Chaos(plan) => {
+                    assert_eq!(plan.seed, 3);
+                    assert_eq!(plan.io_rate, 0.2);
+                    assert_eq!(plan.crash_epoch, None);
+                }
+                other => panic!("expected chaos backend, got {other:?}"),
+            },
+            other => panic!("expected submit, got {other:?}"),
+        }
     }
 
     #[test]
@@ -575,7 +663,26 @@ mod tests {
                 baseline: 700e3,
                 triggers: 1,
                 retunes: 1,
+                degraded: false,
+                poll_failures: 2,
             }]),
+            Response::Health(HealthReport {
+                jobs: vec![JobHealthLine {
+                    job: "j".to_string(),
+                    state: "degraded".to_string(),
+                    transient_faults: 9,
+                    retries: 6,
+                    exhausted: 1,
+                    permanent_failures: 0,
+                    backoff_minutes: 3.5,
+                }],
+                watched: 1,
+                degraded_watches: 1,
+                poll_failures: 4,
+                store_recoveries: 1,
+                lock_recoveries: 0,
+                handler_panics: 2,
+            }),
             Response::Ticked(TickReport {
                 steps: 5,
                 watched: 2,

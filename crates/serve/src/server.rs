@@ -23,18 +23,19 @@
 //! deterministic, only *when* they happen varies).
 
 use crate::error::ServeError;
-use crate::job::{JobManager, JobState};
+use crate::job::{panic_message, JobManager, JobState};
 use crate::protocol::{
-    parse_request, render_response, BackendSpec, DriftEventLine, Recommendation, Request, Response,
-    StatusReport, TickReport,
+    parse_request, render_response, BackendSpec, DriftEventLine, HealthReport, JobHealthLine,
+    Recommendation, Request, Response, StatusReport, TickReport,
 };
 use crate::store::ModelStore;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
-use streamtune_backend::ExecutionBackend;
+use streamtune_backend::{ChaosBackend, ExecutionBackend, RetryPolicy};
 use streamtune_core::{PretrainConfig, Pretrained, Pretrainer};
 use streamtune_ged::{Bound, GedCache, Parallelism};
 use streamtune_monitor::{
@@ -63,6 +64,10 @@ pub struct ServerConfig {
     /// Execution records synthesized per structure-drifted DAG before the
     /// incremental re-pretrain.
     pub grow_runs: usize,
+    /// Retry policy every drained job's tuning session runs under
+    /// (transient backend faults are absorbed deterministically before
+    /// they can fail a job).
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +78,7 @@ impl Default for ServerConfig {
             ledger_cap: 256,
             monitor: MonitorConfig::default(),
             grow_runs: 2,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -107,6 +113,21 @@ pub struct BootstrapReport {
     pub warm_started: bool,
     /// Jobs restored from the persisted ledger.
     pub restored_jobs: usize,
+    /// Corrupt store artifacts quarantined (and, where possible, replaced
+    /// from backups) during bootstrap instead of refusing to boot.
+    pub store_recoveries: usize,
+}
+
+/// Daemon-level fault counters surfaced by the `health` verb.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthCounters {
+    /// Corrupt store artifacts quarantined/recovered at bootstrap.
+    pub store_recoveries: u64,
+    /// Poisoned server locks recovered instead of propagating the panic.
+    pub lock_recoveries: u64,
+    /// Request handlers (or background monitor ticks) that panicked and
+    /// were contained.
+    pub handler_panics: u64,
 }
 
 /// The long-running tuning daemon.
@@ -118,6 +139,7 @@ pub struct Server {
     corpus: Vec<ExecutionRecord>,
     monitor: Monitor,
     config: ServerConfig,
+    health: HealthCounters,
 }
 
 impl Server {
@@ -133,12 +155,13 @@ impl Server {
         config: ServerConfig,
     ) -> Self {
         Server {
-            manager: JobManager::new(pretrained, config.parallelism),
+            manager: JobManager::new(pretrained, config.parallelism).with_retry(config.retry),
             cache,
             store,
             corpus,
             monitor: Monitor::new(config.monitor.clone()),
             config,
+            health: HealthCounters::default(),
         }
     }
 
@@ -152,6 +175,13 @@ impl Server {
     /// * Otherwise → cold pre-train. With a store configured, the fresh
     ///   model, cache and corpus are persisted immediately.
     ///
+    /// **Corrupt artifacts never block the boot**: a damaged `model.json`
+    /// is quarantined and the rotated `model.json.bak` promoted in its
+    /// place (falling through to a cold pre-train only when both are
+    /// gone); damaged cache/corpus/ledger files are quarantined and
+    /// treated as absent. Every recovery is logged to stderr and counted
+    /// in [`BootstrapReport::store_recoveries`] and the `health` verb.
+    ///
     /// `corpus_recipe` supplies the pre-training history and is only
     /// invoked on a store miss, so a warm start never pays corpus
     /// generation; `config.pretrain` governs both the cold path and every
@@ -161,45 +191,63 @@ impl Server {
         config: ServerConfig,
         corpus_recipe: impl FnOnce() -> Vec<ExecutionRecord>,
     ) -> Result<(Self, BootstrapReport), ServeError> {
+        let mut recoveries: Vec<String> = Vec::new();
+        let mut recovered_model = None;
         if let Some(store) = &store {
-            if store.has_model() {
-                let pretrained = store.load_model()?;
-                let cache = if store.has_ged_cache() {
-                    GedCache::from_snapshot(store.load_ged_cache()?)?
-                } else {
-                    GedCache::new(Bound::LabelSet, pretrained.ged_cap)
-                };
-                let corpus = if store.has_corpus() {
-                    store.load_corpus()?
-                } else {
-                    Vec::new()
-                };
-                let ledger = if store.has_jobs() {
-                    store.load_jobs()?
-                } else {
-                    Vec::new()
-                };
-                let restored_jobs = ledger.len();
-                let mut server =
-                    Server::new(pretrained, cache, Some(store.clone()), corpus, config);
-                server.manager.restore(ledger)?;
-                return Ok((
-                    server,
-                    BootstrapReport {
-                        loaded_from_store: true,
-                        warm_started: false,
-                        restored_jobs,
-                    },
-                ));
+            let recovery = store.recover_model()?;
+            recoveries.extend(recovery.events);
+            recovered_model = recovery.model;
+        }
+        if let Some(pretrained) = recovered_model {
+            let store = store.as_ref().expect("a recovered model implies a store");
+            let (snapshot, event) = store.read_or_quarantine(&store.ged_cache_path())?;
+            recoveries.extend(event);
+            let cache = match snapshot {
+                Some(snapshot) => GedCache::from_snapshot(snapshot)?,
+                None => GedCache::new(Bound::LabelSet, pretrained.ged_cap),
+            };
+            let (corpus, event) = store.read_or_quarantine(&store.corpus_path())?;
+            recoveries.extend(event);
+            let (ledger, event) =
+                store.read_or_quarantine::<Vec<crate::job::PersistedJob>>(&store.jobs_path())?;
+            recoveries.extend(event);
+            let ledger = ledger.unwrap_or_default();
+            let restored_jobs = ledger.len();
+            for event in &recoveries {
+                eprintln!("store recovery: {event}");
             }
+            let store_recoveries = recoveries.len();
+            let mut server = Server::new(
+                pretrained,
+                cache,
+                Some(store.clone()),
+                corpus.unwrap_or_default(),
+                config,
+            );
+            server.manager.restore(ledger)?;
+            server.health.store_recoveries = store_recoveries as u64;
+            return Ok((
+                server,
+                BootstrapReport {
+                    loaded_from_store: true,
+                    warm_started: false,
+                    restored_jobs,
+                    store_recoveries,
+                },
+            ));
         }
         let corpus = corpus_recipe();
-        let warm_started = matches!(&store, Some(store) if store.has_ged_cache());
-        let mut cache = if warm_started {
-            let store = store.as_ref().expect("warm start implies a store");
-            GedCache::from_snapshot(store.load_ged_cache()?)?
+        let snapshot = if let Some(store) = &store {
+            let (snapshot, event) = store.read_or_quarantine(&store.ged_cache_path())?;
+            recoveries.extend(event);
+            snapshot
         } else {
-            GedCache::new(Bound::LabelSet, config.pretrain.cluster.ged_cap)
+            None
+        };
+        let warm_started = snapshot.is_some();
+        let mut cache = match snapshot {
+            Some(snapshot) => GedCache::from_snapshot(snapshot)?,
+            None => GedCache::new(Bound::LabelSet, config.pretrain.cluster.ged_cap),
         };
         let pretrained =
             Pretrainer::new(config.pretrain.clone()).run_with_cache(&corpus, &mut cache);
@@ -213,13 +261,19 @@ impl Server {
             // results computed under the old model as if they were new.
             store.save_jobs(&[])?;
         }
-        let server = Server::new(pretrained, cache, store, corpus, config);
+        for event in &recoveries {
+            eprintln!("store recovery: {event}");
+        }
+        let store_recoveries = recoveries.len();
+        let mut server = Server::new(pretrained, cache, store, corpus, config);
+        server.health.store_recoveries = store_recoveries as u64;
         Ok((
             server,
             BootstrapReport {
                 loaded_from_store: false,
                 warm_started,
                 restored_jobs: 0,
+                store_recoveries,
             },
         ))
     }
@@ -274,7 +328,7 @@ impl Server {
                 state: job.state.name().to_string(),
             });
         };
-        if job.spec.backend != BackendSpec::Sim {
+        if matches!(job.spec.backend, BackendSpec::Replay(_)) {
             return Err(ServeError::NotWatchable {
                 name: name.to_string(),
             });
@@ -290,11 +344,18 @@ impl Server {
         let covered = distance <= self.config.monitor.detector.structure_tau;
         // The monitor polls the same ground-truth cluster the job runs on
         // (same per-spec seed); monitor epochs are disjoint from tuning
-        // epochs, so the readings are fresh, not replays.
-        let backend: Box<dyn ExecutionBackend + Send> = Box::new(match spec.engine {
+        // epochs, so the readings are fresh, not replays. A chaos job
+        // keeps its fault plan on the monitoring path too — the stream's
+        // retry loop and the monitor's degrade policy are what make that
+        // survivable.
+        let sim = match spec.engine {
             Engine::Flink => SimCluster::flink_defaults(spec.seed),
             Engine::Timely => SimCluster::timely_defaults(spec.seed),
-        });
+        };
+        let backend: Box<dyn ExecutionBackend + Send> = match &spec.backend {
+            BackendSpec::Chaos(plan) => Box::new(ChaosBackend::new(sim, *plan)),
+            _ => Box::new(sim),
+        };
         self.monitor.watch(
             WatchSpec {
                 name: spec.name,
@@ -422,6 +483,53 @@ impl Server {
                 kind: "poll-failed".to_string(),
                 detail: message,
             },
+            DriftEvent::Degraded { job, message } => DriftEventLine {
+                job,
+                kind: "degraded".to_string(),
+                detail: message,
+            },
+            DriftEvent::Recovered { job } => DriftEventLine {
+                job,
+                kind: "recovered".to_string(),
+                detail: "backend answering again; drift detection resumed".to_string(),
+            },
+        }
+    }
+
+    /// Assemble the fault-tolerance ledger for the `health` verb. Pure
+    /// observability: reads counters, runs nothing, perturbs nothing.
+    fn health_report(&self) -> HealthReport {
+        let jobs = self
+            .manager
+            .jobs()
+            .iter()
+            .map(|j| {
+                // A watched job's monitor stream retries independently of
+                // the tuning runs; its counters belong to the same job.
+                let mut retry = j.retry;
+                if let Some(stream) = self.monitor.stream_retry_stats(&j.spec.name) {
+                    retry.absorb(&stream);
+                }
+                JobHealthLine {
+                    job: j.spec.name.clone(),
+                    state: j.state.name().to_string(),
+                    transient_faults: retry.transient_faults,
+                    retries: retry.retries,
+                    exhausted: retry.exhausted,
+                    permanent_failures: retry.permanent_failures,
+                    backoff_minutes: retry.backoff_minutes,
+                }
+            })
+            .collect();
+        let drift = self.monitor.status();
+        HealthReport {
+            jobs,
+            watched: drift.len() as u64,
+            degraded_watches: drift.iter().filter(|line| line.degraded).count() as u64,
+            poll_failures: drift.iter().map(|line| line.poll_failures).sum(),
+            store_recoveries: self.health.store_recoveries,
+            lock_recoveries: self.health.lock_recoveries,
+            handler_panics: self.health.handler_panics,
         }
     }
 
@@ -513,6 +621,7 @@ impl Server {
                 },
             },
             Request::DriftStatus => Response::Drift(self.monitor.status()),
+            Request::Health => Response::Health(self.health_report()),
             Request::Tick { steps } => {
                 // One request must not hold the shared server lock for an
                 // unbounded time: a huge (or fat-fingered) steps value
@@ -618,13 +727,23 @@ impl Server {
                         if let Some(interval) = monitor_interval {
                             if last_tick.elapsed() >= interval {
                                 last_tick = Instant::now();
-                                let report =
-                                    server.lock().expect("server lock poisoned").tick_monitor(1);
-                                for event in &report.events {
-                                    eprintln!(
-                                        "monitor: {} [{}] {}",
-                                        event.job, event.kind, event.detail
-                                    );
+                                let mut guard = lock_server(server);
+                                match catch_unwind(AssertUnwindSafe(|| guard.tick_monitor(1))) {
+                                    Ok(report) => {
+                                        for event in &report.events {
+                                            eprintln!(
+                                                "monitor: {} [{}] {}",
+                                                event.job, event.kind, event.detail
+                                            );
+                                        }
+                                    }
+                                    Err(payload) => {
+                                        guard.health.handler_panics += 1;
+                                        eprintln!(
+                                            "monitor: background tick panicked (contained): {}",
+                                            panic_message(payload.as_ref())
+                                        );
+                                    }
                                 }
                             }
                         }
@@ -647,10 +766,61 @@ impl Server {
     }
 }
 
+/// Largest request line a connection may send (bytes, newline excluded).
+/// A client streaming an endless line would otherwise grow the session
+/// buffer without bound; at the cap the daemon answers with an error and
+/// closes only that connection.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Lock the shared server, *recovering* a poisoned lock.
+///
+/// The lock only poisons if a handler panicked while holding it; every
+/// dispatch path wraps handlers in `catch_unwind`, so poison here means a
+/// panic escaped some unguarded path. The state itself is still
+/// consistent enough to serve (handlers mutate through `&mut self` in
+/// small steps and jobs are independent), and a daemon that answers
+/// `error` beats one that unwinds every connection thread — so recover,
+/// count it, and keep serving.
+fn lock_server<'a>(server: &'a Mutex<Server>) -> MutexGuard<'a, Server> {
+    match server.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            server.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.health.lock_recoveries += 1;
+            eprintln!("server lock was poisoned; recovered and serving on");
+            guard
+        }
+    }
+}
+
+/// Dispatch one parsed request under the shared lock, containing handler
+/// panics: a panic becomes an `error` response plus a health counter, and
+/// because the guard outlives the `catch_unwind` closure the lock is
+/// released normally — not poisoned — afterwards.
+fn dispatch(server: &Mutex<Server>, request: &Request) -> (Response, bool) {
+    let mut guard = lock_server(server);
+    match catch_unwind(AssertUnwindSafe(|| guard.handle(request))) {
+        Ok(result) => result,
+        Err(payload) => {
+            guard.health.handler_panics += 1;
+            (
+                Response::Error {
+                    message: format!(
+                        "internal error: request handler panicked: {}",
+                        panic_message(payload.as_ref())
+                    ),
+                },
+                false,
+            )
+        }
+    }
+}
+
 /// One client session over the shared server. Reads with a short timeout
 /// so the thread notices a daemon-wide shutdown even while its client is
 /// idle; partial lines survive timeouts (the buffer accumulates until the
-/// newline arrives).
+/// newline arrives), but only up to [`MAX_LINE_BYTES`].
 fn serve_connection(
     server: &Mutex<Server>,
     stream: TcpStream,
@@ -660,20 +830,30 @@ fn serve_connection(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut buf = String::new();
+    let refuse_oversized = |writer: &mut TcpStream, got: usize| -> std::io::Result<()> {
+        let response = Response::Error {
+            message: format!(
+                "request line exceeds {MAX_LINE_BYTES} bytes (got at least {got}); \
+                 closing connection"
+            ),
+        };
+        writeln!(writer, "{}", render_response(&response))?;
+        writer.flush()
+    };
     loop {
         match reader.read_line(&mut buf) {
             Ok(0) => return Ok(()), // client disconnected
             Ok(_) => {
+                if buf.len() > MAX_LINE_BYTES {
+                    return refuse_oversized(&mut writer, buf.len());
+                }
                 let trimmed = buf.trim().to_string();
                 buf.clear();
                 if trimmed.is_empty() || trimmed.starts_with('#') {
                     continue;
                 }
                 let (response, stop) = match parse_request(&trimmed) {
-                    Ok(request) => server
-                        .lock()
-                        .expect("server lock poisoned")
-                        .handle(&request),
+                    Ok(request) => dispatch(server, &request),
                     Err(e) => (
                         Response::Error {
                             message: format!("bad request: {e}"),
@@ -692,6 +872,11 @@ fn serve_connection(
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
+                // `read_line` appends whatever arrived before the timeout,
+                // so an endless unterminated line grows `buf` here too.
+                if buf.len() > MAX_LINE_BYTES {
+                    return refuse_oversized(&mut writer, buf.len());
+                }
                 if shutdown.load(Ordering::SeqCst) {
                     return Ok(());
                 }

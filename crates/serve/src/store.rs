@@ -109,6 +109,21 @@ impl std::fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
+impl StoreError {
+    /// Whether the error means *the bytes on disk are damaged* — as
+    /// opposed to unreadable (I/O) or written by a newer build
+    /// (`UnsupportedVersion`, where the file is fine and quarantining it
+    /// would destroy a future format's data).
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Format { .. }
+                | StoreError::ChecksumMismatch { .. }
+                | StoreError::WrongMagic { .. }
+        )
+    }
+}
+
 /// FNV-1a 64-bit over `bytes` — a small, dependency-free integrity hash.
 /// This detects corruption and accidental edits, not adversaries.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -146,8 +161,20 @@ fn envelope_text<T: Serialize>(path: &Path, payload: &T) -> Result<String, Store
     ))
 }
 
-/// Atomically place `text` at `path` (temp file + rename).
+/// Atomically and *durably* place `text` at `path` (temp file + fsync +
+/// rename + parent-directory fsync).
+///
+/// The rename makes the swap atomic against concurrent readers; the
+/// `sync_all` before it makes it crash-safe — without the fsync a power
+/// cut after the rename can leave the *new name pointing at unwritten
+/// data* (rename metadata often reaches the journal before file pages
+/// reach the platter). The parent-directory fsync then persists the
+/// rename itself, so a crash cannot roll the swap back after callers
+/// were told it succeeded. The directory sync is best-effort: some
+/// filesystems refuse `fsync` on directory handles, and losing only the
+/// rename (not the bytes) still leaves the previous good artifact.
 fn write_text_atomic(path: &Path, text: &str) -> Result<(), StoreError> {
+    use std::io::Write as _;
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
@@ -155,8 +182,17 @@ fn write_text_atomic(path: &Path, text: &str) -> Result<(), StoreError> {
         path: path.display().to_string(),
         message: e.to_string(),
     };
-    std::fs::write(&tmp, text).map_err(io_err)?;
-    std::fs::rename(&tmp, path).map_err(io_err)
+    let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+    file.write_all(text.as_bytes()).map_err(io_err)?;
+    file.sync_all().map_err(io_err)?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(io_err)?;
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Read and verify an envelope from `path`, deserializing its payload.
@@ -320,9 +356,101 @@ impl ModelStore {
         write_text_atomic(&path, &text)
     }
 
-    /// Load the pre-trained bundle.
+    /// Load the pre-trained bundle (strict: corruption is an error; use
+    /// [`ModelStore::recover_model`] for the boot path that falls back).
     pub fn load_model(&self) -> Result<Pretrained, StoreError> {
         read_envelope(&self.model_path())
+    }
+
+    /// Move a damaged artifact aside as `<name>.corrupt` (replacing any
+    /// previous quarantine of the same file) so the evidence survives for
+    /// post-mortems without blocking the daemon from booting.
+    pub fn quarantine(&self, path: &Path) -> Result<PathBuf, StoreError> {
+        let mut corrupt = path.as_os_str().to_owned();
+        corrupt.push(".corrupt");
+        let corrupt = PathBuf::from(corrupt);
+        std::fs::rename(path, &corrupt).map_err(|e| StoreError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Ok(corrupt)
+    }
+
+    /// Corruption-tolerant read of one artifact: an absent file reads as
+    /// `None`; a *corrupt* file is quarantined and reads as `None` with a
+    /// recovery-event description; I/O failures and future-version files
+    /// stay hard errors.
+    pub fn read_or_quarantine<T: Deserialize>(
+        &self,
+        path: &Path,
+    ) -> Result<(Option<T>, Option<String>), StoreError> {
+        if !path.is_file() {
+            return Ok((None, None));
+        }
+        match read_envelope(path) {
+            Ok(value) => Ok((Some(value), None)),
+            Err(e) if e.is_corruption() => {
+                let quarantined = self.quarantine(path)?;
+                Ok((
+                    None,
+                    Some(format!(
+                        "{}: corrupt ({e}); quarantined to {}",
+                        path.display(),
+                        quarantined.display()
+                    )),
+                ))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Crash-safe model load for the boot path.
+    ///
+    /// A clean `model.json` loads as-is. A *corrupt* one (e.g. a torn
+    /// write from a crash predating the fsync discipline, or a hand-edit)
+    /// is quarantined as `model.json.corrupt` and the rotated
+    /// `model.json.bak` is promoted in its place — the daemon boots on
+    /// the last good model instead of refusing to start. If the backup is
+    /// corrupt too (or absent), both are quarantined and the recovery
+    /// reports no model, sending the caller down the cold-pretrain path.
+    /// Every action taken is described in [`ModelRecovery::events`].
+    pub fn recover_model(&self) -> Result<ModelRecovery, StoreError> {
+        let mut events = Vec::new();
+        if !self.has_model() {
+            return Ok(ModelRecovery {
+                model: None,
+                events,
+            });
+        }
+        match self.load_model() {
+            Ok(model) => Ok(ModelRecovery {
+                model: Some(model),
+                events,
+            }),
+            Err(e) if e.is_corruption() => {
+                let quarantined = self.quarantine(&self.model_path())?;
+                events.push(format!(
+                    "model.json: corrupt ({e}); quarantined to {}",
+                    quarantined.display()
+                ));
+                let bak = self.model_backup_path();
+                let (model, bak_event) = self.read_or_quarantine::<Pretrained>(&bak)?;
+                if let Some(event) = bak_event {
+                    events.push(event);
+                }
+                if model.is_some() {
+                    // Promote the backup: it is now the live model, byte
+                    // for byte (the envelope moves, not a re-render).
+                    std::fs::rename(&bak, self.model_path()).map_err(|e| StoreError::Io {
+                        path: bak.display().to_string(),
+                        message: e.to_string(),
+                    })?;
+                    events.push("model.json.bak: promoted to model.json".to_string());
+                }
+                Ok(ModelRecovery { model, events })
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Persist a GED-cache snapshot.
@@ -370,6 +498,16 @@ impl ModelStore {
             jobs_bytes: size(self.jobs_path()),
         }
     }
+}
+
+/// What [`ModelStore::recover_model`] found and did.
+#[derive(Debug, Clone)]
+pub struct ModelRecovery {
+    /// The model to boot on (`None` ⇒ nothing recoverable; cold-pretrain).
+    pub model: Option<Pretrained>,
+    /// Human-readable descriptions of every quarantine/promotion taken
+    /// (empty ⇔ the store was healthy).
+    pub events: Vec<String>,
 }
 
 /// Artifact sizes of a store directory (0 ⇔ absent). Reported by the

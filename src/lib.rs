@@ -179,6 +179,51 @@
 //! (background wall-clock loop). `streamtune monitor` and
 //! `examples/monitor_quickstart.rs` demonstrate a scripted mid-run rate
 //! shift being detected and automatically re-tuned.
+//!
+//! ## Fault tolerance
+//!
+//! The daemon is built to keep serving through backend faults, handler
+//! panics and torn writes — and every failure scenario is *replayable*:
+//!
+//! * **Fault model** — [`ChaosBackend`](backend::ChaosBackend) wraps any
+//!   `ExecutionBackend` and injects faults from a seeded, fully
+//!   deterministic [`FaultPlan`](backend::FaultPlan): transient I/O
+//!   errors, failed deploys, NaN observations (per backend call, capped
+//!   at `max_burst` consecutive), stale observations and crash-at-epoch
+//!   (per deployment epoch). Every decision is a pure function of
+//!   `(seed, fault domain, index)` — no RNG state, no wall clock.
+//! * **Retry, then degrade** — [`BackendError`](backend::BackendError)s
+//!   classify as transient or permanent
+//!   ([`FaultClass`](backend::FaultClass));
+//!   [`TuningSession`](backend::TuningSession) and
+//!   [`MetricStream`](monitor::MetricStream) retry transient faults at
+//!   the *same* epoch under a bounded
+//!   [`RetryPolicy`](backend::RetryPolicy) with **virtual** backoff
+//!   (accounted in [`RetryStats`](backend::RetryStats), never slept).
+//!   Because backends key measurement noise on the epoch and retries
+//!   never touch tuning bookkeeping, a run whose transient faults fit
+//!   the retry budget produces **bit-identical** `TuneOutcome`s to a
+//!   fault-free run — across `Serial` and `Fixed(n)` pools alike
+//!   (`tests/chaos_faults.rs`, CI `chaos` job under multiple seed sets).
+//!   A backend sick past the budget leaves the job `Degraded` (distinct
+//!   from `Failed`) in `status`, flips its watch to `degraded` in
+//!   `drift_status`, and recovers with an explicit event when polls
+//!   succeed again; injected crashes are contained per job and per
+//!   request (`catch_unwind`), and poisoned server locks are cleared and
+//!   counted, never fatal (`tests/serve_tcp.rs` drives slowloris,
+//!   mid-request disconnect and oversized-line clients).
+//! * **Crash-safe store** — artifact writes are write-temp → `fsync` →
+//!   atomic rename → parent-dir `fsync`; boot routes through
+//!   [`ModelStore::recover_model`](serve::ModelStore::recover_model),
+//!   which quarantines a corrupt `model.json` as `model.json.corrupt`
+//!   and promotes `model.json.bak` in its place. A crash-consistency
+//!   sweep truncating the envelope at every byte offset proves recovery
+//!   always lands on the old or the new committed state, never garbage
+//!   (`tests/serve_store.rs`).
+//! * **Observability** — the `health` verb reports per-job fault/retry
+//!   counters, degraded watches, poll failures, store recoveries, lock
+//!   recoveries and contained handler panics
+//!   ([`HealthReport`](serve::HealthReport)).
 
 pub use streamtune_backend as backend;
 pub use streamtune_baselines as baselines;

@@ -102,6 +102,135 @@ fn warm_started_pretraining_matches_cold_and_skips_searches() {
     std::fs::remove_dir_all(store.dir()).ok();
 }
 
+/// A deliberately minuscule model (global-fallback path, tiny encoder,
+/// tiny warm-up set) so the byte-by-byte envelope sweep stays fast: the
+/// sweep is quadratic in envelope size.
+fn tiny_model(seed: u64) -> streamtune::core::Pretrained {
+    let mut cfg = PretrainConfig::fast();
+    cfg.min_structures_for_clustering = usize::MAX;
+    cfg.gnn.hidden_dim = 4;
+    cfg.gnn.message_passing_steps = 1;
+    cfg.epochs = 2;
+    cfg.min_warmup_points = 4;
+    let cluster = SimCluster::flink_defaults(seed);
+    let corpus = HistoryGenerator::new(seed).with_jobs(3).generate(&cluster);
+    Pretrainer::new(cfg).run(&corpus)
+}
+
+#[test]
+fn recover_model_falls_back_to_backup_and_quarantines() {
+    let store = temp_store("recover");
+    let old = tiny_model(61);
+    let new = tiny_model(62);
+    store.save_model(&old).expect("save old");
+    store
+        .save_model(&new)
+        .expect("save new (rotates old to .bak)");
+    let env_old = std::fs::read(store.model_backup_path()).expect("backup exists");
+    let env_new = std::fs::read(store.model_path()).expect("model exists");
+    assert_ne!(env_old, env_new, "distinct models must differ on disk");
+
+    // Tear the live model mid-envelope; recovery must quarantine it and
+    // promote the rotated backup byte-for-byte.
+    std::fs::write(store.model_path(), &env_new[..env_new.len() / 2]).expect("tear");
+    let recovery = store.recover_model().expect("recovery is not a hard error");
+    assert!(recovery.model.is_some(), "the backup must boot the daemon");
+    assert_eq!(
+        std::fs::read(store.model_path()).expect("promoted model"),
+        env_old,
+        "model.json.bak is promoted without re-rendering"
+    );
+    let corrupt = store.dir().join("model.json.corrupt");
+    assert!(
+        corrupt.is_file(),
+        "the torn envelope is kept for post-mortem"
+    );
+    assert!(
+        !store.model_backup_path().exists(),
+        "the promoted backup no longer exists under its old name"
+    );
+    assert!(
+        recovery.events.iter().any(|e| e.contains("quarantined"))
+            && recovery.events.iter().any(|e| e.contains("promoted")),
+        "recovery narrates what it did: {:?}",
+        recovery.events
+    );
+
+    // Both copies corrupt: quarantine everything, report no model (the
+    // caller falls back to a cold pre-train), still no hard error.
+    store.save_model(&new).expect("save again");
+    std::fs::rename(store.model_path(), store.model_backup_path()).expect("plant bad bak");
+    std::fs::write(store.model_backup_path(), b"{not an envelope").expect("corrupt bak");
+    std::fs::write(store.model_path(), b"").expect("empty model");
+    let recovery = store.recover_model().expect("still not a hard error");
+    assert!(recovery.model.is_none());
+    assert!(store.dir().join("model.json.corrupt").is_file());
+    assert!(store.dir().join("model.json.bak.corrupt").is_file());
+    std::fs::remove_dir_all(store.dir()).ok();
+}
+
+#[test]
+fn crash_consistency_truncation_sweep() {
+    use streamtune::core::Parallelism;
+    use streamtune::serve::ServerConfig;
+
+    let store = temp_store("sweep");
+    let old = tiny_model(63);
+    let new = tiny_model(64);
+    store.save_model(&old).expect("save old");
+    store.save_model(&new).expect("save new");
+    let env_old = std::fs::read(store.model_backup_path()).expect("backup exists");
+    let env_new = std::fs::read(store.model_path()).expect("model exists");
+    assert_ne!(env_old, env_new);
+
+    // A crash can stop the model swap at *any* byte. For every truncation
+    // offset of the new envelope, recovery must land on exactly the old
+    // or the new committed state — never garbage, never a refusal.
+    let corrupt = store.dir().join("model.json.corrupt");
+    for k in 0..=env_new.len() {
+        std::fs::write(store.model_backup_path(), &env_old).expect("reset backup");
+        std::fs::write(store.model_path(), &env_new[..k]).expect("torn write");
+        std::fs::remove_file(&corrupt).ok();
+
+        let recovery = store
+            .recover_model()
+            .unwrap_or_else(|e| panic!("offset {k}: recovery hard-errored: {e}"));
+        assert!(
+            recovery.model.is_some(),
+            "offset {k}: a committed model must survive"
+        );
+        let now = std::fs::read(store.model_path()).expect("model after recovery");
+        if k < env_new.len() {
+            // Torn write: the old envelope is promoted byte-for-byte and
+            // the torn bytes are quarantined.
+            assert_eq!(now, env_old, "offset {k}: old state must be restored");
+            assert!(corrupt.is_file(), "offset {k}: torn bytes quarantined");
+            assert!(!recovery.events.is_empty());
+        } else {
+            // The write completed: the new state stands untouched.
+            assert_eq!(now, env_new);
+            assert!(recovery.events.is_empty());
+        }
+    }
+
+    // The daemon itself boots on representative torn states (recovery is
+    // wired into bootstrap, not just the store API).
+    for k in [0, env_new.len() / 2, env_new.len()] {
+        std::fs::write(store.model_backup_path(), &env_old).expect("reset backup");
+        std::fs::write(store.model_path(), &env_new[..k]).expect("torn write");
+        std::fs::remove_file(&corrupt).ok();
+        let (_server, report) = Server::bootstrap(
+            Some(ModelStore::new(store.dir())),
+            ServerConfig::fast().with_parallelism(Parallelism::Serial),
+            || panic!("offset {k}: recovery must not retrain"),
+        )
+        .unwrap_or_else(|e| panic!("offset {k}: daemon refused to boot: {e}"));
+        assert!(report.loaded_from_store);
+        assert_eq!(report.store_recoveries > 0, k < env_new.len());
+    }
+    std::fs::remove_dir_all(store.dir()).ok();
+}
+
 #[test]
 fn corrupted_store_artifacts_error_loudly() {
     let corpus = small_corpus(57);

@@ -124,6 +124,112 @@ fn concurrent_clients_share_the_daemon_and_disconnects_are_harmless() {
 }
 
 #[test]
+fn hostile_clients_do_not_take_the_daemon_down() {
+    use streamtune::serve::server::MAX_LINE_BYTES;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let server = Mutex::new(server());
+
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| Server::serve_tcp(&server, &listener, None));
+
+        // Slowloris: a valid request dribbled one byte at a time, each gap
+        // longer than the server's read timeout, so the partial line must
+        // survive many timeout wakeups before the newline lands.
+        let mut slow = Client::connect(addr);
+        let sloth = scope.spawn(move || {
+            for byte in b"\"status\"\n" {
+                slow.writer.write_all(&[*byte]).expect("drip one byte");
+                slow.writer.flush().expect("flush byte");
+                std::thread::sleep(Duration::from_millis(120));
+            }
+            let mut line = String::new();
+            slow.reader.read_line(&mut line).expect("slow response");
+            serde_json::from_str::<Response>(line.trim()).expect("valid response line")
+        });
+
+        // While that line is still dribbling, a well-behaved client is
+        // served immediately.
+        let mut ok = Client::connect(addr);
+        let submit = "{\"submit\": {\"name\": \"survivor\", \"query\": \"nexmark-q1\", \
+                      \"multiplier\": 6.0, \"seed\": 1, \"engine\": \"flink\", \
+                      \"backend\": \"sim\"}}";
+        assert!(matches!(ok.request(submit), Response::Submitted { .. }));
+
+        // Disconnect mid-request: a complete submit, then the socket drops
+        // before the response is read. The daemon's failed reply write must
+        // end only that connection — and the request itself was handled.
+        {
+            let mut rude = Client::connect(addr);
+            writeln!(
+                rude.writer,
+                "{{\"submit\": {{\"name\": \"from-rude\", \"query\": \"nexmark-q2\", \
+                 \"multiplier\": 5.0, \"seed\": 2, \"engine\": \"flink\", \
+                 \"backend\": \"sim\"}}}}"
+            )
+            .expect("send rude request");
+            rude.writer.flush().expect("flush rude request");
+        }
+        // The daemon reads buffered bytes even after the FIN; give it a
+        // beat to drain them, then confirm the job landed.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match ok.request("\"status\"") {
+                Response::Status(status) => {
+                    if status.jobs.iter().any(|j| j.name == "from-rude") {
+                        break;
+                    }
+                }
+                other => panic!("expected status, got {other:?}"),
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "rude client's request never reached the job manager"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        // Oversized single line (never a newline): the daemon answers with
+        // an error naming the cap and closes only that connection.
+        let mut big = Client::connect(addr);
+        let chunk = vec![b'x'; 64 * 1024];
+        let mut sent = 0;
+        while sent <= MAX_LINE_BYTES + chunk.len() {
+            big.writer.write_all(&chunk).expect("send oversized chunk");
+            sent += chunk.len();
+        }
+        big.writer.flush().expect("flush oversized line");
+        let mut line = String::new();
+        big.reader.read_line(&mut line).expect("oversize response");
+        match serde_json::from_str::<Response>(line.trim()).expect("valid response line") {
+            Response::Error { message } => assert!(
+                message.contains("exceeds"),
+                "error names the line cap: {message}"
+            ),
+            other => panic!("expected error, got {other:?}"),
+        }
+        // The daemon closed the hostile connection (EOF or reset are both
+        // fine — it just must not stay open).
+        line.clear();
+        assert!(matches!(big.reader.read_line(&mut line), Ok(0) | Err(_)));
+
+        // The slowloris client was served its real answer all along.
+        assert!(matches!(
+            sloth.join().expect("sloth thread"),
+            Response::Status(_)
+        ));
+
+        // And the daemon is still healthy enough to shut down on request.
+        assert!(matches!(ok.request("\"shutdown\""), Response::ShuttingDown));
+        daemon
+            .join()
+            .expect("daemon thread")
+            .expect("daemon exits cleanly");
+    });
+}
+
+#[test]
 fn slow_client_does_not_block_others() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("local addr");
