@@ -161,3 +161,87 @@ impl SimulationReport {
         !self.saturated.iter().any(|&s| s)
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy() -> Observation {
+        let op = |index: usize| OpObservation {
+            op: OpId::new(index),
+            parallelism: 2,
+            input_rate: 1000.0,
+            processed_rate: 1000.0,
+            busy_ms_per_sec: 400.0,
+            idle_ms_per_sec: 600.0,
+            backpressured_ms_per_sec: 0.0,
+            observed_per_instance_rate: 500.0,
+            cpu_load: 0.4,
+            flink_backpressured: false,
+            timely_bottleneck: false,
+            saturated: false,
+        };
+        Observation {
+            mode: EngineMode::Flink,
+            per_op: vec![op(0), op(1)],
+            job_backpressure: false,
+            throughput_scale: 1.0,
+            cpu_utilization: 0.4,
+            total_parallelism: 4,
+        }
+    }
+
+    #[test]
+    fn finite_observations_validate() {
+        healthy().validate().expect("finite metrics are valid");
+    }
+
+    #[test]
+    fn nan_metrics_are_rejected_as_transient_corruption() {
+        let mut obs = healthy();
+        obs.per_op[1].input_rate = f64::NAN;
+        let err = obs.validate().expect_err("NaN must be rejected");
+        assert!(err.is_transient(), "corruption is retryable: {err}");
+        match err {
+            BackendError::CorruptObservation { context } => {
+                assert!(context.contains("op 1: input_rate=NaN"), "{context}");
+            }
+            other => panic!("expected CorruptObservation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn infinite_metrics_are_rejected_in_both_directions() {
+        for bad in [f64::INFINITY, f64::NEG_INFINITY] {
+            let mut obs = healthy();
+            obs.per_op[0].observed_per_instance_rate = bad;
+            let err = obs
+                .validate()
+                .expect_err("infinite per-instance rate must be rejected");
+            assert!(err.is_transient(), "{err}");
+            assert!(
+                err.to_string().contains("observed_per_instance_rate"),
+                "{err}"
+            );
+        }
+        let mut obs = healthy();
+        obs.cpu_utilization = f64::INFINITY;
+        let err = obs.validate().expect_err("infinite utilization rejected");
+        assert!(err.to_string().contains("cpu_utilization=inf"), "{err}");
+    }
+
+    #[test]
+    fn corruption_reports_are_truncated_not_unbounded() {
+        let mut obs = healthy();
+        obs.throughput_scale = f64::NAN;
+        obs.cpu_utilization = f64::NAN;
+        for o in &mut obs.per_op {
+            o.input_rate = f64::NAN;
+            o.processed_rate = f64::NAN;
+            o.cpu_load = f64::INFINITY;
+        }
+        let err = obs.validate().expect_err("everything is corrupt");
+        let message = err.to_string();
+        assert!(message.contains("(+4 more)"), "{message}");
+    }
+}

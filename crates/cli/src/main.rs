@@ -6,11 +6,19 @@
 //!   — generate a history corpus on the simulated cluster and pre-train the
 //!   clustered GNN encoders; writes the serialized [`Pretrained`] bundle.
 //! * `tune --bundle bundle.json --query <name> [--multiplier M]
-//!   [--backend sim|replay:<trace.json>] [--record <trace.json>]`
+//!   [--backend sim|replay:<trace.json>|flink:<url>|ingest:<dump.jsonl>]
+//!   [--record <trace.json>]`
 //!   — load a bundle and tune a named workload online, printing the
 //!   per-operator recommendation. `--backend replay:<path>` drives the
-//!   tuner from a recorded trace instead of the simulator; `--record`
+//!   tuner from a recorded trace instead of the simulator; `flink:<url>`
+//!   tunes a live job through the Flink REST connector; `ingest:<path>`
+//!   admits the deployment recorded in a JSONL metrics dump; `--record`
 //!   captures the session into a trace file for later replay.
+//! * `ingest --input dump.jsonl [--out trace.json] [--window SECS]
+//!   [--sources a,b] [--max-parallelism N] [--engine flink|timely]`
+//!   — stream a JSONL metrics dump into a replayable trace plus a
+//!   monitor-ready rate schedule, reporting how many rows were kept,
+//!   skipped or malformed.
 //! * `inspect --bundle bundle.json` — summarize a bundle (clusters, warm-up
 //!   sizes, encoder losses).
 //! * `workloads` — list the named workloads usable with `tune`.
@@ -34,14 +42,20 @@
 //!
 //! The default backend is the simulated cluster (see DESIGN.md §1); every
 //! tuner runs through the backend-agnostic `ExecutionBackend` API, so the
-//! same commands will drive real-engine connectors when they exist.
+//! same commands also drive the Flink REST connector (`--backend
+//! flink:<url>`). Fault knobs apply everywhere: `--retry-attempts` /
+//! `--retry-backoff` bound the transient-fault retry loop, and `--chaos
+//! <seed>` injects a deterministic fault storm (on `serve`/`monitor` it
+//! wraps every simulator-backed job, seeded `chaos ^ job seed`).
 
 use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
 use streamtune_backend::{
-    ExecutionBackend, ReplayBackend, TraceRecorder, TuneOutcome, TuningSession,
+    ChaosBackend, EngineMode, ExecutionBackend, FaultPlan, ReplayBackend, RetryPolicy, RetryStats,
+    TraceRecorder, TuneOutcome, TuningSession,
 };
 use streamtune_baselines::Tuner;
+use streamtune_connect::{ingest_file, FlinkBackend, IngestConfig};
 use streamtune_core::{
     Parallelism, PretrainConfig, Pretrained, Pretrainer, StreamTune, TuneConfig,
 };
@@ -118,21 +132,88 @@ fn load_bundle(args: &Args) -> Result<Pretrained, CliError> {
     })
 }
 
-/// The `--backend` selection: the simulator, or a recorded trace.
+/// The `--backend` selection: the simulator, a recorded trace, a live
+/// Flink REST endpoint, or a JSONL metrics dump.
 enum BackendChoice {
     Sim,
     Replay(String),
+    Flink(String),
+    Ingest(String),
 }
 
 fn backend_choice(args: &Args) -> Result<BackendChoice, CliError> {
-    match args.optional("backend").as_deref() {
-        None | Some("sim") => Ok(BackendChoice::Sim),
-        Some(spec) => match spec.strip_prefix("replay:") {
-            Some(path) if !path.is_empty() => Ok(BackendChoice::Replay(path.to_string())),
-            _ => Err(CliError::Usage(format!(
-                "--backend must be `sim` or `replay:<trace.json>`, got `{spec}`"
-            ))),
-        },
+    let spec = match args.optional("backend") {
+        None => return Ok(BackendChoice::Sim),
+        Some(spec) => spec,
+    };
+    if spec == "sim" {
+        return Ok(BackendChoice::Sim);
+    }
+    let choice = [
+        (
+            "replay:",
+            BackendChoice::Replay as fn(String) -> BackendChoice,
+        ),
+        ("flink:", BackendChoice::Flink),
+        ("ingest:", BackendChoice::Ingest),
+    ]
+    .iter()
+    .find_map(|(prefix, make)| {
+        spec.strip_prefix(prefix)
+            .filter(|rest| !rest.is_empty())
+            .map(|rest| make(rest.to_string()))
+    });
+    choice.ok_or_else(|| {
+        CliError::Usage(format!(
+            "--backend must be `sim`, `replay:<trace.json>`, `flink:<url>` or \
+             `ingest:<dump.jsonl>`, got `{spec}`"
+        ))
+    })
+}
+
+/// Fold `--retry-attempts` / `--retry-backoff` over a base policy.
+fn retry_policy(args: &Args, base: RetryPolicy) -> Result<RetryPolicy, CliError> {
+    let policy = RetryPolicy {
+        max_attempts: args.parse_or("retry-attempts", base.max_attempts)?,
+        base_backoff_minutes: args.parse_or("retry-backoff", base.base_backoff_minutes)?,
+    };
+    if policy.max_attempts == 0 {
+        return Err(CliError::Usage(
+            "--retry-attempts must be at least 1 (1 = no retry)".to_string(),
+        ));
+    }
+    if !policy.base_backoff_minutes.is_finite() || policy.base_backoff_minutes < 0.0 {
+        return Err(CliError::Usage(format!(
+            "--retry-backoff must be a finite non-negative number of minutes, got {}",
+            policy.base_backoff_minutes
+        )));
+    }
+    Ok(policy)
+}
+
+/// The optional `--chaos <seed>` fault-injection knob.
+fn chaos_seed(args: &Args) -> Result<Option<u64>, CliError> {
+    match args.optional("chaos") {
+        None => Ok(None),
+        Some(s) => s
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|e| CliError::Usage(format!("--chaos {s}: {e}"))),
+    }
+}
+
+/// Tell the user what the retry loop absorbed, if anything.
+fn report_faults(stats: &RetryStats) {
+    if stats.any_faults() {
+        eprintln!(
+            "faults: {} transient absorbed over {} retry(ies) ({:.1} min virtual backoff), \
+             {} exhausted, {} permanent",
+            stats.transient_faults,
+            stats.retries,
+            stats.backoff_minutes,
+            stats.exhausted,
+            stats.permanent_failures
+        );
     }
 }
 
@@ -140,10 +221,34 @@ fn run_tuning(
     backend: &mut dyn ExecutionBackend,
     pre: &Pretrained,
     flow: &streamtune_dataflow::Dataflow,
-) -> Result<TuneOutcome, CliError> {
+    retry: RetryPolicy,
+) -> Result<(TuneOutcome, RetryStats), CliError> {
     let mut tuner = StreamTune::new(pre, TuneConfig::default());
-    let mut session = TuningSession::new(backend, flow);
-    Ok(tuner.tune(&mut session)?)
+    let mut session = TuningSession::new(backend, flow).with_retry(retry);
+    let outcome = tuner.tune(&mut session)?;
+    let stats = session.retry_stats();
+    Ok((outcome, stats))
+}
+
+/// Tune over an owned backend, wrapping it in a seeded [`ChaosBackend`]
+/// when `--chaos` asked for a fault storm.
+fn tune_with_faults<B: ExecutionBackend>(
+    backend: B,
+    pre: &Pretrained,
+    flow: &streamtune_dataflow::Dataflow,
+    retry: RetryPolicy,
+    chaos: Option<u64>,
+) -> Result<(TuneOutcome, RetryStats), CliError> {
+    match chaos {
+        Some(seed) => {
+            let mut chaotic = ChaosBackend::new(backend, FaultPlan::transient(seed));
+            run_tuning(&mut chaotic, pre, flow, retry)
+        }
+        None => {
+            let mut backend = backend;
+            run_tuning(&mut backend, pre, flow, retry)
+        }
+    }
 }
 
 fn cmd_tune(args: &Args) -> Result<(), CliError> {
@@ -160,21 +265,38 @@ fn cmd_tune(args: &Args) -> Result<(), CliError> {
         })?;
     let flow = workload.at(multiplier);
 
+    let retry = retry_policy(args, RetryPolicy::default())?;
+    let chaos = chaos_seed(args)?;
     let record_path = args.optional("record");
-    match backend_choice(args)? {
+    let choice = backend_choice(args)?;
+    if record_path.is_some() && !matches!(choice, BackendChoice::Sim) {
+        return Err(CliError::Usage(
+            "--record is only meaningful with --backend sim (other backends are already \
+             recorded or live)"
+                .to_string(),
+        ));
+    }
+    match choice {
         BackendChoice::Sim => {
-            let mut cluster = match engine {
+            let cluster = match engine {
                 Engine::Flink => SimCluster::flink_defaults(seed),
                 Engine::Timely => SimCluster::timely_defaults(seed),
             };
-            let outcome = if let Some(path) = &record_path {
+            let (outcome, stats) = if let Some(path) = &record_path {
+                if chaos.is_some() {
+                    return Err(CliError::Usage(
+                        "--chaos cannot be combined with --record: traces record clean \
+                         deployments"
+                            .to_string(),
+                    ));
+                }
                 let mut recorder = TraceRecorder::new(cluster.clone());
-                let outcome = run_tuning(&mut recorder, &pre, &flow)?;
+                let result = run_tuning(&mut recorder, &pre, &flow, retry)?;
                 recorder.into_log().save(path)?;
                 eprintln!("trace recorded → {path}");
-                outcome
+                result
             } else {
-                run_tuning(&mut cluster, &pre, &flow)?
+                tune_with_faults(cluster.clone(), &pre, &flow, retry, chaos)?
             };
             // Score the recommendation against the simulator's ground truth.
             let rep = cluster.simulate(&flow, &outcome.final_assignment);
@@ -183,22 +305,144 @@ fn cmd_tune(args: &Args) -> Result<(), CliError> {
                 "sustains sources: {:.1}%",
                 rep.observation.throughput_scale * 100.0
             );
+            report_faults(&stats);
         }
         BackendChoice::Replay(path) => {
-            if record_path.is_some() {
-                return Err(CliError::Usage(
-                    "--record is only meaningful with --backend sim (a replayed trace is already recorded)"
-                        .to_string(),
-                ));
+            let replay = ReplayBackend::from_file(&path)?;
+            let (outcome, stats, served) = match chaos {
+                Some(seed) => {
+                    let mut chaotic = ChaosBackend::new(replay, FaultPlan::transient(seed));
+                    let (outcome, stats) = run_tuning(&mut chaotic, &pre, &flow, retry)?;
+                    let served = chaotic.into_inner().served();
+                    (outcome, stats, served)
+                }
+                None => {
+                    let mut replay = replay;
+                    let (outcome, stats) = run_tuning(&mut replay, &pre, &flow, retry)?;
+                    let served = replay.served();
+                    (outcome, stats, served)
+                }
+            };
+            print_outcome(&query, multiplier, &flow, &outcome);
+            println!("replayed {served} recorded deployment(s) from {path}");
+            report_faults(&stats);
+        }
+        BackendChoice::Flink(url) => {
+            let backend = FlinkBackend::connect(&url)?;
+            eprintln!(
+                "connected to {url}: job {} with {} vertex(es)",
+                backend.job_id(),
+                backend.vertex_names().len()
+            );
+            let (outcome, stats) = tune_with_faults(backend, &pre, &flow, retry, chaos)?;
+            print_outcome(&query, multiplier, &flow, &outcome);
+            report_faults(&stats);
+        }
+        BackendChoice::Ingest(path) => {
+            // A dump records one fixed deployment per window — there is
+            // nothing for a tuner to explore, so admit what the dump's
+            // engine actually ran (the serve daemon does the same).
+            let report = ingest_file(&path, &ingest_config(args)?)?;
+            let last = report
+                .log
+                .deploys
+                .last()
+                .expect("ingest yields at least one window");
+            if last.assignment.len() != flow.num_ops() {
+                return Err(CliError::Usage(format!(
+                    "ingested dump has {} operator(s) but workload `{query}` has {}",
+                    last.assignment.len(),
+                    flow.num_ops()
+                )));
             }
-            let mut replay = ReplayBackend::from_file(&path)?;
-            let outcome = run_tuning(&mut replay, &pre, &flow)?;
+            let backpressure_events = report
+                .log
+                .deploys
+                .iter()
+                .filter(|e| e.report.observation.job_backpressure)
+                .count() as u32;
+            let outcome = TuneOutcome {
+                final_assignment: last.assignment.clone(),
+                reconfigurations: 0,
+                backpressure_events,
+                elapsed_minutes: 0.0,
+                iterations: report.log.deploys.len() as u32,
+                converged: true,
+            };
             print_outcome(&query, multiplier, &flow, &outcome);
             println!(
-                "replayed {} recorded deployment(s) from {path}",
-                replay.served()
+                "admitted the deployment recorded across {} window(s) of {path}",
+                report.stats.windows
             );
         }
+    }
+    Ok(())
+}
+
+/// Build an [`IngestConfig`] from the shared dump-reading knobs.
+fn ingest_config(args: &Args) -> Result<IngestConfig, CliError> {
+    let base = IngestConfig::default();
+    let window_secs: f64 = args.parse_or("window", base.window_secs)?;
+    if !window_secs.is_finite() || window_secs <= 0.0 {
+        return Err(CliError::Usage(format!(
+            "--window must be a positive number of seconds, got {window_secs}"
+        )));
+    }
+    Ok(IngestConfig {
+        window_secs,
+        max_parallelism: args.parse_or("max-parallelism", base.max_parallelism)?,
+        engine: match args.engine()? {
+            Engine::Flink => EngineMode::Flink,
+            Engine::Timely => EngineMode::Timely,
+        },
+        source_operators: match args.optional("sources") {
+            Some(sources) => sources
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect(),
+            None => base.source_operators.clone(),
+        },
+        reconfig_wait_minutes: base.reconfig_wait_minutes,
+    })
+}
+
+/// `streamtune ingest` — stream a JSONL metrics dump into a replayable
+/// trace and a monitor-ready rate schedule.
+fn cmd_ingest(args: &Args) -> Result<(), CliError> {
+    let input = args.required("input")?;
+    let report = ingest_file(&input, &ingest_config(args)?)?;
+    let s = &report.stats;
+    println!(
+        "{input}: {} window(s) from {} row(s) ({} line(s) read)",
+        s.windows, s.rows, s.lines
+    );
+    let skipped = s.bad_lines + s.late_rows + s.duplicate_rows + s.unknown_operator_rows;
+    if skipped > 0 {
+        println!(
+            "skipped: {} malformed line(s), {} late row(s), {} duplicate(s), \
+             {} for unknown operator(s)",
+            s.bad_lines, s.late_rows, s.duplicate_rows, s.unknown_operator_rows
+        );
+    }
+    println!("operators: {}", report.operators.join(", "));
+    let lo = report
+        .schedule
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let hi = report
+        .schedule
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "rate schedule: {lo:.2}×–{hi:.2}× of the first window \
+         (feed to `monitor` / the serve `watch` verb)"
+    );
+    if let Some(out) = args.optional("out") {
+        report.log.save(&out)?;
+        eprintln!("replayable trace → {out}");
     }
     Ok(())
 }
@@ -242,6 +486,8 @@ fn server_config(args: &Args) -> Result<ServerConfig, CliError> {
     }
     .with_parallelism(parallelism);
     config.ledger_cap = args.parse_or("ledger-cap", config.ledger_cap)?;
+    config.retry = retry_policy(args, config.retry)?;
+    config.chaos = chaos_seed(args)?;
     Ok(config)
 }
 
@@ -468,14 +714,19 @@ fn usage() -> &'static str {
      commands:\n\
        pretrain  --out FILE [--jobs N] [--seed S] [--engine flink|timely] [--fast]\n\
        tune      --bundle FILE --query NAME [--multiplier M] [--seed S] [--engine flink|timely]\n\
-                 [--backend sim|replay:TRACE] [--record TRACE]\n\
+                 [--backend sim|replay:TRACE|flink:URL|ingest:DUMP] [--record TRACE]\n\
+                 [--retry-attempts N] [--retry-backoff MIN] [--chaos SEED]\n\
+       ingest    --input DUMP [--out TRACE] [--window SECS] [--sources a,b]\n\
+                 [--max-parallelism N] [--engine flink|timely]\n\
        inspect   --bundle FILE\n\
        workloads\n\
        serve     [--store DIR] [--listen ADDR] [--threads N] [--jobs N] [--seed S]\n\
                  [--engine flink|timely] [--fast] [--ledger-cap N] [--monitor-interval SECS]\n\
+                 [--retry-attempts N] [--retry-backoff MIN] [--chaos SEED]\n\
        client    --connect ADDR [--script FILE]\n\
        monitor   --query NAME [--multiplier M] [--shift-to M2] [--shift-at T] [--ticks N]\n\
-                 [--seed S] [--store DIR] [--fast]"
+                 [--seed S] [--store DIR] [--fast]\n\
+                 [--retry-attempts N] [--retry-backoff MIN] [--chaos SEED]"
 }
 
 fn main() -> ExitCode {
@@ -489,6 +740,7 @@ fn main() -> ExitCode {
         "workloads" => return cmd_workloads(),
         "pretrain" => cmd_pretrain(&args),
         "tune" => cmd_tune(&args),
+        "ingest" => cmd_ingest(&args),
         "inspect" => cmd_inspect(&args),
         "serve" => cmd_serve(&args),
         "client" => cmd_client(&args),

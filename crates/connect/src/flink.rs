@@ -1,0 +1,529 @@
+//! [`FlinkBackend`]: an [`ExecutionBackend`] speaking the Flink REST
+//! surface over the minimal HTTP client in [`crate::http`].
+//!
+//! The connector maps the REST workflow onto the backend contract:
+//!
+//! * **Discovery** (at [`FlinkBackend::connect`]): `GET /config` for
+//!   cluster limits, `GET /jobs` for the first `RUNNING` job, `GET
+//!   /jobs/<jid>` for its vertices. Vertices are matched to `Dataflow`
+//!   operators *by name* at deploy time — a vertex the flow does not know
+//!   is a permanent [`BackendError::Format`].
+//! * **Rescale**: `PATCH /jobs/<jid>/parallelism-overrides` with a
+//!   `{vertex id: degree}` body. A `409 Conflict` (another rescale in
+//!   flight) classifies as the transient
+//!   [`BackendError::DeployFailed`], so PR 6's `RetryPolicy` absorbs
+//!   rescale races by retrying the same epoch.
+//! * **Metrics**: job- and vertex-scope gauge lists
+//!   (`busyTimeMsPerSecond`, `numRecordsInPerSecond`, …) assembled into a
+//!   validated [`Observation`]. A gauge served as `null` (a dashboard
+//!   racing a restart) becomes NaN and is rejected by
+//!   `Observation::validate` as the *transient*
+//!   `BackendError::CorruptObservation` — again retryable in place.
+//!
+//! Error classification is the whole point: refused connections,
+//! timeouts, 5xx responses and mid-response disconnects are transient
+//! [`BackendError::Io`]; unknown endpoints, malformed JSON and
+//! vertex/flow mismatches are permanent. That makes the connector a
+//! drop-in peer of `SimCluster` under retry policies, degrade states and
+//! `ChaosBackend` wrapping.
+//!
+//! Metric requests carry the session epoch as an `?epoch=<n>` query
+//! parameter: the mock keys its measurement noise on it so same-epoch
+//! retries re-read the same metrics window (a real JobManager ignores
+//! unknown query parameters, so the tag is harmless there).
+
+use std::time::Duration;
+
+use serde::Value;
+use streamtune_backend::{
+    BackendConstraints, BackendError, EngineMode, ExecutionBackend, Observation, OpObservation,
+    SimulationReport,
+};
+use streamtune_dataflow::{Dataflow, OpId, ParallelismAssignment};
+
+use crate::http::{HttpClient, HttpResponse};
+
+/// Default per-request deadline.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A discovered job vertex.
+#[derive(Debug, Clone)]
+struct Vertex {
+    id: String,
+    name: String,
+}
+
+/// An [`ExecutionBackend`] over a live (or mock) Flink REST endpoint.
+#[derive(Debug)]
+pub struct FlinkBackend {
+    client: HttpClient,
+    authority: String,
+    job_id: String,
+    vertices: Vec<Vertex>,
+    mode: EngineMode,
+    constraints: BackendConstraints,
+}
+
+impl FlinkBackend {
+    /// Connect to `url` (accepts `http://host:port` or bare `host:port`)
+    /// and discover the running job, with the default request deadline.
+    pub fn connect(url: &str) -> Result<Self, BackendError> {
+        Self::connect_with_timeout(url, DEFAULT_TIMEOUT)
+    }
+
+    /// [`FlinkBackend::connect`] with an explicit per-request deadline.
+    pub fn connect_with_timeout(url: &str, timeout: Duration) -> Result<Self, BackendError> {
+        let authority = normalize_authority(url)?;
+        let client = HttpClient::new(timeout);
+
+        // Cluster limits. Missing keys fall back to the paper's Flink
+        // testbed defaults (§V-A: max parallelism 100, 10-minute wait).
+        let config = get_json(&client, &authority, "/config")?;
+        let mode = match config.field("engine").ok().and_then(as_str) {
+            Some("timely") => EngineMode::Timely,
+            _ => EngineMode::Flink,
+        };
+        let constraints = BackendConstraints {
+            max_parallelism: config
+                .field("maximum-parallelism")
+                .ok()
+                .and_then(as_u64)
+                .map_or(100, |n| n as u32),
+            reconfig_wait_minutes: config
+                .field("reconfig-wait-minutes")
+                .ok()
+                .and_then(as_f64)
+                .unwrap_or(10.0),
+        };
+
+        // First RUNNING job: the connector tunes one job per endpoint.
+        let jobs = get_json(&client, &authority, "/jobs")?;
+        let job_id = jobs
+            .field("jobs")
+            .ok()
+            .and_then(|list| match list {
+                Value::Array(items) => items.iter().find_map(|job| {
+                    let running = job.field("status").ok().and_then(as_str) == Some("RUNNING");
+                    if running {
+                        job.field("id").ok().and_then(as_str).map(str::to_string)
+                    } else {
+                        None
+                    }
+                }),
+                _ => None,
+            })
+            .ok_or_else(|| BackendError::Format {
+                context: format!("GET http://{authority}/jobs"),
+                message: "no RUNNING job on the cluster".to_string(),
+            })?;
+
+        // Vertex topology of that job.
+        let detail = get_json(&client, &authority, &format!("/jobs/{job_id}"))?;
+        let vertices = match detail.field("vertices") {
+            Ok(Value::Array(items)) => items
+                .iter()
+                .map(|v| {
+                    let id = v.field("id").ok().and_then(as_str);
+                    let name = v.field("name").ok().and_then(as_str);
+                    match (id, name) {
+                        (Some(id), Some(name)) => Ok(Vertex {
+                            id: id.to_string(),
+                            name: name.to_string(),
+                        }),
+                        _ => Err(BackendError::Format {
+                            context: format!("GET http://{authority}/jobs/{job_id}"),
+                            message: "vertex without id/name".to_string(),
+                        }),
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => {
+                return Err(BackendError::Format {
+                    context: format!("GET http://{authority}/jobs/{job_id}"),
+                    message: "job detail has no vertices array".to_string(),
+                })
+            }
+        };
+
+        Ok(FlinkBackend {
+            client,
+            authority,
+            job_id,
+            vertices,
+            mode,
+            constraints,
+        })
+    }
+
+    /// The job id discovered at connect time.
+    pub fn job_id(&self) -> &str {
+        &self.job_id
+    }
+
+    /// Vertex names in discovery order.
+    pub fn vertex_names(&self) -> Vec<&str> {
+        self.vertices.iter().map(|v| v.name.as_str()).collect()
+    }
+
+    /// Map flow operators to vertex ids by name; any mismatch between the
+    /// flow and the discovered topology is permanent.
+    fn vertex_ids_for(&self, flow: &Dataflow) -> Result<Vec<&str>, BackendError> {
+        if self.vertices.len() != flow.num_ops() {
+            return Err(BackendError::Format {
+                context: format!("job {} topology", self.job_id),
+                message: format!(
+                    "job has {} vertices but the flow `{}` has {} operators",
+                    self.vertices.len(),
+                    flow.name(),
+                    flow.num_ops()
+                ),
+            });
+        }
+        flow.op_ids()
+            .map(|op| {
+                let name = flow.op_name(op);
+                self.vertices
+                    .iter()
+                    .find(|v| v.name == name)
+                    .map(|v| v.id.as_str())
+                    .ok_or_else(|| BackendError::Format {
+                        context: format!("job {} topology", self.job_id),
+                        message: format!("flow operator `{name}` has no matching job vertex"),
+                    })
+            })
+            .collect()
+    }
+
+    fn rescale(
+        &self,
+        vertex_ids: &[&str],
+        assignment: &ParallelismAssignment,
+        epoch: u64,
+    ) -> Result<(), BackendError> {
+        let overrides = Value::Object(
+            vertex_ids
+                .iter()
+                .zip(assignment.as_slice())
+                .map(|(id, &degree)| (id.to_string(), Value::U64(u64::from(degree))))
+                .collect(),
+        );
+        let body = serde_json::to_string(&overrides).map_err(|e| BackendError::Format {
+            context: "render parallelism overrides".to_string(),
+            message: e.to_string(),
+        })?;
+        let path = format!("/jobs/{}/parallelism-overrides", self.job_id);
+        let context = format!("PATCH http://{}{path}", self.authority);
+        let response = self
+            .client
+            .request("PATCH", &self.authority, &path, Some(&body))
+            .map_err(|e| io_error(&context, &e))?;
+        match response.status {
+            s if (200..300).contains(&s) => Ok(()),
+            // Rescale race: another override is in flight. Transient —
+            // the session retries the same epoch.
+            409 => Err(BackendError::DeployFailed { epoch }),
+            s => Err(status_error(&context, s, &response.body)),
+        }
+    }
+
+    fn fetch_gauges(&self, path: &str, epoch: u64) -> Result<Vec<(String, Value)>, BackendError> {
+        let full = format!("{path}?epoch={epoch}");
+        let context = format!("GET http://{}{full}", self.authority);
+        let response = self
+            .client
+            .request("GET", &self.authority, &full, None)
+            .map_err(|e| io_error(&context, &e))?;
+        if !response.is_success() {
+            return Err(status_error(&context, response.status, &response.body));
+        }
+        let parsed: Value =
+            serde_json::from_str(&response.body).map_err(|e| BackendError::Format {
+                context: context.clone(),
+                message: format!("malformed JSON: {e}"),
+            })?;
+        let Value::Array(items) = parsed else {
+            return Err(BackendError::Format {
+                context,
+                message: "metric response is not a gauge list".to_string(),
+            });
+        };
+        items
+            .into_iter()
+            .map(|item| {
+                let id = item
+                    .field("id")
+                    .ok()
+                    .and_then(as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| BackendError::Format {
+                        context: context.clone(),
+                        message: "gauge without an id".to_string(),
+                    })?;
+                let value = item.field("value").ok().cloned().unwrap_or(Value::Null);
+                Ok((id, value))
+            })
+            .collect()
+    }
+}
+
+impl ExecutionBackend for FlinkBackend {
+    fn engine_mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    fn constraints(&self) -> BackendConstraints {
+        self.constraints
+    }
+
+    fn deploy(
+        &mut self,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
+        epoch: u64,
+    ) -> Result<SimulationReport, BackendError> {
+        if assignment.len() != flow.num_ops() {
+            return Err(BackendError::AssignmentShape {
+                expected: flow.num_ops(),
+                actual: assignment.len(),
+            });
+        }
+        let vertex_ids = self.vertex_ids_for(flow)?;
+        self.rescale(&vertex_ids, assignment, epoch)?;
+
+        // Job-scope gauges.
+        let job_path = format!("/jobs/{}/metrics", self.job_id);
+        let job = Gauges::new(self.fetch_gauges(&job_path, epoch)?);
+
+        // Per-vertex gauges, in operator order.
+        let mut per_op = Vec::with_capacity(flow.num_ops());
+        let mut true_pa = Vec::with_capacity(flow.num_ops());
+        let mut demand_input = Vec::with_capacity(flow.num_ops());
+        let mut saturated = Vec::with_capacity(flow.num_ops());
+        for (i, vid) in vertex_ids.iter().enumerate() {
+            let path = format!("/jobs/{}/vertices/{vid}/metrics", self.job_id);
+            let g = Gauges::new(self.fetch_gauges(&path, epoch)?);
+            let op = OpId::new(i);
+            let input_rate = g.num("numRecordsInPerSecond")?;
+            let processed_rate = g.num("numRecordsOutPerSecond")?;
+            let busy_ms_per_sec = g.num("busyTimeMsPerSecond")?;
+            let parallelism = assignment.degree(op);
+            let obs = OpObservation {
+                op,
+                parallelism,
+                input_rate,
+                processed_rate,
+                busy_ms_per_sec,
+                idle_ms_per_sec: g.num("idleTimeMsPerSecond")?,
+                backpressured_ms_per_sec: g.num("backPressuredTimeMsPerSecond")?,
+                observed_per_instance_rate: g.num("observedPerInstanceRate")?,
+                cpu_load: g.num("cpuLoad")?,
+                flink_backpressured: g.flag("isBackPressured")?,
+                timely_bottleneck: g.flag_or("timelyBottleneck", false),
+                saturated: g.flag_or("saturated", processed_rate < input_rate),
+            };
+            // Ground truth when the endpoint exports the extension gauges
+            // (the mock does); best estimates otherwise — a real dashboard
+            // only shows the observation.
+            true_pa.push(g.num_or("truePA", estimate_pa(&obs)));
+            demand_input.push(g.num_or("demandInput", input_rate));
+            saturated.push(g.flag_or("demandSaturated", obs.saturated));
+            per_op.push(obs);
+        }
+
+        Ok(SimulationReport {
+            observation: Observation {
+                mode: self.mode,
+                per_op,
+                job_backpressure: job.flag("jobBackpressure")?,
+                throughput_scale: job.num("throughputScale")?,
+                cpu_utilization: job.num("cpuUtilization")?,
+                total_parallelism: assignment.total(),
+            },
+            true_pa,
+            demand_input,
+            saturated,
+        })
+    }
+
+    fn epoch_latencies(
+        &mut self,
+        _flow: &Dataflow,
+        _assignment: &ParallelismAssignment,
+        _epochs: usize,
+    ) -> Result<Vec<f64>, BackendError> {
+        Err(BackendError::Unsupported {
+            what: "epoch latencies over the Flink REST connector".to_string(),
+        })
+    }
+}
+
+/// A fetched gauge list with typed lookups.
+struct Gauges {
+    entries: Vec<(String, Value)>,
+}
+
+impl Gauges {
+    fn new(entries: Vec<(String, Value)>) -> Self {
+        Gauges { entries }
+    }
+
+    fn get(&self, id: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == id).map(|(_, v)| v)
+    }
+
+    /// A required numeric gauge. `null` — a dashboard mid-restart —
+    /// becomes NaN so `Observation::validate` rejects the observation as
+    /// a *transient* corrupt read; a missing id is a permanent format
+    /// error (the endpoint does not speak our dialect).
+    fn num(&self, id: &str) -> Result<f64, BackendError> {
+        match self.get(id) {
+            Some(Value::Null) => Ok(f64::NAN),
+            Some(v) => as_f64(v).ok_or_else(|| self.type_error(id)),
+            None => Err(self.missing(id)),
+        }
+    }
+
+    fn num_or(&self, id: &str, fallback: f64) -> f64 {
+        match self.get(id) {
+            Some(Value::Null) => f64::NAN,
+            Some(v) => as_f64(v).unwrap_or(fallback),
+            None => fallback,
+        }
+    }
+
+    fn flag(&self, id: &str) -> Result<bool, BackendError> {
+        match self.get(id) {
+            Some(Value::Bool(b)) => Ok(*b),
+            Some(_) => Err(self.type_error(id)),
+            None => Err(self.missing(id)),
+        }
+    }
+
+    fn flag_or(&self, id: &str, fallback: bool) -> bool {
+        match self.get(id) {
+            Some(Value::Bool(b)) => *b,
+            _ => fallback,
+        }
+    }
+
+    fn missing(&self, id: &str) -> BackendError {
+        BackendError::Format {
+            context: "metric gauges".to_string(),
+            message: format!("required gauge `{id}` is absent"),
+        }
+    }
+
+    fn type_error(&self, id: &str) -> BackendError {
+        BackendError::Format {
+            context: "metric gauges".to_string(),
+            message: format!("gauge `{id}` has an unexpected type"),
+        }
+    }
+}
+
+/// DS2-style processing-ability estimate from observable signals only.
+fn estimate_pa(o: &OpObservation) -> f64 {
+    let busy_frac = (o.busy_ms_per_sec / 1000.0).max(1e-6);
+    o.processed_rate / busy_frac
+}
+
+fn normalize_authority(url: &str) -> Result<String, BackendError> {
+    let stripped = url
+        .trim()
+        .trim_start_matches("http://")
+        .trim_end_matches('/');
+    if stripped.is_empty() || stripped.contains("://") {
+        return Err(BackendError::Unsupported {
+            what: format!("flink endpoint `{url}` (expected http://host:port or host:port)"),
+        });
+    }
+    Ok(stripped.to_string())
+}
+
+fn io_error(context: &str, e: &std::io::Error) -> BackendError {
+    BackendError::Io {
+        context: context.to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// Classify an HTTP error status: 5xx is the server having a bad moment
+/// (transient); anything else is a contract violation (permanent).
+fn status_error(context: &str, status: u16, body: &str) -> BackendError {
+    if status >= 500 {
+        BackendError::Io {
+            context: context.to_string(),
+            message: format!("HTTP {status}: {}", body.trim()),
+        }
+    } else {
+        BackendError::Format {
+            context: context.to_string(),
+            message: format!("HTTP {status}: {}", body.trim()),
+        }
+    }
+}
+
+fn get_json(client: &HttpClient, authority: &str, path: &str) -> Result<Value, BackendError> {
+    let context = format!("GET http://{authority}{path}");
+    let response: HttpResponse = client
+        .request("GET", authority, path, None)
+        .map_err(|e| io_error(&context, &e))?;
+    if !response.is_success() {
+        return Err(status_error(&context, response.status, &response.body));
+    }
+    serde_json::from_str(&response.body).map_err(|e| BackendError::Format {
+        context,
+        message: format!("malformed JSON: {e}"),
+    })
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::String(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(f) => Some(*f),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn authority_normalization() {
+        assert_eq!(
+            normalize_authority("http://127.0.0.1:8081").unwrap(),
+            "127.0.0.1:8081"
+        );
+        assert_eq!(
+            normalize_authority("127.0.0.1:8081/").unwrap(),
+            "127.0.0.1:8081"
+        );
+        assert!(normalize_authority("ftp://x").is_err());
+        assert!(normalize_authority("").is_err());
+    }
+
+    #[test]
+    fn dead_endpoint_is_a_transient_io_error() {
+        let err = FlinkBackend::connect_with_timeout("127.0.0.1:1", Duration::from_millis(200))
+            .unwrap_err();
+        assert!(matches!(err, BackendError::Io { .. }), "{err:?}");
+        assert!(err.is_transient());
+    }
+}

@@ -1,0 +1,180 @@
+//! A minimal HTTP/1.1 client over `std::net::TcpStream`.
+//!
+//! The Flink REST surface needs nothing beyond `GET`/`PATCH` with small
+//! JSON bodies, so the connector carries its own client instead of a
+//! vendored HTTP stack: one connection per request (`Connection: close`),
+//! `Content-Length` framing, and a hard read/write deadline so a stalled
+//! dashboard surfaces as a transient timeout instead of hanging a tuning
+//! session forever.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A parsed HTTP response: status code plus body text.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// The status code from the status line.
+    pub status: u16,
+    /// The response body (truncated bodies are an error, not a response).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Whether the status is a 2xx success.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Blocking HTTP/1.1 client with a per-request deadline.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// A client whose connect/read/write operations each time out after
+    /// `timeout`.
+    pub fn new(timeout: Duration) -> Self {
+        HttpClient { timeout }
+    }
+
+    /// The configured per-operation deadline.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Issue one request against `authority` (a `host:port` pair) and read
+    /// the full response. Transport failures — refused connections,
+    /// timeouts, mid-response disconnects, malformed framing — all come
+    /// back as `io::Error`; the caller classifies them (for the Flink
+    /// connector: transient).
+    pub fn request(
+        &self,
+        method: &str,
+        authority: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        let addr = resolve(authority)?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {authority}\r\nAccept: application/json\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes())?;
+
+        // `Connection: close` means the response ends at EOF; a read
+        // timeout while the server stalls surfaces as an error here.
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        parse_response(&raw)
+    }
+}
+
+fn resolve(authority: &str) -> io::Result<SocketAddr> {
+    authority.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("cannot resolve `{authority}`"),
+        )
+    })
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
+    let malformed = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let split = find_subslice(raw, b"\r\n\r\n")
+        .ok_or_else(|| malformed("response has no header/body separator"))?;
+    let head =
+        std::str::from_utf8(&raw[..split]).map_err(|_| malformed("non-UTF-8 response head"))?;
+    let body_bytes = &raw[split + 4..];
+
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(malformed("response is not HTTP/1.x"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| malformed("unparseable status code"))?;
+
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+
+    let body_bytes = match content_length {
+        // A body shorter than its declared length is a mid-response
+        // disconnect — report it as the transport fault it is.
+        Some(len) if body_bytes.len() < len => {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "response truncated: {} of {len} body bytes",
+                    body_bytes.len()
+                ),
+            ))
+        }
+        Some(len) => &body_bytes[..len],
+        None => body_bytes,
+    };
+    let body = std::str::from_utf8(body_bytes)
+        .map_err(|_| malformed("non-UTF-8 response body"))?
+        .to_string();
+    Ok(HttpResponse { status, body })
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_complete_response() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "{}");
+        assert!(r.is_success());
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n{\"partial\":";
+        let err = parse_response(raw).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        assert!(parse_response(b"not http at all").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+        assert!(parse_response(b"").is_err());
+    }
+
+    #[test]
+    fn refused_connection_is_an_io_error() {
+        // Port 1 on localhost is essentially never listening.
+        let client = HttpClient::new(Duration::from_millis(200));
+        assert!(client
+            .request("GET", "127.0.0.1:1", "/config", None)
+            .is_err());
+    }
+}

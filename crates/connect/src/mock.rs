@@ -1,0 +1,509 @@
+//! An in-repo mock of the Flink REST surface, backed by a [`SimCluster`].
+//!
+//! The mock serves exactly the endpoints [`crate::FlinkBackend`] speaks —
+//! `/config`, `/jobs`, job detail with vertices, the
+//! `parallelism-overrides` rescale endpoint and job/vertex metric gauges —
+//! and computes every gauge from `SimCluster::simulate_at(flow, current
+//! parallelism, epoch)`. Because the vendored JSON layer round-trips
+//! `f64`s bit-exactly and the simulator keys its measurement noise on the
+//! epoch, a tuning session over the connector sees *bitwise* the same
+//! observations as a session over the `SimCluster` itself — which is what
+//! `tests/connect_flink.rs` asserts.
+//!
+//! Fault scripting makes failure scenarios deterministic test cases:
+//! [`MockFlinkServer::fail_next`] (5xx bursts),
+//! [`MockFlinkServer::slow_next`] (stalled dashboards),
+//! [`MockFlinkServer::drop_next`] (mid-response disconnects) and
+//! [`MockFlinkServer::conflict_next_rescale`] (rescale races, 409).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::Value;
+use streamtune_backend::EngineMode;
+use streamtune_dataflow::{Dataflow, ParallelismAssignment};
+use streamtune_sim::SimCluster;
+
+/// Scripted fault state, consumed first-come by incoming requests.
+#[derive(Debug, Default)]
+struct Script {
+    /// Next N requests answer `503 Service Unavailable`.
+    fail_503: u32,
+    /// Next N requests stall for this many milliseconds before answering.
+    slow: u32,
+    slow_ms: u64,
+    /// Next N requests disconnect mid-response.
+    drop_conn: u32,
+    /// Next N rescale requests answer `409 Conflict`.
+    conflict_rescale: u32,
+}
+
+#[derive(Debug)]
+struct MockState {
+    cluster: SimCluster,
+    flow: Dataflow,
+    job_id: String,
+    /// Current vertex parallelism, in operator order.
+    parallelism: Vec<u32>,
+    script: Script,
+    requests: u64,
+    rescales: u64,
+}
+
+/// A scriptable mock Flink JobManager listening on a loopback port.
+#[derive(Debug)]
+pub struct MockFlinkServer {
+    addr: SocketAddr,
+    state: Arc<Mutex<MockState>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MockFlinkServer {
+    /// Start a mock cluster running `flow` on `cluster`, initially at
+    /// parallelism 1 everywhere, on an OS-assigned loopback port.
+    pub fn start(cluster: SimCluster, flow: Dataflow) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let parallelism = vec![1; flow.num_ops()];
+        let state = Arc::new(Mutex::new(MockState {
+            cluster,
+            flow,
+            job_id: "job-0000".to_string(),
+            parallelism,
+            script: Script::default(),
+            requests: 0,
+            rescales: 0,
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || serve_loop(&listener, &state, &stop))
+        };
+        Ok(MockFlinkServer {
+            addr,
+            state,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The `host:port` authority the server listens on.
+    pub fn authority(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// The server's base URL, as `streamtune tune --backend flink:<url>`
+    /// would take it.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Answer the next `n` requests with `503 Service Unavailable`.
+    pub fn fail_next(&self, n: u32) {
+        self.lock().script.fail_503 = n;
+    }
+
+    /// Stall the next `n` requests for `ms` milliseconds before answering.
+    pub fn slow_next(&self, ms: u64, n: u32) {
+        let mut s = self.lock();
+        s.script.slow = n;
+        s.script.slow_ms = ms;
+    }
+
+    /// Disconnect mid-response on the next `n` requests.
+    pub fn drop_next(&self, n: u32) {
+        self.lock().script.drop_conn = n;
+    }
+
+    /// Answer the next `n` rescale requests with `409 Conflict` (another
+    /// rescale in flight).
+    pub fn conflict_next_rescale(&self, n: u32) {
+        self.lock().script.conflict_rescale = n;
+    }
+
+    /// Total requests handled (fault-scripted ones included).
+    pub fn requests(&self) -> u64 {
+        self.lock().requests
+    }
+
+    /// Successfully applied rescales.
+    pub fn rescales(&self) -> u64 {
+        self.lock().rescales
+    }
+
+    /// The vertex parallelism currently deployed on the mock cluster.
+    pub fn current_parallelism(&self) -> Vec<u32> {
+        self.lock().parallelism.clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MockState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl Drop for MockFlinkServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_loop(listener: &TcpListener, state: &Arc<Mutex<MockState>>, stop: &Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => handle_connection(stream, state),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<Mutex<MockState>>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let Some((method, path, body)) = read_request(&mut stream) else {
+        return; // hostile/partial request: drop the connection
+    };
+
+    // Pop scripted faults under the lock, then act outside it so a
+    // scripted stall never blocks the scripting handle.
+    enum Fault {
+        None,
+        Fail503,
+        Drop,
+    }
+    let (fault, delay_ms) = {
+        let mut s = state.lock().unwrap_or_else(|p| p.into_inner());
+        s.requests += 1;
+        let mut delay = 0;
+        if s.script.slow > 0 {
+            s.script.slow -= 1;
+            delay = s.script.slow_ms;
+        }
+        let fault = if s.script.fail_503 > 0 {
+            s.script.fail_503 -= 1;
+            Fault::Fail503
+        } else if s.script.drop_conn > 0 {
+            s.script.drop_conn -= 1;
+            Fault::Drop
+        } else {
+            Fault::None
+        };
+        (fault, delay)
+    };
+    if delay_ms > 0 {
+        std::thread::sleep(Duration::from_millis(delay_ms));
+    }
+    match fault {
+        Fault::Fail503 => {
+            respond(
+                &mut stream,
+                503,
+                "Service Unavailable",
+                "{\"errors\":[\"injected outage\"]}",
+            );
+            return;
+        }
+        Fault::Drop => {
+            // Advertise a long body, send a fragment, disconnect.
+            let _ = stream.write_all(
+                b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 65536\r\nConnection: close\r\n\r\n{\"partial\":",
+            );
+            let _ = stream.flush();
+            return;
+        }
+        Fault::None => {}
+    }
+
+    let (status, reason, body) = dispatch(&method, &path, &body, state);
+    respond(&mut stream, status, reason, &body);
+}
+
+fn read_request(stream: &mut TcpStream) -> Option<(String, String, String)> {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_subslice(&raw, b"\r\n\r\n") {
+            break pos;
+        }
+        if raw.len() > 1 << 20 {
+            return None;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return None,
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+            Err(_) => return None,
+        }
+    };
+    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = raw[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut buf) {
+            Ok(0) => return None,
+            Ok(n) => body.extend_from_slice(&buf[..n]),
+            Err(_) => return None,
+        }
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).ok()?;
+    Some((method, path, body))
+}
+
+fn respond(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Split `path?query` and extract the `epoch` query parameter (default 0).
+fn split_epoch(path: &str) -> (&str, u64) {
+    let Some((base, query)) = path.split_once('?') else {
+        return (path, 0);
+    };
+    let epoch = query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("epoch="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    (base, epoch)
+}
+
+fn dispatch(
+    method: &str,
+    path: &str,
+    body: &str,
+    state: &Arc<Mutex<MockState>>,
+) -> (u16, &'static str, String) {
+    let mut s = state.lock().unwrap_or_else(|p| p.into_inner());
+    let (base, epoch) = split_epoch(path);
+    let jid = s.job_id.clone();
+    let not_found = || {
+        (
+            404,
+            "Not Found",
+            "{\"errors\":[\"no such endpoint\"]}".to_string(),
+        )
+    };
+
+    match (method, base) {
+        ("GET", "/config") => {
+            let body = render(Value::Object(vec![
+                ("flink-version".into(), Value::String("1.18-mock".into())),
+                (
+                    "engine".into(),
+                    Value::String(
+                        match s.cluster.mode {
+                            EngineMode::Flink => "flink",
+                            EngineMode::Timely => "timely",
+                        }
+                        .into(),
+                    ),
+                ),
+                (
+                    "maximum-parallelism".into(),
+                    Value::U64(u64::from(s.cluster.max_parallelism)),
+                ),
+                (
+                    "reconfig-wait-minutes".into(),
+                    Value::F64(s.cluster.reconfig_wait_minutes),
+                ),
+            ]));
+            (200, "OK", body)
+        }
+        ("GET", "/jobs") => {
+            let body = render(Value::Object(vec![(
+                "jobs".into(),
+                Value::Array(vec![Value::Object(vec![
+                    ("id".into(), Value::String(jid)),
+                    ("status".into(), Value::String("RUNNING".into())),
+                ])]),
+            )]));
+            (200, "OK", body)
+        }
+        ("GET", p) if p == format!("/jobs/{jid}") => {
+            let vertices: Vec<Value> = s
+                .flow
+                .op_ids()
+                .map(|op| {
+                    Value::Object(vec![
+                        ("id".into(), Value::String(format!("v{}", op.index()))),
+                        ("name".into(), Value::String(s.flow.op_name(op).to_string())),
+                        (
+                            "parallelism".into(),
+                            Value::U64(u64::from(s.parallelism[op.index()])),
+                        ),
+                    ])
+                })
+                .collect();
+            let body = render(Value::Object(vec![
+                ("jid".into(), Value::String(jid)),
+                ("name".into(), Value::String(s.flow.name().to_string())),
+                ("state".into(), Value::String("RUNNING".into())),
+                ("vertices".into(), Value::Array(vertices)),
+            ]));
+            (200, "OK", body)
+        }
+        ("PATCH", p) if p == format!("/jobs/{jid}/parallelism-overrides") => {
+            if s.script.conflict_rescale > 0 {
+                s.script.conflict_rescale -= 1;
+                return (
+                    409,
+                    "Conflict",
+                    "{\"errors\":[\"another rescale is in flight\"]}".to_string(),
+                );
+            }
+            let Ok(overrides) = serde_json::from_str::<Value>(body) else {
+                return (
+                    400,
+                    "Bad Request",
+                    "{\"errors\":[\"overrides must be a JSON object\"]}".to_string(),
+                );
+            };
+            let Value::Object(entries) = overrides else {
+                return (
+                    400,
+                    "Bad Request",
+                    "{\"errors\":[\"overrides must be a JSON object\"]}".to_string(),
+                );
+            };
+            // Apply atomically: validate every override, then commit.
+            let mut next = s.parallelism.clone();
+            for (key, value) in &entries {
+                let Some(index) = key
+                    .strip_prefix('v')
+                    .and_then(|i| i.parse::<usize>().ok())
+                    .filter(|&i| i < next.len())
+                else {
+                    return (
+                        400,
+                        "Bad Request",
+                        format!("{{\"errors\":[\"unknown vertex `{key}`\"]}}"),
+                    );
+                };
+                let degree = match value {
+                    Value::U64(n) if *n >= 1 => *n as u32,
+                    _ => {
+                        return (
+                            400,
+                            "Bad Request",
+                            format!("{{\"errors\":[\"bad parallelism for `{key}`\"]}}"),
+                        )
+                    }
+                };
+                next[index] = degree;
+            }
+            s.parallelism = next;
+            s.rescales += 1;
+            (202, "Accepted", "{\"acknowledged\":true}".to_string())
+        }
+        ("GET", p) if p == format!("/jobs/{jid}/metrics") => {
+            let report = simulate(&s, epoch);
+            let obs = &report.observation;
+            let body = render(gauges(vec![
+                ("jobBackpressure", Value::Bool(obs.job_backpressure)),
+                ("throughputScale", Value::F64(obs.throughput_scale)),
+                ("cpuUtilization", Value::F64(obs.cpu_utilization)),
+            ]));
+            (200, "OK", body)
+        }
+        ("GET", p) => {
+            let prefix = format!("/jobs/{jid}/vertices/");
+            let Some(rest) = p.strip_prefix(&prefix) else {
+                return not_found();
+            };
+            let Some(vid) = rest.strip_suffix("/metrics") else {
+                return not_found();
+            };
+            let Some(index) = vid
+                .strip_prefix('v')
+                .and_then(|i| i.parse::<usize>().ok())
+                .filter(|&i| i < s.flow.num_ops())
+            else {
+                return not_found();
+            };
+            let report = simulate(&s, epoch);
+            let o = &report.observation.per_op[index];
+            let body = render(gauges(vec![
+                ("numRecordsInPerSecond", Value::F64(o.input_rate)),
+                ("numRecordsOutPerSecond", Value::F64(o.processed_rate)),
+                ("busyTimeMsPerSecond", Value::F64(o.busy_ms_per_sec)),
+                ("idleTimeMsPerSecond", Value::F64(o.idle_ms_per_sec)),
+                (
+                    "backPressuredTimeMsPerSecond",
+                    Value::F64(o.backpressured_ms_per_sec),
+                ),
+                (
+                    "observedPerInstanceRate",
+                    Value::F64(o.observed_per_instance_rate),
+                ),
+                ("cpuLoad", Value::F64(o.cpu_load)),
+                ("isBackPressured", Value::Bool(o.flink_backpressured)),
+                ("timelyBottleneck", Value::Bool(o.timely_bottleneck)),
+                ("saturated", Value::Bool(o.saturated)),
+                // Ground-truth extension gauges: a real JobManager does not
+                // export these; the connector falls back to estimates when
+                // they are absent.
+                ("truePA", Value::F64(report.true_pa[index])),
+                ("demandInput", Value::F64(report.demand_input[index])),
+                ("demandSaturated", Value::Bool(report.saturated[index])),
+            ]));
+            (200, "OK", body)
+        }
+        _ => not_found(),
+    }
+}
+
+fn simulate(s: &MockState, epoch: u64) -> streamtune_backend::SimulationReport {
+    let assignment = ParallelismAssignment::from_vec(s.parallelism.clone());
+    s.cluster.simulate_at(&s.flow, &assignment, epoch)
+}
+
+/// Render a Flink-style metric list: `[{"id": ..., "value": ...}, ...]`.
+fn gauges(entries: Vec<(&str, Value)>) -> Value {
+    Value::Array(
+        entries
+            .into_iter()
+            .map(|(id, value)| {
+                Value::Object(vec![
+                    ("id".into(), Value::String(id.to_string())),
+                    ("value".into(), value),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn render(v: Value) -> String {
+    serde_json::to_string(&v).unwrap_or_else(|_| "null".to_string())
+}

@@ -7,9 +7,11 @@
 //!
 //! * [`ring`] / [`stream`] — **metric ingestion**: a [`MetricStream`]
 //!   polls any [`ExecutionBackend`](streamtune_backend::ExecutionBackend)
-//!   on demand (the simulated cluster, a replayed trace, a future live
-//!   connector) and maintains per-operator windowed rate/latency/CPU
-//!   statistics in bounded [`RingBuffer`]s;
+//!   on demand — the simulated cluster, a replayed trace (including one
+//!   ingested from a production JSONL metrics dump by
+//!   `streamtune-connect`), or a live engine through its
+//!   `FlinkBackend` REST connector — and maintains per-operator windowed
+//!   rate/latency/CPU statistics in bounded [`RingBuffer`]s;
 //! * [`detector`] — **drift detection**: a windowed mean-shift CUSUM
 //!   ([`DriftDetector`]) with slack, hysteresis and a cooldown classifies
 //!   each job as [`Stable`](DriftClass::Stable) or

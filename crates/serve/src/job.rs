@@ -19,9 +19,10 @@ use crate::protocol::{BackendSpec, JobSpec, JobStatusLine};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use streamtune_backend::{
-    ChaosBackend, ExecutionBackend, RetryPolicy, RetryStats, TuneError, TuneOutcome, Tuner,
-    TuningSession,
+    ChaosBackend, ExecutionBackend, FaultPlan, RetryPolicy, RetryStats, TuneError, TuneOutcome,
+    Tuner, TuningSession,
 };
+use streamtune_connect::{ingest_file, FlinkBackend, IngestConfig};
 use streamtune_core::{Pretrained, StreamTune, TuneConfig};
 use streamtune_ged::{parallel_map, Parallelism};
 use streamtune_sim::SimCluster;
@@ -164,9 +165,10 @@ fn run_job(
     spec: &JobSpec,
     cluster: usize,
     retry: RetryPolicy,
+    chaos: Option<u64>,
 ) -> RunReport {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_job_inner(pretrained, spec, cluster, retry)
+        run_job_inner(pretrained, spec, cluster, retry, chaos)
     })) {
         Ok(report) => report,
         Err(payload) => RunReport {
@@ -184,9 +186,14 @@ fn run_job_inner(
     spec: &JobSpec,
     cluster: usize,
     retry: RetryPolicy,
+    chaos: Option<u64>,
 ) -> RunReport {
     let failed = |message: String| RunReport {
         state: JobState::Failed(message),
+        retry: RetryStats::default(),
+    };
+    let degraded = |message: String| RunReport {
+        state: JobState::Degraded(message),
         retry: RetryStats::default(),
     };
     let Some(workload) = find_workload(&spec.query, spec.engine) else {
@@ -194,12 +201,39 @@ fn run_job_inner(
     };
     let flow = workload.at(spec.multiplier);
     let mut backend: Box<dyn ExecutionBackend> = match &spec.backend {
-        BackendSpec::Sim => Box::new(sim_for(spec)),
+        // The daemon-wide chaos seed (a fault drill) wraps simulator-backed
+        // jobs in transient fault injection; the storms sit inside the
+        // default retry budget, so outcomes are unchanged.
+        BackendSpec::Sim => match chaos {
+            Some(seed) => Box::new(ChaosBackend::new(
+                sim_for(spec),
+                FaultPlan::transient(seed ^ spec.seed),
+            )),
+            None => Box::new(sim_for(spec)),
+        },
         BackendSpec::Replay(path) => match streamtune_backend::ReplayBackend::from_file(path) {
             Ok(replay) => Box::new(replay),
             Err(e) => return failed(e.to_string()),
         },
         BackendSpec::Chaos(plan) => Box::new(ChaosBackend::new(sim_for(spec), *plan)),
+        // A cluster that cannot be reached right now is sick, not wrong:
+        // degrade so a re-submit retries once it is back.
+        BackendSpec::Flink(url) => match FlinkBackend::connect(url) {
+            Ok(backend) => Box::new(backend),
+            Err(e) if e.is_transient() => return degraded(format!("flink backend: {e}")),
+            Err(e) => return failed(format!("flink backend: {e}")),
+        },
+        // An ingested dump is a record of a deployment that already ran:
+        // there is nothing to tune, so the job *admits* that deployment —
+        // its recommendation is the recorded assignment — and `watch`
+        // replays the dump's windows through the drift monitor.
+        BackendSpec::Ingest(path) => {
+            return match ingest_file(path, &IngestConfig::default()) {
+                Ok(report) => ingested_report(&flow, cluster, &report),
+                Err(e) if e.is_transient() => degraded(format!("ingest {path}: {e}")),
+                Err(e) => failed(format!("ingest {path}: {e}")),
+            };
+        }
     };
     let mut tuner = StreamTune::new(pretrained, TuneConfig::default());
     let mut session = TuningSession::new(backend.as_mut(), &flow).with_retry(retry);
@@ -227,6 +261,51 @@ fn run_job_inner(
     RunReport { state, retry }
 }
 
+/// The terminal state of an ingest-backed job: the dump's recorded
+/// deployment, presented as a finished "tuning" with zero
+/// reconfigurations. The workload named by the spec must match the dump's
+/// shape — the monitor later polls the replayed windows through that
+/// workload's flow, and a silent mismatch there would hand one job's
+/// metrics to another's detector.
+fn ingested_report(
+    flow: &streamtune_dataflow::Dataflow,
+    cluster: usize,
+    report: &streamtune_connect::IngestReport,
+) -> RunReport {
+    let entries = &report.log.deploys;
+    let last = entries.last().expect("ingest yields at least one window");
+    if last.assignment.len() != flow.num_ops() {
+        return RunReport {
+            state: JobState::Failed(format!(
+                "ingested dump has {} operators but the job's workload has {}",
+                last.assignment.len(),
+                flow.num_ops()
+            )),
+            retry: RetryStats::default(),
+        };
+    }
+    let backpressure_events = entries
+        .iter()
+        .filter(|e| e.report.observation.job_backpressure)
+        .count() as u32;
+    let outcome = TuneOutcome {
+        final_assignment: last.assignment.clone(),
+        reconfigurations: 0,
+        backpressure_events,
+        elapsed_minutes: 0.0,
+        iterations: entries.len() as u32,
+        converged: true,
+    };
+    RunReport {
+        state: JobState::Done(JobResult {
+            cluster,
+            outcome,
+            op_names: report.operators.clone(),
+        }),
+        retry: RetryStats::default(),
+    }
+}
+
 /// Admits named jobs against one shared pre-trained corpus and drains
 /// them in deterministic parallel batches.
 #[derive(Debug)]
@@ -234,6 +313,7 @@ pub struct JobManager {
     pretrained: Pretrained,
     parallelism: Parallelism,
     retry: RetryPolicy,
+    chaos: Option<u64>,
     jobs: Vec<Job>,
     index: HashMap<String, usize>,
 }
@@ -245,6 +325,7 @@ impl JobManager {
             pretrained,
             parallelism,
             retry: RetryPolicy::default(),
+            chaos: None,
             jobs: Vec::new(),
             index: HashMap::new(),
         }
@@ -254,6 +335,14 @@ impl JobManager {
     /// (builder-style).
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Run drains in fault-drill mode: every simulator-backed job is
+    /// wrapped in deterministic transient fault injection seeded by
+    /// `chaos ^ job seed` (builder-style; `None` disables).
+    pub fn with_chaos(mut self, chaos: Option<u64>) -> Self {
+        self.chaos = chaos;
         self
     }
 
@@ -418,8 +507,9 @@ impl JobManager {
         }
         let pretrained = &self.pretrained;
         let retry = self.retry;
+        let chaos = self.chaos;
         let results = parallel_map(self.parallelism, &pending, |(_, spec, cluster)| {
-            run_job(pretrained, spec, *cluster, retry)
+            run_job(pretrained, spec, *cluster, retry, chaos)
         });
         for ((i, _, _), report) in pending.into_iter().zip(results) {
             self.jobs[i].state = report.state;

@@ -44,6 +44,14 @@ pub enum BackendSpec {
     /// The simulated cluster wrapped in deterministic fault injection —
     /// the same job, plus the failures of the carried [`FaultPlan`].
     Chaos(FaultPlan),
+    /// A live Flink REST endpoint (`http://host:port`): the job tunes the
+    /// cluster's RUNNING job through the connector.
+    Flink(String),
+    /// A JSONL metric dump ingested into a replayable trace. The job's
+    /// "tuning" admits the deployment the dump ran at — its
+    /// recommendation is the recorded assignment — and a `watch` replays
+    /// the dump's windows through the drift monitor.
+    Ingest(String),
 }
 
 impl Serialize for BackendSpec {
@@ -56,6 +64,12 @@ impl Serialize for BackendSpec {
             BackendSpec::Chaos(plan) => {
                 Value::Object(vec![("chaos".to_string(), plan.serialize())])
             }
+            BackendSpec::Flink(url) => {
+                Value::Object(vec![("flink".to_string(), Value::String(url.clone()))])
+            }
+            BackendSpec::Ingest(path) => {
+                Value::Object(vec![("ingest".to_string(), Value::String(path.clone()))])
+            }
         }
     }
 }
@@ -67,9 +81,12 @@ impl Deserialize for BackendSpec {
             ("sim", None) => Ok(BackendSpec::Sim),
             ("replay", Some(p)) => Ok(BackendSpec::Replay(String::deserialize(p)?)),
             ("chaos", Some(p)) => Ok(BackendSpec::Chaos(FaultPlan::deserialize(p)?)),
+            ("flink", Some(p)) => Ok(BackendSpec::Flink(String::deserialize(p)?)),
+            ("ingest", Some(p)) => Ok(BackendSpec::Ingest(String::deserialize(p)?)),
             _ => Err(Error::custom(format!(
-                "backend must be \"sim\", {{\"replay\": \"<trace.json>\"}} or \
-                 {{\"chaos\": {{<fault plan>}}}}, got `{name}`"
+                "backend must be \"sim\", {{\"replay\": \"<trace.json>\"}}, \
+                 {{\"chaos\": {{<fault plan>}}}}, {{\"flink\": \"<url>\"}} or \
+                 {{\"ingest\": \"<dump.jsonl>\"}}, got `{name}`"
             ))),
         }
     }
@@ -512,9 +529,19 @@ mod tests {
             backend: BackendSpec::Chaos(FaultPlan::transient(9).with_crash_at(4)),
             ..spec()
         };
+        let flink_spec = JobSpec {
+            backend: BackendSpec::Flink("http://127.0.0.1:8081".to_string()),
+            ..spec()
+        };
+        let ingest_spec = JobSpec {
+            backend: BackendSpec::Ingest("dumps/metrics.jsonl".to_string()),
+            ..spec()
+        };
         let requests = [
             Request::Submit(spec()),
             Request::Submit(chaos_spec),
+            Request::Submit(flink_spec),
+            Request::Submit(ingest_spec),
             Request::Status,
             Request::Recommend {
                 job: "j1".to_string(),
@@ -543,6 +570,20 @@ mod tests {
             let line = serde_json::to_string(&r).unwrap();
             assert_eq!(parse_request(&line).unwrap(), r, "{line}");
         }
+    }
+
+    #[test]
+    fn connector_backends_use_single_key_wire_forms() {
+        let flink = BackendSpec::Flink("http://127.0.0.1:8081".to_string());
+        let ingest = BackendSpec::Ingest("dumps/metrics.jsonl".to_string());
+        assert_eq!(
+            serde_json::to_string(&flink).unwrap(),
+            "{\"flink\":\"http://127.0.0.1:8081\"}"
+        );
+        assert_eq!(
+            serde_json::to_string(&ingest).unwrap(),
+            "{\"ingest\":\"dumps/metrics.jsonl\"}"
+        );
     }
 
     #[test]

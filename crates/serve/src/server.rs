@@ -68,6 +68,12 @@ pub struct ServerConfig {
     /// (transient backend faults are absorbed deterministically before
     /// they can fail a job).
     pub retry: RetryPolicy,
+    /// Fault-drill mode: when set, every simulator-backed job is wrapped
+    /// in deterministic transient fault injection seeded by
+    /// `chaos ^ job seed`. The storms sit inside the retry budget, so
+    /// recommendations are bit-identical to a drill-free daemon — the knob
+    /// exercises the fault path, it does not change answers.
+    pub chaos: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +85,7 @@ impl Default for ServerConfig {
             monitor: MonitorConfig::default(),
             grow_runs: 2,
             retry: RetryPolicy::default(),
+            chaos: None,
         }
     }
 }
@@ -155,7 +162,9 @@ impl Server {
         config: ServerConfig,
     ) -> Self {
         Server {
-            manager: JobManager::new(pretrained, config.parallelism).with_retry(config.retry),
+            manager: JobManager::new(pretrained, config.parallelism)
+                .with_retry(config.retry)
+                .with_chaos(config.chaos),
             cache,
             store,
             corpus,
@@ -354,6 +363,29 @@ impl Server {
         };
         let backend: Box<dyn ExecutionBackend + Send> = match &spec.backend {
             BackendSpec::Chaos(plan) => Box::new(ChaosBackend::new(sim, *plan)),
+            // A live job is re-connected fresh for the watch: monitor
+            // polls must not share connection state with the tuning run.
+            BackendSpec::Flink(url) => {
+                Box::new(streamtune_connect::FlinkBackend::connect(url).map_err(|e| {
+                    ServeError::Io {
+                        context: format!("connect flink backend to watch `{}`", spec.name),
+                        message: e.to_string(),
+                    }
+                })?)
+            }
+            // An ingested dump replays from its first window for the
+            // watch, so the monitor walks the dump's whole timeline.
+            BackendSpec::Ingest(path) => {
+                let report = streamtune_connect::ingest_file(
+                    path,
+                    &streamtune_connect::IngestConfig::default(),
+                )
+                .map_err(|e| ServeError::Io {
+                    context: format!("ingest `{path}` to watch `{}`", spec.name),
+                    message: e.to_string(),
+                })?;
+                Box::new(streamtune_backend::ReplayBackend::new(report.log))
+            }
             _ => Box::new(sim),
         };
         self.monitor.watch(

@@ -23,7 +23,7 @@ pub mod pqp;
 pub mod rates;
 
 use serde::{Deserialize, Serialize};
-use streamtune_dataflow::{Dataflow, SourceId};
+use streamtune_dataflow::{Dataflow, DataflowBuilder, Operator, SourceId};
 
 /// A named workload: a logical dataflow plus its per-source rate units
 /// (`Wu`, records/second at multiplier 1).
@@ -63,6 +63,49 @@ impl Workload {
         let mut w = self.clone();
         w.set_multiplier(multiplier);
         w.flow
+    }
+
+    /// A linear pipeline workload: one source feeding `op_names` chained
+    /// in order, the last operator a sink.
+    ///
+    /// This is the shape of an ingested metrics dump — a scraper records
+    /// per-operator rows but no edges, and production pipelines are
+    /// overwhelmingly chains — so the trace ingester's callers use this
+    /// to give the monitor a logical flow matching the dump's operators.
+    /// Per-operator work is uniform (the ingested observations carry the
+    /// real rates; the weights only matter if the flow is re-simulated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op_names` is empty or `base_rate` is not positive.
+    pub fn linear(name: impl Into<String>, op_names: &[String], base_rate: f64) -> Self {
+        assert!(
+            !op_names.is_empty(),
+            "a pipeline needs at least one operator"
+        );
+        assert!(base_rate > 0.0, "source rate must be positive");
+        let name = name.into();
+        let mut b = DataflowBuilder::new(&name);
+        let source = b.add_source("events", 1.0);
+        let mut prev = None;
+        for (i, op) in op_names.iter().enumerate() {
+            let id = if i + 1 == op_names.len() {
+                b.add_op(op, Operator::sink(48))
+            } else {
+                b.add_op(op, Operator::map(48, 48))
+            };
+            match prev {
+                None => {
+                    b.connect_source(source, id);
+                }
+                Some(p) => {
+                    b.connect(p, id);
+                }
+            }
+            prev = Some(id);
+        }
+        let flow = b.build().expect("a chain is always a valid dataflow");
+        Workload::new(name, flow, vec![base_rate])
     }
 }
 
@@ -105,6 +148,24 @@ mod tests {
         let total: f64 = w.flow.sources().iter().map(|s| s.rate).sum();
         let expected: f64 = w.wu.iter().map(|u| u * 10.0).sum();
         assert!((total - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_builds_a_chain_with_a_sink_tail() {
+        let names: Vec<String> = ["src", "mid", "out"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let w = Workload::linear("dump", &names, 500.0);
+        assert_eq!(w.flow.num_ops(), 3);
+        assert_eq!(w.flow.num_sources(), 1);
+        assert_eq!(w.wu, vec![500.0]);
+        for (i, name) in names.iter().enumerate() {
+            assert_eq!(w.flow.op_name(streamtune_dataflow::OpId::new(i)), name);
+        }
+        // At 2×Wu the single source offers 1000 records/second.
+        let flow = w.at(2.0);
+        assert!((flow.sources()[0].rate - 1000.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Ingest → replay → detect → recommend, from a checked-in JSONL dump.
+//!
+//! `examples/data/ingest_demo.jsonl` is a small metrics dump in the shape
+//! a Flink metrics scraper writes: one JSON object per line, one line per
+//! (operator, sample). Midway through, the recorded source rate shifts to
+//! 1.6× — the kind of drift StreamTune exists to absorb. This example:
+//!
+//! 1. streams the dump into a replayable [`TraceLog`] and a rate schedule
+//!    (`streamtune ingest` wraps exactly this call);
+//! 2. replays it into the drift monitor, which spots the embedded shift
+//!    and estimates the new rate multiplier from the dashboard rates
+//!    alone;
+//! 3. re-tunes at the estimated multiplier and prints the recommendation
+//!    next to what the recorded deployment actually ran.
+//!
+//! ```sh
+//! cargo run --release --example ingest_replay
+//! ```
+//!
+//! Run with `--regenerate` to rewrite the checked-in dump from its
+//! generator spec (deterministic, so the file only changes if the spec
+//! does).
+
+use streamtune::backend::{ReplayBackend, TuningSession};
+use streamtune::connect::{ingest_file, write_dump_file, DumpSpec, IngestConfig};
+use streamtune::core::{PretrainConfig, Pretrainer, StreamTune, TuneConfig};
+use streamtune::monitor::{DriftEvent, Monitor, MonitorConfig, WatchSpec};
+use streamtune::prelude::*;
+use streamtune::workloads::history::HistoryGenerator;
+use streamtune::workloads::Workload;
+
+const DATA: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/examples/data/ingest_demo.jsonl"
+);
+
+/// The spec the checked-in dump was generated from: 24 windows × 4
+/// samples × 5 operators, rate drift of 1.6× at window 14.
+fn demo_spec() -> DumpSpec {
+    DumpSpec::example(24, 4)
+}
+
+/// A logical flow matching the dump's pipeline, so the monitor can watch
+/// the ingested trace.
+fn dump_workload(spec: &DumpSpec) -> Workload {
+    let names: Vec<String> = spec.ops.iter().map(|o| o.name.clone()).collect();
+    Workload::linear("ingested-dump", &names, spec.base_rate)
+}
+
+fn main() {
+    let spec = demo_spec();
+    if std::env::args().any(|a| a == "--regenerate") {
+        let rows = write_dump_file(DATA, &spec).expect("write demo dump");
+        println!("regenerated {DATA} ({rows} rows)");
+        return;
+    }
+
+    // 1. Stream the dump into a trace + schedule.
+    let report = ingest_file(DATA, &IngestConfig::default()).expect("ingest demo dump");
+    let s = &report.stats;
+    println!(
+        "ingested {} window(s) from {} row(s) ({} line(s)); operators: {}",
+        s.windows,
+        s.rows,
+        s.lines,
+        report.operators.join(", ")
+    );
+    let recorded = report.log.deploys[0].assignment.clone();
+    println!("recorded deployment: {:?}", recorded.as_slice());
+
+    // 2. Replay it into the drift monitor.
+    let workload = dump_workload(&spec);
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    monitor
+        .watch(
+            WatchSpec {
+                name: "demo".to_string(),
+                assignment: recorded.clone(),
+                workload: workload.clone(),
+                multiplier: 1.0,
+                schedule: None,
+                structure_covered: true,
+            },
+            Box::new(ReplayBackend::new(report.log)),
+        )
+        .expect("watch the replayed dump");
+    let mut shifted = None;
+    for tick in 0..s.windows.saturating_sub(2) {
+        for event in monitor.tick() {
+            if let DriftEvent::RateDrift {
+                from_multiplier,
+                to_multiplier,
+                ..
+            } = event
+            {
+                println!(
+                    "tick {tick}: rate drift {from_multiplier:.2}× → {to_multiplier:.2}× \
+                     (embedded: {:.2}× at window {})",
+                    spec.drift_factor,
+                    spec.drift_at_window.unwrap_or_default()
+                );
+                shifted = Some(to_multiplier);
+            }
+        }
+        if shifted.is_some() {
+            break;
+        }
+    }
+    let shifted = shifted.expect("the embedded drift must be detected");
+
+    // 3. Re-tune at the estimated post-drift rate.
+    println!("pre-training (fast)…");
+    let mut cluster = SimCluster::flink_defaults(7);
+    let corpus = HistoryGenerator::new(7).with_jobs(12).generate(&cluster);
+    let pre = Pretrainer::new(PretrainConfig::fast()).run(&corpus);
+    let flow = workload.at(shifted);
+    let mut tuner = StreamTune::new(&pre, TuneConfig::default());
+    let mut session = TuningSession::new(&mut cluster, &flow);
+    let outcome = tuner.tune(&mut session).expect("tune at the drifted rate");
+    println!("recommendation at {shifted:.2}× the dump's base rate:");
+    for ((op, d), was) in outcome.final_assignment.iter().zip(recorded.as_slice()) {
+        println!("  {:<8} parallelism {d} (dump ran {was})", flow.op_name(op));
+    }
+    println!(
+        "total {} slot(s), {} reconfiguration(s), converged: {}",
+        outcome.final_assignment.total(),
+        outcome.reconfigurations,
+        outcome.converged
+    );
+}

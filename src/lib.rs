@@ -24,6 +24,7 @@
 //! | [`workloads`] | `streamtune-workloads` | Nexmark, PQP, rate patterns, histories |
 //! | [`serve`] | `streamtune-serve` | tuning daemon: model store, job manager, control protocol |
 //! | [`monitor`] | `streamtune-monitor` | drift detection: metric streams, CUSUM detectors, corpus growth |
+//! | [`connect`] | `streamtune-connect` | real-engine bridge: Flink REST connector backend, streaming JSONL trace ingestion |
 //!
 //! Tuners never name a concrete engine: they drive deployments through a
 //! [`TuningSession`](backend::TuningSession) over
@@ -180,6 +181,41 @@
 //! `examples/monitor_quickstart.rs` demonstrate a scripted mid-run rate
 //! shift being detected and automatically re-tuned.
 //!
+//! ## Connecting to a real engine
+//!
+//! [`connect`] is the bridge out of the simulator. The pipeline has a
+//! live lane and an offline lane, both ending in the same
+//! backend-agnostic tuning/monitoring machinery:
+//!
+//! 1. **Live** — [`FlinkBackend`](connect::FlinkBackend) implements
+//!    [`ExecutionBackend`](backend::ExecutionBackend) over the Flink REST
+//!    surface (an in-repo HTTP/1.1 client; no new dependencies): it
+//!    discovers the running job's vertices and matches them to
+//!    [`Dataflow`](dataflow::Dataflow) operators by name, rescales
+//!    through the parallelism-overrides endpoint, and assembles
+//!    busy-time/records-per-second gauges into validated
+//!    [`Observation`](backend::Observation)s. `streamtune tune --backend
+//!    flink:<url>` (or a `{"flink": "<url>"}` job spec on the daemon)
+//!    tunes that job exactly like a simulated one.
+//! 2. **Faults compose** — transport errors, 5xx bursts and rescale
+//!    races classify as *transient* `BackendError`s, a `null` gauge read
+//!    mid-restart becomes the transient `CorruptObservation`, and
+//!    malformed endpoints are permanent. The PR 6 machinery —
+//!    [`RetryPolicy`](backend::RetryPolicy), degrade states,
+//!    [`ChaosBackend`](backend::ChaosBackend) wrapping — applies to the
+//!    connector unchanged, and `tests/connect_flink.rs` proves a tune
+//!    over the scriptable [`MockFlinkServer`](connect::MockFlinkServer)
+//!    is *bitwise* identical to the `SimCluster` run it fronts, faults
+//!    or no faults.
+//! 3. **Offline** — [`connect::ingest`] streams multi-million-row JSONL
+//!    metric dumps (line at a time, per-operator accumulators, bounded
+//!    memory) into replayable [`TraceLog`](backend::TraceLog)s plus
+//!    monitor-ready rate schedules. `streamtune ingest --input dump.jsonl
+//!    --out trace.json` then `--backend ingest:<dump>` / `replay:<trace>`
+//!    turn `ReplayBackend` + `streamtune monitor` into a "what would the
+//!    tuner have done" analysis over production traffic
+//!    (`examples/ingest_replay.rs` walks the whole lane).
+//!
 //! ## Fault tolerance
 //!
 //! The daemon is built to keep serving through backend faults, handler
@@ -228,6 +264,7 @@
 pub use streamtune_backend as backend;
 pub use streamtune_baselines as baselines;
 pub use streamtune_cluster as cluster;
+pub use streamtune_connect as connect;
 pub use streamtune_core as core;
 pub use streamtune_dataflow as dataflow;
 pub use streamtune_ged as ged;

@@ -1,0 +1,319 @@
+//! The Flink REST connector, end to end against the in-repo mock
+//! JobManager: a full tuning session over [`FlinkBackend`] produces the
+//! same `TuneOutcome` as the equivalent scripted `SimCluster` run —
+//! *bitwise*, because the vendored JSON layer round-trips `f64`s exactly
+//! — and scripted fault scenarios (5xx bursts, rescale races, mid-poll
+//! disconnects, stalled dashboards) that fit the PR 6 retry budget leave
+//! that outcome bit-identical to the fault-free run. A `ChaosBackend`
+//! wrapped around the connector degrades and recovers under the monitor
+//! exactly like one wrapped around the simulator.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use streamtune::backend::{
+    ChaosBackend, ExecutionBackend, FaultPlan, RetryStats, TuneOutcome, Tuner, TuningSession,
+};
+use streamtune::connect::{FlinkBackend, MockFlinkServer};
+use streamtune::core::Parallelism;
+use streamtune::dataflow::ParallelismAssignment;
+use streamtune::monitor::{DriftEvent, Monitor, MonitorConfig, WatchSpec};
+use streamtune::prelude::*;
+use streamtune::workloads::history::HistoryGenerator;
+use streamtune::workloads::rates::Engine;
+
+fn pretrained(seed: u64) -> streamtune::core::Pretrained {
+    let cluster = SimCluster::flink_defaults(seed);
+    let corpus = HistoryGenerator::new(seed).with_jobs(12).generate(&cluster);
+    Pretrainer::new(PretrainConfig::fast()).run(&corpus)
+}
+
+fn tune_on(
+    backend: &mut dyn ExecutionBackend,
+    tuner: &mut dyn Tuner,
+    flow: &Dataflow,
+) -> (TuneOutcome, RetryStats) {
+    let mut session = TuningSession::new(backend, flow);
+    let outcome = tuner.tune(&mut session).expect("tuning failed");
+    (outcome, session.retry_stats())
+}
+
+/// A scripted fault a test applies to the mock before tuning.
+type FaultScript<'a> = &'a dyn Fn(&MockFlinkServer);
+
+/// Connect to `server`, apply a fault script, tune with a fresh
+/// StreamTune tuner (it carries job memory across runs).
+fn flink_tune(
+    server: &MockFlinkServer,
+    pre: &streamtune::core::Pretrained,
+    flow: &Dataflow,
+    script: FaultScript,
+) -> (TuneOutcome, RetryStats) {
+    let mut backend = FlinkBackend::connect(&server.url()).expect("connect to mock");
+    script(server);
+    let mut tuner = StreamTune::new(pre, TuneConfig::default());
+    tune_on(&mut backend, &mut tuner, flow)
+}
+
+#[test]
+fn tuning_over_the_connector_matches_the_simulator_bitwise() {
+    let pre = pretrained(17);
+    let workload = nexmark::q5(Engine::Flink);
+    let flow = workload.at(8.0);
+
+    // Reference run: the tuner drives the simulator directly.
+    let mut sim = SimCluster::flink_defaults(17);
+    let mut st = StreamTune::new(&pre, TuneConfig::default());
+    let (sim_outcome, _) = tune_on(&mut sim, &mut st, &flow);
+
+    // Connector run: the same simulator, but every observation travels
+    // through the REST surface as JSON.
+    let server =
+        MockFlinkServer::start(SimCluster::flink_defaults(17), flow.clone()).expect("mock starts");
+    let mut backend = FlinkBackend::connect(&server.url()).expect("connect to mock");
+    assert_eq!(backend.engine_mode(), sim.engine_mode());
+    assert_eq!(backend.constraints(), sim.constraints());
+    let discovered: Vec<String> = backend
+        .vertex_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let expected: Vec<String> = flow
+        .op_ids()
+        .map(|op| flow.op_name(op).to_string())
+        .collect();
+    assert_eq!(
+        discovered, expected,
+        "vertex discovery must follow op order"
+    );
+
+    let mut st2 = StreamTune::new(&pre, TuneConfig::default());
+    let (flink_outcome, retry) = tune_on(&mut backend, &mut st2, &flow);
+    assert_eq!(
+        flink_outcome, sim_outcome,
+        "connector outcome diverged from the simulator"
+    );
+    assert_eq!(retry.transient_faults, 0, "clean mock: nothing to retry");
+    assert!(server.rescales() > 0, "tuning must rescale through REST");
+    assert_eq!(
+        server.current_parallelism(),
+        flink_outcome.final_assignment.as_slice().to_vec(),
+        "the mock cluster must end at the tuner's final assignment"
+    );
+
+    // DS2 takes a different decision path through the same observations.
+    let mut sim2 = SimCluster::flink_defaults(17);
+    let mut ds2 = Ds2::default();
+    let (ds2_sim, _) = tune_on(&mut sim2, &mut ds2, &flow);
+    let server2 =
+        MockFlinkServer::start(SimCluster::flink_defaults(17), flow.clone()).expect("mock starts");
+    let mut backend2 = FlinkBackend::connect(&server2.url()).expect("connect to mock");
+    let mut ds2_2 = Ds2::default();
+    let (ds2_flink, _) = tune_on(&mut backend2, &mut ds2_2, &flow);
+    assert_eq!(
+        ds2_flink, ds2_sim,
+        "DS2 outcome diverged over the connector"
+    );
+}
+
+#[test]
+fn scripted_fault_storms_within_the_retry_budget_are_bit_identical() {
+    let pre = pretrained(23);
+    let workload = nexmark::q2(Engine::Flink);
+    let flow = workload.at(6.0);
+
+    let clean = {
+        let server = MockFlinkServer::start(SimCluster::flink_defaults(23), flow.clone())
+            .expect("mock starts");
+        flink_tune(&server, &pre, &flow, &|_| {})
+    };
+    assert_eq!(clean.1.transient_faults, 0);
+
+    // Each scenario scripts a different failure mode; all classify as
+    // transient and sit under the default 4-attempt budget, so the
+    // outcome must not move by a bit.
+    let scenarios: [(&str, FaultScript); 3] = [
+        ("5xx burst", &|s| s.fail_next(3)),
+        ("rescale race (409)", &|s| s.conflict_next_rescale(2)),
+        ("mid-poll disconnect", &|s| s.drop_next(2)),
+    ];
+    for (name, script) in scenarios {
+        let server = MockFlinkServer::start(SimCluster::flink_defaults(23), flow.clone())
+            .expect("mock starts");
+        let (outcome, retry) = flink_tune(&server, &pre, &flow, script);
+        assert_eq!(outcome, clean.0, "{name}: outcome diverged from fault-free");
+        assert!(retry.transient_faults > 0, "{name}: the script must fire");
+        assert_eq!(retry.exhausted, 0, "{name}: budget must suffice");
+        assert_eq!(retry.permanent_failures, 0, "{name}");
+    }
+}
+
+#[test]
+fn slow_metrics_are_clean_within_the_deadline_and_absorbed_beyond_it() {
+    let pre = pretrained(29);
+    let workload = nexmark::q1(Engine::Flink);
+    let flow = workload.at(5.0);
+    let clean = {
+        let server = MockFlinkServer::start(SimCluster::flink_defaults(29), flow.clone())
+            .expect("mock starts");
+        flink_tune(&server, &pre, &flow, &|_| {})
+    };
+
+    // A dashboard that answers slowly but within the deadline is not a
+    // fault at all.
+    {
+        let server = MockFlinkServer::start(SimCluster::flink_defaults(29), flow.clone())
+            .expect("mock starts");
+        let (outcome, retry) = flink_tune(&server, &pre, &flow, &|s| s.slow_next(30, 3));
+        assert_eq!(outcome, clean.0, "slow-but-in-deadline diverged");
+        assert_eq!(retry.transient_faults, 0);
+    }
+
+    // A stall past the per-request deadline times out — a transient I/O
+    // fault the session retries in place.
+    {
+        let server = MockFlinkServer::start(SimCluster::flink_defaults(29), flow.clone())
+            .expect("mock starts");
+        let mut backend =
+            FlinkBackend::connect_with_timeout(&server.url(), Duration::from_millis(250))
+                .expect("connect to mock");
+        server.slow_next(700, 1);
+        let mut tuner = StreamTune::new(&pre, TuneConfig::default());
+        let (outcome, retry) = tune_on(&mut backend, &mut tuner, &flow);
+        assert_eq!(outcome, clean.0, "timed-out stall diverged after retry");
+        assert!(retry.transient_faults >= 1, "the stall must time out");
+        assert_eq!(retry.exhausted, 0);
+    }
+}
+
+#[test]
+fn flow_mismatch_is_a_permanent_format_error() {
+    let q5 = nexmark::q5(Engine::Flink).at(6.0);
+    let q1 = nexmark::q1(Engine::Flink).at(5.0);
+    let server = MockFlinkServer::start(SimCluster::flink_defaults(3), q5).expect("mock starts");
+    let mut backend = FlinkBackend::connect(&server.url()).expect("connect to mock");
+    let assignment = ParallelismAssignment::uniform(&q1, 2);
+    let err = backend.deploy(&q1, &assignment, 0).unwrap_err();
+    assert!(matches!(err, BackendError::Format { .. }), "{err:?}");
+    assert!(!err.is_transient(), "a wrong job is not worth retrying");
+    assert_eq!(server.rescales(), 0, "a mismatched flow must never rescale");
+}
+
+/// A hopeless `ChaosBackend`-wrapped connector until healed, then a clean
+/// connector to the same mock cluster: drives the monitor's degrade →
+/// recover lifecycle through the REST surface.
+struct SwitchableBackend {
+    healed: Arc<AtomicBool>,
+    sick: ChaosBackend<FlinkBackend>,
+    clean: FlinkBackend,
+}
+
+impl ExecutionBackend for SwitchableBackend {
+    fn engine_mode(&self) -> streamtune::backend::EngineMode {
+        self.clean.engine_mode()
+    }
+
+    fn constraints(&self) -> streamtune::backend::BackendConstraints {
+        self.clean.constraints()
+    }
+
+    fn deploy(
+        &mut self,
+        flow: &streamtune::dataflow::Dataflow,
+        assignment: &ParallelismAssignment,
+        epoch: u64,
+    ) -> Result<streamtune::sim::SimulationReport, BackendError> {
+        if self.healed.load(Ordering::SeqCst) {
+            self.clean.deploy(flow, assignment, epoch)
+        } else {
+            self.sick.deploy(flow, assignment, epoch)
+        }
+    }
+
+    fn epoch_latencies(
+        &mut self,
+        flow: &streamtune::dataflow::Dataflow,
+        assignment: &ParallelismAssignment,
+        epochs: usize,
+    ) -> Result<Vec<f64>, BackendError> {
+        if self.healed.load(Ordering::SeqCst) {
+            self.clean.epoch_latencies(flow, assignment, epochs)
+        } else {
+            self.sick.epoch_latencies(flow, assignment, epochs)
+        }
+    }
+}
+
+#[test]
+fn chaos_wrapped_connector_degrades_then_recovers() {
+    let mut plan = FaultPlan::quiet(9).with_max_burst(u32::MAX);
+    plan.io_rate = 1.0;
+    let workload = nexmark::q5(Engine::Flink);
+    let flow = workload.at(6.0);
+    let server =
+        MockFlinkServer::start(SimCluster::flink_defaults(17), flow.clone()).expect("mock starts");
+    let healed = Arc::new(AtomicBool::new(false));
+    let backend = SwitchableBackend {
+        healed: Arc::clone(&healed),
+        sick: ChaosBackend::new(
+            FlinkBackend::connect(&server.url()).expect("connect to mock"),
+            plan,
+        ),
+        clean: FlinkBackend::connect(&server.url()).expect("connect to mock"),
+    };
+
+    let mut monitor = Monitor::new(MonitorConfig {
+        parallelism: Parallelism::Serial,
+        ..MonitorConfig::default()
+    });
+    monitor
+        .watch(
+            WatchSpec {
+                name: "flink-flaky".to_string(),
+                assignment: ParallelismAssignment::uniform(&flow, 10),
+                workload,
+                multiplier: 6.0,
+                schedule: None,
+                structure_covered: true,
+            },
+            Box::new(backend),
+        )
+        .expect("watch succeeds");
+
+    let mut degraded = false;
+    for _ in 0..10 {
+        let events = monitor.tick();
+        if events
+            .iter()
+            .any(|e| matches!(e, DriftEvent::Degraded { job, .. } if job == "flink-flaky"))
+        {
+            degraded = true;
+            break;
+        }
+    }
+    assert!(degraded, "a hopeless connector must degrade the watch");
+    assert!(monitor.status()[0].degraded);
+    let stats = monitor.stream_retry_stats("flink-flaky").expect("watched");
+    assert!(stats.transient_faults > 0);
+    assert!(stats.exhausted > 0);
+
+    healed.store(true, Ordering::SeqCst);
+    let mut recovered = false;
+    for _ in 0..5 {
+        let events = monitor.tick();
+        if events
+            .iter()
+            .any(|e| matches!(e, DriftEvent::Recovered { job } if job == "flink-flaky"))
+        {
+            recovered = true;
+            break;
+        }
+    }
+    assert!(recovered, "a healed connector must announce recovery");
+    assert!(!monitor.status()[0].degraded);
+    assert!(
+        server.requests() > 6,
+        "recovery polls must reach the REST surface"
+    );
+}

@@ -1,0 +1,312 @@
+//! Streaming trace ingestion, end to end: a ≥100k-row generated JSONL
+//! dump ingests in bounded chunks (proved with a counting reader under a
+//! fixed-capacity `BufReader`), the produced `TraceLog` replays into the
+//! monitor, and the dump's embedded rate drift is detected
+//! deterministically — bit-identical event streams under `Serial` and
+//! `Fixed(4)` tick fan-out. Edge cases (malformed lines, out-of-order
+//! timestamps, duplicate rows, unknown operators, empty files) are
+//! counted and surfaced as `Result`s, never panics.
+
+use std::io::{BufReader, Cursor, Read};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use streamtune::backend::{BackendError, ReplayBackend};
+use streamtune::connect::{ingest, write_dump, DumpSpec, IngestConfig, IngestReport};
+use streamtune::core::Parallelism;
+use streamtune::dataflow::ParallelismAssignment;
+use streamtune::monitor::{DriftEvent, Monitor, MonitorConfig, WatchSpec};
+use streamtune::workloads::Workload;
+
+/// Counters shared out of a reader consumed by `ingest`.
+#[derive(Debug, Default)]
+struct ReadCounters {
+    /// Largest single `read` request (the caller's buffer size).
+    max_request: AtomicU64,
+    /// Total bytes delivered.
+    total: AtomicU64,
+    /// Number of `read` calls.
+    calls: AtomicU64,
+}
+
+/// Wraps a reader and records how it is driven: a streaming consumer asks
+/// for small fixed-size chunks many times; a slurping one asks for the
+/// whole file at once.
+struct CountingReader<R> {
+    inner: R,
+    counters: Arc<ReadCounters>,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.counters
+            .max_request
+            .fetch_max(buf.len() as u64, Ordering::Relaxed);
+        let n = self.inner.read(buf)?;
+        self.counters.total.fetch_add(n as u64, Ordering::Relaxed);
+        self.counters.calls.fetch_add(1, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+fn ingest_spec(spec: &DumpSpec, config: &IngestConfig) -> IngestReport {
+    let mut dump = Vec::new();
+    write_dump(&mut dump, spec).expect("generate dump");
+    ingest(BufReader::new(Cursor::new(dump)), config).expect("ingest dump")
+}
+
+#[test]
+fn hundred_thousand_rows_ingest_streaming_in_bounded_chunks() {
+    let spec = DumpSpec::example(1000, 20);
+    assert!(spec.rows() >= 100_000, "the bound must be proved at scale");
+    let mut dump = Vec::new();
+    let rows = write_dump(&mut dump, &spec).expect("generate dump");
+    assert_eq!(rows, spec.rows());
+    let dump_bytes = dump.len() as u64;
+
+    const CAPACITY: usize = 16 * 1024;
+    let counters = Arc::new(ReadCounters::default());
+    let reader = BufReader::with_capacity(
+        CAPACITY,
+        CountingReader {
+            inner: Cursor::new(dump),
+            counters: Arc::clone(&counters),
+        },
+    );
+    let report = ingest(reader, &IngestConfig::default()).expect("ingest dump");
+
+    // Streaming, not slurping: every read request is at most the buffer
+    // capacity — peak transient allocation is O(buffer + operators), and
+    // the whole dump still flows through.
+    assert!(
+        counters.max_request.load(Ordering::Relaxed) <= CAPACITY as u64,
+        "reads must stay within the buffer capacity"
+    );
+    assert_eq!(counters.total.load(Ordering::Relaxed), dump_bytes);
+    assert!(counters.calls.load(Ordering::Relaxed) as usize >= dump_bytes as usize / CAPACITY);
+
+    assert_eq!(report.stats.rows, spec.rows());
+    assert_eq!(report.stats.bad_lines, 0);
+    assert_eq!(report.stats.windows, spec.windows);
+    assert_eq!(report.log.deploys.len(), spec.windows as usize);
+    assert!(
+        report.log.flow.is_none(),
+        "ingested logs carry no flow identity"
+    );
+    assert_eq!(
+        report.operators,
+        vec!["source", "parse", "filter", "join", "sink"]
+    );
+    assert_eq!(
+        report.log.deploys[0].assignment.as_slice(),
+        &[2, 4, 4, 6, 2],
+        "assignments come from the dump's parallelism column"
+    );
+
+    // The schedule normalizes per-window source rates to the first
+    // window: flat at 1.0 before the embedded drift, ~1.6× after it.
+    assert_eq!(report.schedule.len(), spec.windows as usize);
+    assert!((report.schedule[0] - 1.0).abs() < 1e-9);
+    let drift_at = spec.drift_at_window.unwrap() as usize;
+    assert!((report.schedule[drift_at - 1] - 1.0).abs() < 0.05);
+    assert!((report.schedule[drift_at] - spec.drift_factor).abs() < 0.05);
+    assert!((report.schedule.last().unwrap() - spec.drift_factor).abs() < 0.05);
+}
+
+#[test]
+fn ingestion_is_deterministic() {
+    let spec = DumpSpec::example(40, 6);
+    let a = ingest_spec(&spec, &IngestConfig::default());
+    let b = ingest_spec(&spec, &IngestConfig::default());
+    assert_eq!(
+        a.log.deploys, b.log.deploys,
+        "trace entries must be bit-identical"
+    );
+    assert_eq!(a.rates, b.rates);
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.stats, b.stats);
+}
+
+/// A logical flow matching the generated dump's pipeline, so the monitor
+/// can watch the ingested trace.
+fn dump_workload(spec: &DumpSpec) -> Workload {
+    let names: Vec<String> = spec.ops.iter().map(|o| o.name.clone()).collect();
+    Workload::linear("ingested-dump", &names, spec.base_rate)
+}
+
+#[test]
+fn replayed_dump_drives_the_monitor_to_the_embedded_drift() {
+    let spec = DumpSpec::example(60, 8);
+    let drift_at = spec.drift_at_window.unwrap();
+
+    // One monitor per fan-out width, each over its own (deterministic)
+    // ingestion of the same dump.
+    let run = |parallelism: Parallelism| -> Vec<Vec<DriftEvent>> {
+        let report = ingest_spec(&spec, &IngestConfig::default());
+        let backend = ReplayBackend::new(report.log);
+        let mut monitor = Monitor::new(MonitorConfig {
+            parallelism,
+            ..MonitorConfig::default()
+        });
+        monitor
+            .watch(
+                WatchSpec {
+                    name: "replayed".to_string(),
+                    assignment: ParallelismAssignment::from_vec(vec![2, 4, 4, 6, 2]),
+                    workload: dump_workload(&spec),
+                    multiplier: 1.0,
+                    schedule: None,
+                    structure_covered: true,
+                },
+                Box::new(backend),
+            )
+            .expect("watch succeeds");
+        // Stop before the trace runs dry: one poll per tick.
+        (0..spec.windows - 2).map(|_| monitor.tick()).collect()
+    };
+
+    let serial = run(Parallelism::Serial);
+    let pooled = run(Parallelism::Fixed(4));
+    assert_eq!(serial, pooled, "tick fan-out must be bit-identical");
+
+    let drift_tick = serial
+        .iter()
+        .position(|events| {
+            events
+                .iter()
+                .any(|e| matches!(e, DriftEvent::RateDrift { .. }))
+        })
+        .expect("the embedded drift must be detected");
+    // The detector needs the post-drift window plus its hysteresis before
+    // it can fire; it must not fire early.
+    assert!(
+        drift_tick as u64 >= drift_at,
+        "drift fired at tick {drift_tick}, before the embedded shift at {drift_at}"
+    );
+    assert!(
+        (drift_tick as u64) < drift_at + 6,
+        "drift fired at tick {drift_tick}, too long after the shift at {drift_at}"
+    );
+    match serial[drift_tick]
+        .iter()
+        .find(|e| matches!(e, DriftEvent::RateDrift { .. }))
+        .unwrap()
+    {
+        DriftEvent::RateDrift {
+            from_multiplier,
+            to_multiplier,
+            ..
+        } => {
+            assert!((from_multiplier - 1.0).abs() < 1e-9);
+            assert!(
+                (to_multiplier - spec.drift_factor).abs() < 0.05,
+                "estimated multiplier {to_multiplier} should track the embedded {}",
+                spec.drift_factor
+            );
+        }
+        _ => unreachable!(),
+    }
+    // No spurious drift before the embedded one, no poll failures at all.
+    for (tick, events) in serial.iter().enumerate() {
+        if tick < drift_tick {
+            assert!(
+                events.is_empty(),
+                "spurious event at tick {tick}: {events:?}"
+            );
+        }
+        assert!(
+            !events.iter().any(|e| matches!(
+                e,
+                DriftEvent::PollFailed { .. } | DriftEvent::Degraded { .. }
+            )),
+            "replay polls must not fail (tick {tick}): {events:?}"
+        );
+    }
+}
+
+#[test]
+fn anomalous_rows_are_counted_and_skipped_never_panicking() {
+    let config = IngestConfig {
+        window_secs: 10.0,
+        ..IngestConfig::default()
+    };
+    let row = |ts: f64, op: &str| {
+        format!(
+            "{{\"ts\":{ts:?},\"operator\":\"{op}\",\"parallelism\":2,\"records_in_per_sec\":100.0,\"records_out_per_sec\":100.0,\"busy_ms\":500.0,\"idle_ms\":500.0,\"backpressured_ms\":0.0}}"
+        )
+    };
+    let dump = [
+        row(1.0, "src"),                                   // good (window 0)
+        "not json at all".to_string(),                     // bad line
+        row(1.0, "src"),                                   // duplicate (src, 1.0)
+        "{\"ts\":2.0,\"operator\":\"src\",\"parallelism\":0,\"records_in_per_sec\":1.0,\"records_out_per_sec\":1.0,\"busy_ms\":1.0,\"idle_ms\":1.0,\"backpressured_ms\":0.0}".to_string(), // bad: zero parallelism
+        "{\"ts\":3.0,\"operator\":\"src\",\"parallelism\":2,\"records_in_per_sec\":-4.0,\"records_out_per_sec\":1.0,\"busy_ms\":1.0,\"idle_ms\":1.0,\"backpressured_ms\":0.0}".to_string(), // bad: negative rate
+        "{\"ts\":1e999,\"operator\":\"src\",\"parallelism\":2,\"records_in_per_sec\":1.0,\"records_out_per_sec\":1.0,\"busy_ms\":1.0,\"idle_ms\":1.0,\"backpressured_ms\":0.0}".to_string(), // bad: non-finite ts
+        row(4.0, "src"),                                   // good (window 0)
+        row(12.0, "src"),                                  // good (window 1)
+        row(5.0, "src"),                                   // late: window 0 already flushed
+        row(13.0, "mystery"),                              // unknown operator after window 0
+        String::new(),                                     // blank line: ignored
+    ]
+    .join("\n");
+
+    let report = ingest(BufReader::new(Cursor::new(dump)), &config).expect("tolerant ingest");
+    assert_eq!(report.stats.rows, 3);
+    assert_eq!(report.stats.bad_lines, 4);
+    assert_eq!(report.stats.duplicate_rows, 1);
+    assert_eq!(report.stats.late_rows, 1);
+    assert_eq!(report.stats.unknown_operator_rows, 1);
+    assert_eq!(report.stats.windows, 2);
+    assert_eq!(report.operators, vec!["src"]);
+    assert_eq!(report.log.deploys.len(), 2);
+    // Window 0 averages its two good samples; window 1 has one.
+    assert_eq!(
+        report.log.deploys[0].report.observation.per_op[0].input_rate,
+        100.0
+    );
+    assert_eq!(report.schedule, vec![1.0, 1.0]);
+}
+
+#[test]
+fn empty_and_hopeless_dumps_are_errors_not_panics() {
+    let empty = ingest(
+        BufReader::new(Cursor::new(Vec::new())),
+        &IngestConfig::default(),
+    );
+    match empty {
+        Err(BackendError::Format { ref message, .. }) => {
+            assert!(message.contains("no valid rows"), "{message}");
+        }
+        other => panic!("expected Format error, got {other:?}"),
+    }
+    assert!(!empty.unwrap_err().is_transient());
+
+    let garbage = "nope\nstill nope\n{\"ts\":}\n";
+    let err = ingest(
+        BufReader::new(Cursor::new(garbage)),
+        &IngestConfig::default(),
+    )
+    .unwrap_err();
+    match err {
+        BackendError::Format { ref message, .. } => {
+            assert!(
+                message.contains("3 bad"),
+                "bad-line count reported: {message}"
+            );
+        }
+        other => panic!("expected Format error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_source_operator_in_config_is_an_error() {
+    let spec = DumpSpec::example(3, 2);
+    let mut dump = Vec::new();
+    write_dump(&mut dump, &spec).expect("generate dump");
+    let config = IngestConfig {
+        source_operators: vec!["no-such-op".to_string()],
+        ..IngestConfig::default()
+    };
+    let err = ingest(BufReader::new(Cursor::new(dump)), &config).unwrap_err();
+    assert!(matches!(err, BackendError::Format { .. }), "{err:?}");
+}
