@@ -25,7 +25,7 @@
 use crate::error::BackendError;
 use crate::observation::{EngineMode, SimulationReport};
 use crate::session::{BackendConstraints, ExecutionBackend};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use streamtune_dataflow::{Dataflow, ParallelismAssignment};
 
 /// Fault-domain salts: each fault type draws from its own deterministic
@@ -51,13 +51,71 @@ fn unit(seed: u64, domain: u64, index: u64) -> f64 {
     (mix(seed, domain, index) >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// The four per-decision fault probabilities a plan (or one of its phase
+/// windows) applies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// Probability a backend call fails with a transient I/O error.
+    pub io_rate: f64,
+    /// Probability a backend call fails as a mid-flight deploy failure.
+    pub deploy_fail_rate: f64,
+    /// Probability a backend call returns a NaN-corrupted observation.
+    pub nan_rate: f64,
+    /// Probability an *epoch* re-serves the previous (stale) report.
+    pub stale_rate: f64,
+}
+
+impl FaultRates {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultRates {
+            io_rate: 0.0,
+            deploy_fail_rate: 0.0,
+            nan_rate: 0.0,
+            stale_rate: 0.0,
+        }
+    }
+
+    /// A hard outage: every backend call fails with a transient I/O
+    /// error. Combined with a high `max_burst` this exhausts any bounded
+    /// retry budget — the "sick monitor" half of a phased drill.
+    pub fn outage() -> Self {
+        FaultRates {
+            io_rate: 1.0,
+            ..FaultRates::none()
+        }
+    }
+}
+
+/// An epoch window during which a plan's base rates are replaced.
+///
+/// Windows are half-open (`start_epoch <= epoch < end_epoch`) and keyed
+/// on the *deployment epoch*, so a window over tuning epochs leaves
+/// monitor polls (which start at a disjoint epoch base) untouched and
+/// vice versa — the "clean tune, then sick monitor" drill is two
+/// disjoint windows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPhase {
+    /// First epoch (inclusive) the override applies to.
+    pub start_epoch: u64,
+    /// First epoch (exclusive) past the override.
+    pub end_epoch: u64,
+    /// Rates in force inside the window.
+    pub faults: FaultRates,
+}
+
+/// Maximum phase windows one plan can carry (keeps [`FaultPlan`] `Copy`).
+pub const MAX_FAULT_PHASES: usize = 4;
+
 /// A seeded, fully deterministic fault schedule.
 ///
 /// Rates are per-decision probabilities; `max_burst` caps *consecutive*
 /// per-call faults so a bounded retry loop (attempts > `max_burst`)
-/// always reaches a clean call. Plans serialize, so a failure scenario
-/// can ride in a job spec or a test fixture.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// always reaches a clean call. Up to [`MAX_FAULT_PHASES`] epoch windows
+/// ([`FaultPlan::with_phase`]) override the base rates while the deploy
+/// epoch is inside them. Plans serialize, so a failure scenario can ride
+/// in a job spec or a test fixture.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPlan {
     /// Seed of every fault stream.
     pub seed: u64,
@@ -73,6 +131,67 @@ pub struct FaultPlan {
     pub max_burst: u32,
     /// Panic mid-deploy at this epoch, if set (crash injection).
     pub crash_epoch: Option<u64>,
+    /// Epoch windows overriding the base rates (first match wins).
+    pub phases: [Option<FaultPhase>; MAX_FAULT_PHASES],
+}
+
+// Hand-written so `phases` stays optional on the wire: plans serialized
+// before phase windows existed (and plans without any) carry no `phases`
+// key and still deserialize. The vendored serde derive has no
+// `#[serde(default)]`.
+impl Serialize for FaultPlan {
+    fn serialize(&self) -> Value {
+        let mut obj: Vec<(String, Value)> = vec![
+            ("seed".to_string(), self.seed.serialize()),
+            ("io_rate".to_string(), self.io_rate.serialize()),
+            (
+                "deploy_fail_rate".to_string(),
+                self.deploy_fail_rate.serialize(),
+            ),
+            ("nan_rate".to_string(), self.nan_rate.serialize()),
+            ("stale_rate".to_string(), self.stale_rate.serialize()),
+            ("max_burst".to_string(), self.max_burst.serialize()),
+            ("crash_epoch".to_string(), self.crash_epoch.serialize()),
+        ];
+        let phases: Vec<Value> = self
+            .phases
+            .iter()
+            .flatten()
+            .map(|p| p.serialize())
+            .collect();
+        if !phases.is_empty() {
+            obj.push(("phases".to_string(), Value::Array(phases)));
+        }
+        Value::Object(obj)
+    }
+}
+
+impl Deserialize for FaultPlan {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        let mut plan = FaultPlan {
+            seed: Deserialize::deserialize(v.field("seed")?)?,
+            io_rate: Deserialize::deserialize(v.field("io_rate")?)?,
+            deploy_fail_rate: Deserialize::deserialize(v.field("deploy_fail_rate")?)?,
+            nan_rate: Deserialize::deserialize(v.field("nan_rate")?)?,
+            stale_rate: Deserialize::deserialize(v.field("stale_rate")?)?,
+            max_burst: Deserialize::deserialize(v.field("max_burst")?)?,
+            crash_epoch: Deserialize::deserialize(v.field("crash_epoch")?)?,
+            phases: [None; MAX_FAULT_PHASES],
+        };
+        if let Ok(raw) = v.field("phases") {
+            let list: Vec<FaultPhase> = Deserialize::deserialize(raw)?;
+            if list.len() > MAX_FAULT_PHASES {
+                return Err(serde::Error::custom(format!(
+                    "fault plan carries {} phases; at most {MAX_FAULT_PHASES} supported",
+                    list.len()
+                )));
+            }
+            for (slot, phase) in plan.phases.iter_mut().zip(list) {
+                *slot = Some(phase);
+            }
+        }
+        Ok(plan)
+    }
 }
 
 impl FaultPlan {
@@ -86,6 +205,7 @@ impl FaultPlan {
             stale_rate: 0.0,
             max_burst: 2,
             crash_epoch: None,
+            phases: [None; MAX_FAULT_PHASES],
         }
     }
 
@@ -121,9 +241,58 @@ impl FaultPlan {
         self
     }
 
+    /// Add an epoch window `[start_epoch, end_epoch)` during which
+    /// `faults` replace the base rates — the ROADMAP-named "clean tune,
+    /// then sick monitor" drill is a quiet base plus an outage window
+    /// over the monitor epochs.
+    ///
+    /// # Panics
+    ///
+    /// If the window is empty or more than [`MAX_FAULT_PHASES`] windows
+    /// are added.
+    pub fn with_phase(mut self, start_epoch: u64, end_epoch: u64, faults: FaultRates) -> Self {
+        assert!(
+            start_epoch < end_epoch,
+            "fault phase window must be non-empty"
+        );
+        let slot = self
+            .phases
+            .iter_mut()
+            .find(|slot| slot.is_none())
+            .unwrap_or_else(|| panic!("a fault plan holds at most {MAX_FAULT_PHASES} phases"));
+        *slot = Some(FaultPhase {
+            start_epoch,
+            end_epoch,
+            faults,
+        });
+        self
+    }
+
+    /// The rates in force at `epoch`: the first phase window containing
+    /// it, or the plan's base rates.
+    pub fn rates_at(&self, epoch: u64) -> FaultRates {
+        for phase in self.phases.iter().flatten() {
+            if epoch >= phase.start_epoch && epoch < phase.end_epoch {
+                return phase.faults;
+            }
+        }
+        FaultRates {
+            io_rate: self.io_rate,
+            deploy_fail_rate: self.deploy_fail_rate,
+            nan_rate: self.nan_rate,
+            stale_rate: self.stale_rate,
+        }
+    }
+
     /// Whether this plan injects only transient (retryable) faults.
     pub fn transient_only(&self) -> bool {
-        self.stale_rate == 0.0 && self.crash_epoch.is_none()
+        self.stale_rate == 0.0
+            && self.crash_epoch.is_none()
+            && self
+                .phases
+                .iter()
+                .flatten()
+                .all(|p| p.faults.stale_rate == 0.0)
     }
 }
 
@@ -226,10 +395,14 @@ impl<B: ExecutionBackend> ExecutionBackend for ChaosBackend<B> {
         self.calls += 1;
         let call = self.calls;
         let seed = self.plan.seed;
+        let rates = self.plan.rates_at(epoch);
         let burst_open = self.consecutive < self.plan.max_burst;
 
-        // Per-call transient faults, in a fixed decision order.
-        if unit(seed, DOMAIN_IO, call) < self.plan.io_rate {
+        // Per-call transient faults, in a fixed decision order. The
+        // *rates* come from the epoch's phase window (if any); the draws
+        // stay keyed on the call index so retry attempts at one epoch see
+        // independent decisions.
+        if unit(seed, DOMAIN_IO, call) < rates.io_rate {
             if burst_open {
                 self.consecutive += 1;
                 self.counters.io_errors += 1;
@@ -239,7 +412,7 @@ impl<B: ExecutionBackend> ExecutionBackend for ChaosBackend<B> {
                 });
             }
             self.counters.suppressed += 1;
-        } else if unit(seed, DOMAIN_DEPLOY, call) < self.plan.deploy_fail_rate {
+        } else if unit(seed, DOMAIN_DEPLOY, call) < rates.deploy_fail_rate {
             if burst_open {
                 self.consecutive += 1;
                 self.counters.deploy_failures += 1;
@@ -252,7 +425,7 @@ impl<B: ExecutionBackend> ExecutionBackend for ChaosBackend<B> {
         // consulting the backend (the dashboard lags reality). Keyed on
         // the epoch so a retry loop cannot "fix" staleness — it is not an
         // error, just an old truth.
-        if unit(seed, DOMAIN_STALE, epoch) < self.plan.stale_rate {
+        if unit(seed, DOMAIN_STALE, epoch) < rates.stale_rate {
             if let Some(previous) = &self.last_report {
                 self.counters.stale_epochs += 1;
                 self.consecutive = 0;
@@ -261,7 +434,7 @@ impl<B: ExecutionBackend> ExecutionBackend for ChaosBackend<B> {
         }
 
         let report = self.inner.deploy(flow, assignment, epoch)?;
-        if unit(seed, DOMAIN_NAN, call) < self.plan.nan_rate {
+        if unit(seed, DOMAIN_NAN, call) < rates.nan_rate {
             if burst_open {
                 self.consecutive += 1;
                 self.counters.nan_observations += 1;
@@ -440,5 +613,61 @@ mod tests {
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn phase_window_overrides_base_rates() {
+        // Quiet base, hard outage during epochs [4, 7): exactly those
+        // three calls fault, everything outside the window is clean.
+        let plan =
+            FaultPlan::quiet(13)
+                .with_max_burst(u32::MAX)
+                .with_phase(4, 7, FaultRates::outage());
+        let (trace, counters) = fault_trace(plan, 9);
+        assert_eq!(trace, "...iii...", "outage must match the window exactly");
+        assert_eq!(counters.io_errors, 3);
+        assert_eq!(counters.suppressed, 0);
+    }
+
+    #[test]
+    fn phases_are_half_open_and_first_match_wins() {
+        let calm = FaultRates::none();
+        let plan = FaultPlan::transient(99)
+            .with_phase(10, 20, calm)
+            .with_phase(15, 30, FaultRates::outage());
+        assert_eq!(plan.rates_at(9), plan.rates_at(u64::MAX), "base outside");
+        assert_eq!(plan.rates_at(10), calm, "start is inclusive");
+        assert_eq!(plan.rates_at(19), calm, "first window wins the overlap");
+        assert_eq!(plan.rates_at(20), FaultRates::outage(), "end is exclusive");
+    }
+
+    #[test]
+    fn phased_plans_ride_the_wire_and_legacy_plans_parse() {
+        let plan = FaultPlan::quiet(7)
+            .with_phase(100, 200, FaultRates::outage())
+            .with_phase(300, 400, FaultRates::none());
+        let json = serde_json::to_string(&plan).unwrap();
+        assert!(json.contains("\"phases\""));
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+
+        // A phase-free plan serializes without the key (the pre-phase
+        // wire form), and that legacy form parses to empty phases.
+        let legacy = serde_json::to_string(&FaultPlan::transient(5)).unwrap();
+        assert!(!legacy.contains("phases"));
+        let back: FaultPlan = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, FaultPlan::transient(5));
+    }
+
+    #[test]
+    fn transient_only_accounts_for_phase_rates() {
+        let base = FaultPlan::transient(3);
+        assert!(base.transient_only());
+        assert!(base.with_phase(5, 9, FaultRates::outage()).transient_only());
+        let stale_phase = FaultRates {
+            stale_rate: 0.5,
+            ..FaultRates::none()
+        };
+        assert!(!base.with_phase(5, 9, stale_phase).transient_only());
     }
 }

@@ -38,7 +38,7 @@ pub mod retry;
 pub mod session;
 pub mod trace;
 
-pub use chaos::{ChaosBackend, FaultCounters, FaultPlan};
+pub use chaos::{ChaosBackend, FaultCounters, FaultPhase, FaultPlan, FaultRates, MAX_FAULT_PHASES};
 pub use error::{BackendError, FaultClass, TuneError};
 pub use observation::{
     EngineMode, Observation, OpObservation, SimulationReport, BACKPRESSURE_VISIBILITY,

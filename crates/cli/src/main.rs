@@ -26,12 +26,19 @@
 //!   [--seed S] [--engine flink|timely] [--fast] [--ledger-cap N]
 //!   [--monitor-interval SECS]` — run the long-lived tuning daemon: load
 //!   the model store (or pre-train and persist it, warm-started from any
-//!   persisted GED-cache snapshot), then answer the line-delimited JSON
+//!   persisted GED-cache snapshot), resume any journaled jobs that a
+//!   previous process died holding, then answer the line-delimited JSON
 //!   control protocol (`submit`/`status`/`recommend`/`cancel`/`watch`/
-//!   `unwatch`/`drift_status`/`tick`/`snapshot`/`shutdown`) on
+//!   `unwatch`/`drift_status`/`tick`/`snapshot`/`drain`/`shutdown`) on
 //!   stdin/stdout, or on a TCP listener with `--listen` — one session per
 //!   client, with `--monitor-interval` running the background drift
-//!   monitor between accepts.
+//!   monitor between accepts. Overload knobs: `--session-cap` bounds
+//!   concurrent sessions and `--request-deadline` bounds the wait for the
+//!   daemon lock; excess load is shed with a structured `overloaded`
+//!   response carrying `--retry-after-ms`. On SIGTERM the daemon drains:
+//!   it stops accepting, finishes in-flight work and flushes the store,
+//!   bounded by `--drain-timeout`. The `--slo-*` flags set alarm
+//!   thresholds over the `health` counters (`off` disables one).
 //! * `client --connect ADDR [--script FILE]` — send protocol lines (from
 //!   the script file or stdin) to a serving daemon and print each response.
 //! * `monitor --query NAME [--multiplier M] [--shift-to M2] [--shift-at T]
@@ -59,7 +66,7 @@ use streamtune_connect::{ingest_file, FlinkBackend, IngestConfig};
 use streamtune_core::{
     Parallelism, PretrainConfig, Pretrained, Pretrainer, StreamTune, TuneConfig,
 };
-use streamtune_serve::{ModelStore, Request, Response, Server, ServerConfig};
+use streamtune_serve::{ModelStore, Request, Response, Server, ServerConfig, TcpConfig};
 use streamtune_sim::SimCluster;
 use streamtune_workloads::history::HistoryGenerator;
 use streamtune_workloads::named_workloads;
@@ -488,7 +495,70 @@ fn server_config(args: &Args) -> Result<ServerConfig, CliError> {
     config.ledger_cap = args.parse_or("ledger-cap", config.ledger_cap)?;
     config.retry = retry_policy(args, config.retry)?;
     config.chaos = chaos_seed(args)?;
+    config.slo = slo_policy(args, config.slo)?;
     Ok(config)
+}
+
+/// Fold the `--slo-*` alarm thresholds over the default policy. A
+/// threshold of `off` disables that alarm; absent flags keep the default.
+fn slo_policy(
+    args: &Args,
+    base: streamtune_serve::SloPolicy,
+) -> Result<streamtune_serve::SloPolicy, CliError> {
+    fn threshold<T: std::str::FromStr>(
+        args: &Args,
+        key: &str,
+        base: Option<T>,
+    ) -> Result<Option<T>, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match args.optional(key) {
+            None => Ok(base),
+            Some(s) if s == "off" => Ok(None),
+            Some(s) => s
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| CliError::Usage(format!("--{key} {s}: {e} (or `off`)"))),
+        }
+    }
+    let policy = streamtune_serve::SloPolicy {
+        max_retry_rate: threshold(args, "slo-retry-rate", base.max_retry_rate)?,
+        max_degraded_watches: threshold(args, "slo-degraded-watches", base.max_degraded_watches)?,
+        max_poll_failures: threshold(args, "slo-poll-failures", base.max_poll_failures)?,
+        max_handler_panics: threshold(args, "slo-handler-panics", base.max_handler_panics)?,
+    };
+    if policy
+        .max_retry_rate
+        .is_some_and(|r| !r.is_finite() || r < 0.0)
+    {
+        return Err(CliError::Usage(
+            "--slo-retry-rate must be a finite non-negative rate (or `off`)".to_string(),
+        ));
+    }
+    Ok(policy)
+}
+
+/// Parse a `--key SECS` duration flag (positive seconds, fractions ok).
+fn duration_secs(
+    args: &Args,
+    key: &str,
+    base: std::time::Duration,
+) -> Result<std::time::Duration, CliError> {
+    match args.optional(key) {
+        None => Ok(base),
+        Some(secs) => {
+            let value = secs
+                .parse::<f64>()
+                .map_err(|e| CliError::Usage(format!("--{key} {secs}: {e}")))?;
+            if !value.is_finite() || value <= 0.0 {
+                return Err(CliError::Usage(format!(
+                    "--{key} must be a positive number of seconds, got {secs}"
+                )));
+            }
+            Ok(std::time::Duration::from_secs_f64(value))
+        }
+    }
 }
 
 /// Bootstrap a server over the simulated cluster (shared by `serve` and
@@ -513,7 +583,7 @@ fn bootstrap_server(args: &Args) -> Result<Server, CliError> {
         corpus
     })?;
     eprintln!(
-        "model ready: {} cluster(s), {} warm-up points ({}{})",
+        "model ready: {} cluster(s), {} warm-up points ({}{}{})",
         server.pretrained().clusters.len(),
         server.pretrained().total_warmup_points(),
         if report.loaded_from_store {
@@ -528,8 +598,43 @@ fn bootstrap_server(args: &Args) -> Result<Server, CliError> {
         } else {
             String::new()
         },
+        if report.resumed_jobs > 0 {
+            format!(
+                "; {} interrupted job(s) resumed from the journal",
+                report.resumed_jobs
+            )
+        } else {
+            String::new()
+        },
     );
     Ok(server)
+}
+
+/// Build the [`TcpConfig`] for `serve --listen` from the admission-control
+/// and drain knobs.
+fn tcp_config(args: &Args) -> Result<TcpConfig, CliError> {
+    let base = TcpConfig::default();
+    let session_cap: usize = args.parse_or("session-cap", base.session_cap)?;
+    if session_cap == 0 {
+        return Err(CliError::Usage(
+            "--session-cap must be at least 1".to_string(),
+        ));
+    }
+    let monitor_interval = match args.optional("monitor-interval") {
+        Some(_) => Some(duration_secs(
+            args,
+            "monitor-interval",
+            std::time::Duration::from_secs(1),
+        )?),
+        None => None,
+    };
+    Ok(TcpConfig {
+        session_cap,
+        request_deadline: duration_secs(args, "request-deadline", base.request_deadline)?,
+        retry_after_ms: args.parse_or("retry-after-ms", base.retry_after_ms)?,
+        drain_timeout: duration_secs(args, "drain-timeout", base.drain_timeout)?,
+        monitor_interval,
+    })
 }
 
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
@@ -540,31 +645,25 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
                 path: addr.clone(),
                 message: e.to_string(),
             })?;
-            let interval = match args.optional("monitor-interval") {
-                Some(secs) => {
-                    let value = secs
-                        .parse::<f64>()
-                        .map_err(|e| CliError::Usage(format!("--monitor-interval {secs}: {e}")))?;
-                    if !value.is_finite() || value <= 0.0 {
-                        return Err(CliError::Usage(format!(
-                            "--monitor-interval must be a positive number of seconds, got {secs}"
-                        )));
-                    }
-                    Some(std::time::Duration::from_secs_f64(value))
-                }
-                None => None,
-            };
+            let config = tcp_config(args)?;
+            // Print the *resolved* address: `--listen 127.0.0.1:0` binds an
+            // ephemeral port, and scripts need to know which one.
+            let resolved = listener
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or(addr.clone());
             eprintln!(
-                "listening on {addr} — send line-delimited JSON requests \
-                 (one session per client{})",
-                if interval.is_some() {
+                "listening on {resolved} — send line-delimited JSON requests \
+                 (one session per client, at most {} concurrent{})",
+                config.session_cap,
+                if config.monitor_interval.is_some() {
                     ", background drift monitor running"
                 } else {
                     ""
                 }
             );
             let server = std::sync::Mutex::new(server);
-            Server::serve_tcp(&server, &listener, interval)?;
+            Server::serve_tcp_with(&server, &listener, config)?;
         }
         None => {
             eprintln!("serving line-delimited JSON on stdin/stdout");
@@ -638,11 +737,18 @@ fn cmd_monitor(args: &Args) -> Result<(), CliError> {
     for event in &report.events {
         println!("  {} [{}] {}", event.job, event.kind, event.detail);
     }
-    if let Response::Drift(lines) = expect_ok(server.handle(&Request::DriftStatus).0)? {
-        for l in lines {
+    if let Response::Drift { watches, alarms } = expect_ok(server.handle(&Request::DriftStatus).0)?
+    {
+        for l in watches {
             println!(
                 "  {}: {} after {} tick(s) — multiplier {}, {} trigger(s), {} re-tune(s)",
                 l.job, l.class, l.ticks, l.multiplier, l.triggers, l.retunes
+            );
+        }
+        for a in alarms {
+            println!(
+                "  ALARM {}: {} ≥ {} — {}",
+                a.alarm, a.value, a.threshold, a.detail
             );
         }
     }
@@ -723,6 +829,9 @@ fn usage() -> &'static str {
        serve     [--store DIR] [--listen ADDR] [--threads N] [--jobs N] [--seed S]\n\
                  [--engine flink|timely] [--fast] [--ledger-cap N] [--monitor-interval SECS]\n\
                  [--retry-attempts N] [--retry-backoff MIN] [--chaos SEED]\n\
+                 [--session-cap N] [--request-deadline SECS] [--retry-after-ms MS]\n\
+                 [--drain-timeout SECS] [--slo-retry-rate R|off] [--slo-degraded-watches N|off]\n\
+                 [--slo-poll-failures N|off] [--slo-handler-panics N|off]\n\
        client    --connect ADDR [--script FILE]\n\
        monitor   --query NAME [--multiplier M] [--shift-to M2] [--shift-at T] [--ticks N]\n\
                  [--seed S] [--store DIR] [--fast]\n\

@@ -1,0 +1,232 @@
+//! Kill drill: the built `streamtune` binary survives process death.
+//!
+//! A serving daemon is SIGKILLed at scripted points around a drain; a
+//! restart on the same store resumes the interrupted job from its epoch
+//! journal and recommends **bit-identically** to an uninterrupted run —
+//! across worker-pool widths. A SIGTERM instead drains gracefully: the
+//! daemon finishes in-flight work, flushes the store and exits cleanly.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use streamtune_serve::Response;
+
+/// A `streamtune serve --listen 127.0.0.1:0` daemon plus its resolved
+/// address (parsed from the startup log).
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+/// Corpus seed for the daemon's pretraining run. Overridable so CI can
+/// repeat the drill across seed sets; the resume invariant must hold for
+/// every one of them.
+fn drill_seed() -> String {
+    std::env::var("KILL_DRILL_SEED").unwrap_or_else(|_| "91".to_string())
+}
+
+fn spawn_daemon(store: &Path, threads: &str) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_streamtune"))
+        .args([
+            "serve",
+            "--store",
+            store.to_str().expect("utf-8 store path"),
+            "--listen",
+            "127.0.0.1:0",
+            "--fast",
+            "--jobs",
+            "12",
+            "--seed",
+            &drill_seed(),
+            "--threads",
+            threads,
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let addr = loop {
+        let mut line = String::new();
+        let n = stderr.read_line(&mut line).expect("daemon startup log");
+        assert!(n > 0, "daemon exited before listening");
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("resolved address")
+                .to_string();
+        }
+    };
+    // Keep draining stderr so the daemon never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while stderr.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+            sink.clear();
+        }
+    });
+    Daemon { child, addr }
+}
+
+impl Daemon {
+    fn connect(&self) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(&self.addr).expect("connect to daemon");
+        (
+            BufReader::new(stream.try_clone().expect("clone stream")),
+            stream,
+        )
+    }
+
+    fn request(&self, line: &str) -> Response {
+        let (mut reader, mut writer) = self.connect();
+        writeln!(writer, "{line}").expect("send request");
+        writer.flush().expect("flush request");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read response");
+        serde_json::from_str(response.trim()).expect("valid response line")
+    }
+
+    /// Wait for a clean exit, bounded.
+    fn wait_exit(mut self, budget: Duration) {
+        let start = Instant::now();
+        loop {
+            match self.child.try_wait().expect("poll daemon") {
+                Some(status) => {
+                    assert!(status.success(), "daemon exited with {status}");
+                    return;
+                }
+                None if start.elapsed() > budget => {
+                    self.child.kill().ok();
+                    panic!("daemon did not exit within {budget:?}");
+                }
+                None => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+}
+
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "streamtune-kill-drill-{}-{name}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A multi-epoch spec (several journaled deployments) so a mid-tune kill
+/// actually leaves a partial journal to resume from.
+fn submit_line(name: &str) -> String {
+    format!(
+        "{{\"submit\": {{\"name\": \"{name}\", \"query\": \"pqp-linear-3\", \
+         \"multiplier\": 12.0, \"seed\": 5, \"engine\": \"flink\", \"backend\": \"sim\"}}}}"
+    )
+}
+
+fn degrees(daemon: &Daemon, job: &str) -> Vec<u32> {
+    match daemon.request(&format!("{{\"recommend\": {{\"job\": \"{job}\"}}}}")) {
+        Response::Recommendation(rec) => rec.degrees,
+        other => panic!("expected recommendation for {job}, got {other:?}"),
+    }
+}
+
+#[test]
+fn sigkill_around_a_drain_resumes_bit_identical_across_thread_counts() {
+    let mut per_threads: Vec<Vec<u32>> = Vec::new();
+    for threads in ["1", "4"] {
+        let store = temp_store(&format!("kill-{threads}"));
+
+        // The uninterrupted reference run (also pre-trains the store once;
+        // every later boot loads it without retraining).
+        let daemon = spawn_daemon(&store, threads);
+        assert!(matches!(
+            daemon.request(&submit_line("reference")),
+            Response::Submitted { .. }
+        ));
+        let reference = degrees(&daemon, "reference");
+        assert!(matches!(
+            daemon.request("\"drain\""),
+            Response::Draining { .. }
+        ));
+        daemon.wait_exit(Duration::from_secs(60));
+
+        // SIGKILL at scripted points around the drain: immediately after
+        // it is requested, and mid-flight. Whatever the journal holds —
+        // nothing, a prefix, or every epoch — the restart must land on
+        // the same recommendation.
+        for (i, kill_after) in [Duration::ZERO, Duration::from_millis(40)]
+            .into_iter()
+            .enumerate()
+        {
+            let victim = format!("victim-{i}");
+            let mut daemon = spawn_daemon(&store, threads);
+            assert!(matches!(
+                daemon.request(&submit_line(&victim)),
+                Response::Submitted { .. }
+            ));
+            // Ask for the drain but never await the reply: the kill races
+            // the tuning run itself.
+            let (_reader, mut writer) = daemon.connect();
+            writeln!(writer, "\"status\"").expect("send drain trigger");
+            writer.flush().expect("flush drain trigger");
+            std::thread::sleep(kill_after);
+            daemon.child.kill().expect("SIGKILL");
+            daemon.child.wait().expect("reap");
+
+            let reborn = spawn_daemon(&store, threads);
+            assert_eq!(
+                degrees(&reborn, &victim),
+                reference,
+                "threads {threads}, kill point {i}: resumed outcome diverged"
+            );
+            assert!(matches!(
+                reborn.request("\"drain\""),
+                Response::Draining { .. }
+            ));
+            reborn.wait_exit(Duration::from_secs(60));
+        }
+        per_threads.push(reference);
+        std::fs::remove_dir_all(&store).ok();
+    }
+    assert_eq!(
+        per_threads[0], per_threads[1],
+        "worker-pool width must not change the recommendation"
+    );
+}
+
+#[test]
+fn sigterm_drains_gracefully_and_a_restart_serves_the_flushed_result() {
+    let store = temp_store("sigterm");
+    let daemon = spawn_daemon(&store, "1");
+    assert!(matches!(
+        daemon.request(&submit_line("parting")),
+        Response::Submitted { .. }
+    ));
+
+    // SIGTERM, not a protocol verb: the accept loop notices, finishes and
+    // journals the queued work, flushes the store and exits cleanly
+    // within the drain budget.
+    let pid = daemon.child.id().to_string();
+    let status = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success());
+    daemon.wait_exit(Duration::from_secs(60));
+
+    // The drained store restores the finished job: the restart answers
+    // `recommend` without re-running anything.
+    let reborn = spawn_daemon(&store, "1");
+    assert!(!degrees(&reborn, "parting").is_empty());
+    assert!(matches!(
+        reborn.request("\"shutdown\""),
+        Response::ShuttingDown
+    ));
+    reborn.wait_exit(Duration::from_secs(60));
+    std::fs::remove_dir_all(&store).ok();
+}

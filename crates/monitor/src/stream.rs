@@ -87,9 +87,14 @@ impl MetricStream {
     /// folded into the windows.
     ///
     /// Transient backend faults (flaky scrapes, corrupt observations) are
-    /// retried at the *same* epoch per the stream's [`RetryPolicy`]; the
-    /// poll counter advances only on success, so an absorbed fault leaves
-    /// the window contents bit-identical to a fault-free run.
+    /// retried at the *same* epoch per the stream's [`RetryPolicy`], so an
+    /// absorbed fault leaves the window contents bit-identical to a
+    /// fault-free run. A failure that surfaces (retry budget exhausted, or
+    /// permanent) still *consumes* the monitoring interval — the missed
+    /// reading is gone and the next poll observes a fresh epoch — so an
+    /// epoch-windowed outage (see
+    /// [`FaultPlan::with_phase`](streamtune_backend::FaultPlan::with_phase))
+    /// ends on schedule instead of pinning the stream to one sick epoch.
     pub fn poll(
         &mut self,
         backend: &mut dyn ExecutionBackend,
@@ -111,6 +116,7 @@ impl MetricStream {
                     self.retry_stats.transient_faults += 1;
                     if attempt >= self.retry.max_attempts.max(1) {
                         self.retry_stats.exhausted += 1;
+                        self.polls += 1;
                         return Err(e);
                     }
                     self.retry_stats.retries += 1;
@@ -119,6 +125,7 @@ impl MetricStream {
                 }
                 Err(e) => {
                     self.retry_stats.permanent_failures += 1;
+                    self.polls += 1;
                     return Err(e);
                 }
             }

@@ -15,12 +15,14 @@
 //! drained yet.
 
 use crate::error::ServeError;
+use crate::journal::{journal_file_name, JournaledBackend};
 use crate::protocol::{BackendSpec, JobSpec, JobStatusLine};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use streamtune_backend::{
-    ChaosBackend, ExecutionBackend, FaultPlan, RetryPolicy, RetryStats, TuneError, TuneOutcome,
-    Tuner, TuningSession,
+    ChaosBackend, ExecutionBackend, FaultPlan, RetryPolicy, RetryStats, TraceEntry, TuneError,
+    TuneOutcome, Tuner, TuningSession,
 };
 use streamtune_connect::{ingest_file, FlinkBackend, IngestConfig};
 use streamtune_core::{Pretrained, StreamTune, TuneConfig};
@@ -143,6 +145,20 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
         .unwrap_or("non-string panic payload")
 }
 
+/// Journal context one run carries: where to append, and the recorded
+/// prefix (non-empty only on the first run after a crash-resume).
+struct JournalCtx {
+    path: PathBuf,
+    prefix: Vec<TraceEntry>,
+}
+
+/// Whether a spec's backend is journal/resume-capable: deterministic
+/// in-process backends only. Replay and ingest jobs re-run from their
+/// own recordings; a live Flink tune cannot be replayed into the past.
+fn journalable(spec: &JobSpec) -> bool {
+    matches!(spec.backend, BackendSpec::Sim | BackendSpec::Chaos(_))
+}
+
 /// The per-job seeded simulated cluster a spec runs on.
 fn sim_for(spec: &JobSpec) -> SimCluster {
     match spec.engine {
@@ -166,9 +182,10 @@ fn run_job(
     cluster: usize,
     retry: RetryPolicy,
     chaos: Option<u64>,
+    journal: Option<JournalCtx>,
 ) -> RunReport {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_job_inner(pretrained, spec, cluster, retry, chaos)
+        run_job_inner(pretrained, spec, cluster, retry, chaos, journal)
     })) {
         Ok(report) => report,
         Err(payload) => RunReport {
@@ -187,6 +204,7 @@ fn run_job_inner(
     cluster: usize,
     retry: RetryPolicy,
     chaos: Option<u64>,
+    journal: Option<JournalCtx>,
 ) -> RunReport {
     let failed = |message: String| RunReport {
         state: JobState::Failed(message),
@@ -236,7 +254,24 @@ fn run_job_inner(
         }
     };
     let mut tuner = StreamTune::new(pretrained, TuneConfig::default());
-    let mut session = TuningSession::new(backend.as_mut(), &flow).with_retry(retry);
+    // The journal layer sits between the session and the (possibly
+    // chaos-wrapped) backend: journaled epochs replay without touching
+    // the live stack; fresh epochs are recorded and fsync'd before the
+    // tuner acts on them, so a `kill -9` resumes from the last epoch.
+    let mut journaled;
+    let backend: &mut dyn ExecutionBackend = match &journal {
+        Some(ctx) if journalable(spec) => {
+            journaled = JournaledBackend::resume(
+                backend.as_mut(),
+                spec,
+                ctx.path.clone(),
+                ctx.prefix.clone(),
+            );
+            &mut journaled
+        }
+        _ => backend.as_mut(),
+    };
+    let mut session = TuningSession::new(backend, &flow).with_retry(retry);
     let result = tuner.tune(&mut session);
     let retry = session.retry_stats();
     let state = match result {
@@ -316,6 +351,12 @@ pub struct JobManager {
     chaos: Option<u64>,
     jobs: Vec<Job>,
     index: HashMap<String, usize>,
+    /// Where per-job epoch journals live (`None` disables journaling —
+    /// in-memory daemons and unit tests).
+    journal_dir: Option<PathBuf>,
+    /// Journaled prefixes recovered at bootstrap, consumed by the next
+    /// drain of the matching job so it replays instead of re-tuning.
+    resume: HashMap<String, Vec<TraceEntry>>,
 }
 
 impl JobManager {
@@ -328,6 +369,8 @@ impl JobManager {
             chaos: None,
             jobs: Vec::new(),
             index: HashMap::new(),
+            journal_dir: None,
+            resume: HashMap::new(),
         }
     }
 
@@ -344,6 +387,34 @@ impl JobManager {
     pub fn with_chaos(mut self, chaos: Option<u64>) -> Self {
         self.chaos = chaos;
         self
+    }
+
+    /// Enable epoch journaling under `dir` (builder-style). Journalable
+    /// jobs drained afterwards append every observed epoch to a fsync'd
+    /// per-job journal, and [`JobManager::recover_journals`] can re-admit
+    /// jobs a dead process left mid-tune.
+    pub fn with_journal_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.journal_dir = dir;
+        self
+    }
+
+    /// The journal file for `spec`, if journaling is enabled and the
+    /// spec's backend supports resumption.
+    fn journal_path(&self, spec: &JobSpec) -> Option<PathBuf> {
+        match &self.journal_dir {
+            Some(dir) if journalable(spec) => Some(dir.join(journal_file_name(&spec.name))),
+            _ => None,
+        }
+    }
+
+    /// Start (or restart) `spec`'s journal: a fresh header, no entries.
+    /// Best-effort — a journal that cannot be written must never block
+    /// admission; the job simply runs unjournaled.
+    fn start_journal(&mut self, spec: &JobSpec) {
+        self.resume.remove(&spec.name);
+        if let Some(path) = self.journal_path(spec) {
+            let _ = crate::journal::create_journal(&path, spec);
+        }
     }
 
     /// The shared pre-trained corpus.
@@ -381,6 +452,7 @@ impl JobManager {
             })?;
         let flow = workload.at(spec.multiplier);
         let (cluster, _) = self.pretrained.assign(&flow);
+        self.start_journal(&spec);
         self.index.insert(spec.name.clone(), self.jobs.len());
         self.jobs.push(Job {
             spec,
@@ -410,6 +482,9 @@ impl JobManager {
             })?;
         let flow = workload.at(spec.multiplier);
         let (cluster, _) = self.pretrained.assign(&flow);
+        // A re-tune is a fresh run under a new spec: any journal (and any
+        // recovered prefix) from the previous run is stale by definition.
+        self.start_journal(&spec);
         let job = &mut self.jobs[i];
         job.spec = spec;
         job.cluster = cluster;
@@ -495,23 +570,38 @@ impl JobManager {
     /// the shared corpus and its own spec, so any [`Parallelism`] and any
     /// prior submission interleaving yield identical per-job states.
     pub fn drain(&mut self) {
-        let pending: Vec<(usize, JobSpec, usize)> = self
+        let queued: Vec<(usize, JobSpec, usize)> = self
             .jobs
             .iter()
             .enumerate()
             .filter(|(_, j)| j.state == JobState::Queued)
             .map(|(i, j)| (i, j.spec.clone(), j.cluster))
             .collect();
-        if pending.is_empty() {
+        if queued.is_empty() {
             return;
         }
+        // Attach each job's journal context up front: the path (if
+        // journaling is on) plus any crash-recovered prefix, consumed
+        // exactly once. `JournalCtx` is not `Clone`, so the worker closure
+        // takes it by interior move via a per-item `Option` slot.
+        let pending: Vec<(usize, JobSpec, usize, std::sync::Mutex<Option<JournalCtx>>)> = queued
+            .into_iter()
+            .map(|(i, spec, cluster)| {
+                let ctx = self.journal_path(&spec).map(|path| JournalCtx {
+                    path,
+                    prefix: self.resume.remove(&spec.name).unwrap_or_default(),
+                });
+                (i, spec, cluster, std::sync::Mutex::new(ctx))
+            })
+            .collect();
         let pretrained = &self.pretrained;
         let retry = self.retry;
         let chaos = self.chaos;
-        let results = parallel_map(self.parallelism, &pending, |(_, spec, cluster)| {
-            run_job(pretrained, spec, *cluster, retry, chaos)
+        let results = parallel_map(self.parallelism, &pending, |(_, spec, cluster, journal)| {
+            let journal = journal.lock().map(|mut slot| slot.take()).unwrap_or(None);
+            run_job(pretrained, spec, *cluster, retry, chaos, journal)
         });
-        for ((i, _, _), report) in pending.into_iter().zip(results) {
+        for ((i, _, _, _), report) in pending.into_iter().zip(results) {
             self.jobs[i].state = report.state;
             self.jobs[i].retry.absorb(&report.retry);
         }
@@ -570,6 +660,134 @@ impl JobManager {
             });
         }
         Ok(())
+    }
+
+    /// Scan the journal directory for epoch journals a dead process left
+    /// behind and decide, per journal, whether it is resumable work or a
+    /// leftover:
+    ///
+    /// * journal spec matches a *terminal* ledger entry → the result the
+    ///   journal was building already landed in `jobs.json`; delete it;
+    /// * journal spec matches a queued job → attach the prefix so the
+    ///   next drain replays instead of re-tuning;
+    /// * job unknown, or its ledger spec differs → the process died
+    ///   between admission (or re-submit) and snapshot: re-admit under
+    ///   the journaled spec with the prefix attached;
+    /// * unreadable or corrupt journal → delete; nothing resumable.
+    ///
+    /// Deterministic: journals are processed in sorted file-name order.
+    /// Returns how many jobs were queued for resumption.
+    pub fn recover_journals(&mut self) -> usize {
+        let Some(dir) = self.journal_dir.clone() else {
+            return 0;
+        };
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            return 0;
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension()
+                    .is_some_and(|e| e == crate::journal::JOURNAL_EXT)
+            })
+            .collect();
+        paths.sort();
+        let mut resumed = 0;
+        for path in paths {
+            let Ok(Some(loaded)) = crate::journal::load_journal(&path) else {
+                let _ = std::fs::remove_file(&path);
+                continue;
+            };
+            match self.index.get(&loaded.spec.name).copied() {
+                Some(i) if self.jobs[i].spec == loaded.spec => {
+                    if self.jobs[i].state == JobState::Queued {
+                        self.resume.insert(loaded.spec.name.clone(), loaded.entries);
+                        resumed += 1;
+                    } else {
+                        // The run this journal recorded finished and its
+                        // result is in the ledger; the journal is stale.
+                        let _ = std::fs::remove_file(&path);
+                    }
+                }
+                at => {
+                    // The ledger never saw this (version of the) job: the
+                    // process died after admitting it but before any
+                    // snapshot. Re-admit under the journaled spec.
+                    if self.readmit(loaded.spec.clone(), at).is_ok() {
+                        self.resume.insert(loaded.spec.name, loaded.entries);
+                        resumed += 1;
+                    } else {
+                        let _ = std::fs::remove_file(&path);
+                    }
+                }
+            }
+        }
+        resumed
+    }
+
+    /// Queue `spec` without touching its journal (recovery path): a fresh
+    /// admission when `at` is `None`, an in-place spec replacement (the
+    /// interrupted run was a re-submit) otherwise.
+    fn readmit(&mut self, spec: JobSpec, at: Option<usize>) -> Result<(), ServeError> {
+        let workload =
+            find_workload(&spec.query, spec.engine).ok_or_else(|| ServeError::UnknownWorkload {
+                query: spec.query.clone(),
+            })?;
+        let flow = workload.at(spec.multiplier);
+        let (cluster, _) = self.pretrained.assign(&flow);
+        match at {
+            Some(i) => {
+                let job = &mut self.jobs[i];
+                job.spec = spec;
+                job.cluster = cluster;
+                job.state = JobState::Queued;
+                job.retunes += 1;
+            }
+            None => {
+                self.index.insert(spec.name.clone(), self.jobs.len());
+                self.jobs.push(Job {
+                    spec,
+                    cluster,
+                    state: JobState::Queued,
+                    retunes: 0,
+                    retry: RetryStats::default(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete journals that no longer back a queued job. Called after a
+    /// snapshot persists the ledger — at that point every terminal job's
+    /// result lives in `jobs.json` and its journal is dead weight.
+    /// Best-effort: a sweep that cannot delete changes nothing.
+    pub fn sweep_journals(&self) {
+        let Some(dir) = &self.journal_dir else {
+            return;
+        };
+        let live: std::collections::HashSet<String> = self
+            .jobs
+            .iter()
+            .filter(|j| j.state == JobState::Queued && journalable(&j.spec))
+            .map(|j| journal_file_name(&j.spec.name))
+            .collect();
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let keep = path
+                .extension()
+                .is_none_or(|e| e != crate::journal::JOURNAL_EXT)
+                || path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| live.contains(n));
+            if !keep {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
     }
 }
 
@@ -835,6 +1053,146 @@ mod tests {
         mgr.swap_pretrained(swapped);
         assert_eq!(mgr.job("a").unwrap().cluster, expected);
         assert!(matches!(mgr.job("a").unwrap().state, JobState::Done(_)));
+    }
+
+    fn temp_journal_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "streamtune-job-journal-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn interrupted_jobs_resume_bit_identical_from_the_journal() {
+        let pre = small_pretrained(17);
+        let dir = temp_journal_dir("resume");
+
+        // Uninterrupted run, fully journaled.
+        let mut full =
+            JobManager::new(pre.clone(), Parallelism::Serial).with_journal_dir(Some(dir.clone()));
+        full.submit(spec("j", "nexmark-q2", 6)).unwrap();
+        full.drain();
+        let uninterrupted = match &full.job("j").unwrap().state {
+            JobState::Done(r) => r.clone(),
+            other => panic!("expected Done, got {other:?}"),
+        };
+        let path = dir.join(journal_file_name("j"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines.len() >= 3,
+            "a multi-epoch tune journals several entries, got {}",
+            lines.len()
+        );
+
+        // "Kill" the process after the first journaled epoch: keep header
+        // plus one entry, exactly the bytes an interrupted run leaves.
+        for cut in [1, lines.len() / 2, lines.len() - 1] {
+            let mut torn = lines[..=cut].join("\n");
+            torn.push('\n');
+            std::fs::write(&path, &torn).unwrap();
+
+            // A fresh manager (restart): nothing in the ledger, so the
+            // journal alone must re-admit and resume the job.
+            let mut resumed = JobManager::new(pre.clone(), Parallelism::Serial)
+                .with_journal_dir(Some(dir.clone()));
+            assert_eq!(resumed.recover_journals(), 1);
+            assert_eq!(resumed.job("j").unwrap().state, JobState::Queued);
+            resumed.drain();
+            match &resumed.job("j").unwrap().state {
+                JobState::Done(r) => assert_eq!(
+                    r, &uninterrupted,
+                    "resume from a {cut}-line prefix must be bit-identical"
+                ),
+                other => panic!("expected Done, got {other:?}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_journals_skips_terminal_jobs_and_readmits_changed_specs() {
+        let pre = small_pretrained(19);
+        let dir = temp_journal_dir("recover");
+        let mut mgr =
+            JobManager::new(pre.clone(), Parallelism::Serial).with_journal_dir(Some(dir.clone()));
+        mgr.submit(spec("done", "nexmark-q1", 1)).unwrap();
+        mgr.drain();
+        let ledger = mgr.persistable();
+        let done_journal = dir.join(journal_file_name("done"));
+        assert!(done_journal.is_file(), "drained job left its journal");
+
+        // A second journal whose spec the ledger never saw (the process
+        // died after a re-submit at a shifted multiplier).
+        let mut shifted = spec("done", "nexmark-q1", 1);
+        shifted.multiplier = 12.0;
+        let shifted_path = dir.join("shifted.journal");
+        crate::journal::create_journal(&shifted_path, &shifted).unwrap();
+
+        // And one unreadable journal.
+        let junk = dir.join("junk.journal");
+        std::fs::write(&junk, "garbage\n").unwrap();
+
+        let mut restarted =
+            JobManager::new(pre, Parallelism::Serial).with_journal_dir(Some(dir.clone()));
+        restarted.restore(ledger).unwrap();
+        // The shifted-spec journal wins: "done" re-queues under the new
+        // spec; the junk journal is deleted; nothing else resumes.
+        assert_eq!(restarted.recover_journals(), 1);
+        let job = restarted.job("done").unwrap();
+        assert_eq!(job.state, JobState::Queued);
+        assert_eq!(job.spec.multiplier, 12.0);
+        assert_eq!(job.retunes, 1, "an interrupted re-submit counts");
+        assert!(!junk.is_file(), "unreadable journals are deleted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_journals_deletes_stale_terminal_journals() {
+        let pre = small_pretrained(19);
+        let dir = temp_journal_dir("stale");
+        let mut mgr =
+            JobManager::new(pre.clone(), Parallelism::Serial).with_journal_dir(Some(dir.clone()));
+        mgr.submit(spec("done", "nexmark-q1", 1)).unwrap();
+        mgr.drain();
+        let ledger = mgr.persistable();
+        let path = dir.join(journal_file_name("done"));
+        assert!(path.is_file());
+
+        // Restart with the *same* spec terminal in the ledger: the journal
+        // protected a result that already landed, so it is swept.
+        let mut restarted =
+            JobManager::new(pre, Parallelism::Serial).with_journal_dir(Some(dir.clone()));
+        restarted.restore(ledger).unwrap();
+        assert_eq!(restarted.recover_journals(), 0);
+        assert!(!path.is_file(), "stale journal deleted at recovery");
+        assert!(matches!(
+            restarted.job("done").unwrap().state,
+            JobState::Done(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_journals_keeps_only_queued_jobs() {
+        let dir = temp_journal_dir("sweep");
+        let mut mgr = JobManager::new(small_pretrained(21), Parallelism::Serial)
+            .with_journal_dir(Some(dir.clone()));
+        mgr.submit(spec("ran", "nexmark-q1", 1)).unwrap();
+        mgr.drain();
+        mgr.submit(spec("pending", "nexmark-q2", 2)).unwrap();
+        mgr.sweep_journals();
+        assert!(
+            !dir.join(journal_file_name("ran")).is_file(),
+            "terminal job's journal swept"
+        );
+        assert!(
+            dir.join(journal_file_name("pending")).is_file(),
+            "queued job's journal kept"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

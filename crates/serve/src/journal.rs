@@ -1,0 +1,400 @@
+//! The epoch-granular job journal: fsync'd append-only run records that
+//! make tuning sessions survive `kill -9`.
+//!
+//! The persistent store (`jobs.json`) only ever holds *terminal* job
+//! states — a process death mid-tune used to vaporize every in-flight
+//! session and any submitted-but-undrained job. The journal closes that
+//! gap: each journalable job gets its own line-delimited file under
+//! `<store>/journal/` holding a checksummed header (the [`JobSpec`])
+//! followed by one checksummed [`TraceEntry`] per successfully observed
+//! tuning epoch, each appended and fsync'd *before* the observation is
+//! handed to the tuner.
+//!
+//! On bootstrap, journals whose jobs are not already terminal in the
+//! ledger are re-admitted and their recorded prefix is replayed: because
+//! tuning is a pure function of `(pretrained, spec)` and backends key
+//! measurement noise on the epoch, feeding the journaled observations
+//! back for epochs `1..k` and going live from `k+1` produces a
+//! [`TuneOutcome`](streamtune_backend::TuneOutcome) **bit-identical** to
+//! an uninterrupted run. The record format deliberately mirrors
+//! [`TraceLog`](streamtune_backend::TraceLog)/[`ReplayBackend`](streamtune_backend::ReplayBackend):
+//! a journal is a crash-consistent trace of the run so far.
+//!
+//! Crash consistency is line-granular: every line carries an FNV-1a 64
+//! checksum of its payload, so a torn tail (the write the crash
+//! interrupted) fails to parse or hash and is simply dropped — a reader
+//! always sees *the state as of some completed epoch*, never garbage. A
+//! corrupt or unreadable header disables resumption for that job (it
+//! re-runs from scratch, which is deterministic anyway) but never blocks
+//! the daemon from booting.
+
+use crate::protocol::JobSpec;
+use crate::store::fnv1a64;
+use serde::{Deserialize, Serialize, Value};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use streamtune_backend::{
+    BackendConstraints, BackendError, EngineMode, ExecutionBackend, SimulationReport, TraceEntry,
+};
+use streamtune_dataflow::{Dataflow, ParallelismAssignment};
+
+/// Format name every journal header carries.
+pub const JOURNAL_MAGIC: &str = "streamtune-job-journal";
+
+/// Journal format version this build writes (and the newest it reads).
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// File extension of journal files inside the journal directory.
+pub const JOURNAL_EXT: &str = "journal";
+
+/// The journal file name for a job: a readable sanitized prefix plus an
+/// FNV-1a 64 hash of the exact name, so any job name maps to a unique
+/// filesystem-safe file.
+pub fn journal_file_name(job: &str) -> String {
+    let safe: String = job
+        .chars()
+        .take(48)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("{safe}-{:016x}.{JOURNAL_EXT}", fnv1a64(job.as_bytes()))
+}
+
+/// One checksummed journal line: `{"checksum":C,"data":payload}` where
+/// `C` is FNV-1a 64 of the compact payload text (exactly as embedded).
+fn sealed_line<T: Serialize>(payload: &T) -> String {
+    let payload_json = serde_json::to_string(payload).expect("journal payloads serialize");
+    let checksum = fnv1a64(payload_json.as_bytes());
+    format!("{{\"checksum\":{checksum},\"data\":{payload_json}}}")
+}
+
+/// Parse and verify one checksummed line. `None` ⇔ the line is torn,
+/// tampered with, or not a sealed line at all.
+fn unseal<T: Deserialize>(line: &str) -> Option<T> {
+    let value: Value = serde_json::from_str(line).ok()?;
+    let recorded = u64::deserialize(value.field("checksum").ok()?).ok()?;
+    let payload = value.field("data").ok()?;
+    let payload_json = serde_json::to_string(payload).ok()?;
+    if fnv1a64(payload_json.as_bytes()) != recorded {
+        return None;
+    }
+    T::deserialize(payload).ok()
+}
+
+/// The first line of every journal: identifies the format and carries the
+/// submitted spec, so a resumed daemon can re-admit the job from the
+/// journal alone (queued jobs are not in the ledger).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct JournalHeader {
+    magic: String,
+    version: u64,
+    spec: JobSpec,
+}
+
+/// A loaded journal: the job it belongs to and the epochs it recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedJournal {
+    /// The spec as submitted (the job re-admits from this).
+    pub spec: JobSpec,
+    /// Complete, checksum-verified entries, in append order. A torn or
+    /// corrupt tail is dropped, never surfaced.
+    pub entries: Vec<TraceEntry>,
+}
+
+/// Create (or truncate) the journal for `spec` at `path`, writing and
+/// fsync'ing the header. The parent directory is created as needed.
+pub fn create_journal(path: &Path, spec: &JobSpec) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let header = JournalHeader {
+        magic: JOURNAL_MAGIC.to_string(),
+        version: JOURNAL_VERSION,
+        spec: spec.clone(),
+    };
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "{}", sealed_line(&header))?;
+    file.sync_all()
+}
+
+/// Load a journal, tolerating a torn tail (see module docs). Errors only
+/// on I/O failure or an unusable header — both mean "no resumable state",
+/// and callers treat them as a fresh run, not a boot failure.
+pub fn load_journal(path: &Path) -> std::io::Result<Option<LoadedJournal>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let Some(header) = lines.next().and_then(unseal::<JournalHeader>) else {
+        return Ok(None);
+    };
+    if header.magic != JOURNAL_MAGIC || header.version > JOURNAL_VERSION {
+        return Ok(None);
+    }
+    let mut entries = Vec::new();
+    for line in lines {
+        // The first unverifiable line is the torn tail; everything after
+        // it is unreachable state from before the truncation point.
+        match unseal::<TraceEntry>(line) {
+            Some(entry) => entries.push(entry),
+            None => break,
+        }
+    }
+    Ok(Some(LoadedJournal {
+        spec: header.spec,
+        entries,
+    }))
+}
+
+/// Wraps a job's backend with journal record/replay.
+///
+/// * Epochs covered by the loaded `prefix` are served straight from the
+///   journal — the live backend (and any chaos layer around it) is not
+///   consulted, so the tuner sees exactly what the pre-crash run saw.
+/// * Past the prefix, deploys go live; every *valid* successful report is
+///   appended to the journal and fsync'd before it is returned, so the
+///   next crash loses at most the epoch in flight. Invalid reports (e.g.
+///   chaos NaN corruption) are passed through un-journaled — the session
+///   retries them at the same epoch, and only the clean result is
+///   recorded, keeping the journal a replayable trace of truths.
+/// * If a live deploy disagrees with the journal (the model or spec
+///   changed under the journal's feet), the journal is truncated to the
+///   verified prefix and recording continues from there — stale state is
+///   discarded, never mixed.
+///
+/// Journal writes are best-effort: an append failure (disk full, file
+/// deleted) disables journaling for the rest of the run but never fails
+/// the job — losing resumability must not lose the tune.
+pub struct JournaledBackend<'a> {
+    inner: &'a mut dyn ExecutionBackend,
+    spec: &'a JobSpec,
+    path: PathBuf,
+    file: Option<std::fs::File>,
+    prefix: Vec<TraceEntry>,
+    next: usize,
+}
+
+impl<'a> JournaledBackend<'a> {
+    /// Wrap `inner`, resuming from `prefix` (empty for a fresh run) and
+    /// appending new epochs to the journal at `path`. The file is created
+    /// with a fresh header when absent.
+    pub fn resume(
+        inner: &'a mut dyn ExecutionBackend,
+        spec: &'a JobSpec,
+        path: PathBuf,
+        prefix: Vec<TraceEntry>,
+    ) -> Self {
+        if !path.is_file() {
+            let _ = create_journal(&path, spec);
+        }
+        let file = std::fs::OpenOptions::new().append(true).open(&path).ok();
+        JournaledBackend {
+            inner,
+            spec,
+            path,
+            file,
+            prefix,
+            next: 0,
+        }
+    }
+
+    /// How many journaled epochs were served instead of live deploys.
+    pub fn replayed(&self) -> usize {
+        self.next
+    }
+
+    /// Rewrite the journal as header + the verified prefix served so far
+    /// (used when a live deploy diverges from stale journal state).
+    fn truncate_to_prefix(&mut self) {
+        self.file = None;
+        if create_journal(&self.path, self.spec).is_err() {
+            return;
+        }
+        let Ok(mut file) = std::fs::OpenOptions::new().append(true).open(&self.path) else {
+            return;
+        };
+        for entry in &self.prefix[..self.next] {
+            if writeln!(file, "{}", sealed_line(entry)).is_err() {
+                return;
+            }
+        }
+        if file.sync_all().is_ok() {
+            self.file = Some(file);
+        }
+    }
+
+    /// Append one entry and fsync; on failure, stop journaling.
+    fn record(&mut self, entry: &TraceEntry) {
+        let Some(file) = &mut self.file else { return };
+        let ok = writeln!(file, "{}", sealed_line(entry)).is_ok() && file.sync_data().is_ok();
+        if !ok {
+            self.file = None;
+        }
+    }
+}
+
+impl ExecutionBackend for JournaledBackend<'_> {
+    fn engine_mode(&self) -> EngineMode {
+        self.inner.engine_mode()
+    }
+
+    fn constraints(&self) -> BackendConstraints {
+        self.inner.constraints()
+    }
+
+    fn deploy(
+        &mut self,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
+        epoch: u64,
+    ) -> Result<SimulationReport, BackendError> {
+        if self.next < self.prefix.len() {
+            let entry = &self.prefix[self.next];
+            if entry.epoch == epoch && &entry.assignment == assignment {
+                let report = entry.report.clone();
+                self.next += 1;
+                return Ok(report);
+            }
+            // Divergence: the journal was written under different state.
+            // Keep what replayed cleanly, drop the rest, go live.
+            self.prefix.truncate(self.next);
+            self.truncate_to_prefix();
+        }
+        let report = self.inner.deploy(flow, assignment, epoch)?;
+        if report.observation.validate().is_ok() {
+            self.record(&TraceEntry {
+                epoch,
+                assignment: assignment.clone(),
+                report: report.clone(),
+            });
+        }
+        Ok(report)
+    }
+
+    fn epoch_latencies(
+        &mut self,
+        flow: &Dataflow,
+        assignment: &ParallelismAssignment,
+        epochs: usize,
+    ) -> Result<Vec<f64>, BackendError> {
+        self.inner.epoch_latencies(flow, assignment, epochs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::BackendSpec;
+    use streamtune_workloads::rates::Engine;
+
+    fn temp_journal(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "streamtune-journal-test-{}-{name}",
+            std::process::id()
+        ))
+    }
+
+    fn spec(name: &str) -> JobSpec {
+        JobSpec {
+            name: name.to_string(),
+            query: "nexmark-q1".to_string(),
+            multiplier: 8.0,
+            seed: 7,
+            engine: Engine::Flink,
+            backend: BackendSpec::Sim,
+        }
+    }
+
+    fn entry(epoch: u64) -> TraceEntry {
+        use streamtune_backend::{EngineMode, Observation};
+        TraceEntry {
+            epoch,
+            assignment: ParallelismAssignment::from_vec(vec![1, 2]),
+            report: SimulationReport {
+                observation: Observation {
+                    mode: EngineMode::Flink,
+                    per_op: Vec::new(),
+                    job_backpressure: false,
+                    throughput_scale: 1.0 / (epoch as f64 + 1.0),
+                    cpu_utilization: 0.25,
+                    total_parallelism: 3,
+                },
+                true_pa: vec![1.0],
+                demand_input: vec![1.0],
+                saturated: vec![false],
+            },
+        }
+    }
+
+    fn append_raw(path: &Path, entry: &TraceEntry) {
+        let mut file = std::fs::OpenOptions::new().append(true).open(path).unwrap();
+        writeln!(file, "{}", sealed_line(entry)).unwrap();
+    }
+
+    #[test]
+    fn journal_roundtrips_header_and_entries() {
+        let path = temp_journal("roundtrip");
+        create_journal(&path, &spec("j")).unwrap();
+        append_raw(&path, &entry(1));
+        append_raw(&path, &entry(2));
+        let loaded = load_journal(&path).unwrap().expect("journal loads");
+        assert_eq!(loaded.spec, spec("j"));
+        assert_eq!(loaded.entries, vec![entry(1), entry(2)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_garbage() {
+        let path = temp_journal("torn");
+        create_journal(&path, &spec("j")).unwrap();
+        append_raw(&path, &entry(1));
+        // Simulate a crash mid-append: half a sealed line at the end.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let torn = sealed_line(&entry(2));
+        text.push_str(&torn[..torn.len() / 2]);
+        std::fs::write(&path, text).unwrap();
+        let loaded = load_journal(&path).unwrap().expect("journal still loads");
+        assert_eq!(loaded.entries, vec![entry(1)], "torn tail dropped");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tampered_entry_truncates_from_there() {
+        let path = temp_journal("tampered");
+        create_journal(&path, &spec("j")).unwrap();
+        append_raw(&path, &entry(1));
+        append_raw(&path, &entry(2));
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Flip a digit inside the *second* entry's payload.
+        let lines: Vec<&str> = text.lines().collect();
+        let tampered = lines[2].replacen("\"epoch\":2", "\"epoch\":3", 1);
+        std::fs::write(&path, format!("{}\n{}\n{tampered}\n", lines[0], lines[1])).unwrap();
+        let loaded = load_journal(&path).unwrap().expect("journal loads");
+        assert_eq!(loaded.entries, vec![entry(1)], "bad checksum ends the log");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_header_means_no_resumable_state() {
+        let path = temp_journal("badheader");
+        std::fs::write(&path, "not a journal at all\n").unwrap();
+        assert_eq!(load_journal(&path).unwrap(), None);
+        std::fs::write(&path, "").unwrap();
+        assert_eq!(load_journal(&path).unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_names_are_safe_and_collision_free() {
+        let a = journal_file_name("job/one:*?");
+        let b = journal_file_name("job/one:*!");
+        assert_ne!(a, b, "hash disambiguates sanitized twins");
+        assert!(a.ends_with(".journal"));
+        assert!(a
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.'));
+    }
+}

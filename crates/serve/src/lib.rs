@@ -22,8 +22,12 @@
 //!   swaps go through [`JobManager::swap_pretrained`];
 //! * [`protocol`] — the **line-delimited JSON control protocol**
 //!   (`submit` / `status` / `recommend` / `cancel` / `watch` / `unwatch` /
-//!   `drift_status` / `tick` / `snapshot` / `shutdown`), identical over
-//!   stdio, in-process buffers and TCP;
+//!   `drift_status` / `tick` / `health` / `snapshot` / `drain` /
+//!   `shutdown`), identical over stdio, in-process buffers and TCP;
+//! * [`journal`] — the **epoch-granular job journal**: every tuning
+//!   deployment is appended (sealed, `fsync`ed) to a per-job append-only
+//!   file as it happens, so a process killed mid-tune resumes from the
+//!   last journaled epoch on restart;
 //! * [`server`] — the daemon: [`Server::bootstrap`] loads the store (no
 //!   retraining) or pre-trains (warm-started from any persisted GED
 //!   cache) and persists; [`Server::serve_tcp`] serves **one session per
@@ -64,10 +68,44 @@
 //!   quarantined to `model.json.corrupt` and the `.bak` rotation is
 //!   promoted in its place; corrupt warm-start artifacts are quarantined
 //!   and rebuilt.
+//! * **Epoch-journaled resumption** — while a journalable job tunes,
+//!   every deployed epoch's `(assignment, report)` is appended to its
+//!   [`journal`] file (seal → append → `sync_data`), and
+//!   [`Server::bootstrap`] replays surviving journals: an interrupted
+//!   job is re-admitted and its tune *resumes* after the journaled
+//!   prefix via a replay-then-live [`JournaledBackend`], producing a
+//!   `TuneOutcome` **bit-identical** to an uninterrupted run. Torn or
+//!   tampered journal tails are dropped at the last sealed line, so a
+//!   SIGKILL at any byte resumes-or-restarts, never serves garbage
+//!   (`tests/serve_store.rs` truncation sweep,
+//!   `crates/cli/tests/kill_drill.rs` child-process SIGKILL drill, CI
+//!   `kill-drill` job).
+//! * **Graceful drain** — the `drain` protocol verb (and `SIGTERM` on a
+//!   TCP daemon) stops accepting new sessions, finishes and journals
+//!   in-flight work, flushes the store snapshot within
+//!   [`TcpConfig::drain_timeout`] and exits cleanly; a restart on the
+//!   drained store answers `recommend` without re-running anything.
+//! * **Admission control** — [`Server::serve_tcp_with`] bounds live
+//!   sessions at [`TcpConfig::session_cap`] (excess connections get a
+//!   structured [`Response::Overloaded`] with a `retry_after_ms` hint,
+//!   then are closed) and sheds requests whose session waited past
+//!   [`TcpConfig::request_deadline`] for the server lock — the session
+//!   survives and the shed is counted, so a flood degrades service
+//!   *predictably* instead of queueing unboundedly.
+//! * **SLO alarms** — a configurable [`SloPolicy`] projects alarm lines
+//!   from the live health counters (monitor retry rate, degraded
+//!   watches, poll failures, contained handler panics); alarms surface
+//!   in `health` and `drift_status`, and monitor ticks emit
+//!   `alarm-raised` / `alarm-cleared` events on edges — exercised
+//!   deterministically by epoch-windowed
+//!   [`FaultPlan::with_phase`](streamtune_backend::FaultPlan::with_phase)
+//!   outage drills (`tests/chaos_faults.rs`).
 //! * **Observability** — the `health` protocol verb reports per-job
 //!   fault/retry counters ([`JobHealthLine`]) plus daemon-wide degraded
-//!   watches, store recoveries, lock recoveries and contained handler
-//!   panics ([`HealthReport`], [`HealthCounters`]).
+//!   watches, store recoveries, lock recoveries, contained handler
+//!   panics, shed sessions, expired deadlines, oversized request lines
+//!   and active SLO alarms ([`HealthReport`], [`HealthCounters`],
+//!   [`TcpCounters`]).
 //!
 //! The CLI front ends are `streamtune serve`, `streamtune client` and
 //! `streamtune monitor`; `examples/serve_quickstart.rs` and
@@ -75,17 +113,25 @@
 
 pub mod error;
 pub mod job;
+pub mod journal;
 pub mod protocol;
 pub mod server;
 pub mod store;
 
 pub use error::ServeError;
 pub use job::{Job, JobManager, JobResult, JobState, PersistedJob};
-pub use protocol::{
-    parse_request, render_response, BackendSpec, DriftEventLine, HealthReport, JobHealthLine,
-    JobSpec, JobStatusLine, Recommendation, Request, Response, StatusReport, TickReport,
+pub use journal::{
+    create_journal, journal_file_name, load_journal, JournaledBackend, LoadedJournal,
 };
-pub use server::{BootstrapReport, HealthCounters, Server, ServerConfig};
+pub use protocol::{
+    parse_request, render_response, AlarmLine, BackendSpec, DriftEventLine, HealthReport,
+    JobHealthLine, JobSpec, JobStatusLine, Recommendation, Request, Response, StatusReport,
+    TickReport,
+};
+pub use server::{
+    BootstrapReport, HealthCounters, Server, ServerConfig, SloPolicy, TcpConfig, TcpCounters,
+    MAX_LINE_BYTES,
+};
 pub use store::{
     fnv1a64, read_envelope, write_envelope, ModelRecovery, ModelStore, StoreError, StoreStats,
 };

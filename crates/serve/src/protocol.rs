@@ -17,15 +17,29 @@
 //! | health | `"health"` |
 //! | tick | `{"tick": {"steps": 5}}` |
 //! | snapshot | `"snapshot"` |
+//! | drain | `"drain"` |
 //! | shutdown | `"shutdown"` |
 //!
 //! Responses mirror the shape: `{"submitted": {...}}`,
 //! `{"status": {"jobs": [...], "store": {...}|null}}`,
 //! `{"recommendation": {...}}`, `{"cancelled": {...}}`,
-//! `{"watching": {...}}`, `{"unwatched": {...}}`, `{"drift": [...]}`,
+//! `{"watching": {...}}`, `{"unwatched": {...}}`,
+//! `{"drift": {"watches": [...], "alarms": [...]}}`,
 //! `{"health": {...}}`, `{"ticked": {...}}`, `{"snapshotted": {...}}`,
-//! `"shutting-down"`, `{"error": {...}}`. Unknown verbs and malformed
-//! lines produce an `error` response, never a dropped connection.
+//! `{"draining": {...}}`, `"shutting-down"`, `{"error": {...}}`. Unknown
+//! verbs and malformed lines produce an `error` response, never a dropped
+//! connection — including request lines past the server's size cap, which
+//! are answered with an `error` (and counted in `health`) before the
+//! connection closes.
+//!
+//! Two responses exist only on the server's initiative:
+//!
+//! * `{"overloaded": {"retry_after_ms": ..., "reason": ...}}` — admission
+//!   control shed the connection (session cap) or the request (per-request
+//!   deadline); the client should back off and retry;
+//! * `{"draining": {"jobs": ..., "dir": ...|null}}` — the reply to `drain`
+//!   (and the effect of SIGTERM): in-flight jobs were finished and
+//!   journaled, the store flushed, and the server stops accepting work.
 
 use serde::{Deserialize, Error, Serialize, Value};
 use streamtune_backend::FaultPlan;
@@ -35,6 +49,11 @@ use streamtune_workloads::rates::Engine;
 use crate::store::StoreStats;
 
 /// Which execution backend a job tunes against.
+//
+// `Chaos` carries a full `FaultPlan` (phase windows included) inline: one
+// spec exists per admitted job, so the variant size gap is irrelevant and
+// boxing would only complicate the hand-written serde impls.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum BackendSpec {
     /// The deterministic simulated cluster (seeded per job).
@@ -119,6 +138,10 @@ fn need_payload<'a>(
 }
 
 /// One protocol request.
+//
+// `Submit` inherits `BackendSpec`'s inline `FaultPlan`; requests are
+// parsed one per protocol line, so the size gap does not matter.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Admit a new named job.
@@ -160,6 +183,9 @@ pub enum Request {
     },
     /// Persist the model store (model, GED cache, corpus, job ledger).
     Snapshot,
+    /// Graceful shutdown: finish and persist in-flight work, then stop —
+    /// what SIGTERM triggers from the outside.
+    Drain,
     /// Stop the server after responding.
     Shutdown,
 }
@@ -189,6 +215,7 @@ impl Serialize for Request {
                 Value::Object(vec![("steps".to_string(), Value::U64(*steps))]),
             ),
             Request::Snapshot => Value::String("snapshot".to_string()),
+            Request::Drain => Value::String("drain".to_string()),
             Request::Shutdown => Value::String("shutdown".to_string()),
         }
     }
@@ -228,10 +255,11 @@ impl Deserialize for Request {
                 steps: u64::deserialize(need(payload)?.field("steps")?)?,
             }),
             "snapshot" => Ok(Request::Snapshot),
+            "drain" => Ok(Request::Drain),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(Error::custom(format!(
                 "unknown verb `{other}` (want submit/status/recommend/cancel/watch/unwatch/\
-                 drift_status/health/tick/snapshot/shutdown)"
+                 drift_status/health/tick/snapshot/drain/shutdown)"
             ))),
         }
     }
@@ -268,7 +296,9 @@ pub struct StatusReport {
 pub struct DriftEventLine {
     /// The affected job.
     pub job: String,
-    /// `"rate-drift"`, `"structure-drift"` or `"poll-failed"`.
+    /// `"rate-drift"`, `"structure-drift"`, `"poll-failed"`,
+    /// `"degraded"`, `"recovered"`, `"alarm-raised"` or
+    /// `"alarm-cleared"`.
     pub kind: String,
     /// What the adaptation did (or why it could not).
     pub detail: String,
@@ -306,10 +336,25 @@ pub struct JobHealthLine {
     pub backoff_minutes: f64,
 }
 
+/// One raised SLO alarm in a `health` or `drift` response: a watched
+/// fault counter crossed its configured threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlarmLine {
+    /// Which SLO fired: `"retry-rate"`, `"degraded-watches"`,
+    /// `"poll-failures"` or `"handler-panics"`.
+    pub alarm: String,
+    /// The observed value that crossed the threshold.
+    pub value: f64,
+    /// The configured threshold.
+    pub threshold: f64,
+    /// Human-readable context (what to look at).
+    pub detail: String,
+}
+
 /// The payload of a `health` response: the daemon's fault-tolerance
 /// ledger. Everything here is *observability only* — none of it feeds
 /// back into tuning decisions, so reading it never perturbs outcomes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct HealthReport {
     /// One line per admitted job, in admission order.
     pub jobs: Vec<JobHealthLine>,
@@ -326,6 +371,43 @@ pub struct HealthReport {
     /// Request handlers that panicked and were converted to `error`
     /// responses instead of killing the connection or daemon.
     pub handler_panics: u64,
+    /// TCP sessions shed by admission control (session cap reached).
+    pub sessions_shed: u64,
+    /// Requests shed because the per-request deadline expired while the
+    /// server was busy.
+    pub deadlines_expired: u64,
+    /// Request lines refused for exceeding the line-size cap.
+    pub oversized_lines: u64,
+    /// SLO alarms currently raised, in policy order.
+    pub alarms: Vec<AlarmLine>,
+}
+
+// Hand-written so `health` payloads from daemons that predate admission
+// control and SLO alarms still parse (a newer `streamtune client` against
+// an older daemon): the counters default to zero, the alarm list to empty.
+impl Deserialize for HealthReport {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let u64_or_zero = |name: &str| match v.field(name) {
+            Ok(f) => u64::deserialize(f),
+            Err(_) => Ok(0),
+        };
+        Ok(HealthReport {
+            jobs: Vec::deserialize(v.field("jobs")?)?,
+            watched: u64::deserialize(v.field("watched")?)?,
+            degraded_watches: u64::deserialize(v.field("degraded_watches")?)?,
+            poll_failures: u64::deserialize(v.field("poll_failures")?)?,
+            store_recoveries: u64::deserialize(v.field("store_recoveries")?)?,
+            lock_recoveries: u64::deserialize(v.field("lock_recoveries")?)?,
+            handler_panics: u64::deserialize(v.field("handler_panics")?)?,
+            sessions_shed: u64_or_zero("sessions_shed")?,
+            deadlines_expired: u64_or_zero("deadlines_expired")?,
+            oversized_lines: u64_or_zero("oversized_lines")?,
+            alarms: match v.field("alarms") {
+                Ok(f) => Vec::deserialize(f)?,
+                Err(_) => Vec::new(),
+            },
+        })
+    }
 }
 
 /// The payload of a `recommendation` response.
@@ -387,8 +469,13 @@ pub enum Response {
         /// The job's name.
         job: String,
     },
-    /// Drift classification of every watched job.
-    Drift(Vec<DriftStatusLine>),
+    /// Drift classification of every watched job, plus raised SLO alarms.
+    Drift {
+        /// One line per watched job.
+        watches: Vec<DriftStatusLine>,
+        /// SLO alarms currently raised.
+        alarms: Vec<AlarmLine>,
+    },
     /// The daemon's fault-tolerance ledger.
     Health(HealthReport),
     /// The monitor advanced.
@@ -397,6 +484,22 @@ pub enum Response {
     Snapshotted {
         /// Directory the store was written to.
         dir: String,
+    },
+    /// The server finished a graceful drain: in-flight jobs ran (and were
+    /// journaled), the store was flushed, no further work is accepted.
+    Draining {
+        /// Jobs in a terminal state after the drain.
+        jobs: u64,
+        /// Store directory flushed to (`None` without a configured store).
+        dir: Option<String>,
+    },
+    /// Admission control shed this connection or request; back off for
+    /// `retry_after_ms` and retry.
+    Overloaded {
+        /// Suggested client backoff before retrying.
+        retry_after_ms: u64,
+        /// `"session-cap"` or `"deadline"`.
+        reason: String,
     },
     /// The server acknowledges shutdown.
     ShuttingDown,
@@ -435,12 +538,35 @@ impl Serialize for Response {
                 "unwatched",
                 Value::Object(vec![("job".to_string(), Value::String(job.clone()))]),
             ),
-            Response::Drift(lines) => tagged("drift", lines.serialize()),
+            Response::Drift { watches, alarms } => tagged(
+                "drift",
+                Value::Object(vec![
+                    ("watches".to_string(), watches.serialize()),
+                    ("alarms".to_string(), alarms.serialize()),
+                ]),
+            ),
             Response::Health(report) => tagged("health", report.serialize()),
             Response::Ticked(report) => tagged("ticked", report.serialize()),
             Response::Snapshotted { dir } => tagged(
                 "snapshotted",
                 Value::Object(vec![("dir".to_string(), Value::String(dir.clone()))]),
+            ),
+            Response::Draining { jobs, dir } => tagged(
+                "draining",
+                Value::Object(vec![
+                    ("jobs".to_string(), Value::U64(*jobs)),
+                    ("dir".to_string(), dir.serialize()),
+                ]),
+            ),
+            Response::Overloaded {
+                retry_after_ms,
+                reason,
+            } => tagged(
+                "overloaded",
+                Value::Object(vec![
+                    ("retry_after_ms".to_string(), Value::U64(*retry_after_ms)),
+                    ("reason".to_string(), Value::String(reason.clone())),
+                ]),
             ),
             Response::ShuttingDown => Value::String("shutting-down".to_string()),
             Response::Error { message } => tagged(
@@ -483,12 +609,40 @@ impl Deserialize for Response {
             "unwatched" => Ok(Response::Unwatched {
                 job: String::deserialize(need(payload)?.field("job")?)?,
             }),
-            "drift" => Ok(Response::Drift(Vec::deserialize(need(payload)?)?)),
+            "drift" => {
+                let p = need(payload)?;
+                // Daemons that predate SLO alarms sent a bare array of
+                // watch lines; accept both shapes.
+                if matches!(p, Value::Array(_)) {
+                    return Ok(Response::Drift {
+                        watches: Vec::deserialize(p)?,
+                        alarms: Vec::new(),
+                    });
+                }
+                Ok(Response::Drift {
+                    watches: Vec::deserialize(p.field("watches")?)?,
+                    alarms: Vec::deserialize(p.field("alarms")?)?,
+                })
+            }
             "health" => Ok(Response::Health(HealthReport::deserialize(need(payload)?)?)),
             "ticked" => Ok(Response::Ticked(TickReport::deserialize(need(payload)?)?)),
             "snapshotted" => Ok(Response::Snapshotted {
                 dir: String::deserialize(need(payload)?.field("dir")?)?,
             }),
+            "draining" => {
+                let p = need(payload)?;
+                Ok(Response::Draining {
+                    jobs: u64::deserialize(p.field("jobs")?)?,
+                    dir: Option::deserialize(p.field("dir")?)?,
+                })
+            }
+            "overloaded" => {
+                let p = need(payload)?;
+                Ok(Response::Overloaded {
+                    retry_after_ms: u64::deserialize(p.field("retry_after_ms")?)?,
+                    reason: String::deserialize(p.field("reason")?)?,
+                })
+            }
             "shutting-down" => Ok(Response::ShuttingDown),
             "error" => Ok(Response::Error {
                 message: String::deserialize(need(payload)?.field("message")?)?,
@@ -564,6 +718,7 @@ mod tests {
             Request::Health,
             Request::Tick { steps: 25 },
             Request::Snapshot,
+            Request::Drain,
             Request::Shutdown,
         ];
         for r in requests {
@@ -696,17 +851,25 @@ mod tests {
             Response::Unwatched {
                 job: "j".to_string(),
             },
-            Response::Drift(vec![streamtune_monitor::DriftStatusLine {
-                job: "j".to_string(),
-                class: "rate-drift".to_string(),
-                ticks: 40,
-                multiplier: 10.0,
-                baseline: 700e3,
-                triggers: 1,
-                retunes: 1,
-                degraded: false,
-                poll_failures: 2,
-            }]),
+            Response::Drift {
+                watches: vec![streamtune_monitor::DriftStatusLine {
+                    job: "j".to_string(),
+                    class: "rate-drift".to_string(),
+                    ticks: 40,
+                    multiplier: 10.0,
+                    baseline: 700e3,
+                    triggers: 1,
+                    retunes: 1,
+                    degraded: false,
+                    poll_failures: 2,
+                }],
+                alarms: vec![AlarmLine {
+                    alarm: "degraded-watches".to_string(),
+                    value: 1.0,
+                    threshold: 1.0,
+                    detail: "1 watched job degraded".to_string(),
+                }],
+            },
             Response::Health(HealthReport {
                 jobs: vec![JobHealthLine {
                     job: "j".to_string(),
@@ -723,6 +886,15 @@ mod tests {
                 store_recoveries: 1,
                 lock_recoveries: 0,
                 handler_panics: 2,
+                sessions_shed: 3,
+                deadlines_expired: 1,
+                oversized_lines: 2,
+                alarms: vec![AlarmLine {
+                    alarm: "retry-rate".to_string(),
+                    value: 0.75,
+                    threshold: 0.5,
+                    detail: "6 retries over 8 deploys".to_string(),
+                }],
             }),
             Response::Ticked(TickReport {
                 steps: 5,
@@ -736,6 +908,15 @@ mod tests {
             Response::Snapshotted {
                 dir: "/tmp/store".to_string(),
             },
+            Response::Draining {
+                jobs: 4,
+                dir: Some("/tmp/store".to_string()),
+            },
+            Response::Draining { jobs: 0, dir: None },
+            Response::Overloaded {
+                retry_after_ms: 250,
+                reason: "session-cap".to_string(),
+            },
             Response::ShuttingDown,
             Response::Error {
                 message: "nope".to_string(),
@@ -745,6 +926,33 @@ mod tests {
             let line = render_response(&r);
             let back: Response = serde_json::from_str(&line).unwrap();
             assert_eq!(back, r, "{line}");
+        }
+    }
+
+    #[test]
+    fn legacy_payloads_from_older_daemons_still_parse() {
+        // Pre-alarm daemons sent `drift` as a bare array of watch lines.
+        let legacy = "{\"drift\": []}";
+        assert_eq!(
+            serde_json::from_str::<Response>(legacy).unwrap(),
+            Response::Drift {
+                watches: Vec::new(),
+                alarms: Vec::new(),
+            }
+        );
+        // And `health` without admission-control counters or alarms.
+        let legacy = "{\"health\": {\"jobs\": [], \"watched\": 0, \
+             \"degraded_watches\": 0, \"poll_failures\": 0, \
+             \"store_recoveries\": 0, \"lock_recoveries\": 0, \
+             \"handler_panics\": 0}}";
+        match serde_json::from_str::<Response>(legacy).unwrap() {
+            Response::Health(report) => {
+                assert_eq!(report.sessions_shed, 0);
+                assert_eq!(report.deadlines_expired, 0);
+                assert_eq!(report.oversized_lines, 0);
+                assert!(report.alarms.is_empty());
+            }
+            other => panic!("expected health, got {other:?}"),
         }
     }
 }

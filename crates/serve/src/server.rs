@@ -25,15 +25,15 @@
 use crate::error::ServeError;
 use crate::job::{panic_message, JobManager, JobState};
 use crate::protocol::{
-    parse_request, render_response, BackendSpec, DriftEventLine, HealthReport, JobHealthLine,
-    Recommendation, Request, Response, StatusReport, TickReport,
+    parse_request, render_response, AlarmLine, BackendSpec, DriftEventLine, HealthReport,
+    JobHealthLine, Recommendation, Request, Response, StatusReport, TickReport,
 };
 use crate::store::ModelStore;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 use std::time::{Duration, Instant};
 use streamtune_backend::{ChaosBackend, ExecutionBackend, RetryPolicy};
 use streamtune_core::{PretrainConfig, Pretrained, Pretrainer};
@@ -74,6 +74,9 @@ pub struct ServerConfig {
     /// recommendations are bit-identical to a drill-free daemon — the knob
     /// exercises the fault path, it does not change answers.
     pub chaos: Option<u64>,
+    /// SLO thresholds over the daemon's fault counters; crossing one
+    /// raises an alarm line in `health` and `drift_status`.
+    pub slo: SloPolicy,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +89,140 @@ impl Default for ServerConfig {
             grow_runs: 2,
             retry: RetryPolicy::default(),
             chaos: None,
+            slo: SloPolicy::default(),
+        }
+    }
+}
+
+/// SLO thresholds over [`HealthReport`] counters. Each threshold is
+/// inclusive — the alarm raises once the observed value reaches it — and
+/// `None` disables that alarm. Alarms are *stateless* projections of the
+/// counters: `health` and `drift_status` recompute them on every read, and
+/// [`Server::tick_monitor`] reports transitions (`alarm-raised` /
+/// `alarm-cleared`) as drift events, so scripted drills observe them
+/// deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloPolicy {
+    /// Alarm when the mean retries-per-job across all admitted jobs (and
+    /// their monitor streams) reaches this.
+    pub max_retry_rate: Option<f64>,
+    /// Alarm when this many watched jobs are simultaneously degraded.
+    pub max_degraded_watches: Option<u64>,
+    /// Alarm when cumulative monitor poll failures reach this.
+    pub max_poll_failures: Option<u64>,
+    /// Alarm when cumulative contained handler panics reach this.
+    pub max_handler_panics: Option<u64>,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy {
+            max_retry_rate: None,
+            max_degraded_watches: Some(1),
+            max_poll_failures: None,
+            max_handler_panics: Some(1),
+        }
+    }
+}
+
+impl SloPolicy {
+    /// Evaluate every configured threshold against the current counters,
+    /// in fixed policy order (deterministic output).
+    fn alarms(
+        &self,
+        jobs: &[JobHealthLine],
+        degraded_watches: u64,
+        poll_failures: u64,
+        handler_panics: u64,
+    ) -> Vec<AlarmLine> {
+        let mut alarms = Vec::new();
+        if let Some(threshold) = self.max_retry_rate {
+            let retries: u64 = jobs.iter().map(|j| j.retries).sum();
+            let value = retries as f64 / jobs.len().max(1) as f64;
+            if !jobs.is_empty() && value >= threshold {
+                alarms.push(AlarmLine {
+                    alarm: "retry-rate".to_string(),
+                    value,
+                    threshold,
+                    detail: format!("{retries} retries across {} job(s)", jobs.len()),
+                });
+            }
+        }
+        if let Some(threshold) = self.max_degraded_watches {
+            if degraded_watches >= threshold {
+                alarms.push(AlarmLine {
+                    alarm: "degraded-watches".to_string(),
+                    value: degraded_watches as f64,
+                    threshold: threshold as f64,
+                    detail: format!("{degraded_watches} watched job(s) degraded"),
+                });
+            }
+        }
+        if let Some(threshold) = self.max_poll_failures {
+            if poll_failures >= threshold {
+                alarms.push(AlarmLine {
+                    alarm: "poll-failures".to_string(),
+                    value: poll_failures as f64,
+                    threshold: threshold as f64,
+                    detail: format!("{poll_failures} monitor poll(s) failed past retries"),
+                });
+            }
+        }
+        if let Some(threshold) = self.max_handler_panics {
+            if handler_panics >= threshold {
+                alarms.push(AlarmLine {
+                    alarm: "handler-panics".to_string(),
+                    value: handler_panics as f64,
+                    threshold: threshold as f64,
+                    detail: format!("{handler_panics} request handler panic(s) contained"),
+                });
+            }
+        }
+        alarms
+    }
+}
+
+/// TCP front-end counters, updated *outside* the server lock: admission
+/// control must keep counting (and shedding) even while a slow request
+/// holds the lock — that contention is exactly the overload it measures.
+#[derive(Debug, Default)]
+pub struct TcpCounters {
+    /// Connections refused at the session cap.
+    pub sessions_shed: AtomicU64,
+    /// Requests shed because the per-request deadline expired.
+    pub deadlines_expired: AtomicU64,
+    /// Request lines refused for exceeding [`MAX_LINE_BYTES`].
+    pub oversized_lines: AtomicU64,
+}
+
+/// TCP transport settings: admission control, deadlines, drain budget and
+/// the background monitor cadence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// Concurrent client sessions admitted; connections past the cap get
+    /// one `overloaded` response and are closed.
+    pub session_cap: usize,
+    /// How long one request may wait for the shared server before it is
+    /// shed with an `overloaded` response (the session stays open).
+    pub request_deadline: Duration,
+    /// Backoff hint carried in `overloaded` responses.
+    pub retry_after_ms: u64,
+    /// How long a SIGTERM-triggered drain may wait for the server lock
+    /// before the daemon exits without draining (the epoch journal still
+    /// covers in-flight work).
+    pub drain_timeout: Duration,
+    /// Background monitor tick cadence (`None` disables).
+    pub monitor_interval: Option<Duration>,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            session_cap: 64,
+            request_deadline: Duration::from_secs(30),
+            retry_after_ms: 250,
+            drain_timeout: Duration::from_secs(30),
+            monitor_interval: None,
         }
     }
 }
@@ -120,6 +257,9 @@ pub struct BootstrapReport {
     pub warm_started: bool,
     /// Jobs restored from the persisted ledger.
     pub restored_jobs: usize,
+    /// Jobs re-queued from epoch journals a dead process left mid-tune
+    /// (they resume from their last journaled epoch on the next drain).
+    pub resumed_jobs: usize,
     /// Corrupt store artifacts quarantined (and, where possible, replaced
     /// from backups) during bootstrap instead of refusing to boot.
     pub store_recoveries: usize,
@@ -147,6 +287,12 @@ pub struct Server {
     monitor: Monitor,
     config: ServerConfig,
     health: HealthCounters,
+    /// Shared with the TCP front end (cloned out before the accept loop)
+    /// so shed/deadline/oversized counting never needs the server lock.
+    tcp: Arc<TcpCounters>,
+    /// Alarm names raised as of the last monitor tick, for
+    /// `alarm-raised`/`alarm-cleared` transition events.
+    active_alarms: Vec<String>,
 }
 
 impl Server {
@@ -164,13 +310,16 @@ impl Server {
         Server {
             manager: JobManager::new(pretrained, config.parallelism)
                 .with_retry(config.retry)
-                .with_chaos(config.chaos),
+                .with_chaos(config.chaos)
+                .with_journal_dir(store.as_ref().map(|s| s.journal_dir())),
             cache,
             store,
             corpus,
             monitor: Monitor::new(config.monitor.clone()),
             config,
             health: HealthCounters::default(),
+            tcp: Arc::new(TcpCounters::default()),
+            active_alarms: Vec::new(),
         }
     }
 
@@ -234,6 +383,10 @@ impl Server {
                 config,
             );
             server.manager.restore(ledger)?;
+            // Epoch journals left by a process that died mid-tune (or
+            // between admission and snapshot) re-queue their jobs with the
+            // journaled prefix attached — the next drain replays it.
+            let resumed_jobs = server.manager.recover_journals();
             server.health.store_recoveries = store_recoveries as u64;
             return Ok((
                 server,
@@ -241,6 +394,7 @@ impl Server {
                     loaded_from_store: true,
                     warm_started: false,
                     restored_jobs,
+                    resumed_jobs,
                     store_recoveries,
                 },
             ));
@@ -269,6 +423,9 @@ impl Server {
             // a retrain): without this, the next restart would resurrect
             // results computed under the old model as if they were new.
             store.save_jobs(&[])?;
+            // The same goes for epoch journals: they recorded runs under
+            // the previous model and would only replay-diverge.
+            let _ = std::fs::remove_dir_all(store.journal_dir());
         }
         for event in &recoveries {
             eprintln!("store recovery: {event}");
@@ -282,6 +439,7 @@ impl Server {
                 loaded_from_store: false,
                 warm_started,
                 restored_jobs: 0,
+                resumed_jobs: 0,
                 store_recoveries,
             },
         ))
@@ -318,6 +476,9 @@ impl Server {
         store.save_ged_cache(&self.cache.snapshot())?;
         store.save_corpus(&self.corpus)?;
         store.save_jobs(&self.manager.persistable())?;
+        // Every result the journals were protecting is now in the ledger;
+        // journals for terminal jobs are dead weight.
+        self.manager.sweep_journals();
         Ok(store.dir().display().to_string())
     }
 
@@ -531,7 +692,7 @@ impl Server {
     /// Assemble the fault-tolerance ledger for the `health` verb. Pure
     /// observability: reads counters, runs nothing, perturbs nothing.
     fn health_report(&self) -> HealthReport {
-        let jobs = self
+        let jobs: Vec<JobHealthLine> = self
             .manager
             .jobs()
             .iter()
@@ -554,14 +715,26 @@ impl Server {
             })
             .collect();
         let drift = self.monitor.status();
+        let degraded_watches = drift.iter().filter(|line| line.degraded).count() as u64;
+        let poll_failures = drift.iter().map(|line| line.poll_failures).sum();
+        let alarms = self.config.slo.alarms(
+            &jobs,
+            degraded_watches,
+            poll_failures,
+            self.health.handler_panics,
+        );
         HealthReport {
             jobs,
             watched: drift.len() as u64,
-            degraded_watches: drift.iter().filter(|line| line.degraded).count() as u64,
-            poll_failures: drift.iter().map(|line| line.poll_failures).sum(),
+            degraded_watches,
+            poll_failures,
             store_recoveries: self.health.store_recoveries,
             lock_recoveries: self.health.lock_recoveries,
             handler_panics: self.health.handler_panics,
+            sessions_shed: self.tcp.sessions_shed.load(Ordering::Relaxed),
+            deadlines_expired: self.tcp.deadlines_expired.load(Ordering::Relaxed),
+            oversized_lines: self.tcp.oversized_lines.load(Ordering::Relaxed),
+            alarms,
         }
     }
 
@@ -574,6 +747,32 @@ impl Server {
                 events.push(self.apply_drift(event));
             }
         }
+        // SLO alarm transitions ride the tick stream: the alarms
+        // themselves are stateless projections of the counters, so only
+        // the *edges* need announcing.
+        let alarms = self.health_report().alarms;
+        for alarm in &alarms {
+            if !self.active_alarms.contains(&alarm.alarm) {
+                events.push(DriftEventLine {
+                    job: "daemon".to_string(),
+                    kind: "alarm-raised".to_string(),
+                    detail: format!(
+                        "{}: {} reached threshold {} ({})",
+                        alarm.alarm, alarm.value, alarm.threshold, alarm.detail
+                    ),
+                });
+            }
+        }
+        for name in &self.active_alarms {
+            if !alarms.iter().any(|a| &a.alarm == name) {
+                events.push(DriftEventLine {
+                    job: "daemon".to_string(),
+                    kind: "alarm-cleared".to_string(),
+                    detail: format!("{name}: back under threshold"),
+                });
+            }
+        }
+        self.active_alarms = alarms.into_iter().map(|a| a.alarm).collect();
         TickReport {
             steps,
             watched: self.monitor.watched() as u64,
@@ -652,7 +851,10 @@ impl Server {
                     message: e.to_string(),
                 },
             },
-            Request::DriftStatus => Response::Drift(self.monitor.status()),
+            Request::DriftStatus => Response::Drift {
+                watches: self.monitor.status(),
+                alarms: self.health_report().alarms,
+            },
             Request::Health => Response::Health(self.health_report()),
             Request::Tick { steps } => {
                 // One request must not hold the shared server lock for an
@@ -675,9 +877,37 @@ impl Server {
                     message: e.to_string(),
                 },
             },
+            // Graceful drain: finish every queued job (journaling as it
+            // goes), flush the store when one is configured, then stop.
+            // Storeless daemons still drain — their results just live only
+            // in the reply stream.
+            Request::Drain => {
+                let dir = match self.snapshot() {
+                    Ok(dir) => Some(dir),
+                    Err(ServeError::NoStore) => {
+                        self.manager.drain();
+                        None
+                    }
+                    Err(e) => {
+                        return (
+                            Response::Error {
+                                message: format!("drain: {e}"),
+                            },
+                            true,
+                        )
+                    }
+                };
+                Response::Draining {
+                    jobs: self.manager.jobs().len() as u64,
+                    dir,
+                }
+            }
             Request::Shutdown => Response::ShuttingDown,
         };
-        (response, matches!(request, Request::Shutdown))
+        (
+            response,
+            matches!(request, Request::Shutdown | Request::Drain),
+        )
     }
 
     /// Serve line-delimited requests from `input`, writing one response
@@ -736,27 +966,86 @@ impl Server {
         listener: &TcpListener,
         monitor_interval: Option<Duration>,
     ) -> Result<(), ServeError> {
+        Server::serve_tcp_with(
+            server,
+            listener,
+            TcpConfig {
+                monitor_interval,
+                ..TcpConfig::default()
+            },
+        )
+    }
+
+    /// [`Server::serve_tcp`] with explicit transport settings: session-cap
+    /// admission control, per-request deadlines and SIGTERM-triggered
+    /// graceful drain (see [`TcpConfig`]).
+    ///
+    /// **Admission control**: at most `session_cap` concurrent sessions;
+    /// a connection past the cap receives one structured `overloaded`
+    /// response (with a retry-after hint) and is closed — the daemon sheds
+    /// load instead of queueing it without bound. A request that cannot
+    /// take the shared server lock within `request_deadline` is likewise
+    /// answered `overloaded` (the session survives). Both are counted in
+    /// `health` without touching the server lock.
+    ///
+    /// **Graceful drain**: a SIGTERM (Unix) behaves like a `drain` verb
+    /// from the outside: stop accepting, finish and journal in-flight
+    /// work, flush the store, exit. If the server lock cannot be taken
+    /// within `drain_timeout` (a wedged handler), the daemon exits
+    /// without draining — the epoch journal still covers every observed
+    /// epoch, so a restart resumes rather than recomputes.
+    pub fn serve_tcp_with(
+        server: &Mutex<Server>,
+        listener: &TcpListener,
+        config: TcpConfig,
+    ) -> Result<(), ServeError> {
         listener.set_nonblocking(true).map_err(|e| ServeError::Io {
             context: "set listener nonblocking".to_string(),
             message: e.to_string(),
         })?;
+        install_sigterm_handler();
+        let tcp = lock_server(server).tcp.clone();
         let shutdown = AtomicBool::new(false);
+        let sessions = AtomicUsize::new(0);
         let mut last_tick = Instant::now();
         let mut fatal: Option<ServeError> = None;
         std::thread::scope(|scope| {
             while !shutdown.load(Ordering::SeqCst) {
+                if sigterm_pending() {
+                    eprintln!("SIGTERM: draining (finish + journal in-flight work, flush store)");
+                    drain_on_term(server, config.drain_timeout);
+                    shutdown.store(true, Ordering::SeqCst);
+                    break;
+                }
                 match listener.accept() {
-                    Ok((stream, peer)) => {
+                    Ok((mut stream, peer)) => {
+                        // The cap counts *admitted* sessions; shed beyond
+                        // it with a structured response, never silence.
+                        if sessions.load(Ordering::SeqCst) >= config.session_cap {
+                            tcp.sessions_shed.fetch_add(1, Ordering::Relaxed);
+                            let response = Response::Overloaded {
+                                retry_after_ms: config.retry_after_ms,
+                                reason: "session-cap".to_string(),
+                            };
+                            let _ = writeln!(stream, "{}", render_response(&response));
+                            let _ = stream.flush();
+                            continue;
+                        }
+                        sessions.fetch_add(1, Ordering::SeqCst);
                         let peer = peer.to_string();
                         let shutdown = &shutdown;
+                        let sessions = &sessions;
+                        let tcp = &tcp;
                         scope.spawn(move || {
-                            if let Err(e) = serve_connection(server, stream, shutdown) {
+                            if let Err(e) = serve_connection(server, stream, shutdown, tcp, &config)
+                            {
                                 eprintln!("connection from {peer} ended: {e}");
                             }
+                            sessions.fetch_sub(1, Ordering::SeqCst);
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        if let Some(interval) = monitor_interval {
+                        if let Some(interval) = config.monitor_interval {
                             if last_tick.elapsed() >= interval {
                                 last_tick = Instant::now();
                                 let mut guard = lock_server(server);
@@ -798,6 +1087,87 @@ impl Server {
     }
 }
 
+/// Run the drain sequence for a SIGTERM, waiting at most `timeout` for
+/// the server lock. A lock that never frees means a wedged handler; the
+/// journal already holds every observed epoch, so exiting without the
+/// final flush loses nothing that matters.
+fn drain_on_term(server: &Mutex<Server>, timeout: Duration) {
+    let start = Instant::now();
+    loop {
+        match server.try_lock() {
+            Ok(mut guard) => {
+                let (response, _) = guard.handle(&Request::Drain);
+                eprintln!("SIGTERM drain: {}", render_response(&response));
+                return;
+            }
+            Err(TryLockError::Poisoned(poisoned)) => {
+                server.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.health.lock_recoveries += 1;
+                let (response, _) = guard.handle(&Request::Drain);
+                eprintln!(
+                    "SIGTERM drain (recovered lock): {}",
+                    render_response(&response)
+                );
+                return;
+            }
+            Err(TryLockError::WouldBlock) => {
+                if start.elapsed() >= timeout {
+                    eprintln!(
+                        "SIGTERM drain: server lock still held after {timeout:?}; \
+                         exiting on the journal"
+                    );
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the signal handler, consumed by the accept loop.
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    /// Only async-signal-safe work here: set a flag and return.
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // `signal(2)` via libc (already linked by std on Unix): the
+        // workspace is dependency-free, so no signal-handling crate.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn pending() -> bool {
+        TERM.swap(false, Ordering::SeqCst)
+    }
+}
+
+/// Install the SIGTERM→drain flag handler (no-op off Unix).
+fn install_sigterm_handler() {
+    #[cfg(unix)]
+    sigterm::install();
+}
+
+/// Whether a SIGTERM arrived since the last check (always false off Unix).
+fn sigterm_pending() -> bool {
+    #[cfg(unix)]
+    return sigterm::pending();
+    #[cfg(not(unix))]
+    false
+}
+
 /// Largest request line a connection may send (bytes, newline excluded).
 /// A client streaming an endless line would otherwise grow the session
 /// buffer without bound; at the cap the daemon answers with an error and
@@ -830,8 +1200,47 @@ fn lock_server<'a>(server: &'a Mutex<Server>) -> MutexGuard<'a, Server> {
 /// panics: a panic becomes an `error` response plus a health counter, and
 /// because the guard outlives the `catch_unwind` closure the lock is
 /// released normally — not poisoned — afterwards.
-fn dispatch(server: &Mutex<Server>, request: &Request) -> (Response, bool) {
-    let mut guard = lock_server(server);
+///
+/// With a `deadline`, the lock is polled instead of blocked on: a request
+/// that cannot be served within the deadline is shed with an `overloaded`
+/// response (counted in `tcp`), so one slow drain cannot stack every
+/// other session behind it without bound.
+fn dispatch(
+    server: &Mutex<Server>,
+    request: &Request,
+    deadline: Option<(&TcpCounters, &TcpConfig)>,
+) -> (Response, bool) {
+    let mut guard = match deadline {
+        None => lock_server(server),
+        Some((tcp, config)) => {
+            let start = Instant::now();
+            loop {
+                match server.try_lock() {
+                    Ok(guard) => break guard,
+                    Err(TryLockError::Poisoned(poisoned)) => {
+                        server.clear_poison();
+                        let mut guard = poisoned.into_inner();
+                        guard.health.lock_recoveries += 1;
+                        eprintln!("server lock was poisoned; recovered and serving on");
+                        break guard;
+                    }
+                    Err(TryLockError::WouldBlock) => {
+                        if start.elapsed() >= config.request_deadline {
+                            tcp.deadlines_expired.fetch_add(1, Ordering::Relaxed);
+                            return (
+                                Response::Overloaded {
+                                    retry_after_ms: config.retry_after_ms,
+                                    reason: "deadline".to_string(),
+                                },
+                                false,
+                            );
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+    };
     match catch_unwind(AssertUnwindSafe(|| guard.handle(request))) {
         Ok(result) => result,
         Err(payload) => {
@@ -857,12 +1266,15 @@ fn serve_connection(
     server: &Mutex<Server>,
     stream: TcpStream,
     shutdown: &AtomicBool,
+    tcp: &TcpCounters,
+    config: &TcpConfig,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut buf = String::new();
     let refuse_oversized = |writer: &mut TcpStream, got: usize| -> std::io::Result<()> {
+        tcp.oversized_lines.fetch_add(1, Ordering::Relaxed);
         let response = Response::Error {
             message: format!(
                 "request line exceeds {MAX_LINE_BYTES} bytes (got at least {got}); \
@@ -885,7 +1297,7 @@ fn serve_connection(
                     continue;
                 }
                 let (response, stop) = match parse_request(&trimmed) {
-                    Ok(request) => dispatch(server, &request),
+                    Ok(request) => dispatch(server, &request, Some((tcp, config))),
                     Err(e) => (
                         Response::Error {
                             message: format!("bad request: {e}"),

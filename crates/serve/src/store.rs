@@ -298,6 +298,11 @@ impl ModelStore {
         self.dir.join("corpus.json")
     }
 
+    /// Directory holding per-job epoch journals (crash resumption).
+    pub fn journal_dir(&self) -> PathBuf {
+        self.dir.join("journal")
+    }
+
     /// Path a superseded model is rotated to.
     pub fn model_backup_path(&self) -> PathBuf {
         self.dir.join("model.json.bak")

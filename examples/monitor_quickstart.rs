@@ -90,7 +90,9 @@ fn main() {
     assert_ne!(result.outcome.final_assignment, degrees_before);
 
     // 6. Drift status: one stable, re-baselined watch.
-    if let streamtune::serve::Response::Drift(lines) = server.handle(&Request::DriftStatus).0 {
+    if let streamtune::serve::Response::Drift { watches: lines, .. } =
+        server.handle(&Request::DriftStatus).0
+    {
         for l in lines {
             println!(
                 "drift status: {} is {} after {} tick(s), {} trigger(s), {} re-tune(s)",

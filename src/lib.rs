@@ -123,12 +123,14 @@
 //! the rotated completed-job ledger, each in a versioned, FNV-checksummed
 //! JSON envelope — and then answers a **line-delimited JSON control
 //! protocol** (`submit`, `status`, `recommend`, `cancel`, `watch`,
-//! `unwatch`, `drift_status`, `tick`, `snapshot`, `shutdown`) on
-//! stdin/stdout or a TCP listener (`--listen`), with `streamtune client`
-//! as the matching pipe. TCP connections are served **concurrently — one
-//! session per client** over the shared
-//! [`JobManager`](serve::JobManager); a client disconnecting (cleanly or
-//! mid-line) never takes the daemon down. Many named jobs share the one
+//! `unwatch`, `drift_status`, `tick`, `health`, `snapshot`, `drain`,
+//! `shutdown`) on stdin/stdout or a TCP listener (`--listen`), with
+//! `streamtune client` as the matching pipe. TCP connections are served
+//! **concurrently — one session per client** over the shared
+//! [`JobManager`](serve::JobManager), bounded by an admission cap
+//! (excess connections are shed with a structured `overloaded` +
+//! retry-after response) and a per-request deadline; a client
+//! disconnecting (cleanly or mid-line) never takes the daemon down. Many named jobs share the one
 //! pre-trained corpus: each is assigned to its cluster at admission
 //! ([`Pretrained::assign`](core::Pretrained::assign)) and runs against
 //! its *own* backend on the deterministic
@@ -256,9 +258,37 @@
 //!   sweep truncating the envelope at every byte offset proves recovery
 //!   always lands on the old or the new committed state, never garbage
 //!   (`tests/serve_store.rs`).
+//! * **Epoch-journaled resumption** — while a job tunes, every deployed
+//!   epoch is appended to a sealed, `fsync`ed per-job journal
+//!   ([`serve::journal`]); on restart,
+//!   [`Server::bootstrap`](serve::Server::bootstrap) replays surviving
+//!   journals and *resumes* interrupted jobs after the journaled prefix,
+//!   landing on a `TuneOutcome` **bit-identical** to an uninterrupted
+//!   run. A SIGKILL at any byte resumes-or-restarts, never serves
+//!   garbage: proven by a byte-level truncation sweep
+//!   (`tests/serve_store.rs`) and a child-process SIGKILL drill against
+//!   the built binary (`crates/cli/tests/kill_drill.rs`, CI `kill-drill`
+//!   job across seed sets and thread counts).
+//! * **Graceful drain & admission control** — the `drain` verb (or
+//!   `SIGTERM`) stops accepting sessions, finishes and journals
+//!   in-flight work and flushes the store within `--drain-timeout`;
+//!   under overload the TCP front door sheds connections past
+//!   `--session-cap` and requests stuck past `--request-deadline` with
+//!   structured `overloaded` (retry-after) responses while admitted
+//!   sessions complete (`tests/serve_tcp.rs` flood drill).
+//! * **SLO alarms** — [`SloPolicy`](serve::SloPolicy) thresholds
+//!   (`--slo-retry-rate`, `--slo-degraded-watches`,
+//!   `--slo-poll-failures`, `--slo-handler-panics`) project alarm lines
+//!   from the live health counters; `health`/`drift_status` carry the
+//!   active alarms and monitor ticks emit `alarm-raised` /
+//!   `alarm-cleared` edge events. Epoch-windowed fault phases
+//!   ([`FaultPlan::with_phase`](backend::FaultPlan::with_phase)) script
+//!   a deterministic outage → degrade → alarm → recover → clear drill
+//!   (`tests/chaos_faults.rs`).
 //! * **Observability** — the `health` verb reports per-job fault/retry
 //!   counters, degraded watches, poll failures, store recoveries, lock
-//!   recoveries and contained handler panics
+//!   recoveries, contained handler panics, shed sessions, expired
+//!   deadlines, oversized request lines and active SLO alarms
 //!   ([`HealthReport`](serve::HealthReport)).
 
 pub use streamtune_backend as backend;

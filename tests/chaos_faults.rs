@@ -283,7 +283,7 @@ fn watched_chaos_job_merges_stream_retries_into_health() {
         Response::Ticked(_)
     ));
     match server.handle(&Request::DriftStatus).0 {
-        Response::Drift(lines) => {
+        Response::Drift { watches: lines, .. } => {
             assert_eq!(lines.len(), 1);
             assert!(!lines[0].degraded, "absorbed faults must not degrade");
             assert_eq!(lines[0].poll_failures, 0);
@@ -418,4 +418,135 @@ fn chaos_monitor_degrades_then_recovers() {
     }
     assert!(recovered, "a healed backend must announce recovery");
     assert!(!monitor.status()[0].degraded);
+}
+
+#[test]
+fn epoch_windowed_outage_degrades_raises_the_slo_alarm_then_recovers() {
+    use streamtune::backend::FaultRates;
+    use streamtune::monitor::MONITOR_EPOCH_BASE;
+
+    // The ROADMAP's "clean tune, then sick monitor" drill: a quiet plan
+    // whose only faults live in an epoch window over the monitor's polls.
+    // Tuning epochs are small, so the tune is clean; polls 2..6 all fault
+    // past the retry budget; poll 6 is clean again.
+    let plan = FaultPlan::quiet(31).with_max_burst(u32::MAX).with_phase(
+        MONITOR_EPOCH_BASE + 2,
+        MONITOR_EPOCH_BASE + 6,
+        FaultRates::outage(),
+    );
+
+    let drill = || {
+        let mut server = tiny_server();
+        for request in [
+            Request::Submit(spec(
+                "drill",
+                "nexmark-q2",
+                5.0,
+                4,
+                BackendSpec::Chaos(plan),
+            )),
+            Request::Submit(spec("twin", "nexmark-q2", 5.0, 4, BackendSpec::Sim)),
+        ] {
+            assert!(matches!(
+                server.handle(&request).0,
+                Response::Submitted { .. }
+            ));
+        }
+        // Clean tune: the windowed outage never touches tuning epochs.
+        let degrees = |server: &mut Server, job: &str| match server
+            .handle(&Request::Recommend {
+                job: job.to_string(),
+            })
+            .0
+        {
+            Response::Recommendation(rec) => rec.degrees,
+            other => panic!("expected recommendation, got {other:?}"),
+        };
+        assert_eq!(
+            degrees(&mut server, "drill"),
+            degrees(&mut server, "twin"),
+            "the pre-window tune must be bit-identical to a fault-free twin"
+        );
+        assert!(matches!(
+            server
+                .handle(&Request::Watch {
+                    job: "drill".to_string(),
+                    schedule: None,
+                })
+                .0,
+            Response::Watching { .. }
+        ));
+
+        // Tick one poll at a time and collect every event edge.
+        let mut events = Vec::new();
+        for _ in 0..12 {
+            match server.handle(&Request::Tick { steps: 1 }).0 {
+                Response::Ticked(report) => {
+                    for e in report.events {
+                        events.push((e.job, e.kind, e.detail));
+                    }
+                }
+                other => panic!("expected tick report, got {other:?}"),
+            }
+            // The SLO alarm is visible in `health` and `drift_status`
+            // exactly while a watch is degraded (default threshold: 1).
+            let degraded = match server.handle(&Request::Health).0 {
+                Response::Health(health) => {
+                    assert_eq!(
+                        health.alarms.iter().any(|a| a.alarm == "degraded-watches"),
+                        health.degraded_watches >= 1,
+                        "alarm must track the degraded-watch counter"
+                    );
+                    health.degraded_watches
+                }
+                other => panic!("expected health, got {other:?}"),
+            };
+            match server.handle(&Request::DriftStatus).0 {
+                Response::Drift { alarms, .. } => {
+                    assert_eq!(
+                        alarms.iter().any(|a| a.alarm == "degraded-watches"),
+                        degraded >= 1
+                    );
+                }
+                other => panic!("expected drift status, got {other:?}"),
+            }
+        }
+        (events, degrees(&mut server, "drill"))
+    };
+
+    let (events, degrees) = drill();
+    let kinds: Vec<&str> = events.iter().map(|(_, kind, _)| kind.as_str()).collect();
+    let position = |kind: &str| {
+        kinds
+            .iter()
+            .position(|k| *k == kind)
+            .unwrap_or_else(|| panic!("expected a {kind} event, got {kinds:?}"))
+    };
+    // The lifecycle reads in order: failing polls, degradation, the SLO
+    // alarm raised by the same tick, then recovery and the alarm clearing.
+    let degraded_at = position("degraded");
+    assert!(position("poll-failed") < degraded_at);
+    let raised_at = position("alarm-raised");
+    assert!(raised_at >= degraded_at);
+    assert!(
+        events[raised_at].0 == "daemon" && events[raised_at].2.contains("degraded-watches"),
+        "the alarm edge names its threshold: {:?}",
+        events[raised_at]
+    );
+    let recovered_at = position("recovered");
+    assert!(
+        recovered_at > degraded_at,
+        "the window must end on schedule"
+    );
+    let cleared_at = position("alarm-cleared");
+    assert!(cleared_at >= recovered_at);
+    assert!(
+        !kinds.contains(&"rate-drift"),
+        "an outage is not a workload drift: {kinds:?}"
+    );
+
+    // The whole drill is a pure function of the plan: replay it.
+    let (again, degrees_again) = drill();
+    assert_eq!(events, again, "the drill must replay bit-identically");
+    assert_eq!(degrees, degrees_again);
 }

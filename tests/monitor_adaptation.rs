@@ -105,7 +105,7 @@ fn mid_run_rate_shift_retunes_to_the_manual_resubmit_outcome() {
         "stable after adaptation: {:?}",
         report.events
     );
-    let Response::Drift(lines) = server.handle(&Request::DriftStatus).0 else {
+    let Response::Drift { watches: lines, .. } = server.handle(&Request::DriftStatus).0 else {
         panic!("expected drift status");
     };
     assert_eq!(lines.len(), 1);
@@ -187,7 +187,7 @@ fn unseen_dag_grows_corpus_swaps_model_and_rotates_the_store() {
     // Once grown, the structure is covered: no more structure events.
     let report = server.tick_monitor(5);
     assert!(report.events.is_empty(), "{:?}", report.events);
-    let Response::Drift(lines) = server.handle(&Request::DriftStatus).0 else {
+    let Response::Drift { watches: lines, .. } = server.handle(&Request::DriftStatus).0 else {
         panic!("expected drift status");
     };
     assert_ne!(lines[0].class, "structure-drift");

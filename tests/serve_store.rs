@@ -261,3 +261,115 @@ fn corrupted_store_artifacts_error_loudly() {
     }
     std::fs::remove_dir_all(store.dir()).ok();
 }
+
+#[test]
+fn journal_truncation_sweep_resumes_or_restarts_never_garbage() {
+    use streamtune::core::Parallelism;
+    use streamtune::serve::{journal_file_name, load_journal, Request, ServerConfig};
+
+    let store = temp_store("journal-sweep");
+    let boot = || {
+        Server::bootstrap(
+            Some(ModelStore::new(store.dir())),
+            ServerConfig::fast().with_parallelism(Parallelism::Serial),
+            || small_corpus(51),
+        )
+        .expect("bootstrap succeeds")
+    };
+    let degrees = |server: &mut Server| match server
+        .handle(&Request::Recommend {
+            job: "sweep".to_string(),
+        })
+        .0
+    {
+        Response::Recommendation(rec) => Some(rec.degrees),
+        Response::Error { .. } => None,
+        other => panic!("expected recommendation or error, got {other:?}"),
+    };
+
+    // The uninterrupted run: cold bootstrap persists the model, the
+    // recommend drains the job, and the epoch journal it wrote survives
+    // (journals are only swept at snapshot time).
+    let (mut server, _) = boot();
+    let spec = JobSpec {
+        name: "sweep".to_string(),
+        query: "pqp-linear-3".to_string(),
+        multiplier: 12.0,
+        seed: 5,
+        engine: Engine::Flink,
+        backend: BackendSpec::Sim,
+    };
+    assert!(matches!(
+        server.handle(&Request::Submit(spec)).0,
+        Response::Submitted { .. }
+    ));
+    let reference = degrees(&mut server).expect("the reference run tunes");
+    drop(server);
+
+    let journal_path = ModelStore::new(store.dir())
+        .journal_dir()
+        .join(journal_file_name("sweep"));
+    let full_bytes = std::fs::read(&journal_path).expect("journal persisted");
+    let full = load_journal(&journal_path)
+        .expect("journal readable")
+        .expect("journal has a valid header");
+    assert!(full.entries.len() >= 2, "the run must journal its epochs");
+    let header_len = full_bytes.iter().position(|b| *b == b'\n').expect("header") + 1;
+
+    // A crash can stop the journal at *any* byte. Byte-by-byte, loading
+    // the truncated journal yields exactly a prefix of the full entries
+    // (torn tail records dropped) — or no journal while the header is
+    // torn — never an error, never a mangled record.
+    for k in 0..=full_bytes.len() {
+        std::fs::write(&journal_path, &full_bytes[..k]).expect("torn write");
+        match load_journal(&journal_path)
+            .unwrap_or_else(|e| panic!("offset {k}: load refused: {e}"))
+        {
+            None => assert!(
+                k + 1 < header_len,
+                "offset {k}: a byte-complete sealed header must parse"
+            ),
+            Some(loaded) => {
+                // A line missing only its newline is still byte-complete.
+                assert!(k + 1 >= header_len);
+                assert_eq!(loaded.spec.name, "sweep", "offset {k}");
+                assert!(loaded.entries.len() <= full.entries.len(), "offset {k}");
+                assert_eq!(
+                    loaded.entries[..],
+                    full.entries[..loaded.entries.len()],
+                    "offset {k}: surviving records are an exact prefix"
+                );
+            }
+        }
+    }
+
+    // The daemon itself boots on representative torn journals: a parseable
+    // prefix resumes the job to a bit-identical outcome; a torn header
+    // means the job was never durably admitted and is simply absent.
+    for k in [
+        0,
+        1,
+        header_len - 1,
+        header_len,
+        header_len + 1,
+        full_bytes.len() / 2,
+        full_bytes.len() - 1,
+        full_bytes.len(),
+    ] {
+        std::fs::write(&journal_path, &full_bytes[..k]).expect("torn write");
+        let (mut server, report) = boot();
+        assert!(report.loaded_from_store, "offset {k}: no retraining");
+        if k + 1 < header_len {
+            assert_eq!(report.resumed_jobs, 0, "offset {k}");
+            assert_eq!(degrees(&mut server), None, "offset {k}: job never admitted");
+        } else {
+            assert_eq!(report.resumed_jobs, 1, "offset {k}");
+            assert_eq!(
+                degrees(&mut server).as_deref(),
+                Some(&reference[..]),
+                "offset {k}: the resumed outcome must be bit-identical"
+            );
+        }
+    }
+    std::fs::remove_dir_all(store.dir()).ok();
+}

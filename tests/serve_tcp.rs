@@ -214,6 +214,12 @@ fn hostile_clients_do_not_take_the_daemon_down() {
         line.clear();
         assert!(matches!(big.reader.read_line(&mut line), Ok(0) | Err(_)));
 
+        // The refusal is counted: `health` reports the oversized line.
+        match ok.request("\"health\"") {
+            Response::Health(health) => assert_eq!(health.oversized_lines, 1),
+            other => panic!("expected health, got {other:?}"),
+        }
+
         // The slowloris client was served its real answer all along.
         assert!(matches!(
             sloth.join().expect("sloth thread"),
@@ -256,4 +262,246 @@ fn slow_client_does_not_block_others() {
             .expect("daemon thread")
             .expect("daemon exits cleanly");
     });
+}
+
+#[test]
+fn overload_flood_sheds_exactly_the_excess_with_structured_responses() {
+    use streamtune::serve::TcpConfig;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let server = Mutex::new(server());
+    const CAP: usize = 3;
+    const EXCESS: usize = 20;
+    let config = TcpConfig {
+        session_cap: CAP,
+        ..TcpConfig::default()
+    };
+
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| Server::serve_tcp_with(&server, &listener, config));
+
+        // Admit exactly CAP sessions, proving each is live (the round trip
+        // guarantees its accept — and the session count — happened).
+        let mut admitted: Vec<Client> = (0..CAP)
+            .map(|i| {
+                let mut c = Client::connect(addr);
+                match c.request("\"status\"") {
+                    Response::Status(_) => c,
+                    other => panic!("admitted client {i}: expected status, got {other:?}"),
+                }
+            })
+            .collect();
+
+        // Flood: every connection past the cap gets one structured
+        // `overloaded` (with the retry-after hint) and is closed.
+        for i in 0..EXCESS {
+            let mut shed = Client::connect(addr);
+            let mut line = String::new();
+            shed.reader
+                .read_line(&mut line)
+                .expect("shed response arrives unprompted");
+            match serde_json::from_str::<Response>(line.trim()).expect("valid response line") {
+                Response::Overloaded {
+                    retry_after_ms,
+                    reason,
+                } => {
+                    assert_eq!(reason, "session-cap", "flood client {i}");
+                    assert_eq!(retry_after_ms, config.retry_after_ms);
+                }
+                other => panic!("flood client {i}: expected overloaded, got {other:?}"),
+            }
+            line.clear();
+            assert!(
+                matches!(shed.reader.read_line(&mut line), Ok(0) | Err(_)),
+                "shed connections are closed, not queued"
+            );
+        }
+
+        // Admitted sessions keep working through the flood: submit a job
+        // and read its recommendation.
+        let submit = "{\"submit\": {\"name\": \"survivor\", \"query\": \"nexmark-q1\", \
+                      \"multiplier\": 6.0, \"seed\": 1, \"engine\": \"flink\", \
+                      \"backend\": \"sim\"}}";
+        assert!(matches!(
+            admitted[0].request(submit),
+            Response::Submitted { .. }
+        ));
+        match admitted[1].request("{\"recommend\": {\"job\": \"survivor\"}}") {
+            Response::Recommendation(rec) => assert_eq!(rec.job, "survivor"),
+            other => panic!("expected recommendation, got {other:?}"),
+        }
+
+        // The shed count is in `health` — exactly the excess, no more.
+        match admitted[2].request("\"health\"") {
+            Response::Health(health) => {
+                assert_eq!(health.sessions_shed, EXCESS as u64);
+                assert_eq!(health.deadlines_expired, 0);
+            }
+            other => panic!("expected health, got {other:?}"),
+        }
+
+        // Freed capacity is reusable: drop one session, the next connect
+        // is admitted (poll briefly — the daemon decrements the session
+        // count after the connection thread finishes).
+        drop(admitted.pop());
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut last = loop {
+            // Only shed connections speak unprompted; probe with a short
+            // read timeout so an admitted (silent) session is recognized.
+            let mut c = Client::connect(addr);
+            c.reader
+                .get_ref()
+                .set_read_timeout(Some(Duration::from_millis(150)))
+                .expect("set probe timeout");
+            let mut line = String::new();
+            match c.reader.read_line(&mut line) {
+                Ok(n) if n > 0 => {
+                    assert!(matches!(
+                        serde_json::from_str::<Response>(line.trim()),
+                        Ok(Response::Overloaded { .. })
+                    ));
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "a freed slot must be reusable"
+                    );
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                _ => {
+                    // Silence (timeout) or EOF-free stall: admitted.
+                    c.reader
+                        .get_ref()
+                        .set_read_timeout(None)
+                        .expect("clear probe timeout");
+                    break c;
+                }
+            }
+        };
+        assert!(matches!(
+            last.request("\"shutdown\""),
+            Response::ShuttingDown
+        ));
+        daemon
+            .join()
+            .expect("daemon thread")
+            .expect("daemon exits cleanly");
+    });
+}
+
+#[test]
+fn requests_past_the_deadline_are_shed_and_the_session_survives() {
+    use streamtune::serve::TcpConfig;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let server = Mutex::new(server());
+    let config = TcpConfig {
+        request_deadline: Duration::from_millis(100),
+        ..TcpConfig::default()
+    };
+
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| Server::serve_tcp_with(&server, &listener, config));
+        let mut client = Client::connect(addr);
+        assert!(matches!(client.request("\"status\""), Response::Status(_)));
+
+        // Wedge the daemon: the test holds the server lock past the
+        // request deadline while a client asks for work.
+        {
+            let guard = server.lock().expect("test holds the lock");
+            match client.request("\"status\"") {
+                Response::Overloaded {
+                    reason,
+                    retry_after_ms,
+                } => {
+                    assert_eq!(reason, "deadline");
+                    assert_eq!(retry_after_ms, config.retry_after_ms);
+                }
+                other => panic!("expected overloaded, got {other:?}"),
+            }
+            drop(guard);
+        }
+
+        // The session survives the shed request and works once the lock
+        // frees; the expiry is counted in `health`.
+        match client.request("\"health\"") {
+            Response::Health(health) => {
+                assert_eq!(health.deadlines_expired, 1);
+                assert_eq!(health.sessions_shed, 0);
+            }
+            other => panic!("expected health, got {other:?}"),
+        }
+        assert!(matches!(
+            client.request("\"shutdown\""),
+            Response::ShuttingDown
+        ));
+        daemon
+            .join()
+            .expect("daemon thread")
+            .expect("daemon exits cleanly");
+    });
+}
+
+#[test]
+fn drain_verb_finishes_work_flushes_the_store_and_stops_the_daemon() {
+    let dir = std::env::temp_dir().join(format!("streamtune-tcp-drain-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let (boot, _) = Server::bootstrap(
+        Some(ModelStore::new(&dir)),
+        ServerConfig::fast().with_parallelism(Parallelism::Serial),
+        || {
+            let cluster = SimCluster::flink_defaults(91);
+            HistoryGenerator::new(91).with_jobs(12).generate(&cluster)
+        },
+    )
+    .expect("bootstrap succeeds");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let server = Mutex::new(boot);
+
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| Server::serve_tcp(&server, &listener, None));
+        let mut client = Client::connect(addr);
+        // A queued job that only a drain will run.
+        assert!(matches!(
+            client.request(
+                "{\"submit\": {\"name\": \"parting\", \"query\": \"nexmark-q2\", \
+                 \"multiplier\": 5.0, \"seed\": 3, \"engine\": \"flink\", \
+                 \"backend\": \"sim\"}}"
+            ),
+            Response::Submitted { .. }
+        ));
+        match client.request("\"drain\"") {
+            Response::Draining { jobs, dir: stored } => {
+                assert_eq!(jobs, 1);
+                assert_eq!(stored.as_deref(), dir.to_str());
+            }
+            other => panic!("expected draining, got {other:?}"),
+        }
+        // Drain stops the accept loop like shutdown does.
+        daemon
+            .join()
+            .expect("daemon thread")
+            .expect("daemon exits cleanly");
+    });
+
+    // The flushed store restores the *finished* job: a fresh daemon
+    // answers `recommend` without re-running anything.
+    let (mut reborn, report) = Server::bootstrap(
+        Some(ModelStore::new(&dir)),
+        ServerConfig::fast().with_parallelism(Parallelism::Serial),
+        || panic!("the drained store must boot without retraining"),
+    )
+    .expect("re-bootstrap succeeds");
+    assert_eq!(report.restored_jobs, 1);
+    match reborn
+        .handle(&streamtune::serve::Request::Recommend {
+            job: "parting".to_string(),
+        })
+        .0
+    {
+        Response::Recommendation(rec) => assert_eq!(rec.job, "parting"),
+        other => panic!("expected recommendation, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
