@@ -13,7 +13,51 @@ use crate::error::{BackendError, TuneError};
 use crate::observation::{EngineMode, Observation, SimulationReport};
 use crate::retry::{RetryPolicy, RetryStats};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 use streamtune_dataflow::{Dataflow, ParallelismAssignment};
+
+/// Process-wide retry telemetry (observational only — [`RetryStats`]
+/// remains the per-session source of truth). Virtual backoff is recorded
+/// as virtual nanoseconds (`minutes × 60·10⁹`) so one histogram pipeline
+/// serves wall-clock and virtual durations alike.
+struct RetryTelemetry {
+    transient: streamtune_telemetry::Counter,
+    retries: streamtune_telemetry::Counter,
+    exhausted: streamtune_telemetry::Counter,
+    permanent: streamtune_telemetry::Counter,
+    backoff: streamtune_telemetry::Histogram,
+}
+
+impl RetryTelemetry {
+    fn get() -> &'static RetryTelemetry {
+        static CELL: OnceLock<RetryTelemetry> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let r = streamtune_telemetry::global();
+            RetryTelemetry {
+                transient: r.counter(
+                    "streamtune_backend_transient_faults_total",
+                    "Transient backend errors observed by tuning sessions (including ones absorbed by retries).",
+                ),
+                retries: r.counter(
+                    "streamtune_backend_retries_total",
+                    "Deployment attempts retried after a transient backend error.",
+                ),
+                exhausted: r.counter(
+                    "streamtune_backend_retries_exhausted_total",
+                    "Transient backend errors that exhausted the retry budget and surfaced.",
+                ),
+                permanent: r.counter(
+                    "streamtune_backend_permanent_failures_total",
+                    "Permanent (non-retryable) backend errors surfaced immediately.",
+                ),
+                backoff: r.histogram(
+                    "streamtune_backend_backoff_virtual_nanoseconds",
+                    "Per-retry virtual backoff (never slept), in virtual nanoseconds.",
+                ),
+            }
+        })
+    }
+}
 
 /// Deployment limits a backend imposes on tuners.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -232,6 +276,7 @@ impl<'a> TuningSession<'a> {
         assignment: &ParallelismAssignment,
     ) -> Result<SimulationReport, BackendError> {
         let mut attempt: u32 = 1;
+        let tel = RetryTelemetry::get();
         loop {
             let result = self
                 .backend
@@ -241,16 +286,22 @@ impl<'a> TuningSession<'a> {
                 Ok(report) => return Ok(report),
                 Err(e) if e.is_transient() => {
                     self.retry_stats.transient_faults += 1;
+                    tel.transient.inc();
                     if attempt >= self.retry.max_attempts.max(1) {
                         self.retry_stats.exhausted += 1;
+                        tel.exhausted.inc();
                         return Err(e);
                     }
                     self.retry_stats.retries += 1;
-                    self.retry_stats.backoff_minutes += self.retry.backoff_minutes(attempt);
+                    let backoff = self.retry.backoff_minutes(attempt);
+                    self.retry_stats.backoff_minutes += backoff;
+                    tel.retries.inc();
+                    tel.backoff.record((backoff * 60e9) as u64);
                     attempt += 1;
                 }
                 Err(e) => {
                     self.retry_stats.permanent_failures += 1;
+                    tel.permanent.inc();
                     return Err(e);
                 }
             }

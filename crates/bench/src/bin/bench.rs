@@ -6,7 +6,10 @@
 //! * `BENCH_pretrain.json` — the Fig. 9b offline pre-training cost sweep
 //!   (corpus size vs wall-clock seconds);
 //! * `BENCH_recommend.json` — the Fig. 9a online recommendation time per
-//!   tuning iteration across the PQP template families and methods.
+//!   tuning iteration across the PQP template families and methods;
+//! * `BENCH_serve.json` — per-verb daemon request latency (p50/p99 read
+//!   from the `streamtune-telemetry` histograms after a scripted flood
+//!   against an in-process `Server`).
 //!
 //! Both files are meant to be checked in whenever the hot path changes, so
 //! the performance trajectory of the repository is tracked in-tree. Seeds
@@ -169,12 +172,111 @@ fn bench_recommend(fast: bool) -> RecommendBench {
     }
 }
 
+#[derive(Serialize)]
+struct ServeRow {
+    verb: String,
+    requests: u64,
+    p50_seconds: f64,
+    p99_seconds: f64,
+    mean_seconds: f64,
+}
+
+#[derive(Serialize)]
+struct ServeBench {
+    workload: &'static str,
+    seed: u64,
+    rows: Vec<ServeRow>,
+}
+
+fn bench_serve(fast: bool) -> ServeBench {
+    use streamtune_serve::{Request, Server, ServerConfig};
+    use streamtune_telemetry::MetricValue;
+
+    let seed = 91u64;
+    let flood = if fast { 500u64 } else { 5_000 };
+    let (mut server, _) = Server::bootstrap(
+        None,
+        ServerConfig::fast().with_parallelism(streamtune_core::Parallelism::Serial),
+        || {
+            let cluster = SimCluster::flink_defaults(seed);
+            HistoryGenerator::new(seed).with_jobs(12).generate(&cluster)
+        },
+    )
+    .expect("bootstrap succeeds");
+    // A couple of tuned jobs so `recommend`/`status` answer real state.
+    for (name, job_seed) in [("bench-a", 1u64), ("bench-b", 2)] {
+        let line = format!(
+            "{{\"submit\": {{\"name\": \"{name}\", \"query\": \"nexmark-q1\", \
+             \"multiplier\": 6.0, \"seed\": {job_seed}, \"engine\": \"flink\", \
+             \"backend\": \"sim\"}}}}"
+        );
+        server.handle(&streamtune_serve::parse_request(&line).expect("valid submit"));
+    }
+    // Scripted flood over the read verbs; latencies accumulate in the
+    // telemetry histograms the daemon itself exposes, so this doubles as
+    // a check that the scrape numbers are trustworthy.
+    let verbs: Vec<(&str, Request)> = vec![
+        ("status", Request::Status),
+        (
+            "recommend",
+            Request::Recommend {
+                job: "bench-a".to_string(),
+            },
+        ),
+        ("drift_status", Request::DriftStatus),
+        ("health", Request::Health),
+        ("metrics", Request::Metrics),
+    ];
+    for (_, request) in &verbs {
+        for _ in 0..flood {
+            server.handle(request);
+        }
+    }
+    let snapshot = streamtune_telemetry::global().snapshot();
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (verb, _) in &verbs {
+        let series = snapshot
+            .find("streamtune_request_duration_nanoseconds", &[("verb", verb)])
+            .expect("flooded verb has a latency histogram");
+        let MetricValue::Histogram(ref hist) = series.value else {
+            panic!("latency series is a histogram");
+        };
+        let (p50, p99, mean) = (hist.quantile(0.5), hist.quantile(0.99), hist.mean());
+        table.push(vec![
+            verb.to_string(),
+            format!("{}", hist.count),
+            format!("{:.1} µs", p50 / 1e3),
+            format!("{:.1} µs", p99 / 1e3),
+        ]);
+        rows.push(ServeRow {
+            verb: verb.to_string(),
+            requests: hist.count,
+            p50_seconds: p50 / 1e9,
+            p99_seconds: p99 / 1e9,
+            mean_seconds: mean / 1e9,
+        });
+    }
+    print_table(
+        "BENCH — serve request latency (telemetry histograms)",
+        &["verb", "requests", "p50", "p99"],
+        &table,
+    );
+    ServeBench {
+        workload: "serve_request_latency",
+        seed,
+        rows,
+    }
+}
+
 fn main() {
     let fast = is_fast();
     let pretrain = bench_pretrain(fast);
     write_root_json("BENCH_pretrain.json", &pretrain);
     let recommend = bench_recommend(fast);
     write_root_json("BENCH_recommend.json", &recommend);
+    let serve = bench_serve(fast);
+    write_root_json("BENCH_serve.json", &serve);
     println!(
         "\nBENCH complete: pretrain sweep {:.2}s total.",
         pretrain.total_seconds

@@ -29,7 +29,8 @@
 //!   persisted GED-cache snapshot), resume any journaled jobs that a
 //!   previous process died holding, then answer the line-delimited JSON
 //!   control protocol (`submit`/`status`/`recommend`/`cancel`/`watch`/
-//!   `unwatch`/`drift_status`/`tick`/`snapshot`/`drain`/`shutdown`) on
+//!   `unwatch`/`drift_status`/`tick`/`health`/`metrics`/`snapshot`/
+//!   `drain`/`shutdown`) on
 //!   stdin/stdout, or on a TCP listener with `--listen` — one session per
 //!   client, with `--monitor-interval` running the background drift
 //!   monitor between accepts. Overload knobs: `--session-cap` bounds
@@ -39,6 +40,12 @@
 //!   it stops accepting, finishes in-flight work and flushes the store,
 //!   bounded by `--drain-timeout`. The `--slo-*` flags set alarm
 //!   thresholds over the `health` counters (`off` disables one).
+//!   Observability knobs: `--metrics-listen ADDR` serves the telemetry
+//!   registry as Prometheus text on `GET /metrics` (JSON on
+//!   `/metrics.json`) from a thread that never touches the daemon lock,
+//!   and `--trace-log FILE` appends every structured event as one JSONL
+//!   line. Both are strictly observational — tuning outcomes are
+//!   bit-identical with or without them.
 //! * `client --connect ADDR [--script FILE]` — send protocol lines (from
 //!   the script file or stdin) to a serving daemon and print each response.
 //! * `monitor --query NAME [--multiplier M] [--shift-to M2] [--shift-at T]
@@ -638,6 +645,40 @@ fn tcp_config(args: &Args) -> Result<TcpConfig, CliError> {
 }
 
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    // Telemetry wiring comes first so bootstrap events (store recovery,
+    // pretrain phase timings) land in the trace log and on stderr. The
+    // daemon echoes operational (info-level) events; libraries keep the
+    // quieter warn default.
+    streamtune_telemetry::events().set_echo_level(Some(streamtune_telemetry::Level::Info));
+    if let Some(path) = args.optional("trace-log") {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| CliError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            })?;
+        streamtune_telemetry::events().set_writer(Box::new(file));
+        eprintln!("tracing events to {path} (JSONL)");
+    }
+    // Held for the daemon's lifetime: dropping it would stop the scraper.
+    let _metrics_endpoint = match args.optional("metrics-listen") {
+        Some(addr) => {
+            let endpoint =
+                streamtune_serve::spawn_metrics_endpoint(&addr).map_err(|e| CliError::Io {
+                    path: addr.clone(),
+                    message: e.to_string(),
+                })?;
+            // Resolved address, for scripts binding port 0.
+            eprintln!(
+                "metrics on http://{}/metrics (Prometheus text) and /metrics.json",
+                endpoint.local_addr()
+            );
+            Some(endpoint)
+        }
+        None => None,
+    };
     let mut server = bootstrap_server(args)?;
     match args.optional("listen") {
         Some(addr) => {
@@ -671,6 +712,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             server.serve(stdin.lock(), std::io::stdout())?;
         }
     }
+    streamtune_telemetry::events().flush();
     eprintln!("server stopped");
     Ok(())
 }
@@ -832,6 +874,7 @@ fn usage() -> &'static str {
                  [--session-cap N] [--request-deadline SECS] [--retry-after-ms MS]\n\
                  [--drain-timeout SECS] [--slo-retry-rate R|off] [--slo-degraded-watches N|off]\n\
                  [--slo-poll-failures N|off] [--slo-handler-panics N|off]\n\
+                 [--metrics-listen ADDR] [--trace-log FILE]\n\
        client    --connect ADDR [--script FILE]\n\
        monitor   --query NAME [--multiplier M] [--shift-to M2] [--shift-at T] [--ticks N]\n\
                  [--seed S] [--store DIR] [--fast]\n\

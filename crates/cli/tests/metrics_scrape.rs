@@ -1,0 +1,186 @@
+//! Live-scrape drill against the *built binary*: `streamtune serve
+//! --metrics-listen 127.0.0.1:0 --trace-log <file>` must expose
+//! Prometheus text that the in-repo checker validates, a JSON mirror,
+//! the `metrics` protocol verb, and a parseable JSONL trace stream.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use streamtune_serve::Response;
+use streamtune_telemetry::check_prometheus;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+    scrape: String,
+}
+
+/// Spawn the binary and parse both resolved addresses (protocol and
+/// scrape endpoint) from its startup log.
+fn spawn_daemon(trace_log: &std::path::Path) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_streamtune"))
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--metrics-listen",
+            "127.0.0.1:0",
+            "--trace-log",
+            trace_log.to_str().expect("utf-8 trace path"),
+            "--fast",
+            "--jobs",
+            "12",
+            "--seed",
+            "91",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let mut addr = None;
+    let mut scrape = None;
+    while addr.is_none() || scrape.is_none() {
+        let mut line = String::new();
+        let n = stderr.read_line(&mut line).expect("daemon startup log");
+        assert!(n > 0, "daemon exited before listening");
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("metrics on http://") {
+            scrape = Some(
+                rest.split("/metrics")
+                    .next()
+                    .expect("scrape address")
+                    .to_string(),
+            );
+        } else if let Some(rest) = line.strip_prefix("listening on ") {
+            addr = Some(
+                rest.split_whitespace()
+                    .next()
+                    .expect("resolved address")
+                    .to_string(),
+            );
+        }
+    }
+    // Keep draining stderr so the daemon never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while stderr.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+            sink.clear();
+        }
+    });
+    Daemon {
+        child,
+        addr: addr.unwrap(),
+        scrape: scrape.unwrap(),
+    }
+}
+
+impl Daemon {
+    fn request(&self, line: &str) -> Response {
+        let stream = TcpStream::connect(&self.addr).expect("connect to daemon");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut writer = stream;
+        writeln!(writer, "{line}").expect("send request");
+        writer.flush().expect("flush request");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read response");
+        serde_json::from_str(response.trim()).expect("valid response line")
+    }
+
+    fn scrape(&self, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(&self.scrape).expect("connect scraper");
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("send scrape");
+        stream.flush().expect("flush scrape");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read scrape");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("headers end");
+        let status = head.lines().next().expect("status line").to_string();
+        (status, body.to_string())
+    }
+
+    fn wait_exit(mut self, budget: Duration) {
+        let start = Instant::now();
+        loop {
+            match self.child.try_wait().expect("poll daemon") {
+                Some(status) => {
+                    assert!(status.success(), "daemon exited with {status}");
+                    return;
+                }
+                None if start.elapsed() > budget => {
+                    self.child.kill().ok();
+                    panic!("daemon did not exit within {budget:?}");
+                }
+                None => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+}
+
+#[test]
+fn live_daemon_scrape_validates_and_traces_jsonl() {
+    let trace_log = std::env::temp_dir().join(format!(
+        "streamtune-scrape-drill-{}.jsonl",
+        std::process::id()
+    ));
+    std::fs::remove_file(&trace_log).ok();
+    let daemon = spawn_daemon(&trace_log);
+
+    // Put real traffic on the wire so per-verb series have samples.
+    assert!(matches!(
+        daemon.request(
+            "{\"submit\": {\"name\": \"observed\", \"query\": \"nexmark-q1\", \
+             \"multiplier\": 6.0, \"seed\": 1, \"engine\": \"flink\", \
+             \"backend\": \"sim\"}}"
+        ),
+        Response::Submitted { .. }
+    ));
+    assert!(matches!(daemon.request("\"status\""), Response::Status(_)));
+
+    // The scrape is well-formed by the same checker the unit tests use,
+    // and carries the series dashboards rely on — including pretraining
+    // phases (this daemon booted from scratch) and the submit above.
+    let (status, body) = daemon.scrape("/metrics");
+    assert!(status.contains("200"), "scrape status: {status}");
+    check_prometheus(&body).expect("live scrape must validate");
+    for series in [
+        "streamtune_build_info",
+        "streamtune_uptime_seconds",
+        "streamtune_requests_total",
+        "streamtune_request_duration_nanoseconds",
+        "streamtune_pretrain_phase_duration_nanoseconds",
+    ] {
+        assert!(body.contains(series), "scrape must carry {series}");
+    }
+    assert!(body.contains("verb=\"submit\""), "submit must be counted");
+
+    // The JSON mirror parses; the protocol's `metrics` verb answers the
+    // same registry in-band.
+    let (status, body) = daemon.scrape("/metrics.json");
+    assert!(status.contains("200"), "json status: {status}");
+    serde_json::from_str::<serde_json::Value>(&body).expect("metrics.json parses");
+    match daemon.request("\"metrics\"") {
+        Response::Metrics(value) => {
+            let line = serde_json::to_string(&value).expect("metrics serialize");
+            assert!(line.contains("streamtune_requests_total"), "{line}");
+        }
+        other => panic!("expected metrics, got {other:?}"),
+    }
+
+    assert!(matches!(
+        daemon.request("\"shutdown\""),
+        Response::ShuttingDown
+    ));
+    daemon.wait_exit(Duration::from_secs(60));
+
+    // The trace log is flushed on exit and every line is JSON.
+    let trace = std::fs::read_to_string(&trace_log).expect("trace log exists");
+    assert!(!trace.trim().is_empty(), "trace log captured events");
+    for line in trace.lines() {
+        serde_json::from_str::<serde_json::Value>(line).expect("trace line parses as JSON");
+    }
+    std::fs::remove_file(&trace_log).ok();
+}

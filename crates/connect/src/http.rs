@@ -1,4 +1,4 @@
-//! A minimal HTTP/1.1 client over `std::net::TcpStream`.
+//! A minimal HTTP/1.1 client and server over `std::net::TcpStream`.
 //!
 //! The Flink REST surface needs nothing beyond `GET`/`PATCH` with small
 //! JSON bodies, so the connector carries its own client instead of a
@@ -6,9 +6,18 @@
 //! `Content-Length` framing, and a hard read/write deadline so a stalled
 //! dashboard surfaces as a transient timeout instead of hanging a tuning
 //! session forever.
+//!
+//! [`MiniHttpServer`] is the server-side counterpart: a background
+//! accept loop answering one `GET` per connection through a handler
+//! closure, with the same framing conventions. The serve daemon uses it
+//! for the `--metrics-listen` Prometheus scrape endpoint; it is equally
+//! usable for any other small read-only surface.
 
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// A parsed HTTP response: status code plus body text.
@@ -141,6 +150,186 @@ fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     haystack.windows(needle.len()).position(|w| w == needle)
 }
 
+/// What a [`MiniHttpServer`] handler answers with.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code (the reason phrase is derived).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpReply {
+    /// A `200 OK` plain-text reply.
+    pub fn text(body: impl Into<String>) -> Self {
+        HttpReply {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8".to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` JSON reply.
+    pub fn json(body: impl Into<String>) -> Self {
+        HttpReply {
+            status: 200,
+            content_type: "application/json".to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// A `404 Not Found` reply.
+    pub fn not_found() -> Self {
+        HttpReply {
+            status: 404,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: "not found\n".to_string(),
+        }
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Response",
+    }
+}
+
+/// A tiny read-only HTTP/1.1 server: one background accept thread, one
+/// `GET` request per connection (`Connection: close` framing, matching
+/// [`HttpClient`]), answered by a shared handler closure receiving
+/// `(method, path)`. Hostile or partial requests end only their own
+/// connection; handler panics are contained per connection. The listener
+/// shuts down when the server is dropped.
+pub struct MiniHttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MiniHttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MiniHttpServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+/// Requests heads larger than this are dropped (scrape requests are tiny).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+impl MiniHttpServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an OS-assigned port) and serve
+    /// every incoming request through `handler` on a background thread.
+    pub fn bind<F>(addr: &str, handler: F) -> io::Result<Self>
+    where
+        F: Fn(&str, &str) -> HttpReply + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let handler = Arc::new(handler);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let handler = Arc::clone(&handler);
+                            // Contain per-connection trouble (including a
+                            // panicking handler) to that connection.
+                            let _ =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                                    serve_one(stream, &*handler);
+                                }));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(MiniHttpServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address the server actually listens on (resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MiniHttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, handler: &(dyn Fn(&str, &str) -> HttpReply + Send + Sync)) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let Some((method, path)) = read_request_line(&mut stream) else {
+        return; // hostile/partial request: drop the connection
+    };
+    let reply = if method == "GET" {
+        handler(&method, &path)
+    } else {
+        HttpReply {
+            status: 405,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: "only GET is served here\n".to_string(),
+        }
+    };
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reply.status,
+        reason_phrase(reply.status),
+        reply.content_type,
+        reply.body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(reply.body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Read the request head (bounded) and extract `(method, path)`.
+fn read_request_line(stream: &mut TcpStream) -> Option<(String, String)> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while find_subslice(&buf, b"\r\n\r\n").is_none() {
+        if buf.len() > MAX_HEAD_BYTES {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    let head_end = find_subslice(&buf, b"\r\n")?;
+    let line = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    Some((method, path))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +356,49 @@ mod tests {
         assert!(parse_response(b"not http at all").is_err());
         assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
         assert!(parse_response(b"").is_err());
+    }
+
+    #[test]
+    fn mini_server_answers_get_and_rejects_post() {
+        let server = MiniHttpServer::bind("127.0.0.1:0", |_method, path| {
+            if path == "/metrics" {
+                HttpReply::text("demo_total 1\n")
+            } else {
+                HttpReply::not_found()
+            }
+        })
+        .expect("bind loopback");
+        let client = HttpClient::new(Duration::from_secs(5));
+        let authority = server.local_addr().to_string();
+
+        let ok = client.request("GET", &authority, "/metrics", None).unwrap();
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.body, "demo_total 1\n");
+
+        let missing = client.request("GET", &authority, "/nope", None).unwrap();
+        assert_eq!(missing.status, 404);
+
+        let post = client
+            .request("POST", &authority, "/metrics", None)
+            .unwrap();
+        assert_eq!(post.status, 405);
+    }
+
+    #[test]
+    fn mini_server_survives_hostile_clients() {
+        let server = MiniHttpServer::bind("127.0.0.1:0", |_, _| HttpReply::text("ok")).unwrap();
+        let addr = server.local_addr();
+        // Immediate disconnect, then garbage without a header terminator.
+        drop(TcpStream::connect(addr).unwrap());
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let _ = s.write_all(b"garbage with no terminator");
+            drop(s);
+        }
+        // The server still answers a well-formed request afterwards.
+        let client = HttpClient::new(Duration::from_secs(5));
+        let r = client.request("GET", &addr.to_string(), "/", None).unwrap();
+        assert_eq!(r.body, "ok");
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub mod mock;
 
 pub use dump::{write_dump, write_dump_file, DumpOp, DumpSpec};
 pub use flink::FlinkBackend;
-pub use http::{HttpClient, HttpResponse};
+pub use http::{HttpClient, HttpReply, HttpResponse, MiniHttpServer};
 pub use ingest::{ingest, ingest_file, IngestConfig, IngestReport, IngestStats};
 pub use mock::MockFlinkServer;

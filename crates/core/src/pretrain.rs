@@ -140,6 +140,28 @@ impl Pretrained {
     }
 }
 
+/// Pretrain phase names, in pipeline order, as exposed on the
+/// `streamtune_pretrain_phase_duration_nanoseconds{phase=...}` histogram.
+pub const PRETRAIN_PHASES: [&str; 4] = ["label", "intern", "cluster", "train"];
+
+/// Returns a recorder that logs one phase's elapsed wall-clock time into
+/// the per-phase duration histogram and hands back the elapsed
+/// nanoseconds. Timing is observational only: it never feeds back into
+/// the pre-training pipeline.
+fn phase_histogram() -> impl Fn(&str, std::time::Instant) -> u64 {
+    |phase: &str, start: std::time::Instant| {
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        streamtune_telemetry::global()
+            .histogram_with(
+                "streamtune_pretrain_phase_duration_nanoseconds",
+                "Wall-clock duration of each offline pre-training phase.",
+                &[("phase", phase)],
+            )
+            .record(elapsed);
+        elapsed
+    }
+}
+
 /// The offline pre-trainer.
 #[derive(Debug, Clone)]
 pub struct Pretrainer {
@@ -189,10 +211,14 @@ impl Pretrainer {
     /// on demand).
     pub fn run_with_cache(&self, records: &[ExecutionRecord], cache: &mut GedCache) -> Pretrained {
         assert!(!records.is_empty(), "empty execution history");
+        let phase_timer = phase_histogram();
         let features = FeatureEncoder::default();
+        let phase_start = std::time::Instant::now();
         let samples = self.samples(records, &features);
+        let label_elapsed = phase_timer("label", phase_start);
 
         // Intern distinct DAG structures (many records share a structure).
+        let phase_start = std::time::Instant::now();
         let record_structure: Vec<StructId> = records
             .iter()
             .map(|r| cache.intern(&GraphView::of(&r.flow), &GraphSignature::of(&r.flow)))
@@ -207,7 +233,9 @@ impl Pretrainer {
         for (pos, &s) in distinct.iter().enumerate() {
             position[s] = pos;
         }
+        let intern_elapsed = phase_timer("intern", phase_start);
 
+        let phase_start = std::time::Instant::now();
         let use_clustering = distinct.len() >= self.config.min_structures_for_clustering;
         let (memberships, centers): (Vec<usize>, Vec<GraphView>) = if use_clustering {
             // Cluster the distinct structures, weighted by multiplicity.
@@ -235,15 +263,33 @@ impl Pretrainer {
                 vec![cache.graph(record_structure[0]).clone()],
             )
         };
+        let cluster_elapsed = phase_timer("cluster", phase_start);
 
         // Per-cluster pre-training is embarrassingly parallel: every
         // cluster has its own RNG seeded from (seed, cluster index), so the
         // fan-out only partitions work and any thread count produces the
         // same encoders and warm-up sets.
+        let phase_start = std::time::Instant::now();
         let cluster_indices: Vec<usize> = (0..centers.len()).collect();
         let clusters = parallel_map(self.config.parallelism, &cluster_indices, |&c| {
             self.train_cluster(c, &centers[c], &samples, &memberships, records)
         });
+        let train_elapsed = phase_timer("train", phase_start);
+        streamtune_telemetry::emit_with(
+            streamtune_telemetry::Level::Debug,
+            "core.pretrain",
+            format!(
+                "pre-trained {} cluster(s) over {} record(s)",
+                clusters.len(),
+                records.len()
+            ),
+            &[
+                ("label_us", &(label_elapsed / 1_000).to_string()),
+                ("intern_us", &(intern_elapsed / 1_000).to_string()),
+                ("cluster_us", &(cluster_elapsed / 1_000).to_string()),
+                ("train_us", &(train_elapsed / 1_000).to_string()),
+            ],
+        );
 
         Pretrained {
             clusters,

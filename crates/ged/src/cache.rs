@@ -28,7 +28,63 @@ use crate::par::{parallel_map, Parallelism};
 use crate::view::GraphView;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use streamtune_dataflow::GraphSignature;
+
+/// Process-wide cache telemetry, aggregated over every [`GedCache`]
+/// instance (per-instance numbers stay in [`GedCacheStats`]). Strictly
+/// observational: counters never influence query answers.
+struct CacheTelemetry {
+    hits: streamtune_telemetry::Counter,
+    misses: streamtune_telemetry::Counter,
+    filtered: streamtune_telemetry::Counter,
+    hit_ratio: streamtune_telemetry::Gauge,
+}
+
+impl CacheTelemetry {
+    fn get() -> &'static CacheTelemetry {
+        static CELL: OnceLock<CacheTelemetry> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let r = streamtune_telemetry::global();
+            CacheTelemetry {
+                hits: r.counter(
+                    "streamtune_ged_cache_hits_total",
+                    "GED cache queries answered without an A* search (memoized facts, trivial pairs and signature-filter rejections), across all caches in the process.",
+                ),
+                misses: r.counter(
+                    "streamtune_ged_cache_misses_total",
+                    "A* searches actually run by GED caches, across all caches in the process.",
+                ),
+                filtered: r.counter(
+                    "streamtune_ged_cache_filtered_total",
+                    "GED cache queries rejected by the signature lower bound without any search.",
+                ),
+                hit_ratio: r.gauge(
+                    "streamtune_ged_cache_hit_ratio",
+                    "Fraction of GED cache queries answered without an A* search.",
+                ),
+            }
+        })
+    }
+
+    fn hit(&self) {
+        self.hits.inc();
+        self.refresh_ratio();
+    }
+
+    fn miss(&self) {
+        self.misses.inc();
+        self.refresh_ratio();
+    }
+
+    fn refresh_ratio(&self) {
+        let hits = self.hits.get() as f64;
+        let total = hits + self.misses.get() as f64;
+        if total > 0.0 {
+            self.hit_ratio.set(hits / total);
+        }
+    }
+}
 
 /// Interned id of a distinct DAG structure within a [`GedCache`].
 pub type StructId = usize;
@@ -175,22 +231,33 @@ impl GedCache {
     /// `cap + 1` ("far") otherwise. Memoized under the canonical pair.
     pub fn dist(&mut self, a: StructId, b: StructId) -> usize {
         self.stats.lookups += 1;
+        let tel = CacheTelemetry::get();
         if a == b {
+            tel.hit();
             return 0;
         }
         let key = (a.min(b), a.max(b));
         match self.dists.get(&key) {
-            Some(&Entry::Exact(d)) => return d,
-            Some(&Entry::AtLeast(min)) if min > self.cap => return self.cap + 1,
+            Some(&Entry::Exact(d)) => {
+                tel.hit();
+                return d;
+            }
+            Some(&Entry::AtLeast(min)) if min > self.cap => {
+                tel.hit();
+                return self.cap + 1;
+            }
             _ => {}
         }
         let lb = self.lower_bound(a, b);
         if lb > self.cap {
             self.stats.filtered += 1;
+            tel.filtered.inc();
+            tel.hit();
             self.dists.insert(key, Entry::AtLeast(lb));
             return self.cap + 1;
         }
         self.stats.searches += 1;
+        tel.miss();
         let entry = search_entry(&self.graphs, self.bound, key, self.cap);
         self.dists.insert(key, entry);
         match entry {
@@ -206,13 +273,21 @@ impl GedCache {
     /// bounds metric ([`GedCache::dist`]) queries, not similarity ones.
     pub fn within(&mut self, a: StructId, b: StructId, tau: usize) -> bool {
         self.stats.lookups += 1;
+        let tel = CacheTelemetry::get();
         if a == b {
+            tel.hit();
             return true;
         }
         let key = (a.min(b), a.max(b));
         match self.dists.get(&key) {
-            Some(&Entry::Exact(d)) => return d <= tau,
-            Some(&Entry::AtLeast(min)) if min > tau => return false,
+            Some(&Entry::Exact(d)) => {
+                tel.hit();
+                return d <= tau;
+            }
+            Some(&Entry::AtLeast(min)) if min > tau => {
+                tel.hit();
+                return false;
+            }
             _ => {}
         }
         let lb = self.lower_bound(a, b);
@@ -220,10 +295,13 @@ impl GedCache {
             // Memoize the rejection: the signature bound is O(n) per query,
             // and similarity sweeps re-ask the same far pairs constantly.
             self.stats.filtered += 1;
+            tel.filtered.inc();
+            tel.hit();
             self.dists.insert(key, Entry::AtLeast(lb));
             return false;
         }
         self.stats.searches += 1;
+        tel.miss();
         let entry = search_entry(&self.graphs, self.bound, key, tau);
         self.dists.insert(key, entry);
         matches!(entry, Entry::Exact(d) if d <= tau)
@@ -268,6 +346,9 @@ impl GedCache {
             search_entry(graphs, bound, key, threshold)
         });
         self.stats.searches += missing.len() as u64;
+        let tel = CacheTelemetry::get();
+        tel.misses.add(missing.len() as u64);
+        tel.refresh_ratio();
         for (key, entry) in missing.into_iter().zip(computed) {
             self.dists.insert(key, entry);
         }

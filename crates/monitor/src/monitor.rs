@@ -28,6 +28,27 @@ use streamtune_workloads::Workload;
 
 pub use crate::detector::DetectorConfig;
 
+/// Process-wide histogram of monitor tick wall-clock duration.
+fn tick_histogram() -> &'static streamtune_telemetry::Histogram {
+    static CELL: std::sync::OnceLock<streamtune_telemetry::Histogram> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| {
+        streamtune_telemetry::global().histogram(
+            "streamtune_monitor_tick_duration_nanoseconds",
+            "Wall-clock duration of one monitor tick (poll + detect fan-out over every watched job).",
+        )
+    })
+}
+
+/// Per-kind drift-event counter (events are rare, so the registry lookup
+/// per event is fine; the hot poll path records nothing).
+fn drift_counter(kind: &str) -> streamtune_telemetry::Counter {
+    streamtune_telemetry::global().counter_with(
+        "streamtune_monitor_drift_events_total",
+        "Drift events fired by monitor ticks, by kind.",
+        &[("kind", kind)],
+    )
+}
+
 /// Monitor settings.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MonitorConfig {
@@ -146,6 +167,18 @@ impl DriftEvent {
             | DriftEvent::PollFailed { job, .. }
             | DriftEvent::Degraded { job, .. }
             | DriftEvent::Recovered { job } => job,
+        }
+    }
+
+    /// Stable kebab-case kind label (as used on the
+    /// `streamtune_monitor_drift_events_total{kind=...}` counter).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DriftEvent::RateDrift { .. } => "rate-drift",
+            DriftEvent::StructureDrift { .. } => "structure-drift",
+            DriftEvent::PollFailed { .. } => "poll-failed",
+            DriftEvent::Degraded { .. } => "degraded",
+            DriftEvent::Recovered { .. } => "recovered",
         }
     }
 }
@@ -427,14 +460,23 @@ impl Monitor {
     /// run its detector, and return the fired events in watch order.
     pub fn tick(&mut self) -> Vec<DriftEvent> {
         self.ticks += 1;
+        let started = std::time::Instant::now();
         let quantum = self.config.quantum;
         let max_poll_failures = self.config.max_poll_failures;
-        parallel_map_mut(self.config.parallelism, &mut self.jobs, |job| {
-            job.tick_one(quantum, max_poll_failures)
-        })
-        .into_iter()
-        .flatten()
-        .collect()
+        let events: Vec<DriftEvent> =
+            parallel_map_mut(self.config.parallelism, &mut self.jobs, |job| {
+                job.tick_one(quantum, max_poll_failures)
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        // Telemetry is observational only: events are counted and the tick
+        // timed after every detection decision is already made.
+        tick_histogram().record_duration(started.elapsed());
+        for event in &events {
+            drift_counter(event.kind()).inc();
+        }
+        events
     }
 
     /// Record that an adaptation re-tuned `name`: the deployed assignment

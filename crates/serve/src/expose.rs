@@ -1,0 +1,226 @@
+//! Telemetry exposition for the daemon: the per-verb request metrics,
+//! the `metrics` verb's JSON payload, and the optional Prometheus text
+//! scrape endpoint (`--metrics-listen`).
+//!
+//! Everything here is strictly observational. The handles record into
+//! the global [`streamtune_telemetry`] registry; reading them (over the
+//! protocol or over HTTP) snapshots atomics and renders text — no server
+//! lock, no tuning state, no way to perturb outcomes.
+
+use serde::Value;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+use streamtune_connect::{HttpReply, MiniHttpServer};
+use streamtune_ged::Parallelism;
+use streamtune_telemetry::{
+    bucket_upper_bound, render_prometheus, Counter, Gauge, Histogram, MetricValue,
+};
+
+/// Every wire verb, in protocol-table order — the label set of
+/// `streamtune_requests_total` and `streamtune_request_duration_nanoseconds`.
+pub const VERBS: [&str; 13] = [
+    "submit",
+    "status",
+    "recommend",
+    "cancel",
+    "watch",
+    "unwatch",
+    "drift_status",
+    "health",
+    "metrics",
+    "tick",
+    "snapshot",
+    "drain",
+    "shutdown",
+];
+
+/// Pre-registered per-verb request handles plus the lock-wait histogram:
+/// one registry lookup at first use, relaxed atomics forever after.
+pub struct ServeMetrics {
+    requests: HashMap<&'static str, (Counter, Histogram)>,
+    lock_wait: Histogram,
+}
+
+impl ServeMetrics {
+    /// The process-wide handle set.
+    pub fn get() -> &'static ServeMetrics {
+        static CELL: OnceLock<ServeMetrics> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let registry = streamtune_telemetry::global();
+            let requests = VERBS
+                .iter()
+                .map(|&verb| {
+                    let labels = [("verb", verb)];
+                    (
+                        verb,
+                        (
+                            registry.counter_with(
+                                "streamtune_requests_total",
+                                "Protocol requests served, by verb.",
+                                &labels,
+                            ),
+                            registry.histogram_with(
+                                "streamtune_request_duration_nanoseconds",
+                                "Request handling latency under the server lock, by verb.",
+                                &labels,
+                            ),
+                        ),
+                    )
+                })
+                .collect();
+            ServeMetrics {
+                requests,
+                lock_wait: registry.histogram(
+                    "streamtune_lock_wait_nanoseconds",
+                    "Time spent waiting for the shared server lock before dispatch.",
+                ),
+            }
+        })
+    }
+
+    /// Record one handled request.
+    pub fn record_request(&self, verb: &str, elapsed: Duration) {
+        if let Some((count, latency)) = self.requests.get(verb) {
+            count.inc();
+            latency.record_duration(elapsed);
+        }
+    }
+
+    /// Record one wait for the shared server lock.
+    pub fn record_lock_wait(&self, waited: Duration) {
+        self.lock_wait.record_duration(waited);
+    }
+}
+
+/// The daemon's telemetry clock: first call pins the epoch, later calls
+/// measure against it.
+fn start_instant() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Whole seconds since the telemetry clock started.
+pub fn uptime_seconds() -> u64 {
+    start_instant().elapsed().as_secs()
+}
+
+/// Stable label text for a parallelism setting.
+pub fn parallelism_label(p: Parallelism) -> String {
+    match p {
+        Parallelism::Auto => "auto".to_string(),
+        Parallelism::Serial => "serial".to_string(),
+        Parallelism::Fixed(n) => format!("fixed({n})"),
+    }
+}
+
+/// Register the constant-1 `streamtune_build_info` gauge (version and
+/// parallelism ride as labels) and start the uptime clock. Idempotent;
+/// called from [`crate::Server::new`].
+pub fn register_build_info(parallelism: Parallelism) -> Gauge {
+    let registry = streamtune_telemetry::global();
+    let label = parallelism_label(parallelism);
+    let info = registry.gauge_with(
+        "streamtune_build_info",
+        "Constant 1; build and runtime info ride as labels.",
+        &[
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("parallelism", &label),
+        ],
+    );
+    info.set(1.0);
+    start_instant();
+    uptime_gauge();
+    info
+}
+
+fn uptime_gauge() -> &'static Gauge {
+    static CELL: OnceLock<Gauge> = OnceLock::new();
+    CELL.get_or_init(|| {
+        streamtune_telemetry::global().gauge(
+            "streamtune_uptime_seconds",
+            "Whole seconds since the daemon's telemetry clock started.",
+        )
+    })
+}
+
+/// The telemetry registry as a JSON value — the `metrics` verb payload.
+///
+/// Shape: `{"metrics": [{"name", "kind", "labels", ...value}]}`, where a
+/// counter carries `"value": <u64>`, a gauge `"value": <f64>`, and a
+/// histogram `"count"`, `"sum"`, `"p50"`, `"p99"` plus the non-empty
+/// `"buckets"` as `[upper_bound|null, count]` pairs (null = +Inf).
+pub fn metrics_value() -> Value {
+    uptime_gauge().set(uptime_seconds() as f64);
+    let snapshot = streamtune_telemetry::global().snapshot();
+    let series: Vec<Value> = snapshot
+        .metrics
+        .iter()
+        .map(|m| {
+            let mut fields = vec![
+                ("name".to_string(), Value::String(m.name.clone())),
+                (
+                    "kind".to_string(),
+                    Value::String(m.value.kind().as_str().to_string()),
+                ),
+                (
+                    "labels".to_string(),
+                    Value::Object(
+                        m.labels
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Value::String(v.clone())))
+                            .collect(),
+                    ),
+                ),
+            ];
+            match &m.value {
+                MetricValue::Counter(v) => fields.push(("value".to_string(), Value::U64(*v))),
+                MetricValue::Gauge(v) => fields.push(("value".to_string(), Value::F64(*v))),
+                MetricValue::Histogram(h) => {
+                    fields.push(("count".to_string(), Value::U64(h.count)));
+                    fields.push(("sum".to_string(), Value::U64(h.sum)));
+                    fields.push(("p50".to_string(), Value::F64(h.quantile(0.5))));
+                    fields.push(("p99".to_string(), Value::F64(h.quantile(0.99))));
+                    let buckets: Vec<Value> = h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &n)| n > 0)
+                        .map(|(i, &n)| {
+                            Value::Array(vec![
+                                match bucket_upper_bound(i) {
+                                    Some(le) => Value::U64(le),
+                                    None => Value::Null,
+                                },
+                                Value::U64(n),
+                            ])
+                        })
+                        .collect();
+                    fields.push(("buckets".to_string(), Value::Array(buckets)));
+                }
+            }
+            Value::Object(fields)
+        })
+        .collect();
+    Value::Object(vec![("metrics".to_string(), Value::Array(series))])
+}
+
+/// The registry rendered as Prometheus text exposition format 0.0.4.
+pub fn prometheus_text() -> String {
+    uptime_gauge().set(uptime_seconds() as f64);
+    render_prometheus(&streamtune_telemetry::global().snapshot())
+}
+
+/// Serve `GET /metrics` (Prometheus text) and `GET /metrics.json` (the
+/// `metrics` verb payload) on `addr` from a background thread. The
+/// endpoint shares nothing with the protocol path but the atomics it
+/// snapshots; a slow or hostile scraper cannot touch the server lock.
+pub fn spawn_metrics_endpoint(addr: &str) -> std::io::Result<MiniHttpServer> {
+    MiniHttpServer::bind(addr, |_method, path| match path {
+        "/metrics" => HttpReply::text(prometheus_text()),
+        "/metrics.json" => HttpReply::json(
+            serde_json::to_string(&metrics_value()).expect("metrics values always serialize"),
+        ),
+        _ => HttpReply::not_found(),
+    })
+}

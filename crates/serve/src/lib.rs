@@ -22,8 +22,14 @@
 //!   swaps go through [`JobManager::swap_pretrained`];
 //! * [`protocol`] — the **line-delimited JSON control protocol**
 //!   (`submit` / `status` / `recommend` / `cancel` / `watch` / `unwatch` /
-//!   `drift_status` / `tick` / `health` / `snapshot` / `drain` /
-//!   `shutdown`), identical over stdio, in-process buffers and TCP;
+//!   `drift_status` / `tick` / `health` / `metrics` / `snapshot` /
+//!   `drain` / `shutdown`), identical over stdio, in-process buffers and
+//!   TCP;
+//! * [`expose`] — **telemetry exposition**: per-verb request counters and
+//!   latency histograms, lock-wait timings, the `metrics` verb's JSON
+//!   payload, and a Prometheus text scrape endpoint
+//!   ([`expose::spawn_metrics_endpoint`], the CLI's `--metrics-listen`)
+//!   served off-thread so scrapers never touch the server lock;
 //! * [`journal`] — the **epoch-granular job journal**: every tuning
 //!   deployment is appended (sealed, `fsync`ed) to a per-job append-only
 //!   file as it happens, so a process killed mid-tune resumes from the
@@ -100,18 +106,26 @@
 //!   deterministically by epoch-windowed
 //!   [`FaultPlan::with_phase`](streamtune_backend::FaultPlan::with_phase)
 //!   outage drills (`tests/chaos_faults.rs`).
-//! * **Observability** — the `health` protocol verb reports per-job
+//! * **Observability** — the `health` protocol verb reports build info
+//!   (crate version, uptime, configured parallelism), per-job
 //!   fault/retry counters ([`JobHealthLine`]) plus daemon-wide degraded
 //!   watches, store recoveries, lock recoveries, contained handler
 //!   panics, shed sessions, expired deadlines, oversized request lines
 //!   and active SLO alarms ([`HealthReport`], [`HealthCounters`],
-//!   [`TcpCounters`]).
+//!   [`TcpCounters`]). The `metrics` verb (and the HTTP scrape endpoint
+//!   on `--metrics-listen`) exposes the `streamtune-telemetry` registry —
+//!   per-verb request latency histograms, lock-wait timings, monitor
+//!   tick durations, drift-event counts, retry/backoff timings, GED
+//!   cache hit rates and pretrain phase timings. Telemetry is strictly
+//!   observational: tuning outcomes with it enabled are bit-identical
+//!   to runs with it disabled.
 //!
 //! The CLI front ends are `streamtune serve`, `streamtune client` and
 //! `streamtune monitor`; `examples/serve_quickstart.rs` and
 //! `examples/monitor_quickstart.rs` drive in-process servers.
 
 pub mod error;
+pub mod expose;
 pub mod job;
 pub mod journal;
 pub mod protocol;
@@ -119,6 +133,7 @@ pub mod server;
 pub mod store;
 
 pub use error::ServeError;
+pub use expose::{metrics_value, prometheus_text, spawn_metrics_endpoint, ServeMetrics};
 pub use job::{Job, JobManager, JobResult, JobState, PersistedJob};
 pub use journal::{
     create_journal, journal_file_name, load_journal, JournaledBackend, LoadedJournal,

@@ -15,6 +15,7 @@
 //! | unwatch | `{"unwatch": {"job": "j1"}}` |
 //! | drift_status | `"drift_status"` |
 //! | health | `"health"` |
+//! | metrics | `"metrics"` |
 //! | tick | `{"tick": {"steps": 5}}` |
 //! | snapshot | `"snapshot"` |
 //! | drain | `"drain"` |
@@ -25,7 +26,8 @@
 //! `{"recommendation": {...}}`, `{"cancelled": {...}}`,
 //! `{"watching": {...}}`, `{"unwatched": {...}}`,
 //! `{"drift": {"watches": [...], "alarms": [...]}}`,
-//! `{"health": {...}}`, `{"ticked": {...}}`, `{"snapshotted": {...}}`,
+//! `{"health": {...}}`, `{"metrics": {...}}`, `{"ticked": {...}}`,
+//! `{"snapshotted": {...}}`,
 //! `{"draining": {...}}`, `"shutting-down"`, `{"error": {...}}`. Unknown
 //! verbs and malformed lines produce an `error` response, never a dropped
 //! connection — including request lines past the server's size cap, which
@@ -176,6 +178,10 @@ pub enum Request {
     /// Report fault-tolerance health: per-job retry counters, degraded
     /// flags, store recovery events and daemon-level panic/lock counters.
     Health,
+    /// Dump the telemetry registry (counters, gauges, latency histograms)
+    /// as a JSON object — the same series the Prometheus scrape endpoint
+    /// exposes, over the control protocol instead of HTTP.
+    Metrics,
     /// Advance the monitor by `steps` observe→detect→adapt ticks.
     Tick {
         /// Ticks to take.
@@ -210,6 +216,7 @@ impl Serialize for Request {
             Request::Unwatch { job } => tagged("unwatch", job_ref(job)),
             Request::DriftStatus => Value::String("drift_status".to_string()),
             Request::Health => Value::String("health".to_string()),
+            Request::Metrics => Value::String("metrics".to_string()),
             Request::Tick { steps } => tagged(
                 "tick",
                 Value::Object(vec![("steps".to_string(), Value::U64(*steps))]),
@@ -251,6 +258,7 @@ impl Deserialize for Request {
             }),
             "drift_status" => Ok(Request::DriftStatus),
             "health" => Ok(Request::Health),
+            "metrics" => Ok(Request::Metrics),
             "tick" => Ok(Request::Tick {
                 steps: u64::deserialize(need(payload)?.field("steps")?)?,
             }),
@@ -259,8 +267,29 @@ impl Deserialize for Request {
             "shutdown" => Ok(Request::Shutdown),
             other => Err(Error::custom(format!(
                 "unknown verb `{other}` (want submit/status/recommend/cancel/watch/unwatch/\
-                 drift_status/health/tick/snapshot/drain/shutdown)"
+                 drift_status/health/metrics/tick/snapshot/drain/shutdown)"
             ))),
+        }
+    }
+}
+
+impl Request {
+    /// The lowercase wire verb, e.g. for labeling per-verb metrics.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Submit(_) => "submit",
+            Request::Status => "status",
+            Request::Recommend { .. } => "recommend",
+            Request::Cancel { .. } => "cancel",
+            Request::Watch { .. } => "watch",
+            Request::Unwatch { .. } => "unwatch",
+            Request::DriftStatus => "drift_status",
+            Request::Health => "health",
+            Request::Metrics => "metrics",
+            Request::Tick { .. } => "tick",
+            Request::Snapshot => "snapshot",
+            Request::Drain => "drain",
+            Request::Shutdown => "shutdown",
         }
     }
 }
@@ -356,6 +385,14 @@ pub struct AlarmLine {
 /// back into tuning decisions, so reading it never perturbs outcomes.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct HealthReport {
+    /// Daemon crate version (`CARGO_PKG_VERSION` at build time).
+    pub version: String,
+    /// Whole seconds since the daemon's telemetry clock started.
+    pub uptime_seconds: u64,
+    /// Configured worker-pool parallelism (`"auto"`, `"serial"` or a
+    /// fixed width) — the knob that never changes answers, only wall
+    /// clock.
+    pub parallelism: String,
     /// One line per admitted job, in admission order.
     pub jobs: Vec<JobHealthLine>,
     /// Jobs currently watched by the drift monitor.
@@ -392,6 +429,15 @@ impl Deserialize for HealthReport {
             Err(_) => Ok(0),
         };
         Ok(HealthReport {
+            version: match v.field("version") {
+                Ok(f) => String::deserialize(f)?,
+                Err(_) => String::new(),
+            },
+            uptime_seconds: u64_or_zero("uptime_seconds")?,
+            parallelism: match v.field("parallelism") {
+                Ok(f) => String::deserialize(f)?,
+                Err(_) => String::new(),
+            },
             jobs: Vec::deserialize(v.field("jobs")?)?,
             watched: u64::deserialize(v.field("watched")?)?,
             degraded_watches: u64::deserialize(v.field("degraded_watches")?)?,
@@ -478,6 +524,10 @@ pub enum Response {
     },
     /// The daemon's fault-tolerance ledger.
     Health(HealthReport),
+    /// The telemetry registry as a JSON object (see the `metrics` verb).
+    /// Kept as a raw [`Value`]: the series set grows release to release,
+    /// and clients should not need a protocol bump to read new ones.
+    Metrics(Value),
     /// The monitor advanced.
     Ticked(TickReport),
     /// The model store was persisted.
@@ -546,6 +596,7 @@ impl Serialize for Response {
                 ]),
             ),
             Response::Health(report) => tagged("health", report.serialize()),
+            Response::Metrics(value) => tagged("metrics", value.clone()),
             Response::Ticked(report) => tagged("ticked", report.serialize()),
             Response::Snapshotted { dir } => tagged(
                 "snapshotted",
@@ -625,6 +676,7 @@ impl Deserialize for Response {
                 })
             }
             "health" => Ok(Response::Health(HealthReport::deserialize(need(payload)?)?)),
+            "metrics" => Ok(Response::Metrics(need(payload)?.clone())),
             "ticked" => Ok(Response::Ticked(TickReport::deserialize(need(payload)?)?)),
             "snapshotted" => Ok(Response::Snapshotted {
                 dir: String::deserialize(need(payload)?.field("dir")?)?,
@@ -716,6 +768,7 @@ mod tests {
             },
             Request::DriftStatus,
             Request::Health,
+            Request::Metrics,
             Request::Tick { steps: 25 },
             Request::Snapshot,
             Request::Drain,
@@ -791,6 +844,7 @@ mod tests {
             Request::DriftStatus
         );
         assert_eq!(parse_request("\"health\"").unwrap(), Request::Health);
+        assert_eq!(parse_request("\"metrics\"").unwrap(), Request::Metrics);
         assert!(parse_request("{\"tick\": {}}").is_err());
         // A hand-written chaos backend spec parses into a full fault plan.
         let r = parse_request(
@@ -871,6 +925,9 @@ mod tests {
                 }],
             },
             Response::Health(HealthReport {
+                version: "0.5.0".to_string(),
+                uptime_seconds: 12,
+                parallelism: "fixed(4)".to_string(),
                 jobs: vec![JobHealthLine {
                     job: "j".to_string(),
                     state: "degraded".to_string(),
@@ -905,6 +962,10 @@ mod tests {
                     detail: "re-tuned 10 → 14".to_string(),
                 }],
             }),
+            Response::Metrics(Value::Object(vec![(
+                "streamtune_requests_total".to_string(),
+                Value::U64(7),
+            )])),
             Response::Snapshotted {
                 dir: "/tmp/store".to_string(),
             },
@@ -951,6 +1012,11 @@ mod tests {
                 assert_eq!(report.deadlines_expired, 0);
                 assert_eq!(report.oversized_lines, 0);
                 assert!(report.alarms.is_empty());
+                // Build/runtime info arrived after admission control;
+                // pre-telemetry daemons send none of it.
+                assert_eq!(report.version, "");
+                assert_eq!(report.uptime_seconds, 0);
+                assert_eq!(report.parallelism, "");
             }
             other => panic!("expected health, got {other:?}"),
         }

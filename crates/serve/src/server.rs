@@ -43,8 +43,11 @@ use streamtune_monitor::{
     WatchSpec,
 };
 use streamtune_sim::SimCluster;
+use streamtune_telemetry::{emit, Level};
 use streamtune_workloads::history::ExecutionRecord;
 use streamtune_workloads::{find_workload, rates::Engine};
+
+use crate::expose::ServeMetrics;
 
 /// Server settings beyond the model itself.
 #[derive(Debug, Clone)]
@@ -307,6 +310,7 @@ impl Server {
         corpus: Vec<ExecutionRecord>,
         config: ServerConfig,
     ) -> Self {
+        crate::expose::register_build_info(config.parallelism);
         Server {
             manager: JobManager::new(pretrained, config.parallelism)
                 .with_retry(config.retry)
@@ -372,7 +376,11 @@ impl Server {
             let ledger = ledger.unwrap_or_default();
             let restored_jobs = ledger.len();
             for event in &recoveries {
-                eprintln!("store recovery: {event}");
+                emit(
+                    Level::Warn,
+                    "serve.store",
+                    format!("store recovery: {event}"),
+                );
             }
             let store_recoveries = recoveries.len();
             let mut server = Server::new(
@@ -428,7 +436,11 @@ impl Server {
             let _ = std::fs::remove_dir_all(store.journal_dir());
         }
         for event in &recoveries {
-            eprintln!("store recovery: {event}");
+            emit(
+                Level::Warn,
+                "serve.store",
+                format!("store recovery: {event}"),
+            );
         }
         let store_recoveries = recoveries.len();
         let mut server = Server::new(pretrained, cache, store, corpus, config);
@@ -724,6 +736,9 @@ impl Server {
             self.health.handler_panics,
         );
         HealthReport {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            uptime_seconds: crate::expose::uptime_seconds(),
+            parallelism: crate::expose::parallelism_label(self.config.parallelism),
             jobs,
             watched: drift.len() as u64,
             degraded_watches,
@@ -781,8 +796,11 @@ impl Server {
     }
 
     /// Serve one request. Returns the response and whether the server
-    /// should stop after sending it.
+    /// should stop after sending it. Every request lands in the per-verb
+    /// `streamtune_requests_total` / `streamtune_request_duration_nanoseconds`
+    /// series — recording is observational, the response is computed first.
     pub fn handle(&mut self, request: &Request) -> (Response, bool) {
+        let started = Instant::now();
         let response = match request {
             Request::Submit(spec) => {
                 let job = spec.name.clone();
@@ -856,6 +874,7 @@ impl Server {
                 alarms: self.health_report().alarms,
             },
             Request::Health => Response::Health(self.health_report()),
+            Request::Metrics => Response::Metrics(crate::expose::metrics_value()),
             Request::Tick { steps } => {
                 // One request must not hold the shared server lock for an
                 // unbounded time: a huge (or fat-fingered) steps value
@@ -889,12 +908,13 @@ impl Server {
                         None
                     }
                     Err(e) => {
+                        ServeMetrics::get().record_request(request.verb(), started.elapsed());
                         return (
                             Response::Error {
                                 message: format!("drain: {e}"),
                             },
                             true,
-                        )
+                        );
                     }
                 };
                 Response::Draining {
@@ -904,6 +924,7 @@ impl Server {
             }
             Request::Shutdown => Response::ShuttingDown,
         };
+        ServeMetrics::get().record_request(request.verb(), started.elapsed());
         (
             response,
             matches!(request, Request::Shutdown | Request::Drain),
@@ -1012,7 +1033,11 @@ impl Server {
         std::thread::scope(|scope| {
             while !shutdown.load(Ordering::SeqCst) {
                 if sigterm_pending() {
-                    eprintln!("SIGTERM: draining (finish + journal in-flight work, flush store)");
+                    emit(
+                        Level::Warn,
+                        "serve.tcp",
+                        "SIGTERM: draining (finish + journal in-flight work, flush store)",
+                    );
                     drain_on_term(server, config.drain_timeout);
                     shutdown.store(true, Ordering::SeqCst);
                     break;
@@ -1039,7 +1064,11 @@ impl Server {
                         scope.spawn(move || {
                             if let Err(e) = serve_connection(server, stream, shutdown, tcp, &config)
                             {
-                                eprintln!("connection from {peer} ended: {e}");
+                                emit(
+                                    Level::Warn,
+                                    "serve.tcp",
+                                    format!("connection from {peer} ended: {e}"),
+                                );
                             }
                             sessions.fetch_sub(1, Ordering::SeqCst);
                         });
@@ -1052,17 +1081,25 @@ impl Server {
                                 match catch_unwind(AssertUnwindSafe(|| guard.tick_monitor(1))) {
                                     Ok(report) => {
                                         for event in &report.events {
-                                            eprintln!(
-                                                "monitor: {} [{}] {}",
-                                                event.job, event.kind, event.detail
+                                            emit(
+                                                Level::Info,
+                                                "serve.monitor",
+                                                format!(
+                                                    "{} [{}] {}",
+                                                    event.job, event.kind, event.detail
+                                                ),
                                             );
                                         }
                                     }
                                     Err(payload) => {
                                         guard.health.handler_panics += 1;
-                                        eprintln!(
-                                            "monitor: background tick panicked (contained): {}",
-                                            panic_message(payload.as_ref())
+                                        emit(
+                                            Level::Error,
+                                            "serve.monitor",
+                                            format!(
+                                                "background tick panicked (contained): {}",
+                                                panic_message(payload.as_ref())
+                                            ),
                                         );
                                     }
                                 }
@@ -1097,7 +1134,11 @@ fn drain_on_term(server: &Mutex<Server>, timeout: Duration) {
         match server.try_lock() {
             Ok(mut guard) => {
                 let (response, _) = guard.handle(&Request::Drain);
-                eprintln!("SIGTERM drain: {}", render_response(&response));
+                emit(
+                    Level::Warn,
+                    "serve.tcp",
+                    format!("SIGTERM drain: {}", render_response(&response)),
+                );
                 return;
             }
             Err(TryLockError::Poisoned(poisoned)) => {
@@ -1105,17 +1146,25 @@ fn drain_on_term(server: &Mutex<Server>, timeout: Duration) {
                 let mut guard = poisoned.into_inner();
                 guard.health.lock_recoveries += 1;
                 let (response, _) = guard.handle(&Request::Drain);
-                eprintln!(
-                    "SIGTERM drain (recovered lock): {}",
-                    render_response(&response)
+                emit(
+                    Level::Error,
+                    "serve.tcp",
+                    format!(
+                        "SIGTERM drain (recovered lock): {}",
+                        render_response(&response)
+                    ),
                 );
                 return;
             }
             Err(TryLockError::WouldBlock) => {
                 if start.elapsed() >= timeout {
-                    eprintln!(
-                        "SIGTERM drain: server lock still held after {timeout:?}; \
-                         exiting on the journal"
+                    emit(
+                        Level::Error,
+                        "serve.tcp",
+                        format!(
+                            "SIGTERM drain: server lock still held after {timeout:?}; \
+                             exiting on the journal"
+                        ),
                     );
                     return;
                 }
@@ -1184,16 +1233,23 @@ pub const MAX_LINE_BYTES: usize = 1 << 20;
 /// `error` beats one that unwinds every connection thread — so recover,
 /// count it, and keep serving.
 fn lock_server<'a>(server: &'a Mutex<Server>) -> MutexGuard<'a, Server> {
-    match server.lock() {
+    let waited = Instant::now();
+    let guard = match server.lock() {
         Ok(guard) => guard,
         Err(poisoned) => {
             server.clear_poison();
             let mut guard = poisoned.into_inner();
             guard.health.lock_recoveries += 1;
-            eprintln!("server lock was poisoned; recovered and serving on");
+            emit(
+                Level::Error,
+                "serve.lock",
+                "server lock was poisoned; recovered and serving on",
+            );
             guard
         }
-    }
+    };
+    ServeMetrics::get().record_lock_wait(waited.elapsed());
+    guard
 }
 
 /// Dispatch one parsed request under the shared lock, containing handler
@@ -1214,14 +1270,18 @@ fn dispatch(
         None => lock_server(server),
         Some((tcp, config)) => {
             let start = Instant::now();
-            loop {
+            let guard = loop {
                 match server.try_lock() {
                     Ok(guard) => break guard,
                     Err(TryLockError::Poisoned(poisoned)) => {
                         server.clear_poison();
                         let mut guard = poisoned.into_inner();
                         guard.health.lock_recoveries += 1;
-                        eprintln!("server lock was poisoned; recovered and serving on");
+                        emit(
+                            Level::Error,
+                            "serve.lock",
+                            "server lock was poisoned; recovered and serving on",
+                        );
                         break guard;
                     }
                     Err(TryLockError::WouldBlock) => {
@@ -1238,7 +1298,9 @@ fn dispatch(
                         std::thread::sleep(Duration::from_millis(1));
                     }
                 }
-            }
+            };
+            ServeMetrics::get().record_lock_wait(start.elapsed());
+            guard
         }
     };
     match catch_unwind(AssertUnwindSafe(|| guard.handle(request))) {

@@ -1,0 +1,492 @@
+//! Prometheus text exposition and an in-repo format checker.
+//!
+//! [`render_prometheus`] turns a [`MetricsSnapshot`] into the Prometheus
+//! text format (version 0.0.4): `# HELP` / `# TYPE` headers, labeled
+//! sample lines, and histograms as cumulative `_bucket{le="..."}` series
+//! plus `_sum`/`_count`. Bucket bounds are the log₂ bucket upper bounds
+//! (`2^(i+1) - 1`), emitted up to the highest non-empty bucket plus the
+//! mandatory `le="+Inf"`.
+//!
+//! [`check_prometheus`] is the matching validator used by CI instead of
+//! an external `promtool`: it rejects malformed names, labels, values and
+//! header ordering, and checks histogram invariants (cumulative
+//! non-decreasing buckets, `+Inf` bucket present and equal to `_count`,
+//! `_sum` present).
+
+use crate::metrics::{bucket_upper_bound, HistogramSnapshot, MetricValue, MetricsSnapshot};
+use std::collections::{HashMap, HashSet};
+
+fn escape_help(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn escape_label_value(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>, out: &mut String) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label_value(v, out);
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label_value(v, out);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn render_histogram(
+    name: &str,
+    labels: &[(String, String)],
+    h: &HistogramSnapshot,
+    out: &mut String,
+) {
+    let last = h
+        .buckets
+        .iter()
+        .rposition(|&n| n > 0)
+        .map_or(0, |i| (i + 1).min(h.buckets.len() - 1));
+    let mut cumulative = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate().take(last) {
+        cumulative += n;
+        let Some(upper) = bucket_upper_bound(i) else {
+            break;
+        };
+        out.push_str(name);
+        out.push_str("_bucket");
+        render_labels(labels, Some(("le", &upper.to_string())), out);
+        out.push(' ');
+        out.push_str(&cumulative.to_string());
+        out.push('\n');
+    }
+    out.push_str(name);
+    out.push_str("_bucket");
+    render_labels(labels, Some(("le", "+Inf")), out);
+    out.push(' ');
+    out.push_str(&h.count.to_string());
+    out.push('\n');
+    out.push_str(name);
+    out.push_str("_sum");
+    render_labels(labels, None, out);
+    out.push(' ');
+    out.push_str(&h.sum.to_string());
+    out.push('\n');
+    out.push_str(name);
+    out.push_str("_count");
+    render_labels(labels, None, out);
+    out.push(' ');
+    out.push_str(&h.count.to_string());
+    out.push('\n');
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for m in &snapshot.metrics {
+        if last_name != Some(m.name.as_str()) {
+            out.push_str("# HELP ");
+            out.push_str(&m.name);
+            out.push(' ');
+            escape_help(&m.help, &mut out);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(&m.name);
+            out.push(' ');
+            out.push_str(m.value.kind().as_str());
+            out.push('\n');
+            last_name = Some(m.name.as_str());
+        }
+        match &m.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&m.name);
+                render_labels(&m.labels, None, &mut out);
+                out.push(' ');
+                out.push_str(&v.to_string());
+                out.push('\n');
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&m.name);
+                render_labels(&m.labels, None, &mut out);
+                out.push(' ');
+                out.push_str(&format_value(*v));
+                out.push('\n');
+            }
+            MetricValue::Histogram(h) => render_histogram(&m.name, &m.labels, h, &mut out),
+        }
+    }
+    out
+}
+
+/// A parsed sample line: metric name, sorted labels, value.
+#[derive(Debug, Clone)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+    line_no: usize,
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        s => s.parse().ok(),
+    }
+}
+
+fn parse_sample(line: &str, line_no: usize, errors: &mut Vec<String>) -> Option<Sample> {
+    let (name_part, rest) = match line.find(['{', ' ']) {
+        Some(i) => line.split_at(i),
+        None => {
+            errors.push(format!("line {line_no}: sample has no value: {line:?}"));
+            return None;
+        }
+    };
+    if !crate::metrics::valid_name(name_part) {
+        errors.push(format!("line {line_no}: invalid metric name {name_part:?}"));
+        return None;
+    }
+    let mut labels = Vec::new();
+    let value_str = if let Some(body) = rest.strip_prefix('{') {
+        let Some(close) = body.find('}') else {
+            errors.push(format!("line {line_no}: unterminated label set"));
+            return None;
+        };
+        let (label_str, after) = body.split_at(close);
+        let mut cursor = label_str;
+        while !cursor.is_empty() {
+            let Some(eq) = cursor.find('=') else {
+                errors.push(format!(
+                    "line {line_no}: label without '=' in {label_str:?}"
+                ));
+                return None;
+            };
+            let key = &cursor[..eq];
+            if !crate::metrics::valid_name(key) {
+                errors.push(format!("line {line_no}: invalid label name {key:?}"));
+                return None;
+            }
+            let mut chars = cursor[eq + 1..].char_indices();
+            if chars.next().map(|(_, c)| c) != Some('"') {
+                errors.push(format!("line {line_no}: label value not quoted"));
+                return None;
+            }
+            let mut val = String::new();
+            let mut end = None;
+            let mut escaped = false;
+            for (i, c) in chars {
+                if escaped {
+                    match c {
+                        'n' => val.push('\n'),
+                        '\\' => val.push('\\'),
+                        '"' => val.push('"'),
+                        c => val.push(c),
+                    }
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    end = Some(eq + 1 + i);
+                    break;
+                } else {
+                    val.push(c);
+                }
+            }
+            let Some(end) = end else {
+                errors.push(format!("line {line_no}: unterminated label value"));
+                return None;
+            };
+            labels.push((key.to_string(), val));
+            cursor = &cursor[end + 1..];
+            if let Some(stripped) = cursor.strip_prefix(',') {
+                cursor = stripped;
+            } else if !cursor.is_empty() {
+                errors.push(format!("line {line_no}: expected ',' between labels"));
+                return None;
+            }
+        }
+        after[1..].trim_start()
+    } else {
+        rest.trim_start()
+    };
+    let value_str = value_str.split_whitespace().next().unwrap_or("");
+    let Some(value) = parse_value(value_str) else {
+        errors.push(format!("line {line_no}: unparseable value {value_str:?}"));
+        return None;
+    };
+    labels.sort();
+    Some(Sample {
+        name: name_part.to_string(),
+        labels,
+        value,
+        line_no,
+    })
+}
+
+/// Validate Prometheus text exposition. Returns every problem found
+/// (empty `Err` never happens — `Ok(())` means the text is clean).
+///
+/// Checks: name/label charset, quoting and escapes, parseable values,
+/// `# TYPE` at most once per metric and before its samples, no duplicate
+/// series, and for each `# TYPE ... histogram`: `_bucket` cumulative
+/// counts non-decreasing over increasing `le`, an `le="+Inf"` bucket
+/// equal to `_count`, and `_sum`/`_count` present.
+pub fn check_prometheus(text: &str) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut sampled_names: HashSet<String> = HashSet::new();
+
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('#') {
+            let mut parts = line.splitn(4, ' ');
+            let _hash = parts.next();
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts.next().unwrap_or("");
+                    let kind = parts.next().unwrap_or("");
+                    if !crate::metrics::valid_name(name) {
+                        errors.push(format!("line {line_no}: invalid TYPE name {name:?}"));
+                        continue;
+                    }
+                    if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                        errors.push(format!("line {line_no}: unknown TYPE {kind:?}"));
+                    }
+                    if types.insert(name.to_string(), kind.to_string()).is_some() {
+                        errors.push(format!("line {line_no}: duplicate TYPE for {name}"));
+                    }
+                    if sampled_names.contains(name) {
+                        errors.push(format!("line {line_no}: TYPE for {name} after its samples"));
+                    }
+                }
+                Some("HELP") => {
+                    let name = parts.next().unwrap_or("");
+                    if !crate::metrics::valid_name(name) {
+                        errors.push(format!("line {line_no}: invalid HELP name {name:?}"));
+                    }
+                }
+                _ => {} // plain comment
+            }
+            continue;
+        }
+        if let Some(sample) = parse_sample(line, line_no, &mut errors) {
+            sampled_names.insert(sample.name.clone());
+            // Histogram component series register under their base name too.
+            for suffix in ["_bucket", "_sum", "_count"] {
+                if let Some(base) = sample.name.strip_suffix(suffix) {
+                    if types.get(base).map(String::as_str) == Some("histogram") {
+                        sampled_names.insert(base.to_string());
+                    }
+                }
+            }
+            samples.push(sample);
+        }
+    }
+
+    // Duplicate series check.
+    let mut seen: HashSet<(String, Vec<(String, String)>)> = HashSet::new();
+    for s in &samples {
+        if !seen.insert((s.name.clone(), s.labels.clone())) {
+            errors.push(format!(
+                "line {}: duplicate series {}{:?}",
+                s.line_no, s.name, s.labels
+            ));
+        }
+    }
+
+    // Histogram invariants, grouped by (base name, labels minus `le`).
+    for (name, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        // Per label set (minus `le`): each bucket's (bound, count, line).
+        type BucketGroups = HashMap<Vec<(String, String)>, Vec<(f64, u64, usize)>>;
+        let mut groups: BucketGroups = HashMap::new();
+        let mut sums: HashSet<Vec<(String, String)>> = HashSet::new();
+        let mut counts: HashMap<Vec<(String, String)>, u64> = HashMap::new();
+        for s in &samples {
+            if s.name == format!("{name}_bucket") {
+                let le = s.labels.iter().find(|(k, _)| k == "le");
+                let Some((_, le)) = le else {
+                    errors.push(format!(
+                        "line {}: {name}_bucket without le label",
+                        s.line_no
+                    ));
+                    continue;
+                };
+                let Some(bound) = parse_value(le) else {
+                    errors.push(format!("line {}: unparseable le {le:?}", s.line_no));
+                    continue;
+                };
+                let key: Vec<_> = s
+                    .labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .cloned()
+                    .collect();
+                groups
+                    .entry(key)
+                    .or_default()
+                    .push((bound, s.value as u64, s.line_no));
+            } else if s.name == format!("{name}_sum") {
+                sums.insert(s.labels.clone());
+            } else if s.name == format!("{name}_count") {
+                counts.insert(s.labels.clone(), s.value as u64);
+            }
+        }
+        if groups.is_empty() {
+            errors.push(format!("histogram {name} has no _bucket samples"));
+        }
+        for (key, mut buckets) in groups {
+            buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut prev = 0u64;
+            for &(_, v, line_no) in &buckets {
+                if v < prev {
+                    errors.push(format!(
+                        "line {line_no}: histogram {name}{key:?} buckets not cumulative"
+                    ));
+                }
+                prev = v;
+            }
+            let inf = buckets.iter().find(|(b, _, _)| b.is_infinite());
+            match inf {
+                None => errors.push(format!(
+                    "histogram {name}{key:?} missing le=\"+Inf\" bucket"
+                )),
+                Some(&(_, inf_count, _)) => match counts.get(&key) {
+                    None => errors.push(format!("histogram {name}{key:?} missing _count")),
+                    Some(&c) if c != inf_count => errors.push(format!(
+                        "histogram {name}{key:?}: +Inf bucket {inf_count} != _count {c}"
+                    )),
+                    Some(_) => {}
+                },
+            }
+            if !sums.contains(&key) {
+                errors.push(format!("histogram {name}{key:?} missing _sum"));
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn rendered_exposition_passes_checker() {
+        let r = Registry::new();
+        r.counter_with("demo_requests_total", "requests", &[("verb", "status")])
+            .add(3);
+        r.gauge("demo_temperature", "temp").set(1.5);
+        let h = r.histogram("demo_latency_nanoseconds", "latency");
+        for v in [1u64, 3, 900, 70_000] {
+            h.record(v);
+        }
+        let text = render_prometheus(&r.snapshot());
+        check_prometheus(&text).unwrap_or_else(|e| panic!("invalid exposition: {e:?}\n{text}"));
+        assert!(text.contains("# TYPE demo_latency_nanoseconds histogram"));
+        assert!(text.contains("demo_requests_total{verb=\"status\"} 3"));
+        assert!(text.contains("demo_latency_nanoseconds_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("demo_latency_nanoseconds_count 4"));
+    }
+
+    #[test]
+    fn checker_rejects_malformations() {
+        // Value missing.
+        assert!(check_prometheus("foo_total").is_err());
+        // Bad name.
+        assert!(check_prometheus("9foo 1").is_err());
+        // Unquoted label value.
+        assert!(check_prometheus("foo{a=b} 1").is_err());
+        // Non-cumulative buckets.
+        let bad = "# TYPE h histogram\n\
+                   h_bucket{le=\"1\"} 5\n\
+                   h_bucket{le=\"3\"} 2\n\
+                   h_bucket{le=\"+Inf\"} 5\n\
+                   h_sum 9\nh_count 5\n";
+        let errs = check_prometheus(bad).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("not cumulative")),
+            "{errs:?}"
+        );
+        // +Inf bucket disagreeing with _count.
+        let bad = "# TYPE h histogram\n\
+                   h_bucket{le=\"+Inf\"} 5\n\
+                   h_sum 9\nh_count 6\n";
+        let errs = check_prometheus(bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("!= _count")), "{errs:?}");
+        // Missing +Inf.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 9\nh_count 5\n";
+        let errs = check_prometheus(bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("+Inf")), "{errs:?}");
+        // Duplicate series.
+        assert!(check_prometheus("foo 1\nfoo 2\n").is_err());
+        // TYPE after samples.
+        assert!(check_prometheus("foo 1\n# TYPE foo counter\n").is_err());
+    }
+
+    #[test]
+    fn label_escapes_roundtrip() {
+        let r = Registry::new();
+        r.counter_with("esc_total", "x", &[("path", "a\\b\"c\nd")])
+            .inc();
+        let text = render_prometheus(&r.snapshot());
+        check_prometheus(&text).expect("escaped labels must validate");
+        assert!(text.contains(r#"path="a\\b\"c\nd""#), "{text}");
+    }
+}

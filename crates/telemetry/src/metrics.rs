@@ -1,0 +1,543 @@
+//! Atomic counters, gauges and fixed log₂-bucket histograms behind a
+//! name-indexed registry.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap clones of
+//! `Arc`ed atomic cells: register once (a mutex'd name lookup, may
+//! allocate), then record forever with relaxed atomic ops — no locks, no
+//! allocation, no branches beyond the global enable check. Snapshots
+//! ([`MetricsSnapshot`]) are plain data in a stable sorted order, so equal
+//! registries render byte-identical expositions.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets. Bucket `i` holds values `v` with
+/// `floor(log2(max(v, 1))) == i`, i.e. `v` in `[2^i, 2^(i+1))` (bucket 0
+/// also holds 0), which covers the full `u64` range in 64 buckets.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Bucket index for a recorded value: `floor(log2(max(v, 1)))`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    63 - (v | 1).leading_zeros() as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`2^(i+1) - 1`), or `None` for the
+/// last bucket, which is unbounded (`+Inf` in the exposition).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+    if i + 1 >= HISTOGRAM_BUCKETS {
+        None
+    } else {
+        Some((1u64 << (i + 1)) - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (0 for bucket 0, else `2^i`).
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// A monotonically increasing `u64` counter.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    fn new() -> Self {
+        Counter {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// An `f64` gauge (stored as bits in an `AtomicU64`).
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared storage of one histogram: 64 log₂ buckets plus running
+/// count/sum, all relaxed atomics.
+#[derive(Debug)]
+pub struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed log₂-bucket histogram over `u64` values (conventionally
+/// nanoseconds). Recording is allocation-free: one bucket increment plus
+/// count/sum adds, all relaxed.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            core: Arc::new(HistogramCore::new()),
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.core.count.fetch_add(1, Ordering::Relaxed);
+            self.core.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a wall-clock duration in nanoseconds (saturating).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Start a guard that records the elapsed wall-clock nanoseconds into
+    /// this histogram when dropped.
+    pub fn start_timer(&self) -> HistTimer<'_> {
+        HistTimer {
+            hist: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the bucket array and totals. Buckets are
+    /// read individually (relaxed), so a snapshot taken while writers are
+    /// active may be torn across buckets; quiesce first when exact totals
+    /// matter (tests do).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .core
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.core.count.load(Ordering::Relaxed),
+            sum: self.core.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Drop guard from [`Histogram::start_timer`].
+pub struct HistTimer<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl Drop for HistTimer<'_> {
+    fn drop(&mut self) {
+        self.hist.record_duration(self.start.elapsed());
+    }
+}
+
+/// Plain-data copy of a histogram: per-bucket counts plus totals.
+/// Mergeable (bucket-wise addition — associative and commutative) and
+/// queryable for quantile estimates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, length [`HISTOGRAM_BUCKETS`].
+    pub buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Bucket-wise merge with another snapshot.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the containing bucket. Returns 0 for an empty histogram.
+    /// Deterministic: a pure function of the bucket counts.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = bucket_lower_bound(i) as f64;
+                let hi = match bucket_upper_bound(i) {
+                    Some(u) => u as f64,
+                    // Unbounded last bucket: fall back to the mean of
+                    // what landed there (sum-bounded, still deterministic).
+                    None => (self.sum as f64 / self.count as f64).max(lo),
+                };
+                let into = (rank - seen) as f64 / n as f64;
+                return lo + (hi - lo) * into;
+            }
+            seen += n;
+        }
+        bucket_lower_bound(HISTOGRAM_BUCKETS - 1) as f64
+    }
+
+    /// Mean of recorded values (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// What kind of metric a registered name is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+    /// Log₂-bucket distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum MetricCell {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Registered {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    cell: MetricCell,
+}
+
+/// Value part of one metric series in a snapshot.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram distribution.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    /// The series' kind.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            MetricValue::Counter(_) => MetricKind::Counter,
+            MetricValue::Gauge(_) => MetricKind::Gauge,
+            MetricValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// One metric series (name + labels) with its snapshotted value.
+#[derive(Clone, Debug)]
+pub struct MetricSnapshot {
+    /// Metric name (Prometheus charset).
+    pub name: String,
+    /// Help text from registration.
+    pub help: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+    /// Snapshotted value.
+    pub value: MetricValue,
+}
+
+/// Point-in-time copy of a whole registry, sorted by `(name, labels)` so
+/// equal registries snapshot identically.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// All registered series.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Find one series by name and exact label set.
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSnapshot> {
+        self.metrics.iter().find(|m| {
+            m.name == name
+                && m.labels.len() == labels.len()
+                && m.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        })
+    }
+}
+
+/// A name-indexed collection of metrics. Registration takes a mutex and
+/// may allocate; recording through the returned handles never does.
+/// Registering the same `(name, labels)` twice returns a handle to the
+/// same underlying cell (the first help text wins); re-registering under
+/// a different kind panics — that is a programming error, not input.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    entries: Vec<Registered>,
+    index: HashMap<(String, Vec<(String, String)>), usize>,
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Is `name` a valid Prometheus metric/label identifier?
+pub fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> MetricCell,
+    ) -> MetricCell {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        for (k, _) in labels {
+            assert!(valid_name(k), "invalid label name: {k:?}");
+        }
+        let labels = owned_labels(labels);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let key = (name.to_string(), labels.clone());
+        if let Some(&i) = inner.index.get(&key) {
+            let existing = &inner.entries[i].cell;
+            let cell = make();
+            let same_kind = matches!(
+                (existing, &cell),
+                (MetricCell::Counter(_), MetricCell::Counter(_))
+                    | (MetricCell::Gauge(_), MetricCell::Gauge(_))
+                    | (MetricCell::Histogram(_), MetricCell::Histogram(_))
+            );
+            assert!(
+                same_kind,
+                "metric {name:?} re-registered as a different kind"
+            );
+            return existing.clone();
+        }
+        let cell = make();
+        let i = inner.entries.len();
+        inner.entries.push(Registered {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            cell: cell.clone(),
+        });
+        inner.index.insert(key, i);
+        cell
+    }
+
+    /// Register (or look up) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or look up) a labeled counter.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, labels, || MetricCell::Counter(Counter::new())) {
+            MetricCell::Counter(c) => c,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Register (or look up) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or look up) a labeled gauge.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, || MetricCell::Gauge(Gauge::new())) {
+            MetricCell::Gauge(g) => g,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Register (or look up) an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Register (or look up) a labeled histogram.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.register(name, help, labels, || {
+            MetricCell::Histogram(Histogram::new())
+        }) {
+            MetricCell::Histogram(h) => h,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Snapshot every registered series, sorted by `(name, labels)`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut metrics: Vec<MetricSnapshot> = inner
+            .entries
+            .iter()
+            .map(|e| MetricSnapshot {
+                name: e.name.clone(),
+                help: e.help.clone(),
+                labels: e.labels.clone(),
+                value: match &e.cell {
+                    MetricCell::Counter(c) => MetricValue::Counter(c.get()),
+                    MetricCell::Gauge(g) => MetricValue::Gauge(g.get()),
+                    MetricCell::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        MetricsSnapshot { metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn registry_dedups_handles() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "x");
+        let b = r.counter("x_total", "x");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.snapshot().metrics.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn registry_rejects_kind_clash() {
+        let r = Registry::new();
+        let _ = r.counter("x_total", "x");
+        let _ = r.gauge("x_total", "x");
+    }
+}

@@ -25,6 +25,7 @@
 //! | [`serve`] | `streamtune-serve` | tuning daemon: model store, job manager, control protocol |
 //! | [`monitor`] | `streamtune-monitor` | drift detection: metric streams, CUSUM detectors, corpus growth |
 //! | [`connect`] | `streamtune-connect` | real-engine bridge: Flink REST connector backend, streaming JSONL trace ingestion |
+//! | [`telemetry`] | `streamtune-telemetry` | metrics registry (counters, gauges, log₂-bucket histograms), structured events, Prometheus exposition |
 //!
 //! Tuners never name a concrete engine: they drive deployments through a
 //! [`TuningSession`](backend::TuningSession) over
@@ -285,11 +286,47 @@
 //!   ([`FaultPlan::with_phase`](backend::FaultPlan::with_phase)) script
 //!   a deterministic outage → degrade → alarm → recover → clear drill
 //!   (`tests/chaos_faults.rs`).
-//! * **Observability** — the `health` verb reports per-job fault/retry
-//!   counters, degraded watches, poll failures, store recoveries, lock
-//!   recoveries, contained handler panics, shed sessions, expired
-//!   deadlines, oversized request lines and active SLO alarms
-//!   ([`HealthReport`](serve::HealthReport)).
+//! * **Observability** — the `health` verb reports build/runtime info
+//!   plus per-job fault/retry counters, degraded watches, poll failures,
+//!   store recoveries, lock recoveries, contained handler panics, shed
+//!   sessions, expired deadlines, oversized request lines and active SLO
+//!   alarms ([`HealthReport`](serve::HealthReport)); the [`telemetry`]
+//!   layer below adds metrics and tracing.
+//!
+//! ## Observability
+//!
+//! [`telemetry`] is a dependency-free metrics/tracing layer threaded
+//! through the whole stack, and **strictly observational**: handles are
+//! relaxed atomics behind a name-indexed [`Registry`](telemetry::Registry),
+//! nothing reads back into tuning, and chaos-seeded runs with telemetry
+//! enabled are bit-identical to runs with it disabled
+//! ([`telemetry::set_enabled`], proven in `tests/telemetry.rs`).
+//!
+//! * **Metrics** — [`Counter`](telemetry::Counter),
+//!   [`Gauge`](telemetry::Gauge) and fixed log₂-bucket
+//!   [`Histogram`](telemetry::Histogram)s (64 buckets covering all of
+//!   `u64`, allocation-free recording, mergeable
+//!   [`HistogramSnapshot`](telemetry::HistogramSnapshot)s with
+//!   deterministic quantile estimates). The stack pre-registers per-verb
+//!   request latency and lock-wait histograms (serve), monitor tick
+//!   durations and drift-event counts, retry/backoff timings (backend),
+//!   GED cache hit/miss/filtered counters with a hit-ratio gauge, and
+//!   pretrain phase timings (core).
+//! * **Events & spans** — leveled structured events in a bounded ring
+//!   ([`EventLog`](telemetry::EventLog)), optionally streamed as JSONL
+//!   (`streamtune serve --trace-log FILE`) and echoed to stderr at or
+//!   above a threshold; timed [`Span`](telemetry::Span)s record elapsed
+//!   nanoseconds on drop. The daemon's former bare `eprintln!` lines
+//!   (store recovery, SIGTERM drain, connection errors, monitor
+//!   adaptations) are all events now.
+//! * **Exposition** — the `metrics` protocol verb returns the registry
+//!   as JSON over the control connection; `streamtune serve
+//!   --metrics-listen ADDR` serves Prometheus text format 0.0.4 on
+//!   `GET /metrics` (JSON on `/metrics.json`) from an off-thread
+//!   endpoint that never touches the daemon lock
+//!   ([`serve::spawn_metrics_endpoint`]), validated in CI by the in-repo
+//!   checker [`telemetry::check_prometheus`]. `health` carries
+//!   `streamtune_build_info`-style version/uptime/parallelism fields.
 
 pub use streamtune_backend as backend;
 pub use streamtune_baselines as baselines;
@@ -303,6 +340,7 @@ pub use streamtune_monitor as monitor;
 pub use streamtune_nn as nn;
 pub use streamtune_serve as serve;
 pub use streamtune_sim as sim;
+pub use streamtune_telemetry as telemetry;
 pub use streamtune_workloads as workloads;
 
 /// Convenience prelude with the most common entry points.

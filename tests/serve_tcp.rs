@@ -442,6 +442,89 @@ fn requests_past_the_deadline_are_shed_and_the_session_survives() {
     });
 }
 
+/// One raw HTTP/1.0 GET against the scrape endpoint; returns
+/// (status line, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr).expect("connect scraper");
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("send request");
+    stream.flush().expect("flush request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("headers end");
+    let status = head.lines().next().expect("status line").to_string();
+    (status, body.to_string())
+}
+
+#[test]
+fn metrics_endpoint_serves_valid_prometheus_text_alongside_the_protocol() {
+    use streamtune::telemetry::check_prometheus;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let server = Mutex::new(server());
+    let endpoint =
+        streamtune::serve::spawn_metrics_endpoint("127.0.0.1:0").expect("bind scrape endpoint");
+    let scrape = endpoint.local_addr();
+
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| Server::serve_tcp(&server, &listener, None));
+        let mut client = Client::connect(addr);
+        assert!(matches!(
+            client.request(
+                "{\"submit\": {\"name\": \"observed\", \"query\": \"nexmark-q1\", \
+                 \"multiplier\": 6.0, \"seed\": 1, \"engine\": \"flink\", \
+                 \"backend\": \"sim\"}}"
+            ),
+            Response::Submitted { .. }
+        ));
+
+        // The Prometheus scrape runs off-thread while the daemon serves:
+        // well-formed text, and the series the dashboards rely on.
+        let (status, body) = http_get(scrape, "/metrics");
+        assert!(status.contains("200"), "scrape status: {status}");
+        check_prometheus(&body).expect("scrape output must validate");
+        for series in [
+            "streamtune_build_info",
+            "streamtune_uptime_seconds",
+            "streamtune_requests_total",
+            "streamtune_request_duration_nanoseconds",
+            "streamtune_lock_wait_nanoseconds",
+        ] {
+            assert!(body.contains(series), "scrape must carry {series}");
+        }
+        assert!(
+            body.contains("verb=\"submit\""),
+            "the TCP submit above must be visible in the scrape"
+        );
+
+        // The JSON mirror parses, and unknown paths 404.
+        let (status, body) = http_get(scrape, "/metrics.json");
+        assert!(status.contains("200"), "json status: {status}");
+        serde_json::from_str::<serde_json::Value>(&body).expect("metrics.json parses");
+        let (status, _) = http_get(scrape, "/nope");
+        assert!(status.contains("404"), "unknown path: {status}");
+
+        // The same registry answers the `metrics` protocol verb in-band.
+        match client.request("\"metrics\"") {
+            Response::Metrics(value) => {
+                let line = serde_json::to_string(&value).expect("metrics serialize");
+                assert!(line.contains("streamtune_requests_total"), "{line}");
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+
+        assert!(matches!(
+            client.request("\"shutdown\""),
+            Response::ShuttingDown
+        ));
+        daemon
+            .join()
+            .expect("daemon thread")
+            .expect("daemon exits cleanly");
+    });
+}
+
 #[test]
 fn drain_verb_finishes_work_flushes_the_store_and_stops_the_daemon() {
     let dir = std::env::temp_dir().join(format!("streamtune-tcp-drain-{}", std::process::id()));
