@@ -238,7 +238,11 @@ impl<'a> TuningSession<'a> {
         }
         let changed = self.current.as_ref() != Some(assignment);
         self.epoch += 1;
+        let mut span = streamtune_telemetry::child_span("backend.session", "deploy");
+        span.add_field("epoch", self.epoch);
+        span.add_field("total", assignment.total());
         let report = self.deploy_with_retry(assignment)?;
+        drop(span);
         // Bookkeeping only after a successful deployment: a rejected
         // assignment neither reconfigures nor costs stabilization time.
         if changed {
@@ -297,6 +301,13 @@ impl<'a> TuningSession<'a> {
                     self.retry_stats.backoff_minutes += backoff;
                     tel.retries.inc();
                     tel.backoff.record((backoff * 60e9) as u64);
+                    // A marker span per absorbed fault, so retries show up
+                    // in the deploy span's subtree.
+                    let mut retry_span =
+                        streamtune_telemetry::child_span("backend.session", "retry");
+                    retry_span.add_field("attempt", attempt);
+                    retry_span.add_field("backoff_minutes", backoff);
+                    drop(retry_span);
                     attempt += 1;
                 }
                 Err(e) => {

@@ -15,7 +15,13 @@
 //! the performance trajectory of the repository is tracked in-tree. Seeds
 //! and workloads are fixed; only the timings vary between machines.
 //!
-//! Usage: `cargo run --release -p streamtune-bench --bin bench [-- --fast]`
+//! `--check` runs only the serve flood and compares its per-verb p99
+//! latencies against the checked-in `BENCH_serve.json`, exiting non-zero
+//! on a >3× regression — the CI `bench-check` step. An absolute floor
+//! keeps sub-noise latencies (tens of nanoseconds, where a 3× ratio is
+//! all scheduler jitter) from failing the build.
+//!
+//! Usage: `cargo run --release -p streamtune-bench --bin bench [-- --fast | --check]`
 
 use serde::Serialize;
 use std::time::Instant;
@@ -269,8 +275,98 @@ fn bench_serve(fast: bool) -> ServeBench {
     }
 }
 
+/// p99 regressions beyond this ratio over the checked-in baseline fail
+/// `--check`.
+const CHECK_P99_RATIO: f64 = 3.0;
+
+/// Absolute p99 budget floor: a verb whose p99 stays under this many
+/// seconds never fails the check, however it compares to the baseline —
+/// at sub-floor scales the measurement is timer/scheduler noise, not code.
+const CHECK_P99_FLOOR_SECONDS: f64 = 20e-6;
+
+/// Compare a fresh serve flood against the checked-in `BENCH_serve.json`.
+/// Every baseline verb must be present in the fresh run and stay within
+/// `max(baseline_p99 × CHECK_P99_RATIO, CHECK_P99_FLOOR_SECONDS)`.
+fn check_serve_regressions(current: &ServeBench) -> Result<(), String> {
+    let raw = std::fs::read_to_string("BENCH_serve.json")
+        .map_err(|e| format!("cannot read checked-in BENCH_serve.json: {e}"))?;
+    let baseline: serde_json::Value = serde_json::from_str(&raw)
+        .map_err(|e| format!("checked-in BENCH_serve.json does not parse: {e}"))?;
+    let rows = match baseline.field("rows") {
+        Ok(serde_json::Value::Array(rows)) => rows,
+        _ => return Err("checked-in BENCH_serve.json carries no `rows` array".to_string()),
+    };
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    for row in rows {
+        let verb = match row.field("verb") {
+            Ok(serde_json::Value::String(v)) => v.clone(),
+            _ => return Err("baseline row without a `verb` string".to_string()),
+        };
+        let base_p99 = match row.field("p99_seconds") {
+            Ok(serde_json::Value::F64(s)) => *s,
+            Ok(serde_json::Value::U64(s)) => *s as f64,
+            _ => {
+                return Err(format!(
+                    "baseline row `{verb}` without a numeric p99_seconds"
+                ))
+            }
+        };
+        let Some(now) = current.rows.iter().find(|r| r.verb == verb) else {
+            failures.push(format!(
+                "verb `{verb}` is in the baseline but was not measured"
+            ));
+            continue;
+        };
+        let budget = (base_p99 * CHECK_P99_RATIO).max(CHECK_P99_FLOOR_SECONDS);
+        let verdict = if now.p99_seconds > budget {
+            failures.push(format!(
+                "verb `{verb}` p99 regressed: {:.1}µs now vs {:.1}µs baseline \
+                 (budget {:.1}µs = max({CHECK_P99_RATIO}× baseline, {:.0}µs floor))",
+                now.p99_seconds * 1e6,
+                base_p99 * 1e6,
+                budget * 1e6,
+                CHECK_P99_FLOOR_SECONDS * 1e6,
+            ));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "check {verb:<16} p99 {:>10.1}µs  baseline {:>10.1}µs  budget {:>10.1}µs  {verdict}",
+            now.p99_seconds * 1e6,
+            base_p99 * 1e6,
+            budget * 1e6,
+        );
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err("checked-in BENCH_serve.json carries no verb rows to check".to_string());
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
 fn main() {
     let fast = is_fast();
+    if std::env::args().any(|a| a == "--check") {
+        // Regression gate: fast flood, no files written, non-zero exit on
+        // a p99 blow-up against the checked-in baseline.
+        let serve = bench_serve(true);
+        match check_serve_regressions(&serve) {
+            Ok(()) => {
+                println!("\nBENCH check passed: serve p99s within budget of BENCH_serve.json.");
+                return;
+            }
+            Err(message) => {
+                eprintln!("\nBENCH check FAILED:\n{message}");
+                std::process::exit(1);
+            }
+        }
+    }
     let pretrain = bench_pretrain(fast);
     write_root_json("BENCH_pretrain.json", &pretrain);
     let recommend = bench_recommend(fast);

@@ -30,7 +30,7 @@
 //!   previous process died holding, then answer the line-delimited JSON
 //!   control protocol (`submit`/`status`/`recommend`/`cancel`/`watch`/
 //!   `unwatch`/`drift_status`/`tick`/`health`/`metrics`/`snapshot`/
-//!   `drain`/`shutdown`) on
+//!   `drain`/`trace`/`explain`/`metrics_history`/`shutdown`) on
 //!   stdin/stdout, or on a TCP listener with `--listen` — one session per
 //!   client, with `--monitor-interval` running the background drift
 //!   monitor between accepts. Overload knobs: `--session-cap` bounds
@@ -44,10 +44,21 @@
 //!   registry as Prometheus text on `GET /metrics` (JSON on
 //!   `/metrics.json`) from a thread that never touches the daemon lock,
 //!   and `--trace-log FILE` appends every structured event as one JSONL
-//!   line. Both are strictly observational — tuning outcomes are
-//!   bit-identical with or without them.
+//!   line (`--trace-log-cap BYTES` rotates the file at that size so a
+//!   long-lived daemon never fills the disk). Both are strictly
+//!   observational — tuning outcomes are bit-identical with or without
+//!   them.
 //! * `client --connect ADDR [--script FILE]` — send protocol lines (from
 //!   the script file or stdin) to a serving daemon and print each response.
+//! * `trace --connect ADDR [--label VERB] [--export FILE]` — fetch the
+//!   flight recorder's newest complete span tree from a serving daemon
+//!   (optionally the newest whose root is labeled `VERB`), print it
+//!   indented by causal depth, and with `--export` write it as Chrome
+//!   trace-event JSON (loadable in `chrome://tracing` or Perfetto).
+//! * `top --connect METRICS_ADDR [--interval SECS] [--iterations N]
+//!   [--once]` — poll a daemon's `/metrics/history.json` endpoint (the
+//!   `--metrics-listen` address) and print each new frame: per-verb
+//!   request-rate deltas and latency quantiles over the last interval.
 //! * `monitor --query NAME [--multiplier M] [--shift-to M2] [--shift-at T]
 //!   [--ticks N] [--seed S] [--store DIR] [--fast]` — an in-process
 //!   demonstration of the observe→detect→adapt loop: tune a job, watch it
@@ -81,6 +92,7 @@ use streamtune_workloads::rates::Engine;
 
 mod args;
 mod error;
+mod flight;
 use args::Args;
 use error::CliError;
 
@@ -650,17 +662,47 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     // daemon echoes operational (info-level) events; libraries keep the
     // quieter warn default.
     streamtune_telemetry::events().set_echo_level(Some(streamtune_telemetry::Level::Info));
-    if let Some(path) = args.optional("trace-log") {
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .map_err(|e| CliError::Io {
-                path: path.clone(),
-                message: e.to_string(),
+    match (args.optional("trace-log"), args.optional("trace-log-cap")) {
+        // Size-capped sink: rotate `path` → `path.1` at the cap, so a
+        // long-lived daemon holds at most ~2×cap bytes of trace output.
+        // Rotation needs to own the byte count, so the live file is
+        // truncated at startup (the uncapped sink appends instead).
+        (Some(path), Some(cap)) => {
+            let cap: u64 = cap
+                .parse()
+                .map_err(|e| CliError::Usage(format!("--trace-log-cap {cap}: {e}")))?;
+            if cap == 0 {
+                return Err(CliError::Usage(
+                    "--trace-log-cap must be a positive number of bytes".to_string(),
+                ));
+            }
+            let writer = streamtune_telemetry::RotatingWriter::create(&path, cap).map_err(|e| {
+                CliError::Io {
+                    path: path.clone(),
+                    message: e.to_string(),
+                }
             })?;
-        streamtune_telemetry::events().set_writer(Box::new(file));
-        eprintln!("tracing events to {path} (JSONL)");
+            streamtune_telemetry::events().set_writer(Box::new(writer));
+            eprintln!("tracing events to {path} (JSONL, rotating at {cap} bytes)");
+        }
+        (Some(path), None) => {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| CliError::Io {
+                    path: path.clone(),
+                    message: e.to_string(),
+                })?;
+            streamtune_telemetry::events().set_writer(Box::new(file));
+            eprintln!("tracing events to {path} (JSONL)");
+        }
+        (None, Some(_)) => {
+            return Err(CliError::Usage(
+                "--trace-log-cap needs --trace-log FILE to cap".to_string(),
+            ));
+        }
+        (None, None) => {}
     }
     // Held for the daemon's lifetime: dropping it would stop the scraper.
     let _metrics_endpoint = match args.optional("metrics-listen") {
@@ -874,8 +916,10 @@ fn usage() -> &'static str {
                  [--session-cap N] [--request-deadline SECS] [--retry-after-ms MS]\n\
                  [--drain-timeout SECS] [--slo-retry-rate R|off] [--slo-degraded-watches N|off]\n\
                  [--slo-poll-failures N|off] [--slo-handler-panics N|off]\n\
-                 [--metrics-listen ADDR] [--trace-log FILE]\n\
+                 [--metrics-listen ADDR] [--trace-log FILE] [--trace-log-cap BYTES]\n\
        client    --connect ADDR [--script FILE]\n\
+       trace     --connect ADDR [--label VERB] [--export FILE]\n\
+       top       --connect METRICS_ADDR [--interval SECS] [--iterations N] [--once]\n\
        monitor   --query NAME [--multiplier M] [--shift-to M2] [--shift-at T] [--ticks N]\n\
                  [--seed S] [--store DIR] [--fast]\n\
                  [--retry-attempts N] [--retry-backoff MIN] [--chaos SEED]"
@@ -897,6 +941,8 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "client" => cmd_client(&args),
         "monitor" => cmd_monitor(&args),
+        "trace" => flight::cmd_trace(&args),
+        "top" => flight::cmd_top(&args),
         "-h" | "--help" | "help" => {
             println!("{}", usage());
             return ExitCode::SUCCESS;

@@ -162,6 +162,48 @@ fn live_daemon_scrape_validates_and_traces_jsonl() {
     let (status, body) = daemon.scrape("/metrics.json");
     assert!(status.contains("200"), "json status: {status}");
     serde_json::from_str::<serde_json::Value>(&body).expect("metrics.json parses");
+
+    // The flight recorder's history endpoint serves ordered delta frames;
+    // every scrape records one, so a second scrape must strictly advance.
+    let mut newest_per_round = Vec::new();
+    for _ in 0..2 {
+        let (status, body) = daemon.scrape("/metrics/history.json");
+        assert!(status.contains("200"), "history status: {status}");
+        let history =
+            serde_json::from_str::<serde_json::Value>(&body).expect("history.json parses");
+        assert!(
+            matches!(history.field("enabled"), Ok(serde_json::Value::Bool(true))),
+            "history must report telemetry enabled"
+        );
+        let frames = match history.field("frames").expect("frames field") {
+            serde_json::Value::Array(frames) => frames,
+            other => panic!("frames must be an array, got {other:?}"),
+        };
+        assert!(!frames.is_empty(), "scrape must record a frame");
+        let mut prev: Option<u64> = None;
+        for frame in frames {
+            let seq = match frame.field("seq").expect("frame seq") {
+                serde_json::Value::U64(seq) => *seq,
+                other => panic!("seq must be u64, got {other:?}"),
+            };
+            if let Some(prev) = prev {
+                assert!(
+                    seq > prev,
+                    "frame seqs must strictly increase: {seq} ≤ {prev}"
+                );
+            }
+            prev = Some(seq);
+            assert!(
+                matches!(frame.field("series"), Ok(serde_json::Value::Array(_))),
+                "each frame carries a series array"
+            );
+        }
+        newest_per_round.push(prev.unwrap());
+    }
+    assert!(
+        newest_per_round[1] > newest_per_round[0],
+        "each scrape must append a fresh frame: {newest_per_round:?}"
+    );
     match daemon.request("\"metrics\"") {
         Response::Metrics(value) => {
             let line = serde_json::to_string(&value).expect("metrics serialize");

@@ -14,7 +14,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use streamtune_cluster::{cluster_dags_cached, nearest_center, ClusterConfig};
 use streamtune_dataflow::{Dataflow, FeatureEncoder, GraphSignature};
-use streamtune_ged::{parallel_map, Bound, GedCache, GraphView, Parallelism, StructId};
+use streamtune_ged::{ged_with, parallel_map, Bound, GedCache, GraphView, Parallelism, StructId};
 use streamtune_model::TrainPoint;
 use streamtune_nn::{GnnConfig, GnnEncoder, GraphSample, Tape};
 use streamtune_workloads::history::ExecutionRecord;
@@ -137,6 +137,20 @@ impl Pretrained {
     /// Total warm-up points across clusters.
     pub fn total_warmup_points(&self) -> usize {
         self.clusters.iter().map(|c| c.warmup.len()).sum()
+    }
+
+    /// Capped GED from a target DAG to every cluster center, in cluster
+    /// order (distances above [`Self::ged_cap`] read `ged_cap + 1`).
+    ///
+    /// Pure: runs fresh threshold-pruned A\* searches against the stored
+    /// centers without touching any [`GedCache`] memoization state, so
+    /// audit-trail capture can never perturb later assignment decisions.
+    pub fn center_distances(&self, flow: &Dataflow) -> Vec<usize> {
+        let view = GraphView::of(flow);
+        self.clusters
+            .iter()
+            .map(|c| ged_with(&view, &c.center, Bound::LabelSet, self.ged_cap).capped())
+            .collect()
     }
 }
 
@@ -436,6 +450,18 @@ mod tests {
         let (idx, model) = pre.assign(&target.flow);
         assert!(idx < pre.clusters.len());
         assert_eq!(model.encoder.hidden_dim(), 16);
+        // The audit-trail helper agrees with the assignment: one capped
+        // distance per center, minimized (ties to the lower index) at the
+        // assigned cluster.
+        let dists = pre.center_distances(&target.flow);
+        assert_eq!(dists.len(), pre.clusters.len());
+        let argmin = dists
+            .iter()
+            .enumerate()
+            .min_by_key(|&(c, &d)| (d, c))
+            .map(|(c, _)| c)
+            .unwrap();
+        assert_eq!(argmin, idx);
     }
 
     #[test]

@@ -219,7 +219,12 @@ impl Tuner for StreamTune<'_> {
         let flow = &flow;
         let p_max = session.max_parallelism();
         // Lines 1–2: nearest cluster + its encoder.
-        let (cluster_idx, model) = self.pretrained.assign(flow);
+        let (cluster_idx, model) = {
+            let mut span = streamtune_telemetry::child_span("core.tune", "assign_cluster");
+            let (cluster_idx, model) = self.pretrained.assign(flow);
+            span.add_field("cluster", cluster_idx);
+            (cluster_idx, model)
+        };
         self.last_cluster = Some(cluster_idx);
         // Line 3: warm-up dataset, plus the job's remembered feedback from
         // earlier tuning processes (the persistent fine-tuned layer).

@@ -463,13 +463,22 @@ impl Monitor {
         let started = std::time::Instant::now();
         let quantum = self.config.quantum;
         let max_poll_failures = self.config.max_poll_failures;
+        // The poll fan-out runs on pool threads; carry the tick's trace
+        // context across so per-watch spans nest under the monitor tick.
+        let mut span = streamtune_telemetry::child_span("monitor", "poll_watches");
+        span.add_field("watched", self.jobs.len());
+        let ctx = span.ctx();
         let events: Vec<DriftEvent> =
             parallel_map_mut(self.config.parallelism, &mut self.jobs, |job| {
+                let _attached = streamtune_telemetry::trace::attach(ctx);
+                let _watch_span =
+                    streamtune_telemetry::child_span("monitor", format!("poll_watch:{}", job.name));
                 job.tick_one(quantum, max_poll_failures)
             })
             .into_iter()
             .flatten()
             .collect();
+        drop(span);
         // Telemetry is observational only: events are counted and the tick
         // timed after every detection decision is already made.
         tick_histogram().record_duration(started.elapsed());

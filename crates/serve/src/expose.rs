@@ -13,13 +13,15 @@ use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 use streamtune_connect::{HttpReply, MiniHttpServer};
 use streamtune_ged::Parallelism;
+use streamtune_telemetry::trace::SpanRecord;
 use streamtune_telemetry::{
-    bucket_upper_bound, render_prometheus, Counter, Gauge, Histogram, MetricValue,
+    bucket_upper_bound, chrome_trace, render_prometheus, Counter, DeltaValue, Gauge, Histogram,
+    MetricValue,
 };
 
 /// Every wire verb, in protocol-table order — the label set of
 /// `streamtune_requests_total` and `streamtune_request_duration_nanoseconds`.
-pub const VERBS: [&str; 13] = [
+pub const VERBS: [&str; 16] = [
     "submit",
     "status",
     "recommend",
@@ -32,6 +34,9 @@ pub const VERBS: [&str; 13] = [
     "tick",
     "snapshot",
     "drain",
+    "trace",
+    "explain",
+    "metrics_history",
     "shutdown",
 ];
 
@@ -144,6 +149,36 @@ fn uptime_gauge() -> &'static Gauge {
     })
 }
 
+/// Mirror the in-memory [`EventLog`](streamtune_telemetry::EventLog)'s
+/// own health — ring occupancy, evicted events, trace-log write failures
+/// — into registry gauges, so the log that watches everything else is
+/// itself watched. Called on every metrics read; gauge registration is
+/// idempotent.
+fn refresh_event_log_health() {
+    static CELL: OnceLock<(Gauge, Gauge, Gauge)> = OnceLock::new();
+    let (held, dropped, write_errors) = CELL.get_or_init(|| {
+        let registry = streamtune_telemetry::global();
+        (
+            registry.gauge(
+                "streamtune_event_log_events",
+                "Events currently held in the bounded in-memory event ring.",
+            ),
+            registry.gauge(
+                "streamtune_event_log_dropped",
+                "Events evicted from the bounded ring since process start.",
+            ),
+            registry.gauge(
+                "streamtune_event_log_write_errors",
+                "Failed writes to the --trace-log JSONL sink since process start.",
+            ),
+        )
+    });
+    let log = streamtune_telemetry::events();
+    held.set(log.len() as f64);
+    dropped.set(log.dropped() as f64);
+    write_errors.set(log.write_errors() as f64);
+}
+
 /// The telemetry registry as a JSON value — the `metrics` verb payload.
 ///
 /// Shape: `{"metrics": [{"name", "kind", "labels", ...value}]}`, where a
@@ -152,6 +187,7 @@ fn uptime_gauge() -> &'static Gauge {
 /// `"buckets"` as `[upper_bound|null, count]` pairs (null = +Inf).
 pub fn metrics_value() -> Value {
     uptime_gauge().set(uptime_seconds() as f64);
+    refresh_event_log_health();
     let snapshot = streamtune_telemetry::global().snapshot();
     let series: Vec<Value> = snapshot
         .metrics
@@ -208,19 +244,211 @@ pub fn metrics_value() -> Value {
 /// The registry rendered as Prometheus text exposition format 0.0.4.
 pub fn prometheus_text() -> String {
     uptime_gauge().set(uptime_seconds() as f64);
+    refresh_event_log_health();
     render_prometheus(&streamtune_telemetry::global().snapshot())
 }
 
-/// Serve `GET /metrics` (Prometheus text) and `GET /metrics.json` (the
-/// `metrics` verb payload) on `addr` from a background thread. The
-/// endpoint shares nothing with the protocol path but the atomics it
-/// snapshots; a slow or hostile scraper cannot touch the server lock.
+/// One finished span as a JSON object (the `trace` verb's span shape).
+fn span_record_value(span: &SpanRecord) -> Value {
+    Value::Object(vec![
+        ("span".to_string(), Value::U64(span.span)),
+        (
+            "parent".to_string(),
+            match span.parent {
+                Some(parent) => Value::U64(parent),
+                None => Value::Null,
+            },
+        ),
+        ("target".to_string(), Value::String(span.target.to_string())),
+        ("name".to_string(), Value::String(span.name.clone())),
+        ("start_nanos".to_string(), Value::U64(span.start_nanos)),
+        (
+            "duration_nanos".to_string(),
+            Value::U64(span.duration_nanos),
+        ),
+        ("thread".to_string(), Value::U64(span.thread)),
+        (
+            "fields".to_string(),
+            Value::Object(
+                span.fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::String(v.clone())))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The trace store as the `trace` verb payload.
+///
+/// Shape: `{"enabled": bool, "traces": [summaries, newest first]}`, plus —
+/// when a complete trace matches `label` (or any complete trace exists
+/// when `label` is `None`) — `"trace"`, the newest such span tree
+/// (`{"id", "label", "dropped", "spans": [...]}`, spans sorted by start
+/// offset, parent ids linking the tree), and `"chrome"`, the same trace
+/// pre-rendered as a Chrome trace-event JSON document (a string; save it
+/// verbatim and load it in `chrome://tracing` or Perfetto).
+pub fn trace_value(label: Option<&str>) -> Value {
+    let store = streamtune_telemetry::trace::store();
+    let summaries: Vec<Value> = store
+        .summaries(64)
+        .iter()
+        .map(|t| {
+            Value::Object(vec![
+                ("id".to_string(), Value::U64(t.id)),
+                ("label".to_string(), Value::String(t.label.clone())),
+                ("spans".to_string(), Value::U64(t.spans as u64)),
+                ("dropped".to_string(), Value::U64(t.dropped)),
+                ("complete".to_string(), Value::Bool(t.complete)),
+                ("duration_nanos".to_string(), Value::U64(t.duration_nanos)),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
+        (
+            "enabled".to_string(),
+            Value::Bool(streamtune_telemetry::enabled()),
+        ),
+        ("traces".to_string(), Value::Array(summaries)),
+    ];
+    if let Some((id, (trace_label, spans))) = store
+        .latest(label)
+        .and_then(|id| store.spans(id).map(|t| (id, t)))
+    {
+        let dropped = store
+            .summaries(usize::MAX)
+            .iter()
+            .find(|t| t.id == id)
+            .map(|t| t.dropped)
+            .unwrap_or(0);
+        fields.push((
+            "trace".to_string(),
+            Value::Object(vec![
+                ("id".to_string(), Value::U64(id)),
+                ("label".to_string(), Value::String(trace_label.clone())),
+                ("dropped".to_string(), Value::U64(dropped)),
+                (
+                    "spans".to_string(),
+                    Value::Array(spans.iter().map(span_record_value).collect()),
+                ),
+            ]),
+        ));
+        fields.push((
+            "chrome".to_string(),
+            Value::String(chrome_trace(&trace_label, &spans)),
+        ));
+    }
+    Value::Object(fields)
+}
+
+/// Snapshot the registry and append one frame to the metrics-history
+/// ring. Returns the frame's sequence number (`None` with telemetry
+/// disabled). Called on monitor ticks, on the `metrics_history` verb and
+/// on each `/metrics/history.json` scrape, so every reader sees at least
+/// its own frame.
+pub fn record_history_frame() -> Option<u64> {
+    uptime_gauge().set(uptime_seconds() as f64);
+    refresh_event_log_health();
+    streamtune_telemetry::history().record(&streamtune_telemetry::global().snapshot())
+}
+
+/// The metrics-history ring as the `metrics_history` verb (and
+/// `/metrics/history.json`) payload.
+///
+/// Shape: `{"enabled": bool, "frames": [oldest first]}`; each frame is
+/// `{"seq", "ts_millis", "interval_nanos", "series": [...]}` where a
+/// series carries `"name"`, `"labels"` and a `"kind"`-tagged delta —
+/// counters `{"delta", "total"}`, gauges `{"value"}`, histograms the
+/// interval's `{"count", "sum", "p50", "p99"}` plus the cumulative
+/// `"total_count"`.
+pub fn history_value() -> Value {
+    let frames: Vec<Value> = streamtune_telemetry::history()
+        .frames(streamtune_telemetry::DEFAULT_HISTORY_CAPACITY)
+        .iter()
+        .map(|frame| {
+            let series: Vec<Value> = frame
+                .series
+                .iter()
+                .map(|s| {
+                    let mut fields = vec![
+                        ("name".to_string(), Value::String(s.name.clone())),
+                        (
+                            "labels".to_string(),
+                            Value::Object(
+                                s.labels
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), Value::String(v.clone())))
+                                    .collect(),
+                            ),
+                        ),
+                    ];
+                    match &s.value {
+                        DeltaValue::Counter { delta, total } => {
+                            fields.push(("kind".to_string(), Value::String("counter".to_string())));
+                            fields.push(("delta".to_string(), Value::U64(*delta)));
+                            fields.push(("total".to_string(), Value::U64(*total)));
+                        }
+                        DeltaValue::Gauge { value } => {
+                            fields.push(("kind".to_string(), Value::String("gauge".to_string())));
+                            fields.push(("value".to_string(), Value::F64(*value)));
+                        }
+                        DeltaValue::Histogram {
+                            delta,
+                            total_count,
+                            p50,
+                            p99,
+                        } => {
+                            fields
+                                .push(("kind".to_string(), Value::String("histogram".to_string())));
+                            fields.push(("count".to_string(), Value::U64(delta.count)));
+                            fields.push(("sum".to_string(), Value::U64(delta.sum)));
+                            fields.push(("p50".to_string(), Value::F64(*p50)));
+                            fields.push(("p99".to_string(), Value::F64(*p99)));
+                            fields.push(("total_count".to_string(), Value::U64(*total_count)));
+                        }
+                    }
+                    Value::Object(fields)
+                })
+                .collect();
+            Value::Object(vec![
+                ("seq".to_string(), Value::U64(frame.seq)),
+                ("ts_millis".to_string(), Value::U64(frame.ts_millis)),
+                (
+                    "interval_nanos".to_string(),
+                    Value::U64(frame.interval_nanos),
+                ),
+                ("series".to_string(), Value::Array(series)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        (
+            "enabled".to_string(),
+            Value::Bool(streamtune_telemetry::enabled()),
+        ),
+        ("frames".to_string(), Value::Array(frames)),
+    ])
+}
+
+/// Serve `GET /metrics` (Prometheus text), `GET /metrics.json` (the
+/// `metrics` verb payload) and `GET /metrics/history.json` (the
+/// `metrics_history` payload; each scrape appends a fresh frame first,
+/// which is what `streamtune top` polls) on `addr` from a background
+/// thread. The endpoint shares nothing with the protocol path but the
+/// atomics it snapshots; a slow or hostile scraper cannot touch the
+/// server lock.
 pub fn spawn_metrics_endpoint(addr: &str) -> std::io::Result<MiniHttpServer> {
     MiniHttpServer::bind(addr, |_method, path| match path {
         "/metrics" => HttpReply::text(prometheus_text()),
         "/metrics.json" => HttpReply::json(
             serde_json::to_string(&metrics_value()).expect("metrics values always serialize"),
         ),
+        "/metrics/history.json" => {
+            record_history_frame();
+            HttpReply::json(
+                serde_json::to_string(&history_value()).expect("history values always serialize"),
+            )
+        }
         _ => HttpReply::not_found(),
     })
 }

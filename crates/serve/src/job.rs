@@ -14,6 +14,7 @@
 //! [`parallel_map`] batch. `cancel` removes a job that has not been
 //! drained yet.
 
+use crate::decision::{self, DecisionRecord};
 use crate::error::ServeError;
 use crate::journal::{journal_file_name, JournaledBackend};
 use crate::protocol::{BackendSpec, JobSpec, JobStatusLine};
@@ -26,7 +27,7 @@ use streamtune_backend::{
 };
 use streamtune_connect::{ingest_file, FlinkBackend, IngestConfig};
 use streamtune_core::{Pretrained, StreamTune, TuneConfig};
-use streamtune_ged::{parallel_map, Parallelism};
+use streamtune_ged::{parallel_map, GedCacheStats, Parallelism};
 use streamtune_sim::SimCluster;
 use streamtune_workloads::{find_workload, rates::Engine};
 
@@ -87,6 +88,10 @@ pub struct Job {
     /// What the job's retry loops absorbed or gave up on, accumulated
     /// over every run (initial tune plus re-tunes).
     pub retry: RetryStats,
+    /// Why the *next* run of the job will happen (`"submit"`, `"retune"`
+    /// or `"resume"`) — copied into the run's [`DecisionRecord`]. Not
+    /// persisted: terminal jobs do not run again.
+    pub trigger: String,
 }
 
 /// A job as persisted in the store's ledger (`jobs.json`). Queued jobs
@@ -128,11 +133,31 @@ impl serde::Deserialize for PersistedJob {
     }
 }
 
-/// What one run of a job produced: its new terminal state plus what the
-/// retry loop absorbed along the way.
+/// What one run of a job produced: its new terminal state, what the
+/// retry loop absorbed along the way, and (for completed tuning runs)
+/// the decision audit record explaining the recommendation.
 struct RunReport {
     state: JobState,
     retry: RetryStats,
+    decision: Option<DecisionRecord>,
+}
+
+/// Audit inputs one run carries into its [`DecisionRecord`]: why the run
+/// happened and which model generation is serving it.
+struct AuditCtx {
+    trigger: String,
+    generation: u64,
+}
+
+/// The lowercase backend-family name stored in decision records.
+fn backend_name(backend: &BackendSpec) -> &'static str {
+    match backend {
+        BackendSpec::Sim => "sim",
+        BackendSpec::Replay(_) => "replay",
+        BackendSpec::Chaos(_) => "chaos",
+        BackendSpec::Flink(_) => "flink",
+        BackendSpec::Ingest(_) => "ingest",
+    }
 }
 
 /// Best-effort text of a panic payload (panics carry `&str` or `String`
@@ -183,9 +208,10 @@ fn run_job(
     retry: RetryPolicy,
     chaos: Option<u64>,
     journal: Option<JournalCtx>,
+    audit: AuditCtx,
 ) -> RunReport {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_job_inner(pretrained, spec, cluster, retry, chaos, journal)
+        run_job_inner(pretrained, spec, cluster, retry, chaos, journal, audit)
     })) {
         Ok(report) => report,
         Err(payload) => RunReport {
@@ -194,6 +220,7 @@ fn run_job(
                 panic_message(payload.as_ref())
             )),
             retry: RetryStats::default(),
+            decision: None,
         },
     }
 }
@@ -205,14 +232,17 @@ fn run_job_inner(
     retry: RetryPolicy,
     chaos: Option<u64>,
     journal: Option<JournalCtx>,
+    audit: AuditCtx,
 ) -> RunReport {
     let failed = |message: String| RunReport {
         state: JobState::Failed(message),
         retry: RetryStats::default(),
+        decision: None,
     };
     let degraded = |message: String| RunReport {
         state: JobState::Degraded(message),
         retry: RetryStats::default(),
+        decision: None,
     };
     let Some(workload) = find_workload(&spec.query, spec.engine) else {
         return failed(format!("unknown workload `{}`", spec.query));
@@ -272,28 +302,78 @@ fn run_job_inner(
         _ => backend.as_mut(),
     };
     let mut session = TuningSession::new(backend, &flow).with_retry(retry);
-    let result = tuner.tune(&mut session);
+    let result = {
+        let _span = streamtune_telemetry::child_span("serve.job", "tune");
+        tuner.tune(&mut session)
+    };
     let retry = session.retry_stats();
-    let state = match result {
+    // Every total the session deployed, in order; all but the last are
+    // the decision record's rejected candidates.
+    let trace_totals = session.parallelism_trace().to_vec();
+    let (state, decision) = match result {
         Ok(outcome) => {
-            let op_names = outcome
+            let op_names: Vec<String> = outcome
                 .final_assignment
                 .iter()
                 .map(|(op, _)| flow.op_name(op).to_string())
                 .collect();
-            JobState::Done(JobResult {
-                cluster,
-                outcome,
-                op_names,
-            })
+            let view = streamtune_ged::GraphView::of(&flow);
+            let decision = DecisionRecord {
+                job: spec.name.clone(),
+                trigger: audit.trigger,
+                query: spec.query.clone(),
+                multiplier: spec.multiplier,
+                seed: spec.seed,
+                backend: backend_name(&spec.backend).to_string(),
+                dag_ops: flow.num_ops() as u64,
+                dag_edges: view.edges.len() as u64,
+                dag_signature: decision::signature_hash(&streamtune_dataflow::GraphSignature::of(
+                    &flow,
+                )),
+                cluster: cluster as u64,
+                clusters: pretrained.clusters.len() as u64,
+                global_fallback: pretrained.global_fallback,
+                center_distances: pretrained
+                    .center_distances(&flow)
+                    .into_iter()
+                    .map(|d| d as u64)
+                    .collect(),
+                model_generation: audit.generation,
+                // Cache provenance is daemon-wide, not per-run: the server
+                // fills these in post-drain via `annotate_cache`.
+                cache_lookups: 0,
+                cache_searches: 0,
+                cache_filtered: 0,
+                cache_structures: 0,
+                op_names: op_names.clone(),
+                degrees: outcome.final_assignment.as_slice().to_vec(),
+                total: outcome.final_assignment.total(),
+                rejected: trace_totals[..trace_totals.len().saturating_sub(1)].to_vec(),
+                iterations: outcome.iterations,
+                converged: outcome.converged,
+                retries: retry.retries,
+                ts_millis: decision::unix_millis(),
+            };
+            (
+                JobState::Done(JobResult {
+                    cluster,
+                    outcome,
+                    op_names,
+                }),
+                Some(decision),
+            )
         }
         // Transient faults that outlasted the retry budget mean the
         // *backend* is sick, not the job: degrade instead of failing so
         // operators (and the monitor) can tell the two apart.
-        Err(TuneError::Backend(e)) if e.is_transient() => JobState::Degraded(e.to_string()),
-        Err(e) => JobState::Failed(e.to_string()),
+        Err(TuneError::Backend(e)) if e.is_transient() => (JobState::Degraded(e.to_string()), None),
+        Err(e) => (JobState::Failed(e.to_string()), None),
     };
-    RunReport { state, retry }
+    RunReport {
+        state,
+        retry,
+        decision,
+    }
 }
 
 /// The terminal state of an ingest-backed job: the dump's recorded
@@ -317,6 +397,7 @@ fn ingested_report(
                 flow.num_ops()
             )),
             retry: RetryStats::default(),
+            decision: None,
         };
     }
     let backpressure_events = entries
@@ -338,6 +419,9 @@ fn ingested_report(
             op_names: report.operators.clone(),
         }),
         retry: RetryStats::default(),
+        // Ingested deployments are admissions of a past run, not tuning
+        // decisions the daemon made — there is nothing to explain.
+        decision: None,
     }
 }
 
@@ -357,6 +441,16 @@ pub struct JobManager {
     /// Journaled prefixes recovered at bootstrap, consumed by the next
     /// drain of the matching job so it replays instead of re-tuning.
     resume: HashMap<String, Vec<TraceEntry>>,
+    /// Model-store generation: 0 for the bootstrap model, bumped on every
+    /// [`JobManager::swap_pretrained`]. Stamped into decision records so
+    /// `explain` can tell which model served a recommendation.
+    generation: u64,
+    /// The decision audit trail, in completion order (restored records
+    /// first, then one per completed run).
+    decisions: Vec<DecisionRecord>,
+    /// Records below this index already carry their GED-cache provenance
+    /// ([`JobManager::annotate_cache`] high-water mark).
+    annotated: usize,
 }
 
 impl JobManager {
@@ -371,6 +465,9 @@ impl JobManager {
             index: HashMap::new(),
             journal_dir: None,
             resume: HashMap::new(),
+            generation: 0,
+            decisions: Vec::new(),
+            annotated: 0,
         }
     }
 
@@ -460,6 +557,7 @@ impl JobManager {
             state: JobState::Queued,
             retunes: 0,
             retry: RetryStats::default(),
+            trigger: decision::trigger::SUBMIT.to_string(),
         });
         Ok(cluster)
     }
@@ -490,6 +588,7 @@ impl JobManager {
         job.cluster = cluster;
         job.state = JobState::Queued;
         job.retunes += 1;
+        job.trigger = decision::trigger::RETUNE.to_string();
         Ok(cluster)
     }
 
@@ -501,6 +600,7 @@ impl JobManager {
     /// changed cluster.
     pub fn swap_pretrained(&mut self, pretrained: Pretrained) -> usize {
         self.pretrained = pretrained;
+        self.generation += 1;
         let mut changed = 0;
         for job in &mut self.jobs {
             let Some(workload) = find_workload(&job.spec.query, job.spec.engine) else {
@@ -521,6 +621,13 @@ impl JobManager {
     /// touched). Dropped names become reusable. Returns how many jobs were
     /// dropped.
     pub fn compact(&mut self, cap: usize) -> usize {
+        // The audit trail rotates with the ledger: keep the newest `cap`
+        // decision records.
+        if self.decisions.len() > cap {
+            let drop = self.decisions.len() - cap;
+            self.decisions.drain(..drop);
+            self.annotated = self.annotated.saturating_sub(drop);
+        }
         let terminal = self
             .jobs
             .iter()
@@ -570,12 +677,12 @@ impl JobManager {
     /// the shared corpus and its own spec, so any [`Parallelism`] and any
     /// prior submission interleaving yield identical per-job states.
     pub fn drain(&mut self) {
-        let queued: Vec<(usize, JobSpec, usize)> = self
+        let queued: Vec<(usize, JobSpec, usize, String)> = self
             .jobs
             .iter()
             .enumerate()
             .filter(|(_, j)| j.state == JobState::Queued)
-            .map(|(i, j)| (i, j.spec.clone(), j.cluster))
+            .map(|(i, j)| (i, j.spec.clone(), j.cluster, j.trigger.clone()))
             .collect();
         if queued.is_empty() {
             return;
@@ -584,27 +691,91 @@ impl JobManager {
         // journaling is on) plus any crash-recovered prefix, consumed
         // exactly once. `JournalCtx` is not `Clone`, so the worker closure
         // takes it by interior move via a per-item `Option` slot.
-        let pending: Vec<(usize, JobSpec, usize, std::sync::Mutex<Option<JournalCtx>>)> = queued
+        type Pending = (
+            usize,
+            JobSpec,
+            usize,
+            String,
+            std::sync::Mutex<Option<JournalCtx>>,
+        );
+        let pending: Vec<Pending> = queued
             .into_iter()
-            .map(|(i, spec, cluster)| {
+            .map(|(i, spec, cluster, trigger)| {
                 let ctx = self.journal_path(&spec).map(|path| JournalCtx {
                     path,
                     prefix: self.resume.remove(&spec.name).unwrap_or_default(),
                 });
-                (i, spec, cluster, std::sync::Mutex::new(ctx))
+                (i, spec, cluster, trigger, std::sync::Mutex::new(ctx))
             })
             .collect();
         let pretrained = &self.pretrained;
         let retry = self.retry;
         let chaos = self.chaos;
-        let results = parallel_map(self.parallelism, &pending, |(_, spec, cluster, journal)| {
-            let journal = journal.lock().map(|mut slot| slot.take()).unwrap_or(None);
-            run_job(pretrained, spec, *cluster, retry, chaos, journal)
-        });
-        for ((i, _, _, _), report) in pending.into_iter().zip(results) {
+        let generation = self.generation;
+        // One span covers the whole batch; its context is re-attached
+        // inside every worker so per-job spans nest under it even when
+        // they run on pool threads.
+        let mut drain_span = streamtune_telemetry::child_span("serve.job", "drain");
+        drain_span.add_field("queued", pending.len());
+        let drain_ctx = drain_span.ctx();
+        let results = parallel_map(
+            self.parallelism,
+            &pending,
+            |(_, spec, cluster, trigger, journal)| {
+                let _attached = streamtune_telemetry::trace::attach(drain_ctx);
+                let mut job_span =
+                    streamtune_telemetry::child_span("serve.job", format!("run_job:{}", spec.name));
+                job_span.add_field("query", &spec.query);
+                let journal = journal.lock().map(|mut slot| slot.take()).unwrap_or(None);
+                let audit = AuditCtx {
+                    trigger: trigger.clone(),
+                    generation,
+                };
+                run_job(pretrained, spec, *cluster, retry, chaos, journal, audit)
+            },
+        );
+        for ((i, _, _, _, _), report) in pending.into_iter().zip(results) {
             self.jobs[i].state = report.state;
             self.jobs[i].retry.absorb(&report.retry);
+            if let Some(decision) = report.decision {
+                self.decisions.push(decision);
+            }
         }
+    }
+
+    /// The decision audit trail, oldest first (restored records, then one
+    /// per completed run).
+    pub fn decisions(&self) -> &[DecisionRecord] {
+        &self.decisions
+    }
+
+    /// The most recent decision recorded for `name`, if any run of that
+    /// job ever completed.
+    pub fn decision_for(&self, name: &str) -> Option<&DecisionRecord> {
+        self.decisions.iter().rev().find(|d| d.job == name)
+    }
+
+    /// Prepend a persisted audit trail (server restart). Restored records
+    /// already carry their cache provenance, so the annotation watermark
+    /// skips them.
+    pub fn restore_decisions(&mut self, decisions: Vec<DecisionRecord>) {
+        self.decisions = decisions;
+        self.annotated = self.decisions.len();
+    }
+
+    /// Fill the daemon-wide GED-cache provenance into every decision
+    /// recorded since the last call. Run workers cannot see the server's
+    /// cache (it lives outside the manager), so the server calls this
+    /// right after each drain — the counters are the cache's state at
+    /// decision-publication time.
+    pub fn annotate_cache(&mut self, stats: GedCacheStats, structures: u64) {
+        for d in &mut self.decisions[self.annotated..] {
+            d.cache_lookups = stats.lookups;
+            d.cache_searches = stats.searches;
+            d.cache_filtered = stats.filtered;
+            d.cache_structures = structures;
+        }
+        self.annotated = self.decisions.len();
     }
 
     /// One `status` line per job, in admission order.
@@ -657,6 +828,9 @@ impl JobManager {
                 state: p.state,
                 retunes: p.retunes,
                 retry: p.retry,
+                // Restored jobs are terminal and never run again; if one
+                // is later re-tuned, `resubmit` overwrites this.
+                trigger: decision::trigger::SUBMIT.to_string(),
             });
         }
         Ok(())
@@ -743,6 +917,7 @@ impl JobManager {
                 job.cluster = cluster;
                 job.state = JobState::Queued;
                 job.retunes += 1;
+                job.trigger = decision::trigger::RESUME.to_string();
             }
             None => {
                 self.index.insert(spec.name.clone(), self.jobs.len());
@@ -752,6 +927,7 @@ impl JobManager {
                     state: JobState::Queued,
                     retunes: 0,
                     retry: RetryStats::default(),
+                    trigger: decision::trigger::RESUME.to_string(),
                 });
             }
         }

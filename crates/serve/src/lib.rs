@@ -23,13 +23,22 @@
 //! * [`protocol`] — the **line-delimited JSON control protocol**
 //!   (`submit` / `status` / `recommend` / `cancel` / `watch` / `unwatch` /
 //!   `drift_status` / `tick` / `health` / `metrics` / `snapshot` /
-//!   `drain` / `shutdown`), identical over stdio, in-process buffers and
-//!   TCP;
+//!   `drain` / `trace` / `explain` / `metrics_history` / `shutdown`),
+//!   identical over stdio, in-process buffers and TCP;
+//! * [`decision`] — the **decision audit trail**: every recommendation
+//!   captures a [`DecisionRecord`] (DAG signature, cluster assignment and
+//!   center distances, model generation, GED-cache provenance, chosen
+//!   degrees and rejected candidates), persisted in the store and served
+//!   by the `explain` verb across restarts;
 //! * [`expose`] — **telemetry exposition**: per-verb request counters and
 //!   latency histograms, lock-wait timings, the `metrics` verb's JSON
-//!   payload, and a Prometheus text scrape endpoint
-//!   ([`expose::spawn_metrics_endpoint`], the CLI's `--metrics-listen`)
-//!   served off-thread so scrapers never touch the server lock;
+//!   payload, the `trace` verb's span trees ([`expose::trace_value`],
+//!   with a pre-rendered Chrome trace-event export), the
+//!   `metrics_history` frames ([`expose::history_value`]) and a
+//!   Prometheus text scrape endpoint
+//!   ([`expose::spawn_metrics_endpoint`], the CLI's `--metrics-listen`,
+//!   which also serves `/metrics/history.json`) served off-thread so
+//!   scrapers never touch the server lock;
 //! * [`journal`] — the **epoch-granular job journal**: every tuning
 //!   deployment is appended (sealed, `fsync`ed) to a per-job append-only
 //!   file as it happens, so a process killed mid-tune resumes from the
@@ -119,11 +128,23 @@
 //!   cache hit rates and pretrain phase timings. Telemetry is strictly
 //!   observational: tuning outcomes with it enabled are bit-identical
 //!   to runs with it disabled.
+//! * **Flight recorder** — the `trace` verb returns the newest complete
+//!   causal span tree (request dispatch → lock wait → handler → job
+//!   drain → tune → backend deploys, stitched across worker threads)
+//!   with a Chrome trace-event rendering for Perfetto; `explain <job>`
+//!   replays the decision audit record behind a recommendation; and
+//!   `metrics_history` (or `GET /metrics/history.json`) serves the
+//!   sliding window of registry-snapshot deltas that `streamtune top`
+//!   renders live. All three are read-only views over state the daemon
+//!   records anyway — bit-identity with tracing enabled is part of the
+//!   telemetry test suite.
 //!
-//! The CLI front ends are `streamtune serve`, `streamtune client` and
-//! `streamtune monitor`; `examples/serve_quickstart.rs` and
-//! `examples/monitor_quickstart.rs` drive in-process servers.
+//! The CLI front ends are `streamtune serve`, `streamtune client`,
+//! `streamtune trace`, `streamtune top` and `streamtune monitor`;
+//! `examples/serve_quickstart.rs` and `examples/monitor_quickstart.rs`
+//! drive in-process servers.
 
+pub mod decision;
 pub mod error;
 pub mod expose;
 pub mod job;
@@ -132,8 +153,12 @@ pub mod protocol;
 pub mod server;
 pub mod store;
 
+pub use decision::DecisionRecord;
 pub use error::ServeError;
-pub use expose::{metrics_value, prometheus_text, spawn_metrics_endpoint, ServeMetrics};
+pub use expose::{
+    history_value, metrics_value, prometheus_text, record_history_frame, spawn_metrics_endpoint,
+    trace_value, ServeMetrics,
+};
 pub use job::{Job, JobManager, JobResult, JobState, PersistedJob};
 pub use journal::{
     create_journal, journal_file_name, load_journal, JournaledBackend, LoadedJournal,

@@ -19,6 +19,9 @@
 //! | tick | `{"tick": {"steps": 5}}` |
 //! | snapshot | `"snapshot"` |
 //! | drain | `"drain"` |
+//! | trace | `"trace"` or `{"trace": {"label": "recommend"}}` (`label` optional) |
+//! | explain | `{"explain": {"job": "j1"}}` |
+//! | metrics_history | `"metrics_history"` |
 //! | shutdown | `"shutdown"` |
 //!
 //! Responses mirror the shape: `{"submitted": {...}}`,
@@ -27,8 +30,12 @@
 //! `{"watching": {...}}`, `{"unwatched": {...}}`,
 //! `{"drift": {"watches": [...], "alarms": [...]}}`,
 //! `{"health": {...}}`, `{"metrics": {...}}`, `{"ticked": {...}}`,
-//! `{"snapshotted": {...}}`,
-//! `{"draining": {...}}`, `"shutting-down"`, `{"error": {...}}`. Unknown
+//! `{"snapshotted": {...}}`, `{"draining": {...}}`, `{"trace": {...}}`,
+//! `{"explained": {...}}`, `{"metrics_history": {...}}`,
+//! `"shutting-down"`, `{"error": {...}}`. The flight-recorder payloads
+//! (`trace`, `explained`, `metrics_history`) are raw JSON values like
+//! `metrics`: their schemas grow release to release and clients should
+//! not need a protocol bump to read new fields. Unknown
 //! verbs and malformed lines produce an `error` response, never a dropped
 //! connection — including request lines past the server's size cap, which
 //! are answered with an `error` (and counted in `health`) before the
@@ -192,6 +199,24 @@ pub enum Request {
     /// Graceful shutdown: finish and persist in-flight work, then stop —
     /// what SIGTERM triggers from the outside.
     Drain,
+    /// Report the newest complete span tree the flight recorder holds —
+    /// optionally filtered to traces whose root was labeled `label`
+    /// (a wire verb such as `"recommend"`).
+    Trace {
+        /// Root-span label filter; `None` returns the newest trace.
+        label: Option<String>,
+    },
+    /// Report one finished job's decision audit record: the model inputs,
+    /// cluster assignment, cache provenance and rejected candidates
+    /// behind its recommendation.
+    Explain {
+        /// The job's name.
+        job: String,
+    },
+    /// Dump the metrics time-series history ring: per-interval counter
+    /// deltas, gauge values and histogram quantiles (the same frames the
+    /// `/metrics/history.json` endpoint serves).
+    MetricsHistory,
     /// Stop the server after responding.
     Shutdown,
 }
@@ -223,6 +248,15 @@ impl Serialize for Request {
             ),
             Request::Snapshot => Value::String("snapshot".to_string()),
             Request::Drain => Value::String("drain".to_string()),
+            Request::Trace { label } => match label {
+                None => Value::String("trace".to_string()),
+                Some(l) => tagged(
+                    "trace",
+                    Value::Object(vec![("label".to_string(), Value::String(l.clone()))]),
+                ),
+            },
+            Request::Explain { job } => tagged("explain", job_ref(job)),
+            Request::MetricsHistory => Value::String("metrics_history".to_string()),
             Request::Shutdown => Value::String("shutdown".to_string()),
         }
     }
@@ -264,10 +298,25 @@ impl Deserialize for Request {
             }),
             "snapshot" => Ok(Request::Snapshot),
             "drain" => Ok(Request::Drain),
+            "trace" => {
+                let label = match payload {
+                    Some(p) => match p.field("label") {
+                        Ok(v) => Some(String::deserialize(v)?),
+                        Err(_) => None,
+                    },
+                    None => None,
+                };
+                Ok(Request::Trace { label })
+            }
+            "explain" => Ok(Request::Explain {
+                job: job_of(need(payload)?)?,
+            }),
+            "metrics_history" => Ok(Request::MetricsHistory),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(Error::custom(format!(
                 "unknown verb `{other}` (want submit/status/recommend/cancel/watch/unwatch/\
-                 drift_status/health/metrics/tick/snapshot/drain/shutdown)"
+                 drift_status/health/metrics/tick/snapshot/drain/trace/explain/\
+                 metrics_history/shutdown)"
             ))),
         }
     }
@@ -289,6 +338,9 @@ impl Request {
             Request::Tick { .. } => "tick",
             Request::Snapshot => "snapshot",
             Request::Drain => "drain",
+            Request::Trace { .. } => "trace",
+            Request::Explain { .. } => "explain",
+            Request::MetricsHistory => "metrics_history",
             Request::Shutdown => "shutdown",
         }
     }
@@ -543,6 +595,15 @@ pub enum Response {
         /// Store directory flushed to (`None` without a configured store).
         dir: Option<String>,
     },
+    /// One recorded span tree (or `{"found": false, ...}` when the flight
+    /// recorder holds no matching complete trace). Raw [`Value`] for the
+    /// same forward-compatibility reason as `Metrics`.
+    Trace(Value),
+    /// One job's decision audit record. Raw [`Value`]: the record schema
+    /// (see `decision.rs`) gains fields release to release.
+    Explained(Value),
+    /// The metrics history ring as ordered frames. Raw [`Value`].
+    MetricsHistory(Value),
     /// Admission control shed this connection or request; back off for
     /// `retry_after_ms` and retry.
     Overloaded {
@@ -609,6 +670,9 @@ impl Serialize for Response {
                     ("dir".to_string(), dir.serialize()),
                 ]),
             ),
+            Response::Trace(value) => tagged("trace", value.clone()),
+            Response::Explained(value) => tagged("explained", value.clone()),
+            Response::MetricsHistory(value) => tagged("metrics_history", value.clone()),
             Response::Overloaded {
                 retry_after_ms,
                 reason,
@@ -688,6 +752,9 @@ impl Deserialize for Response {
                     dir: Option::deserialize(p.field("dir")?)?,
                 })
             }
+            "trace" => Ok(Response::Trace(need(payload)?.clone())),
+            "explained" => Ok(Response::Explained(need(payload)?.clone())),
+            "metrics_history" => Ok(Response::MetricsHistory(need(payload)?.clone())),
             "overloaded" => {
                 let p = need(payload)?;
                 Ok(Response::Overloaded {
@@ -772,6 +839,14 @@ mod tests {
             Request::Tick { steps: 25 },
             Request::Snapshot,
             Request::Drain,
+            Request::Trace { label: None },
+            Request::Trace {
+                label: Some("recommend".to_string()),
+            },
+            Request::Explain {
+                job: "j1".to_string(),
+            },
+            Request::MetricsHistory,
             Request::Shutdown,
         ];
         for r in requests {
@@ -846,6 +921,33 @@ mod tests {
         assert_eq!(parse_request("\"health\"").unwrap(), Request::Health);
         assert_eq!(parse_request("\"metrics\"").unwrap(), Request::Metrics);
         assert!(parse_request("{\"tick\": {}}").is_err());
+        // Flight-recorder verbs: trace takes an optional label filter and
+        // accepts both the bare and the tagged wire forms.
+        assert_eq!(
+            parse_request("\"trace\"").unwrap(),
+            Request::Trace { label: None }
+        );
+        assert_eq!(
+            parse_request("{\"trace\": {\"label\": \"recommend\"}}").unwrap(),
+            Request::Trace {
+                label: Some("recommend".to_string())
+            }
+        );
+        assert_eq!(
+            parse_request("{\"trace\": {}}").unwrap(),
+            Request::Trace { label: None }
+        );
+        assert_eq!(
+            parse_request("{\"explain\": {\"job\": \"a\"}}").unwrap(),
+            Request::Explain {
+                job: "a".to_string()
+            }
+        );
+        assert!(parse_request("{\"explain\": {}}").is_err());
+        assert_eq!(
+            parse_request("\"metrics_history\"").unwrap(),
+            Request::MetricsHistory
+        );
         // A hand-written chaos backend spec parses into a full fault plan.
         let r = parse_request(
             "{\"submit\": {\"name\": \"c\", \"query\": \"nexmark-q1\", \"multiplier\": 5.0, \
@@ -974,6 +1076,19 @@ mod tests {
                 dir: Some("/tmp/store".to_string()),
             },
             Response::Draining { jobs: 0, dir: None },
+            Response::Trace(Value::Object(vec![
+                ("found".to_string(), Value::Bool(true)),
+                ("label".to_string(), Value::String("recommend".to_string())),
+                ("spans".to_string(), Value::Array(Vec::new())),
+            ])),
+            Response::Explained(Value::Object(vec![(
+                "job".to_string(),
+                Value::String("j".to_string()),
+            )])),
+            Response::MetricsHistory(Value::Object(vec![(
+                "frames".to_string(),
+                Value::Array(Vec::new()),
+            )])),
             Response::Overloaded {
                 retry_after_ms: 250,
                 reason: "session-cap".to_string(),

@@ -375,6 +375,9 @@ impl Server {
             recoveries.extend(event);
             let ledger = ledger.unwrap_or_default();
             let restored_jobs = ledger.len();
+            let (decisions, event) =
+                store.read_or_quarantine::<Vec<crate::DecisionRecord>>(&store.decisions_path())?;
+            recoveries.extend(event);
             for event in &recoveries {
                 emit(
                     Level::Warn,
@@ -391,6 +394,9 @@ impl Server {
                 config,
             );
             server.manager.restore(ledger)?;
+            server
+                .manager
+                .restore_decisions(decisions.unwrap_or_default());
             // Epoch journals left by a process that died mid-tune (or
             // between admission and snapshot) re-queue their jobs with the
             // journaled prefix attached — the next drain replays it.
@@ -477,17 +483,31 @@ impl Server {
         &self.corpus
     }
 
-    /// Persist model, GED cache, corpus and (rotated) job ledger.
+    /// Drain every queued job, then stamp the daemon cache's provenance
+    /// counters into the decisions that run produced. The annotation is
+    /// post-hoc by design: run workers share the corpus read-only and
+    /// never see the server's [`GedCache`], so the counters describe the
+    /// cache at decision-publication time — deterministic inputs only,
+    /// nothing fed back into tuning.
+    fn drain_jobs(&mut self) {
+        self.manager.drain();
+        self.manager
+            .annotate_cache(self.cache.stats(), self.cache.len() as u64);
+    }
+
+    /// Persist model, GED cache, corpus, (rotated) job ledger and the
+    /// decision audit trail.
     fn snapshot(&mut self) -> Result<String, ServeError> {
         // Drain first so the ledger only holds terminal states; compact so
         // it stays bounded on long-lived daemons.
-        self.manager.drain();
+        self.drain_jobs();
         self.manager.compact(self.config.ledger_cap);
         let store = self.store.as_ref().ok_or(ServeError::NoStore)?;
         store.save_model(self.manager.pretrained())?;
         store.save_ged_cache(&self.cache.snapshot())?;
         store.save_corpus(&self.corpus)?;
         store.save_jobs(&self.manager.persistable())?;
+        store.save_decisions(self.manager.decisions())?;
         // Every result the journals were protecting is now in the ledger;
         // journals for terminal jobs are dead weight.
         self.manager.sweep_journals();
@@ -497,7 +517,7 @@ impl Server {
     /// Register a finished job with the drift monitor. Returns whether its
     /// DAG structure is covered by the pre-trained corpus.
     fn watch_job(&mut self, name: &str, schedule: Option<Vec<f64>>) -> Result<bool, ServeError> {
-        self.manager.drain();
+        self.drain_jobs();
         let job = self
             .manager
             .job(name)
@@ -590,7 +610,7 @@ impl Server {
             .clone();
         spec.multiplier = multiplier;
         self.manager.resubmit(spec)?;
-        self.manager.drain();
+        self.drain_jobs();
         match &self.manager.job(job).expect("job still admitted").state {
             JobState::Done(result) => {
                 self.monitor.on_retuned(
@@ -756,12 +776,20 @@ impl Server {
     /// Advance the monitor by `steps` observe→detect→adapt ticks,
     /// applying the adaptation policy to every detected drift.
     pub fn tick_monitor(&mut self, steps: u64) -> TickReport {
+        // A child under the `tick` verb's request span, a root of its own
+        // when the background loop drives the tick.
+        let mut span =
+            streamtune_telemetry::span_or_root("monitor_tick", "serve.monitor", "monitor_tick");
+        span.add_field("steps", steps);
         let mut events = Vec::new();
         for _ in 0..steps {
             for event in self.monitor.tick() {
                 events.push(self.apply_drift(event));
             }
         }
+        // Every tick also lands one metrics-history frame, so the delta
+        // ring advances at the monitor cadence without any scraper.
+        crate::expose::record_history_frame();
         // SLO alarm transitions ride the tick stream: the alarms
         // themselves are stateless projections of the counters, so only
         // the *edges* need announcing.
@@ -801,6 +829,13 @@ impl Server {
     /// series — recording is observational, the response is computed first.
     pub fn handle(&mut self, request: &Request) -> (Response, bool) {
         let started = Instant::now();
+        // Nested under the transport's dispatch span over TCP; the root
+        // of its own trace over stdio / in-process buffers.
+        let _span = streamtune_telemetry::span_or_root(
+            request.verb(),
+            "serve.handle",
+            format!("handle:{}", request.verb()),
+        );
         let response = match request {
             Request::Submit(spec) => {
                 let job = spec.name.clone();
@@ -812,14 +847,14 @@ impl Server {
                 }
             }
             Request::Status => {
-                self.manager.drain();
+                self.drain_jobs();
                 Response::Status(StatusReport {
                     jobs: self.manager.status_lines(),
                     store: self.store.as_ref().map(|s| s.stats()),
                 })
             }
             Request::Recommend { job } => {
-                self.manager.drain();
+                self.drain_jobs();
                 match self.manager.job(job) {
                     None => Response::Error {
                         message: ServeError::UnknownJob { name: job.clone() }.to_string(),
@@ -904,7 +939,7 @@ impl Server {
                 let dir = match self.snapshot() {
                     Ok(dir) => Some(dir),
                     Err(ServeError::NoStore) => {
-                        self.manager.drain();
+                        self.drain_jobs();
                         None
                     }
                     Err(e) => {
@@ -921,6 +956,33 @@ impl Server {
                     jobs: self.manager.jobs().len() as u64,
                     dir,
                 }
+            }
+            // Flight-recorder verbs: read the global trace store, the
+            // decision trail and the metrics-history ring. All three are
+            // raw JSON payloads (forward-compatible, like `metrics`).
+            Request::Trace { label } => {
+                Response::Trace(crate::expose::trace_value(label.as_deref()))
+            }
+            Request::Explain { job } => {
+                // Drain first: an `explain` right after `submit` should
+                // answer for the run it implies, like `recommend` does.
+                self.drain_jobs();
+                match self.manager.decision_for(job) {
+                    Some(decision) => Response::Explained(decision.to_value()),
+                    None => Response::Error {
+                        message: format!(
+                            "no decision recorded for job `{job}` (it never completed a \
+                             tuning run, or the trail was compacted past it)"
+                        ),
+                    },
+                }
+            }
+            Request::MetricsHistory => {
+                // Each read appends a frame first, so scripted stdio
+                // sessions (no endpoint, no background ticks) still see
+                // their own interval.
+                crate::expose::record_history_frame();
+                Response::MetricsHistory(crate::expose::history_value())
             }
             Request::Shutdown => Response::ShuttingDown,
         };
@@ -1266,6 +1328,10 @@ fn dispatch(
     request: &Request,
     deadline: Option<(&TcpCounters, &TcpConfig)>,
 ) -> (Response, bool) {
+    // One trace per TCP request, labeled by verb: the lock wait and the
+    // handler (and everything the handler fans out to) nest under it.
+    let _root = streamtune_telemetry::root_span(request.verb(), "serve.dispatch", "dispatch");
+    let lock_span = streamtune_telemetry::child_span("serve.dispatch", "lock_acquire");
     let mut guard = match deadline {
         None => lock_server(server),
         Some((tcp, config)) => {
@@ -1303,6 +1369,9 @@ fn dispatch(
             guard
         }
     };
+    // Close the lock-wait span before the handler runs: the handler's
+    // span is a *sibling* of the wait, not its child.
+    drop(lock_span);
     match catch_unwind(AssertUnwindSafe(|| guard.handle(request))) {
         Ok(result) => result,
         Err(payload) => {

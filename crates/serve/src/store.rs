@@ -14,7 +14,11 @@
 //!   on, so incremental corpus growth (appending an uncovered DAG and
 //!   re-pretraining warm) works across restarts;
 //! * `jobs.json` — the completed job ledger (capped by the server's
-//!   ledger rotation), so `status` answers across restarts.
+//!   ledger rotation), so `status` answers across restarts;
+//! * `decisions.json` — the decision audit trail (one
+//!   [`DecisionRecord`](crate::decision::DecisionRecord) per
+//!   recommendation, capped alongside the ledger), so `explain` answers
+//!   across restarts.
 //!
 //! Every file is wrapped in the same **envelope**: a JSON object carrying
 //! `magic` (format name), `version`, `checksum` (FNV-1a 64 of the compact
@@ -31,6 +35,7 @@ use streamtune_core::Pretrained;
 use streamtune_ged::GedCacheSnapshot;
 use streamtune_workloads::history::ExecutionRecord;
 
+use crate::decision::DecisionRecord;
 use crate::job::PersistedJob;
 
 /// Format name every store artifact carries.
@@ -298,6 +303,11 @@ impl ModelStore {
         self.dir.join("corpus.json")
     }
 
+    /// Path of the decision-audit-trail artifact.
+    pub fn decisions_path(&self) -> PathBuf {
+        self.dir.join("decisions.json")
+    }
+
     /// Directory holding per-job epoch journals (crash resumption).
     pub fn journal_dir(&self) -> PathBuf {
         self.dir.join("journal")
@@ -478,6 +488,17 @@ impl ModelStore {
     /// Load the completed-job ledger.
     pub fn load_jobs(&self) -> Result<Vec<PersistedJob>, StoreError> {
         read_envelope(&self.jobs_path())
+    }
+
+    /// Persist the decision audit trail.
+    pub fn save_decisions(&self, decisions: &[DecisionRecord]) -> Result<(), StoreError> {
+        self.ensure_dir()?;
+        write_envelope(&self.decisions_path(), &decisions.to_vec())
+    }
+
+    /// Load the decision audit trail.
+    pub fn load_decisions(&self) -> Result<Vec<DecisionRecord>, StoreError> {
+        read_envelope(&self.decisions_path())
     }
 
     /// Persist the training corpus.

@@ -238,7 +238,7 @@ impl EventLog {
         level: Level,
         target: &str,
         message: String,
-        fields: Vec<(String, String)>,
+        mut fields: Vec<(String, String)>,
         elapsed_nanos: Option<u64>,
     ) {
         let recording = crate::enabled();
@@ -246,6 +246,14 @@ impl EventLog {
         let echo = echo_at != 0 && level_code(level) >= echo_at;
         if !recording && !echo {
             return;
+        }
+        // Link the event to the causal trace current on this thread, so a
+        // JSONL line can be joined against the span tree it happened in.
+        if recording {
+            if let Some(ctx) = crate::trace::current() {
+                fields.push(("trace".to_string(), format!("{:016x}", ctx.trace)));
+                fields.push(("span".to_string(), format!("{:016x}", ctx.span)));
+            }
         }
         let event = Event {
             seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
@@ -375,6 +383,66 @@ impl Drop for Span {
     }
 }
 
+/// A size-capped JSONL writer for `--trace-log`: once `cap` bytes have
+/// been written, the live file is rotated to `<path>.1` (replacing any
+/// previous rotation) and a fresh file is started — so a long-lived
+/// daemon holds at most ~`2 × cap` bytes of trace output instead of
+/// filling the disk. Rotation happens on line boundaries (the event log
+/// writes whole lines), and a single write larger than the cap still
+/// goes through: bounding must never silently drop an event the ring
+/// would have kept.
+pub struct RotatingWriter {
+    path: std::path::PathBuf,
+    cap: u64,
+    written: u64,
+    file: std::fs::File,
+}
+
+impl RotatingWriter {
+    /// Open (creating/truncating) `path` with a rotation cap of `cap`
+    /// bytes (raised to at least 1).
+    pub fn create(path: impl Into<std::path::PathBuf>, cap: u64) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = std::fs::File::create(&path)?;
+        Ok(RotatingWriter {
+            path,
+            cap: cap.max(1),
+            written: 0,
+            file,
+        })
+    }
+
+    /// The rotation target: `<path>.1` alongside the live file.
+    pub fn rotated_path(&self) -> std::path::PathBuf {
+        let mut name = self.path.file_name().unwrap_or_default().to_os_string();
+        name.push(".1");
+        self.path.with_file_name(name)
+    }
+
+    fn rotate(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        std::fs::rename(&self.path, self.rotated_path())?;
+        self.file = std::fs::File::create(&self.path)?;
+        self.written = 0;
+        Ok(())
+    }
+}
+
+impl Write for RotatingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.written > 0 && self.written + buf.len() as u64 > self.cap {
+            self.rotate()?;
+        }
+        let n = self.file.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.file.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +465,37 @@ mod tests {
         );
         assert_eq!(log.dropped(), 2);
         assert!(recent.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn rotating_writer_caps_and_rotates() {
+        let dir = std::env::temp_dir().join(format!("streamtune-rotate-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let mut w = RotatingWriter::create(&path, 32).unwrap();
+        let rotated = w.rotated_path();
+        // Three 20-byte lines against a 32-byte cap: line 2 rotates line 1
+        // out, line 3 rotates line 2 out.
+        for i in 0..3 {
+            w.write_all(format!("line-{i}-aaaaaaaaaaaa\n").as_bytes())
+                .unwrap();
+        }
+        w.flush().unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "line-2-aaaaaaaaaaaa\n"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&rotated).unwrap(),
+            "line-1-aaaaaaaaaaaa\n"
+        );
+        // An oversized single line still goes through (after rotating).
+        let big = "x".repeat(64) + "\n";
+        w.write_all(big.as_bytes()).unwrap();
+        w.flush().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), big);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

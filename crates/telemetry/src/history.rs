@@ -1,0 +1,305 @@
+//! Metrics time-series history: a fixed-capacity ring of periodic
+//! registry-snapshot *deltas*.
+//!
+//! Each [`MetricsHistory::record`] call diffs the current registry
+//! snapshot against the previous one and appends a [`HistoryFrame`]
+//! holding only what changed: counter increments, gauge values, and
+//! histogram bucket deltas (computed with
+//! [`HistogramSnapshot::delta_since`], the inverse of the merge algebra —
+//! merging every frame's delta reconstructs the cumulative histogram).
+//! The ring is bounded, so a long-lived daemon holds a sliding window of
+//! rate/latency history that the `metrics_history` verb, the
+//! `/metrics/history.json` endpoint and `streamtune top` read.
+//!
+//! Recording is gated on [`crate::enabled()`] like every other telemetry
+//! path, and reading is observational: snapshots of atomics, no feedback
+//! into tuning.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::metrics::{HistogramSnapshot, MetricValue, MetricsSnapshot};
+
+/// Default number of frames retained (oldest evicted first).
+pub const DEFAULT_HISTORY_CAPACITY: usize = 120;
+
+/// The delta of one metric series between two snapshots.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeltaValue {
+    /// Counter: the increment over the interval plus the running total.
+    Counter {
+        /// Increment over the frame's interval.
+        delta: u64,
+        /// Cumulative value at frame time.
+        total: u64,
+    },
+    /// Gauge: the instantaneous value at frame time.
+    Gauge {
+        /// Value at frame time.
+        value: f64,
+    },
+    /// Histogram: the interval's recordings plus cumulative count and the
+    /// interval's quantile estimates.
+    Histogram {
+        /// Bucket/count/sum deltas over the interval.
+        delta: HistogramSnapshot,
+        /// Cumulative recorded values at frame time.
+        total_count: u64,
+        /// p50 of the *interval's* recordings.
+        p50: f64,
+        /// p99 of the *interval's* recordings.
+        p99: f64,
+    },
+}
+
+/// One metric series' change within a frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesDelta {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+    /// The delta value.
+    pub value: DeltaValue,
+}
+
+/// One interval's worth of metric deltas.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryFrame {
+    /// Monotone frame number (1-based).
+    pub seq: u64,
+    /// Unix time in milliseconds at frame capture (observational only).
+    pub ts_millis: u64,
+    /// Wall-clock nanoseconds since the previous frame (time since the
+    /// history started for the first frame).
+    pub interval_nanos: u64,
+    /// Changed series. Counters and histograms with a zero delta are
+    /// omitted; gauges are always included.
+    pub series: Vec<SeriesDelta>,
+}
+
+struct HistoryInner {
+    capacity: usize,
+    seq: u64,
+    last: Option<MetricsSnapshot>,
+    last_at: Option<Instant>,
+    started: Instant,
+    frames: VecDeque<HistoryFrame>,
+}
+
+/// The bounded frame ring. Obtain the process-wide instance via
+/// [`history()`].
+pub struct MetricsHistory {
+    inner: Mutex<HistoryInner>,
+}
+
+impl MetricsHistory {
+    fn new() -> Self {
+        MetricsHistory {
+            inner: Mutex::new(HistoryInner {
+                capacity: DEFAULT_HISTORY_CAPACITY,
+                seq: 0,
+                last: None,
+                last_at: None,
+                started: Instant::now(),
+                frames: VecDeque::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HistoryInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Change the ring capacity (oldest frames evicted first).
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.lock();
+        inner.capacity = capacity.max(1);
+        while inner.frames.len() > inner.capacity {
+            inner.frames.pop_front();
+        }
+    }
+
+    /// Diff `snapshot` against the previous recording and append a frame.
+    /// Returns the new frame's `seq`, or `None` when telemetry is
+    /// disabled (nothing is recorded, the baseline is left untouched).
+    pub fn record(&self, snapshot: &MetricsSnapshot) -> Option<u64> {
+        if !crate::enabled() {
+            return None;
+        }
+        let now = Instant::now();
+        let mut inner = self.lock();
+        let interval = match inner.last_at {
+            Some(at) => now.duration_since(at),
+            None => now.duration_since(inner.started),
+        };
+        let empty = MetricsSnapshot::default();
+        let baseline = inner.last.as_ref().unwrap_or(&empty);
+        let mut series = Vec::new();
+        for m in &snapshot.metrics {
+            let labels: Vec<(&str, &str)> = m
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            let prev = baseline.find(&m.name, &labels).map(|p| &p.value);
+            let value = match (&m.value, prev) {
+                (MetricValue::Counter(now), prev) => {
+                    let before = match prev {
+                        Some(MetricValue::Counter(v)) => *v,
+                        _ => 0,
+                    };
+                    let delta = now.saturating_sub(before);
+                    if delta == 0 {
+                        continue;
+                    }
+                    DeltaValue::Counter { delta, total: *now }
+                }
+                (MetricValue::Gauge(v), _) => DeltaValue::Gauge { value: *v },
+                (MetricValue::Histogram(now), prev) => {
+                    let delta = match prev {
+                        Some(MetricValue::Histogram(before)) => now.delta_since(before),
+                        _ => now.clone(),
+                    };
+                    if delta.count == 0 {
+                        continue;
+                    }
+                    DeltaValue::Histogram {
+                        p50: delta.quantile(0.5),
+                        p99: delta.quantile(0.99),
+                        total_count: now.count,
+                        delta,
+                    }
+                }
+            };
+            series.push(SeriesDelta {
+                name: m.name.clone(),
+                labels: m.labels.clone(),
+                value,
+            });
+        }
+        inner.seq += 1;
+        let seq = inner.seq;
+        let frame = HistoryFrame {
+            seq,
+            ts_millis: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            interval_nanos: u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX),
+            series,
+        };
+        if inner.frames.len() >= inner.capacity {
+            inner.frames.pop_front();
+        }
+        inner.frames.push_back(frame);
+        inner.last = Some(snapshot.clone());
+        inner.last_at = Some(now);
+        Some(seq)
+    }
+
+    /// The most recent `n` frames, oldest first.
+    pub fn frames(&self, n: usize) -> Vec<HistoryFrame> {
+        let inner = self.lock();
+        let skip = inner.frames.len().saturating_sub(n);
+        inner.frames.iter().skip(skip).cloned().collect()
+    }
+
+    /// Frames currently held.
+    pub fn len(&self) -> usize {
+        self.lock().frames.len()
+    }
+
+    /// True when no frame is held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every frame and the diff baseline (tests).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.frames.clear();
+        inner.last = None;
+        inner.last_at = None;
+        inner.seq = 0;
+    }
+}
+
+/// The process-wide metrics history ring.
+pub fn history() -> &'static MetricsHistory {
+    static CELL: OnceLock<MetricsHistory> = OnceLock::new();
+    CELL.get_or_init(MetricsHistory::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn frames_hold_deltas_and_the_ring_is_bounded() {
+        let hist = MetricsHistory::new();
+        hist.set_capacity(3);
+        let registry = Registry::new();
+        let c = registry.counter("h_total", "t");
+        let h = registry.histogram("h_nanoseconds", "t");
+        let g = registry.gauge("h_gauge", "t");
+
+        c.add(5);
+        h.record(100);
+        g.set(1.5);
+        let seq = hist.record(&registry.snapshot()).expect("enabled");
+        assert_eq!(seq, 1);
+        let frame = &hist.frames(10)[0];
+        let counter = frame.series.iter().find(|s| s.name == "h_total").unwrap();
+        assert_eq!(counter.value, DeltaValue::Counter { delta: 5, total: 5 });
+
+        // Second interval: only the increment shows.
+        c.add(2);
+        hist.record(&registry.snapshot());
+        let frames = hist.frames(10);
+        let counter = frames[1]
+            .series
+            .iter()
+            .find(|s| s.name == "h_total")
+            .unwrap();
+        assert_eq!(counter.value, DeltaValue::Counter { delta: 2, total: 7 });
+        // The idle histogram is omitted from the second frame; the gauge
+        // is always present.
+        assert!(!frames[1].series.iter().any(|s| s.name == "h_nanoseconds"));
+        assert!(frames[1].series.iter().any(|s| s.name == "h_gauge"));
+
+        // Ring bound: capacity 3, five frames → first two evicted.
+        for _ in 0..3 {
+            c.inc();
+            hist.record(&registry.snapshot());
+        }
+        let frames = hist.frames(10);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].seq, 3);
+        assert_eq!(frames[2].seq, 5);
+    }
+
+    #[test]
+    fn histogram_deltas_recompose_under_merge() {
+        let hist = MetricsHistory::new();
+        let registry = Registry::new();
+        let h = registry.histogram("h2_nanoseconds", "t");
+        h.record(10);
+        h.record(1_000);
+        hist.record(&registry.snapshot());
+        h.record(1 << 30);
+        hist.record(&registry.snapshot());
+
+        let mut merged = HistogramSnapshot::empty();
+        for frame in hist.frames(10) {
+            for series in frame.series {
+                if let DeltaValue::Histogram { delta, .. } = series.value {
+                    merged.merge(&delta);
+                }
+            }
+        }
+        assert_eq!(merged, h.snapshot(), "frame deltas must recompose");
+    }
+}

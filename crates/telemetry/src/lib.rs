@@ -8,7 +8,7 @@
 //! path: handles are pre-registered `Arc<AtomicU64>` cells, and recording
 //! is a relaxed atomic add.
 //!
-//! Three pieces:
+//! Five pieces:
 //!
 //! * [`metrics`] — a process-wide [`Registry`] of named [`Counter`]s,
 //!   [`Gauge`]s and fixed log₂-bucket [`Histogram`]s (64 buckets over
@@ -18,8 +18,17 @@
 //!   nanoseconds so one exposition pipeline serves both.
 //! * [`events`] — leveled structured events and timed spans in a bounded
 //!   ring buffer ([`EventLog`]), optionally streamed as JSONL to a writer
-//!   (`--trace-log`) and echoed to stderr at or above a threshold level,
-//!   replacing bare `eprintln!` call sites with typed, queryable records.
+//!   (`--trace-log`, size-capped via [`RotatingWriter`]) and echoed to
+//!   stderr at or above a threshold level, replacing bare `eprintln!`
+//!   call sites with typed, queryable records.
+//! * [`trace`] — causal span-tree tracing: [`root_span`]/[`child_span`]
+//!   guards propagate a [`TraceCtx`] through a request's whole call path
+//!   (across threads via [`trace::attach`]), finished trees land in the
+//!   bounded [`TraceStore`], and [`chrome_trace`] exports them as Chrome
+//!   trace-event JSON (loadable in Perfetto).
+//! * [`history`] — a fixed-capacity ring of registry-snapshot *deltas*
+//!   ([`MetricsHistory`]) giving the daemon a sliding window of per-verb
+//!   rates and interval quantiles, built on the histogram merge algebra.
 //! * [`expose`] — Prometheus text exposition
 //!   ([`render_prometheus`](expose::render_prometheus)) plus an in-repo
 //!   format checker ([`check_prometheus`](expose::check_prometheus)) so
@@ -34,14 +43,23 @@
 
 pub mod events;
 pub mod expose;
+pub mod history;
 pub mod metrics;
+pub mod trace;
 
-pub use events::{Event, EventLog, Level, Span};
+pub use events::{Event, EventLog, Level, RotatingWriter, Span};
 pub use expose::{check_prometheus, render_prometheus};
+pub use history::{
+    history, DeltaValue, HistoryFrame, MetricsHistory, SeriesDelta, DEFAULT_HISTORY_CAPACITY,
+};
 pub use metrics::{
     bucket_index, bucket_lower_bound, bucket_upper_bound, Counter, Gauge, HistTimer, Histogram,
     HistogramSnapshot, MetricKind, MetricSnapshot, MetricValue, MetricsSnapshot, Registry,
     HISTOGRAM_BUCKETS,
+};
+pub use trace::{
+    child_span, chrome_trace, root_span, span_or_root, SpanGuard, SpanRecord, TraceCtx, TraceStore,
+    TraceSummary,
 };
 
 use std::sync::atomic::{AtomicBool, Ordering};

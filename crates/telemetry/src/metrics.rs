@@ -260,6 +260,27 @@ impl HistogramSnapshot {
         bucket_lower_bound(HISTOGRAM_BUCKETS - 1) as f64
     }
 
+    /// The bucket-wise difference `self − earlier` (saturating), i.e. what
+    /// was recorded between the two snapshots. Inverse of [`merge`]: for
+    /// snapshots of one histogram taken over time,
+    /// `later.delta_since(&earlier).merge(&earlier) == later`. Saturation
+    /// only matters for torn concurrent snapshots, where it clamps the
+    /// delta at zero instead of wrapping.
+    ///
+    /// [`merge`]: HistogramSnapshot::merge
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
     /// Mean of recorded values (0 for an empty histogram).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {

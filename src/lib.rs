@@ -314,7 +314,9 @@
 //!   pretrain phase timings (core).
 //! * **Events & spans** — leveled structured events in a bounded ring
 //!   ([`EventLog`](telemetry::EventLog)), optionally streamed as JSONL
-//!   (`streamtune serve --trace-log FILE`) and echoed to stderr at or
+//!   (`streamtune serve --trace-log FILE`, size-capped with
+//!   `--trace-log-cap BYTES` via [`telemetry::RotatingWriter`], which
+//!   rotates the live file to `FILE.1`) and echoed to stderr at or
 //!   above a threshold; timed [`Span`](telemetry::Span)s record elapsed
 //!   nanoseconds on drop. The daemon's former bare `eprintln!` lines
 //!   (store recovery, SIGTERM drain, connection errors, monitor
@@ -322,11 +324,39 @@
 //! * **Exposition** — the `metrics` protocol verb returns the registry
 //!   as JSON over the control connection; `streamtune serve
 //!   --metrics-listen ADDR` serves Prometheus text format 0.0.4 on
-//!   `GET /metrics` (JSON on `/metrics.json`) from an off-thread
-//!   endpoint that never touches the daemon lock
-//!   ([`serve::spawn_metrics_endpoint`]), validated in CI by the in-repo
-//!   checker [`telemetry::check_prometheus`]. `health` carries
+//!   `GET /metrics` (JSON on `/metrics.json`, history frames on
+//!   `/metrics/history.json`) from an off-thread endpoint that never
+//!   touches the daemon lock ([`serve::spawn_metrics_endpoint`]),
+//!   validated in CI by the in-repo checker
+//!   [`telemetry::check_prometheus`]. `health` carries
 //!   `streamtune_build_info`-style version/uptime/parallelism fields.
+//! * **Flight recorder** — causal tracing, a decision audit trail and a
+//!   metrics time-series ring, all read-only views over state the
+//!   daemon records anyway:
+//!   * *span trees* — every request dispatch opens a trace
+//!     ([`telemetry::trace`]): lock wait, handler, job drains, tuning
+//!     epochs and backend deploys (including retries) become
+//!     parent/child spans, stitched across worker threads, kept in a
+//!     bounded in-memory [`TraceStore`](telemetry::trace::TraceStore).
+//!     The `trace` protocol verb ([`serve::trace_value`]) returns the
+//!     newest complete tree plus a pre-rendered Chrome trace-event JSON
+//!     export; `streamtune trace --connect ADDR [--label VERB]
+//!     [--export FILE]` prints the tree and writes the export for
+//!     chrome://tracing or Perfetto.
+//!   * *decision audit* — every recommendation is explained by a
+//!     persisted [`DecisionRecord`](serve::DecisionRecord): DAG
+//!     signature, cluster assignment with per-center distances, model
+//!     generation, GED-cache provenance, chosen degrees and the
+//!     rejected candidate assignments. The `explain <job>` verb serves
+//!     it across daemon restarts (`tests/flight_recorder.rs`).
+//!   * *metrics history* — a fixed-capacity ring of periodic
+//!     registry-snapshot deltas ([`telemetry::history`], frames of
+//!     counter deltas, gauge values and histogram quantiles) behind the
+//!     `metrics_history` verb ([`serve::history_value`]) and
+//!     `GET /metrics/history.json`; `streamtune top --connect
+//!     METRICS_ADDR` renders new frames live. Chaos-seeded runs with
+//!     tracing and audit enabled stay bit-identical to runs with
+//!     telemetry off (`tests/telemetry.rs`).
 
 pub use streamtune_backend as backend;
 pub use streamtune_baselines as baselines;

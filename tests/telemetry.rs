@@ -96,6 +96,83 @@ fn histogram_merge_is_associative_commutative_with_identity() {
 }
 
 #[test]
+fn histogram_quantiles_survive_the_edge_cases() {
+    let _g = gate();
+    // Empty: every quantile is 0, not NaN or a panic.
+    let empty = HistogramSnapshot::empty();
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(empty.quantile(q), 0.0, "empty histogram at q={q}");
+    }
+    // Out-of-range quantiles clamp instead of indexing out of bounds.
+    let registry = Registry::new();
+    let h = registry.histogram("t_edge_nanoseconds", "test");
+    h.record(700);
+    let single = h.snapshot();
+    assert_eq!(single.quantile(-1.0), single.quantile(0.0));
+    assert_eq!(single.quantile(2.0), single.quantile(1.0));
+    // Single sample: every quantile stays inside the sample's bucket.
+    let (lo, hi) = (
+        bucket_lower_bound(bucket_index(700)) as f64,
+        bucket_upper_bound(bucket_index(700)).expect("bounded bucket") as f64,
+    );
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        let v = single.quantile(q);
+        assert!(
+            (lo..=hi).contains(&v),
+            "single-sample q={q} estimate {v} escapes [{lo}, {hi}]"
+        );
+    }
+    // A sample in the unbounded top bucket: the estimate falls back to
+    // the in-bucket mean — at or above the bucket floor, never infinite.
+    let registry = Registry::new();
+    let h = registry.histogram("t_top_nanoseconds", "test");
+    let floor = bucket_lower_bound(HISTOGRAM_BUCKETS - 1);
+    h.record(floor + 17);
+    let top = h.snapshot();
+    for q in [0.5, 0.99] {
+        let v = top.quantile(q);
+        assert!(v.is_finite() && v >= floor as f64, "top-bucket q={q} = {v}");
+    }
+}
+
+#[test]
+fn histogram_quantiles_stay_monotone_under_merge() {
+    let _g = gate();
+    // Merge deterministic pseudo-random shards pairwise; at every step
+    // the quantile function of the merged snapshot must be monotone in q
+    // (p50 ≤ p90 ≤ p99 ≤ p999) and bounded by the recorded extremes'
+    // bucket range.
+    let shard = |seed: u64| {
+        let registry = Registry::new();
+        let h = registry.histogram("t_mono_nanoseconds", "test");
+        let mut x = seed.max(1);
+        for _ in 0..257 {
+            // xorshift64: cheap, deterministic, spread over many buckets.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Mask to 32 bits so the merged `sum` stays far from u64
+            // overflow while still spreading across ~32 buckets.
+            h.record((x >> (x % 50)) & 0xFFFF_FFFF);
+        }
+        h.snapshot()
+    };
+    let mut merged = HistogramSnapshot::empty();
+    for seed in 1..=6u64 {
+        merged.merge(&shard(seed));
+        let qs: Vec<f64> = [0.5, 0.9, 0.99, 0.999]
+            .iter()
+            .map(|&q| merged.quantile(q))
+            .collect();
+        assert!(
+            qs.windows(2).all(|w| w[0] <= w[1]),
+            "quantiles must be monotone after merging seed {seed}: {qs:?}"
+        );
+    }
+    assert_eq!(merged.count, 6 * 257);
+}
+
+#[test]
 fn concurrent_recording_from_fixed_4_matches_serial_totals() {
     let _g = gate();
     let values: Vec<u64> = (0..4_000u64)
@@ -144,10 +221,10 @@ fn spec(name: &str, query: &str, multiplier: f64, seed: u64, backend: BackendSpe
     }
 }
 
-fn tiny_server() -> Server {
+fn tiny_server_with(parallelism: Parallelism) -> Server {
     let (server, _) = Server::bootstrap(
         None,
-        ServerConfig::fast().with_parallelism(Parallelism::Serial),
+        ServerConfig::fast().with_parallelism(parallelism),
         || {
             let cluster = SimCluster::flink_defaults(91);
             HistoryGenerator::new(91).with_jobs(12).generate(&cluster)
@@ -157,10 +234,14 @@ fn tiny_server() -> Server {
     server
 }
 
+fn tiny_server() -> Server {
+    tiny_server_with(Parallelism::Serial)
+}
+
 /// Run a chaos-seeded submit → drain → recommend flow and return every
 /// response line (the daemon's complete observable output).
-fn chaos_run() -> Vec<String> {
-    let mut server = tiny_server();
+fn chaos_run_with(parallelism: Parallelism) -> Vec<String> {
+    let mut server = tiny_server_with(parallelism);
     let mut plan = FaultPlan::transient(23);
     plan.io_rate = 0.9;
     let mut lines = Vec::new();
@@ -185,13 +266,36 @@ fn chaos_run() -> Vec<String> {
 fn tuning_with_telemetry_disabled_is_bit_identical_to_enabled() {
     let _g = gate();
     streamtune::telemetry::set_enabled(true);
-    let with_telemetry = chaos_run();
+    let with_telemetry = chaos_run_with(Parallelism::Serial);
     streamtune::telemetry::set_enabled(false);
-    let without_telemetry = chaos_run();
+    let without_telemetry = chaos_run_with(Parallelism::Serial);
     streamtune::telemetry::set_enabled(true);
     assert_eq!(
         with_telemetry, without_telemetry,
         "telemetry must be strictly observational"
+    );
+}
+
+#[test]
+fn tracing_and_audit_leave_chaos_outcomes_bit_identical_across_pools() {
+    // The flight recorder widens the observational surface — causal span
+    // trees through the drain workers, decision audit capture, metrics
+    // history frames — and none of it may perturb answers: chaos-seeded
+    // runs with tracing on equal runs with it off, on the serial pool and
+    // on a 4-thread pool alike, and the pools equal each other.
+    let _g = gate();
+    streamtune::telemetry::set_enabled(true);
+    let serial_traced = chaos_run_with(Parallelism::Serial);
+    let fixed_traced = chaos_run_with(Parallelism::Fixed(4));
+    streamtune::telemetry::set_enabled(false);
+    let serial_dark = chaos_run_with(Parallelism::Serial);
+    let fixed_dark = chaos_run_with(Parallelism::Fixed(4));
+    streamtune::telemetry::set_enabled(true);
+    assert_eq!(serial_traced, serial_dark, "tracing is observational");
+    assert_eq!(fixed_traced, fixed_dark, "across thread pools too");
+    assert_eq!(
+        serial_traced, fixed_traced,
+        "parallelism changes wall clock, never answers"
     );
 }
 
